@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation
+(see DESIGN.md's experiment index).  Benchmarks run the real full-size
+computation once per measurement (``benchmark.pedantic`` with a single
+round) — they are experiment drivers first, timers second.
+"""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.workloads import build_tpch_queries
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The paper's 100 GB TPC-H statistics."""
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="session")
+def queries(catalog):
+    """All 22 TPC-H queries."""
+    return build_tpch_queries(catalog)

@@ -1,0 +1,198 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+ABL-1  Parametric DP cell cap: candidate-set completeness vs runtime.
+ABL-2  Worst-case sweep: exhaustive vertex enumeration vs the
+       candidate-set dot-product sweep (the Observation 2 shortcut).
+ABL-3  The paper's locked d_s/d_t ratio (Sections 8.1.2/8.1.3) vs
+       letting both disk parameters vary freely per device.
+ABL-4  Discovery probe budget vs recall of the true candidate set.
+"""
+
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import global_relative_cost
+from repro.core.feasible import FeasibleRegion, VariationGroup
+from repro.core.worstcase import worst_case_gtc
+from repro.experiments.scenarios import scenario
+from repro.experiments.validation import validate_discovery
+from repro.optimizer import DEFAULT_PARAMETERS, candidate_plans
+from repro.workloads import tpch_query
+
+
+class TestCellCapAblation:
+    """ABL-1: smaller caps truncate candidate sets but run faster."""
+
+    @pytest.mark.parametrize("cap", [8, 32, 128])
+    def test_bench_cell_cap(self, benchmark, catalog, queries, cap):
+        query = queries["Q5"]
+        config = scenario("split")
+        layout = config.layout_for(query)
+        region = config.region(layout, 10000.0)
+        result = benchmark.pedantic(
+            lambda: candidate_plans(
+                query, catalog, DEFAULT_PARAMETERS, layout, region,
+                cell_cap=cap,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        print(
+            f"\ncap={cap}: {len(result)} candidates, "
+            f"truncated={result.truncated}"
+        )
+        assert len(result) >= 1
+
+    def test_cap_monotonicity(self, catalog, queries):
+        """Bigger caps can only find more (or equal) candidates."""
+        query = queries["Q3"]
+        config = scenario("split")
+        layout = config.layout_for(query)
+        region = config.region(layout, 10000.0)
+        sizes = []
+        for cap in (4, 16, 64, None):
+            result = candidate_plans(
+                query, catalog, DEFAULT_PARAMETERS, layout, region,
+                cell_cap=cap,
+            )
+            sizes.append(len(result))
+        assert sizes == sorted(sizes)
+
+
+class TestSweepAblation:
+    """ABL-2: the vertex sweep is exact; random sampling undershoots."""
+
+    def test_bench_vertex_sweep(self, benchmark, catalog, queries):
+        query = queries["Q8"]
+        config = scenario("split")
+        layout = config.layout_for(query)
+        region = config.region(layout, 10000.0)
+        candidates = candidate_plans(
+            query, catalog, DEFAULT_PARAMETERS, layout, region
+        )
+        initial = candidates.plans[candidates.initial_plan_index()]
+        point = benchmark.pedantic(
+            lambda: worst_case_gtc(
+                initial.usage, candidates.usages, region
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        # 2^16 vertices for the 7-distinct-table Q8.
+        print(f"\nexact worst GTC {point.gtc:.3e} over "
+              f"{region.n_vertices} vertices")
+
+        rng = np.random.default_rng(0)
+        sampled = max(
+            global_relative_cost(initial.usage, candidates.usages, cost)
+            for cost in region.sample(rng, 2000)
+        )
+        print(f"2000 random samples reach only {sampled:.3e}")
+        assert sampled <= point.gtc * (1 + 1e-9)
+        # Random sampling badly underestimates the worst case.
+        assert sampled < point.gtc / 10
+
+
+class TestLockedRatioAblation:
+    """ABL-3: freeing d_s/d_t doubles dimensions; worst case grows."""
+
+    def test_bench_locked_vs_free(self, benchmark, catalog, queries):
+        query = queries["Q14"]
+        config = scenario("split")
+        layout = config.layout_for(query)
+        locked_region = config.region(layout, 100.0)
+
+        def free_region():
+            # One variation group PER DIMENSION instead of per device.
+            groups = tuple(
+                VariationGroup(name, (layout.space.index(name),))
+                for name in layout.space.names
+            )
+            return FeasibleRegion(layout.center_costs(), 100.0, groups)
+
+        candidates = candidate_plans(
+            query, catalog, DEFAULT_PARAMETERS, layout,
+            free_region(), cell_cap=None,
+        )
+        initial = candidates.plans[candidates.initial_plan_index()]
+
+        locked = worst_case_gtc(
+            initial.usage, candidates.usages, locked_region
+        )
+        free = benchmark.pedantic(
+            lambda: worst_case_gtc(
+                initial.usage, candidates.usages, free_region()
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        print(
+            f"\nlocked ratio: GTC {locked.gtc:.4g} "
+            f"({locked_region.n_vertices} vertices); "
+            f"free: GTC {free.gtc:.4g} "
+            f"({free_region().n_vertices} vertices)"
+        )
+        # Freeing the ratio can only widen the feasible region.
+        assert free.gtc >= locked.gtc * (1 - 1e-9)
+
+
+class TestDiscoveryBudgetAblation:
+    """ABL-4: recall grows with the optimizer-call budget."""
+
+    @pytest.mark.parametrize("budget", [50, 500, 20000])
+    def test_bench_budget(self, benchmark, catalog, budget):
+        query = tpch_query("Q14", catalog)
+        result = benchmark.pedantic(
+            lambda: validate_discovery(
+                query, catalog, "shared", delta=100.0,
+                max_optimizer_calls=budget,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        print(f"\nbudget={budget}: recall {result.recall:.2f}")
+        assert not result.spurious
+
+    def test_recall_monotone_in_budget(self, catalog):
+        query = tpch_query("Q14", catalog)
+        recalls = [
+            validate_discovery(
+                query, catalog, "shared", delta=100.0,
+                max_optimizer_calls=budget,
+            ).recall
+            for budget in (50, 2000, 40000)
+        ]
+        assert recalls[0] <= recalls[-1]
+        assert recalls[-1] >= 0.75
+
+
+class TestScaleFactorAblation:
+    """ABL-5: does the Figure 6 shape survive at other scale factors?
+
+    The paper ran only SF 100; the quadratic regime is a property of
+    plan-space structure (complementary plans), not of data volume, so
+    the growth classification should be stable across scales.
+    """
+
+    @pytest.mark.parametrize("scale", [1.0, 100.0])
+    def test_bench_scale(self, benchmark, scale):
+        from repro.catalog import build_tpch_catalog
+        from repro.experiments import run_figure
+        from repro.workloads import build_tpch_queries
+
+        catalog = build_tpch_catalog(scale)
+        queries = build_tpch_queries(catalog)
+        subset = {k: queries[k] for k in ("Q3", "Q14", "Q20")}
+        result = benchmark.pedantic(
+            lambda: run_figure(
+                "split", catalog=catalog, queries=subset,
+                deltas=(1.0, 100.0, 10000.0),
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        census = result.growth_census()
+        print(f"\nSF {scale:g}: growth census {census}")
+        # The quadratic regime persists at both scales.
+        assert census.get("quadratic", 0) >= 2

@@ -1,0 +1,62 @@
+"""LSQ — Section 6.1.1 least-squares usage-vector estimation.
+
+Benchmarks the end-to-end estimation loop (plan-stable sampling plus
+normal-equation solve) through the narrow optimizer interface and
+asserts the paper's validation criterion: total-cost predictions at
+held-out cost vectors within one percent.
+"""
+
+import numpy as np
+
+from repro.experiments.validation import validate_estimation
+from repro.workloads import tpch_query
+
+
+def test_bench_estimation_q14_shared(benchmark, catalog):
+    query = tpch_query("Q14", catalog)
+    result = benchmark.pedantic(
+        lambda: validate_estimation(
+            query, catalog, "shared", delta=100.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"plans validated: {len(result.prediction_errors)}, "
+        f"worst prediction error: "
+        f"{result.worst_prediction_error * 100:.4f}%, "
+        f"optimizer calls: {result.optimizer_calls}"
+    )
+    assert result.prediction_errors
+    assert result.meets_paper_criterion  # < 1%
+
+
+def test_bench_estimation_q3_split(benchmark, catalog):
+    query = tpch_query("Q3", catalog)
+    result = benchmark.pedantic(
+        lambda: validate_estimation(
+            query, catalog, "split", delta=100.0, seed=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"plans validated: {len(result.prediction_errors)}, "
+        f"worst prediction error: "
+        f"{result.worst_prediction_error * 100:.4f}%"
+    )
+    assert result.meets_paper_criterion
+
+
+def test_bench_normal_equations_solve(benchmark):
+    """Microbenchmark of the Gaussian-elimination core."""
+    from repro.core.estimation import gaussian_solve
+
+    rng = np.random.default_rng(0)
+    n = 18  # the split scenario's largest dimension (Q8)
+    matrix = rng.normal(size=(n, n)) + np.eye(n) * n
+    rhs = rng.normal(size=n)
+    solution = benchmark(gaussian_solve, matrix, rhs)
+    assert np.allclose(matrix @ solution, rhs)

@@ -1,0 +1,43 @@
+"""FIG6 — worst-case GTC, every table and index group on its own device.
+
+Regenerates Figure 6: the 2k+2-resource scenario where inaccurate
+storage costs hurt most.  Asserts the paper's reading: a clear
+majority of the 22 queries grow ~quadratically with the error level
+(Theorem 1 regime; the paper saw 18/22), the worst-case reaches many
+orders of magnitude, and query 20 ranks among the most sensitive.
+"""
+
+from repro.experiments import (
+    DEFAULT_DELTAS,
+    format_figure_summary,
+    format_figure_table,
+    run_figure,
+)
+
+
+def test_bench_figure6(benchmark, catalog, queries):
+    result = benchmark.pedantic(
+        lambda: run_figure(
+            "split", catalog=catalog, queries=queries,
+            deltas=DEFAULT_DELTAS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure_table(result))
+    print(format_figure_summary(result))
+
+    assert len(result.curves) == 22
+    census = result.growth_census()
+    assert census.get("quadratic", 0) >= 12  # paper: 18 of 22
+    assert result.max_final_gtc() > 1e4
+
+    ranked = sorted(result.curves, key=lambda c: -c.final_gtc)
+    top_names = [curve.query_name for curve in ranked[:5]]
+    assert "Q20" in top_names  # the paper's most-sensitive query
+
+    # Single-table queries cannot be hurt by splitting devices.
+    by_query = result.by_query()
+    for name in ("Q1", "Q6"):
+        assert by_query[name].growth_class() == "constant"

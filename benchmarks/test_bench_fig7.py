@@ -1,0 +1,46 @@
+"""FIG7 — worst-case GTC, one device per table with its indexes.
+
+Regenerates Figure 7: the k+2-resource scenario co-locating each
+table with its own indexes.  Asserts the paper's reading: results fall
+between Figures 5 and 6 — fewer quadratic curves than Figure 6 (the
+access-path complementary plans are gone), per-query worst cases never
+exceed the split scenario's.
+"""
+
+from repro.experiments import (
+    DEFAULT_DELTAS,
+    format_figure_summary,
+    format_figure_table,
+    run_figure,
+)
+
+
+def test_bench_figure7(benchmark, catalog, queries):
+    split = run_figure(
+        "split", catalog=catalog, queries=queries,
+        deltas=DEFAULT_DELTAS,
+    )
+    result = benchmark.pedantic(
+        lambda: run_figure(
+            "colocated", catalog=catalog, queries=queries,
+            deltas=DEFAULT_DELTAS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure_table(result))
+    print(format_figure_summary(result))
+
+    assert len(result.curves) == 22
+    quadratic_colocated = result.growth_census().get("quadratic", 0)
+    quadratic_split = split.growth_census().get("quadratic", 0)
+    # Strictly fewer quadratic curves than Figure 6 (paper: 5-7 vs 18).
+    assert quadratic_colocated < quadratic_split
+    # Per-query domination: colocated <= split (region nesting).
+    split_by_query = split.by_query()
+    for curve in result.curves:
+        other = split_by_query[curve.query_name]
+        if curve.truncated or other.truncated:
+            continue
+        assert curve.final_gtc <= other.final_gtc * (1 + 1e-9)

@@ -1,0 +1,44 @@
+"""Optimizer microbenchmarks: scalar DP and parametric enumeration.
+
+Not a paper artefact per se, but the substrate's cost drives every
+experiment above; these benchmarks track it per query shape.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import scenario
+from repro.optimizer import (
+    DEFAULT_PARAMETERS,
+    enumerate_root_plans,
+    optimize_scalar,
+)
+
+# Representative shapes: single-table, 3-chain, largest (8 aliases).
+QUERY_SAMPLE = ("Q1", "Q3", "Q8", "Q20")
+
+
+@pytest.mark.parametrize("name", QUERY_SAMPLE)
+def test_bench_scalar_optimize(benchmark, catalog, queries, name):
+    query = queries[name]
+    layout = scenario("shared").layout_for(query)
+    cost = layout.center_costs()
+    plan = benchmark(
+        optimize_scalar, query, catalog, DEFAULT_PARAMETERS, layout, cost
+    )
+    assert plan.node.aliases() == frozenset(query.aliases)
+
+
+@pytest.mark.parametrize("name", QUERY_SAMPLE)
+def test_bench_parametric_enumeration_split(
+    benchmark, catalog, queries, name
+):
+    query = queries[name]
+    layout = scenario("split").layout_for(query)
+    plans, __ = benchmark.pedantic(
+        lambda: enumerate_root_plans(
+            query, catalog, DEFAULT_PARAMETERS, layout, cell_cap=64
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert plans

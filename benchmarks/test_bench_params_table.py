@@ -1,0 +1,18 @@
+"""TAB-PARAMS — the Section 7.3 system parameter table.
+
+Trivial to compute; benchmarked for completeness of the experiment
+index and printed exactly as the paper lays it out.
+"""
+
+from repro.experiments import format_parameter_table
+from repro.optimizer.config import DEFAULT_PARAMETERS
+
+
+def test_bench_parameter_table(benchmark):
+    rows = benchmark(DEFAULT_PARAMETERS.as_db2_table)
+    print()
+    print(format_parameter_table(rows))
+    assert ("DFT_QUERYOPT", "7") in rows
+    assert ("OPT_BUFFPAGE", "640000") in rows
+    assert ("OPT_SORTHEAP", "128000") in rows
+    assert len(rows) == 15

@@ -1,0 +1,28 @@
+"""ROBUST — per-parameter plan-switch thresholds (framework extension).
+
+Not a figure of the paper, but the direct operational payoff of its
+framework: which storage parameters must an autonomic monitor watch?
+Regenerates the robustness table for the split scenario and asserts
+the paper-aligned headline (Q20's PARTSUPP devices are fragile).
+"""
+
+from repro.experiments import format_robustness_table, run_robustness
+
+
+def test_bench_robustness_split(benchmark, catalog, queries):
+    rows = benchmark.pedantic(
+        lambda: run_robustness("split", catalog=catalog, queries=queries),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_robustness_table(rows))
+    by_query = {row.query_name: row for row in rows}
+    assert len(rows) == 22
+    # The paper's Q20 callout shows up as a PARTSUPP watch-list entry.
+    q20_watch = by_query["Q20"].watch_list(radius_threshold=10.0)
+    assert any("PARTSUPP" in name for name in q20_watch)
+    # Single-table queries have some insensitive parameters.
+    for row in rows:
+        for parameter in row.parameters:
+            assert parameter.regret_past_switch >= 1.0 - 1e-9

@@ -1,0 +1,61 @@
+"""RUV — Section 8.2 resource-usage-vector analysis.
+
+Regenerates the candidate-plan complementarity census for all three
+storage scenarios and asserts the section's findings:
+
+* shared device: no complementary candidate pairs at all;
+* split devices: many complementary pairs, every one access-path or
+  temp complementary, none table complementary;
+* colocated: access-path complementarity eliminated, temp remains.
+"""
+
+from repro.experiments import format_census_table, run_usage_analysis
+
+
+def test_bench_usage_analysis_shared(benchmark, catalog, queries):
+    result = benchmark.pedantic(
+        lambda: run_usage_analysis(
+            "shared", catalog=catalog, queries=queries
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_census_table(result))
+    assert result.queries_with_complementary_plans() == []
+    for row in result.rows:
+        assert row.constant_bound != float("inf")
+
+
+def test_bench_usage_analysis_split(benchmark, catalog, queries):
+    result = benchmark.pedantic(
+        lambda: run_usage_analysis(
+            "split", catalog=catalog, queries=queries
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_census_table(result))
+    # Paper: complementary plans for most queries (18 of 22 showed the
+    # quadratic regime); every class is access-path or temp.
+    assert len(result.queries_with_complementary_plans()) >= 16
+    totals = result.total_class_counts()
+    assert totals.get("table", 0) == 0
+    assert totals.get("access-path", 0) > 0
+    assert totals.get("temp", 0) > 0
+
+
+def test_bench_usage_analysis_colocated(benchmark, catalog, queries):
+    result = benchmark.pedantic(
+        lambda: run_usage_analysis(
+            "colocated", catalog=catalog, queries=queries
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_census_table(result))
+    totals = result.total_class_counts()
+    assert totals.get("access-path", 0) == 0
+    assert totals.get("table", 0) == 0

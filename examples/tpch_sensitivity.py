@@ -1,0 +1,84 @@
+"""Regenerate the paper's Figures 5-7 on the TPC-H workload.
+
+For each storage scenario, computes the worst-case global relative
+cost of the default-cost plan for each query as the optimizer's cost
+estimates are allowed to err by a factor of up to delta — the paper's
+Section 8.1 experiments against our optimizer substrate.
+
+Run:  python examples/tpch_sensitivity.py            # 8 queries, fast
+      python examples/tpch_sensitivity.py --full     # all 22 queries
+      python examples/tpch_sensitivity.py --csv out  # also dump CSVs
+"""
+
+import argparse
+import pathlib
+import time
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments import (
+    figure_to_csv,
+    format_figure_summary,
+    format_figure_table,
+    run_figure,
+)
+from repro.workloads import build_tpch_queries
+
+FAST_SUBSET = ("Q1", "Q3", "Q6", "Q8", "Q11", "Q14", "Q16", "Q20")
+DELTAS = (1.0, 10.0, 100.0, 1000.0, 10000.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="run all 22 TPC-H queries"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=100.0,
+        help="TPC-H scale factor for the statistics (default 100)",
+    )
+    parser.add_argument(
+        "--csv", type=pathlib.Path, default=None,
+        help="directory to write figure CSVs into",
+    )
+    args = parser.parse_args()
+
+    catalog = build_tpch_catalog(args.scale)
+    queries = build_tpch_queries(catalog)
+    if not args.full:
+        queries = {name: queries[name] for name in FAST_SUBSET}
+    print(
+        f"TPC-H at scale factor {args.scale:g}, "
+        f"{len(queries)} queries, deltas up to {DELTAS[-1]:g}\n"
+    )
+
+    for key in ("shared", "split", "colocated"):
+        start = time.perf_counter()
+        result = run_figure(
+            key, catalog=catalog, queries=queries, deltas=DELTAS
+        )
+        elapsed = time.perf_counter() - start
+        print(format_figure_summary(result))
+        print()
+        print(format_figure_table(result))
+        print(f"\n[{elapsed:.1f}s]\n" + "=" * 72 + "\n")
+        if args.csv is not None:
+            args.csv.mkdir(parents=True, exist_ok=True)
+            path = args.csv / f"figure_{key}.csv"
+            path.write_text(figure_to_csv(result))
+            print(f"wrote {path}\n")
+
+    print(
+        "Reading the results like the paper does:\n"
+        "  * shared    (Fig 5): every curve flattens — one mis-set disk\n"
+        "    parameter cannot hurt much (Theorem 2's constant bound).\n"
+        "  * split     (Fig 6): most curves grow ~quadratically in the\n"
+        "    error (Theorem 1's delta^2 bound) — separate devices for\n"
+        "    tables and indexes make accurate costs genuinely valuable.\n"
+        "  * colocated (Fig 7): in between — co-locating each table\n"
+        "    with its indexes removes the access-path complementary\n"
+        "    plans but temp-space complementarity remains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+``pip install -e .`` cannot build an editable wheel.  ``python setup.py
+develop`` (or ``pip install -e . --no-build-isolation`` once wheel is
+available) installs the package instead; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — reproduction of Reiss & Kanungo, SIGMOD 2003.
+
+"A Characterization of the Sensitivity of Query Optimization to Storage
+Access Cost Parameters."
+
+Package layout
+--------------
+``repro.core``
+    The paper's contribution: the vector-space cost framework,
+    switchover-plane geometry, candidate optimal plans, regions of
+    influence, the delta**2 / constant error bounds, and the black-box
+    extraction algorithms (least-squares usage estimation, candidate
+    plan discovery, worst-case sweeps).
+``repro.catalog``
+    Database schema and statistics substrate, including an analytic
+    TPC-H catalog at any scale factor.
+``repro.storage``
+    Storage devices (seek + transfer cost model), layouts mapping
+    database objects to devices, and an event-level disk simulator.
+``repro.optimizer``
+    A from-scratch Selinger-style cost-based optimizer with a strictly
+    linear additive cost model — the stand-in for the commercial
+    optimizer characterised in the paper.
+``repro.workloads``
+    The 22 TPC-H queries as structured specs, plus random workload
+    generators.
+``repro.sql``
+    A small SQL subset parser producing optimizer query specs.
+``repro.experiments``
+    Runners that regenerate every figure and analysis of the paper's
+    evaluation section.
+``repro.dbgen`` / ``repro.executor``
+    A miniature TPC-H data generator and an iterator-model executor
+    with I/O accounting, used to validate the optimizer's cost model.
+"""
+
+__version__ = "1.0.0"
+
+from . import catalog, core, experiments, optimizer, storage, workloads
+
+__all__ = [
+    "catalog",
+    "core",
+    "experiments",
+    "optimizer",
+    "storage",
+    "workloads",
+    "__version__",
+]

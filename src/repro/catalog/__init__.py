@@ -1,0 +1,41 @@
+"""Database schema and statistics substrate.
+
+Provides the structural objects (:class:`Table`, :class:`Index`,
+:class:`Schema`), their statistics (:class:`TableStats`,
+:class:`IndexStats`, :class:`Catalog`), and an analytic TPC-H catalog
+builder (:func:`build_tpch_catalog`) replicating the statistics of the
+paper's 100 GB benchmark database.
+"""
+
+from .schema import Column, Index, Schema, Table
+from .statistics import (
+    Catalog,
+    CatalogStats,
+    ColumnStats,
+    DEFAULT_PAGE_SIZE,
+    IndexStats,
+    TableStats,
+)
+from .tpch import (
+    TPCH_TABLE_NAMES,
+    build_tpch_catalog,
+    tpch_row_count,
+    tpch_schema,
+)
+
+__all__ = [
+    "Catalog",
+    "CatalogStats",
+    "Column",
+    "ColumnStats",
+    "DEFAULT_PAGE_SIZE",
+    "Index",
+    "IndexStats",
+    "Schema",
+    "Table",
+    "TableStats",
+    "TPCH_TABLE_NAMES",
+    "build_tpch_catalog",
+    "tpch_row_count",
+    "tpch_schema",
+]

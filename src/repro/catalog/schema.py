@@ -1,0 +1,174 @@
+"""Relational schema objects: tables, columns, indexes.
+
+The optimizer never touches data — like the paper's setup, where IBM's
+published statistics were transplanted into an *empty* database — so the
+schema layer carries only structure (names, types, widths, keys) while
+:mod:`repro.catalog.statistics` carries the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["Column", "Table", "Index", "Schema"]
+
+#: Recognised column type tags (affects only default widths / docs).
+COLUMN_TYPES = frozenset(
+    {"integer", "bigint", "decimal", "char", "varchar", "date"}
+)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One table column.
+
+    ``width`` is the average stored width in bytes, used to derive page
+    counts and index sizes.
+    """
+
+    name: str
+    type: str
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.type not in COLUMN_TYPES:
+            raise ValueError(f"unknown column type {self.type!r}")
+        if self.width <= 0:
+            raise ValueError("column width must be positive")
+
+
+@dataclass(frozen=True)
+class Table:
+    """A base table definition."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column in table {self.name}")
+        for key_col in self.primary_key:
+            if key_col not in names:
+                raise ValueError(
+                    f"primary key column {key_col!r} not in {self.name}"
+                )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"no column {name!r} in table {self.name}")
+
+    @property
+    def row_width(self) -> int:
+        """Average row width in bytes (sum of column widths)."""
+        return sum(c.width for c in self.columns)
+
+
+@dataclass(frozen=True)
+class Index:
+    """A B-tree index definition.
+
+    ``clustered`` marks the index whose key order matches the physical
+    row order (at most one per table); it drives the cost difference
+    between clustered and unclustered range scans, the heart of the
+    "access path complementary" plans of Section 5.6.
+    """
+
+    name: str
+    table: str
+    key_columns: tuple[str, ...]
+    clustered: bool = False
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.key_columns:
+            raise ValueError("index must have at least one key column")
+        if len(set(self.key_columns)) != len(self.key_columns):
+            raise ValueError(f"duplicate key column in index {self.name}")
+
+    @property
+    def leading_column(self) -> str:
+        return self.key_columns[0]
+
+
+@dataclass
+class Schema:
+    """A set of tables and indexes with consistency checks."""
+
+    tables: dict[str, Table] = field(default_factory=dict)
+    indexes: dict[str, Index] = field(default_factory=dict)
+
+    def add_table(self, table: Table) -> None:
+        if table.name in self.tables:
+            raise ValueError(f"table {table.name} already defined")
+        self.tables[table.name] = table
+
+    def add_index(self, index: Index) -> None:
+        if index.name in self.indexes:
+            raise ValueError(f"index {index.name} already defined")
+        table = self.tables.get(index.table)
+        if table is None:
+            raise ValueError(
+                f"index {index.name} references unknown table {index.table}"
+            )
+        for key_col in index.key_columns:
+            table.column(key_col)  # raises KeyError if missing
+        if index.clustered:
+            for other in self.indexes_on(index.table):
+                if other.clustered:
+                    raise ValueError(
+                        f"table {index.table} already has a clustered index"
+                    )
+        self.indexes[index.name] = index
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}") from None
+
+    def index(self, name: str) -> Index:
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise KeyError(f"unknown index {name!r}") from None
+
+    def indexes_on(self, table: str) -> tuple[Index, ...]:
+        return tuple(
+            index for index in self.indexes.values() if index.table == table
+        )
+
+    def indexes_with_leading_column(
+        self, table: str, column: str
+    ) -> tuple[Index, ...]:
+        """Indexes on ``table`` whose leading key is ``column``.
+
+        These are the indexes usable for a sargable predicate or an
+        index-probe join on that column.
+        """
+        return tuple(
+            index
+            for index in self.indexes_on(table)
+            if index.leading_column == column
+        )
+
+    @classmethod
+    def from_tables(
+        cls,
+        tables: Iterable[Table],
+        indexes: Iterable[Index] = (),
+    ) -> "Schema":
+        schema = cls()
+        for table in tables:
+            schema.add_table(table)
+        for index in indexes:
+            schema.add_index(index)
+        return schema

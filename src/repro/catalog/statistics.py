@@ -1,0 +1,221 @@
+"""Optimizer statistics: cardinalities, widths, index shapes.
+
+These are the numbers a ``RUNSTATS``-style utility would produce and
+``db2look`` would export — exactly the artefact the paper transplanted
+from IBM's published 100 GB TPC-H run into an empty test database
+(Section 7.2).  Our TPC-H statistics are derived analytically from the
+dbgen specification instead (see :mod:`repro.catalog.tpch`), which is
+equivalent for the optimizer since dbgen data is deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .schema import Index, Schema, Table
+
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "IndexStats",
+    "CatalogStats",
+    "Catalog",
+    "DEFAULT_PAGE_SIZE",
+]
+
+#: Default page size in bytes (DB2 used 4 KB pages in the FDR run).
+DEFAULT_PAGE_SIZE = 4096
+
+#: Page fill factor for data pages.
+DATA_FILL = 0.96
+
+#: Page fill factor for index leaf pages.
+INDEX_FILL = 0.70
+
+#: Bytes per index entry beyond the key itself (RID + overhead).
+RID_WIDTH = 8
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Per-column statistics (COLCARD analogue)."""
+
+    n_distinct: float
+    null_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_distinct < 1:
+            raise ValueError("n_distinct must be >= 1")
+        if not 0.0 <= self.null_fraction <= 1.0:
+            raise ValueError("null_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Per-table statistics (CARD / NPAGES analogue)."""
+
+    row_count: int
+    row_width: int
+    page_size: int = DEFAULT_PAGE_SIZE
+    columns: Mapping[str, ColumnStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise ValueError("row_count must be >= 0")
+        if self.row_width <= 0:
+            raise ValueError("row_width must be positive")
+
+    @property
+    def rows_per_page(self) -> int:
+        usable = self.page_size * DATA_FILL
+        return max(1, int(usable // self.row_width))
+
+    @property
+    def n_pages(self) -> int:
+        if self.row_count == 0:
+            return 1
+        return math.ceil(self.row_count / self.rows_per_page)
+
+    def column(self, name: str) -> ColumnStats:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"no statistics for column {name!r}") from None
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Per-index statistics (NLEAF / NLEVELS / CLUSTERRATIO analogue).
+
+    ``cluster_ratio`` in [0, 1]: fraction of fetches through the index
+    that hit the next physical data page rather than a random one.  A
+    clustered index has ratio ~1; a fully unclustered one ~0.
+    """
+
+    leaf_pages: int
+    levels: int
+    key_width: int
+    cluster_ratio: float
+
+    def __post_init__(self) -> None:
+        if self.leaf_pages < 1:
+            raise ValueError("leaf_pages must be >= 1")
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+        if not 0.0 <= self.cluster_ratio <= 1.0:
+            raise ValueError("cluster_ratio must be in [0, 1]")
+
+    @classmethod
+    def derive(
+        cls,
+        row_count: int,
+        key_width: int,
+        cluster_ratio: float,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> "IndexStats":
+        """Derive B-tree shape from row count and key width.
+
+        Leaf pages hold ``fill * page / (key + RID)`` entries; internal
+        fanout uses the same entry width.  Levels count the non-leaf
+        height plus the leaf level (minimum 1).
+        """
+        entry_width = key_width + RID_WIDTH
+        entries_per_leaf = max(2, int(page_size * INDEX_FILL // entry_width))
+        leaf_pages = max(1, math.ceil(max(row_count, 1) / entries_per_leaf))
+        fanout = max(2, int(page_size * INDEX_FILL // entry_width))
+        levels = 1
+        pages = leaf_pages
+        while pages > 1:
+            pages = math.ceil(pages / fanout)
+            levels += 1
+        return cls(
+            leaf_pages=leaf_pages,
+            levels=levels,
+            key_width=key_width,
+            cluster_ratio=cluster_ratio,
+        )
+
+
+@dataclass
+class CatalogStats:
+    """All statistics for a schema."""
+
+    tables: dict[str, TableStats] = field(default_factory=dict)
+    indexes: dict[str, IndexStats] = field(default_factory=dict)
+
+
+class Catalog:
+    """A schema plus its statistics — what the optimizer consumes."""
+
+    def __init__(self, schema: Schema, stats: CatalogStats) -> None:
+        for name in schema.tables:
+            if name not in stats.tables:
+                raise ValueError(f"missing statistics for table {name}")
+        for name in schema.indexes:
+            if name not in stats.indexes:
+                raise ValueError(f"missing statistics for index {name}")
+        self._schema = schema
+        self._stats = stats
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    # ------------------------------------------------------------------
+    # Table accessors
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        return self._schema.table(name)
+
+    def table_stats(self, name: str) -> TableStats:
+        self._schema.table(name)
+        return self._stats.tables[name]
+
+    def row_count(self, table: str) -> int:
+        return self.table_stats(table).row_count
+
+    def n_pages(self, table: str) -> int:
+        return self.table_stats(table).n_pages
+
+    def column_stats(self, table: str, column: str) -> ColumnStats:
+        return self.table_stats(table).column(column)
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._schema.tables)
+
+    # ------------------------------------------------------------------
+    # Index accessors
+    # ------------------------------------------------------------------
+    def index(self, name: str) -> Index:
+        return self._schema.index(name)
+
+    def index_stats(self, name: str) -> IndexStats:
+        self._schema.index(name)
+        return self._stats.indexes[name]
+
+    def indexes_on(self, table: str) -> tuple[Index, ...]:
+        return self._schema.indexes_on(table)
+
+    def indexes_with_leading_column(
+        self, table: str, column: str
+    ) -> tuple[Index, ...]:
+        return self._schema.indexes_with_leading_column(table, column)
+
+    def clustered_index(self, table: str) -> Index | None:
+        for index in self.indexes_on(table):
+            if index.clustered:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def distinct_values(self, table: str, column: str) -> float:
+        """COLCARD with a safe default of the table cardinality."""
+        stats = self.table_stats(table)
+        try:
+            return stats.column(column).n_distinct
+        except KeyError:
+            return float(max(stats.row_count, 1))

@@ -1,0 +1,277 @@
+"""Command-line interface to the experiment harness.
+
+Run via ``python -m repro <command>``:
+
+* ``figure {shared,split,colocated}`` — regenerate Figure 5/6/7;
+* ``census {shared,split,colocated}`` — the Section 8.2 analysis;
+* ``robustness {shared,split,colocated}`` — per-parameter switch
+  thresholds (which storage parameters to monitor);
+* ``expected {shared,split,colocated}`` — Monte-Carlo expected regret
+  under random cost drift;
+* ``diagram QUERY X_DEVICE Y_DEVICE`` — an ASCII plan diagram over two
+  device-cost axes;
+* ``params`` — the Section 7.3 system parameter table;
+* ``validate QUERY`` — black-box estimation + discovery validation.
+
+Every command accepts ``--scale`` (TPC-H scale factor, default 100)
+and ``--queries Q1,Q5,...`` to restrict the workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .catalog import build_tpch_catalog
+from .workloads import build_tpch_queries
+
+__all__ = ["main", "build_parser"]
+
+
+def _workload(args):
+    catalog = build_tpch_catalog(args.scale)
+    queries = build_tpch_queries(catalog)
+    if args.queries:
+        wanted = [name.strip().upper() for name in args.queries.split(",")]
+        unknown = [name for name in wanted if name not in queries]
+        if unknown:
+            raise SystemExit(f"unknown queries: {', '.join(unknown)}")
+        queries = {name: queries[name] for name in wanted}
+    return catalog, queries
+
+
+def _cmd_figure(args) -> int:
+    from .experiments import (
+        DEFAULT_DELTAS,
+        figure_to_csv,
+        format_figure_chart,
+        format_figure_summary,
+        format_figure_table,
+        run_figure,
+    )
+
+    catalog, queries = _workload(args)
+    deltas = DEFAULT_DELTAS
+    if args.deltas:
+        deltas = tuple(float(d) for d in args.deltas.split(","))
+    result = run_figure(
+        args.scenario, catalog=catalog, queries=queries, deltas=deltas
+    )
+    if args.csv:
+        print(figure_to_csv(result), end="")
+        return 0
+    print(format_figure_table(result))
+    print()
+    print(format_figure_summary(result))
+    if args.chart:
+        print()
+        print(format_figure_chart(result, args.chart.split(",")))
+    return 0
+
+
+def _cmd_census(args) -> int:
+    from .experiments import format_census_table, run_usage_analysis
+
+    catalog, queries = _workload(args)
+    result = run_usage_analysis(
+        args.scenario, catalog=catalog, queries=queries
+    )
+    print(format_census_table(result))
+    return 0
+
+
+def _cmd_robustness(args) -> int:
+    from .experiments import format_robustness_table, run_robustness
+
+    catalog, queries = _workload(args)
+    rows = run_robustness(args.scenario, catalog=catalog, queries=queries)
+    print(format_robustness_table(rows))
+    return 0
+
+
+def _cmd_expected(args) -> int:
+    from .experiments import format_expected_table, run_expected_regret
+
+    catalog, queries = _workload(args)
+    rows = run_expected_regret(
+        args.scenario, catalog=catalog, queries=queries,
+        delta=args.delta, n_samples=args.samples,
+    )
+    print(format_expected_table(rows))
+    return 0
+
+
+def _cmd_diagram(args) -> int:
+    from .core.diagram import plan_diagram
+    from .experiments import scenario
+    from .optimizer import DEFAULT_PARAMETERS, candidate_plans
+
+    catalog, queries = _workload(args)
+    name = args.query.upper()
+    if name not in queries:
+        raise SystemExit(f"unknown query {args.query!r}")
+    query = queries[name]
+    config = scenario(args.scenario)
+    layout = config.layout_for(query)
+    region = config.region(layout, args.delta)
+    candidates = candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region
+    )
+    groups = {g.name: g for g in config.groups_for(layout)}
+    for axis in (args.x_device, args.y_device):
+        if axis not in groups:
+            raise SystemExit(
+                f"unknown device {axis!r}; available: "
+                f"{', '.join(sorted(groups))}"
+            )
+    diagram = plan_diagram(
+        candidates.usages,
+        layout.center_costs(),
+        groups[args.x_device],
+        groups[args.y_device],
+        delta=args.delta,
+        resolution=args.resolution,
+        signatures=candidates.signatures,
+    )
+    print(diagram.render())
+    return 0
+
+
+def _cmd_params(args) -> int:
+    from .experiments import format_parameter_table
+    from .optimizer.config import DEFAULT_PARAMETERS
+
+    print(format_parameter_table(DEFAULT_PARAMETERS.as_db2_table()))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .experiments import validate_discovery, validate_estimation
+
+    catalog, queries = _workload(args)
+    name = args.query.upper()
+    if name not in queries:
+        raise SystemExit(f"unknown query {args.query!r}")
+    query = queries[name]
+    estimation = validate_estimation(
+        query, catalog, args.scenario, delta=args.delta
+    )
+    print(
+        f"estimation: {len(estimation.prediction_errors)} plans, "
+        f"worst prediction error "
+        f"{estimation.worst_prediction_error * 100:.4f}% "
+        f"(paper criterion < 1%: "
+        f"{'PASS' if estimation.meets_paper_criterion else 'FAIL'})"
+    )
+    discovery = validate_discovery(
+        query, catalog, args.scenario, delta=args.delta
+    )
+    print(
+        f"discovery:  {len(discovery.found_signatures)}/"
+        f"{len(discovery.true_signatures)} candidate plans found "
+        f"(recall {discovery.recall:.2f}, "
+        f"spurious {len(discovery.spurious)}, "
+        f"{discovery.optimizer_calls} optimizer calls)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Sensitivity of query optimization to storage access "
+            "cost parameters (SIGMOD 2003 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, scenario_positional=True):
+        if scenario_positional:
+            p.add_argument(
+                "scenario", choices=("shared", "split", "colocated")
+            )
+        p.add_argument("--scale", type=float, default=100.0)
+        p.add_argument(
+            "--queries", default="",
+            help="comma-separated subset, e.g. Q3,Q14,Q20",
+        )
+
+    p_figure = sub.add_parser(
+        "figure", help="regenerate Figure 5/6/7 worst-case curves"
+    )
+    common(p_figure)
+    p_figure.add_argument("--deltas", default="",
+                          help="comma-separated error levels")
+    p_figure.add_argument("--csv", action="store_true")
+    p_figure.add_argument(
+        "--chart", default="",
+        help="also draw an ASCII chart of these queries, e.g. Q3,Q20",
+    )
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_census = sub.add_parser(
+        "census", help="Section 8.2 complementarity census"
+    )
+    common(p_census)
+    p_census.set_defaults(func=_cmd_census)
+
+    p_robust = sub.add_parser(
+        "robustness", help="per-parameter plan-switch thresholds"
+    )
+    common(p_robust)
+    p_robust.set_defaults(func=_cmd_robustness)
+
+    p_expected = sub.add_parser(
+        "expected", help="Monte-Carlo expected regret under random drift"
+    )
+    common(p_expected)
+    p_expected.add_argument("--delta", type=float, default=100.0)
+    p_expected.add_argument("--samples", type=int, default=2000)
+    p_expected.set_defaults(func=_cmd_expected)
+
+    p_diagram = sub.add_parser(
+        "diagram", help="ASCII plan diagram over two device axes"
+    )
+    p_diagram.add_argument("query")
+    p_diagram.add_argument("x_device")
+    p_diagram.add_argument("y_device")
+    p_diagram.add_argument(
+        "--scenario", default="split",
+        choices=("shared", "split", "colocated"),
+    )
+    p_diagram.add_argument("--delta", type=float, default=100.0)
+    p_diagram.add_argument("--resolution", type=int, default=32)
+    p_diagram.add_argument("--scale", type=float, default=100.0)
+    p_diagram.add_argument("--queries", default="")
+    p_diagram.set_defaults(func=_cmd_diagram)
+
+    p_params = sub.add_parser(
+        "params", help="the Section 7.3 system parameter table"
+    )
+    p_params.set_defaults(func=_cmd_params)
+
+    p_validate = sub.add_parser(
+        "validate", help="black-box estimation/discovery validation"
+    )
+    p_validate.add_argument("query")
+    p_validate.add_argument(
+        "--scenario", default="shared",
+        choices=("shared", "split", "colocated"),
+    )
+    p_validate.add_argument("--delta", type=float, default=100.0)
+    p_validate.add_argument("--scale", type=float, default=100.0)
+    p_validate.add_argument("--queries", default="")
+    p_validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""The narrow optimizer interface the paper works through (Section 6.1.1).
+
+Commercial optimizers do not expose resource usage vectors; they expose
+just enough to run the paper's algorithms:
+
+* the user can set every resource cost;
+* for a given cost vector the optimizer reports the chosen plan's
+  *identity* (an EXPLAIN-style signature) and its *estimated total
+  cost*.
+
+:class:`BlackBoxOptimizer` is the :class:`typing.Protocol` for that
+contract.  :class:`TabularBlackBox` is a trivial implementation backed
+by an explicit plan list — handy in tests and as the "ideal DB2" against
+which the extraction algorithms are validated.  The real substrate
+implementation lives in :mod:`repro.optimizer.blackbox`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from .costmodel import optimal_plan_index
+from .vectors import CostVector, UsageVector
+
+__all__ = ["PlanChoice", "BlackBoxOptimizer", "TabularBlackBox"]
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """What a narrow optimizer interface reveals for one cost vector."""
+
+    signature: str
+    total_cost: float
+
+
+@runtime_checkable
+class BlackBoxOptimizer(Protocol):
+    """Anything that optimises a fixed query under variable costs."""
+
+    def optimize(self, cost: CostVector) -> PlanChoice:
+        """Return the estimated optimal plan id and its estimated cost."""
+        ...  # pragma: no cover - protocol
+
+
+class TabularBlackBox:
+    """A black box backed by an explicit list of (signature, usage) plans.
+
+    The optimizer behaviour is exact: the reported plan minimises
+    ``U . C`` with deterministic lowest-index tie-breaking, and the
+    reported total cost is the exact dot product.  ``call_count`` tracks
+    how many optimizer invocations an algorithm spent — the budget
+    currency of the discovery experiments.
+
+    An optional ``quantization`` emulates the cost rounding the paper had
+    to work around in DB2 ("to compensate for quantization error within
+    the query optimizer we always used at least m = 2n samples"): the
+    reported total cost is rounded to that relative precision.
+    """
+
+    def __init__(
+        self,
+        plans: Sequence[tuple[str, UsageVector]],
+        quantization: float = 0.0,
+    ) -> None:
+        if not plans:
+            raise ValueError("need at least one plan")
+        signatures = [signature for signature, __ in plans]
+        if len(set(signatures)) != len(signatures):
+            raise ValueError("plan signatures must be unique")
+        self._plans = list(plans)
+        self._quantization = float(quantization)
+        self.call_count = 0
+
+    @property
+    def plans(self) -> list[tuple[str, UsageVector]]:
+        return list(self._plans)
+
+    def usage_of(self, signature: str) -> UsageVector:
+        """Ground-truth usage vector (NOT part of the narrow interface).
+
+        Validation code may call this; extraction algorithms must not.
+        """
+        for candidate_signature, usage in self._plans:
+            if candidate_signature == signature:
+                return usage
+        raise KeyError(signature)
+
+    def optimize(self, cost: CostVector) -> PlanChoice:
+        self.call_count += 1
+        usages = [usage for __, usage in self._plans]
+        index = optimal_plan_index(usages, cost)
+        signature = self._plans[index][0]
+        total = usages[index].dot(cost)
+        if self._quantization > 0.0 and total > 0.0:
+            from math import ceil, log10
+
+            step = self._quantization * 10.0 ** ceil(log10(total))
+            total = round(total / step) * step
+        return PlanChoice(signature=signature, total_cost=total)

@@ -1,0 +1,206 @@
+"""Error bounds on suboptimal plan choices (Sections 5.4 and 5.5).
+
+* **Theorem 1** (general, tight): if every estimated resource cost is
+  within a multiplicative factor ``delta`` of the truth, the relative
+  total cost of any two plans changes by at most ``delta**2`` — so the
+  optimizer's chosen plan is within ``delta**2`` of optimal.
+* **Theorem 2** (non-complementary plans): the relative total cost of
+  plans *a*, *b* is bounded by the extreme ratios
+  ``r_min = min_i a_i/b_i`` and ``r_max = max_i a_i/b_i`` for *any* cost
+  vector — a constant independent of how wrong the estimates are.
+* **Corollary** (Equation 9): with no complementary candidate pairs the
+  chosen plan is within ``max_{a,b} r_max^{a,b}`` of optimal.
+
+All bounds are implemented as plain functions so they can double as
+property-test oracles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .vectors import UsageVector
+
+__all__ = [
+    "theorem1_interval",
+    "theorem1_plan_bound",
+    "ratio_extremes",
+    "theorem2_interval",
+    "corollary_constant_bound",
+    "lemma1_holds",
+]
+
+
+def theorem1_interval(gamma: float, delta: float) -> tuple[float, float]:
+    """Theorem 1: range of ``T_rel`` under estimates off by ``<= delta``.
+
+    If ``T_rel(a, b, C) == gamma`` and every component of ``C_hat`` is
+    within ``[c_i/delta, c_i*delta]``, then ``T_rel(a, b, C_hat)`` lies
+    in ``[gamma/delta**2, gamma*delta**2]``.
+    """
+    if delta < 1.0:
+        raise ValueError("delta must be >= 1")
+    if gamma < 0.0:
+        raise ValueError("relative cost must be >= 0")
+    factor = delta * delta
+    return gamma / factor, gamma * factor
+
+
+def theorem1_plan_bound(delta: float) -> float:
+    """Corollary to Theorem 1: worst GTC of the chosen plan.
+
+    With estimates within a factor ``delta`` of the truth, the chosen
+    plan's global relative cost is at most ``delta**2``.
+    """
+    if delta < 1.0:
+        raise ValueError("delta must be >= 1")
+    return delta * delta
+
+
+def ratio_extremes(
+    usage_a: UsageVector, usage_b: UsageVector, tol: float = 0.0
+) -> tuple[float, float]:
+    """``(r_min, r_max)`` — extreme componentwise ratios ``a_i / b_i``.
+
+    Dimension conventions for zeros (treating ``<= tol`` as zero):
+
+    * both components zero: the dimension is irrelevant and skipped;
+    * ``a_i > 0, b_i == 0``: ``r_max = inf`` (plans are complementary);
+    * ``a_i == 0, b_i > 0``: ``r_min = 0`` (complementary the other way).
+
+    If every dimension is skipped (both plans all-zero) the plans are
+    identical free plans and ``(1.0, 1.0)`` is returned.
+    """
+    usage_a.space.require_same(usage_b.space)
+    a = usage_a.values
+    b = usage_b.values
+    r_min = math.inf
+    r_max = 0.0
+    relevant = False
+    for a_i, b_i in zip(a, b):
+        a_zero = a_i <= tol
+        b_zero = b_i <= tol
+        if a_zero and b_zero:
+            continue
+        relevant = True
+        if b_zero:
+            r_max = math.inf
+            r_min = min(r_min, math.inf)
+        elif a_zero:
+            r_min = 0.0
+            r_max = max(r_max, 0.0)
+        else:
+            ratio = a_i / b_i
+            r_min = min(r_min, ratio)
+            r_max = max(r_max, ratio)
+    if not relevant:
+        return 1.0, 1.0
+    return r_min, r_max
+
+
+def theorem2_interval(
+    usage_a: UsageVector, usage_b: UsageVector, tol: float = 0.0
+) -> tuple[float, float]:
+    """Theorem 2: bounds on ``T_rel(a, b, C)`` valid for every ``C > 0``.
+
+    For non-complementary plans this is a finite interval
+    ``[r_min, r_max]``.  For complementary plans the theorem does not
+    apply and the interval degenerates to ``[0, inf)`` on the
+    complementary side.
+    """
+    return ratio_extremes(usage_a, usage_b, tol=tol)
+
+
+def corollary_constant_bound(
+    usages: Sequence[UsageVector], tol: float = 0.0
+) -> float:
+    """Equation 9: constant GTC bound over a set of candidate plans.
+
+    ``max_{a, b} max(r_min^{a,b}, r_max^{a,b})`` over all ordered pairs
+    of candidate optimal plans.  Because ``r_min^{a,b} = 1/r_max^{b,a}``,
+    scanning ``r_max`` over ordered pairs suffices.  Returns ``inf`` when
+    some pair is complementary (the bound is vacuous then, which is
+    exactly the regime of Figure 6).
+    """
+    bound = 1.0
+    for i, a in enumerate(usages):
+        for j, b in enumerate(usages):
+            if i == j:
+                continue
+            __, r_max = ratio_extremes(a, b, tol=tol)
+            bound = max(bound, r_max)
+            if math.isinf(bound):
+                return math.inf
+    return bound
+
+
+def lemma1_holds(
+    a1: float, b1: float, a2: float, b2: float, c1: float, c2: float
+) -> bool:
+    """Check Lemma 1 on concrete values (used by property tests).
+
+    Preconditions: ``a1, b1, a2, b2 > 0``, ``a2/b2 <= a1/b1``,
+    ``c1, c2 >= 0``.  Then ``(a1*c1 + a2*c2) / (b1*c1 + b2*c2) <= a1/b1``
+    (interpreting 0/0 as satisfying the bound).
+    """
+    if min(a1, b1, a2, b2) <= 0:
+        raise ValueError("a1, b1, a2, b2 must be > 0")
+    if min(c1, c2) < 0:
+        raise ValueError("c1, c2 must be >= 0")
+    if a2 / b2 > a1 / b1:
+        raise ValueError("precondition a2/b2 <= a1/b1 violated")
+    numerator = a1 * c1 + a2 * c2
+    denominator = b1 * c1 + b2 * c2
+    if denominator == 0:
+        return True
+    return numerator / denominator <= a1 / b1 * (1 + 1e-12)
+
+
+def empirical_ratio_range(
+    usage_a: UsageVector,
+    usage_b: UsageVector,
+    costs: Sequence,
+) -> tuple[float, float]:
+    """Observed ``T_rel(a, b, C)`` range over a sample of cost vectors.
+
+    Convenience for tests/benchmarks comparing observed behaviour with
+    the Theorem 2 interval.
+    """
+    ratios = []
+    a = usage_a.values
+    b = usage_b.values
+    for cost in costs:
+        usage_a.space.require_same(cost.space)
+        denominator = float(b @ cost.values)
+        if denominator == 0.0:
+            continue
+        ratios.append(float(a @ cost.values) / denominator)
+    if not ratios:
+        raise ValueError("no usable cost vectors")
+    return min(ratios), max(ratios)
+
+
+def numpy_ratio_extremes(matrix_a: np.ndarray, matrix_b: np.ndarray,
+                         tol: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`ratio_extremes` for batched pair analysis.
+
+    ``matrix_a`` and ``matrix_b`` are ``(m, n)`` arrays of usage rows;
+    the result is a pair of length-``m`` arrays ``(r_min, r_max)``.
+    """
+    a_zero = matrix_a <= tol
+    b_zero = matrix_b <= tol
+    both_zero = a_zero & b_zero
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(b_zero, np.inf, matrix_a / np.where(b_zero, 1.0, matrix_b))
+    ratios = np.where(a_zero & ~b_zero, 0.0, ratios)
+    ratios_min = np.where(both_zero, np.inf, ratios)
+    ratios_max = np.where(both_zero, -np.inf, ratios)
+    r_min = ratios_min.min(axis=1)
+    r_max = ratios_max.max(axis=1)
+    all_irrelevant = both_zero.all(axis=1)
+    r_min = np.where(all_irrelevant, 1.0, r_min)
+    r_max = np.where(all_irrelevant, 1.0, r_max)
+    return r_min, r_max

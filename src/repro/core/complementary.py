@@ -1,0 +1,220 @@
+"""Complementary plans and their classification (Sections 5.5–5.6).
+
+Two plans are **complementary** when one uses a resource the other does
+not touch at all: there is an *i* with ``a_i > 0, b_i == 0`` or vice
+versa.  Complementary candidate pairs are exactly the regime where the
+constant Theorem 2 bound collapses and the quadratic Theorem 1 bound is
+attainable — the mechanism behind the difference between Figures 5
+and 6 of the paper.
+
+Section 5.6 distinguishes three causes, which we recover from the
+*kind* tag of the complementary dimensions:
+
+* ``table`` dimensions  -> **table complementary** (plans touch
+  different numbers of tuples of some table);
+* ``index`` dimensions  -> **access path complementary** (same tuples,
+  different access paths);
+* ``temp`` dimensions   -> **temp complementary** (one plan spills to
+  sorted runs / hash buckets, the other does not).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .bounds import ratio_extremes
+from .resources import ResourceSpace
+from .vectors import UsageVector
+
+__all__ = [
+    "are_complementary",
+    "complementary_dimensions",
+    "classify_pair",
+    "PairAnalysis",
+    "analyze_pair",
+    "ComplementarityCensus",
+    "census",
+]
+
+#: Mapping from resource kind to the paper's complementarity class.
+_KIND_TO_CLASS = {
+    "table": "table",
+    "index": "access-path",
+    "temp": "temp",
+}
+
+
+def complementary_dimensions(
+    usage_a: UsageVector, usage_b: UsageVector, tol: float = 0.0
+) -> tuple[int, ...]:
+    """Dimensions where exactly one of the two plans has nonzero usage."""
+    usage_a.space.require_same(usage_b.space)
+    dims = []
+    for i, (a_i, b_i) in enumerate(zip(usage_a.values, usage_b.values)):
+        if (a_i > tol) != (b_i > tol):
+            dims.append(i)
+    return tuple(dims)
+
+
+def are_complementary(
+    usage_a: UsageVector, usage_b: UsageVector, tol: float = 0.0
+) -> bool:
+    """Section 5.5 definition of complementary query plans."""
+    return bool(complementary_dimensions(usage_a, usage_b, tol))
+
+
+def _touches_subject(
+    usage: UsageVector, subject: str, tol: float
+) -> bool:
+    """Does the plan access table ``subject`` at all (data OR index)?"""
+    space = usage.space
+    for dim, resource in enumerate(space.resources):
+        if resource.subject == subject and resource.kind in ("table", "index"):
+            if usage.values[dim] > tol:
+                return True
+    return False
+
+
+def classify_pair(
+    usage_a: UsageVector,
+    usage_b: UsageVector,
+    tol: float = 0.0,
+) -> frozenset[str]:
+    """Complementarity classes of a pair (Section 5.6).
+
+    Returns a frozenset drawn from ``{"table", "access-path", "temp",
+    "other"}``; empty set = not complementary.  The classes follow the
+    paper's definitions, not raw dimension kinds:
+
+    * **table complementary** — one plan accesses no tuples of some
+      table at all (neither its data nor its index dimensions);
+    * **access path complementary** — both plans access the table's
+      tuples, but through different paths (complementary in a data or
+      index dimension while both touch the table);
+    * **temp complementary** — complementary in a temp dimension
+      (sorted runs / hash spill vs in-memory);
+    * **other** — complementary in a dimension outside those classes
+      (e.g. CPU).
+    """
+    space: ResourceSpace = usage_a.space
+    classes = set()
+    for dim in complementary_dimensions(usage_a, usage_b, tol):
+        resource = space.resources[dim]
+        kind = resource.kind
+        if kind in ("table", "index") and resource.subject is not None:
+            subject = resource.subject
+            both_touch = _touches_subject(
+                usage_a, subject, tol
+            ) and _touches_subject(usage_b, subject, tol)
+            classes.add("access-path" if both_touch else "table")
+        else:
+            classes.add(_KIND_TO_CLASS.get(kind, "other"))
+    return frozenset(classes)
+
+
+@dataclass(frozen=True)
+class PairAnalysis:
+    """Complete complementarity analysis of one pair of plans."""
+
+    index_a: int
+    index_b: int
+    complementary: bool
+    classes: frozenset[str]
+    r_min: float
+    r_max: float
+
+    @property
+    def max_ratio(self) -> float:
+        """The larger of ``r_max`` and ``1/r_min`` (symmetric spread)."""
+        inverse = math.inf if self.r_min == 0 else 1.0 / self.r_min
+        return max(self.r_max, inverse)
+
+    def near_complementary(self, threshold: float = 10.0) -> bool:
+        """Ratio between corresponding elements exceeds ``threshold``.
+
+        Section 8.2 of the paper counts pairs that are complementary *or*
+        have ratios of more than an order of magnitude between
+        corresponding usage elements; ``threshold=10`` reproduces that
+        criterion.
+        """
+        return self.complementary or self.max_ratio > threshold
+
+
+def analyze_pair(
+    index_a: int,
+    index_b: int,
+    usage_a: UsageVector,
+    usage_b: UsageVector,
+    tol: float = 0.0,
+) -> PairAnalysis:
+    """Build a :class:`PairAnalysis` for two plans."""
+    r_min, r_max = ratio_extremes(usage_a, usage_b, tol=tol)
+    classes = classify_pair(usage_a, usage_b, tol=tol)
+    return PairAnalysis(
+        index_a=index_a,
+        index_b=index_b,
+        complementary=bool(classes),
+        classes=classes,
+        r_min=r_min,
+        r_max=r_max,
+    )
+
+
+@dataclass
+class ComplementarityCensus:
+    """Aggregate pair statistics for a set of candidate optimal plans.
+
+    This is the shape of the Section 8.2 results: how many pairs are
+    complementary, of which classes, and how many are merely
+    near-complementary (ratio > 10x).
+    """
+
+    n_plans: int = 0
+    n_pairs: int = 0
+    n_complementary: int = 0
+    n_near_complementary: int = 0
+    class_counts: dict[str, int] = field(default_factory=dict)
+    pairs: list[PairAnalysis] = field(default_factory=list)
+
+    @property
+    def fraction_complementary(self) -> float:
+        return self.n_complementary / self.n_pairs if self.n_pairs else 0.0
+
+    @property
+    def fraction_near_complementary(self) -> float:
+        if not self.n_pairs:
+            return 0.0
+        return self.n_near_complementary / self.n_pairs
+
+    def count(self, cls: str) -> int:
+        return self.class_counts.get(cls, 0)
+
+
+def census(
+    usages: Sequence[UsageVector],
+    tol: float = 0.0,
+    near_threshold: float = 10.0,
+) -> ComplementarityCensus:
+    """Pairwise complementarity census over candidate optimal plans.
+
+    Pairs are unordered; each is analysed once with the lower index as
+    *a*.  ``near_threshold`` controls the near-complementary criterion
+    (see :meth:`PairAnalysis.near_complementary`).
+    """
+    result = ComplementarityCensus(n_plans=len(usages))
+    for i in range(len(usages)):
+        for j in range(i + 1, len(usages)):
+            analysis = analyze_pair(i, j, usages[i], usages[j], tol=tol)
+            result.n_pairs += 1
+            if analysis.complementary:
+                result.n_complementary += 1
+                for cls in analysis.classes:
+                    result.class_counts[cls] = (
+                        result.class_counts.get(cls, 0) + 1
+                    )
+            if analysis.near_complementary(near_threshold):
+                result.n_near_complementary += 1
+            result.pairs.append(analysis)
+    return result

@@ -1,0 +1,138 @@
+"""Plan diagrams: 2-D slices of the cost vector space.
+
+The parametric-query-optimization literature the paper builds on
+visualises optimizer behaviour as *plan diagrams* — colour one cell
+per cost point by the plan that is optimal there.  Regions of
+influence appear as contiguous blobs whose borders are switchover
+curves (straight lines through the origin in our conic geometry, bent
+by the log-log axes).
+
+:func:`plan_diagram` computes such a slice over two variation groups
+(all other dimensions pinned at the center), and
+:meth:`PlanDiagram.render` draws it as ASCII with a legend — useful in
+terminals, docstrings and tests alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .feasible import VariationGroup
+from .vectors import CostVector, UsageVector
+
+__all__ = ["PlanDiagram", "plan_diagram"]
+
+#: Cell glyphs, in plan-index order.
+_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+
+@dataclass
+class PlanDiagram:
+    """A rasterised 2-D slice of the plan space."""
+
+    x_group: str
+    y_group: str
+    x_multipliers: np.ndarray
+    y_multipliers: np.ndarray
+    cells: np.ndarray  # (ny, nx) of plan indices
+    plan_signatures: tuple[str, ...]
+
+    @property
+    def plans_appearing(self) -> tuple[int, ...]:
+        """Plan indices that own at least one cell."""
+        return tuple(int(i) for i in np.unique(self.cells))
+
+    def share(self, plan_index: int) -> float:
+        """Fraction of cells owned by one plan."""
+        return float((self.cells == plan_index).mean())
+
+    def render(self, legend: bool = True, max_signature: int = 60) -> str:
+        """ASCII rendering, y increasing upward, with a legend."""
+        lines = []
+        ny, nx = self.cells.shape
+        appearing = self.plans_appearing
+        glyph_of = {
+            plan: _GLYPHS[rank % len(_GLYPHS)]
+            for rank, plan in enumerate(appearing)
+        }
+        lines.append(
+            f"y: {self.y_group} multiplier "
+            f"[{self.y_multipliers[0]:g} .. {self.y_multipliers[-1]:g}], "
+            f"x: {self.x_group} multiplier "
+            f"[{self.x_multipliers[0]:g} .. {self.x_multipliers[-1]:g}]"
+        )
+        for row in range(ny - 1, -1, -1):
+            lines.append(
+                "".join(glyph_of[int(cell)] for cell in self.cells[row])
+            )
+        if legend:
+            lines.append("")
+            for plan in appearing:
+                signature = self.plan_signatures[plan]
+                lines.append(
+                    f"{glyph_of[plan]} = [{self.share(plan) * 100:5.1f}%] "
+                    f"{signature[:max_signature]}"
+                )
+        return "\n".join(lines)
+
+
+def plan_diagram(
+    usages: Sequence[UsageVector],
+    center: CostVector,
+    x_group: VariationGroup,
+    y_group: VariationGroup,
+    delta: float = 100.0,
+    resolution: int = 32,
+    signatures: Sequence[str] | None = None,
+) -> PlanDiagram:
+    """Compute the optimal plan over a log-spaced 2-D multiplier grid.
+
+    ``x_group`` and ``y_group`` must not overlap.  Each axis sweeps the
+    group's multiplier log-uniformly over ``[1/delta, delta]``;
+    remaining dimensions stay at the center costs.
+    """
+    if delta <= 1.0:
+        raise ValueError("delta must exceed 1 for a non-degenerate slice")
+    if resolution < 2:
+        raise ValueError("resolution must be >= 2")
+    if set(x_group.indices) & set(y_group.indices):
+        raise ValueError("x and y groups overlap")
+    if not usages:
+        raise ValueError("need at least one plan")
+    space = usages[0].space
+    center.space.require_same(space)
+
+    matrix = np.vstack([usage.values for usage in usages])
+    base = center.values
+    multipliers = np.logspace(
+        -np.log10(delta), np.log10(delta), resolution
+    )
+    # Split each plan's center-cost into x-part, y-part, rest.
+    x_mask = np.zeros(space.dimension, dtype=bool)
+    x_mask[list(x_group.indices)] = True
+    y_mask = np.zeros(space.dimension, dtype=bool)
+    y_mask[list(y_group.indices)] = True
+    rest_mask = ~(x_mask | y_mask)
+    x_part = matrix[:, x_mask] @ base[x_mask]          # (m,)
+    y_part = matrix[:, y_mask] @ base[y_mask]
+    rest_part = matrix[:, rest_mask] @ base[rest_mask]
+    # totals[y, x, plan] = rest + x_part*mx + y_part*my
+    totals = (
+        rest_part[None, None, :]
+        + x_part[None, None, :] * multipliers[None, :, None]
+        + y_part[None, None, :] * multipliers[:, None, None]
+    )
+    cells = totals.argmin(axis=2)
+    if signatures is None:
+        signatures = tuple(f"plan-{i}" for i in range(len(usages)))
+    return PlanDiagram(
+        x_group=x_group.name,
+        y_group=y_group.name,
+        x_multipliers=multipliers,
+        y_multipliers=multipliers.copy(),
+        cells=cells,
+        plan_signatures=tuple(signatures),
+    )

@@ -1,0 +1,237 @@
+"""Black-box discovery of candidate optimal plans (Section 6.2.1).
+
+The paper's five-step loop, driven purely through the narrow optimizer
+interface:
+
+1. probe an initial set of cost vectors inside the feasible region;
+2. record which plan the optimizer picks at each;
+3. keep sampling until every discovered plan has enough points for
+4. a least-squares estimate of its usage vector;
+5. check completeness and, if new plans can still hide somewhere, loop.
+
+The completeness check rests on Observation 3 (convexity): *if one plan
+is optimal at every vertex of a convex polytope, it is optimal on the
+whole polytope.*  We exploit it in multiplier space — the axis-aligned
+box of per-group error factors — by recursive subdivision: a sub-box
+whose every vertex elects the same plan is settled; a mixed sub-box is
+split along its longest edge and both halves are re-examined.  The
+recursion terminates either by settling every box (discovery is then
+*exact* up to regions thinner than the resolution limit) or by
+exhausting the optimizer-call budget (the result is then flagged
+incomplete, the honest analogue of the paper only finishing 16 of 22
+queries in the hardest configuration).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .blackbox import BlackBoxOptimizer
+from .estimation import UsageEstimate, estimate_usage_vector
+from .feasible import FeasibleRegion
+from .vectors import CostVector
+
+__all__ = ["DiscoveryResult", "discover_candidate_plans"]
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of a discovery run.
+
+    ``complete`` means the subdivision ran to its resolution limit
+    without exhausting the optimizer-call budget: every plan whose
+    region of influence contains a sub-box wider than the resolution
+    has provably been found (Observation 3).  Plans whose regions are
+    thinner slivers — wedged between switchover planes closer together
+    than the resolution — can still be missed; lower
+    ``min_edge_ratio`` / raise ``max_depth`` to chase them.
+    """
+
+    plans: dict[str, UsageEstimate] = field(default_factory=dict)
+    witnesses: dict[str, CostVector] = field(default_factory=dict)
+    complete: bool = False
+    optimizer_calls: int = 0
+    boxes_examined: int = 0
+    boxes_settled: int = 0
+
+    @property
+    def signatures(self) -> tuple[str, ...]:
+        return tuple(sorted(self.plans))
+
+
+class _Budget:
+    """Shared optimizer-call budget across the discovery phases."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def take(self, amount: int = 1) -> bool:
+        if self.used + amount > self.limit:
+            return False
+        self.used += amount
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.limit
+
+
+def _cost_at(region: FeasibleRegion, multipliers: Sequence[float]) -> CostVector:
+    """Cost vector for per-group multipliers (fixed dims stay put)."""
+    values = region.center.values.copy()
+    for factor, group in zip(multipliers, region.groups):
+        for index in group.indices:
+            values[index] *= factor
+    return CostVector(region.space, values)
+
+
+def _probe(
+    optimizer: BlackBoxOptimizer,
+    region: FeasibleRegion,
+    multipliers: tuple[float, ...],
+    found: dict[str, CostVector],
+    budget: _Budget,
+    cache: dict[tuple[float, ...], str],
+) -> str | None:
+    """Ask the optimizer at one multiplier point; remember new plans."""
+    if multipliers in cache:
+        return cache[multipliers]
+    if not budget.take():
+        return None
+    cost = _cost_at(region, multipliers)
+    choice = optimizer.optimize(cost)
+    cache[multipliers] = choice.signature
+    found.setdefault(choice.signature, cost)
+    return choice.signature
+
+
+def discover_candidate_plans(
+    optimizer: BlackBoxOptimizer,
+    region: FeasibleRegion,
+    max_optimizer_calls: int = 20000,
+    max_depth: int = 8,
+    min_edge_ratio: float = 1.05,
+    rng: np.random.Generator | None = None,
+    n_random_probes: int = 32,
+    estimate_usages: bool = True,
+) -> DiscoveryResult:
+    """Run the Section 6.2.1 loop against a black-box optimizer.
+
+    Parameters
+    ----------
+    max_optimizer_calls:
+        Total optimizer-invocation budget (probing + usage sampling).
+    max_depth:
+        Maximum subdivision depth of the multiplier box.
+    min_edge_ratio:
+        Sub-boxes whose every edge spans less than this multiplicative
+        ratio are settled without further splitting (resolution limit).
+    n_random_probes:
+        Extra random interior probes seeding step 1 (vertices of thin
+        regions of influence are easy to miss from box corners alone).
+    estimate_usages:
+        Run the Section 6.1.1 least-squares estimation for each
+        discovered plan (costs extra optimizer calls).
+    """
+    rng = rng or np.random.default_rng(0)
+    budget = _Budget(max_optimizer_calls)
+    result = DiscoveryResult()
+    found: dict[str, CostVector] = {}
+    cache: dict[tuple[float, ...], str] = {}
+    g = len(region.groups)
+    delta = region.delta
+
+    # --- Step 1-2: initial probes -------------------------------------
+    center_multipliers = tuple([1.0] * g)
+    _probe(optimizer, region, center_multipliers, found, budget, cache)
+    for point in rng.uniform(-1.0, 1.0, size=(n_random_probes, g)):
+        multipliers = tuple(float(delta ** exponent) for exponent in point)
+        _probe(optimizer, region, multipliers, found, budget, cache)
+        if budget.exhausted:
+            break
+
+    # --- Step 5 driver: recursive Observation-3 subdivision ------------
+    # Boxes are (lo, hi) multiplier tuples.  A box whose 2**g vertices
+    # all elect the same plan is optimal for that plan throughout
+    # (corollary to Observation 3) and is settled.
+    root = (tuple([1.0 / delta] * g), tuple([delta] * g))
+    stack: list[tuple[tuple[float, ...], tuple[float, ...], int]] = [
+        (*root, 0)
+    ]
+    settled_everything = True
+    while stack:
+        lo, hi, depth = stack.pop()
+        result.boxes_examined += 1
+        vertex_plans = set()
+        aborted = False
+        for corner in itertools.product(*zip(lo, hi)):
+            signature = _probe(optimizer, region, corner, found, budget, cache)
+            if signature is None:  # budget exhausted
+                aborted = True
+                break
+            vertex_plans.add(signature)
+        if aborted:
+            settled_everything = False
+            break
+        if len(vertex_plans) == 1:
+            result.boxes_settled += 1
+            continue
+        edge_ratios = [h / l for l, h in zip(lo, hi)]
+        widest = int(np.argmax(edge_ratios))
+        if depth >= max_depth or edge_ratios[widest] <= min_edge_ratio:
+            # Resolution limit: several plans meet inside this box but
+            # the box is already tiny.  Probe its center once more and
+            # accept the remaining uncertainty.
+            center = tuple(
+                float(np.sqrt(l * h)) for l, h in zip(lo, hi)
+            )
+            _probe(optimizer, region, center, found, budget, cache)
+            result.boxes_settled += 1
+            continue
+        split = float(np.sqrt(lo[widest] * hi[widest]))  # log-midpoint
+        lo_list, hi_list = list(lo), list(hi)
+        hi_left = hi_list.copy()
+        hi_left[widest] = split
+        lo_right = lo_list.copy()
+        lo_right[widest] = split
+        stack.append((tuple(lo_list), tuple(hi_left), depth + 1))
+        stack.append((tuple(lo_right), tuple(hi_list), depth + 1))
+
+    result.witnesses = dict(found)
+    result.complete = settled_everything and not budget.exhausted
+
+    # --- Steps 3-4: usage-vector estimation per plan -------------------
+    if estimate_usages:
+        for signature, witness in found.items():
+            if budget.exhausted:
+                result.complete = False
+                break
+            remaining = budget.limit - budget.used
+            try:
+                estimate = estimate_usage_vector(
+                    optimizer,
+                    signature,
+                    witness,
+                    region,
+                    rng=rng,
+                )
+            except (RuntimeError, ValueError):
+                # Degenerate region of influence: not enough distinct
+                # sample points.  Record the witness without a usage
+                # estimate by skipping; discovery is then incomplete.
+                result.complete = False
+                continue
+            spent = estimate.optimizer_calls
+            if spent > remaining:
+                budget.used = budget.limit
+            else:
+                budget.used += spent
+            result.plans[signature] = estimate
+
+    result.optimizer_calls = budget.used
+    return result

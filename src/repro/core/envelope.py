@@ -1,0 +1,152 @@
+"""One-dimensional parametric analysis: the optimal-plan envelope.
+
+Along a ray that scales one variation group's costs by ``m`` (holding
+everything else at the center), every plan's total cost is an affine
+function ``T_i(m) = a_i + b_i * m``.  The optimal plan as a function of
+``m`` is therefore the *lower envelope* of a set of lines — the
+classic parametric-query-optimization picture in one dimension.
+
+:func:`lower_envelope` computes that envelope exactly over a
+multiplier interval: the ordered sequence of optimal plans and the
+breakpoints (switchover multipliers) between them.  This generalises
+:mod:`repro.core.switching`, which reports only the first breakpoint
+on either side of ``m = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .feasible import VariationGroup
+from .vectors import CostVector, UsageVector
+
+__all__ = ["EnvelopePiece", "PlanEnvelope", "lower_envelope"]
+
+
+@dataclass(frozen=True)
+class EnvelopePiece:
+    """One maximal interval of the envelope owned by a single plan."""
+
+    plan_index: int
+    m_low: float
+    m_high: float
+
+    def contains(self, m: float) -> bool:
+        return self.m_low <= m <= self.m_high
+
+    @property
+    def width_ratio(self) -> float:
+        """Multiplicative width of the interval."""
+        return self.m_high / self.m_low
+
+
+@dataclass(frozen=True)
+class PlanEnvelope:
+    """The full lower envelope over a multiplier interval."""
+
+    group: str
+    pieces: tuple[EnvelopePiece, ...]
+
+    @property
+    def plan_sequence(self) -> tuple[int, ...]:
+        return tuple(piece.plan_index for piece in self.pieces)
+
+    @property
+    def breakpoints(self) -> tuple[float, ...]:
+        """The interior switchover multipliers."""
+        return tuple(piece.m_low for piece in self.pieces[1:])
+
+    def plan_at(self, m: float) -> int:
+        """Optimal plan index at multiplier ``m``."""
+        for piece in self.pieces:
+            if piece.contains(m):
+                return piece.plan_index
+        raise ValueError(
+            f"multiplier {m} outside the envelope range "
+            f"[{self.pieces[0].m_low}, {self.pieces[-1].m_high}]"
+        )
+
+    def __len__(self) -> int:
+        return len(self.pieces)
+
+
+def _affine(usages, center, group):
+    matrix = np.vstack([usage.values for usage in usages])
+    values = center.values
+    mask = np.zeros(len(values), dtype=bool)
+    mask[list(group.indices)] = True
+    slopes = matrix[:, mask] @ values[mask]
+    intercepts = matrix[:, ~mask] @ values[~mask]
+    return intercepts, slopes
+
+
+def lower_envelope(
+    usages: Sequence[UsageVector],
+    center: CostVector,
+    group: VariationGroup,
+    m_low: float,
+    m_high: float,
+    rel_tol: float = 1e-12,
+) -> PlanEnvelope:
+    """Exact lower envelope of plan costs along a one-group ray.
+
+    Sweep construction: start with the argmin at ``m_low``; from the
+    current plan, find the nearest crossing to the right where another
+    plan strictly takes over; repeat.  Each step is O(plans), the
+    envelope has at most ``len(usages)`` pieces (affine functions), so
+    the sweep terminates.  Ties resolve toward the lower plan index,
+    matching the deterministic black-box optimizer.
+    """
+    if not usages:
+        raise ValueError("need at least one plan")
+    if not 0 < m_low < m_high:
+        raise ValueError("need 0 < m_low < m_high")
+    intercepts, slopes = _affine(usages, center, group)
+
+    def argmin_at(m: float) -> int:
+        totals = intercepts + slopes * m
+        best = totals.min()
+        # Lowest index within relative tolerance of the minimum.
+        for index, total in enumerate(totals):
+            if total <= best * (1 + 1e-12):
+                return index
+        return int(np.argmin(totals))  # pragma: no cover
+
+    pieces: list[EnvelopePiece] = []
+    current = argmin_at(m_low)
+    position = m_low
+    guard = 0
+    while position < m_high and guard <= len(usages) + 2:
+        guard += 1
+        # Nearest crossing beyond ``position`` where a rival with a
+        # smaller slope-side advantage overtakes the current plan.
+        next_cross = m_high
+        next_plan = None
+        for j in range(len(usages)):
+            if j == current:
+                continue
+            db = slopes[j] - slopes[current]
+            da = intercepts[current] - intercepts[j]
+            if db >= 0 or abs(db) <= rel_tol * max(
+                abs(slopes[j]), abs(slopes[current]), 1.0
+            ):
+                continue  # rival never overtakes as m grows
+            crossing = da / db
+            if crossing <= position * (1 + rel_tol):
+                continue
+            if crossing < next_cross:
+                next_cross = crossing
+                next_plan = j
+        end = min(next_cross, m_high)
+        pieces.append(EnvelopePiece(current, position, end))
+        if next_plan is None or end >= m_high:
+            break
+        current = next_plan
+        position = end
+    if guard > len(usages) + 2:  # pragma: no cover - safety net
+        raise RuntimeError("envelope sweep failed to terminate")
+    return PlanEnvelope(group=group.name, pieces=tuple(pieces))

@@ -1,0 +1,246 @@
+"""The feasible cost region (Section 3.3) and its vertex structure.
+
+The paper bounds the optimizer's error by assuming the *true* resource
+cost vector lies in a finite region around the *estimated* one.  In the
+experiments (Section 6.1) that region is the box obtained by letting
+each resource cost ``c_i`` vary multiplicatively between ``c_i / delta``
+and ``c_i * delta``.
+
+Two refinements from the paper are supported:
+
+* **Fixed dimensions** — costs the sweep does not vary (none by default).
+* **Variation groups** — several dimensions sharing a single multiplier.
+  Section 8.1.2 keeps each disk's seek and transfer parameters "in a
+  fixed ratio to reduce the running time of the experiment"; that is a
+  two-dimension variation group.
+
+By Observation 2, the worst-case global relative cost over the region is
+attained at one of its vertices, so the class exposes both streaming
+(:meth:`vertices`) and vectorised, chunked (:meth:`vertex_batches`)
+vertex enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .resources import ResourceSpace
+from .vectors import CostVector
+
+__all__ = ["VariationGroup", "FeasibleRegion"]
+
+
+@dataclass(frozen=True)
+class VariationGroup:
+    """A set of dimensions that share one multiplicative error factor."""
+
+    name: str
+    indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.indices:
+            raise ValueError("variation group must cover >= 1 dimension")
+        if len(set(self.indices)) != len(self.indices):
+            raise ValueError("variation group has duplicate indices")
+
+
+def _default_groups(space: ResourceSpace) -> tuple[VariationGroup, ...]:
+    return tuple(
+        VariationGroup(name, (i,)) for i, name in enumerate(space.names)
+    )
+
+
+class FeasibleRegion:
+    """The box ``{C : center_i/delta <= C_i <= center_i * delta}``.
+
+    Parameters
+    ----------
+    center:
+        The optimizer's estimated cost vector ``C_0``.
+    delta:
+        Maximum multiplicative error, ``>= 1``.
+    groups:
+        Variation groups.  Defaults to one group per dimension (fully
+        independent variation).  Dimensions covered by no group are held
+        fixed at their center value.
+    """
+
+    def __init__(
+        self,
+        center: CostVector,
+        delta: float,
+        groups: Sequence[VariationGroup] | None = None,
+    ) -> None:
+        if delta < 1.0:
+            raise ValueError("delta must be >= 1 (got %r)" % delta)
+        space = center.space
+        if groups is None:
+            groups = _default_groups(space)
+        covered: set[int] = set()
+        for group in groups:
+            for index in group.indices:
+                if not 0 <= index < space.dimension:
+                    raise ValueError(
+                        f"group {group.name!r} index {index} out of range"
+                    )
+                if index in covered:
+                    raise ValueError(
+                        f"dimension {index} appears in multiple groups"
+                    )
+                covered.add(index)
+        self._center = center
+        self._delta = float(delta)
+        self._groups = tuple(groups)
+        self._fixed = tuple(
+            i for i in range(space.dimension) if i not in covered
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> ResourceSpace:
+        return self._center.space
+
+    @property
+    def center(self) -> CostVector:
+        return self._center
+
+    @property
+    def delta(self) -> float:
+        return self._delta
+
+    @property
+    def groups(self) -> tuple[VariationGroup, ...]:
+        return self._groups
+
+    @property
+    def fixed_dimensions(self) -> tuple[int, ...]:
+        """Dimensions held at their center value."""
+        return self._fixed
+
+    @property
+    def n_vertices(self) -> int:
+        """``2 ** g`` where ``g`` is the number of variation groups."""
+        return 1 << len(self._groups)
+
+    def with_delta(self, delta: float) -> "FeasibleRegion":
+        """Same center and groups, different error bound."""
+        return FeasibleRegion(self._center, delta, self._groups)
+
+    # ------------------------------------------------------------------
+    # Box bounds
+    # ------------------------------------------------------------------
+    def lower(self) -> np.ndarray:
+        """Componentwise lower corner of the box."""
+        lo = self._center.values.copy()
+        for group in self._groups:
+            for index in group.indices:
+                lo[index] /= self._delta
+        return lo
+
+    def upper(self) -> np.ndarray:
+        """Componentwise upper corner of the box."""
+        hi = self._center.values.copy()
+        for group in self._groups:
+            for index in group.indices:
+                hi[index] *= self._delta
+        return hi
+
+    def contains(self, cost: CostVector, rel_tol: float = 1e-12) -> bool:
+        """True if ``cost`` lies in the region (with relative slack).
+
+        Grouped dimensions must also share (approximately) the same
+        multiplier, because a variation group models a *single* error
+        factor.
+        """
+        self.space.require_same(cost.space)
+        values = cost.values
+        lo = self.lower() * (1 - rel_tol)
+        hi = self.upper() * (1 + rel_tol)
+        if not (np.all(values >= lo) and np.all(values <= hi)):
+            return False
+        center = self._center.values
+        for index in self._fixed:
+            if not np.isclose(values[index], center[index], rtol=rel_tol):
+                return False
+        for group in self._groups:
+            multipliers = values[list(group.indices)] / center[
+                list(group.indices)
+            ]
+            if not np.allclose(multipliers, multipliers[0],
+                               rtol=max(rel_tol, 1e-9)):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+    def vertex(self, vertex_id: int) -> CostVector:
+        """Vertex where group *k* is at ``delta`` iff bit *k* is set."""
+        if not 0 <= vertex_id < self.n_vertices:
+            raise ValueError("vertex id out of range")
+        values = self._center.values.copy()
+        for bit, group in enumerate(self._groups):
+            factor = self._delta if (vertex_id >> bit) & 1 else 1.0 / self._delta
+            for index in group.indices:
+                values[index] *= factor
+        return CostVector(self.space, values)
+
+    def vertices(self) -> Iterator[CostVector]:
+        """All ``2**g`` vertices.  Prefer :meth:`vertex_batches` in bulk."""
+        for vertex_id in range(self.n_vertices):
+            yield self.vertex(vertex_id)
+
+    def vertex_batches(
+        self, batch_size: int = 4096
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(vertex_ids, cost_matrix)`` chunks.
+
+        ``cost_matrix`` has one vertex per row and the full space
+        dimension in columns — ready for ``matrix @ usage.T`` sweeps.
+        """
+        g = len(self._groups)
+        center = self._center.values
+        # Per-group incidence: group_map[k, j] == 1 iff dim j in group k.
+        group_map = np.zeros((g, self.space.dimension))
+        for k, group in enumerate(self._groups):
+            group_map[k, list(group.indices)] = 1.0
+        log_delta = np.log(self._delta) if self._delta > 1.0 else 0.0
+        for start in range(0, self.n_vertices, batch_size):
+            ids = np.arange(start, min(start + batch_size, self.n_vertices))
+            bits = (ids[:, None] >> np.arange(g)[None, :]) & 1
+            signs = 2.0 * bits - 1.0  # -1 -> 1/delta, +1 -> delta
+            log_mult = (signs * log_delta) @ group_map
+            yield ids, center[None, :] * np.exp(log_mult)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(
+        self, rng: np.random.Generator, count: int = 1
+    ) -> list[CostVector]:
+        """Log-uniform random cost vectors from the region.
+
+        Multipliers are drawn log-uniformly in ``[1/delta, delta]`` per
+        variation group, matching the multiplicative error model.
+        """
+        results = []
+        g = len(self._groups)
+        for _ in range(count):
+            values = self._center.values.copy()
+            if self._delta > 1.0 and g:
+                exponents = rng.uniform(-1.0, 1.0, size=g)
+                for exponent, group in zip(exponents, self._groups):
+                    factor = self._delta ** exponent
+                    for index in group.indices:
+                        values[index] *= factor
+            results.append(CostVector(self.space, values))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FeasibleRegion(delta={self._delta}, groups="
+            f"{[g.name for g in self._groups]}, fixed={self._fixed})"
+        )

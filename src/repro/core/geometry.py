@@ -1,0 +1,143 @@
+"""Equicost lines, switchover planes and half-spaces (Sections 4.1–4.3).
+
+For two plans with usage vectors ``A`` and ``B`` the *switchover plane*
+is the hyperplane through the origin with normal ``A - B``::
+
+    Switchover(A, B) = { C : (A - B) . C = 0 }
+
+On one side (the *A-dominated half-space*, ``(A - B) . C > 0``) plan *a*
+is the more expensive of the two; on the other side plan *b* is.  The
+plane itself is where the two plans cost exactly the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .lp import feasible_point
+from .vectors import CostVector, UsageVector
+
+__all__ = [
+    "Side",
+    "switchover_normal",
+    "SwitchoverPlane",
+    "equicost_value",
+    "on_same_equicost_line",
+    "switchover_point_in_box",
+]
+
+
+class Side:
+    """Which half-space a cost vector falls in, relative to a plane."""
+
+    A_DOMINATED = "a-dominated"  # plan a is MORE expensive here
+    B_DOMINATED = "b-dominated"  # plan b is MORE expensive here
+    ON_PLANE = "on-plane"
+
+
+def switchover_normal(usage_a: UsageVector, usage_b: UsageVector) -> np.ndarray:
+    """The normal ``A - B`` of the switchover plane of two plans."""
+    return usage_a - usage_b
+
+
+@dataclass(frozen=True)
+class SwitchoverPlane:
+    """The switchover plane of two plans (Section 4.2).
+
+    Degenerate case: if ``A == B`` the "plane" is all of space; the
+    constructor rejects that because every cost vector would be "on" it
+    and the half-space classification would be meaningless.
+    """
+
+    usage_a: UsageVector
+    usage_b: UsageVector
+
+    def __post_init__(self) -> None:
+        self.usage_a.space.require_same(self.usage_b.space)
+        if np.array_equal(self.usage_a.values, self.usage_b.values):
+            raise ValueError(
+                "plans with identical usage vectors have no switchover plane"
+            )
+
+    @property
+    def normal(self) -> np.ndarray:
+        return switchover_normal(self.usage_a, self.usage_b)
+
+    def signed_margin(self, cost: CostVector) -> float:
+        """``(A - B) . C``: positive means *a* is more expensive."""
+        self.usage_a.space.require_same(cost.space)
+        return float(self.normal @ cost.values)
+
+    def contains(self, cost: CostVector, rel_tol: float = 1e-9) -> bool:
+        """True if ``cost`` lies on the plane (relative tolerance).
+
+        The tolerance is scaled by the magnitude of the two total costs
+        so the test is invariant under Observation 1 scaling.
+        """
+        margin = self.signed_margin(cost)
+        scale = max(self.usage_a.dot(cost), self.usage_b.dot(cost), 1e-300)
+        return abs(margin) <= rel_tol * scale
+
+    def side(self, cost: CostVector, rel_tol: float = 1e-9) -> str:
+        """Classify ``cost`` into a half-space (Section 4.3)."""
+        if self.contains(cost, rel_tol):
+            return Side.ON_PLANE
+        if self.signed_margin(cost) > 0:
+            return Side.A_DOMINATED
+        return Side.B_DOMINATED
+
+
+def equicost_value(usage: UsageVector, cost: CostVector) -> float:
+    """The total cost identifying the equicost line through ``usage``.
+
+    Section 4.1: all usage vectors ``U'`` with ``U' . C`` equal to this
+    value lie on the same equicost line (hyperplane orthogonal to ``C``).
+    """
+    return usage.dot(cost)
+
+
+def on_same_equicost_line(
+    usage_a: UsageVector,
+    usage_b: UsageVector,
+    cost: CostVector,
+    rel_tol: float = 1e-9,
+) -> bool:
+    """True if the two usage vectors cost the same under ``cost``."""
+    total_a = usage_a.dot(cost)
+    total_b = usage_b.dot(cost)
+    scale = max(abs(total_a), abs(total_b), 1e-300)
+    return abs(total_a - total_b) <= rel_tol * scale
+
+
+def switchover_point_in_box(
+    usage_a: UsageVector,
+    usage_b: UsageVector,
+    lower: Sequence[float],
+    upper: Sequence[float],
+    others: Sequence[UsageVector] = (),
+    exact: bool = False,
+) -> CostVector | None:
+    """A cost vector in ``[lower, upper]`` where plans *a* and *b* tie.
+
+    If ``others`` is given, the point must additionally make *a* (and
+    hence *b*) no more expensive than every other plan — i.e. it lies on
+    the shared facet of the two plans' regions of influence.  Returns
+    ``None`` when no such point exists.  Used by the black-box discovery
+    algorithm to probe switchover boundaries for undiscovered plans.
+    """
+    space = usage_a.space
+    space.require_same(usage_b.space)
+    normal = switchover_normal(usage_a, usage_b)
+    rows: list[list[float]] = [normal.tolist(), (-normal).tolist()]
+    rhs: list[float] = [0.0, 0.0]
+    for other in others:
+        space.require_same(other.space)
+        rows.append((other - usage_a).tolist())
+        rhs.append(0.0)
+    point = feasible_point(rows, rhs, list(lower), list(upper), exact=exact)
+    if point is None:
+        return None
+    return CostVector(space, [float(v) for v in point])

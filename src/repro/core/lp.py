@@ -1,0 +1,386 @@
+"""Linear programming support for the geometric analyses.
+
+The candidate-optimality test of Section 4.4 ("does there exist a
+feasible cost vector under which plan *a* is no more expensive than any
+other plan?") is an LP feasibility question.  Floating-point LP solvers
+can mis-classify plans whose regions of influence are extremely thin, so
+this module provides two interchangeable backends:
+
+* :func:`solve_lp_exact` — a two-phase primal simplex over
+  :class:`fractions.Fraction`, immune to rounding (Bland's rule, so it
+  always terminates).
+* :func:`solve_lp_scipy` — a thin wrapper over
+  :func:`scipy.optimize.linprog` (HiGHS), much faster for large
+  instances.
+
+Both solve the same canonical form::
+
+    maximize    c . x
+    subject to  A x <= b,   x >= 0
+
+and the convenience helpers (:func:`feasible_point`,
+:func:`max_min_slack`) reduce the geometric questions to that form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "LPResult",
+    "LPStatus",
+    "solve_lp_exact",
+    "solve_lp_scipy",
+    "feasible_point",
+    "max_min_slack",
+]
+
+
+class LPStatus:
+    """Status constants for :class:`LPResult`."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of an LP solve.
+
+    ``x`` and ``objective`` are ``None`` unless ``status`` is
+    ``optimal``.  Exact solves return :class:`~fractions.Fraction`
+    components; the scipy path returns floats.
+    """
+
+    status: str
+    x: tuple | None = None
+    objective: object | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == LPStatus.OPTIMAL
+
+
+def _to_fractions(values: Sequence) -> list[Fraction]:
+    return [Fraction(v) if not isinstance(v, Fraction) else v for v in values]
+
+
+class _Tableau:
+    """Dense simplex tableau over Fractions.
+
+    Layout: ``rows`` is a list of ``m`` constraint rows, each of length
+    ``n_total + 1`` (coefficients then RHS).  ``objective`` has length
+    ``n_total + 1`` and stores the *negated* reduced costs so that a
+    pivot loop can maximise by searching for positive entries.
+    """
+
+    def __init__(self, rows: list[list[Fraction]], objective: list[Fraction],
+                 basis: list[int]) -> None:
+        self.rows = rows
+        self.objective = objective
+        self.basis = basis
+
+    @property
+    def n_total(self) -> int:
+        return len(self.objective) - 1
+
+    def pivot(self, row: int, col: int) -> None:
+        """Pivot the tableau around ``rows[row][col]``."""
+        pivot_row = self.rows[row]
+        pivot_value = pivot_row[col]
+        inv = Fraction(1) / pivot_value
+        self.rows[row] = [value * inv for value in pivot_row]
+        pivot_row = self.rows[row]
+        for i, other in enumerate(self.rows):
+            if i == row:
+                continue
+            factor = other[col]
+            if factor:
+                self.rows[i] = [
+                    o - factor * p for o, p in zip(other, pivot_row)
+                ]
+        factor = self.objective[col]
+        if factor:
+            self.objective = [
+                o - factor * p for o, p in zip(self.objective, pivot_row)
+            ]
+        self.basis[row] = col
+
+    def run(self, allowed: set[int]) -> str:
+        """Run Bland's-rule simplex until optimal or unbounded.
+
+        ``allowed`` restricts which columns may enter the basis (used to
+        keep artificial variables out during phase 2).
+        """
+        while True:
+            enter = None
+            for col in range(self.n_total):
+                if col in allowed and self.objective[col] > 0:
+                    enter = col
+                    break
+            if enter is None:
+                return LPStatus.OPTIMAL
+            leave = None
+            best_ratio = None
+            for i, row in enumerate(self.rows):
+                coeff = row[enter]
+                if coeff > 0:
+                    ratio = row[-1] / coeff
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio
+                        or (ratio == best_ratio
+                            and self.basis[i] < self.basis[leave])
+                    ):
+                        best_ratio = ratio
+                        leave = i
+            if leave is None:
+                return LPStatus.UNBOUNDED
+            self.pivot(leave, enter)
+
+
+def solve_lp_exact(
+    c: Sequence, a_ub: Sequence[Sequence], b_ub: Sequence
+) -> LPResult:
+    """Solve ``max c.x  s.t.  A x <= b, x >= 0`` exactly.
+
+    All inputs are converted to :class:`~fractions.Fraction`; floats are
+    converted exactly (via their binary expansion), so callers who care
+    about specific rationals should pass Fractions or ints.
+    """
+    c = _to_fractions(c)
+    b = _to_fractions(b_ub)
+    a = [_to_fractions(row) for row in a_ub]
+    n = len(c)
+    m = len(a)
+    for row in a:
+        if len(row) != n:
+            raise ValueError("constraint matrix width does not match c")
+    if len(b) != m:
+        raise ValueError("b length does not match number of constraints")
+
+    # Build rows with slack variables; flip rows with negative RHS and
+    # add artificial variables for them.
+    needs_artificial = [b_i < 0 for b_i in b]
+    n_art = sum(needs_artificial)
+    n_total = n + m + n_art
+    rows: list[list[Fraction]] = []
+    basis: list[int] = []
+    art_col = n + m
+    zero = Fraction(0)
+    for i in range(m):
+        row = [zero] * (n_total + 1)
+        sign = Fraction(-1) if needs_artificial[i] else Fraction(1)
+        for j in range(n):
+            row[j] = sign * a[i][j]
+        row[n + i] = sign  # slack
+        row[-1] = sign * b[i]
+        if needs_artificial[i]:
+            row[art_col] = Fraction(1)
+            basis.append(art_col)
+            art_col += 1
+        else:
+            basis.append(n + i)
+        rows.append(row)
+
+    if n_art:
+        # Phase 1: maximize -(sum of artificials).
+        objective = [zero] * (n_total + 1)
+        for col in range(n + m, n_total):
+            objective[col] = Fraction(-1)
+        tableau = _Tableau(rows, objective, basis)
+        # Price out the artificial basis columns.
+        for i, col in enumerate(tableau.basis):
+            if col >= n + m:
+                factor = tableau.objective[col]
+                if factor:
+                    tableau.objective = [
+                        o - factor * r
+                        for o, r in zip(tableau.objective, tableau.rows[i])
+                    ]
+        status = tableau.run(set(range(n_total)))
+        if status != LPStatus.OPTIMAL or tableau.objective[-1] != 0:
+            return LPResult(LPStatus.INFEASIBLE)
+        # Drive any artificial variables out of the basis.
+        for i, col in enumerate(list(tableau.basis)):
+            if col >= n + m:
+                pivot_col = next(
+                    (
+                        j
+                        for j in range(n + m)
+                        if tableau.rows[i][j] != 0
+                    ),
+                    None,
+                )
+                if pivot_col is not None:
+                    tableau.pivot(i, pivot_col)
+        rows = tableau.rows
+        basis = tableau.basis
+
+    # Phase 2 objective (negated reduced costs for maximisation).
+    objective = [zero] * (n_total + 1)
+    for j in range(n):
+        objective[j] = c[j]
+    tableau = _Tableau(rows, objective, basis)
+    for i, col in enumerate(tableau.basis):
+        factor = tableau.objective[col]
+        if factor:
+            tableau.objective = [
+                o - factor * r
+                for o, r in zip(tableau.objective, tableau.rows[i])
+            ]
+    allowed = set(range(n + m))  # artificials may not re-enter
+    status = tableau.run(allowed)
+    if status == LPStatus.UNBOUNDED:
+        return LPResult(LPStatus.UNBOUNDED)
+    x = [zero] * n
+    for i, col in enumerate(tableau.basis):
+        if col < n:
+            x[col] = tableau.rows[i][-1]
+    objective_value = -tableau.objective[-1]
+    # ``objective[-1]`` holds -(current objective) after pricing out.
+    return LPResult(LPStatus.OPTIMAL, tuple(x), objective_value)
+
+
+def solve_lp_scipy(
+    c: Sequence, a_ub: Sequence[Sequence], b_ub: Sequence
+) -> LPResult:
+    """Same canonical form as :func:`solve_lp_exact`, via HiGHS."""
+    from scipy.optimize import linprog
+
+    c = np.asarray(c, dtype=float)
+    a_matrix = np.asarray(a_ub, dtype=float)
+    b_vector = np.asarray(b_ub, dtype=float)
+    bounds = [(0, None)] * len(c)
+    result = linprog(
+        -c, A_ub=a_matrix, b_ub=b_vector, bounds=bounds, method="highs"
+    )
+    if result.status == 4:
+        # HiGHS presolve reports "infeasible OR unbounded" without
+        # deciding which; disambiguate with presolve off.
+        result = linprog(
+            -c,
+            A_ub=a_matrix,
+            b_ub=b_vector,
+            bounds=bounds,
+            method="highs",
+            options={"presolve": False},
+        )
+    if result.status == 2:
+        # HiGHS occasionally labels unbounded primals "infeasible"
+        # (dual infeasibility detected in presolve).  A zero-objective
+        # solve settles feasibility for real.
+        feasibility = linprog(
+            np.zeros_like(c),
+            A_ub=a_matrix,
+            b_ub=b_vector,
+            bounds=bounds,
+            method="highs",
+        )
+        if feasibility.success:
+            return LPResult(LPStatus.UNBOUNDED)
+        return LPResult(LPStatus.INFEASIBLE)
+    if result.status == 3:
+        return LPResult(LPStatus.UNBOUNDED)
+    if not result.success:  # pragma: no cover - numerical corner
+        return LPResult(LPStatus.INFEASIBLE)
+    return LPResult(
+        LPStatus.OPTIMAL, tuple(result.x.tolist()), float(-result.fun)
+    )
+
+
+def max_min_slack(
+    a_ge: Sequence[Sequence],
+    b_ge: Sequence,
+    lo: Sequence,
+    hi: Sequence,
+    exact: bool = False,
+) -> LPResult:
+    """Maximise the minimum slack of ``A x >= b`` over the box ``[lo, hi]``.
+
+    Solves ``max s  s.t.  A x - s >= b, lo <= x <= hi, s <= 1`` after
+    normalising every constraint row by its largest coefficient (query
+    cost vectors span many orders of magnitude, which otherwise breaks
+    the float solver's tolerances; normalisation leaves the feasible
+    set for ``x`` unchanged).  The cap on ``s`` keeps the LP bounded.
+    A non-negative optimal ``s`` means the system is feasible; a
+    strictly positive one means feasible with margin (a
+    full-dimensional region of influence).  The slack is a *normalised*
+    margin, comparable across constraints.
+
+    The returned ``x`` excludes the slack variable; ``objective`` is the
+    optimal slack.
+    """
+    n = len(lo)
+    if len(hi) != n:
+        raise ValueError("lo/hi length mismatch")
+    a = []
+    b_norm = []
+    for row, rhs in zip(a_ge, b_ge):
+        row = list(row)
+        if len(row) != n:
+            raise ValueError("constraint width does not match box")
+        if exact:
+            # Fraction arithmetic needs no scaling; keep values exact.
+            a.append(row)
+            b_norm.append(rhs)
+            continue
+        scale = max((abs(float(v)) for v in row), default=0.0)
+        scale = max(scale, abs(float(rhs)), 1.0)
+        a.append([float(v) / scale for v in row])
+        b_norm.append(float(rhs) / scale)
+    b_ge = b_norm
+    # Shift x = lo + y with 0 <= y <= hi - lo, variables (y, s).
+    a_ub: list[list] = []
+    b_ub: list = []
+    for row, rhs in zip(a, b_ge):
+        # row . (lo + y) - s >= rhs   ->   -row . y + s <= row . lo - rhs
+        shift = sum(r * l for r, l in zip(row, lo))
+        a_ub.append([-v for v in row] + [1])
+        b_ub.append(shift - rhs)
+    for j in range(n):
+        bound_row = [0] * (n + 1)
+        bound_row[j] = 1
+        a_ub.append(bound_row)
+        b_ub.append(hi[j] - lo[j])
+    cap_row = [0] * (n + 1)
+    cap_row[-1] = 1
+    a_ub.append(cap_row)
+    b_ub.append(1)
+    c = [0] * n + [1]
+    solver = solve_lp_exact if exact else solve_lp_scipy
+    result = solver(c, a_ub, b_ub)
+    if not result.is_optimal:
+        return result
+    x = tuple(
+        l + y for l, y in zip(lo, result.x[:n])
+    )
+    return LPResult(LPStatus.OPTIMAL, x, result.objective)
+
+
+def feasible_point(
+    a_ge: Sequence[Sequence],
+    b_ge: Sequence,
+    lo: Sequence,
+    hi: Sequence,
+    exact: bool = False,
+) -> tuple | None:
+    """A point of ``{x : A x >= b, lo <= x <= hi}``, or ``None``.
+
+    This is the primitive behind the candidate-optimality test: plan *a*
+    with usage ``A`` is candidate optimal over a feasible box iff the
+    system ``(B_j - A) . C >= 0`` for all rivals *b_j* has a solution in
+    the box.
+    """
+    result = max_min_slack(a_ge, b_ge, lo, hi, exact=exact)
+    if not result.is_optimal:
+        return None
+    slack = result.objective
+    if slack is None or slack < 0:
+        return None
+    return result.x

@@ -1,0 +1,168 @@
+"""Regions of influence (Section 4.5).
+
+The region of influence ``V_i`` of candidate plan ``A_i`` is the set of
+feasible cost vectors under which that plan is optimal::
+
+    V_i = { v in U : A_i . v <= A_j . v  for all j != i }
+
+Regions of influence are convex polyhedral cones (apex at the origin,
+Observation 1) intersected with the feasible region; their facets are
+switchover planes.  They partition the feasible region like a Voronoi
+diagram of cones, except that non-candidate plans get no region at all.
+
+This module provides membership tests, interior points, Monte-Carlo
+volume estimation and the facet-adjacency structure between regions —
+the machinery behind the discovery algorithm's completeness reasoning
+and the Section 8.2 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .candidates import region_of_influence_margin, witness_cost_vector
+from .feasible import FeasibleRegion
+from .geometry import switchover_point_in_box
+from .vectors import CostVector, UsageVector
+
+__all__ = ["RegionOfInfluence", "InfluenceDiagram"]
+
+
+@dataclass(frozen=True)
+class RegionOfInfluence:
+    """One plan's region of influence within a feasible region."""
+
+    plan_index: int
+    usages: tuple[UsageVector, ...]
+    region: FeasibleRegion
+
+    @property
+    def usage(self) -> UsageVector:
+        return self.usages[self.plan_index]
+
+    def contains(self, cost: CostVector, rel_tol: float = 1e-9) -> bool:
+        """Is the plan optimal (within tolerance) at ``cost``?
+
+        Membership is tested against all rival plans; the cost vector
+        itself need not lie inside the feasible region (cones extend to
+        the whole orthant by Observation 1).
+        """
+        own = self.usage.dot(cost)
+        for j, other in enumerate(self.usages):
+            if j == self.plan_index:
+                continue
+            rival = other.dot(cost)
+            if own > rival * (1 + rel_tol):
+                return False
+        return True
+
+    def interior_point(self) -> CostVector | None:
+        """A feasible cost vector where this plan wins, if any."""
+        return witness_cost_vector(
+            self.plan_index, list(self.usages), self.region
+        )
+
+    def margin(self) -> float | None:
+        """Interior slack of the region (see candidates module)."""
+        return region_of_influence_margin(
+            self.plan_index, list(self.usages), self.region
+        )
+
+    def is_empty(self) -> bool:
+        return self.interior_point() is None
+
+    def volume_fraction(
+        self, rng: np.random.Generator, n_samples: int = 2000
+    ) -> float:
+        """Monte-Carlo fraction of the feasible region this plan rules.
+
+        Sampling is log-uniform per variation group (the natural measure
+        for multiplicative error); the fractions of all candidate plans
+        sum to ~1.
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        hits = 0
+        matrix = np.vstack([u.values for u in self.usages])
+        for cost in self.region.sample(rng, n_samples):
+            totals = matrix @ cost.values
+            if int(np.argmin(totals)) == self.plan_index:
+                hits += 1
+        return hits / n_samples
+
+
+class InfluenceDiagram:
+    """All regions of influence of a candidate plan set at once."""
+
+    def __init__(
+        self, usages: Sequence[UsageVector], region: FeasibleRegion
+    ) -> None:
+        if not usages:
+            raise ValueError("need at least one plan")
+        self._usages = tuple(usages)
+        self._region = region
+
+    @property
+    def regions(self) -> tuple[RegionOfInfluence, ...]:
+        return tuple(
+            RegionOfInfluence(i, self._usages, self._region)
+            for i in range(len(self._usages))
+        )
+
+    def owner(self, cost: CostVector) -> int:
+        """Index of the plan optimal at ``cost`` (lowest index on ties)."""
+        matrix = np.vstack([u.values for u in self._usages])
+        return int(np.argmin(matrix @ cost.values))
+
+    def nonempty_regions(self) -> list[int]:
+        """Plans whose region of influence is nonempty (the candidates)."""
+        return [
+            i
+            for i, region in enumerate(self.regions)
+            if not region.is_empty()
+        ]
+
+    def are_adjacent(self, index_a: int, index_b: int) -> bool:
+        """Do two regions share a switchover facet inside the region?
+
+        True iff some feasible cost vector makes the two plans tie while
+        neither is beaten by any third plan.
+        """
+        lo = self._region.lower()
+        hi = self._region.upper()
+        others = [
+            usage
+            for k, usage in enumerate(self._usages)
+            if k not in (index_a, index_b)
+        ]
+        point = switchover_point_in_box(
+            self._usages[index_a],
+            self._usages[index_b],
+            lo,
+            hi,
+            others=others,
+        )
+        return point is not None
+
+    def adjacency_pairs(self) -> list[tuple[int, int]]:
+        """All adjacent (facet-sharing) pairs of nonempty regions."""
+        nonempty = self.nonempty_regions()
+        pairs = []
+        for position, index_a in enumerate(nonempty):
+            for index_b in nonempty[position + 1 :]:
+                if self.are_adjacent(index_a, index_b):
+                    pairs.append((index_a, index_b))
+        return pairs
+
+    def volume_fractions(
+        self, rng: np.random.Generator, n_samples: int = 5000
+    ) -> np.ndarray:
+        """Monte-Carlo volume share of every plan in one pass."""
+        matrix = np.vstack([u.values for u in self._usages])
+        counts = np.zeros(len(self._usages), dtype=int)
+        for cost in self._region.sample(rng, n_samples):
+            counts[int(np.argmin(matrix @ cost.values))] += 1
+        return counts / n_samples

@@ -1,0 +1,192 @@
+"""Named resource dimensions for the vector-space cost framework.
+
+The paper (Section 3.1) models query execution against ``n`` time-shared
+resources.  A :class:`ResourceSpace` fixes the identity and order of those
+resources so that usage vectors and cost vectors can be compared and
+combined safely.  Every vector in :mod:`repro.core.vectors` is bound to a
+space; mixing vectors from different spaces is an error, not a silent bug.
+
+Each dimension carries a *kind* tag (``cpu``, ``table``, ``index``,
+``temp``, ``seek``, ``transfer`` or ``other``) and an optional *subject*
+(for example the table name the dimension belongs to).  The tags drive the
+complementary-plan classification of Section 5.6: a pair of plans that is
+complementary in an ``index`` dimension is *access path complementary*,
+and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["Resource", "ResourceSpace", "ResourceSpaceMismatchError"]
+
+#: Dimension kinds recognised by the complementarity classifier.
+KNOWN_KINDS = frozenset(
+    {"cpu", "table", "index", "temp", "seek", "transfer", "other"}
+)
+
+
+class ResourceSpaceMismatchError(ValueError):
+    """Raised when vectors bound to different spaces are combined."""
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One time-shared resource (one dimension of the cost vector space).
+
+    Parameters
+    ----------
+    name:
+        Unique name within the space, e.g. ``"disk.seek"`` or
+        ``"table:LINEITEM"``.
+    kind:
+        Semantic tag used by the complementary-plan classifier
+        (Section 5.6 of the paper).  One of :data:`KNOWN_KINDS`.
+    subject:
+        Optional object the resource belongs to (a table name for
+        ``table``/``index`` dimensions, a device name, ...).
+    """
+
+    name: str
+    kind: str = "other"
+    subject: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("resource name must be non-empty")
+        if self.kind not in KNOWN_KINDS:
+            raise ValueError(
+                f"unknown resource kind {self.kind!r}; "
+                f"expected one of {sorted(KNOWN_KINDS)}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class ResourceSpace:
+    """An ordered, immutable collection of :class:`Resource` dimensions.
+
+    The space provides name-to-index resolution and acts as the type tag
+    for :class:`~repro.core.vectors.UsageVector` and
+    :class:`~repro.core.vectors.CostVector`.
+
+    Examples
+    --------
+    >>> space = ResourceSpace.from_names(["cpu", "disk.seek", "disk.xfer"])
+    >>> space.dimension
+    3
+    >>> space.index("disk.seek")
+    1
+    """
+
+    resources: tuple[Resource, ...]
+    _index: Mapping[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        index = {r.name: i for i, r in enumerate(self.resources)}
+        if len(index) != len(self.resources):
+            names = [r.name for r in self.resources]
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate resource names: {dupes}")
+        if not self.resources:
+            raise ValueError("a resource space needs at least one dimension")
+        object.__setattr__(self, "_index", index)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_names(cls, names: Iterable[str]) -> "ResourceSpace":
+        """Build a space of ``other``-kind resources from bare names."""
+        return cls(tuple(Resource(name) for name in names))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Number of resources ``n`` in the space."""
+        return len(self.resources)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.resources)
+
+    def index(self, name: str) -> int:
+        """Return the dimension index of resource ``name``.
+
+        Raises :class:`KeyError` if the name is unknown.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown resource {name!r}; space has {self.names}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(self.resources)
+
+    def __len__(self) -> int:
+        return len(self.resources)
+
+    def resource(self, name: str) -> Resource:
+        """Return the :class:`Resource` called ``name``."""
+        return self.resources[self.index(name)]
+
+    def indices_of_kind(self, *kinds: str) -> tuple[int, ...]:
+        """Indices of all dimensions whose kind is in ``kinds``."""
+        wanted = set(kinds)
+        unknown = wanted - KNOWN_KINDS
+        if unknown:
+            raise ValueError(f"unknown kinds: {sorted(unknown)}")
+        return tuple(
+            i for i, r in enumerate(self.resources) if r.kind in wanted
+        )
+
+    def subjects_of_kind(self, kind: str) -> tuple[str, ...]:
+        """Distinct, ordered subjects among dimensions of ``kind``."""
+        seen: dict[str, None] = {}
+        for r in self.resources:
+            if r.kind == kind and r.subject is not None:
+                seen.setdefault(r.subject)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Compatibility checks
+    # ------------------------------------------------------------------
+    def require_same(self, other: "ResourceSpace") -> None:
+        """Raise unless ``other`` is the same space (by value)."""
+        if self is other:
+            return
+        if self.resources != other.resources:
+            raise ResourceSpaceMismatchError(
+                f"resource spaces differ: {self.names} vs {other.names}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResourceSpace({list(self.names)!r})"
+
+
+def space_union(spaces: Sequence[ResourceSpace]) -> ResourceSpace:
+    """Union of several spaces, preserving first-seen order.
+
+    Resources with the same name must be identical across the inputs.
+    """
+    seen: dict[str, Resource] = {}
+    for space in spaces:
+        for resource in space:
+            existing = seen.get(resource.name)
+            if existing is None:
+                seen[resource.name] = resource
+            elif existing != resource:
+                raise ValueError(
+                    f"conflicting definitions for resource {resource.name!r}"
+                )
+    return ResourceSpace(tuple(seen.values()))

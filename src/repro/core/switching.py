@@ -1,0 +1,154 @@
+"""Per-parameter switching distances (plan robustness radii).
+
+The paper's motivation is autonomic monitoring: storage parameters
+drift, and the optimizer should be told *when it matters*.  This
+module answers the operational question exactly: for each variation
+group (device), how far can its cost drift — up or down — before the
+currently-optimal plan stops being optimal?
+
+Along a one-parameter family ``C(m)`` that multiplies one group's
+dimensions by ``m`` and leaves the rest at the center, every plan's
+total cost is affine in ``m``::
+
+    T_i(m) = a_i + b_i * m
+    a_i = sum of usage over non-group dims (at center costs)
+    b_i = sum of usage over group dims (at center costs)
+
+so the first switchover in each direction has the closed form
+``m* = (a_0 - a_j) / (b_j - b_0)`` over rival plans *j* — no search
+required.  A plan's *robustness radius* for a parameter is
+``min(up_factor, 1/down_factor)``: the multiplicative drift it
+tolerates in either direction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .feasible import VariationGroup
+from .vectors import CostVector, UsageVector
+
+__all__ = ["SwitchingDistance", "switching_distance", "switching_distances"]
+
+
+@dataclass(frozen=True)
+class SwitchingDistance:
+    """Plan-switch thresholds for one variation group.
+
+    ``up_factor`` (> 1, or ``inf``): smallest multiplier on the
+    group's costs at which some rival plan overtakes the initial plan.
+    ``down_factor`` (< 1, or ``0.0``): largest such multiplier below
+    one.  The overtaking plan indices identify who wins just past each
+    threshold (``None`` when no switch happens in that direction).
+    """
+
+    group: str
+    up_factor: float
+    up_plan_index: int | None
+    down_factor: float
+    down_plan_index: int | None
+
+    @property
+    def robustness_radius(self) -> float:
+        """Multiplicative drift tolerated in the worse direction."""
+        down = math.inf if self.down_factor == 0.0 else 1.0 / self.down_factor
+        return min(self.up_factor, down)
+
+    @property
+    def insensitive(self) -> bool:
+        """True if no drift of this parameter alone changes the plan."""
+        return math.isinf(self.up_factor) and self.down_factor == 0.0
+
+
+def _affine_coefficients(
+    usages: Sequence[UsageVector],
+    center: CostVector,
+    group: VariationGroup,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split each plan's center cost into off-group and group parts."""
+    matrix = np.vstack([usage.values for usage in usages])
+    center_values = center.values
+    mask = np.zeros(len(center_values), dtype=bool)
+    mask[list(group.indices)] = True
+    group_part = matrix[:, mask] @ center_values[mask]
+    off_part = matrix[:, ~mask] @ center_values[~mask]
+    return off_part, group_part
+
+
+def switching_distance(
+    initial_index: int,
+    usages: Sequence[UsageVector],
+    center: CostVector,
+    group: VariationGroup,
+    rel_tol: float = 1e-12,
+) -> SwitchingDistance:
+    """Exact switch thresholds for one group (closed form).
+
+    ``initial_index`` must be optimal at ``center``; a ``ValueError``
+    is raised otherwise (a stale initial plan would make the thresholds
+    meaningless).
+    """
+    a, b = _affine_coefficients(usages, center, group)
+    a0, b0 = a[initial_index], b[initial_index]
+    totals = a + b
+    best = totals.min()
+    if totals[initial_index] > best * (1 + 1e-9):
+        raise ValueError(
+            "initial plan is not optimal at the center cost vector"
+        )
+    up = math.inf
+    up_plan: int | None = None
+    down = 0.0
+    down_plan: int | None = None
+    for j in range(len(usages)):
+        if j == initial_index:
+            continue
+        db = b[j] - b0
+        da = a0 - a[j]
+        if abs(db) <= rel_tol * max(abs(b0), abs(b[j]), 1.0):
+            continue  # parallel lines: never cross
+        crossing = da / db
+        if crossing <= 0:
+            continue
+        if abs(crossing - 1.0) <= rel_tol:
+            # Rival tied with the initial plan at the center: it takes
+            # over immediately on its winning side.
+            if db < 0 and up > 1.0:
+                up, up_plan = 1.0, j
+            elif db > 0 and down < 1.0:
+                down, down_plan = 1.0, j
+            continue
+        if crossing > 1.0 + rel_tol:
+            if crossing < up and db < 0:
+                # Rival gets cheaper as m grows beyond the crossing.
+                up = crossing
+                up_plan = j
+        elif crossing < 1.0 - rel_tol:
+            if crossing > down and db > 0:
+                # Rival gets cheaper as m shrinks below the crossing.
+                down = crossing
+                down_plan = j
+    return SwitchingDistance(
+        group=group.name,
+        up_factor=up,
+        up_plan_index=up_plan,
+        down_factor=down,
+        down_plan_index=down_plan,
+    )
+
+
+def switching_distances(
+    initial_index: int,
+    usages: Sequence[UsageVector],
+    center: CostVector,
+    groups: Sequence[VariationGroup],
+) -> list[SwitchingDistance]:
+    """Switch thresholds for every variation group."""
+    return [
+        switching_distance(initial_index, usages, center, group)
+        for group in groups
+    ]

@@ -1,0 +1,5 @@
+"""Miniature deterministic TPC-H data generator."""
+
+from .generator import TPCHData, generate_tpch
+
+__all__ = ["TPCHData", "generate_tpch"]

@@ -1,0 +1,156 @@
+"""Miniature deterministic TPC-H data generator.
+
+Generates columnar TPC-H data at small scale factors for the executor
+validation experiments (the paper never executes queries — dbgen data
+here exists to check that the optimizer's usage vectors track I/O a
+real execution would incur).
+
+The generator follows dbgen's structural rules — cardinalities per
+:func:`repro.catalog.tpch.tpch_row_count`, four suppliers per part,
+1–7 lineitems per order, orders for two-thirds of customers, the
+documented date spans — with simplified value distributions (uniform
+where dbgen uses mild skew).  Dates are integer day offsets from
+1992-01-01.  Everything is seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..catalog.tpch import tpch_row_count
+
+__all__ = ["TPCHData", "generate_tpch"]
+
+#: Day-offset spans matching the catalog's distinct counts.
+ORDERDATE_SPAN = 2406
+SHIPDATE_OFFSET_MAX = 121
+RECEIPT_OFFSET_MAX = 30
+
+
+@dataclass
+class TPCHData:
+    """Columnar TPC-H data: ``tables[table][column] -> np.ndarray``."""
+
+    scale_factor: float
+    tables: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def row_count(self, table: str) -> int:
+        columns = self.tables[table]
+        first = next(iter(columns.values()))
+        return len(first)
+
+    def column(self, table: str, column: str) -> np.ndarray:
+        return self.tables[table][column]
+
+
+def generate_tpch(
+    scale_factor: float = 0.01, seed: int = 0
+) -> TPCHData:
+    """Generate the eight TPC-H tables at ``scale_factor``.
+
+    Intended for small scale factors (<= 0.1); memory grows linearly at
+    roughly 10 MB per 0.01 of scale.
+    """
+    rng = np.random.default_rng(seed)
+    data = TPCHData(scale_factor=scale_factor)
+
+    n_supplier = tpch_row_count("SUPPLIER", scale_factor)
+    n_customer = tpch_row_count("CUSTOMER", scale_factor)
+    n_part = tpch_row_count("PART", scale_factor)
+    n_orders = tpch_row_count("ORDERS", scale_factor)
+
+    data.tables["REGION"] = {
+        "R_REGIONKEY": np.arange(5),
+        "R_NAME": np.arange(5),
+    }
+    data.tables["NATION"] = {
+        "N_NATIONKEY": np.arange(25),
+        "N_NAME": np.arange(25),
+        "N_REGIONKEY": np.arange(25) % 5,
+    }
+    data.tables["SUPPLIER"] = {
+        "S_SUPPKEY": np.arange(1, n_supplier + 1),
+        "S_NATIONKEY": rng.integers(0, 25, n_supplier),
+        "S_ACCTBAL": rng.uniform(-999.99, 9999.99, n_supplier),
+    }
+    data.tables["CUSTOMER"] = {
+        "C_CUSTKEY": np.arange(1, n_customer + 1),
+        "C_NATIONKEY": rng.integers(0, 25, n_customer),
+        "C_MKTSEGMENT": rng.integers(0, 5, n_customer),
+        "C_ACCTBAL": rng.uniform(-999.99, 9999.99, n_customer),
+    }
+    data.tables["PART"] = {
+        "P_PARTKEY": np.arange(1, n_part + 1),
+        "P_BRAND": rng.integers(0, 25, n_part),
+        "P_TYPE": rng.integers(0, 150, n_part),
+        "P_SIZE": rng.integers(1, 51, n_part),
+        "P_CONTAINER": rng.integers(0, 40, n_part),
+    }
+
+    # PARTSUPP: exactly four suppliers per part (dbgen's rule), spread
+    # deterministically over the supplier space.
+    part_keys = np.repeat(np.arange(1, n_part + 1), 4)
+    offsets = np.tile(np.arange(4), n_part)
+    supp_keys = (
+        (part_keys + offsets * (n_supplier // 4 + 1)) % n_supplier
+    ) + 1
+    data.tables["PARTSUPP"] = {
+        "PS_PARTKEY": part_keys,
+        "PS_SUPPKEY": supp_keys,
+        "PS_AVAILQTY": rng.integers(1, 10_000, len(part_keys)),
+        "PS_SUPPLYCOST": rng.uniform(1.0, 1000.0, len(part_keys)),
+    }
+
+    # ORDERS: only two-thirds of customers place orders.
+    customers_with_orders = np.arange(1, n_customer + 1)
+    customers_with_orders = customers_with_orders[
+        customers_with_orders % 3 != 0
+    ]
+    order_dates = rng.integers(0, ORDERDATE_SPAN, n_orders)
+    data.tables["ORDERS"] = {
+        "O_ORDERKEY": np.arange(1, n_orders + 1),
+        "O_CUSTKEY": rng.choice(customers_with_orders, n_orders),
+        "O_ORDERDATE": order_dates,
+        "O_ORDERPRIORITY": rng.integers(0, 5, n_orders),
+        "O_ORDERSTATUS": rng.integers(0, 3, n_orders),
+    }
+
+    # LINEITEM: 1-7 lines per order; dates derived from the order date.
+    lines_per_order = rng.integers(1, 8, n_orders)
+    l_orderkey = np.repeat(
+        data.tables["ORDERS"]["O_ORDERKEY"], lines_per_order
+    )
+    n_lineitem = len(l_orderkey)
+    l_partkey = rng.integers(1, n_part + 1, n_lineitem)
+    # Each lineitem's supplier is one of its part's four suppliers.
+    supplier_slot = rng.integers(0, 4, n_lineitem)
+    l_suppkey = (
+        (l_partkey + supplier_slot * (n_supplier // 4 + 1)) % n_supplier
+    ) + 1
+    l_orderdate = np.repeat(order_dates, lines_per_order)
+    l_shipdate = l_orderdate + rng.integers(
+        1, SHIPDATE_OFFSET_MAX + 1, n_lineitem
+    )
+    l_receiptdate = l_shipdate + rng.integers(
+        1, RECEIPT_OFFSET_MAX + 1, n_lineitem
+    )
+    l_commitdate = l_orderdate + rng.integers(30, 121, n_lineitem)
+    data.tables["LINEITEM"] = {
+        "L_ORDERKEY": l_orderkey,
+        "L_LINENUMBER": np.concatenate(
+            [np.arange(1, k + 1) for k in lines_per_order]
+        ),
+        "L_PARTKEY": l_partkey,
+        "L_SUPPKEY": l_suppkey,
+        "L_QUANTITY": rng.integers(1, 51, n_lineitem),
+        "L_DISCOUNT": rng.integers(0, 11, n_lineitem) / 100.0,
+        "L_EXTENDEDPRICE": rng.uniform(900.0, 105_000.0, n_lineitem),
+        "L_SHIPDATE": l_shipdate,
+        "L_COMMITDATE": l_commitdate,
+        "L_RECEIPTDATE": l_receiptdate,
+        "L_RETURNFLAG": rng.integers(0, 3, n_lineitem),
+        "L_SHIPMODE": rng.integers(0, 7, n_lineitem),
+    }
+    return data

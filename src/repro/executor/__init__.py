@@ -1,0 +1,20 @@
+"""Iterator-model executor with metered physical I/O.
+
+Validates the optimizer's usage vectors against actually-incurred page
+reads on generated TPC-H data (see ``tests/executor`` and
+``examples/cost_model_validation.py``).
+"""
+
+from .bufferpool import BufferPool
+from .iterators import ExecutionResult, PlanExecutor, Relation
+from .runtime import ColumnCondition, MeasuredIO, StorageEngine
+
+__all__ = [
+    "BufferPool",
+    "ColumnCondition",
+    "ExecutionResult",
+    "MeasuredIO",
+    "PlanExecutor",
+    "Relation",
+    "StorageEngine",
+]

@@ -1,0 +1,82 @@
+"""A CLOCK buffer pool for the validation executor.
+
+Tracks which (object, page) pairs are resident so the executor can
+measure *actual* physical I/O — including the residency effects the
+optimizer's cost model assumes (tiny nested-loop inners stop paying
+I/O after their first scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BufferPool"]
+
+PageId = tuple  # (object key, page number)
+
+
+@dataclass
+class _Frame:
+    page: PageId
+    referenced: bool = True
+
+
+class BufferPool:
+    """CLOCK (second-chance) replacement over fixed-size frames."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self._capacity = capacity_pages
+        self._frames: list[_Frame] = []
+        self._index: dict[PageId, int] = {}
+        self._hand = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def contains(self, page: PageId) -> bool:
+        return page in self._index
+
+    def access(self, page: PageId) -> bool:
+        """Touch a page; returns True on a hit, False on a miss.
+
+        A miss loads the page, evicting via CLOCK when full.
+        """
+        slot = self._index.get(page)
+        if slot is not None:
+            self._frames[slot].referenced = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._frames) < self._capacity:
+            self._index[page] = len(self._frames)
+            self._frames.append(_Frame(page))
+            return False
+        # CLOCK sweep: clear reference bits until a victim is found.
+        while True:
+            frame = self._frames[self._hand]
+            if frame.referenced:
+                frame.referenced = False
+                self._hand = (self._hand + 1) % self._capacity
+                continue
+            del self._index[frame.page]
+            self._index[page] = self._hand
+            self._frames[self._hand] = _Frame(page)
+            self._hand = (self._hand + 1) % self._capacity
+            return False
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,95 @@
+"""Experiment runners regenerating the paper's evaluation artefacts.
+
+* :func:`run_figure5` / :func:`run_figure6` / :func:`run_figure7` —
+  the worst-case sensitivity curves of Section 8.1;
+* :func:`run_usage_analysis` — the Section 8.2 complementarity census;
+* :func:`validate_estimation` / :func:`validate_discovery` — the
+  Section 6 black-box algorithm validations;
+* :mod:`repro.experiments.report` — text/CSV rendering.
+"""
+
+from .expected import (
+    ExpectedRegret,
+    analyze_expected_regret,
+    format_expected_table,
+    run_expected_regret,
+)
+from .report import (
+    figure_to_csv,
+    format_census_table,
+    format_figure_chart,
+    format_figure_summary,
+    format_figure_table,
+    format_parameter_table,
+)
+from .robustness import (
+    ParameterRobustness,
+    QueryRobustness,
+    analyze_query_robustness,
+    format_robustness_table,
+    run_robustness,
+)
+from .scenarios import (
+    DEFAULT_DELTAS,
+    SCENARIO_KEYS,
+    Scenario,
+    all_scenarios,
+    scenario,
+)
+from .usage_analysis import (
+    QueryCensus,
+    UsageAnalysisResult,
+    run_usage_analysis,
+)
+from .validation import (
+    DiscoveryValidation,
+    EstimationValidation,
+    validate_discovery,
+    validate_estimation,
+)
+from .worst_case import (
+    FigureResult,
+    QueryWorstCase,
+    run_figure,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_query_worst_case,
+)
+
+__all__ = [
+    "DEFAULT_DELTAS",
+    "DiscoveryValidation",
+    "EstimationValidation",
+    "ExpectedRegret",
+    "FigureResult",
+    "ParameterRobustness",
+    "QueryCensus",
+    "QueryWorstCase",
+    "QueryRobustness",
+    "SCENARIO_KEYS",
+    "Scenario",
+    "UsageAnalysisResult",
+    "all_scenarios",
+    "figure_to_csv",
+    "format_census_table",
+    "format_figure_chart",
+    "format_figure_summary",
+    "format_figure_table",
+    "format_parameter_table",
+    "format_robustness_table",
+    "analyze_query_robustness",
+    "analyze_expected_regret",
+    "format_expected_table",
+    "run_figure",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_robustness",
+    "run_expected_regret",
+    "run_query_worst_case",
+    "run_usage_analysis",
+    "scenario",
+    "validate_discovery",
+    "validate_estimation",
+]

@@ -1,0 +1,134 @@
+"""Expected-case sensitivity: average regret under random drift.
+
+The paper characterises the *worst case* (Observation 2 vertex sweeps).
+A natural companion question for capacity planning: if storage costs
+drift randomly — each device's multiplier log-uniform in
+``[1/delta, delta]`` — what regret does the stale default-cost plan
+incur *on average*, and how often is it still optimal?
+
+This is a Monte-Carlo experiment over the same feasible regions and
+candidate plan sets as the figures, so worst-case and expected-case
+results are directly comparable (expected <= worst always; the gap
+shows how adversarial the vertex worst case is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..catalog.statistics import Catalog
+from ..catalog.tpch import build_tpch_catalog
+from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
+from ..optimizer.parametric import candidate_plans
+from ..optimizer.query import QuerySpec
+from ..workloads.tpch_queries import build_tpch_queries
+from .scenarios import Scenario, scenario
+
+__all__ = ["ExpectedRegret", "run_expected_regret", "format_expected_table"]
+
+
+@dataclass
+class ExpectedRegret:
+    """Monte-Carlo regret statistics for one query."""
+
+    query_name: str
+    scenario_key: str
+    delta: float
+    n_samples: int
+    mean_gtc: float
+    median_gtc: float
+    p95_gtc: float
+    max_sampled_gtc: float
+    #: Fraction of drift samples where the stale plan is still optimal.
+    still_optimal_fraction: float
+    n_candidates: int
+    truncated: bool
+
+
+def analyze_expected_regret(
+    query: QuerySpec,
+    catalog: Catalog,
+    config: Scenario,
+    params: SystemParameters = DEFAULT_PARAMETERS,
+    delta: float = 100.0,
+    n_samples: int = 2000,
+    cell_cap: int | None = 64,
+    seed: int = 0,
+) -> ExpectedRegret:
+    """Sample log-uniform drifts and measure the stale plan's regret."""
+    layout = config.layout_for(query)
+    region = config.region(layout, delta)
+    candidates = candidate_plans(
+        query, catalog, params, layout, region, cell_cap=cell_cap
+    )
+    matrix = np.vstack([plan.usage.values for plan in candidates.plans])
+    initial_index = candidates.initial_plan_index()
+    initial_row = matrix[initial_index]
+    rng = np.random.default_rng(seed)
+    gtcs = np.empty(n_samples)
+    optimal_hits = 0
+    for position, cost in enumerate(region.sample(rng, n_samples)):
+        totals = matrix @ cost.values
+        best = totals.min()
+        stale = float(initial_row @ cost.values)
+        gtcs[position] = stale / best
+        if stale <= best * (1 + 1e-9):
+            optimal_hits += 1
+    return ExpectedRegret(
+        query_name=query.name,
+        scenario_key=config.key,
+        delta=delta,
+        n_samples=n_samples,
+        mean_gtc=float(gtcs.mean()),
+        median_gtc=float(np.median(gtcs)),
+        p95_gtc=float(np.percentile(gtcs, 95)),
+        max_sampled_gtc=float(gtcs.max()),
+        still_optimal_fraction=optimal_hits / n_samples,
+        n_candidates=len(candidates),
+        truncated=candidates.truncated,
+    )
+
+
+def run_expected_regret(
+    scenario_key: str,
+    catalog: Catalog | None = None,
+    queries: Mapping[str, QuerySpec] | None = None,
+    params: SystemParameters = DEFAULT_PARAMETERS,
+    delta: float = 100.0,
+    n_samples: int = 2000,
+    cell_cap: int | None = 64,
+    seed: int = 0,
+) -> list[ExpectedRegret]:
+    """Expected-regret analysis over a workload."""
+    config = scenario(scenario_key)
+    if catalog is None:
+        catalog = build_tpch_catalog(100)
+    if queries is None:
+        queries = build_tpch_queries(catalog)
+    return [
+        analyze_expected_regret(
+            query, catalog, config, params, delta, n_samples,
+            cell_cap, seed,
+        )
+        for query in queries.values()
+    ]
+
+
+def format_expected_table(rows: list[ExpectedRegret]) -> str:
+    """Text table of the Monte-Carlo regret statistics."""
+    header = (
+        f"{'query':>6}  {'mean':>8}  {'median':>8}  {'p95':>9}  "
+        f"{'max':>10}  {'still-opt':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.query_name:>6}  {row.mean_gtc:8.3f}  "
+            f"{row.median_gtc:8.3f}  {row.p95_gtc:9.3f}  "
+            f"{row.max_sampled_gtc:10.3g}  "
+            f"{row.still_optimal_fraction * 100:8.1f}%"
+        )
+    return "\n".join(lines)

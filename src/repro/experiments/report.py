@@ -1,0 +1,185 @@
+"""Text/CSV rendering of experiment results.
+
+The paper presents Figures 5-7 as log-log line plots; we render the
+same series as text tables and CSV (one row per query, one column per
+delta), plus summary blocks stating the claims each figure supports.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from .usage_analysis import UsageAnalysisResult
+from .worst_case import FigureResult
+
+__all__ = [
+    "format_figure_table",
+    "figure_to_csv",
+    "format_figure_summary",
+    "format_figure_chart",
+    "format_census_table",
+    "format_parameter_table",
+]
+
+
+def _format_gtc(value: float) -> str:
+    if value >= 1e4:
+        return f"{value:.2e}"
+    return f"{value:.3g}"
+
+
+def format_figure_table(result: FigureResult) -> str:
+    """One row per query, one worst-case GTC column per delta."""
+    header = ["query"] + [f"d={delta:g}" for delta in result.deltas]
+    rows = [header]
+    for curve in result.curves:
+        rows.append(
+            [curve.query_name]
+            + [_format_gtc(point.gtc) for point in curve.curve.points]
+        )
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(header))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("-" * len(lines[0]))
+    return "\n".join(lines)
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """CSV form of a figure (plot-ready series)."""
+    buffer = io.StringIO()
+    deltas = ",".join(f"{delta:g}" for delta in result.deltas)
+    buffer.write(f"query,{deltas}\n")
+    for curve in result.curves:
+        gtcs = ",".join(f"{point.gtc:.6g}" for point in curve.curve.points)
+        buffer.write(f"{curve.query_name},{gtcs}\n")
+    return buffer.getvalue()
+
+
+def format_figure_summary(result: FigureResult) -> str:
+    """The claims a figure supports, as the paper states them."""
+    census = result.growth_census()
+    lines = [
+        f"{result.figure}: storage scenario '{result.scenario_key}'",
+        f"  queries:                 {len(result.curves)}",
+        f"  constant curves:         {census.get('constant', 0)}"
+        "  (Theorem 2 regime)",
+        f"  quadratic curves:        {census.get('quadratic', 0)}"
+        "  (Theorem 1 regime)",
+        f"  intermediate curves:     {census.get('intermediate', 0)}",
+        f"  max worst-case GTC:      {_format_gtc(result.max_final_gtc())}"
+        f" at delta={result.deltas[-1]:g}",
+    ]
+    truncated = [c.query_name for c in result.curves if c.truncated]
+    if truncated:
+        lines.append(
+            f"  truncated candidate sets: {', '.join(truncated)} "
+            "(GTC values are lower bounds there)"
+        )
+    worst = max(result.curves, key=lambda c: c.final_gtc)
+    lines.append(
+        f"  most sensitive query:    {worst.query_name} "
+        f"(GTC {_format_gtc(worst.final_gtc)})"
+    )
+    return "\n".join(lines)
+
+
+def format_figure_chart(
+    result: FigureResult,
+    query_names: Sequence[str] | None = None,
+    height: int = 16,
+    width: int = 60,
+) -> str:
+    """ASCII log-log chart of worst-case GTC curves.
+
+    The terminal rendition of the paper's figures: x is log(delta), y
+    is log(GTC); each selected query gets a glyph.  Intended for quick
+    inspection — the CSV output feeds real plotters.
+    """
+    import math
+
+    curves = result.curves
+    if query_names is not None:
+        wanted = set(query_names)
+        curves = [c for c in curves if c.query_name in wanted]
+    if not curves:
+        raise ValueError("no curves selected")
+    glyphs = "ox+*#@%&$"
+    deltas = result.deltas
+    log_x_max = math.log10(max(deltas[-1], 10.0))
+    y_max = max(max(c.curve.gtcs) for c in curves)
+    log_y_max = max(math.log10(max(y_max, 10.0)), 1.0)
+    grid = [[" "] * width for _ in range(height)]
+    for index, curve in enumerate(curves):
+        glyph = glyphs[index % len(glyphs)]
+        for delta, gtc in zip(curve.curve.deltas, curve.curve.gtcs):
+            x_fraction = math.log10(max(delta, 1.0)) / log_x_max
+            y_fraction = math.log10(max(gtc, 1.0)) / log_y_max
+            col = min(width - 1, int(x_fraction * (width - 1)))
+            row = min(height - 1, int(y_fraction * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+    lines = [f"log GTC (top = {y_max:.3g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" log delta (1 .. {deltas[-1]:g})   "
+        + "  ".join(
+            f"{glyphs[i % len(glyphs)]}={c.query_name}"
+            for i, c in enumerate(curves)
+        )
+    )
+    return "\n".join(lines)
+
+
+def format_census_table(result: UsageAnalysisResult) -> str:
+    """Section 8.2 census: complementary pair statistics per query."""
+    header = [
+        "query", "cands", "pairs", "compl", "near",
+        "table", "acc-path", "temp", "bound",
+    ]
+    rows = [header]
+    for row in result.rows:
+        bound = (
+            "inf" if row.constant_bound == float("inf")
+            else _format_gtc(row.constant_bound)
+        )
+        rows.append(
+            [
+                row.query_name,
+                str(row.n_candidates) + ("*" if row.truncated else ""),
+                str(row.census.n_pairs),
+                str(row.census.n_complementary),
+                str(row.census.n_near_complementary),
+                str(row.class_count("table")),
+                str(row.class_count("access-path")),
+                str(row.class_count("temp")),
+                bound,
+            ]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("-" * len(lines[0]))
+    lines.append("(* = candidate set truncated at the DP cell cap)")
+    return "\n".join(lines)
+
+
+def format_parameter_table(rows: Sequence[tuple[str, str]]) -> str:
+    """Render the Section 7.3 system parameter table."""
+    name_width = max(len(name) for name, __ in rows)
+    lines = [f"{'Parameter Name'.ljust(name_width)}  Value"]
+    lines.append("-" * (name_width + 7))
+    for name, value in rows:
+        lines.append(f"{name.ljust(name_width)}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Plan-robustness analysis: which storage parameters must be watched.
+
+An extension experiment beyond the paper's figures, built from its
+framework: for each query and storage scenario, compute the exact
+multiplicative drift each device's cost can undergo — in either
+direction — before the default-cost plan stops being optimal
+(:mod:`repro.core.switching`), plus the regret of ignoring the switch.
+
+The output directly serves the paper's autonomic-computing motivation:
+a monitoring system should watch the parameters with the smallest
+robustness radii first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..catalog.statistics import Catalog
+from ..catalog.tpch import build_tpch_catalog
+from ..core.costmodel import global_relative_cost
+from ..core.switching import SwitchingDistance, switching_distances
+from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
+from ..optimizer.parametric import candidate_plans
+from ..optimizer.query import QuerySpec
+from ..workloads.tpch_queries import build_tpch_queries
+from .scenarios import Scenario, scenario
+
+__all__ = ["ParameterRobustness", "QueryRobustness", "run_robustness"]
+
+
+@dataclass
+class ParameterRobustness:
+    """One device's switch thresholds for one query."""
+
+    group: str
+    distance: SwitchingDistance
+    #: GTC of sticking with the stale plan at 10x past the up switch
+    #: threshold (1.0 when no switch exists).
+    regret_past_switch: float
+
+    @property
+    def radius(self) -> float:
+        return self.distance.robustness_radius
+
+
+@dataclass
+class QueryRobustness:
+    """All parameter thresholds for one query under one scenario."""
+
+    query_name: str
+    scenario_key: str
+    initial_signature: str
+    parameters: list[ParameterRobustness]
+
+    def most_fragile(self) -> ParameterRobustness | None:
+        """The parameter with the smallest robustness radius."""
+        finite = [p for p in self.parameters if not math.isinf(p.radius)]
+        if not finite:
+            return None
+        return min(finite, key=lambda p: p.radius)
+
+    def watch_list(self, radius_threshold: float = 10.0) -> list[str]:
+        """Parameters whose drift by <= ``radius_threshold`` flips the
+        plan — the ones worth monitoring."""
+        return [
+            p.group
+            for p in self.parameters
+            if p.radius <= radius_threshold
+        ]
+
+
+def analyze_query_robustness(
+    query: QuerySpec,
+    catalog: Catalog,
+    config: Scenario,
+    params: SystemParameters = DEFAULT_PARAMETERS,
+    delta: float = 10000.0,
+    cell_cap: int | None = 64,
+    regret_probe_factor: float = 10.0,
+) -> QueryRobustness:
+    """Compute switch thresholds for every device of one query."""
+    layout = config.layout_for(query)
+    region = config.region(layout, delta)
+    candidates = candidate_plans(
+        query, catalog, params, layout, region, cell_cap=cell_cap
+    )
+    center = layout.center_costs()
+    initial_index = candidates.initial_plan_index()
+    initial = candidates.plans[initial_index]
+    groups = config.groups_for(layout)
+    rows = []
+    for distance in switching_distances(
+        initial_index, candidates.usages, center, groups
+    ):
+        # Probe the BINDING direction: whichever switch threshold is
+        # closer, continue the drift another regret_probe_factor past
+        # it and measure the stale plan's regret there.
+        up = distance.up_factor
+        down = math.inf if distance.down_factor == 0 else (
+            1.0 / distance.down_factor
+        )
+        regret = 1.0
+        if not (math.isinf(up) and math.isinf(down)):
+            if up <= down:
+                probe_factor = min(up * regret_probe_factor, delta)
+            else:
+                probe_factor = max(
+                    distance.down_factor / regret_probe_factor,
+                    1.0 / delta,
+                )
+            group = next(g for g in groups if g.name == distance.group)
+            values = center.values.copy()
+            for index in group.indices:
+                values[index] *= probe_factor
+            from ..core.vectors import CostVector
+
+            probe = CostVector(center.space, values)
+            regret = global_relative_cost(
+                initial.usage, candidates.usages, probe
+            )
+        rows.append(
+            ParameterRobustness(
+                group=distance.group,
+                distance=distance,
+                regret_past_switch=regret,
+            )
+        )
+    return QueryRobustness(
+        query_name=query.name,
+        scenario_key=config.key,
+        initial_signature=initial.signature,
+        parameters=rows,
+    )
+
+
+def run_robustness(
+    scenario_key: str,
+    catalog: Catalog | None = None,
+    queries: Mapping[str, QuerySpec] | None = None,
+    params: SystemParameters = DEFAULT_PARAMETERS,
+    delta: float = 10000.0,
+    cell_cap: int | None = 64,
+) -> list[QueryRobustness]:
+    """Robustness analysis over a workload."""
+    config = scenario(scenario_key)
+    if catalog is None:
+        catalog = build_tpch_catalog(100)
+    if queries is None:
+        queries = build_tpch_queries(catalog)
+    return [
+        analyze_query_robustness(
+            query, catalog, config, params, delta, cell_cap
+        )
+        for query in queries.values()
+    ]
+
+
+def format_robustness_table(rows: list[QueryRobustness]) -> str:
+    """Text table: per query, the most fragile parameter and regret."""
+    lines = [
+        f"{'query':>6}  {'most fragile parameter':<24} "
+        f"{'radius':>8}  {'regret@10x':>10}  watch list (radius <= 10)"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        fragile = row.most_fragile()
+        if fragile is None:
+            lines.append(
+                f"{row.query_name:>6}  {'(plan never switches)':<24} "
+                f"{'inf':>8}  {'1.00':>10}"
+            )
+            continue
+        watch = ", ".join(row.watch_list()) or "-"
+        lines.append(
+            f"{row.query_name:>6}  {fragile.group:<24} "
+            f"{fragile.radius:8.2f}  "
+            f"{fragile.regret_past_switch:10.2f}  {watch}"
+        )
+    return "\n".join(lines)

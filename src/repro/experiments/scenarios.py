@@ -1,0 +1,124 @@
+"""The three storage scenarios of the paper's evaluation (Section 8.1).
+
+Each scenario bundles a layout factory with the matching
+variation-group structure:
+
+* ``shared``    — Figure 5: all tables and indexes on one device; the
+  three resources (CPU, ``d_s``, ``d_t``) vary independently.
+* ``split``     — Figure 6: every table and every table's index group
+  on its own device plus a temp device (2k+2 resources), each device's
+  ``d_s``/``d_t`` locked in ratio.
+* ``colocated`` — Figure 7: one device per table holding the table and
+  its indexes, plus temp (k+2 resources).
+
+The default resource costs are DB2's defaults (d_s = 24.1, d_t = 9.0,
+CPU 1e-6 per instruction), modelling the administrator who never
+recalibrated them — the paper's Section 8.1 setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.feasible import FeasibleRegion, VariationGroup
+from ..optimizer.query import QuerySpec
+from ..storage.layout import StorageLayout
+
+__all__ = [
+    "Scenario",
+    "SCENARIO_KEYS",
+    "scenario",
+    "all_scenarios",
+    "DEFAULT_DELTAS",
+]
+
+SCENARIO_KEYS = ("shared", "split", "colocated")
+
+#: The delta grid swept in the worst-case experiments (log-spaced from
+#: no error to the paper's 10^4 extreme).
+DEFAULT_DELTAS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One storage configuration of the Section 8.1 experiments."""
+
+    key: str
+    figure: str
+    title: str
+    _layout_factory: Callable[[Sequence[str]], StorageLayout]
+    _independent_dims: bool
+
+    def layout_for(self, query: QuerySpec) -> StorageLayout:
+        """Build the scenario's layout for one query's tables."""
+        return self._layout_factory(query.table_names())
+
+    def groups_for(
+        self, layout: StorageLayout
+    ) -> tuple[VariationGroup, ...]:
+        """Variation groups: which costs drift independently."""
+        if self._independent_dims:
+            return layout.independent_groups()
+        return layout.variation_groups()
+
+    def region(self, layout: StorageLayout, delta: float) -> FeasibleRegion:
+        """The feasible cost region at error level ``delta``."""
+        return FeasibleRegion(
+            layout.center_costs(), delta, self.groups_for(layout)
+        )
+
+    def resource_count(self, query: QuerySpec) -> int:
+        """Effective resource count as the paper states it.
+
+        3 for ``shared``; ``2k + 2`` for ``split``; ``k + 2`` for
+        ``colocated`` (k = number of distinct tables).
+        """
+        k = len(query.table_names())
+        if self.key == "shared":
+            return 3
+        if self.key == "split":
+            return 2 * k + 2
+        return k + 2
+
+
+_SCENARIOS = {
+    "shared": Scenario(
+        key="shared",
+        figure="Figure 5",
+        title="All tables and indexes on the same device",
+        _layout_factory=StorageLayout.shared_device,
+        _independent_dims=True,
+    ),
+    "split": Scenario(
+        key="split",
+        figure="Figure 6",
+        title="Each table and each index group on its own device",
+        _layout_factory=StorageLayout.per_table_and_index,
+        _independent_dims=False,
+    ),
+    "colocated": Scenario(
+        key="colocated",
+        figure="Figure 7",
+        title="One device per table with its indexes",
+        _layout_factory=StorageLayout.per_table_with_indexes,
+        _independent_dims=False,
+    ),
+}
+
+
+def scenario(key: str) -> Scenario:
+    """Look up a scenario by key (``shared``/``split``/``colocated``)."""
+    try:
+        return _SCENARIOS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {key!r}; expected one of {SCENARIO_KEYS}"
+        ) from None
+
+
+def all_scenarios() -> tuple[Scenario, ...]:
+    return tuple(_SCENARIOS[key] for key in SCENARIO_KEYS)

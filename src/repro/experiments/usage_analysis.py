@@ -1,0 +1,121 @@
+"""Resource-usage-vector analysis: the Section 8.2 census.
+
+For each query and storage scenario, compute the candidate optimal
+plans and classify every pair:
+
+* complementary or not (Section 5.5);
+* complementarity class — table / access-path / temp (Section 5.6);
+* near-complementary (element ratios above an order of magnitude).
+
+The paper's Section 8.2 findings, which this experiment reproduces in
+shape:
+
+* ``shared``: no complementary candidate pairs for any query;
+* ``split``: many complementary pairs — all access-path or temp
+  complementary, none table complementary;
+* ``colocated``: access-path complementarity eliminated (tables and
+  their indexes share a device), temp complementarity remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..catalog.statistics import Catalog
+from ..catalog.tpch import build_tpch_catalog
+from ..core.bounds import corollary_constant_bound
+from ..core.complementary import ComplementarityCensus, census
+from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
+from ..optimizer.parametric import candidate_plans
+from ..optimizer.query import QuerySpec
+from ..workloads.tpch_queries import build_tpch_queries
+from .scenarios import Scenario, scenario
+
+__all__ = ["QueryCensus", "UsageAnalysisResult", "run_usage_analysis"]
+
+#: Delta of the feasible region the candidate sets are computed over
+#: (the widest sweep level of the worst-case experiments).
+DEFAULT_DELTA = 10000.0
+
+
+@dataclass
+class QueryCensus:
+    """Candidate-set complementarity census for one query."""
+
+    query_name: str
+    scenario_key: str
+    n_candidates: int
+    truncated: bool
+    census: ComplementarityCensus
+    #: Equation 9 constant bound over the candidate set (inf when any
+    #: pair is complementary).
+    constant_bound: float
+
+    @property
+    def has_complementary_pairs(self) -> bool:
+        return self.census.n_complementary > 0
+
+    def class_count(self, cls: str) -> int:
+        return self.census.count(cls)
+
+
+@dataclass
+class UsageAnalysisResult:
+    """Census rows for all queries of one scenario."""
+
+    scenario_key: str
+    rows: list[QueryCensus]
+
+    def queries_with_complementary_plans(self) -> list[str]:
+        return [
+            row.query_name for row in self.rows
+            if row.has_complementary_pairs
+        ]
+
+    def total_class_counts(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for row in self.rows:
+            for cls, count in row.census.class_counts.items():
+                totals[cls] = totals.get(cls, 0) + count
+        return totals
+
+    def by_query(self) -> Mapping[str, QueryCensus]:
+        return {row.query_name: row for row in self.rows}
+
+
+def run_usage_analysis(
+    scenario_key: str,
+    catalog: Catalog | None = None,
+    queries: Mapping[str, QuerySpec] | None = None,
+    params: SystemParameters = DEFAULT_PARAMETERS,
+    delta: float = DEFAULT_DELTA,
+    cell_cap: int | None = 64,
+    usage_tol: float = 1e-9,
+) -> UsageAnalysisResult:
+    """Run the Section 8.2 analysis for one storage scenario."""
+    config: Scenario = scenario(scenario_key)
+    if catalog is None:
+        catalog = build_tpch_catalog(100)
+    if queries is None:
+        queries = build_tpch_queries(catalog)
+    rows = []
+    for query in queries.values():
+        layout = config.layout_for(query)
+        region = config.region(layout, delta)
+        candidates = candidate_plans(
+            query, catalog, params, layout, region, cell_cap=cell_cap
+        )
+        pair_census = census(candidates.usages, tol=usage_tol)
+        bound = corollary_constant_bound(candidates.usages, tol=usage_tol)
+        rows.append(
+            QueryCensus(
+                query_name=query.name,
+                scenario_key=scenario_key,
+                n_candidates=len(candidates),
+                truncated=candidates.truncated,
+                census=pair_census,
+                constant_bound=bound,
+            )
+        )
+    return UsageAnalysisResult(scenario_key=scenario_key, rows=rows)

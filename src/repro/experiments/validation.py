@@ -1,0 +1,205 @@
+"""Validation of the black-box algorithms against white-box truth.
+
+The paper validated its least-squares usage estimates by predicting
+total costs at held-out cost vectors and comparing with the optimizer's
+reported costs, finding discrepancies below one percent
+(Section 6.1.1).  Our optimizer is white-box, so validation is
+stronger: estimates and discovered candidate sets are compared against
+the *exact* parametric-DP ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..catalog.statistics import Catalog
+from ..core.discovery import discover_candidate_plans
+from ..core.estimation import estimate_usage_vector, validate_estimate
+from ..core.feasible import FeasibleRegion
+from ..optimizer.blackbox import CandidateBackedBlackBox, OptimizerBlackBox
+from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
+from ..optimizer.parametric import CandidateSet, candidate_plans
+from ..optimizer.query import QuerySpec
+from .scenarios import Scenario, scenario
+
+__all__ = [
+    "EstimationValidation",
+    "DiscoveryValidation",
+    "validate_estimation",
+    "validate_discovery",
+]
+
+
+@dataclass
+class EstimationValidation:
+    """Least-squares reconstruction quality for one query/scenario."""
+
+    query_name: str
+    scenario_key: str
+    #: plan signature -> max relative prediction error at test points.
+    prediction_errors: dict[str, float] = field(default_factory=dict)
+    #: plan signature -> max relative component error vs true usage.
+    component_errors: dict[str, float] = field(default_factory=dict)
+    optimizer_calls: int = 0
+
+    @property
+    def worst_prediction_error(self) -> float:
+        return max(self.prediction_errors.values(), default=0.0)
+
+    @property
+    def meets_paper_criterion(self) -> bool:
+        """The paper reported < 1% prediction discrepancy."""
+        return self.worst_prediction_error < 0.01
+
+
+@dataclass
+class DiscoveryValidation:
+    """Black-box discovery recall/precision for one query/scenario."""
+
+    query_name: str
+    scenario_key: str
+    true_signatures: frozenset[str]
+    found_signatures: frozenset[str]
+    discovery_complete: bool
+    optimizer_calls: int
+
+    @property
+    def missed(self) -> frozenset[str]:
+        return self.true_signatures - self.found_signatures
+
+    @property
+    def spurious(self) -> frozenset[str]:
+        """Found plans outside the true candidate set.
+
+        Nonempty only if the white-box set was truncated or the black
+        box answered outside the region — both reportable defects.
+        """
+        return self.found_signatures - self.true_signatures
+
+    @property
+    def recall(self) -> float:
+        if not self.true_signatures:
+            return 1.0
+        hits = len(self.true_signatures & self.found_signatures)
+        return hits / len(self.true_signatures)
+
+    @property
+    def exact(self) -> bool:
+        return self.found_signatures == self.true_signatures
+
+
+def _candidates_and_box(
+    query: QuerySpec,
+    catalog: Catalog,
+    params: SystemParameters,
+    config: Scenario,
+    delta: float,
+    cell_cap: int | None,
+    honest_blackbox: bool,
+):
+    layout = config.layout_for(query)
+    region = config.region(layout, delta)
+    candidates = candidate_plans(
+        query, catalog, params, layout, region, cell_cap=cell_cap
+    )
+    if honest_blackbox:
+        box = OptimizerBlackBox(query, catalog, params, layout)
+    else:
+        box = CandidateBackedBlackBox(candidates)
+    return candidates, region, box
+
+
+def validate_estimation(
+    query: QuerySpec,
+    catalog: Catalog,
+    config_key: str = "shared",
+    params: SystemParameters = DEFAULT_PARAMETERS,
+    delta: float = 100.0,
+    cell_cap: int | None = 64,
+    n_test_points: int = 30,
+    honest_blackbox: bool = False,
+    seed: int = 0,
+) -> EstimationValidation:
+    """Section 6.1.1 end-to-end: sample, estimate, predict, compare.
+
+    For every candidate plan with a full-dimensional region of
+    influence, gather >= 2n plan-stable samples through the narrow
+    interface, least-squares the usage vector, then check predictions
+    at held-out cost vectors AND the component-wise match against the
+    white-box usage vector.
+    """
+    config = scenario(config_key)
+    candidates, region, box = _candidates_and_box(
+        query, catalog, params, config, delta, cell_cap, honest_blackbox
+    )
+    rng = np.random.default_rng(seed)
+    result = EstimationValidation(
+        query_name=query.name, scenario_key=config_key
+    )
+    calls_before = box.call_count
+    for plan in candidates.plans:
+        # Find a seed point where this plan wins.
+        from ..core.candidates import witness_cost_vector
+
+        witness = witness_cost_vector(
+            candidates.plans.index(plan), candidates.usages, region
+        )
+        if witness is None:
+            continue
+        if box.optimize(witness).signature != plan.signature:
+            # Another plan ties at the witness; skip (boundary-only).
+            continue
+        try:
+            estimate = estimate_usage_vector(
+                box, plan.signature, witness, region, rng=rng
+            )
+        except (RuntimeError, ValueError):
+            continue
+        test_costs = region.sample(rng, n_test_points)
+        truth = plan.usage
+        result.prediction_errors[plan.signature] = validate_estimate(
+            estimate.usage, lambda c: truth.dot(c), test_costs
+        )
+        scale = np.maximum(truth.values, truth.values.max() * 1e-9)
+        component_error = float(
+            np.max(np.abs(estimate.usage.values - truth.values) / scale)
+        )
+        result.component_errors[plan.signature] = component_error
+    result.optimizer_calls = box.call_count - calls_before
+    return result
+
+
+def validate_discovery(
+    query: QuerySpec,
+    catalog: Catalog,
+    config_key: str = "shared",
+    params: SystemParameters = DEFAULT_PARAMETERS,
+    delta: float = 100.0,
+    cell_cap: int | None = 64,
+    max_optimizer_calls: int = 20000,
+    honest_blackbox: bool = False,
+    seed: int = 0,
+) -> DiscoveryValidation:
+    """Section 6.2.1 end-to-end: discover plans, compare with truth."""
+    config = scenario(config_key)
+    candidates, region, box = _candidates_and_box(
+        query, catalog, params, config, delta, cell_cap, honest_blackbox
+    )
+    calls_before = box.call_count
+    discovery = discover_candidate_plans(
+        box,
+        region,
+        max_optimizer_calls=max_optimizer_calls,
+        rng=np.random.default_rng(seed),
+        estimate_usages=False,
+    )
+    return DiscoveryValidation(
+        query_name=query.name,
+        scenario_key=config_key,
+        true_signatures=frozenset(candidates.signatures),
+        found_signatures=frozenset(discovery.witnesses),
+        discovery_complete=discovery.complete,
+        optimizer_calls=box.call_count - calls_before,
+    )

@@ -1,0 +1,190 @@
+"""Worst-case sensitivity experiments: Figures 5, 6 and 7.
+
+For each query and storage scenario:
+
+1. compute the candidate optimal plan set over the widest feasible
+   region (white-box parametric DP + LP filtering);
+2. identify the *initial plan* — optimal at the DB2-default cost
+   vector ``C_0``;
+3. sweep the error level ``delta`` and record the worst-case global
+   relative cost of the initial plan over the feasible region's
+   vertices (exact by Observation 2).
+
+The per-curve growth classification (constant / intermediate /
+quadratic) reproduces the paper's reading of the figures: Figure 5 is
+all-constant, Figure 6 mostly quadratic, Figure 7 in between.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..catalog.statistics import Catalog
+from ..catalog.tpch import build_tpch_catalog
+from ..core.worstcase import WorstCaseCurve, worst_case_curve
+from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
+from ..optimizer.parametric import candidate_plans
+from ..optimizer.query import QuerySpec
+from ..workloads.tpch_queries import build_tpch_queries
+from .scenarios import DEFAULT_DELTAS, Scenario, scenario
+
+__all__ = [
+    "QueryWorstCase",
+    "FigureResult",
+    "run_query_worst_case",
+    "run_figure",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+]
+
+
+@dataclass
+class QueryWorstCase:
+    """One curve of a worst-case figure."""
+
+    query_name: str
+    scenario_key: str
+    curve: WorstCaseCurve
+    n_candidates: int
+    truncated: bool
+    initial_signature: str
+    resource_count: int
+
+    @property
+    def final_gtc(self) -> float:
+        return self.curve.final_gtc()
+
+    def growth_class(self) -> str:
+        """Asymptotic growth of the curve: how the paper reads a line.
+
+        Log-log slope over the last two sweep points: ``~0`` means the
+        Theorem 2 constant regime (``constant``), ``~2`` the Theorem 1
+        quadratic regime (``quadratic``), anything in between is
+        ``intermediate`` (a knee still in progress at the largest
+        delta, like queries 11/16 in Figure 6).
+        """
+        points = self.curve.points
+        if len(points) < 2:
+            return "constant"
+        (d1, g1), (d2, g2) = (
+            (points[-2].delta, points[-2].gtc),
+            (points[-1].delta, points[-1].gtc),
+        )
+        if g1 <= 0 or d2 <= d1:
+            return "constant"
+        slope = math.log(g2 / g1) / math.log(d2 / d1)
+        if slope < 0.3:
+            return "constant"
+        if slope > 1.5:
+            return "quadratic"
+        return "intermediate"
+
+
+@dataclass
+class FigureResult:
+    """All 22 curves of one figure."""
+
+    scenario_key: str
+    figure: str
+    curves: list[QueryWorstCase]
+    deltas: tuple[float, ...]
+
+    def by_query(self) -> Mapping[str, QueryWorstCase]:
+        return {curve.query_name: curve for curve in self.curves}
+
+    def growth_census(self) -> dict[str, int]:
+        """Count of curves per growth class."""
+        census: dict[str, int] = {}
+        for curve in self.curves:
+            key = curve.growth_class()
+            census[key] = census.get(key, 0) + 1
+        return census
+
+    def max_final_gtc(self) -> float:
+        return max(curve.final_gtc for curve in self.curves)
+
+
+def run_query_worst_case(
+    query: QuerySpec,
+    catalog: Catalog,
+    params: SystemParameters,
+    config: Scenario,
+    deltas: Sequence[float] = DEFAULT_DELTAS,
+    cell_cap: int | None = 64,
+) -> QueryWorstCase:
+    """Worst-case curve of one query under one storage scenario."""
+    layout = config.layout_for(query)
+    widest = config.region(layout, max(deltas))
+    candidates = candidate_plans(
+        query, catalog, params, layout, widest, cell_cap=cell_cap
+    )
+    if not candidates.plans:
+        raise RuntimeError(
+            f"no candidate plans for {query.name} under {config.key}"
+        )
+    initial_index = candidates.initial_plan_index()
+    initial = candidates.plans[initial_index]
+    base_region = config.region(layout, 1.0)
+    curve = worst_case_curve(
+        initial.usage,
+        candidates.usages,
+        base_region,
+        deltas,
+        label=query.name,
+        initial_plan_index=initial_index,
+    )
+    return QueryWorstCase(
+        query_name=query.name,
+        scenario_key=config.key,
+        curve=curve,
+        n_candidates=len(candidates),
+        truncated=candidates.truncated,
+        initial_signature=initial.signature,
+        resource_count=config.resource_count(query),
+    )
+
+
+def run_figure(
+    scenario_key: str,
+    catalog: Catalog | None = None,
+    queries: Mapping[str, QuerySpec] | None = None,
+    params: SystemParameters = DEFAULT_PARAMETERS,
+    deltas: Sequence[float] = DEFAULT_DELTAS,
+    cell_cap: int | None = 64,
+) -> FigureResult:
+    """Regenerate one of Figures 5-7 over (by default) all 22 queries."""
+    config = scenario(scenario_key)
+    if catalog is None:
+        catalog = build_tpch_catalog(100)
+    if queries is None:
+        queries = build_tpch_queries(catalog)
+    curves = [
+        run_query_worst_case(
+            query, catalog, params, config, deltas, cell_cap
+        )
+        for query in queries.values()
+    ]
+    return FigureResult(
+        scenario_key=scenario_key,
+        figure=config.figure,
+        curves=curves,
+        deltas=tuple(deltas),
+    )
+
+
+def run_figure5(**kwargs) -> FigureResult:
+    """Figure 5: all tables and indexes on the same storage device."""
+    return run_figure("shared", **kwargs)
+
+
+def run_figure6(**kwargs) -> FigureResult:
+    """Figure 6: all tables and indexes on different storage devices."""
+    return run_figure("split", **kwargs)
+
+
+def run_figure7(**kwargs) -> FigureResult:
+    """Figure 7: one device per table and its corresponding indexes."""
+    return run_figure("colocated", **kwargs)

@@ -1,0 +1,67 @@
+"""A from-scratch Selinger-style cost-based query optimizer.
+
+This is the substrate standing in for the commercial optimizer the
+paper characterised.  It satisfies the paper's Section 7.1 contract —
+linear additive cost model, user-settable resource costs, and a narrow
+interface reporting plan identity plus estimated total cost — while
+additionally exposing white-box parametric optimization
+(:func:`candidate_plans`) for validating the paper's black-box
+extraction algorithms.
+"""
+
+from .blackbox import CandidateBackedBlackBox, OptimizerBlackBox
+from .config import DEFAULT_PARAMETERS, SystemParameters
+from .dp import (
+    CostedPlan,
+    ParetoPruner,
+    PlanEnumerator,
+    ScalarPruner,
+    enumerate_root_plans,
+    optimize_scalar,
+)
+from .operators import CostModel, yao_pages
+from .parametric import CandidateSet, candidate_plans
+from .plans import (
+    AggregateNode,
+    HashJoinNode,
+    IndexProbeNode,
+    IndexScanNode,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    SortNode,
+    TableScanNode,
+)
+from .query import JoinPredicate, LocalPredicate, QuerySpec, TableRef
+from .selectivity import CardinalityModel
+
+__all__ = [
+    "AggregateNode",
+    "CandidateBackedBlackBox",
+    "CandidateSet",
+    "CardinalityModel",
+    "CostModel",
+    "CostedPlan",
+    "DEFAULT_PARAMETERS",
+    "HashJoinNode",
+    "IndexProbeNode",
+    "IndexScanNode",
+    "JoinPredicate",
+    "LocalPredicate",
+    "MergeJoinNode",
+    "NestedLoopJoinNode",
+    "OptimizerBlackBox",
+    "ParetoPruner",
+    "PlanEnumerator",
+    "PlanNode",
+    "QuerySpec",
+    "ScalarPruner",
+    "SortNode",
+    "SystemParameters",
+    "TableRef",
+    "TableScanNode",
+    "candidate_plans",
+    "enumerate_root_plans",
+    "optimize_scalar",
+    "yao_pages",
+]

@@ -1,0 +1,94 @@
+"""The optimizer behind the paper's narrow interface (Section 7.1).
+
+Two implementations of :class:`repro.core.blackbox.BlackBoxOptimizer`:
+
+* :class:`OptimizerBlackBox` — honest: every ``optimize(C)`` call runs
+  the full scalar dynamic program, exactly like re-invoking DB2 with
+  new ``db2fopt`` cost settings.  Slow but faithful.
+* :class:`CandidateBackedBlackBox` — fast: answers from a precomputed
+  candidate plan set.  Because the candidate set contains every plan
+  that can be optimal over the region, the answers are identical to the
+  honest box within that region; large sweeps use this one.
+
+Both report only ``(plan signature, estimated total cost)`` — usage
+vectors stay hidden, which is the entire point of the paper's
+extraction algorithms.
+"""
+
+from __future__ import annotations
+
+from ..catalog.statistics import Catalog
+from ..core.blackbox import PlanChoice
+from ..core.vectors import CostVector
+from ..storage.layout import StorageLayout
+from .config import SystemParameters
+from .dp import optimize_scalar
+from .parametric import CandidateSet
+from .query import QuerySpec
+
+__all__ = ["OptimizerBlackBox", "CandidateBackedBlackBox"]
+
+
+class OptimizerBlackBox:
+    """Runs the scalar DP on every call (the faithful black box)."""
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        catalog: Catalog,
+        params: SystemParameters,
+        layout: StorageLayout,
+    ) -> None:
+        self._query = query
+        self._catalog = catalog
+        self._params = params
+        self._layout = layout
+        self.call_count = 0
+
+    @property
+    def query(self) -> QuerySpec:
+        return self._query
+
+    def optimize(self, cost: CostVector) -> PlanChoice:
+        self.call_count += 1
+        plan = optimize_scalar(
+            self._query, self._catalog, self._params, self._layout, cost
+        )
+        return PlanChoice(
+            signature=plan.signature, total_cost=plan.usage.dot(cost)
+        )
+
+
+class CandidateBackedBlackBox:
+    """Answers from a precomputed candidate set (fast, region-exact).
+
+    Outside the candidate set's region the answers may be stale — the
+    constructor cannot check that, so callers must keep queries inside
+    the region the set was computed for.
+    """
+
+    def __init__(self, candidates: CandidateSet) -> None:
+        if not candidates.plans:
+            raise ValueError("candidate set is empty")
+        self._candidates = candidates
+        self.call_count = 0
+
+    @property
+    def candidates(self) -> CandidateSet:
+        return self._candidates
+
+    def usage_of(self, signature: str):
+        """Ground-truth usage (validation only, not the narrow API)."""
+        for plan in self._candidates.plans:
+            if plan.signature == signature:
+                return plan.usage
+        raise KeyError(signature)
+
+    def optimize(self, cost: CostVector) -> PlanChoice:
+        self.call_count += 1
+        plans = self._candidates.plans
+        totals = [plan.usage.dot(cost) for plan in plans]
+        index = min(range(len(totals)), key=lambda i: (totals[i], i))
+        return PlanChoice(
+            signature=plans[index].signature, total_cost=totals[index]
+        )

@@ -1,0 +1,369 @@
+"""Per-operator cost formulas producing abstract I/O accounts.
+
+Every formula charges three currencies, mirroring the paper's resource
+model (Section 3.1):
+
+* **seeks** and **pages** against an object group (a table's data, a
+  table's index group, or temp space) — the layout later maps these to
+  device dimensions;
+* **CPU instructions** against the single CPU dimension.
+
+The formulas are classic System-R / DB2-flavoured first approximations;
+each documents its assumptions.  Two cross-cutting effects:
+
+* *sequential prefetch*: a sequential read of ``p`` pages costs
+  ``ceil(p / prefetch_extent)`` seeks (one per prefetch burst);
+* *buffer pool residency*: an object smaller than the buffer-pool
+  residency budget is read at most once across repeated accesses
+  (nested-loop inners against NATION-sized tables become CPU-bound,
+  as in a real system).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..catalog.statistics import Catalog, IndexStats, TableStats
+from ..storage.layout import IOAccount, ObjectKey
+from .config import SystemParameters
+
+__all__ = ["CostModel", "yao_pages"]
+
+
+def yao_pages(n_pages: float, rows_per_page: float, k: float) -> float:
+    """Expected distinct pages touched by ``k`` random row fetches.
+
+    Cardenas' approximation ``n * (1 - (1 - 1/n) ** k)`` — within a few
+    percent of Yao's exact formula for the page counts involved here.
+    """
+    if n_pages <= 0:
+        return 0.0
+    if k <= 0:
+        return 0.0
+    n = float(n_pages)
+    # (1 - 1/n)^k via exp/log1p for numerical stability at large n, k.
+    fraction = -math.expm1(k * math.log1p(-1.0 / n)) if n > 1 else 1.0
+    return n * fraction
+
+
+@dataclass
+class _ScanResult:
+    """An account plus the number of rows delivered by the operator."""
+
+    account: IOAccount
+    rows: float
+
+
+class CostModel:
+    """Cost formulas bound to a catalog and system parameters."""
+
+    def __init__(self, catalog: Catalog, params: SystemParameters) -> None:
+        self._catalog = catalog
+        self._params = params
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def params(self) -> SystemParameters:
+        return self._params
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _table_stats(self, table: str) -> TableStats:
+        return self._catalog.table_stats(table)
+
+    def _index_stats(self, index_name: str) -> IndexStats:
+        return self._catalog.index_stats(index_name)
+
+    def sequential_seeks(self, pages: float) -> float:
+        """Seeks charged for a sequential read/write of ``pages``."""
+        if pages <= 0:
+            return 0.0
+        return math.ceil(pages / self._params.prefetch_extent)
+
+    def fits_in_bufferpool(self, pages: float) -> bool:
+        return pages <= self._params.bufferpool_resident_pages()
+
+    def fits_in_sortheap(self, pages: float) -> bool:
+        return pages <= self._params.sortheap_pages
+
+    def pages_for(self, rows: float, width: float) -> float:
+        """Data pages occupied by ``rows`` tuples of ``width`` bytes."""
+        if rows <= 0:
+            return 0.0
+        per_page = max(1.0, (self._params.page_size * 0.96) // max(width, 1))
+        return math.ceil(rows / per_page)
+
+    # ------------------------------------------------------------------
+    # Base-table access paths
+    # ------------------------------------------------------------------
+    def table_scan(
+        self, table: str, n_predicates: int, output_rows: float
+    ) -> _ScanResult:
+        """Full sequential scan with predicate application."""
+        stats = self._table_stats(table)
+        account = IOAccount()
+        pages = float(stats.n_pages)
+        account.add_io(
+            ObjectKey.table(table), self.sequential_seeks(pages), pages
+        )
+        cpu = stats.row_count * self._params.cpu_per_tuple
+        cpu += (
+            stats.row_count * n_predicates * self._params.cpu_per_predicate
+        )
+        account.add_cpu(cpu)
+        return _ScanResult(account, output_rows)
+
+    def index_scan(
+        self,
+        table: str,
+        index_name: str,
+        matched_selectivity: float,
+        n_residual_predicates: int,
+        output_rows: float,
+        index_only: bool = False,
+    ) -> _ScanResult:
+        """Range scan of an index, optionally fetching data rows.
+
+        ``matched_selectivity`` is the fraction of the key range the
+        sargable predicate selects; residual predicates are applied to
+        fetched rows.  Fetch cost blends the clustered pattern
+        (sequential data pages) and the unclustered pattern (one random
+        page per match, capped by Yao's formula and buffer-pool
+        residency) by the index's cluster ratio.
+        """
+        if not 0.0 < matched_selectivity <= 1.0:
+            raise ValueError("matched_selectivity must be in (0, 1]")
+        table_stats = self._table_stats(table)
+        index_stats = self._index_stats(index_name)
+        account = IOAccount()
+        index_key = ObjectKey.index(table)
+
+        # Descend the B-tree once, then scan the matching leaf range.
+        leaf_pages = math.ceil(matched_selectivity * index_stats.leaf_pages)
+        descend_pages = index_stats.levels - 1
+        account.add_io(
+            index_key,
+            1.0 + self.sequential_seeks(leaf_pages),
+            descend_pages + leaf_pages,
+        )
+        matches = matched_selectivity * table_stats.row_count
+        cpu = matches * self._params.cpu_per_tuple
+
+        if not index_only:
+            ratio = index_stats.cluster_ratio
+            clustered_pages = matched_selectivity * table_stats.n_pages
+            clustered_seeks = self.sequential_seeks(clustered_pages)
+            if self.fits_in_bufferpool(table_stats.n_pages):
+                # Resident: each distinct page is read once (Yao).
+                random_pages = yao_pages(
+                    table_stats.n_pages, table_stats.rows_per_page, matches
+                )
+            else:
+                # Classic Selinger: one I/O per unclustered match.
+                random_pages = matches
+            pages = ratio * clustered_pages + (1 - ratio) * random_pages
+            seeks = ratio * clustered_seeks + (1 - ratio) * random_pages
+            account.add_io(ObjectKey.table(table), seeks, pages)
+            cpu += (
+                matches
+                * n_residual_predicates
+                * self._params.cpu_per_predicate
+            )
+        account.add_cpu(cpu)
+        return _ScanResult(account, output_rows)
+
+    # ------------------------------------------------------------------
+    # Nested-loop inners
+    # ------------------------------------------------------------------
+    def index_probes(
+        self,
+        table: str,
+        index_name: str,
+        n_probes: float,
+        matches_per_probe: float,
+        n_residual_predicates: int = 0,
+        index_only: bool = False,
+    ) -> IOAccount:
+        """Total cost of ``n_probes`` B-tree probes (INL join inner).
+
+        The top ``cached_index_levels`` of the B-tree are assumed
+        resident; if the whole index fits the residency budget, leaf
+        reads are charged once per distinct leaf rather than once per
+        probe.  Data fetches follow the same Yao/residency blend as
+        :meth:`index_scan`.
+        """
+        if n_probes < 0 or matches_per_probe < 0:
+            raise ValueError("probe counts must be non-negative")
+        table_stats = self._table_stats(table)
+        index_stats = self._index_stats(index_name)
+        params = self._params
+        account = IOAccount()
+
+        uncached_levels = max(
+            1.0, index_stats.levels - params.cached_index_levels
+        )
+        index_total = index_stats.leaf_pages + index_stats.levels
+        if self.fits_in_bufferpool(index_total):
+            index_pages = min(
+                n_probes * uncached_levels,
+                yao_pages(index_stats.leaf_pages, 1.0, n_probes)
+                + index_stats.levels,
+            )
+        else:
+            index_pages = n_probes * uncached_levels
+        account.add_io(ObjectKey.index(table), index_pages, index_pages)
+
+        total_matches = n_probes * matches_per_probe
+        cpu = n_probes * params.cpu_per_tuple
+        cpu += total_matches * params.cpu_per_tuple
+        if not index_only and total_matches > 0:
+            ratio = index_stats.cluster_ratio
+            distinct = yao_pages(
+                table_stats.n_pages,
+                table_stats.rows_per_page,
+                total_matches,
+            )
+            if self.fits_in_bufferpool(table_stats.n_pages):
+                fetch_pages = distinct
+            else:
+                fetch_pages = (
+                    ratio * distinct + (1 - ratio) * total_matches
+                )
+            account.add_io(ObjectKey.table(table), fetch_pages, fetch_pages)
+            cpu += (
+                total_matches
+                * n_residual_predicates
+                * params.cpu_per_predicate
+            )
+        account.add_cpu(cpu)
+        return account
+
+    def rescans(
+        self,
+        table: str,
+        n_probes: float,
+        n_predicates: int,
+    ) -> IOAccount:
+        """Nested-loop inner as a repeated table scan.
+
+        The first scan pays full I/O; if the table fits in the buffer
+        pool the remaining ``n_probes - 1`` iterations are CPU-only,
+        otherwise every iteration pays the scan again.  Only sensible
+        for tiny inners (NATION, REGION) — anything else is dominated.
+        """
+        if n_probes < 1:
+            n_probes = 1.0
+        stats = self._table_stats(table)
+        account = IOAccount()
+        pages = float(stats.n_pages)
+        iterations_paying_io = (
+            1.0 if self.fits_in_bufferpool(pages) else n_probes
+        )
+        account.add_io(
+            ObjectKey.table(table),
+            self.sequential_seeks(pages) * iterations_paying_io,
+            pages * iterations_paying_io,
+        )
+        cpu_per_scan = stats.row_count * (
+            self._params.cpu_per_tuple
+            + n_predicates * self._params.cpu_per_predicate
+        )
+        account.add_cpu(cpu_per_scan * n_probes)
+        return account
+
+    # ------------------------------------------------------------------
+    # Blocking operators (temp-space users)
+    # ------------------------------------------------------------------
+    def sort(self, rows: float, width: float) -> IOAccount:
+        """Sort ``rows`` tuples of ``width`` bytes.
+
+        In-memory when the input fits the sort heap; otherwise a
+        multi-pass external merge sort writing and reading temp space
+        once per pass.
+        """
+        account = IOAccount()
+        if rows <= 0:
+            return account
+        params = self._params
+        account.add_cpu(
+            rows * math.log2(max(rows, 2.0)) * params.cpu_per_compare
+        )
+        pages = self.pages_for(rows, width)
+        if self.fits_in_sortheap(pages):
+            return account
+        runs = math.ceil(pages / params.sortheap_pages)
+        passes = max(
+            1, math.ceil(math.log(runs) / math.log(params.sort_merge_fanin))
+        )
+        temp_pages = 2.0 * pages * passes
+        # Writes stream sequentially; merge reads pay one seek per run
+        # switch plus the sequential bursts.
+        seeks_per_pass = 2.0 * self.sequential_seeks(pages) + runs
+        account.add_io(ObjectKey.temp(), seeks_per_pass * passes, temp_pages)
+        return account
+
+    def hash_join(
+        self,
+        build_rows: float,
+        build_width: float,
+        probe_rows: float,
+        probe_width: float,
+        output_rows: float,
+    ) -> IOAccount:
+        """Hash join; spills both inputs to temp when the build side
+        exceeds the sort heap (Grace-style partitioning)."""
+        params = self._params
+        account = IOAccount()
+        cpu = (build_rows + probe_rows) * params.cpu_per_hash
+        cpu += output_rows * params.cpu_per_tuple
+        account.add_cpu(cpu)
+        build_pages = self.pages_for(build_rows, build_width)
+        if not self.fits_in_sortheap(build_pages):
+            probe_pages = self.pages_for(probe_rows, probe_width)
+            partitions = math.ceil(build_pages / params.sortheap_pages)
+            passes = max(
+                1,
+                math.ceil(
+                    math.log(partitions) / math.log(params.sort_merge_fanin)
+                ),
+            )
+            total = build_pages + probe_pages
+            temp_pages = 2.0 * total * passes
+            seeks = passes * (2.0 * self.sequential_seeks(total) + partitions)
+            account.add_io(ObjectKey.temp(), seeks, temp_pages)
+        return account
+
+    def merge_join(
+        self, left_rows: float, right_rows: float, output_rows: float
+    ) -> IOAccount:
+        """Merge two sorted streams (sorts are separate enforcers)."""
+        params = self._params
+        account = IOAccount()
+        account.add_cpu(
+            (left_rows + right_rows) * params.cpu_per_tuple
+            + output_rows * params.cpu_per_tuple
+        )
+        return account
+
+    def aggregate(
+        self, rows: float, width: float, groups: float
+    ) -> IOAccount:
+        """Hash aggregation, spilling when the group table is large."""
+        params = self._params
+        account = IOAccount()
+        account.add_cpu(
+            rows * params.cpu_per_hash + groups * params.cpu_per_tuple
+        )
+        group_pages = self.pages_for(groups, width)
+        if not self.fits_in_sortheap(group_pages):
+            account.add_io(
+                ObjectKey.temp(),
+                2.0 * self.sequential_seeks(group_pages),
+                2.0 * group_pages,
+            )
+        return account

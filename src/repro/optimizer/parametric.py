@@ -1,0 +1,115 @@
+"""Exact candidate-optimal plan sets (white-box parametric optimization).
+
+The paper had to *reverse-engineer* candidate plans and usage vectors
+through DB2's narrow interface (Sections 6.1.1 and 6.2.1).  Our
+optimizer is white-box, so the candidate set can be computed exactly:
+
+1. run the parametric DP (:func:`repro.optimizer.dp.enumerate_root_plans`)
+   to get the root Pareto set — a superset of every possibly-optimal
+   plan for any positive cost vector;
+2. LP-filter that set against the experiment's feasible cost region
+   (:func:`repro.core.candidates.candidate_optimal_indices`).
+
+The result doubles as the validation oracle for the black-box
+algorithms: discovery must find exactly these signatures, and the
+least-squares estimates must match these usage vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.statistics import Catalog
+from ..core.candidates import candidate_optimal_indices
+from ..core.feasible import FeasibleRegion
+from ..core.vectors import CostVector, UsageVector
+from ..storage.layout import StorageLayout
+from .config import SystemParameters
+from .dp import CostedPlan, enumerate_root_plans
+from .query import QuerySpec
+
+__all__ = ["CandidateSet", "candidate_plans"]
+
+
+@dataclass
+class CandidateSet:
+    """The candidate optimal plans of one query over one region."""
+
+    query_name: str
+    plans: list[CostedPlan]
+    region: FeasibleRegion
+    #: True if the DP hit its per-cell cap, i.e. the set may be missing
+    #: plans (reported, never silently ignored).
+    truncated: bool
+
+    @property
+    def usages(self) -> list[UsageVector]:
+        return [plan.usage for plan in self.plans]
+
+    @property
+    def signatures(self) -> tuple[str, ...]:
+        return tuple(plan.signature for plan in self.plans)
+
+    def initial_plan_index(self, center: CostVector | None = None) -> int:
+        """Index of the plan optimal at the region center (``C_0``)."""
+        cost = center or self.region.center
+        totals = [plan.usage.dot(cost) for plan in self.plans]
+        return min(range(len(totals)), key=lambda i: (totals[i], i))
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __iter__(self):
+        return iter(self.plans)
+
+
+def _deduplicate(plans: list[CostedPlan]) -> list[CostedPlan]:
+    """Collapse plans with identical signatures or identical usage.
+
+    Different orders can leave the same plan twice in the root set;
+    plans with equal usage vectors are interchangeable for the
+    geometric analysis, so the first is kept.
+    """
+    seen_signatures: set[str] = set()
+    seen_usage: set[bytes] = set()
+    result = []
+    for plan in plans:
+        signature = plan.signature
+        usage_key = plan.usage.values.tobytes()
+        if signature in seen_signatures or usage_key in seen_usage:
+            continue
+        seen_signatures.add(signature)
+        seen_usage.add(usage_key)
+        result.append(plan)
+    return result
+
+
+def candidate_plans(
+    query: QuerySpec,
+    catalog: Catalog,
+    params: SystemParameters,
+    layout: StorageLayout,
+    region: FeasibleRegion,
+    cell_cap: int | None = 64,
+    exact_lp: bool = False,
+) -> CandidateSet:
+    """Compute the candidate optimal plan set for one experiment cell.
+
+    ``region`` carries both the feasible box (``delta``) and the
+    variation-group structure (which dimensions move together), so the
+    same function serves all three storage configurations of
+    Section 8.1.
+    """
+    root_plans, truncated = enumerate_root_plans(
+        query, catalog, params, layout, cell_cap=cell_cap
+    )
+    root_plans = _deduplicate(root_plans)
+    usages = [plan.usage for plan in root_plans]
+    indices = candidate_optimal_indices(usages, region, exact=exact_lp)
+    chosen = [root_plans[i] for i in indices]
+    return CandidateSet(
+        query_name=query.name,
+        plans=chosen,
+        region=region,
+        truncated=truncated,
+    )

@@ -1,0 +1,159 @@
+"""Selectivity and cardinality estimation.
+
+Implements the classic System-R estimation rules on top of the catalog
+statistics.  The paper assumes these estimates are *accurate*
+(Section 3.3) — the sensitivity study isolates storage-cost error from
+selectivity error — so the same model is shared by the optimizer's DP,
+the cost formulas, and the executor validation.
+
+Rules:
+
+* local predicate selectivities are taken from the query spec (our
+  TPC-H encodings carry spec-derived values);
+* an equi-join edge defaults to ``1 / max(V(left), V(right))`` where
+  ``V`` is the column's distinct count;
+* conjunction = product (independence), applied to all edges whose
+  endpoints fall inside a subset (so cyclic join graphs like TPC-H Q5's
+  customer-supplier nation edge are handled);
+* group counts are capped by the product of grouping-column distincts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..catalog.statistics import Catalog
+from .query import JoinPredicate, QuerySpec
+
+__all__ = ["CardinalityModel"]
+
+#: Carried-width clamp for intermediate tuples (bytes).
+_MIN_CARRIED = 8
+_MAX_CARRIED = 64
+
+
+class CardinalityModel:
+    """Cached cardinality estimates for one query over one catalog."""
+
+    def __init__(self, query: QuerySpec, catalog: Catalog) -> None:
+        for ref in query.tables:
+            catalog.table(ref.table)  # validate early
+        self._query = query
+        self._catalog = catalog
+        self._subset_cache: dict[frozenset[str], float] = {}
+
+    @property
+    def query(self) -> QuerySpec:
+        return self._query
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    # ------------------------------------------------------------------
+    # Base-table quantities
+    # ------------------------------------------------------------------
+    def base_rows(self, alias: str) -> float:
+        """Unfiltered cardinality of the alias's table."""
+        return float(self._catalog.row_count(self._query.table_of(alias)))
+
+    def local_selectivity(self, alias: str) -> float:
+        """Product of all local predicate selectivities on ``alias``."""
+        selectivity = 1.0
+        for predicate in self._query.predicates_for(alias):
+            selectivity *= predicate.selectivity
+        return selectivity
+
+    def filtered_rows(self, alias: str) -> float:
+        """Rows of ``alias`` surviving its local predicates."""
+        return max(1.0, self.base_rows(alias) * self.local_selectivity(alias))
+
+    def carried_width(self, alias: str) -> int:
+        """Bytes ``alias`` contributes to intermediate tuples."""
+        explicit = self._query.carried_width.get(alias)
+        if explicit is not None:
+            return int(explicit)
+        table = self._catalog.table(self._query.table_of(alias))
+        quarter = table.row_width // 4
+        return max(_MIN_CARRIED, min(_MAX_CARRIED, quarter))
+
+    def tuple_width(self, aliases: Iterable[str]) -> int:
+        """Width of an intermediate tuple over ``aliases``."""
+        return sum(self.carried_width(alias) for alias in aliases)
+
+    # ------------------------------------------------------------------
+    # Join quantities
+    # ------------------------------------------------------------------
+    def join_selectivity(self, join: JoinPredicate) -> float:
+        """Selectivity of one equi-join edge.
+
+        Explicit spec selectivities win; otherwise the System-R
+        ``1 / max(V_left, V_right)`` rule applies.
+        """
+        if join.selectivity is not None:
+            return join.selectivity
+        left_table = self._query.table_of(join.left_alias)
+        right_table = self._query.table_of(join.right_alias)
+        v_left = self._catalog.distinct_values(left_table, join.left_column)
+        v_right = self._catalog.distinct_values(
+            right_table, join.right_column
+        )
+        return 1.0 / max(v_left, v_right, 1.0)
+
+    def join_rows(self, aliases: Iterable[str]) -> float:
+        """Cardinality of the join over a subset of aliases.
+
+        ``prod(filtered base rows) * prod(edge selectivities within the
+        subset)``, floored at one row.  Cached per subset.
+        """
+        subset = frozenset(aliases)
+        if not subset:
+            raise ValueError("subset must be non-empty")
+        cached = self._subset_cache.get(subset)
+        if cached is not None:
+            return cached
+        rows = 1.0
+        for alias in subset:
+            rows *= self.filtered_rows(alias)
+        for join in self._query.joins_within(subset):
+            rows *= self.join_selectivity(join)
+        rows = max(1.0, rows)
+        self._subset_cache[subset] = rows
+        return rows
+
+    def matches_per_probe(
+        self, outer: Iterable[str], inner_alias: str
+    ) -> float:
+        """Expected inner matches per outer tuple in a nested-loop join.
+
+        ``join_rows(outer + inner) / join_rows(outer)`` — the standard
+        identity; floors at zero rather than one so highly selective
+        joins keep their sub-1 match rates.
+        """
+        outer_set = frozenset(outer)
+        combined = self.join_rows(outer_set | {inner_alias})
+        outer_rows = self.join_rows(outer_set)
+        if outer_rows <= 0:
+            return 0.0
+        return combined / outer_rows
+
+    # ------------------------------------------------------------------
+    # Output clauses
+    # ------------------------------------------------------------------
+    def group_count(self) -> float:
+        """Estimated number of groups of the query's GROUP BY."""
+        query = self._query
+        if not query.group_by:
+            return 1.0
+        total_rows = self.join_rows(query.aliases)
+        distinct_product = 1.0
+        for alias, column in query.group_by:
+            table = query.table_of(alias)
+            distinct_product *= self._catalog.distinct_values(table, column)
+        return max(1.0, min(total_rows, distinct_product))
+
+    def output_rows(self) -> float:
+        """Final result cardinality (after grouping if present)."""
+        if self._query.group_by:
+            return self.group_count()
+        return self.join_rows(self._query.aliases)

@@ -1,0 +1,38 @@
+"""A small SQL subset front-end for the optimizer.
+
+Select-project-join statements with conjunctive WHERE clauses are
+parsed and lowered to :class:`~repro.optimizer.query.QuerySpec`, with
+System-R default selectivities refined by catalog statistics.
+"""
+
+from .lexer import SqlLexError, Token, tokenize
+from .parser import (
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    Like,
+    SelectStatement,
+    SqlParseError,
+    TableItem,
+    parse_sql,
+)
+from .translate import SqlTranslationError, sql_to_query, translate
+
+__all__ = [
+    "Between",
+    "ColumnRef",
+    "Comparison",
+    "InList",
+    "Like",
+    "SelectStatement",
+    "SqlLexError",
+    "SqlParseError",
+    "SqlTranslationError",
+    "TableItem",
+    "Token",
+    "parse_sql",
+    "sql_to_query",
+    "tokenize",
+    "translate",
+]

@@ -1,0 +1,119 @@
+"""Tokenizer for the SPJ SQL subset.
+
+Token kinds: ``keyword`` (case-insensitive SQL words), ``ident``,
+``number``, ``string`` (single-quoted, ``''`` escapes), ``op``
+(comparison operators), ``punct`` (``( ) , . *``) and a synthetic
+``eof``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "SqlLexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "AND",
+        "AS", "BETWEEN", "IN", "LIKE", "NOT", "ASC", "DESC",
+        "JOIN", "INNER", "ON",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_PUNCT = "(),.*"
+
+
+class SqlLexError(ValueError):
+    """Raised for characters the lexer cannot tokenize."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; always ends with an ``eof`` token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            end = index + 1
+            chunks = []
+            while True:
+                if end >= length:
+                    raise SqlLexError(
+                        f"unterminated string literal at {index}"
+                    )
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        chunks.append("'")
+                        end += 2
+                        continue
+                    break
+                chunks.append(text[end])
+                end += 1
+            tokens.append(Token("string", "".join(chunks), index))
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            end = index
+            seen_dot = False
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    # A dot not followed by a digit is punctuation
+                    # (qualified names like T.C after a number never
+                    # occur, but be strict anyway).
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token("number", text[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (
+                text[end].isalnum() or text[end] in "_#"
+            ):
+                end += 1
+            word = text[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, index))
+            else:
+                tokens.append(Token("ident", word.upper(), index))
+            index = end
+            continue
+        for operator in _OPERATORS:
+            if text.startswith(operator, index):
+                tokens.append(Token("op", operator, index))
+                index += len(operator)
+                break
+        else:
+            if char in _PUNCT:
+                tokens.append(Token("punct", char, index))
+                index += 1
+            else:
+                raise SqlLexError(
+                    f"unexpected character {char!r} at position {index}"
+                )
+    tokens.append(Token("eof", "", length))
+    return tokens

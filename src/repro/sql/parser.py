@@ -1,0 +1,283 @@
+"""Recursive-descent parser for the SPJ SQL subset.
+
+Grammar (conjunctive WHERE only — the subset whose plan choice the
+paper's framework covers)::
+
+    query     := SELECT select FROM tables [WHERE conj]
+                 [GROUP BY cols] [ORDER BY cols]
+    select    := '*' | item (',' item)*
+    item      := colref | IDENT '(' (colref | '*') ')'     -- aggregate
+    tables    := table (joined | ',' table)*
+    joined    := [INNER] JOIN table ON pred (AND pred)*
+    table     := IDENT [[AS] IDENT]
+    conj      := pred (AND pred)*
+    pred      := colref op (literal | colref)
+               | colref [NOT] BETWEEN literal AND literal
+               | colref [NOT] IN '(' literal (',' literal)* ')'
+               | colref [NOT] LIKE string
+    colref    := IDENT ['.' IDENT]
+
+Produces a plain AST (:class:`SelectStatement`) that
+:mod:`repro.sql.translate` lowers to a
+:class:`~repro.optimizer.query.QuerySpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lexer import SqlLexError, Token, tokenize
+
+__all__ = [
+    "SqlParseError",
+    "ColumnRef",
+    "Comparison",
+    "Between",
+    "InList",
+    "Like",
+    "TableItem",
+    "SelectStatement",
+    "parse_sql",
+]
+
+
+class SqlParseError(ValueError):
+    """Raised when the statement does not match the subset grammar."""
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    qualifier: str | None
+    column: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.qualifier:
+            return f"{self.qualifier}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True)
+class Comparison:
+    left: ColumnRef
+    op: str
+    right: "ColumnRef | str | float"
+
+    @property
+    def is_join(self) -> bool:
+        return self.op == "=" and isinstance(self.right, ColumnRef)
+
+
+@dataclass(frozen=True)
+class Between:
+    column: ColumnRef
+    low: "str | float"
+    high: "str | float"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    column: ColumnRef
+    values: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like:
+    column: ColumnRef
+    pattern: str
+    negated: bool = False
+
+    @property
+    def is_prefix(self) -> bool:
+        """True for ``'abc%'``-style patterns (index-friendly)."""
+        return not self.pattern.startswith("%") and self.pattern.endswith(
+            "%"
+        )
+
+
+@dataclass(frozen=True)
+class TableItem:
+    table: str
+    alias: str
+
+
+@dataclass
+class SelectStatement:
+    select: list = field(default_factory=list)
+    tables: list[TableItem] = field(default_factory=list)
+    predicates: list = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: list[ColumnRef] = field(default_factory=list)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._pending_predicates: list = []  # from JOIN ... ON clauses
+
+    # Token plumbing ----------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if not token.matches(kind, value):
+            wanted = value or kind
+            raise SqlParseError(
+                f"expected {wanted} at position {token.position}, "
+                f"got {token.value!r}"
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self._peek().matches(kind, value):
+            return self._advance()
+        return None
+
+    # Grammar -----------------------------------------------------------
+    def parse(self) -> SelectStatement:
+        statement = SelectStatement()
+        self._expect("keyword", "SELECT")
+        statement.select = self._select_list()
+        self._expect("keyword", "FROM")
+        statement.tables = self._table_list()
+        statement.predicates = list(self._pending_predicates)
+        if self._accept("keyword", "WHERE"):
+            statement.predicates.extend(self._conjunction())
+        if self._accept("keyword", "GROUP"):
+            self._expect("keyword", "BY")
+            statement.group_by = self._column_list()
+        if self._accept("keyword", "ORDER"):
+            self._expect("keyword", "BY")
+            statement.order_by = self._column_list(allow_direction=True)
+        self._expect("eof")
+        return statement
+
+    def _select_list(self) -> list:
+        if self._accept("punct", "*"):
+            return ["*"]
+        items = [self._select_item()]
+        while self._accept("punct", ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self):
+        name = self._expect("ident")
+        if self._accept("punct", "("):
+            if not self._accept("punct", "*"):
+                self._column_ref_from(self._expect("ident"))
+            self._expect("punct", ")")
+            return f"{name.value}(...)"
+        return self._column_ref_from(name)
+
+    def _table_list(self) -> list[TableItem]:
+        items = [self._table_item()]
+        while True:
+            if self._accept("punct", ","):
+                items.append(self._table_item())
+                continue
+            if self._peek().matches("keyword", "INNER") or self._peek(
+            ).matches("keyword", "JOIN"):
+                self._accept("keyword", "INNER")
+                self._expect("keyword", "JOIN")
+                items.append(self._table_item())
+                self._expect("keyword", "ON")
+                # ON predicates join the WHERE conjunction; the
+                # translator sorts join edges from local filters.
+                self._pending_predicates.append(self._predicate())
+                while self._accept("keyword", "AND"):
+                    self._pending_predicates.append(self._predicate())
+                continue
+            return items
+
+    def _table_item(self) -> TableItem:
+        table = self._expect("ident").value
+        self._accept("keyword", "AS")
+        alias_token = self._accept("ident")
+        alias = alias_token.value if alias_token else table
+        return TableItem(table=table, alias=alias)
+
+    def _conjunction(self) -> list:
+        predicates = [self._predicate()]
+        while self._accept("keyword", "AND"):
+            predicates.append(self._predicate())
+        return predicates
+
+    def _column_ref_from(self, first: Token) -> ColumnRef:
+        if self._accept("punct", "."):
+            column = self._expect("ident")
+            return ColumnRef(qualifier=first.value, column=column.value)
+        return ColumnRef(qualifier=None, column=first.value)
+
+    def _column_ref(self) -> ColumnRef:
+        return self._column_ref_from(self._expect("ident"))
+
+    def _literal(self):
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return float(token.value)
+        if token.kind == "string":
+            self._advance()
+            return token.value
+        raise SqlParseError(
+            f"expected a literal at position {token.position}, "
+            f"got {token.value!r}"
+        )
+
+    def _predicate(self):
+        column = self._column_ref()
+        negated = bool(self._accept("keyword", "NOT"))
+        if self._accept("keyword", "BETWEEN"):
+            low = self._literal()
+            self._expect("keyword", "AND")
+            high = self._literal()
+            return Between(column, low, high, negated)
+        if self._accept("keyword", "IN"):
+            self._expect("punct", "(")
+            values = [self._literal()]
+            while self._accept("punct", ","):
+                values.append(self._literal())
+            self._expect("punct", ")")
+            return InList(column, tuple(values), negated)
+        if self._accept("keyword", "LIKE"):
+            pattern = self._expect("string").value
+            return Like(column, pattern, negated)
+        if negated:
+            raise SqlParseError(
+                "NOT is only supported before BETWEEN/IN/LIKE"
+            )
+        op = self._expect("op").value
+        right_token = self._peek()
+        if right_token.kind == "ident":
+            right = self._column_ref()
+            return Comparison(column, op, right)
+        return Comparison(column, op, self._literal())
+
+    def _column_list(self, allow_direction: bool = False) -> list[ColumnRef]:
+        columns = [self._column_ref()]
+        if allow_direction:
+            self._accept("keyword", "ASC") or self._accept("keyword", "DESC")
+        while self._accept("punct", ","):
+            columns.append(self._column_ref())
+            if allow_direction:
+                self._accept("keyword", "ASC") or self._accept(
+                    "keyword", "DESC"
+                )
+        return columns
+
+
+def parse_sql(text: str) -> SelectStatement:
+    """Parse one SELECT statement of the subset grammar."""
+    try:
+        tokens = tokenize(text)
+    except SqlLexError as error:
+        raise SqlParseError(str(error)) from error
+    return _Parser(tokens).parse()

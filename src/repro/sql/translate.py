@@ -1,0 +1,239 @@
+"""Lower parsed SQL to an optimizer :class:`QuerySpec`.
+
+Column references are resolved against the catalog (unqualified names
+are matched to the unique table that has the column).  Selectivities
+follow the classic System-R defaults, refined with catalog distinct
+counts where available:
+
+=================  ==========================================
+predicate          selectivity
+=================  ==========================================
+``col = lit``      ``1 / V(col)``
+``col <> lit``     ``1 - 1/V(col)``
+range (``< >``)    1/3
+``BETWEEN``        1/4
+``IN (k items)``   ``min(k / V(col), 1/2)``
+``LIKE 'abc%'``    1/10 (sargable prefix)
+``LIKE '%abc%'``   1/10 (residual)
+``NOT`` variants   complement of the positive form
+=================  ==========================================
+
+Equality comparisons between columns of two different aliases become
+join edges; all other predicates become local predicates.  Sargability:
+equality/range/BETWEEN/prefix-LIKE predicates are sargable on their
+column; IN lists, non-prefix LIKEs and all NOT forms are residual.
+"""
+
+from __future__ import annotations
+
+from ..catalog.statistics import Catalog
+from ..optimizer.query import JoinPredicate, LocalPredicate, QuerySpec, TableRef
+from .parser import (
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    Like,
+    SelectStatement,
+    parse_sql,
+)
+
+__all__ = ["SqlTranslationError", "translate", "sql_to_query"]
+
+_RANGE_SELECTIVITY = 1.0 / 3.0
+_BETWEEN_SELECTIVITY = 1.0 / 4.0
+_LIKE_SELECTIVITY = 1.0 / 10.0
+
+
+class SqlTranslationError(ValueError):
+    """Raised when a parsed statement cannot be resolved/lowered."""
+
+
+class _Resolver:
+    """Resolves column references to (alias, table, column)."""
+
+    def __init__(self, statement: SelectStatement, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self._alias_to_table: dict[str, str] = {}
+        for item in statement.tables:
+            if item.alias in self._alias_to_table:
+                raise SqlTranslationError(
+                    f"duplicate alias {item.alias!r}"
+                )
+            try:
+                catalog.table(item.table)
+            except KeyError:
+                raise SqlTranslationError(
+                    f"unknown table {item.table!r}"
+                ) from None
+            self._alias_to_table[item.alias] = item.table
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        return dict(self._alias_to_table)
+
+    def resolve(self, ref: ColumnRef) -> tuple[str, str, str]:
+        """Return ``(alias, table, column)`` for a reference."""
+        if ref.qualifier is not None:
+            table = self._alias_to_table.get(ref.qualifier)
+            if table is None:
+                raise SqlTranslationError(
+                    f"unknown alias {ref.qualifier!r} in {ref}"
+                )
+            self._require_column(table, ref.column)
+            return ref.qualifier, table, ref.column
+        owners = [
+            (alias, table)
+            for alias, table in self._alias_to_table.items()
+            if self._has_column(table, ref.column)
+        ]
+        if not owners:
+            raise SqlTranslationError(f"unknown column {ref.column!r}")
+        if len(owners) > 1:
+            raise SqlTranslationError(
+                f"ambiguous column {ref.column!r} "
+                f"(candidates: {[o[0] for o in owners]})"
+            )
+        alias, table = owners[0]
+        return alias, table, ref.column
+
+    def _has_column(self, table: str, column: str) -> bool:
+        try:
+            self._catalog.table(table).column(column)
+            return True
+        except KeyError:
+            return False
+
+    def _require_column(self, table: str, column: str) -> None:
+        if not self._has_column(table, column):
+            raise SqlTranslationError(
+                f"table {table} has no column {column!r}"
+            )
+
+
+def _equality_selectivity(catalog: Catalog, table: str, column: str) -> float:
+    distinct = catalog.distinct_values(table, column)
+    return 1.0 / max(distinct, 1.0)
+
+
+def translate(statement: SelectStatement, catalog: Catalog,
+              name: str = "sql") -> QuerySpec:
+    """Lower a parsed statement to a :class:`QuerySpec`."""
+    resolver = _Resolver(statement, catalog)
+    joins: list[JoinPredicate] = []
+    locals_: list[LocalPredicate] = []
+
+    for predicate in statement.predicates:
+        if isinstance(predicate, Comparison):
+            left_alias, left_table, left_column = resolver.resolve(
+                predicate.left
+            )
+            if isinstance(predicate.right, ColumnRef):
+                right_alias, right_table, right_column = resolver.resolve(
+                    predicate.right
+                )
+                if predicate.op == "=" and left_alias != right_alias:
+                    joins.append(
+                        JoinPredicate(
+                            left_alias, left_column,
+                            right_alias, right_column,
+                        )
+                    )
+                    continue
+                # Same-alias or non-equality column comparison:
+                # residual with the System-R default.
+                locals_.append(
+                    LocalPredicate(
+                        left_alias, _RANGE_SELECTIVITY, None,
+                        f"{predicate.left} {predicate.op} {predicate.right}",
+                    )
+                )
+                continue
+            if predicate.op == "=":
+                selectivity = _equality_selectivity(
+                    catalog, left_table, left_column
+                )
+                column: str | None = left_column
+            elif predicate.op in ("<>", "!="):
+                selectivity = 1.0 - _equality_selectivity(
+                    catalog, left_table, left_column
+                )
+                column = None
+            else:
+                selectivity = _RANGE_SELECTIVITY
+                column = left_column
+            locals_.append(
+                LocalPredicate(
+                    left_alias, min(max(selectivity, 1e-12), 1.0), column,
+                    f"{predicate.left} {predicate.op} {predicate.right!r}",
+                )
+            )
+        elif isinstance(predicate, Between):
+            alias, __, column = resolver.resolve(predicate.column)
+            selectivity = _BETWEEN_SELECTIVITY
+            if predicate.negated:
+                selectivity = 1.0 - selectivity
+            locals_.append(
+                LocalPredicate(
+                    alias, selectivity,
+                    None if predicate.negated else column,
+                    f"{predicate.column} BETWEEN ...",
+                )
+            )
+        elif isinstance(predicate, InList):
+            alias, table, column = resolver.resolve(predicate.column)
+            base = min(
+                0.5,
+                len(predicate.values)
+                * _equality_selectivity(catalog, table, column),
+            )
+            selectivity = (1.0 - base) if predicate.negated else base
+            locals_.append(
+                LocalPredicate(
+                    alias, min(max(selectivity, 1e-12), 1.0), None,
+                    f"{predicate.column} IN ({len(predicate.values)} values)",
+                )
+            )
+        elif isinstance(predicate, Like):
+            alias, __, column = resolver.resolve(predicate.column)
+            selectivity = _LIKE_SELECTIVITY
+            sargable = predicate.is_prefix and not predicate.negated
+            if predicate.negated:
+                selectivity = 1.0 - selectivity
+            locals_.append(
+                LocalPredicate(
+                    alias, selectivity,
+                    column if sargable else None,
+                    f"{predicate.column} LIKE {predicate.pattern!r}",
+                )
+            )
+        else:  # pragma: no cover - parser produces only these types
+            raise SqlTranslationError(
+                f"unsupported predicate {predicate!r}"
+            )
+
+    def _clause(refs) -> tuple[tuple[str, str], ...]:
+        resolved = []
+        for ref in refs:
+            alias, __, column = resolver.resolve(ref)
+            resolved.append((alias, column))
+        return tuple(resolved)
+
+    tables = tuple(
+        TableRef(alias, table)
+        for alias, table in resolver.aliases.items()
+    )
+    return QuerySpec(
+        name=name,
+        tables=tables,
+        joins=tuple(joins),
+        predicates=tuple(locals_),
+        group_by=_clause(statement.group_by),
+        order_by=_clause(statement.order_by),
+        description="translated from SQL",
+    )
+
+
+def sql_to_query(text: str, catalog: Catalog, name: str = "sql") -> QuerySpec:
+    """Parse and translate in one step."""
+    return translate(parse_sql(text), catalog, name=name)

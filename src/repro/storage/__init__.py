@@ -1,0 +1,49 @@
+"""Storage substrate: devices, layouts and a disk simulator.
+
+The two-parameter device model (:class:`StorageDevice`) is the paper's
+Section 3.1 disk abstraction; :class:`StorageLayout` maps database
+object groups onto devices and induces the experiment's resource space;
+:mod:`repro.storage.disksim` provides the realistic disk model the
+two-parameter abstraction is validated against.
+"""
+
+from .degradation import (
+    DegradationModel,
+    LoadSurge,
+    RaidRebuild,
+    StepDegradation,
+    first_crossing,
+)
+from .device import (
+    DEFAULT_SEEK_COST,
+    DEFAULT_TRANSFER_COST,
+    DeviceCatalog,
+    StorageDevice,
+)
+from .disksim import (
+    DiskGeometry,
+    DiskStats,
+    SimulatedDisk,
+    fit_two_parameter_model,
+)
+from .layout import DEFAULT_CPU_COST, IOAccount, ObjectKey, StorageLayout
+
+__all__ = [
+    "DEFAULT_CPU_COST",
+    "DEFAULT_SEEK_COST",
+    "DEFAULT_TRANSFER_COST",
+    "DegradationModel",
+    "DeviceCatalog",
+    "DiskGeometry",
+    "DiskStats",
+    "LoadSurge",
+    "RaidRebuild",
+    "StepDegradation",
+    "IOAccount",
+    "ObjectKey",
+    "SimulatedDisk",
+    "StorageDevice",
+    "StorageLayout",
+    "first_crossing",
+    "fit_two_parameter_model",
+]

@@ -1,0 +1,149 @@
+"""Time-varying device degradation models (Section 1's scenarios).
+
+The paper motivates the sensitivity study with storage costs that
+"change over time due to load changes ..., device failures, RAID
+rebuilds, or maintenance tasks like data backups", citing Brown &
+Patterson's RAID-rebuild characterization.  This module provides
+simple, composable degradation timelines that produce the
+multiplicative cost factors the sensitivity framework consumes:
+
+* :class:`RaidRebuild` — a failed disk rebuilds over a window; during
+  the rebuild, foreground accesses are slowed by a factor that decays
+  as the rebuild progresses (rebuild I/O competes for the arms);
+* :class:`LoadSurge` — a transient load spike with ramp-up/down;
+* :class:`StepDegradation` — a permanent partial failure.
+
+A timeline maps time (seconds) to a slowdown factor >= 1 applied to a
+device's seek and transfer costs.  Combined with
+:func:`repro.core.switching.switching_distances`, a timeline yields
+*when* during a rebuild the optimizer's plan goes stale (see
+``tests/storage/test_degradation.py`` and the storage-migration
+example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import StorageDevice
+
+__all__ = [
+    "DegradationModel",
+    "RaidRebuild",
+    "LoadSurge",
+    "StepDegradation",
+    "first_crossing",
+]
+
+
+class DegradationModel:
+    """Base class: a slowdown factor as a function of time."""
+
+    def factor_at(self, t: float) -> float:
+        """Multiplicative slowdown (>= 1) at time ``t`` seconds."""
+        raise NotImplementedError
+
+    def degraded_device(self, device: StorageDevice, t: float) -> StorageDevice:
+        """The device as it effectively behaves at time ``t``."""
+        return device.scaled(self.factor_at(t))
+
+
+@dataclass(frozen=True)
+class RaidRebuild(DegradationModel):
+    """A RAID rebuild window with decaying foreground impact.
+
+    At ``start`` the array enters degraded+rebuilding mode with a peak
+    slowdown of ``peak_factor`` (reads must reconstruct from parity and
+    compete with rebuild I/O); the impact decays linearly to 1 as the
+    rebuild completes at ``start + duration`` — the first-order shape
+    of Brown & Patterson's measurements.
+    """
+
+    start: float
+    duration: float
+    peak_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.peak_factor < 1:
+            raise ValueError("peak_factor must be >= 1")
+
+    def factor_at(self, t: float) -> float:
+        if t < self.start or t >= self.start + self.duration:
+            return 1.0
+        progress = (t - self.start) / self.duration
+        return self.peak_factor - (self.peak_factor - 1.0) * progress
+
+
+@dataclass(frozen=True)
+class LoadSurge(DegradationModel):
+    """A load spike: linear ramp up, plateau, linear ramp down."""
+
+    start: float
+    ramp: float
+    plateau: float
+    peak_factor: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.ramp < 0 or self.plateau < 0:
+            raise ValueError("ramp/plateau must be non-negative")
+        if self.peak_factor < 1:
+            raise ValueError("peak_factor must be >= 1")
+
+    def factor_at(self, t: float) -> float:
+        rise_end = self.start + self.ramp
+        fall_start = rise_end + self.plateau
+        fall_end = fall_start + self.ramp
+        if t < self.start or t >= fall_end:
+            return 1.0
+        if t < rise_end:
+            if self.ramp == 0:
+                return self.peak_factor
+            fraction = (t - self.start) / self.ramp
+            return 1.0 + (self.peak_factor - 1.0) * fraction
+        if t < fall_start:
+            return self.peak_factor
+        if self.ramp == 0:  # pragma: no cover - excluded by fall_end
+            return 1.0
+        fraction = (t - fall_start) / self.ramp
+        return self.peak_factor - (self.peak_factor - 1.0) * fraction
+
+
+@dataclass(frozen=True)
+class StepDegradation(DegradationModel):
+    """A permanent slowdown from ``start`` on (partial failure)."""
+
+    start: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ValueError("factor must be >= 1")
+
+    def factor_at(self, t: float) -> float:
+        return self.factor if t >= self.start else 1.0
+
+
+def first_crossing(
+    model: DegradationModel,
+    threshold: float,
+    t_max: float,
+    resolution: int = 1000,
+) -> float | None:
+    """First time the slowdown reaches ``threshold`` (scan-based).
+
+    Feed a plan's switching threshold (robustness radius) in and get
+    back the moment the optimizer's plan goes stale — ``None`` if the
+    timeline never reaches it before ``t_max``.
+    """
+    if threshold <= 1.0:
+        return 0.0
+    if resolution < 2:
+        raise ValueError("resolution must be >= 2")
+    step = t_max / resolution
+    for index in range(resolution + 1):
+        t = index * step
+        if model.factor_at(t) >= threshold:
+            return t
+    return None

@@ -1,0 +1,98 @@
+"""Storage devices under the two-parameter cost model (Section 3.1).
+
+The paper models a disk ``d`` as two resources: ``d_s`` for queueing,
+rotational delay and seeks, and ``d_t`` for sequential transfer.  An
+operation with ``s`` seeks and ``p`` pages transferred costs
+``s * c_ds + p * c_dt``.  DB2's defaults — the values the paper's
+"administrator who never tuned anything" scenario starts from — are
+24.1 time units per seek and 9.0 per page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "DEFAULT_SEEK_COST",
+    "DEFAULT_TRANSFER_COST",
+    "StorageDevice",
+    "DeviceCatalog",
+]
+
+#: DB2's default seek-ish overhead parameter (the paper, Section 8.1).
+DEFAULT_SEEK_COST = 24.1
+
+#: DB2's default per-page transfer parameter (the paper, Section 8.1).
+DEFAULT_TRANSFER_COST = 9.0
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """One storage device with seek and transfer unit costs.
+
+    ``seek_cost``/``transfer_cost`` are the *estimated* (configured)
+    parameters; the sensitivity experiments vary the true values around
+    them.
+    """
+
+    name: str
+    seek_cost: float = DEFAULT_SEEK_COST
+    transfer_cost: float = DEFAULT_TRANSFER_COST
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("device name must be non-empty")
+        if self.seek_cost <= 0 or self.transfer_cost <= 0:
+            raise ValueError("device cost parameters must be positive")
+
+    def access_cost(self, seeks: float, pages: float) -> float:
+        """Cost of an operation with ``seeks`` seeks, ``pages`` pages.
+
+        The example from Section 3.1: 2 seeks + 3 pages costs
+        ``2 * c_ds + 3 * c_dt``.
+        """
+        if seeks < 0 or pages < 0:
+            raise ValueError("seeks and pages must be non-negative")
+        return seeks * self.seek_cost + pages * self.transfer_cost
+
+    def scaled(self, factor: float) -> "StorageDevice":
+        """Device with both parameters scaled (load change / failure)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return StorageDevice(
+            name=self.name,
+            seek_cost=self.seek_cost * factor,
+            transfer_cost=self.transfer_cost * factor,
+        )
+
+
+@dataclass
+class DeviceCatalog:
+    """A named collection of storage devices."""
+
+    _devices: dict[str, StorageDevice] = field(default_factory=dict)
+
+    def add(self, device: StorageDevice) -> StorageDevice:
+        if device.name in self._devices:
+            raise ValueError(f"device {device.name!r} already registered")
+        self._devices[device.name] = device
+        return device
+
+    def get(self, name: str) -> StorageDevice:
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise KeyError(f"unknown device {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._devices
+
+    def __iter__(self) -> Iterator[StorageDevice]:
+        return iter(self._devices.values())
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._devices)

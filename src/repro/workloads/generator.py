@@ -1,0 +1,132 @@
+"""Random workload generation for tests and benchmarks.
+
+Generates synthetic catalogs and random SPJ queries with chain, star or
+clique join graphs — the shapes the parametric-query-optimization
+literature studies.  Property-based tests use these to exercise the
+enumerator and the geometric framework on inputs far from TPC-H.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..catalog.schema import Column, Index, Schema, Table
+from ..catalog.statistics import (
+    Catalog,
+    CatalogStats,
+    ColumnStats,
+    IndexStats,
+    TableStats,
+)
+from ..optimizer.query import JoinPredicate, LocalPredicate, QuerySpec, TableRef
+
+__all__ = ["random_catalog", "random_query", "JOIN_SHAPES"]
+
+JOIN_SHAPES = ("chain", "star", "clique")
+
+
+def random_catalog(
+    rng: np.random.Generator,
+    n_tables: int = 4,
+    min_rows: int = 1_000,
+    max_rows: int = 5_000_000,
+) -> Catalog:
+    """A synthetic catalog of ``n_tables`` tables T0..Tn-1.
+
+    Every table gets a key column ``K`` (distinct = rows, clustered
+    PK index), a foreign-ish column ``F`` (indexed, unclustered) and a
+    filter column ``V`` (no index).
+    """
+    if n_tables < 1:
+        raise ValueError("need at least one table")
+    schema = Schema()
+    stats = CatalogStats()
+    for i in range(n_tables):
+        name = f"T{i}"
+        width = int(rng.integers(40, 240))
+        table = Table(
+            name,
+            (
+                Column("K", "integer", 4),
+                Column("F", "integer", 4),
+                Column("V", "integer", 4),
+            ),
+            primary_key=("K",),
+        )
+        schema.add_table(table)
+        rows = int(rng.integers(min_rows, max_rows))
+        distinct_f = max(1, rows // int(rng.integers(2, 50)))
+        stats.tables[name] = TableStats(
+            row_count=rows,
+            row_width=width,
+            columns={
+                "K": ColumnStats(n_distinct=rows),
+                "F": ColumnStats(n_distinct=distinct_f),
+                "V": ColumnStats(n_distinct=max(1, rows // 100)),
+            },
+        )
+        pk_index = Index(f"{name}_PK", name, ("K",), clustered=True,
+                         unique=True)
+        fk_index = Index(f"{name}_F", name, ("F",))
+        schema.add_index(pk_index)
+        schema.add_index(fk_index)
+        stats.indexes[pk_index.name] = IndexStats.derive(
+            rows, key_width=4, cluster_ratio=1.0
+        )
+        stats.indexes[fk_index.name] = IndexStats.derive(
+            rows, key_width=4, cluster_ratio=0.0
+        )
+    return Catalog(schema, stats)
+
+
+def _shape_edges(shape: str, n: int) -> list[tuple[int, int]]:
+    if shape == "chain":
+        return [(i, i + 1) for i in range(n - 1)]
+    if shape == "star":
+        return [(0, i) for i in range(1, n)]
+    if shape == "clique":
+        return [(i, j) for i in range(n) for j in range(i + 1, n)]
+    raise ValueError(f"unknown join shape {shape!r}; pick from {JOIN_SHAPES}")
+
+
+def random_query(
+    rng: np.random.Generator,
+    catalog: Catalog,
+    shape: str = "chain",
+    with_predicates: bool = True,
+    with_grouping: bool = False,
+) -> QuerySpec:
+    """A random SPJ query over all tables of a :func:`random_catalog`.
+
+    Joins follow the requested ``shape``; edges connect key to
+    foreign-ish columns so index nested loops are viable.  Local
+    predicates get log-uniform selectivities in [1e-4, 1].
+    """
+    names = list(catalog.table_names())
+    n = len(names)
+    refs = tuple(TableRef(f"A{i}", names[i]) for i in range(n))
+    joins = []
+    for a, b in _shape_edges(shape, n):
+        joins.append(
+            JoinPredicate(f"A{a}", "K", f"A{b}", "F")
+        )
+    predicates = []
+    if with_predicates:
+        for i in range(n):
+            if rng.random() < 0.6:
+                selectivity = float(10 ** rng.uniform(-4, 0))
+                column = "V" if rng.random() < 0.5 else "F"
+                sargable = column if rng.random() < 0.7 else None
+                predicates.append(
+                    LocalPredicate(f"A{i}", selectivity, sargable)
+                )
+    group_by = ()
+    if with_grouping and n >= 1:
+        group_by = ((f"A{n - 1}", "F"),)
+    return QuerySpec(
+        name=f"random-{shape}-{n}",
+        tables=refs,
+        joins=tuple(joins),
+        predicates=tuple(predicates),
+        group_by=group_by,
+    )

@@ -1,0 +1,770 @@
+"""The 22 TPC-H queries as optimizer specs (Section 7.4).
+
+Each query is encoded as the join graph, local-predicate selectivities
+and output clauses that determine plan choice.  Selectivities are
+derived from the TPC-H specification's data-generation rules using the
+default substitution parameters of the validation run; each builder's
+docstring records the derivation.
+
+Encoding conventions (documented substitutions):
+
+* **Subquery flattening.**  The optimizer substrate plans
+  select-project-join blocks.  Scalar/EXISTS subqueries are flattened
+  into the main join graph when they join new tables (Q20, Q21), or
+  folded into a residual filter selectivity when they only restrict an
+  existing table (Q2's min-cost supplier, Q17's avg-quantity, Q18's
+  HAVING, Q22's anti-join).  The flattened shape preserves which
+  tables/indexes a plan must touch, which is what the storage
+  sensitivity analysis depends on.
+* **Outer joins** (Q13) are planned as inner joins — join-order and
+  access-path economics are identical for our purposes.
+* **Semi-join cardinalities** that the independence assumption cannot
+  express get explicit edge selectivities, computed from the catalog's
+  row counts so they stay correct at any scale factor.
+* Dates: O_ORDERDATE spans 2406 days, L_SHIPDATE 2526,
+  L_RECEIPTDATE 2554; a range of ``d`` days has selectivity
+  ``d / span``.
+
+``build_tpch_queries(catalog)`` returns all 22 in order; individual
+builders are exposed for targeted tests.
+"""
+
+from __future__ import annotations
+
+from ..catalog.statistics import Catalog
+from ..optimizer.query import JoinPredicate, LocalPredicate, QuerySpec, TableRef
+
+__all__ = ["build_tpch_queries", "tpch_query", "TPCH_QUERY_NAMES"]
+
+TPCH_QUERY_NAMES = tuple(f"Q{i}" for i in range(1, 23))
+
+# Day spans of the date columns (dbgen generation rules).
+_ORDERDATE_SPAN = 2406
+_SHIPDATE_SPAN = 2526
+_RECEIPTDATE_SPAN = 2554
+
+
+def _q1(catalog: Catalog) -> QuerySpec:
+    """Pricing summary report.
+
+    Single-table scan of LINEITEM.  ``l_shipdate <= date '1998-12-01' -
+    90 days`` keeps all but the last ~92 shipping days:
+    (2526-92)/2526 ~= 0.964.  Groups on (returnflag, linestatus): 6
+    combinations.
+    """
+    return QuerySpec(
+        name="Q1",
+        tables=(TableRef("L", "LINEITEM"),),
+        predicates=(
+            LocalPredicate(
+                "L",
+                (_SHIPDATE_SPAN - 92) / _SHIPDATE_SPAN,
+                "L_SHIPDATE",
+                "l_shipdate <= '1998-12-01' - 90 days",
+            ),
+        ),
+        group_by=(("L", "L_RETURNFLAG"), ("L", "L_LINESTATUS")),
+        order_by=(("L", "L_RETURNFLAG"), ("L", "L_LINESTATUS")),
+        description="Pricing summary report",
+    )
+
+
+def _q2(catalog: Catalog) -> QuerySpec:
+    """Minimum cost supplier.
+
+    PART-PARTSUPP-SUPPLIER-NATION-REGION.  p_size = 15: 1/50
+    (sargable).  p_type LIKE '%BRASS': matches the last of the 5 Type3
+    words, 1/5, residual (suffix match).  r_name = 'EUROPE': 1/5.  The
+    correlated min-supplycost subquery keeps on average 1 of the 4
+    suppliers per part: residual 0.25 on PARTSUPP.
+    """
+    return QuerySpec(
+        name="Q2",
+        tables=(
+            TableRef("P", "PART"),
+            TableRef("PS", "PARTSUPP"),
+            TableRef("S", "SUPPLIER"),
+            TableRef("N", "NATION"),
+            TableRef("R", "REGION"),
+        ),
+        joins=(
+            JoinPredicate("P", "P_PARTKEY", "PS", "PS_PARTKEY"),
+            JoinPredicate("S", "S_SUPPKEY", "PS", "PS_SUPPKEY"),
+            JoinPredicate("S", "S_NATIONKEY", "N", "N_NATIONKEY"),
+            JoinPredicate("N", "N_REGIONKEY", "R", "R_REGIONKEY"),
+        ),
+        predicates=(
+            LocalPredicate("P", 1 / 50, "P_SIZE", "p_size = 15"),
+            LocalPredicate("P", 1 / 5, None, "p_type LIKE '%BRASS'"),
+            LocalPredicate("R", 1 / 5, "R_NAME", "r_name = 'EUROPE'"),
+            LocalPredicate("PS", 0.25, None, "min supplycost (flattened)"),
+        ),
+        order_by=(("S", "S_ACCTBAL"),),
+        description="Minimum cost supplier",
+    )
+
+
+def _q3(catalog: Catalog) -> QuerySpec:
+    """Shipping priority.
+
+    CUSTOMER-ORDERS-LINEITEM.  c_mktsegment = 'BUILDING': 1/5.
+    o_orderdate < '1995-03-15': ~day 1169 of 2406 -> 0.486 (sargable,
+    O_OD index).  l_shipdate > '1995-03-15': ~(2526-1168)/2526 -> 0.538
+    (sargable, L_SD index).
+    """
+    return QuerySpec(
+        name="Q3",
+        tables=(
+            TableRef("C", "CUSTOMER"),
+            TableRef("O", "ORDERS"),
+            TableRef("L", "LINEITEM"),
+        ),
+        joins=(
+            JoinPredicate("C", "C_CUSTKEY", "O", "O_CUSTKEY"),
+            JoinPredicate("O", "O_ORDERKEY", "L", "L_ORDERKEY"),
+        ),
+        predicates=(
+            LocalPredicate(
+                "C", 1 / 5, "C_MKTSEGMENT", "c_mktsegment = 'BUILDING'"
+            ),
+            LocalPredicate(
+                "O", 1169 / _ORDERDATE_SPAN, "O_ORDERDATE",
+                "o_orderdate < '1995-03-15'",
+            ),
+            LocalPredicate(
+                "L",
+                (_SHIPDATE_SPAN - 1168) / _SHIPDATE_SPAN,
+                "L_SHIPDATE",
+                "l_shipdate > '1995-03-15'",
+            ),
+        ),
+        group_by=(("L", "L_ORDERKEY"), ("O", "O_ORDERDATE")),
+        order_by=(("O", "O_ORDERDATE"),),
+        description="Shipping priority",
+    )
+
+
+def _q4(catalog: Catalog) -> QuerySpec:
+    """Order priority checking.
+
+    ORDERS semi-join LINEITEM (EXISTS), flattened to an inner join.
+    o_orderdate in a quarter: 92/2406 = 0.038 (sargable, O_OD).
+    l_commitdate < l_receiptdate holds for ~63% of lineitems
+    (dbgen generates receipt 1..30 days after ship, commit -90..+90
+    around ship) — residual.
+    """
+    return QuerySpec(
+        name="Q4",
+        tables=(TableRef("O", "ORDERS"), TableRef("L", "LINEITEM")),
+        joins=(JoinPredicate("O", "O_ORDERKEY", "L", "L_ORDERKEY"),),
+        predicates=(
+            LocalPredicate(
+                "O", 92 / _ORDERDATE_SPAN, "O_ORDERDATE",
+                "o_orderdate in [1993-07-01, +3 months)",
+            ),
+            LocalPredicate(
+                "L", 0.63, None, "l_commitdate < l_receiptdate"
+            ),
+        ),
+        group_by=(("O", "O_ORDERPRIORITY"),),
+        order_by=(("O", "O_ORDERPRIORITY"),),
+        description="Order priority checking",
+    )
+
+
+def _q5(catalog: Catalog) -> QuerySpec:
+    """Local supplier volume.
+
+    Six tables with a cyclic join graph (the customer and supplier
+    nation must coincide: c_nationkey = s_nationkey).  r_name = 'ASIA':
+    1/5.  o_orderdate in one year: 365/2406 = 0.152 (sargable, O_OD).
+    """
+    return QuerySpec(
+        name="Q5",
+        tables=(
+            TableRef("C", "CUSTOMER"),
+            TableRef("O", "ORDERS"),
+            TableRef("L", "LINEITEM"),
+            TableRef("S", "SUPPLIER"),
+            TableRef("N", "NATION"),
+            TableRef("R", "REGION"),
+        ),
+        joins=(
+            JoinPredicate("C", "C_CUSTKEY", "O", "O_CUSTKEY"),
+            JoinPredicate("L", "L_ORDERKEY", "O", "O_ORDERKEY"),
+            JoinPredicate("L", "L_SUPPKEY", "S", "S_SUPPKEY"),
+            JoinPredicate("C", "C_NATIONKEY", "S", "S_NATIONKEY"),
+            JoinPredicate("S", "S_NATIONKEY", "N", "N_NATIONKEY"),
+            JoinPredicate("N", "N_REGIONKEY", "R", "R_REGIONKEY"),
+        ),
+        predicates=(
+            LocalPredicate("R", 1 / 5, "R_NAME", "r_name = 'ASIA'"),
+            LocalPredicate(
+                "O", 365 / _ORDERDATE_SPAN, "O_ORDERDATE",
+                "o_orderdate in one year",
+            ),
+        ),
+        group_by=(("N", "N_NAME"),),
+        order_by=(("N", "N_NAME"),),
+        description="Local supplier volume",
+    )
+
+
+def _q6(catalog: Catalog) -> QuerySpec:
+    """Forecasting revenue change.
+
+    Single-table LINEITEM aggregate.  shipdate in one year: 365/2526 =
+    0.144 (sargable, L_SD).  discount within +-0.01 of 0.06: 3 of the
+    11 values = 0.273.  quantity < 24: 23/50 = 0.46.
+    """
+    return QuerySpec(
+        name="Q6",
+        tables=(TableRef("L", "LINEITEM"),),
+        predicates=(
+            LocalPredicate(
+                "L", 365 / _SHIPDATE_SPAN, "L_SHIPDATE",
+                "l_shipdate in one year",
+            ),
+            LocalPredicate(
+                "L", 3 / 11, None, "l_discount between 0.05 and 0.07"
+            ),
+            LocalPredicate("L", 23 / 50, None, "l_quantity < 24"),
+        ),
+        description="Forecasting revenue change",
+    )
+
+
+def _q7(catalog: Catalog) -> QuerySpec:
+    """Volume shipping.
+
+    Two NATION aliases (supplier vs customer nation).  l_shipdate in
+    1995-1996: 730/2526 = 0.289 (sargable, L_SD).  The nation-pair
+    disjunction ((FR,DE) or (DE,FR)): 2/25 per alias with a joint 0.5
+    residual correction on N2.
+    """
+    return QuerySpec(
+        name="Q7",
+        tables=(
+            TableRef("S", "SUPPLIER"),
+            TableRef("L", "LINEITEM"),
+            TableRef("O", "ORDERS"),
+            TableRef("C", "CUSTOMER"),
+            TableRef("N1", "NATION"),
+            TableRef("N2", "NATION"),
+        ),
+        joins=(
+            JoinPredicate("S", "S_SUPPKEY", "L", "L_SUPPKEY"),
+            JoinPredicate("O", "O_ORDERKEY", "L", "L_ORDERKEY"),
+            JoinPredicate("C", "C_CUSTKEY", "O", "O_CUSTKEY"),
+            JoinPredicate("S", "S_NATIONKEY", "N1", "N_NATIONKEY"),
+            JoinPredicate("C", "C_NATIONKEY", "N2", "N_NATIONKEY"),
+        ),
+        predicates=(
+            LocalPredicate(
+                "L", 730 / _SHIPDATE_SPAN, "L_SHIPDATE",
+                "l_shipdate in 1995..1996",
+            ),
+            LocalPredicate("N1", 2 / 25, "N_NAME", "n1 in (FR, DE)"),
+            LocalPredicate("N2", 2 / 25, "N_NAME", "n2 in (FR, DE)"),
+            LocalPredicate("N2", 0.5, None, "nation pair correlation"),
+        ),
+        group_by=(("N1", "N_NAME"), ("N2", "N_NAME")),
+        order_by=(("N1", "N_NAME"),),
+        description="Volume shipping",
+    )
+
+
+def _q8(catalog: Catalog) -> QuerySpec:
+    """National market share — the largest join graph (8 aliases).
+
+    p_type exact match: 1/150 (sargable).  r_name = 'AMERICA': 1/5.
+    o_orderdate in 1995..1996: 731/2406 = 0.304 (sargable, O_OD).
+    """
+    return QuerySpec(
+        name="Q8",
+        tables=(
+            TableRef("P", "PART"),
+            TableRef("S", "SUPPLIER"),
+            TableRef("L", "LINEITEM"),
+            TableRef("O", "ORDERS"),
+            TableRef("C", "CUSTOMER"),
+            TableRef("N1", "NATION"),
+            TableRef("N2", "NATION"),
+            TableRef("R", "REGION"),
+        ),
+        joins=(
+            JoinPredicate("P", "P_PARTKEY", "L", "L_PARTKEY"),
+            JoinPredicate("S", "S_SUPPKEY", "L", "L_SUPPKEY"),
+            JoinPredicate("L", "L_ORDERKEY", "O", "O_ORDERKEY"),
+            JoinPredicate("O", "O_CUSTKEY", "C", "C_CUSTKEY"),
+            JoinPredicate("C", "C_NATIONKEY", "N1", "N_NATIONKEY"),
+            JoinPredicate("N1", "N_REGIONKEY", "R", "R_REGIONKEY"),
+            JoinPredicate("S", "S_NATIONKEY", "N2", "N_NATIONKEY"),
+        ),
+        predicates=(
+            LocalPredicate(
+                "P", 1 / 150, "P_TYPE", "p_type = 'ECONOMY ANODIZED STEEL'"
+            ),
+            LocalPredicate("R", 1 / 5, "R_NAME", "r_name = 'AMERICA'"),
+            LocalPredicate(
+                "O", 731 / _ORDERDATE_SPAN, "O_ORDERDATE",
+                "o_orderdate in 1995..1996",
+            ),
+        ),
+        group_by=(("O", "O_ORDERDATE"),),
+        order_by=(("O", "O_ORDERDATE"),),
+        description="National market share",
+    )
+
+
+def _q9(catalog: Catalog) -> QuerySpec:
+    """Product type profit measure.
+
+    PARTSUPP joins LINEITEM on BOTH partkey and suppkey; the second
+    edge carries the conditional selectivity 0.25 (each part has 4
+    suppliers, so given the partkeys match, suppkeys match 1 in 4) —
+    the plain independence product would underestimate by ~400x.
+    p_name LIKE '%green%': the name holds 5 of 92 color words -> 0.054
+    (residual: not a prefix match).
+    """
+    return QuerySpec(
+        name="Q9",
+        tables=(
+            TableRef("P", "PART"),
+            TableRef("S", "SUPPLIER"),
+            TableRef("L", "LINEITEM"),
+            TableRef("PS", "PARTSUPP"),
+            TableRef("O", "ORDERS"),
+            TableRef("N", "NATION"),
+        ),
+        joins=(
+            JoinPredicate("P", "P_PARTKEY", "L", "L_PARTKEY"),
+            JoinPredicate("S", "S_SUPPKEY", "L", "L_SUPPKEY"),
+            JoinPredicate("PS", "PS_PARTKEY", "L", "L_PARTKEY"),
+            JoinPredicate(
+                "PS", "PS_SUPPKEY", "L", "L_SUPPKEY", selectivity=0.25
+            ),
+            JoinPredicate("O", "O_ORDERKEY", "L", "L_ORDERKEY"),
+            JoinPredicate("S", "S_NATIONKEY", "N", "N_NATIONKEY"),
+        ),
+        predicates=(
+            LocalPredicate("P", 5 / 92, None, "p_name LIKE '%green%'"),
+        ),
+        group_by=(("N", "N_NAME"), ("O", "O_ORDERDATE")),
+        order_by=(("N", "N_NAME"),),
+        description="Product type profit measure",
+    )
+
+
+def _q10(catalog: Catalog) -> QuerySpec:
+    """Returned item reporting.
+
+    o_orderdate in a quarter: 92/2406 = 0.038 (sargable, O_OD).
+    l_returnflag = 'R': dbgen marks ~24.7% of lineitems returned.
+    Groups per customer -> large aggregation.
+    """
+    return QuerySpec(
+        name="Q10",
+        tables=(
+            TableRef("C", "CUSTOMER"),
+            TableRef("O", "ORDERS"),
+            TableRef("L", "LINEITEM"),
+            TableRef("N", "NATION"),
+        ),
+        joins=(
+            JoinPredicate("C", "C_CUSTKEY", "O", "O_CUSTKEY"),
+            JoinPredicate("L", "L_ORDERKEY", "O", "O_ORDERKEY"),
+            JoinPredicate("C", "C_NATIONKEY", "N", "N_NATIONKEY"),
+        ),
+        predicates=(
+            LocalPredicate(
+                "O", 92 / _ORDERDATE_SPAN, "O_ORDERDATE",
+                "o_orderdate in one quarter",
+            ),
+            LocalPredicate("L", 0.2466, None, "l_returnflag = 'R'"),
+        ),
+        group_by=(("C", "C_CUSTKEY"), ("N", "N_NAME")),
+        order_by=(("C", "C_ACCTBAL"),),
+        description="Returned item reporting",
+    )
+
+
+def _q11(catalog: Catalog) -> QuerySpec:
+    """Important stock identification (one of the paper's callouts:
+    its Figure 6 curve bends when a complementary alternative takes
+    over around delta ~= 100).
+
+    PARTSUPP-SUPPLIER-NATION; n_name = 'GERMANY': 1/25.  Groups per
+    partkey.  The value-threshold subquery repeats the same join and is
+    folded away.
+    """
+    return QuerySpec(
+        name="Q11",
+        tables=(
+            TableRef("PS", "PARTSUPP"),
+            TableRef("S", "SUPPLIER"),
+            TableRef("N", "NATION"),
+        ),
+        joins=(
+            JoinPredicate("PS", "PS_SUPPKEY", "S", "S_SUPPKEY"),
+            JoinPredicate("S", "S_NATIONKEY", "N", "N_NATIONKEY"),
+        ),
+        predicates=(
+            LocalPredicate("N", 1 / 25, "N_NAME", "n_name = 'GERMANY'"),
+        ),
+        group_by=(("PS", "PS_PARTKEY"),),
+        order_by=(("PS", "PS_SUPPLYCOST"),),
+        description="Important stock identification",
+    )
+
+
+def _q12(catalog: Catalog) -> QuerySpec:
+    """Shipping modes and order priority.
+
+    l_shipmode in 2 of 7 modes: 0.286 (residual — IN list).
+    l_receiptdate in one year: 365/2554 = 0.143 (sargable column, but
+    no index on receiptdate exists).  The two date-order conditions
+    (commit < receipt, ship < commit) jointly hold for ~30% of rows.
+    """
+    return QuerySpec(
+        name="Q12",
+        tables=(TableRef("O", "ORDERS"), TableRef("L", "LINEITEM")),
+        joins=(JoinPredicate("O", "O_ORDERKEY", "L", "L_ORDERKEY"),),
+        predicates=(
+            LocalPredicate("L", 2 / 7, None, "l_shipmode in (MAIL, SHIP)"),
+            LocalPredicate(
+                "L", 365 / _RECEIPTDATE_SPAN, "L_RECEIPTDATE",
+                "l_receiptdate in one year",
+            ),
+            LocalPredicate(
+                "L", 0.30, None, "commit < receipt and ship < commit"
+            ),
+        ),
+        group_by=(("L", "L_SHIPMODE"),),
+        order_by=(("L", "L_SHIPMODE"),),
+        description="Shipping modes and order priority",
+    )
+
+
+def _q13(catalog: Catalog) -> QuerySpec:
+    """Customer distribution.
+
+    CUSTOMER LEFT OUTER JOIN ORDERS, planned as an inner join (the
+    access-path economics are identical).  o_comment NOT LIKE
+    '%special%requests%' keeps ~98.5% of orders (residual).  Groups
+    per customer.
+    """
+    return QuerySpec(
+        name="Q13",
+        tables=(TableRef("C", "CUSTOMER"), TableRef("O", "ORDERS")),
+        joins=(JoinPredicate("C", "C_CUSTKEY", "O", "O_CUSTKEY"),),
+        predicates=(
+            LocalPredicate(
+                "O", 0.9852, None, "o_comment NOT LIKE '%special%requests%'"
+            ),
+        ),
+        group_by=(("C", "C_CUSTKEY"),),
+        order_by=(("C", "C_CUSTKEY"),),
+        description="Customer distribution",
+    )
+
+
+def _q14(catalog: Catalog) -> QuerySpec:
+    """Promotion effect.
+
+    LINEITEM-PART with a one-month shipdate window: 30/2526 = 0.0119
+    (sargable, L_SD — a prime index-driven plan).  Single-row
+    aggregate, no grouping.
+    """
+    return QuerySpec(
+        name="Q14",
+        tables=(TableRef("L", "LINEITEM"), TableRef("P", "PART")),
+        joins=(JoinPredicate("L", "L_PARTKEY", "P", "P_PARTKEY"),),
+        predicates=(
+            LocalPredicate(
+                "L", 30 / _SHIPDATE_SPAN, "L_SHIPDATE",
+                "l_shipdate in one month",
+            ),
+        ),
+        description="Promotion effect",
+    )
+
+
+def _q15(catalog: Catalog) -> QuerySpec:
+    """Top supplier (revenue view flattened into the main block).
+
+    SUPPLIER joins the lineitem revenue aggregation; l_shipdate in one
+    quarter: 92/2526 = 0.036 (sargable, L_SD).  Groups per supplier.
+    """
+    return QuerySpec(
+        name="Q15",
+        tables=(TableRef("S", "SUPPLIER"), TableRef("L", "LINEITEM")),
+        joins=(JoinPredicate("S", "S_SUPPKEY", "L", "L_SUPPKEY"),),
+        predicates=(
+            LocalPredicate(
+                "L", 92 / _SHIPDATE_SPAN, "L_SHIPDATE",
+                "l_shipdate in one quarter",
+            ),
+        ),
+        group_by=(("S", "S_SUPPKEY"),),
+        order_by=(("S", "S_SUPPKEY"),),
+        description="Top supplier",
+    )
+
+
+def _q16(catalog: Catalog) -> QuerySpec:
+    """Parts/supplier relationship (a paper callout like Q11: its
+    Figure 6 curve bends, and its Figure 7 curve tails off at ~1000).
+
+    p_brand <> 'Brand#45': 24/25.  p_type NOT LIKE 'MEDIUM POLISHED%':
+    145/150.  p_size IN (8 of 50 values): 0.16 (sargable, P_SIZE).
+    The NOT-IN complaint-supplier subquery excludes a handful of
+    suppliers and is folded away.  Groups on (brand, type, size).
+    """
+    return QuerySpec(
+        name="Q16",
+        tables=(TableRef("PS", "PARTSUPP"), TableRef("P", "PART")),
+        joins=(JoinPredicate("PS", "PS_PARTKEY", "P", "P_PARTKEY"),),
+        predicates=(
+            LocalPredicate("P", 24 / 25, None, "p_brand <> 'Brand#45'"),
+            LocalPredicate(
+                "P", 145 / 150, None, "p_type NOT LIKE 'MEDIUM POLISHED%'"
+            ),
+            LocalPredicate("P", 8 / 50, "P_SIZE", "p_size in (8 values)"),
+        ),
+        group_by=(("P", "P_BRAND"), ("P", "P_TYPE"), ("P", "P_SIZE")),
+        order_by=(("P", "P_BRAND"),),
+        description="Parts/supplier relationship",
+    )
+
+
+def _q17(catalog: Catalog) -> QuerySpec:
+    """Small-quantity-order revenue.
+
+    p_brand = 'Brand#23': 1/25 (sargable).  p_container = 'MED BOX':
+    1/40 (residual).  The avg-quantity correlated subquery keeps rows
+    with l_quantity below 20% of the per-part average (~5 of 50
+    values): 0.1 residual on LINEITEM.
+    """
+    return QuerySpec(
+        name="Q17",
+        tables=(TableRef("L", "LINEITEM"), TableRef("P", "PART")),
+        joins=(JoinPredicate("L", "L_PARTKEY", "P", "P_PARTKEY"),),
+        predicates=(
+            LocalPredicate("P", 1 / 25, "P_BRAND", "p_brand = 'Brand#23'"),
+            LocalPredicate("P", 1 / 40, None, "p_container = 'MED BOX'"),
+            LocalPredicate(
+                "L", 0.1, None, "l_quantity < 0.2 * avg (flattened)"
+            ),
+        ),
+        description="Small-quantity-order revenue",
+    )
+
+
+def _q18(catalog: Catalog) -> QuerySpec:
+    """Large volume customer.
+
+    The HAVING sum(l_quantity) > 300 subquery keeps only orders whose
+    total quantity exceeds 300 (at most ~7 lines x 50 qty = 350):
+    roughly 1 order in 25,000 -> residual 4e-5 on ORDERS.  Groups per
+    qualifying order.
+    """
+    return QuerySpec(
+        name="Q18",
+        tables=(
+            TableRef("C", "CUSTOMER"),
+            TableRef("O", "ORDERS"),
+            TableRef("L", "LINEITEM"),
+        ),
+        joins=(
+            JoinPredicate("C", "C_CUSTKEY", "O", "O_CUSTKEY"),
+            JoinPredicate("O", "O_ORDERKEY", "L", "L_ORDERKEY"),
+        ),
+        predicates=(
+            LocalPredicate(
+                "O", 4e-5, None, "sum(l_quantity) > 300 (flattened HAVING)"
+            ),
+        ),
+        group_by=(("O", "O_ORDERKEY"), ("C", "C_CUSTKEY")),
+        order_by=(("O", "O_TOTALPRICE"),),
+        description="Large volume customer",
+    )
+
+
+def _q19(catalog: Catalog) -> QuerySpec:
+    """Discounted revenue (a paper callout: the LINEITEM-PART join
+    method flips between hash join and index nested loops with the
+    relative cost of sequential vs random I/O, Section 8.1.1).
+
+    A disjunction of three brand/container/quantity/size conjunctions.
+    On PART: 3 branches x (brand 1/25 x containers 4/40 x sizes ~0.9)
+    ~= 0.011, residual (OR is not sargable here).  On LINEITEM:
+    shipmode in (AIR, AIR REG) 2/7 x instruct 'DELIVER IN PERSON' 1/4
+    x quantity windows ~0.4 ~= 0.029, residual.
+    """
+    return QuerySpec(
+        name="Q19",
+        tables=(TableRef("L", "LINEITEM"), TableRef("P", "PART")),
+        joins=(JoinPredicate("L", "L_PARTKEY", "P", "P_PARTKEY"),),
+        predicates=(
+            LocalPredicate(
+                "P", 0.011, None, "brand/container/size disjunction"
+            ),
+            LocalPredicate(
+                "L", 0.029, None, "shipmode/instruct/quantity disjunction"
+            ),
+        ),
+        description="Discounted revenue",
+    )
+
+
+def _q20(catalog: Catalog) -> QuerySpec:
+    """Potential part promotion (the paper's most sensitive query:
+    nearly an order of magnitude worse than the rest in Figure 6,
+    driven by the PART-PARTSUPP join method and the PARTSUPP index).
+
+    Flattened nesting: SUPPLIER-NATION gate, PARTSUPP filtered through
+    PART (p_name LIKE 'forest%': first of 92 words -> 1/92, a prefix
+    match, sargable on P_NAME) and through LINEITEM (availqty vs half
+    the year's shipments; l_shipdate in one year: 365/2526, sargable
+    L_SD).  The LINEITEM-PARTSUPP edge pair carries the 0.25
+    conditional suppkey selectivity as in Q9.
+    """
+    return QuerySpec(
+        name="Q20",
+        tables=(
+            TableRef("S", "SUPPLIER"),
+            TableRef("N", "NATION"),
+            TableRef("PS", "PARTSUPP"),
+            TableRef("P", "PART"),
+            TableRef("L", "LINEITEM"),
+        ),
+        joins=(
+            JoinPredicate("S", "S_NATIONKEY", "N", "N_NATIONKEY"),
+            JoinPredicate("PS", "PS_SUPPKEY", "S", "S_SUPPKEY"),
+            JoinPredicate("PS", "PS_PARTKEY", "P", "P_PARTKEY"),
+            JoinPredicate("L", "L_PARTKEY", "PS", "PS_PARTKEY"),
+            JoinPredicate(
+                "L", "L_SUPPKEY", "PS", "PS_SUPPKEY", selectivity=0.25
+            ),
+        ),
+        predicates=(
+            LocalPredicate("N", 1 / 25, "N_NAME", "n_name = 'CANADA'"),
+            LocalPredicate(
+                "P", 1 / 92, "P_NAME", "p_name LIKE 'forest%'"
+            ),
+            LocalPredicate(
+                "L", 365 / _SHIPDATE_SPAN, "L_SHIPDATE",
+                "l_shipdate in one year",
+            ),
+        ),
+        order_by=(("S", "S_NAME"),),
+        description="Potential part promotion",
+    )
+
+
+def _q21(catalog: Catalog) -> QuerySpec:
+    """Suppliers who kept orders waiting.
+
+    Self-join on LINEITEM: L2 is the EXISTS alias (another supplier on
+    the same order).  The explicit edge selectivity models the
+    semi-join: an L1 row finds a qualifying L2 row with probability
+    ~0.75, so sel = 0.75 / |LINEITEM| (computed from the catalog so it
+    holds at any scale factor).  o_orderstatus = 'F': ~48.6%.
+    n_name: 1/25.  l1.receiptdate > l1.commitdate: ~0.5 residual.
+    The NOT EXISTS (L3) branch only tightens the same access pattern
+    and is folded away.
+    """
+    lineitem_rows = catalog.row_count("LINEITEM")
+    semi_selectivity = min(1.0, 0.75 / lineitem_rows)
+    return QuerySpec(
+        name="Q21",
+        tables=(
+            TableRef("S", "SUPPLIER"),
+            TableRef("L1", "LINEITEM"),
+            TableRef("O", "ORDERS"),
+            TableRef("N", "NATION"),
+            TableRef("L2", "LINEITEM"),
+        ),
+        joins=(
+            JoinPredicate("S", "S_SUPPKEY", "L1", "L_SUPPKEY"),
+            JoinPredicate("O", "O_ORDERKEY", "L1", "L_ORDERKEY"),
+            JoinPredicate("S", "S_NATIONKEY", "N", "N_NATIONKEY"),
+            JoinPredicate(
+                "L1",
+                "L_ORDERKEY",
+                "L2",
+                "L_ORDERKEY",
+                selectivity=semi_selectivity,
+            ),
+        ),
+        predicates=(
+            LocalPredicate("O", 0.486, None, "o_orderstatus = 'F'"),
+            LocalPredicate("N", 1 / 25, "N_NAME", "n_name = 'SAUDI ARABIA'"),
+            LocalPredicate(
+                "L1", 0.5, None, "l1.receiptdate > l1.commitdate"
+            ),
+        ),
+        group_by=(("S", "S_NAME"),),
+        order_by=(("S", "S_NAME"),),
+        description="Suppliers who kept orders waiting",
+    )
+
+
+def _q22(catalog: Catalog) -> QuerySpec:
+    """Global sales opportunity.
+
+    CUSTOMER anti-join ORDERS (NOT EXISTS), modelled as a join whose
+    edge selectivity yields the customers-without-orders cardinality:
+    1/3 of customers have no orders, so sel = |C|/3 / (|C| x |O|) =
+    1 / (3 |O|) (catalog-derived).  Phone country code in 7 of 25:
+    0.28 residual.  acctbal above the positive average: ~0.45
+    residual.  Groups per country code (7).
+    """
+    orders_rows = catalog.row_count("ORDERS")
+    anti_selectivity = min(1.0, 1.0 / (3.0 * orders_rows))
+    return QuerySpec(
+        name="Q22",
+        tables=(TableRef("C", "CUSTOMER"), TableRef("O", "ORDERS")),
+        joins=(
+            JoinPredicate(
+                "C",
+                "C_CUSTKEY",
+                "O",
+                "O_CUSTKEY",
+                selectivity=anti_selectivity,
+            ),
+        ),
+        predicates=(
+            LocalPredicate("C", 7 / 25, None, "phone country code in 7"),
+            LocalPredicate("C", 0.45, None, "acctbal above positive avg"),
+        ),
+        group_by=(("C", "C_PHONE"),),
+        order_by=(("C", "C_PHONE"),),
+        description="Global sales opportunity",
+    )
+
+
+_BUILDERS = {
+    "Q1": _q1, "Q2": _q2, "Q3": _q3, "Q4": _q4, "Q5": _q5, "Q6": _q6,
+    "Q7": _q7, "Q8": _q8, "Q9": _q9, "Q10": _q10, "Q11": _q11,
+    "Q12": _q12, "Q13": _q13, "Q14": _q14, "Q15": _q15, "Q16": _q16,
+    "Q17": _q17, "Q18": _q18, "Q19": _q19, "Q20": _q20, "Q21": _q21,
+    "Q22": _q22,
+}
+
+
+def tpch_query(name: str, catalog: Catalog) -> QuerySpec:
+    """Build one TPC-H query spec (``name`` like ``"Q5"``)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown TPC-H query {name!r}; expected Q1..Q22"
+        ) from None
+    return builder(catalog)
+
+
+def build_tpch_queries(catalog: Catalog) -> dict[str, QuerySpec]:
+    """All 22 TPC-H queries, keyed ``Q1``..``Q22`` in order."""
+    return {name: _BUILDERS[name](catalog) for name in TPCH_QUERY_NAMES}

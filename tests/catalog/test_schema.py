@@ -1,0 +1,90 @@
+"""Tests for repro.catalog.schema."""
+
+import pytest
+
+from repro.catalog.schema import Column, Index, Schema, Table
+
+
+def _table():
+    return Table(
+        "T",
+        (
+            Column("A", "integer", 4),
+            Column("B", "varchar", 20),
+            Column("C", "date", 4),
+        ),
+        primary_key=("A",),
+    )
+
+
+def test_column_validation():
+    with pytest.raises(ValueError, match="unknown column type"):
+        Column("X", "blob", 4)
+    with pytest.raises(ValueError, match="width"):
+        Column("X", "integer", 0)
+
+
+def test_table_accessors():
+    table = _table()
+    assert table.column_names == ("A", "B", "C")
+    assert table.row_width == 28
+    assert table.column("B").width == 20
+    with pytest.raises(KeyError):
+        table.column("Z")
+
+
+def test_table_rejects_duplicate_columns():
+    with pytest.raises(ValueError, match="duplicate column"):
+        Table("T", (Column("A", "integer", 4), Column("A", "date", 4)))
+
+
+def test_table_rejects_bad_primary_key():
+    with pytest.raises(ValueError, match="primary key"):
+        Table("T", (Column("A", "integer", 4),), primary_key=("Z",))
+
+
+def test_index_validation():
+    with pytest.raises(ValueError, match="at least one key"):
+        Index("I", "T", ())
+    with pytest.raises(ValueError, match="duplicate key"):
+        Index("I", "T", ("A", "A"))
+    index = Index("I", "T", ("A", "B"))
+    assert index.leading_column == "A"
+
+
+def test_schema_consistency_checks():
+    schema = Schema()
+    schema.add_table(_table())
+    with pytest.raises(ValueError, match="already defined"):
+        schema.add_table(_table())
+    with pytest.raises(ValueError, match="unknown table"):
+        schema.add_index(Index("I", "NOPE", ("A",)))
+    with pytest.raises(KeyError):
+        schema.add_index(Index("I", "T", ("Z",)))
+
+
+def test_schema_single_clustered_index_per_table():
+    schema = Schema()
+    schema.add_table(_table())
+    schema.add_index(Index("I1", "T", ("A",), clustered=True))
+    with pytest.raises(ValueError, match="clustered"):
+        schema.add_index(Index("I2", "T", ("B",), clustered=True))
+
+
+def test_schema_index_lookup_helpers():
+    schema = Schema.from_tables(
+        [_table()],
+        [
+            Index("I_A", "T", ("A",), clustered=True),
+            Index("I_AB", "T", ("A", "B")),
+            Index("I_B", "T", ("B",)),
+        ],
+    )
+    assert {i.name for i in schema.indexes_on("T")} == {"I_A", "I_AB", "I_B"}
+    leading_a = schema.indexes_with_leading_column("T", "A")
+    assert {i.name for i in leading_a} == {"I_A", "I_AB"}
+    assert schema.indexes_with_leading_column("T", "C") == ()
+    with pytest.raises(KeyError):
+        schema.table("NOPE")
+    with pytest.raises(KeyError):
+        schema.index("NOPE")

@@ -1,0 +1,127 @@
+"""Tests for repro.catalog.statistics."""
+
+import math
+
+import pytest
+
+from repro.catalog.schema import Column, Index, Schema, Table
+from repro.catalog.statistics import (
+    Catalog,
+    CatalogStats,
+    ColumnStats,
+    IndexStats,
+    TableStats,
+)
+
+
+def _schema():
+    return Schema.from_tables(
+        [
+            Table(
+                "T",
+                (Column("A", "integer", 4), Column("B", "char", 96)),
+                primary_key=("A",),
+            )
+        ],
+        [Index("I_A", "T", ("A",), clustered=True)],
+    )
+
+
+def _catalog(row_count=100_000):
+    stats = CatalogStats()
+    stats.tables["T"] = TableStats(
+        row_count=row_count,
+        row_width=100,
+        columns={"A": ColumnStats(n_distinct=row_count)},
+    )
+    stats.indexes["I_A"] = IndexStats.derive(
+        row_count=row_count, key_width=4, cluster_ratio=1.0
+    )
+    return Catalog(_schema(), stats)
+
+
+class TestTableStats:
+    def test_pages_from_rows_and_width(self):
+        stats = TableStats(row_count=100_000, row_width=100)
+        # 4096 * 0.96 // 100 = 39 rows/page.
+        assert stats.rows_per_page == 39
+        assert stats.n_pages == math.ceil(100_000 / 39)
+
+    def test_empty_table_has_one_page(self):
+        assert TableStats(row_count=0, row_width=10).n_pages == 1
+
+    def test_wide_rows_one_per_page(self):
+        stats = TableStats(row_count=10, row_width=8000, page_size=4096)
+        assert stats.rows_per_page == 1
+        assert stats.n_pages == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableStats(row_count=-1, row_width=10)
+        with pytest.raises(ValueError):
+            TableStats(row_count=1, row_width=0)
+        with pytest.raises(ValueError):
+            ColumnStats(n_distinct=0)
+        with pytest.raises(ValueError):
+            ColumnStats(n_distinct=5, null_fraction=2.0)
+
+
+class TestIndexStats:
+    def test_derive_shape(self):
+        stats = IndexStats.derive(row_count=1_000_000, key_width=4, cluster_ratio=0.0)
+        # (4096*0.7)//12 = 238 entries/leaf.
+        assert stats.leaf_pages == math.ceil(1_000_000 / 238)
+        assert stats.levels >= 2
+        assert stats.cluster_ratio == 0.0
+
+    def test_tiny_index_single_level(self):
+        stats = IndexStats.derive(row_count=10, key_width=4, cluster_ratio=1.0)
+        assert stats.leaf_pages == 1
+        assert stats.levels == 1
+
+    def test_levels_grow_logarithmically(self):
+        small = IndexStats.derive(10_000, 4, 0.0)
+        large = IndexStats.derive(100_000_000, 4, 0.0)
+        assert large.levels > small.levels
+        assert large.levels <= small.levels + 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IndexStats(leaf_pages=0, levels=1, key_width=4, cluster_ratio=0.5)
+        with pytest.raises(ValueError):
+            IndexStats(leaf_pages=1, levels=0, key_width=4, cluster_ratio=0.5)
+        with pytest.raises(ValueError):
+            IndexStats(leaf_pages=1, levels=1, key_width=4, cluster_ratio=1.5)
+
+
+class TestCatalog:
+    def test_accessors(self):
+        catalog = _catalog()
+        assert catalog.row_count("T") == 100_000
+        assert catalog.n_pages("T") > 0
+        assert catalog.table("T").name == "T"
+        assert catalog.index("I_A").clustered
+        assert catalog.clustered_index("T").name == "I_A"
+        assert catalog.table_names() == ("T",)
+        assert len(catalog.indexes_on("T")) == 1
+        assert catalog.indexes_with_leading_column("T", "A")[0].name == "I_A"
+
+    def test_distinct_values_with_default(self):
+        catalog = _catalog()
+        assert catalog.distinct_values("T", "A") == 100_000
+        # Column without stats falls back to table cardinality.
+        assert catalog.distinct_values("T", "B") == 100_000
+
+    def test_missing_stats_rejected(self):
+        stats = CatalogStats()  # empty
+        with pytest.raises(ValueError, match="missing statistics"):
+            Catalog(_schema(), stats)
+
+    def test_unknown_names_raise(self):
+        catalog = _catalog()
+        with pytest.raises(KeyError):
+            catalog.table_stats("NOPE")
+        with pytest.raises(KeyError):
+            catalog.index_stats("NOPE")
+        with pytest.raises(KeyError):
+            catalog.column_stats("T", "NOPE")

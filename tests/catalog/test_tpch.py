@@ -1,0 +1,129 @@
+"""Tests for the analytic TPC-H catalog."""
+
+import pytest
+
+from repro.catalog.tpch import (
+    TPCH_TABLE_NAMES,
+    build_tpch_catalog,
+    tpch_row_count,
+    tpch_schema,
+)
+
+
+class TestRowCounts:
+    def test_fixed_tables_ignore_scale(self):
+        for sf in (1, 10, 100):
+            assert tpch_row_count("REGION", sf) == 5
+            assert tpch_row_count("NATION", sf) == 25
+
+    def test_linear_tables_at_sf1(self):
+        assert tpch_row_count("SUPPLIER", 1) == 10_000
+        assert tpch_row_count("CUSTOMER", 1) == 150_000
+        assert tpch_row_count("PART", 1) == 200_000
+        assert tpch_row_count("PARTSUPP", 1) == 800_000
+        assert tpch_row_count("ORDERS", 1) == 1_500_000
+
+    def test_lineitem_exact_published_counts(self):
+        assert tpch_row_count("LINEITEM", 1) == 6_001_215
+        assert tpch_row_count("LINEITEM", 100) == 600_037_902
+
+    def test_lineitem_interpolated_for_odd_scale(self):
+        rows = tpch_row_count("LINEITEM", 0.01)
+        assert rows == pytest.approx(60_000, rel=0.01)
+
+    def test_scale_100_matches_paper_database(self):
+        """The paper used the 100 GB (SF 100) database."""
+        assert tpch_row_count("ORDERS", 100) == 150_000_000
+        assert tpch_row_count("PART", 100) == 20_000_000
+
+    def test_bad_inputs(self):
+        with pytest.raises(KeyError):
+            tpch_row_count("NOPE", 1)
+        with pytest.raises(ValueError):
+            tpch_row_count("PART", 0)
+
+
+class TestSchema:
+    def test_all_eight_tables_present(self):
+        schema = tpch_schema()
+        assert set(schema.tables) == set(TPCH_TABLE_NAMES)
+
+    def test_lineitem_has_sixteen_columns(self):
+        schema = tpch_schema()
+        assert len(schema.table("LINEITEM").columns) == 16
+
+    def test_every_table_has_clustered_pk_index(self):
+        schema = tpch_schema()
+        for name in TPCH_TABLE_NAMES:
+            clustered = [
+                i for i in schema.indexes_on(name) if i.clustered
+            ]
+            assert len(clustered) == 1, name
+            assert clustered[0].key_columns == schema.table(name).primary_key
+
+    def test_fdr_style_secondary_indexes_exist(self):
+        schema = tpch_schema()
+        assert schema.index("L_PK_SK").key_columns == (
+            "L_PARTKEY",
+            "L_SUPPKEY",
+        )
+        assert schema.index("O_CK").key_columns == ("O_CUSTKEY",)
+        assert schema.index("L_SD").key_columns == ("L_SHIPDATE",)
+
+
+class TestCatalogStatistics:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return build_tpch_catalog(scale_factor=100)
+
+    def test_database_is_about_100gb(self, catalog):
+        total_bytes = sum(
+            catalog.n_pages(t) * 4096 for t in TPCH_TABLE_NAMES
+        )
+        assert 70e9 < total_bytes < 160e9
+
+    def test_lineitem_dominates(self, catalog):
+        lineitem = catalog.n_pages("LINEITEM")
+        for table in TPCH_TABLE_NAMES:
+            if table != "LINEITEM":
+                assert catalog.n_pages(table) < lineitem
+
+    def test_column_cardinalities_from_dbgen_rules(self, catalog):
+        assert catalog.distinct_values("LINEITEM", "L_SHIPDATE") == 2526
+        assert catalog.distinct_values("LINEITEM", "L_QUANTITY") == 50
+        assert catalog.distinct_values("PART", "P_TYPE") == 150
+        assert catalog.distinct_values("PART", "P_BRAND") == 25
+        assert catalog.distinct_values("ORDERS", "O_ORDERDATE") == 2406
+        assert catalog.distinct_values("CUSTOMER", "C_MKTSEGMENT") == 5
+
+    def test_distinct_never_exceeds_cardinality(self, catalog):
+        small = build_tpch_catalog(scale_factor=0.001)
+        for table in TPCH_TABLE_NAMES:
+            rows = small.row_count(table)
+            stats = small.table_stats(table)
+            for column_stats in stats.columns.values():
+                assert column_stats.n_distinct <= max(rows, 1)
+
+    def test_pk_indexes_clustered_secondary_not(self, catalog):
+        assert catalog.index_stats("L_PK").cluster_ratio == 1.0
+        assert catalog.index_stats("L_PK_SK").cluster_ratio == 0.0
+        assert catalog.index_stats("L_SD").cluster_ratio == 0.0
+
+    def test_orderkey_prefix_index_inherits_clustering(self, catalog):
+        """L_OK follows the physical (L_ORDERKEY, L_LINENUMBER) order."""
+        assert catalog.index_stats("L_OK").cluster_ratio == 1.0
+
+    def test_index_levels_reasonable_at_scale_100(self, catalog):
+        stats = catalog.index_stats("L_PK")
+        assert 3 <= stats.levels <= 5
+        assert stats.leaf_pages > 1_000_000
+
+    def test_foreign_key_distincts_consistent(self, catalog):
+        # Every lineitem partkey exists in PART.
+        assert catalog.distinct_values(
+            "LINEITEM", "L_PARTKEY"
+        ) == catalog.row_count("PART")
+        # Only 2/3 of customers have orders.
+        assert catalog.distinct_values(
+            "ORDERS", "O_CUSTKEY"
+        ) == pytest.approx(catalog.row_count("CUSTOMER") * 2 / 3)

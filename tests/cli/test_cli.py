@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_params_command(capsys):
+    assert main(["params"]) == 0
+    out = capsys.readouterr().out
+    assert "DB2_HASH_JOIN" in out
+    assert "640000" in out
+
+
+def test_figure_command_table(capsys):
+    code = main(
+        [
+            "figure", "shared",
+            "--queries", "Q14",
+            "--deltas", "1,100",
+            "--scale", "100",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Q14" in out
+    assert "Figure 5" in out
+
+
+def test_figure_command_csv(capsys):
+    main(["figure", "shared", "--queries", "Q14", "--deltas", "1,10",
+          "--csv"])
+    out = capsys.readouterr().out
+    lines = out.strip().splitlines()
+    assert lines[0] == "query,1,10"
+    assert lines[1].startswith("Q14,")
+
+
+def test_census_command(capsys):
+    assert main(["census", "split", "--queries", "Q14"]) == 0
+    out = capsys.readouterr().out
+    assert "acc-path" in out
+
+
+def test_robustness_command(capsys):
+    assert main(["robustness", "split", "--queries", "Q14"]) == 0
+    out = capsys.readouterr().out
+    assert "radius" in out
+    assert "Q14" in out
+
+
+def test_diagram_command(capsys):
+    code = main(
+        [
+            "diagram", "Q14", "dev.table.LINEITEM", "dev.index.LINEITEM",
+            "--resolution", "8", "--delta", "100",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "multiplier" in out
+    assert "= [" in out  # legend
+
+
+def test_validate_command(capsys):
+    assert main(["validate", "Q14", "--delta", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "estimation:" in out
+    assert "discovery:" in out
+    assert "PASS" in out
+
+
+def test_unknown_query_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "shared", "--queries", "Q99"])
+    with pytest.raises(SystemExit):
+        main(["diagram", "Q99", "x", "y"])
+    with pytest.raises(SystemExit):
+        main(["diagram", "Q14", "not-a-device", "dev.temp"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_bad_scenario_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "bogus"])
+
+
+def test_figure_command_chart(capsys):
+    main(["figure", "shared", "--queries", "Q14", "--deltas", "1,100",
+          "--chart", "Q14"])
+    out = capsys.readouterr().out
+    assert "log GTC" in out
+
+
+def test_expected_command(capsys):
+    assert main(
+        ["expected", "split", "--queries", "Q14", "--samples", "200"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "still-opt" in out

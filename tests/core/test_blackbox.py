@@ -1,0 +1,75 @@
+"""Tests for repro.core.blackbox."""
+
+import pytest
+
+from repro.core.blackbox import BlackBoxOptimizer, PlanChoice, TabularBlackBox
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+SPACE = ResourceSpace.from_names(["r1", "r2"])
+
+
+def _usage(*values):
+    return UsageVector(SPACE, list(values))
+
+
+def _cost(*values):
+    return CostVector(SPACE, list(values))
+
+
+def test_reports_cheapest_plan_and_exact_cost():
+    box = TabularBlackBox([("a", _usage(1, 10)), ("b", _usage(10, 1))])
+    # Expensive r1, cheap r2: plan a (light on r1) wins at 100 + 10.
+    choice = box.optimize(_cost(100, 1))
+    assert choice == PlanChoice(signature="a", total_cost=110.0)
+    choice = box.optimize(_cost(1, 100))
+    assert choice.signature == "b"
+
+
+def test_protocol_conformance():
+    box = TabularBlackBox([("a", _usage(1, 1))])
+    assert isinstance(box, BlackBoxOptimizer)
+
+
+def test_call_count_increments():
+    box = TabularBlackBox([("a", _usage(1, 1))])
+    assert box.call_count == 0
+    box.optimize(_cost(1, 1))
+    box.optimize(_cost(2, 2))
+    assert box.call_count == 2
+
+
+def test_duplicate_signatures_rejected():
+    with pytest.raises(ValueError, match="unique"):
+        TabularBlackBox([("a", _usage(1, 1)), ("a", _usage(2, 2))])
+
+
+def test_empty_plan_list_rejected():
+    with pytest.raises(ValueError):
+        TabularBlackBox([])
+
+
+def test_usage_of_ground_truth_lookup():
+    usage = _usage(3, 4)
+    box = TabularBlackBox([("a", usage)])
+    assert box.usage_of("a") == usage
+    with pytest.raises(KeyError):
+        box.usage_of("nope")
+
+
+def test_deterministic_tie_breaking():
+    box = TabularBlackBox([("first", _usage(1, 1)), ("tied", _usage(1, 1))])
+    assert box.optimize(_cost(5, 5)).signature == "first"
+
+
+def test_quantization_rounds_total_cost():
+    box = TabularBlackBox(
+        [("a", _usage(1, 1))], quantization=1e-3
+    )
+    exact_total = 1.23456789 + 1.0
+    choice = box.optimize(_cost(1.23456789, 1.0))
+    # Snapped to a grid of step 1e-3 * 10**ceil(log10(total)) = 0.01.
+    assert choice.total_cost == pytest.approx(2.23)
+    assert choice.total_cost != exact_total
+    # Relative error stays within an order of the quantization level.
+    assert abs(choice.total_cost - exact_total) / exact_total < 5e-3

@@ -1,0 +1,183 @@
+"""Tests for repro.core.bounds (Theorems 1 and 2, Lemma 1, Example 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    corollary_constant_bound,
+    empirical_ratio_range,
+    lemma1_holds,
+    numpy_ratio_extremes,
+    ratio_extremes,
+    theorem1_interval,
+    theorem1_plan_bound,
+    theorem2_interval,
+)
+from repro.core.costmodel import relative_total_cost
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+SPACE = ResourceSpace.from_names(["r1", "r2"])
+
+
+def _usage(*values):
+    return UsageVector(SPACE, list(values))
+
+
+def _cost(*values):
+    return CostVector(SPACE, list(values))
+
+
+class TestTheorem1:
+    def test_interval_shape(self):
+        low, high = theorem1_interval(gamma=2.0, delta=3.0)
+        assert low == pytest.approx(2.0 / 9.0)
+        assert high == pytest.approx(18.0)
+
+    def test_plan_bound(self):
+        assert theorem1_plan_bound(10.0) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            theorem1_plan_bound(0.5)
+
+    def test_example_1_tightness(self):
+        """Paper Example 1: A=(1,0), B=(0,1) reach exactly delta**2."""
+        a = _usage(1, 0)
+        b = _usage(0, 1)
+        c1 = _cost(1, 1)
+        assert relative_total_cost(a, b, c1) == pytest.approx(1.0)
+        for delta in (2.0, 10.0, 100.0):
+            c2 = _cost(delta, 1.0 / delta)
+            observed = relative_total_cost(a, b, c2)
+            assert observed == pytest.approx(delta**2)
+            low, high = theorem1_interval(1.0, delta)
+            assert low - 1e-12 <= observed <= high + 1e-9
+
+    def test_random_perturbations_respect_bound(self):
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            a = _usage(*rng.uniform(0, 10, 2))
+            b = _usage(*rng.uniform(0.1, 10, 2))
+            c = _cost(*rng.uniform(0.1, 10, 2))
+            delta = rng.uniform(1.0, 50.0)
+            gamma = relative_total_cost(a, b, c)
+            factors = delta ** rng.uniform(-1, 1, 2)
+            perturbed = c.perturbed(factors)
+            observed = relative_total_cost(a, b, perturbed)
+            low, high = theorem1_interval(gamma, delta)
+            assert low * (1 - 1e-9) <= observed <= high * (1 + 1e-9)
+
+
+class TestRatioExtremes:
+    def test_plain_ratios(self):
+        r_min, r_max = ratio_extremes(_usage(2, 8), _usage(1, 2))
+        assert r_min == pytest.approx(2.0)
+        assert r_max == pytest.approx(4.0)
+
+    def test_complementary_gives_infinite_max(self):
+        r_min, r_max = ratio_extremes(_usage(1, 1), _usage(0, 1))
+        assert math.isinf(r_max)
+
+    def test_complementary_gives_zero_min(self):
+        r_min, __ = ratio_extremes(_usage(0, 1), _usage(1, 1))
+        assert r_min == 0.0
+
+    def test_shared_zero_dimension_skipped(self):
+        r_min, r_max = ratio_extremes(_usage(0, 2), _usage(0, 1))
+        assert (r_min, r_max) == (2.0, 2.0)
+
+    def test_all_zero_degenerate(self):
+        assert ratio_extremes(_usage(0, 0), _usage(0, 0)) == (1.0, 1.0)
+
+    def test_numpy_version_agrees(self):
+        rng = np.random.default_rng(5)
+        rows_a = rng.uniform(0, 5, size=(40, 2))
+        rows_a[rng.random((40, 2)) < 0.3] = 0.0
+        rows_b = rng.uniform(0, 5, size=(40, 2))
+        rows_b[rng.random((40, 2)) < 0.3] = 0.0
+        r_min_v, r_max_v = numpy_ratio_extremes(rows_a, rows_b)
+        for k in range(40):
+            r_min, r_max = ratio_extremes(
+                UsageVector(SPACE, rows_a[k]), UsageVector(SPACE, rows_b[k])
+            )
+            assert r_min_v[k] == pytest.approx(r_min)
+            assert r_max_v[k] == pytest.approx(r_max)
+
+
+class TestTheorem2:
+    def test_relative_cost_always_within_interval(self):
+        rng = np.random.default_rng(13)
+        a = _usage(2, 8)
+        b = _usage(1, 2)
+        low, high = theorem2_interval(a, b)
+        for _ in range(300):
+            c = _cost(*rng.uniform(1e-3, 1e3, 2))
+            observed = relative_total_cost(a, b, c)
+            assert low * (1 - 1e-12) <= observed <= high * (1 + 1e-12)
+
+    def test_bounds_are_approached_at_extremes(self):
+        a = _usage(2, 8)
+        b = _usage(1, 2)
+        low, high = theorem2_interval(a, b)
+        # Put all weight on the dimension with the extreme ratio.
+        nearly_low = relative_total_cost(a, b, _cost(1e9, 1e-9))
+        nearly_high = relative_total_cost(a, b, _cost(1e-9, 1e9))
+        assert nearly_low == pytest.approx(low, rel=1e-6)
+        assert nearly_high == pytest.approx(high, rel=1e-6)
+
+    def test_complementary_pair_escapes_any_constant(self):
+        a = _usage(1, 0)
+        b = _usage(0, 1)
+        observed = empirical_ratio_range(
+            a, b, [_cost(10.0**k, 10.0**-k) for k in range(-6, 7)]
+        )
+        assert observed[1] / observed[0] > 1e10
+
+
+class TestCorollary:
+    def test_non_complementary_set_gets_finite_bound(self):
+        plans = [_usage(1, 2), _usage(2, 1), _usage(1.5, 1.5)]
+        bound = corollary_constant_bound(plans)
+        assert math.isfinite(bound)
+        assert bound == pytest.approx(2.0)
+
+    def test_complementary_set_gets_infinite_bound(self):
+        plans = [_usage(1, 0), _usage(0, 1)]
+        assert math.isinf(corollary_constant_bound(plans))
+
+    def test_bound_actually_bounds_gtc(self):
+        rng = np.random.default_rng(17)
+        plans = [_usage(1, 3), _usage(3, 1), _usage(2, 2)]
+        bound = corollary_constant_bound(plans)
+        for _ in range(200):
+            c = _cost(*rng.uniform(1e-3, 1e3, 2))
+            totals = [p.dot(c) for p in plans]
+            gtc = max(totals) / min(totals)
+            assert gtc <= bound * (1 + 1e-12)
+
+
+class TestLemma1:
+    def test_holds_on_valid_inputs(self):
+        rng = np.random.default_rng(19)
+        for _ in range(300):
+            a1, b1, a2, b2 = rng.uniform(0.01, 10, 4)
+            if a2 / b2 > a1 / b1:
+                (a1, b1), (a2, b2) = (a2, b2), (a1, b1)
+            c1, c2 = rng.uniform(0, 10, 2)
+            assert lemma1_holds(a1, b1, a2, b2, c1, c2)
+
+    def test_rejects_bad_preconditions(self):
+        with pytest.raises(ValueError):
+            lemma1_holds(0, 1, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            lemma1_holds(1, 1, 1, 1, -1, 1)
+        with pytest.raises(ValueError):
+            lemma1_holds(1, 2, 2, 1, 1, 1)  # a2/b2 > a1/b1
+
+
+def test_gamma_and_delta_validation():
+    with pytest.raises(ValueError):
+        theorem1_interval(-1.0, 2.0)
+    with pytest.raises(ValueError):
+        theorem1_interval(1.0, 0.9)

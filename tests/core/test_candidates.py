@@ -1,0 +1,137 @@
+"""Tests for repro.core.candidates."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import (
+    candidate_optimal_indices,
+    is_candidate_optimal,
+    pareto_undominated_indices,
+    region_of_influence_margin,
+    witness_cost_vector,
+)
+from repro.core.feasible import FeasibleRegion, VariationGroup
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+SPACE = ResourceSpace.from_names(["r1", "r2"])
+CENTER = CostVector(SPACE, [1.0, 1.0])
+
+
+def _usage(*values):
+    return UsageVector(SPACE, list(values))
+
+
+def _region(delta=100.0, groups=None):
+    return FeasibleRegion(CENTER, delta, groups)
+
+
+class TestParetoFilter:
+    def test_dominated_plan_removed(self):
+        plans = [_usage(1, 1), _usage(2, 2)]
+        assert pareto_undominated_indices(plans) == [0]
+
+    def test_incomparable_plans_kept(self):
+        plans = [_usage(1, 3), _usage(3, 1)]
+        assert pareto_undominated_indices(plans) == [0, 1]
+
+    def test_duplicates_keep_first(self):
+        plans = [_usage(1, 1), _usage(1, 1), _usage(0.5, 3)]
+        assert pareto_undominated_indices(plans) == [0, 2]
+
+    def test_figure3_shape(self):
+        """The Figure 3 scenario: A1 and A5 dominated, rest kept."""
+        a1 = _usage(2, 5)
+        a2 = _usage(1, 4)
+        a3 = _usage(2.5, 2.5)
+        a4 = _usage(4, 1)
+        a5 = _usage(5, 3)
+        plans = [a1, a2, a3, a4, a5]
+        # a1 in Q_{a2}; a5 in Q_{a4} (5>=4, 3>=1).
+        assert pareto_undominated_indices(plans) == [1, 2, 3]
+
+    def test_tolerance_merges_near_duplicates(self):
+        plans = [_usage(1, 1), _usage(1 + 1e-12, 1)]
+        assert pareto_undominated_indices(plans, tol=1e-9) == [0]
+
+    def test_accepts_raw_matrix(self):
+        matrix = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert pareto_undominated_indices(matrix) == [0]
+
+
+class TestCandidateOptimal:
+    def test_extreme_plans_are_candidates(self):
+        plans = [_usage(1, 10), _usage(10, 1)]
+        region = _region()
+        assert is_candidate_optimal(0, plans, region)
+        assert is_candidate_optimal(1, plans, region)
+
+    def test_plan_above_lower_hull_is_not_candidate(self):
+        # (6,6) is above the segment joining (1,10) and (10,1); it is
+        # undominated componentwise but never optimal.
+        plans = [_usage(1, 10), _usage(10, 1), _usage(6, 6)]
+        region = _region()
+        assert pareto_undominated_indices(plans) == [0, 1, 2]
+        assert not is_candidate_optimal(2, plans, region)
+
+    def test_plan_on_lower_hull_is_candidate(self):
+        # (5,5) is below that segment: candidate.
+        plans = [_usage(1, 10), _usage(10, 1), _usage(5, 5)]
+        assert is_candidate_optimal(2, plans, _region())
+
+    def test_narrow_region_excludes_far_plans(self):
+        # With delta=1 (a single cost point) only the plan optimal at
+        # the center (1,1) is a candidate: (5,5) costs 10, others 11.
+        plans = [_usage(1, 10), _usage(10, 1), _usage(5, 5)]
+        region = _region(delta=1.0)
+        assert candidate_optimal_indices(plans, region) == [2]
+
+    def test_candidate_set_grows_with_delta(self):
+        plans = [_usage(1, 10), _usage(10, 1), _usage(5, 5)]
+        small = set(candidate_optimal_indices(plans, _region(delta=1.2)))
+        large = set(candidate_optimal_indices(plans, _region(delta=100)))
+        assert small <= large
+        assert large == {0, 1, 2}
+
+    def test_witness_really_makes_plan_optimal(self):
+        plans = [_usage(1, 10), _usage(10, 1), _usage(5, 5)]
+        region = _region()
+        for index in candidate_optimal_indices(plans, region):
+            witness = witness_cost_vector(index, plans, region)
+            assert witness is not None
+            totals = [p.dot(witness) for p in plans]
+            assert totals[index] == pytest.approx(min(totals), rel=1e-9)
+            assert region.contains(witness, rel_tol=1e-6)
+
+    def test_exact_backend_agrees(self):
+        plans = [_usage(1, 10), _usage(10, 1), _usage(6, 6), _usage(5, 5)]
+        region = _region()
+        fast = candidate_optimal_indices(plans, region)
+        exact = candidate_optimal_indices(plans, region, exact=True)
+        assert fast == exact == [0, 1, 3]
+
+    def test_grouped_region_constrains_witness(self):
+        # Lock both dimensions together: costs can only scale jointly,
+        # which by Observation 1 never changes relative costs -> only
+        # the center-optimal plan is candidate.
+        plans = [_usage(1, 10), _usage(10, 1), _usage(4, 4)]
+        groups = (VariationGroup("all", (0, 1)),)
+        region = FeasibleRegion(CENTER, 1000.0, groups)
+        assert candidate_optimal_indices(plans, region) == [2]
+
+
+class TestInfluenceMargin:
+    def test_margin_positive_for_interior_winner(self):
+        plans = [_usage(1, 10), _usage(10, 1)]
+        margin = region_of_influence_margin(0, plans, _region())
+        assert margin is not None and margin > 0
+
+    def test_margin_none_for_non_candidate(self):
+        plans = [_usage(1, 10), _usage(10, 1), _usage(6, 6)]
+        assert region_of_influence_margin(2, plans, _region()) is None
+
+    def test_margin_zero_for_boundary_only_plan(self):
+        # Duplicate of a candidate ties everywhere with it: margin 0.
+        plans = [_usage(1, 10), _usage(1, 10)]
+        margin = region_of_influence_margin(0, plans, _region())
+        assert margin == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,139 @@
+"""Tests for repro.core.complementary (Sections 5.5-5.6)."""
+
+import pytest
+
+from repro.core.complementary import (
+    analyze_pair,
+    are_complementary,
+    census,
+    classify_pair,
+    complementary_dimensions,
+)
+from repro.core.resources import Resource, ResourceSpace
+from repro.core.vectors import UsageVector
+
+# A space shaped like the paper's per-table-device experiment: CPU, one
+# table-data dim, one index dim, one temp dim.
+SPACE = ResourceSpace(
+    (
+        Resource("cpu", kind="cpu"),
+        Resource("table:PART", kind="table", subject="PART"),
+        Resource("index:PART", kind="index", subject="PART"),
+        Resource("temp", kind="temp"),
+    )
+)
+
+
+def _usage(cpu, table, index, temp):
+    return UsageVector(SPACE, [cpu, table, index, temp])
+
+
+def test_complementary_dimensions_found():
+    a = _usage(1, 10, 0, 0)
+    b = _usage(1, 10, 5, 0)
+    assert complementary_dimensions(a, b) == (2,)
+    assert are_complementary(a, b)
+
+
+def test_non_complementary_pair():
+    a = _usage(1, 10, 2, 0)
+    b = _usage(2, 5, 1, 0)
+    assert not are_complementary(a, b)
+    assert classify_pair(a, b) == frozenset()
+
+
+def test_tolerance_treats_small_values_as_zero():
+    a = _usage(1, 10, 1e-12, 0)
+    b = _usage(1, 10, 5, 0)
+    # With tol=0 the 1e-12 counts as nonzero usage: not complementary.
+    assert not are_complementary(a, b, tol=0.0)
+    # With tol=1e-9 it is treated as zero: the pair becomes complementary.
+    assert are_complementary(a, b, tol=1e-9)
+
+
+def test_access_path_complementary_classification():
+    # Same table pages, one uses the index, the other does not:
+    # the Section 5.6 "access path complementary" case.
+    table_scan = _usage(1, 100, 0, 0)
+    index_scan = _usage(1, 100, 20, 0)
+    assert classify_pair(table_scan, index_scan) == frozenset({"access-path"})
+
+
+def test_temp_complementary_classification():
+    in_memory = _usage(1, 100, 0, 0)
+    spilling = _usage(1, 100, 0, 50)
+    assert classify_pair(in_memory, spilling) == frozenset({"temp"})
+
+
+def test_table_complementary_classification():
+    touches_part = _usage(1, 100, 0, 0)
+    skips_part = _usage(1, 0, 0, 0)
+    assert classify_pair(touches_part, skips_part) == frozenset({"table"})
+
+
+def test_multi_class_pair():
+    a = _usage(1, 100, 20, 0)
+    b = _usage(1, 100, 0, 50)
+    assert classify_pair(a, b) == frozenset({"access-path", "temp"})
+
+
+def test_cpu_only_complementarity_is_other():
+    a = _usage(0, 10, 0, 0)
+    b = _usage(5, 10, 0, 0)
+    assert classify_pair(a, b) == frozenset({"other"})
+
+
+def test_analyze_pair_ratios_and_near_complementary():
+    a = _usage(1, 1000, 0, 0)
+    b = _usage(1, 1, 0, 0)
+    analysis = analyze_pair(0, 1, a, b)
+    assert not analysis.complementary
+    assert analysis.r_max == pytest.approx(1000.0)
+    assert analysis.near_complementary(threshold=10.0)
+    assert not analysis.near_complementary(threshold=10000.0)
+
+
+def test_max_ratio_is_symmetric_spread():
+    a = _usage(1, 1, 0, 0)
+    b = _usage(1000, 1, 0, 0)
+    analysis = analyze_pair(0, 1, a, b)
+    assert analysis.max_ratio == pytest.approx(1000.0)
+
+
+def test_census_counts():
+    plans = [
+        _usage(1, 100, 0, 0),    # table scan
+        _usage(1, 100, 20, 0),   # index access
+        _usage(1, 100, 0, 50),   # spills to temp
+    ]
+    result = census(plans)
+    assert result.n_plans == 3
+    assert result.n_pairs == 3
+    assert result.n_complementary == 3
+    assert result.count("access-path") == 2  # pairs (0,1) and (1,2)
+    assert result.count("temp") == 2         # pairs (0,2) and (1,2)
+    assert result.count("table") == 0
+    assert result.fraction_complementary == pytest.approx(1.0)
+
+
+def test_census_with_no_complementary_pairs():
+    plans = [_usage(1, 10, 1, 1), _usage(2, 5, 2, 3)]
+    result = census(plans)
+    assert result.n_complementary == 0
+    assert result.fraction_complementary == 0.0
+    assert result.pairs[0].r_max == pytest.approx(2.0)
+
+
+def test_census_near_complementary_threshold():
+    plans = [_usage(1, 1000, 1, 1), _usage(1, 10, 1, 1)]
+    loose = census(plans, near_threshold=10.0)
+    tight = census(plans, near_threshold=1000.0)
+    assert loose.n_near_complementary == 1
+    assert tight.n_near_complementary == 0
+
+
+def test_empty_census():
+    result = census([])
+    assert result.n_pairs == 0
+    assert result.fraction_complementary == 0.0
+    assert result.fraction_near_complementary == 0.0

@@ -1,0 +1,103 @@
+"""Tests for repro.core.costmodel."""
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import (
+    global_relative_cost,
+    optimal_plan,
+    optimal_plan_index,
+    relative_total_cost,
+    total_cost,
+    usage_matrix,
+)
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+SPACE = ResourceSpace.from_names(["r1", "r2"])
+
+
+def _usage(*values):
+    return UsageVector(SPACE, list(values))
+
+
+def _cost(*values):
+    return CostVector(SPACE, list(values))
+
+
+def test_total_cost_matches_dot():
+    assert total_cost(_usage(2, 3), _cost(5, 7)) == pytest.approx(31)
+
+
+def test_relative_total_cost_definition():
+    a = _usage(1, 0)
+    b = _usage(0, 1)
+    assert relative_total_cost(a, b, _cost(1, 1)) == pytest.approx(1.0)
+    assert relative_total_cost(a, b, _cost(2, 1)) == pytest.approx(2.0)
+
+
+def test_relative_cost_of_zero_plan_raises():
+    zero = _usage(0, 0)
+    with pytest.raises(ZeroDivisionError):
+        relative_total_cost(_usage(1, 1), zero, _cost(1, 1))
+
+
+def test_observation_1_scale_invariance():
+    """T_rel(a, b, kC) == T_rel(a, b, C) for any k > 0."""
+    rng = np.random.default_rng(7)
+    for _ in range(50):
+        a = _usage(*rng.uniform(0, 10, 2))
+        b = _usage(*(rng.uniform(0.1, 10, 2)))
+        c = _cost(*rng.uniform(0.1, 10, 2))
+        k = rng.uniform(0.01, 100)
+        assert relative_total_cost(a, b, c) == pytest.approx(
+            relative_total_cost(a, b, c.scaled(k))
+        )
+
+
+def test_optimal_plan_index_breaks_ties_low():
+    plans = [_usage(1, 1), _usage(1, 1), _usage(2, 2)]
+    assert optimal_plan_index(plans, _cost(1, 1)) == 0
+
+
+def test_optimal_plan_changes_with_costs():
+    seek_heavy = _usage(10, 1)
+    xfer_heavy = _usage(1, 10)
+    plans = [seek_heavy, xfer_heavy]
+    assert optimal_plan(plans, _cost(1, 100)) is seek_heavy
+    assert optimal_plan(plans, _cost(100, 1)) is xfer_heavy
+
+
+def test_global_relative_cost_is_one_for_optimal_plan():
+    plans = [_usage(1, 2), _usage(2, 1)]
+    cost = _cost(1, 10)
+    best = optimal_plan(plans, cost)
+    assert global_relative_cost(best, plans, cost) == pytest.approx(1.0)
+
+
+def test_global_relative_cost_at_least_one_for_candidates():
+    plans = [_usage(1, 2), _usage(2, 1), _usage(1.4, 1.4)]
+    cost = _cost(3, 1)
+    for plan in plans:
+        assert global_relative_cost(plan, plans, cost) >= 1.0 - 1e-12
+
+
+def test_global_relative_cost_below_one_signals_missing_candidate():
+    candidates = [_usage(2, 2)]
+    cheaper = _usage(1, 1)
+    assert global_relative_cost(cheaper, candidates, _cost(1, 1)) < 1.0
+
+
+def test_usage_matrix_shape_and_space_check():
+    plans = [_usage(1, 2), _usage(3, 4)]
+    matrix = usage_matrix(plans)
+    assert matrix.shape == (2, 2)
+    assert matrix.tolist() == [[1, 2], [3, 4]]
+    with pytest.raises(ValueError):
+        usage_matrix([])
+
+
+def test_usage_matrix_rejects_mixed_spaces():
+    other = ResourceSpace.from_names(["x", "y"])
+    with pytest.raises(Exception):
+        usage_matrix([_usage(1, 2), UsageVector(other, [1, 2])])

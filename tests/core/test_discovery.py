@@ -1,0 +1,139 @@
+"""Tests for repro.core.discovery (Section 6.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.blackbox import TabularBlackBox
+from repro.core.candidates import candidate_optimal_indices
+from repro.core.discovery import discover_candidate_plans
+from repro.core.feasible import FeasibleRegion, VariationGroup
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+SPACE = ResourceSpace.from_names(["cpu", "seek", "xfer"])
+CENTER = CostVector(SPACE, [1.0, 24.1, 9.0])
+
+
+def _plans():
+    return [
+        ("scan", UsageVector(SPACE, [1000.0, 10.0, 5000.0])),
+        ("index", UsageVector(SPACE, [500.0, 5000.0, 100.0])),
+        ("hybrid", UsageVector(SPACE, [400.0, 900.0, 1500.0])),
+        # Never optimal anywhere (dominated by hybrid):
+        ("bad", UsageVector(SPACE, [800.0, 1000.0, 2000.0])),
+    ]
+
+
+def test_discovers_exactly_the_candidate_set():
+    box = TabularBlackBox(_plans())
+    region = FeasibleRegion(CENTER, 100.0)
+    result = discover_candidate_plans(
+        box, region, rng=np.random.default_rng(0)
+    )
+    usages = [usage for __, usage in _plans()]
+    truth = {
+        _plans()[i][0]
+        for i in candidate_optimal_indices(usages, region)
+    }
+    assert set(result.signatures) == truth
+    assert "bad" not in result.signatures
+    assert result.complete
+
+
+def test_estimated_usages_match_ground_truth():
+    box = TabularBlackBox(_plans())
+    region = FeasibleRegion(CENTER, 100.0)
+    result = discover_candidate_plans(
+        box, region, rng=np.random.default_rng(1)
+    )
+    for signature, estimate in result.plans.items():
+        truth = box.usage_of(signature)
+        assert estimate.usage.values == pytest.approx(
+            truth.values, rel=1e-4, abs=1e-6
+        )
+
+
+def test_witnesses_are_feasible_and_correct():
+    box = TabularBlackBox(_plans())
+    region = FeasibleRegion(CENTER, 50.0)
+    result = discover_candidate_plans(
+        box, region, rng=np.random.default_rng(2), estimate_usages=False
+    )
+    for signature, witness in result.witnesses.items():
+        assert box.optimize(witness).signature == signature
+
+
+def test_budget_exhaustion_marks_incomplete():
+    box = TabularBlackBox(_plans())
+    region = FeasibleRegion(CENTER, 100.0)
+    result = discover_candidate_plans(
+        box, region, max_optimizer_calls=5,
+        rng=np.random.default_rng(3),
+    )
+    assert not result.complete
+    assert result.optimizer_calls <= 5
+
+
+def test_single_plan_settles_immediately():
+    box = TabularBlackBox([("only", UsageVector(SPACE, [1.0, 1.0, 1.0]))])
+    region = FeasibleRegion(CENTER, 1000.0)
+    result = discover_candidate_plans(
+        box, region, rng=np.random.default_rng(4)
+    )
+    assert result.signatures == ("only",)
+    assert result.complete
+    # One plan optimal at all 8 root vertices: a single settled box.
+    assert result.boxes_examined == 1
+    assert result.boxes_settled == 1
+
+
+def test_grouped_region_discovery():
+    # Lock seek and xfer together; in multiplier space this is 2-D.
+    groups = (
+        VariationGroup("cpu", (0,)),
+        VariationGroup("disk", (1, 2)),
+    )
+    box = TabularBlackBox(_plans())
+    region = FeasibleRegion(CENTER, 100.0, groups)
+    result = discover_candidate_plans(
+        box, region, rng=np.random.default_rng(5)
+    )
+    usages = [usage for __, usage in _plans()]
+    truth = {
+        _plans()[i][0]
+        for i in candidate_optimal_indices(usages, region)
+    }
+    assert set(result.signatures) == truth
+
+
+def test_thin_region_found_by_subdivision():
+    """A plan whose region is a thin slice still gets discovered.
+
+    The "middle" plan is only barely below the hull of the two extreme
+    plans, so its region of influence is a narrow wedge that corner
+    probes miss; subdivision must find it.
+    """
+    plans = [
+        ("a", UsageVector(SPACE, [1.0, 100.0, 1.0])),
+        ("b", UsageVector(SPACE, [1.0, 1.0, 100.0])),
+        # Slightly below the a/b hull around the balanced point:
+        ("mid", UsageVector(SPACE, [1.0, 49.0, 49.0])),
+    ]
+    box = TabularBlackBox(plans)
+    center = CostVector(SPACE, [1.0, 1.0, 1.0])
+    region = FeasibleRegion(center, 10.0)
+    result = discover_candidate_plans(
+        box, region, rng=np.random.default_rng(0), n_random_probes=0,
+        max_depth=10,
+    )
+    assert "mid" in result.signatures
+
+
+def test_call_budget_accounting_is_consistent():
+    box = TabularBlackBox(_plans())
+    region = FeasibleRegion(CENTER, 100.0)
+    result = discover_candidate_plans(
+        box, region, rng=np.random.default_rng(6)
+    )
+    assert result.optimizer_calls <= box.call_count
+    assert result.boxes_settled <= result.boxes_examined

@@ -1,0 +1,112 @@
+"""Tests for the 1-D parametric plan envelope."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import lower_envelope
+from repro.core.feasible import VariationGroup
+from repro.core.resources import ResourceSpace
+from repro.core.switching import switching_distance
+from repro.core.vectors import CostVector, UsageVector
+
+SPACE = ResourceSpace.from_names(["r1", "r2"])
+CENTER = CostVector(SPACE, [1.0, 1.0])
+G1 = VariationGroup("r1", (0,))
+
+
+def _usage(*values):
+    return UsageVector(SPACE, list(values))
+
+
+def _cost_at(plans, m):
+    cost = CENTER.perturbed({"r1": m})
+    return [p.dot(cost) for p in plans]
+
+
+class TestEnvelopeStructure:
+    def test_three_line_envelope(self):
+        # Slopes 5, 2, 0.5 with increasing intercepts: classic fan.
+        plans = [_usage(5, 1), _usage(2, 4), _usage(0.5, 8)]
+        envelope = lower_envelope(plans, CENTER, G1, 0.01, 100.0)
+        assert envelope.plan_sequence == (0, 1, 2)
+        # Breakpoints: 0 vs 1 at (4-1)/(5-2) = 1; 1 vs 2 at
+        # (8-4)/(2-0.5) = 8/3.
+        assert envelope.breakpoints[0] == pytest.approx(1.0)
+        assert envelope.breakpoints[1] == pytest.approx(8 / 3)
+
+    def test_pieces_tile_the_interval(self):
+        rng = np.random.default_rng(3)
+        plans = [_usage(*rng.uniform(0.1, 10, 2)) for _ in range(8)]
+        envelope = lower_envelope(plans, CENTER, G1, 0.01, 100.0)
+        assert envelope.pieces[0].m_low == pytest.approx(0.01)
+        assert envelope.pieces[-1].m_high == pytest.approx(100.0)
+        for left, right in zip(envelope.pieces, envelope.pieces[1:]):
+            assert left.m_high == pytest.approx(right.m_low)
+
+    def test_at_most_one_piece_per_plan(self):
+        """Affine functions appear on a lower envelope at most once."""
+        rng = np.random.default_rng(11)
+        for _ in range(30):
+            plans = [_usage(*rng.uniform(0.1, 10, 2)) for _ in range(7)]
+            envelope = lower_envelope(plans, CENTER, G1, 0.001, 1000.0)
+            sequence = envelope.plan_sequence
+            assert len(sequence) == len(set(sequence))
+
+    def test_envelope_matches_pointwise_argmin(self):
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            plans = [_usage(*rng.uniform(0.1, 10, 2)) for _ in range(6)]
+            envelope = lower_envelope(plans, CENTER, G1, 0.01, 100.0)
+            for m in np.logspace(-1.9, 1.9, 25):
+                owner = envelope.plan_at(float(m))
+                totals = _cost_at(plans, float(m))
+                assert totals[owner] == pytest.approx(
+                    min(totals), rel=1e-9
+                )
+
+    def test_single_plan(self):
+        envelope = lower_envelope([_usage(1, 1)], CENTER, G1, 0.1, 10.0)
+        assert envelope.plan_sequence == (0,)
+        assert envelope.breakpoints == ()
+
+    def test_plan_at_out_of_range(self):
+        envelope = lower_envelope([_usage(1, 1)], CENTER, G1, 0.1, 10.0)
+        with pytest.raises(ValueError):
+            envelope.plan_at(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_envelope([], CENTER, G1, 0.1, 10.0)
+        with pytest.raises(ValueError):
+            lower_envelope([_usage(1, 1)], CENTER, G1, 10.0, 0.1)
+        with pytest.raises(ValueError):
+            lower_envelope([_usage(1, 1)], CENTER, G1, -1.0, 10.0)
+
+
+class TestAgreementWithSwitching:
+    def test_first_breakpoint_above_one_matches_switching_distance(self):
+        rng = np.random.default_rng(17)
+        for _ in range(40):
+            plans = [_usage(*rng.uniform(0.1, 10, 2)) for _ in range(6)]
+            totals = _cost_at(plans, 1.0)
+            initial = int(np.argmin(totals))
+            distance = switching_distance(initial, plans, CENTER, G1)
+            envelope = lower_envelope(plans, CENTER, G1, 1.0, 1e6)
+            if envelope.pieces[0].plan_index != initial:
+                continue  # tie at m=1 resolved differently; skip
+            if math.isinf(distance.up_factor):
+                assert len(envelope) == 1
+            else:
+                assert envelope.breakpoints[0] == pytest.approx(
+                    distance.up_factor, rel=1e-9
+                )
+
+    def test_width_ratio(self):
+        plans = [_usage(5, 1), _usage(0.5, 8)]
+        envelope = lower_envelope(plans, CENTER, G1, 0.01, 100.0)
+        piece = envelope.pieces[0]
+        assert piece.width_ratio == pytest.approx(
+            piece.m_high / piece.m_low
+        )

@@ -1,0 +1,212 @@
+"""Tests for repro.core.estimation (Section 6.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.blackbox import TabularBlackBox
+from repro.core.estimation import (
+    collect_plan_samples,
+    estimate_usage_vector,
+    gaussian_solve,
+    least_squares_usage,
+    validate_estimate,
+)
+from repro.core.feasible import FeasibleRegion
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+SPACE = ResourceSpace.from_names(["cpu", "seek", "xfer"])
+CENTER = CostVector(SPACE, [1.0, 24.1, 9.0])
+
+
+class TestGaussianSolve:
+    def test_solves_known_system(self):
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([5.0, 10.0])
+        x = gaussian_solve(a, b)
+        assert a @ x == pytest.approx(b)
+
+    def test_partial_pivoting_handles_zero_pivot(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        b = np.array([2.0, 3.0])
+        assert gaussian_solve(a, b) == pytest.approx([3.0, 2.0])
+
+    def test_singular_matrix_raises(self):
+        a = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(np.linalg.LinAlgError):
+            gaussian_solve(a, np.array([1.0, 2.0]))
+
+    def test_agrees_with_numpy_on_random_systems(self):
+        rng = np.random.default_rng(31)
+        for _ in range(30):
+            n = int(rng.integers(1, 7))
+            a = rng.normal(size=(n, n)) + np.eye(n) * 3
+            b = rng.normal(size=n)
+            assert gaussian_solve(a, b) == pytest.approx(
+                np.linalg.solve(a, b)
+            )
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            gaussian_solve(np.ones((2, 3)), np.ones(2))
+
+
+class TestLeastSquares:
+    def test_exact_recovery_from_clean_samples(self):
+        truth = UsageVector(SPACE, [100.0, 50.0, 2000.0])
+        rng = np.random.default_rng(37)
+        samples = []
+        for _ in range(2 * SPACE.dimension):
+            cost = CostVector(SPACE, rng.uniform(0.5, 50.0, 3))
+            samples.append((cost, truth.dot(cost)))
+        estimate = least_squares_usage(SPACE, samples)
+        assert estimate.values == pytest.approx(truth.values, rel=1e-9)
+
+    def test_recovery_under_quantization_noise(self):
+        truth = UsageVector(SPACE, [100.0, 50.0, 2000.0])
+        rng = np.random.default_rng(41)
+        samples = []
+        for _ in range(10 * SPACE.dimension):
+            cost = CostVector(SPACE, rng.uniform(0.5, 50.0, 3))
+            noisy = truth.dot(cost) * (1 + rng.uniform(-1e-3, 1e-3))
+            samples.append((cost, noisy))
+        estimate = least_squares_usage(SPACE, samples)
+        assert estimate.values == pytest.approx(truth.values, rel=0.05)
+
+    def test_too_few_samples_rejected(self):
+        cost = CostVector(SPACE, [1, 1, 1])
+        with pytest.raises(ValueError, match="at least"):
+            least_squares_usage(SPACE, [(cost, 1.0)] * 2)
+
+    def test_degenerate_samples_fall_back_to_lstsq(self):
+        # All samples identical: normal matrix singular, minimum-norm
+        # solution still returned and non-negative.
+        cost = CostVector(SPACE, [1.0, 1.0, 1.0])
+        samples = [(cost, 3.0)] * 6
+        estimate = least_squares_usage(SPACE, samples)
+        assert estimate.dot(cost) == pytest.approx(3.0)
+
+    def test_negative_clipping(self):
+        # Construct samples consistent with a slightly negative
+        # component; clipping must zero it.
+        rng = np.random.default_rng(43)
+        raw = np.array([10.0, -1e-9, 5.0])
+        samples = []
+        for _ in range(6):
+            values = rng.uniform(0.5, 5.0, 3)
+            cost = CostVector(SPACE, values)
+            samples.append((cost, float(raw @ values)))
+        estimate = least_squares_usage(SPACE, samples)
+        assert estimate["seek"] == 0.0
+
+
+class TestBlackBoxSampling:
+    def _black_box(self):
+        plans = [
+            ("seek-light", UsageVector(SPACE, [1000.0, 10.0, 5000.0])),
+            ("seek-heavy", UsageVector(SPACE, [500.0, 5000.0, 100.0])),
+        ]
+        return TabularBlackBox(plans)
+
+    def test_collect_samples_stay_on_plan(self):
+        box = self._black_box()
+        region = FeasibleRegion(CENTER, 100.0)
+        choice = box.optimize(CENTER)
+        samples = collect_plan_samples(
+            box, choice.signature, CENTER, region,
+            rng=np.random.default_rng(1),
+        )
+        assert len(samples) >= 2 * SPACE.dimension
+        for cost, total in samples:
+            again = box.optimize(cost)
+            assert again.signature == choice.signature
+            assert again.total_cost == pytest.approx(total)
+
+    def test_wrong_seed_plan_rejected(self):
+        box = self._black_box()
+        region = FeasibleRegion(CENTER, 100.0)
+        with pytest.raises(ValueError, match="not optimal at the seed"):
+            collect_plan_samples(box, "no-such-plan", CENTER, region)
+
+    def test_estimate_usage_vector_end_to_end(self):
+        box = self._black_box()
+        region = FeasibleRegion(CENTER, 100.0)
+        choice = box.optimize(CENTER)
+        estimate = estimate_usage_vector(
+            box, choice.signature, CENTER, region,
+            rng=np.random.default_rng(2),
+        )
+        truth = box.usage_of(choice.signature)
+        assert estimate.usage.values == pytest.approx(
+            truth.values, rel=1e-6
+        )
+        assert estimate.optimizer_calls > 0
+
+    def test_validation_error_below_one_percent(self):
+        """The paper's validation criterion (Section 6.1.1)."""
+        box = self._black_box()
+        region = FeasibleRegion(CENTER, 100.0)
+        choice = box.optimize(CENTER)
+        estimate = estimate_usage_vector(
+            box, choice.signature, CENTER, region,
+            rng=np.random.default_rng(3),
+        )
+        truth = box.usage_of(choice.signature)
+        rng = np.random.default_rng(4)
+        test_costs = region.sample(rng, 50)
+        error = validate_estimate(
+            estimate.usage, lambda c: truth.dot(c), test_costs
+        )
+        assert error < 0.01
+
+
+def test_validate_estimate_reports_worst_error():
+    truth = UsageVector(SPACE, [1.0, 2.0, 3.0])
+    off = UsageVector(SPACE, [1.1, 2.0, 3.0])
+    costs = [CostVector(SPACE, [1, 1, 1]), CostVector(SPACE, [10, 1, 1])]
+    error = validate_estimate(off, lambda c: truth.dot(c), costs)
+    # Worst case is the cost vector weighting the wrong dimension most.
+    assert error == pytest.approx(1.0 / 15.0)
+
+
+class TestQuantizedBlackBox:
+    """Estimation under DB2-style cost quantization (the reason the
+    paper used at least m = 2n samples)."""
+
+    def test_estimation_survives_quantization(self):
+        truth = UsageVector(SPACE, [1000.0, 500.0, 20000.0])
+        box = TabularBlackBox([("only", truth)], quantization=1e-4)
+        region = FeasibleRegion(CENTER, 100.0)
+        estimate = estimate_usage_vector(
+            box, "only", CENTER, region,
+            min_samples=6 * SPACE.dimension,
+            rng=np.random.default_rng(9),
+        )
+        rng = np.random.default_rng(10)
+        error = validate_estimate(
+            estimate.usage,
+            lambda c: truth.dot(c),
+            region.sample(rng, 40),
+        )
+        # The paper's validation criterion under quantization noise.
+        assert error < 0.01
+
+    def test_more_samples_reduce_error(self):
+        truth = UsageVector(SPACE, [1000.0, 500.0, 20000.0])
+        region = FeasibleRegion(CENTER, 100.0)
+        rng = np.random.default_rng(11)
+        test_costs = region.sample(rng, 40)
+        errors = []
+        for factor in (2, 12):
+            box = TabularBlackBox([("only", truth)], quantization=1e-3)
+            estimate = estimate_usage_vector(
+                box, "only", CENTER, region,
+                min_samples=factor * SPACE.dimension,
+                rng=np.random.default_rng(12),
+            )
+            errors.append(
+                validate_estimate(
+                    estimate.usage, lambda c: truth.dot(c), test_costs
+                )
+            )
+        assert errors[1] <= errors[0] * 1.5  # not worse, usually better

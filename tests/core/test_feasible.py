@@ -1,0 +1,156 @@
+"""Tests for repro.core.feasible."""
+
+import numpy as np
+import pytest
+
+from repro.core.feasible import FeasibleRegion, VariationGroup
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector
+
+SPACE = ResourceSpace.from_names(["cpu", "seek", "xfer"])
+CENTER = CostVector(SPACE, [1e-6, 24.1, 9.0])
+
+
+def test_delta_below_one_rejected():
+    with pytest.raises(ValueError):
+        FeasibleRegion(CENTER, 0.5)
+
+
+def test_default_groups_are_per_dimension():
+    region = FeasibleRegion(CENTER, 10.0)
+    assert len(region.groups) == 3
+    assert region.n_vertices == 8
+    assert region.fixed_dimensions == ()
+
+
+def test_bounds_scale_by_delta():
+    region = FeasibleRegion(CENTER, 10.0)
+    assert region.lower() == pytest.approx(CENTER.values / 10)
+    assert region.upper() == pytest.approx(CENTER.values * 10)
+
+
+def test_fixed_dimensions_stay_at_center():
+    groups = (VariationGroup("storage", (1, 2)),)
+    region = FeasibleRegion(CENTER, 10.0, groups)
+    assert region.fixed_dimensions == (0,)
+    assert region.lower()[0] == CENTER.values[0]
+    assert region.upper()[0] == CENTER.values[0]
+    assert region.n_vertices == 2
+
+
+def test_overlapping_groups_rejected():
+    groups = (VariationGroup("a", (0, 1)), VariationGroup("b", (1, 2)))
+    with pytest.raises(ValueError, match="multiple groups"):
+        FeasibleRegion(CENTER, 2.0, groups)
+
+
+def test_group_index_out_of_range_rejected():
+    with pytest.raises(ValueError, match="out of range"):
+        FeasibleRegion(CENTER, 2.0, (VariationGroup("g", (5,)),))
+
+
+def test_empty_group_rejected():
+    with pytest.raises(ValueError):
+        VariationGroup("g", ())
+
+
+def test_vertex_enumeration_matches_bit_pattern():
+    region = FeasibleRegion(CENTER, 10.0)
+    vertex = region.vertex(0b101)  # cpu and xfer at delta, seek at 1/delta
+    assert vertex["cpu"] == pytest.approx(1e-5)
+    assert vertex["seek"] == pytest.approx(2.41)
+    assert vertex["xfer"] == pytest.approx(90.0)
+    with pytest.raises(ValueError):
+        region.vertex(8)
+
+
+def test_vertices_iterator_covers_all():
+    region = FeasibleRegion(CENTER, 2.0)
+    vertices = list(region.vertices())
+    assert len(vertices) == 8
+    assert len({tuple(v.values.tolist()) for v in vertices}) == 8
+
+
+def test_vertex_batches_agree_with_vertex():
+    region = FeasibleRegion(CENTER, 3.0)
+    collected = {}
+    for ids, matrix in region.vertex_batches(batch_size=3):
+        for vid, row in zip(ids, matrix):
+            collected[int(vid)] = row
+    assert len(collected) == 8
+    for vid, row in collected.items():
+        assert row == pytest.approx(region.vertex(vid).values)
+
+
+def test_grouped_vertices_share_multiplier():
+    groups = (
+        VariationGroup("cpu", (0,)),
+        VariationGroup("disk", (1, 2)),
+    )
+    region = FeasibleRegion(CENTER, 10.0, groups)
+    assert region.n_vertices == 4
+    vertex = region.vertex(0b10)  # disk group at delta
+    assert vertex["seek"] / CENTER["seek"] == pytest.approx(10.0)
+    assert vertex["xfer"] / CENTER["xfer"] == pytest.approx(10.0)
+
+
+def test_contains_center_and_vertices():
+    region = FeasibleRegion(CENTER, 10.0)
+    assert region.contains(CENTER)
+    for vertex in region.vertices():
+        assert region.contains(vertex)
+
+
+def test_contains_rejects_outside_box():
+    region = FeasibleRegion(CENTER, 2.0)
+    outside = CostVector(SPACE, CENTER.values * 3)
+    assert not region.contains(outside)
+
+
+def test_contains_enforces_group_coupling():
+    groups = (VariationGroup("cpu", (0,)), VariationGroup("disk", (1, 2)))
+    region = FeasibleRegion(CENTER, 10.0, groups)
+    decoupled = CENTER.perturbed({"seek": 2.0, "xfer": 5.0})
+    assert not region.contains(decoupled)
+    coupled = CENTER.perturbed({"seek": 2.0, "xfer": 2.0})
+    assert region.contains(coupled)
+
+
+def test_contains_enforces_fixed_dimensions():
+    groups = (VariationGroup("disk", (1, 2)),)
+    region = FeasibleRegion(CENTER, 10.0, groups)
+    moved_cpu = CENTER.perturbed({"cpu": 2.0})
+    assert not region.contains(moved_cpu)
+
+
+def test_sample_within_region():
+    rng = np.random.default_rng(1)
+    region = FeasibleRegion(CENTER, 10.0)
+    for cost in region.sample(rng, 100):
+        assert np.all(cost.values >= region.lower() * (1 - 1e-12))
+        assert np.all(cost.values <= region.upper() * (1 + 1e-12))
+
+
+def test_sample_respects_groups():
+    rng = np.random.default_rng(2)
+    groups = (VariationGroup("disk", (1, 2)),)
+    region = FeasibleRegion(CENTER, 10.0, groups)
+    for cost in region.sample(rng, 20):
+        assert region.contains(cost)
+
+
+def test_with_delta_preserves_structure():
+    groups = (VariationGroup("disk", (1, 2)),)
+    region = FeasibleRegion(CENTER, 10.0, groups)
+    wider = region.with_delta(100.0)
+    assert wider.delta == 100.0
+    assert wider.groups == region.groups
+    assert wider.center == region.center
+
+
+def test_delta_one_region_is_single_point():
+    region = FeasibleRegion(CENTER, 1.0)
+    assert region.lower() == pytest.approx(region.upper())
+    samples = region.sample(np.random.default_rng(0), 5)
+    for cost in samples:
+        assert cost == CENTER

@@ -1,0 +1,114 @@
+"""Tests for repro.core.geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import (
+    Side,
+    SwitchoverPlane,
+    equicost_value,
+    on_same_equicost_line,
+    switchover_normal,
+    switchover_point_in_box,
+)
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+SPACE = ResourceSpace.from_names(["r1", "r2"])
+
+
+def _usage(*values):
+    return UsageVector(SPACE, list(values))
+
+
+def _cost(*values):
+    return CostVector(SPACE, list(values))
+
+
+def test_switchover_normal_is_a_minus_b():
+    assert switchover_normal(_usage(3, 1), _usage(1, 2)).tolist() == [2, -1]
+
+
+def test_plane_rejects_identical_plans():
+    with pytest.raises(ValueError):
+        SwitchoverPlane(_usage(1, 1), _usage(1, 1))
+
+
+def test_plane_contains_tie_points():
+    # A=(1,0), B=(0,1): tie whenever c1 == c2.
+    plane = SwitchoverPlane(_usage(1, 0), _usage(0, 1))
+    assert plane.contains(_cost(5, 5))
+    assert not plane.contains(_cost(5, 6))
+
+
+def test_half_space_classification():
+    plane = SwitchoverPlane(_usage(1, 0), _usage(0, 1))
+    # c1 > c2 makes plan a (which uses r1) MORE expensive: A-dominated.
+    assert plane.side(_cost(2, 1)) == Side.A_DOMINATED
+    assert plane.side(_cost(1, 2)) == Side.B_DOMINATED
+    assert plane.side(_cost(3, 3)) == Side.ON_PLANE
+
+
+def test_side_is_scale_invariant():
+    plane = SwitchoverPlane(_usage(2, 1), _usage(1, 3))
+    cost = _cost(1.0, 0.7)
+    assert plane.side(cost) == plane.side(cost.scaled(1e6))
+    assert plane.side(cost) == plane.side(cost.scaled(1e-6))
+
+
+def test_equicost_line_membership():
+    cost = _cost(2, 3)
+    a = _usage(3, 0)  # total 6
+    b = _usage(0, 2)  # total 6
+    c = _usage(1, 1)  # total 5
+    assert equicost_value(a, cost) == pytest.approx(6)
+    assert on_same_equicost_line(a, b, cost)
+    assert not on_same_equicost_line(a, c, cost)
+
+
+def test_tie_implies_zero_normal_dot():
+    rng = np.random.default_rng(3)
+    for _ in range(30):
+        a = _usage(*rng.uniform(0, 5, 2))
+        b = _usage(*rng.uniform(0, 5, 2))
+        if np.array_equal(a.values, b.values):
+            continue
+        cost = _cost(*rng.uniform(0.1, 5, 2))
+        plane = SwitchoverPlane(a, b)
+        if on_same_equicost_line(a, b, cost, rel_tol=1e-12):
+            assert plane.contains(cost)
+
+
+def test_switchover_point_in_box_found():
+    a = _usage(1, 0)
+    b = _usage(0, 1)
+    point = switchover_point_in_box(a, b, [0.5, 0.5], [2, 2])
+    assert point is not None
+    assert a.dot(point) == pytest.approx(b.dot(point))
+
+
+def test_switchover_point_respects_others():
+    a = _usage(1, 0)
+    b = _usage(0, 1)
+    # A third plan that is strictly better everywhere in the box makes
+    # the a/b boundary irrelevant (not part of the influence diagram).
+    dominator = _usage(0.01, 0.01)
+    point = switchover_point_in_box(
+        a, b, [0.5, 0.5], [2, 2], others=[dominator]
+    )
+    assert point is None
+
+
+def test_switchover_point_absent_when_one_plan_always_wins():
+    a = _usage(1, 1)
+    b = _usage(2, 2)  # strictly worse under every positive cost
+    point = switchover_point_in_box(a, b, [0.1, 0.1], [10, 10])
+    assert point is None
+
+
+def test_signed_margin_sign_convention():
+    plane = SwitchoverPlane(_usage(2, 0), _usage(0, 1))
+    cost = _cost(1, 1)
+    # a costs 2, b costs 1 -> margin positive, a more expensive.
+    assert plane.signed_margin(cost) == pytest.approx(1.0)
+    assert plane.side(cost) == Side.A_DOMINATED

@@ -1,0 +1,138 @@
+"""Tests for repro.core.lp (exact simplex + scipy wrapper)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.lp import (
+    LPStatus,
+    feasible_point,
+    max_min_slack,
+    solve_lp_exact,
+    solve_lp_scipy,
+)
+
+
+class TestExactSimplex:
+    def test_simple_maximisation(self):
+        # max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12
+        result = solve_lp_exact([3, 2], [[1, 1], [1, 3]], [4, 6])
+        assert result.is_optimal
+        assert result.objective == Fraction(12)
+        assert result.x == (Fraction(4), Fraction(0))
+
+    def test_degenerate_vertex(self):
+        # Classic degeneracy; Bland's rule must still terminate.
+        result = solve_lp_exact(
+            [10, -57, -9, -24],
+            [
+                [0.5, -5.5, -2.5, 9],
+                [0.5, -1.5, -0.5, 1],
+                [1, 0, 0, 0],
+            ],
+            [0, 0, 1],
+        )
+        assert result.is_optimal
+        assert result.objective == Fraction(1)
+
+    def test_unbounded(self):
+        result = solve_lp_exact([1], [[-1]], [0])
+        assert result.status == LPStatus.UNBOUNDED
+
+    def test_infeasible_with_negative_rhs(self):
+        # x <= -1 with x >= 0 is infeasible.
+        result = solve_lp_exact([1], [[1]], [-1])
+        assert result.status == LPStatus.INFEASIBLE
+
+    def test_negative_rhs_feasible(self):
+        # -x <= -2  (x >= 2), x <= 5, max x -> 5
+        result = solve_lp_exact([1], [[-1], [1]], [-2, 5])
+        assert result.is_optimal
+        assert result.objective == Fraction(5)
+
+    def test_exact_fractions_no_rounding(self):
+        result = solve_lp_exact(
+            [Fraction(1, 3), Fraction(1, 7)],
+            [[Fraction(1, 2), Fraction(1, 5)]],
+            [Fraction(1)],
+        )
+        assert result.is_optimal
+        # Best ratio of objective to constraint use is x2's
+        # (1/7)/(1/5) = 5/7, so the optimum is x2 = 5, objective 5/7.
+        assert result.objective == Fraction(5, 7)
+        assert result.x == (Fraction(0), Fraction(5))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lp_exact([1, 2], [[1]], [1])
+        with pytest.raises(ValueError):
+            solve_lp_exact([1], [[1]], [1, 2])
+
+
+class TestAgreementWithScipy:
+    def test_random_instances_agree(self):
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            n = int(rng.integers(1, 5))
+            m = int(rng.integers(1, 6))
+            c = rng.integers(-5, 6, size=n).tolist()
+            a = rng.integers(-4, 5, size=(m, n)).tolist()
+            b = rng.integers(-2, 8, size=m).tolist()
+            exact = solve_lp_exact(c, a, b)
+            approx = solve_lp_scipy(c, a, b)
+            assert exact.status == approx.status, (c, a, b)
+            if exact.is_optimal:
+                assert float(exact.objective) == pytest.approx(
+                    approx.objective, abs=1e-7
+                ), (c, a, b)
+
+
+class TestFeasiblePoint:
+    def test_finds_point_in_halfspace_box_intersection(self):
+        # x + y >= 1.5 inside [0,1]^2
+        point = feasible_point([[1, 1]], [1.5], [0, 0], [1, 1])
+        assert point is not None
+        x, y = point
+        assert x + y >= 1.5 - 1e-9
+        assert 0 <= x <= 1 and 0 <= y <= 1
+
+    def test_reports_infeasible(self):
+        # x + y >= 3 inside [0,1]^2: impossible
+        assert feasible_point([[1, 1]], [3], [0, 0], [1, 1]) is None
+
+    def test_exact_backend_matches(self):
+        point = feasible_point(
+            [[1, 1]], [Fraction(3, 2)], [0, 0], [1, 1], exact=True
+        )
+        assert point is not None
+        assert point[0] + point[1] >= Fraction(3, 2)
+
+    def test_touching_boundary_is_feasible(self):
+        # x >= 1 inside [0,1]: only the single point x == 1.
+        point = feasible_point([[1]], [1], [0], [1])
+        assert point is not None
+        assert float(point[0]) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMaxMinSlack:
+    def test_positive_slack_for_interior(self):
+        result = max_min_slack([[1, 0]], [0.2], [0, 0], [1, 1])
+        assert result.is_optimal
+        assert float(result.objective) > 0
+
+    def test_zero_slack_for_touching(self):
+        result = max_min_slack([[1]], [1], [0], [1])
+        assert result.is_optimal
+        assert float(result.objective) == pytest.approx(0.0, abs=1e-9)
+
+    def test_slack_capped_at_one(self):
+        result = max_min_slack([[1]], [-100], [0], [1])
+        assert result.is_optimal
+        assert float(result.objective) == pytest.approx(1.0)
+
+    def test_box_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_slack([[1, 1]], [0], [0], [1])
+        with pytest.raises(ValueError):
+            max_min_slack([[1]], [0], [0, 0], [1])

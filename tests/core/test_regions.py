@@ -1,0 +1,110 @@
+"""Tests for repro.core.regions (Section 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feasible import FeasibleRegion
+from repro.core.regions import InfluenceDiagram, RegionOfInfluence
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+SPACE = ResourceSpace.from_names(["r1", "r2"])
+CENTER = CostVector(SPACE, [1.0, 1.0])
+
+
+def _usage(*values):
+    return UsageVector(SPACE, list(values))
+
+
+def _diagram(delta=100.0):
+    usages = (_usage(1, 10), _usage(10, 1), _usage(4, 4), _usage(8, 8))
+    return InfluenceDiagram(usages, FeasibleRegion(CENTER, delta))
+
+
+def test_membership_matches_direct_optimality():
+    rng = np.random.default_rng(51)
+    diagram = _diagram()
+    regions = diagram.regions
+    for cost in FeasibleRegion(CENTER, 100.0).sample(rng, 200):
+        owner = diagram.owner(cost)
+        assert regions[owner].contains(cost)
+
+
+def test_cone_property_scale_invariance():
+    """Regions of influence are cones: membership survives scaling."""
+    diagram = _diagram()
+    region = diagram.regions[0]
+    # Plan 0 = (1,10) barely touches r1, so it wins where r1 is
+    # expensive and r2 cheap.
+    cost = CostVector(SPACE, [3.0, 0.05])
+    assert region.contains(cost)
+    assert region.contains(cost.scaled(1e6))
+    assert region.contains(cost.scaled(1e-6))
+
+
+def test_non_candidate_region_is_empty():
+    diagram = _diagram()
+    # Plan 3 = (8,8) is dominated by plan 2 = (4,4): empty region.
+    assert diagram.regions[3].is_empty()
+    assert diagram.regions[3].interior_point() is None
+    assert diagram.nonempty_regions() == [0, 1, 2]
+
+
+def test_interior_points_belong_to_their_region():
+    diagram = _diagram()
+    for index in diagram.nonempty_regions():
+        point = diagram.regions[index].interior_point()
+        assert point is not None
+        assert diagram.regions[index].contains(point)
+
+
+def test_margin_positive_only_for_full_dimensional_regions():
+    diagram = _diagram()
+    for index in diagram.nonempty_regions():
+        assert diagram.regions[index].margin() > 0
+    assert diagram.regions[3].margin() is None
+
+
+def test_adjacency_structure_of_hull_neighbors():
+    diagram = _diagram()
+    pairs = diagram.adjacency_pairs()
+    # On the lower hull (1,10)-(4,4)-(10,1): 0-2 and 1-2 share facets;
+    # 0 and 1 are separated by plan 2's cone.
+    assert (0, 2) in pairs
+    assert (1, 2) in pairs
+    assert (0, 1) not in pairs
+
+
+def test_volume_fractions_sum_to_one():
+    rng = np.random.default_rng(53)
+    diagram = _diagram()
+    fractions = diagram.volume_fractions(rng, n_samples=2000)
+    assert fractions.sum() == pytest.approx(1.0)
+    assert fractions[3] == 0.0  # dominated plan owns nothing
+
+
+def test_single_region_volume_agrees_with_diagram():
+    rng = np.random.default_rng(57)
+    diagram = _diagram()
+    lone = diagram.regions[2].volume_fraction(
+        np.random.default_rng(57), n_samples=2000
+    )
+    joint = diagram.volume_fractions(rng, n_samples=2000)[2]
+    assert lone == pytest.approx(joint, abs=0.05)
+
+
+def test_volume_fraction_validates_sample_count():
+    diagram = _diagram()
+    with pytest.raises(ValueError):
+        diagram.regions[0].volume_fraction(np.random.default_rng(0), 0)
+
+
+def test_empty_diagram_rejected():
+    with pytest.raises(ValueError):
+        InfluenceDiagram((), FeasibleRegion(CENTER, 10.0))
+
+
+def test_region_of_influence_dataclass_accessors():
+    usages = (_usage(1, 2), _usage(2, 1))
+    region = RegionOfInfluence(0, usages, FeasibleRegion(CENTER, 10.0))
+    assert region.usage is usages[0]

@@ -1,0 +1,97 @@
+"""Tests for repro.core.resources."""
+
+import pytest
+
+from repro.core.resources import (
+    Resource,
+    ResourceSpace,
+    ResourceSpaceMismatchError,
+    space_union,
+)
+
+
+def test_from_names_builds_ordered_space():
+    space = ResourceSpace.from_names(["cpu", "disk.seek", "disk.xfer"])
+    assert space.dimension == 3
+    assert space.names == ("cpu", "disk.seek", "disk.xfer")
+    assert space.index("disk.xfer") == 2
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        ResourceSpace.from_names(["cpu", "cpu"])
+
+
+def test_empty_space_rejected():
+    with pytest.raises(ValueError):
+        ResourceSpace(())
+
+
+def test_unknown_resource_name_raises_keyerror():
+    space = ResourceSpace.from_names(["cpu"])
+    with pytest.raises(KeyError, match="unknown resource"):
+        space.index("disk")
+
+
+def test_contains_and_iteration():
+    space = ResourceSpace.from_names(["a", "b"])
+    assert "a" in space
+    assert "c" not in space
+    assert [r.name for r in space] == ["a", "b"]
+    assert len(space) == 2
+
+
+def test_resource_kind_validation():
+    with pytest.raises(ValueError, match="unknown resource kind"):
+        Resource("x", kind="bogus")
+    with pytest.raises(ValueError, match="non-empty"):
+        Resource("")
+
+
+def test_indices_of_kind_and_subjects():
+    space = ResourceSpace(
+        (
+            Resource("cpu", kind="cpu"),
+            Resource("table:LINEITEM", kind="table", subject="LINEITEM"),
+            Resource("index:LINEITEM", kind="index", subject="LINEITEM"),
+            Resource("table:ORDERS", kind="table", subject="ORDERS"),
+            Resource("temp", kind="temp"),
+        )
+    )
+    assert space.indices_of_kind("table") == (1, 3)
+    assert space.indices_of_kind("table", "index") == (1, 2, 3)
+    assert space.subjects_of_kind("table") == ("LINEITEM", "ORDERS")
+    with pytest.raises(ValueError, match="unknown kinds"):
+        space.indices_of_kind("nope")
+
+
+def test_require_same_accepts_equal_value_spaces():
+    space_a = ResourceSpace.from_names(["a", "b"])
+    space_b = ResourceSpace.from_names(["a", "b"])
+    space_a.require_same(space_b)  # must not raise
+
+
+def test_require_same_rejects_different_spaces():
+    space_a = ResourceSpace.from_names(["a", "b"])
+    space_b = ResourceSpace.from_names(["a", "c"])
+    with pytest.raises(ResourceSpaceMismatchError):
+        space_a.require_same(space_b)
+
+
+def test_space_union_merges_preserving_order():
+    space_a = ResourceSpace.from_names(["a", "b"])
+    space_b = ResourceSpace.from_names(["b", "c"])
+    merged = space_union([space_a, space_b])
+    assert merged.names == ("a", "b", "c")
+
+
+def test_space_union_conflicting_definitions_rejected():
+    space_a = ResourceSpace((Resource("x", kind="cpu"),))
+    space_b = ResourceSpace((Resource("x", kind="temp"),))
+    with pytest.raises(ValueError, match="conflicting"):
+        space_union([space_a, space_b])
+
+
+def test_resource_lookup_by_name():
+    space = ResourceSpace((Resource("cpu", kind="cpu"),))
+    assert space.resource("cpu").kind == "cpu"

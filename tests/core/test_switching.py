@@ -1,0 +1,119 @@
+"""Tests for per-parameter switching distances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import optimal_plan_index
+from repro.core.feasible import VariationGroup
+from repro.core.resources import ResourceSpace
+from repro.core.switching import switching_distance, switching_distances
+from repro.core.vectors import CostVector, UsageVector
+
+SPACE = ResourceSpace.from_names(["r1", "r2"])
+CENTER = CostVector(SPACE, [1.0, 1.0])
+G1 = VariationGroup("r1", (0,))
+G2 = VariationGroup("r2", (1,))
+
+
+def _usage(*values):
+    return UsageVector(SPACE, list(values))
+
+
+class TestClosedForm:
+    def test_simple_crossing(self):
+        # Initial (1, 2) costs 3; rival (2, 1) costs 3*... at center:
+        # initial = 3, rival = 3 -> tie; use a clear case instead.
+        plans = [_usage(1, 2), _usage(3, 1)]
+        # center totals: 3 vs 4: plan 0 optimal.
+        # Raise r2 by m: T0 = 1 + 2m, T1 = 3 + m; cross at m = 2.
+        result = switching_distance(0, plans, CENTER, G2)
+        assert result.up_factor == pytest.approx(2.0)
+        assert result.up_plan_index == 1
+        # Lowering r2 only helps plan 0 (it uses more r2): no switch.
+        assert result.down_factor == 0.0
+
+    def test_down_crossing(self):
+        plans = [_usage(1, 2), _usage(3, 1)]
+        # Vary r1 by m: T0 = 2 + m, T1 = 1 + 3m; plan 1 wins for
+        # m < 1/2.
+        result = switching_distance(0, plans, CENTER, G1)
+        assert result.down_factor == pytest.approx(0.5)
+        assert result.down_plan_index == 1
+        assert math.isinf(result.up_factor)
+
+    def test_thresholds_verified_by_reoptimization(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            plans = [
+                _usage(*rng.uniform(0.1, 10, 2)) for _ in range(5)
+            ]
+            initial = optimal_plan_index(plans, CENTER)
+            for group, name in ((G1, "r1"), (G2, "r2")):
+                result = switching_distance(initial, plans, CENTER, group)
+                if not math.isinf(result.up_factor):
+                    just_below = CENTER.perturbed(
+                        {name: result.up_factor * 0.999}
+                    )
+                    just_above = CENTER.perturbed(
+                        {name: result.up_factor * 1.001}
+                    )
+                    assert optimal_plan_index(plans, just_below) == initial
+                    assert optimal_plan_index(plans, just_above) != initial
+                if result.down_factor > 0:
+                    inside = CENTER.perturbed(
+                        {name: result.down_factor * 1.001}
+                    )
+                    outside = CENTER.perturbed(
+                        {name: result.down_factor * 0.999}
+                    )
+                    assert optimal_plan_index(plans, inside) == initial
+                    assert optimal_plan_index(plans, outside) != initial
+
+    def test_stale_initial_plan_rejected(self):
+        plans = [_usage(5, 5), _usage(1, 1)]
+        with pytest.raises(ValueError, match="not optimal"):
+            switching_distance(0, plans, CENTER, G1)
+
+    def test_single_plan_never_switches(self):
+        plans = [_usage(1, 2)]
+        result = switching_distance(0, plans, CENTER, G1)
+        assert result.insensitive
+        assert math.isinf(result.robustness_radius)
+
+    def test_tied_rival_switches_immediately(self):
+        plans = [_usage(1, 2), _usage(2, 1)]  # tie at center (3 = 3)
+        result = switching_distance(0, plans, CENTER, G2)
+        # The rival uses less r2, so any increase hands it the win.
+        assert result.up_factor == pytest.approx(1.0)
+
+    def test_parallel_plans_never_cross(self):
+        plans = [_usage(1, 2), _usage(2, 2)]  # same r2 usage
+        result = switching_distance(0, plans, CENTER, G2)
+        assert result.insensitive
+
+
+class TestRobustnessRadius:
+    def test_radius_is_worse_direction(self):
+        plans = [_usage(1, 2), _usage(3, 1), _usage(0.4, 4)]
+        initial = optimal_plan_index(plans, CENTER)
+        result = switching_distance(initial, plans, CENTER, G2)
+        expected = min(
+            result.up_factor,
+            math.inf if result.down_factor == 0 else 1 / result.down_factor,
+        )
+        assert result.robustness_radius == pytest.approx(expected)
+
+    def test_grouped_dimensions_move_together(self):
+        both = VariationGroup("all", (0, 1))
+        plans = [_usage(1, 2), _usage(3, 1)]
+        # Scaling ALL dims never changes relative order (Observation 1).
+        result = switching_distance(0, plans, CENTER, both)
+        assert result.insensitive
+
+
+def test_switching_distances_covers_all_groups():
+    plans = [_usage(1, 2), _usage(3, 1)]
+    results = switching_distances(0, plans, CENTER, (G1, G2))
+    assert [r.group for r in results] == ["r1", "r2"]

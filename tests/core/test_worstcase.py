@@ -1,0 +1,123 @@
+"""Tests for repro.core.worstcase (Observation 2, Figures 5-7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import global_relative_cost, optimal_plan_index
+from repro.core.feasible import FeasibleRegion, VariationGroup
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+from repro.core.worstcase import worst_case_curve, worst_case_gtc
+
+SPACE = ResourceSpace.from_names(["r1", "r2"])
+CENTER = CostVector(SPACE, [1.0, 1.0])
+
+
+def _usage(*values):
+    return UsageVector(SPACE, list(values))
+
+
+def test_example1_reaches_delta_squared():
+    """Complementary plans hit the Theorem 1 bound exactly."""
+    a = _usage(1, 0)
+    b = _usage(0, 1)
+    candidates = [a, b]
+    for delta in (2.0, 10.0, 100.0):
+        region = FeasibleRegion(CENTER, delta)
+        point = worst_case_gtc(a, candidates, region)
+        assert point.gtc == pytest.approx(delta**2)
+
+
+def test_non_complementary_plans_hit_constant_bound():
+    """Theorem 2: worst GTC plateaus at r_max regardless of delta."""
+    a = _usage(2, 8)
+    b = _usage(1, 2)  # r_max(a,b) = 4
+    candidates = [a, b]
+    for delta in (10.0, 100.0, 10000.0):
+        point = worst_case_gtc(a, candidates, FeasibleRegion(CENTER, delta))
+        assert point.gtc <= 4.0 + 1e-9
+    big = worst_case_gtc(a, candidates, FeasibleRegion(CENTER, 1e6))
+    assert big.gtc == pytest.approx(4.0, rel=1e-3)
+
+
+def test_optimal_initial_plan_has_gtc_one_at_delta_one():
+    plans = [_usage(1, 3), _usage(3, 1), _usage(1.8, 1.8)]
+    initial = plans[optimal_plan_index(plans, CENTER)]
+    point = worst_case_gtc(initial, plans, FeasibleRegion(CENTER, 1.0))
+    assert point.gtc == pytest.approx(1.0)
+
+
+def test_vertex_sweep_matches_random_search():
+    """Observation 2: no interior point beats the best vertex."""
+    rng = np.random.default_rng(23)
+    plans = [_usage(1, 6), _usage(6, 1), _usage(2.5, 2.5)]
+    initial = plans[0]
+    region = FeasibleRegion(CENTER, 30.0)
+    vertex_best = worst_case_gtc(initial, plans, region).gtc
+    random_best = max(
+        global_relative_cost(initial, plans, cost)
+        for cost in region.sample(rng, 3000)
+    )
+    assert random_best <= vertex_best * (1 + 1e-9)
+
+
+def test_worst_cost_vector_reproduces_gtc():
+    plans = [_usage(1, 6), _usage(6, 1)]
+    region = FeasibleRegion(CENTER, 12.0)
+    point = worst_case_gtc(plans[0], plans, region)
+    recomputed = global_relative_cost(plans[0], plans, point.worst_cost)
+    assert recomputed == pytest.approx(point.gtc)
+
+
+def test_batched_sweep_invariant_to_batch_size():
+    plans = [_usage(1, 9), _usage(9, 1), _usage(3, 3)]
+    region = FeasibleRegion(CENTER, 50.0)
+    a = worst_case_gtc(plans[0], plans, region, batch_size=1)
+    b = worst_case_gtc(plans[0], plans, region, batch_size=1024)
+    assert a.gtc == pytest.approx(b.gtc)
+    assert a.vertex_id == b.vertex_id
+
+
+def test_grouped_region_cannot_create_error():
+    """Observation 1 corollary: one multiplier for ALL dims -> GTC 1."""
+    plans = [_usage(1, 5), _usage(5, 1), _usage(2, 2)]
+    groups = (VariationGroup("all", (0, 1)),)
+    initial = plans[optimal_plan_index(plans, CENTER)]
+    region = FeasibleRegion(CENTER, 10000.0, groups)
+    point = worst_case_gtc(initial, plans, region)
+    assert point.gtc == pytest.approx(1.0)
+
+
+def test_curve_is_monotone_in_delta():
+    plans = [_usage(1, 7), _usage(7, 1), _usage(2.4, 2.4)]
+    initial = plans[optimal_plan_index(plans, CENTER)]
+    curve = worst_case_curve(
+        initial,
+        plans,
+        FeasibleRegion(CENTER, 1.0),
+        deltas=[1.0, 2.0, 5.0, 10.0, 100.0, 1000.0],
+        label="toy",
+    )
+    gtcs = curve.gtcs
+    assert all(b >= a - 1e-12 for a, b in zip(gtcs, gtcs[1:]))
+    assert curve.deltas == (1.0, 2.0, 5.0, 10.0, 100.0, 1000.0)
+
+
+def test_curve_plateau_classification():
+    # Non-complementary pair: plateaus (Theorem 2 / Figure 5 regime).
+    flat = worst_case_curve(
+        _usage(2, 8),
+        [_usage(2, 8), _usage(1, 2)],
+        FeasibleRegion(CENTER, 1.0),
+        deltas=[10.0, 100.0, 1000.0, 10000.0],
+    )
+    assert flat.is_bounded()
+    # Complementary pair: quadratic growth (Figure 6 regime).
+    growing = worst_case_curve(
+        _usage(1, 0),
+        [_usage(1, 0), _usage(0, 1)],
+        FeasibleRegion(CENTER, 1.0),
+        deltas=[10.0, 100.0, 1000.0],
+    )
+    assert not growing.is_bounded()
+    assert growing.final_gtc() == pytest.approx(1e6)

@@ -1,0 +1,121 @@
+"""Tests for the mini TPC-H data generator."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.tpch import tpch_row_count
+from repro.dbgen import generate_tpch
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(scale_factor=0.01, seed=42)
+
+
+def test_deterministic_for_same_seed():
+    a = generate_tpch(0.001, seed=7)
+    b = generate_tpch(0.001, seed=7)
+    assert np.array_equal(
+        a.column("LINEITEM", "L_SHIPDATE"),
+        b.column("LINEITEM", "L_SHIPDATE"),
+    )
+
+
+def test_different_seeds_differ():
+    a = generate_tpch(0.001, seed=1)
+    b = generate_tpch(0.001, seed=2)
+    assert not np.array_equal(
+        a.column("LINEITEM", "L_PARTKEY"),
+        b.column("LINEITEM", "L_PARTKEY"),
+    )
+
+
+def test_cardinalities_match_catalog(data):
+    for table in ("SUPPLIER", "CUSTOMER", "PART", "ORDERS", "PARTSUPP"):
+        assert data.row_count(table) == tpch_row_count(table, 0.01)
+    assert data.row_count("REGION") == 5
+    assert data.row_count("NATION") == 25
+
+
+def test_lineitem_count_near_catalog(data):
+    expected = tpch_row_count("LINEITEM", 0.01)
+    assert data.row_count("LINEITEM") == pytest.approx(expected, rel=0.05)
+
+
+def test_four_suppliers_per_part(data):
+    part_keys = data.column("PARTSUPP", "PS_PARTKEY")
+    __, counts = np.unique(part_keys, return_counts=True)
+    assert np.all(counts == 4)
+
+
+def test_partsupp_pairs_unique(data):
+    pairs = np.stack(
+        [
+            data.column("PARTSUPP", "PS_PARTKEY"),
+            data.column("PARTSUPP", "PS_SUPPKEY"),
+        ]
+    )
+    assert len(np.unique(pairs, axis=1).T) == pairs.shape[1]
+
+
+def test_referential_integrity(data):
+    n_part = data.row_count("PART")
+    n_supplier = data.row_count("SUPPLIER")
+    n_orders = data.row_count("ORDERS")
+    assert data.column("LINEITEM", "L_PARTKEY").max() <= n_part
+    assert data.column("LINEITEM", "L_PARTKEY").min() >= 1
+    assert data.column("LINEITEM", "L_SUPPKEY").max() <= n_supplier
+    assert data.column("LINEITEM", "L_ORDERKEY").max() <= n_orders
+    assert data.column("ORDERS", "O_CUSTKEY").max() <= data.row_count(
+        "CUSTOMER"
+    )
+
+
+def test_lineitem_supplier_consistent_with_partsupp(data):
+    """Every (partkey, suppkey) in LINEITEM exists in PARTSUPP."""
+    ps_pairs = set(
+        zip(
+            data.column("PARTSUPP", "PS_PARTKEY").tolist(),
+            data.column("PARTSUPP", "PS_SUPPKEY").tolist(),
+        )
+    )
+    l_pairs = set(
+        zip(
+            data.column("LINEITEM", "L_PARTKEY")[:500].tolist(),
+            data.column("LINEITEM", "L_SUPPKEY")[:500].tolist(),
+        )
+    )
+    assert l_pairs <= ps_pairs
+
+
+def test_two_thirds_of_customers_have_orders(data):
+    custkeys = np.unique(data.column("ORDERS", "O_CUSTKEY"))
+    # No customer divisible by 3 places an order.
+    assert np.all(custkeys % 3 != 0)
+
+
+def test_date_ordering_invariants(data):
+    orderkeys = data.column("LINEITEM", "L_ORDERKEY")
+    order_dates = data.column("ORDERS", "O_ORDERDATE")[orderkeys - 1]
+    ship = data.column("LINEITEM", "L_SHIPDATE")
+    receipt = data.column("LINEITEM", "L_RECEIPTDATE")
+    assert np.all(ship > order_dates)
+    assert np.all(receipt > ship)
+
+
+def test_lines_per_order_between_1_and_7(data):
+    __, counts = np.unique(
+        data.column("LINEITEM", "L_ORDERKEY"), return_counts=True
+    )
+    assert counts.min() >= 1
+    assert counts.max() <= 7
+
+
+def test_value_domains(data):
+    assert set(np.unique(data.column("LINEITEM", "L_RETURNFLAG"))) <= {
+        0, 1, 2,
+    }
+    quantity = data.column("LINEITEM", "L_QUANTITY")
+    assert quantity.min() >= 1 and quantity.max() <= 50
+    size = data.column("PART", "P_SIZE")
+    assert size.min() >= 1 and size.max() <= 50

@@ -1,0 +1,78 @@
+"""Tests for the CLOCK buffer pool."""
+
+import pytest
+
+from repro.executor.bufferpool import BufferPool
+
+
+def test_miss_then_hit():
+    pool = BufferPool(4)
+    assert not pool.access(("t", 0))
+    assert pool.access(("t", 0))
+    assert pool.hits == 1
+    assert pool.misses == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        BufferPool(0)
+
+
+def test_eviction_when_full():
+    pool = BufferPool(2)
+    pool.access(("t", 0))
+    pool.access(("t", 1))
+    pool.access(("t", 2))  # evicts something
+    assert len(pool) == 2
+    resident = sum(pool.contains(("t", p)) for p in (0, 1, 2))
+    assert resident == 2
+
+
+def test_clock_second_chance():
+    pool = BufferPool(2)
+    pool.access(("t", 0))
+    pool.access(("t", 1))
+    # Miss: both bits get cleared during the sweep, page 0 (at the
+    # hand) is evicted, page 2 loads with its bit set.
+    pool.access(("t", 2))
+    assert pool.contains(("t", 2)) and pool.contains(("t", 1))
+    # Re-reference page 2; page 1's bit stays clear.
+    pool.access(("t", 2))
+    # Next miss must evict the unreferenced page 1 and spare page 2 —
+    # the second chance.
+    pool.access(("t", 3))
+    assert pool.contains(("t", 2))
+    assert pool.contains(("t", 3))
+    assert not pool.contains(("t", 1))
+
+
+def test_working_set_smaller_than_pool_always_hits():
+    pool = BufferPool(10)
+    for _ in range(5):
+        for page in range(8):
+            pool.access(("t", page))
+    assert pool.misses == 8
+    assert pool.hits == 4 * 8
+    assert pool.hit_rate == pytest.approx(32 / 40)
+
+
+def test_sequential_flood_evicts_cleanly():
+    pool = BufferPool(4)
+    for page in range(100):
+        assert not pool.access(("t", page))
+    assert len(pool) == 4
+
+
+def test_reset_stats():
+    pool = BufferPool(2)
+    pool.access(("t", 0))
+    pool.reset_stats()
+    assert pool.hits == 0 and pool.misses == 0
+    assert pool.hit_rate == 0.0
+
+
+def test_distinct_objects_do_not_collide():
+    pool = BufferPool(4)
+    pool.access(("a", 0))
+    assert not pool.access(("b", 0))
+    assert pool.contains(("a", 0)) and pool.contains(("b", 0))

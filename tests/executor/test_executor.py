@@ -1,0 +1,233 @@
+"""Executor correctness + cost-model validation tests.
+
+These close the loop the paper could not: the optimizer's predicted
+usage (pages, seeks, cardinalities) is checked against metered
+execution on generated data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.dbgen import generate_tpch
+from repro.executor import ColumnCondition, PlanExecutor, StorageEngine
+from repro.optimizer import (
+    DEFAULT_PARAMETERS,
+    JoinPredicate,
+    LocalPredicate,
+    QuerySpec,
+    TableRef,
+    optimize_scalar,
+)
+from repro.optimizer.plans import (
+    HashJoinNode,
+    IndexProbeNode,
+    IndexScanNode,
+    NestedLoopJoinNode,
+    TableScanNode,
+)
+from repro.storage import ObjectKey, StorageLayout
+
+SF = 0.01
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(SF)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(SF, seed=3)
+
+
+def _engine(data, catalog, pool=200_000):
+    return StorageEngine(data, catalog, bufferpool_pages=pool)
+
+
+def _lp_query():
+    """LINEITEM-PART with a one-month shipdate window (Q14 shape)."""
+    return QuerySpec(
+        name="q14ish",
+        tables=(TableRef("L", "LINEITEM"), TableRef("P", "PART")),
+        joins=(JoinPredicate("L", "L_PARTKEY", "P", "P_PARTKEY"),),
+        predicates=(LocalPredicate("L", 30 / 2526, "L_SHIPDATE"),),
+    )
+
+
+_L_CONDITIONS = {
+    "L": [ColumnCondition("L", "L_SHIPDATE", "between", (100, 129))]
+}
+
+
+class TestScanCorrectness:
+    def test_table_scan_reads_every_page_once(self, data, catalog):
+        engine = _engine(data, catalog)
+        query = QuerySpec("scan", (TableRef("P", "PART"),))
+        executor = PlanExecutor(engine, catalog, query)
+        result = executor.run(TableScanNode("P", "PART"))
+        assert result.rows == data.row_count("PART")
+        key = ObjectKey.table("PART")
+        assert result.io.pages(key) == engine.n_pages("PART")
+        # One initial seek, everything else sequential.
+        assert result.io.seeks(key) <= 1
+
+    def test_scan_filters_rows(self, data, catalog):
+        engine = _engine(data, catalog)
+        query = QuerySpec(
+            "scanf",
+            (TableRef("P", "PART"),),
+            predicates=(LocalPredicate("P", 0.1, "P_SIZE"),),
+        )
+        conditions = {"P": [ColumnCondition("P", "P_SIZE", "<=", 5)]}
+        executor = PlanExecutor(engine, catalog, query, conditions)
+        result = executor.run(TableScanNode("P", "PART"))
+        truth = int((data.column("PART", "P_SIZE") <= 5).sum())
+        assert result.rows == truth
+
+    def test_index_scan_matches_table_scan_semantics(self, data, catalog):
+        query = QuerySpec(
+            "ix",
+            (TableRef("L", "LINEITEM"),),
+            predicates=(LocalPredicate("L", 0.01, "L_SHIPDATE"),),
+        )
+        engine_a = _engine(data, catalog)
+        scan = PlanExecutor(
+            engine_a, catalog, query, _L_CONDITIONS
+        ).run(TableScanNode("L", "LINEITEM"))
+        engine_b = _engine(data, catalog)
+        index = PlanExecutor(
+            engine_b, catalog, query, _L_CONDITIONS
+        ).run(
+            IndexScanNode("L", "LINEITEM", "L_SD", "L_SHIPDATE")
+        )
+        assert index.rows == scan.rows
+        assert set(
+            index.relation.columns["L"].tolist()
+        ) == set(scan.relation.columns["L"].tolist())
+
+    def test_index_only_scan_reads_no_data_pages(self, data, catalog):
+        query = QuerySpec(
+            "ixo",
+            (TableRef("L", "LINEITEM"),),
+            predicates=(LocalPredicate("L", 0.01, "L_SHIPDATE"),),
+        )
+        engine = _engine(data, catalog)
+        executor = PlanExecutor(engine, catalog, query, _L_CONDITIONS)
+        result = executor.run(
+            IndexScanNode("L", "LINEITEM", "L_SD", "L_SHIPDATE", True)
+        )
+        assert result.io.pages(ObjectKey.table("LINEITEM")) == 0
+        assert result.io.pages(ObjectKey.index("LINEITEM")) > 0
+
+
+class TestJoinCorrectness:
+    def _truth(self, data):
+        ship = data.column("LINEITEM", "L_SHIPDATE")
+        mask = (ship >= 100) & (ship <= 129)
+        return int(mask.sum())  # FK join to PART preserves count
+
+    def test_hash_join_count(self, data, catalog):
+        query = _lp_query()
+        engine = _engine(data, catalog)
+        executor = PlanExecutor(engine, catalog, query, _L_CONDITIONS)
+        plan = HashJoinNode(
+            TableScanNode("L", "LINEITEM"), TableScanNode("P", "PART")
+        )
+        assert executor.run(plan).rows == self._truth(data)
+
+    def test_index_nested_loop_count_matches_hash_join(
+        self, data, catalog
+    ):
+        query = _lp_query()
+        engine = _engine(data, catalog)
+        executor = PlanExecutor(engine, catalog, query, _L_CONDITIONS)
+        plan = NestedLoopJoinNode(
+            IndexScanNode("L", "LINEITEM", "L_SD", "L_SHIPDATE"),
+            IndexProbeNode("P", "PART", "P_PK", "P_PARTKEY"),
+        )
+        assert executor.run(plan).rows == self._truth(data)
+
+    def test_rescan_join_semantics(self, data, catalog):
+        query = QuerySpec(
+            "resc",
+            (TableRef("S", "SUPPLIER"), TableRef("N", "NATION")),
+            joins=(
+                JoinPredicate("S", "S_NATIONKEY", "N", "N_NATIONKEY"),
+            ),
+        )
+        engine = _engine(data, catalog)
+        executor = PlanExecutor(engine, catalog, query)
+        plan = NestedLoopJoinNode(
+            TableScanNode("S", "SUPPLIER"), TableScanNode("N", "NATION")
+        )
+        result = executor.run(plan)
+        assert result.rows == data.row_count("SUPPLIER")
+        # NATION fits in one page: the rescans hit the buffer pool.
+        assert result.io.pages(ObjectKey.table("NATION")) == 1
+
+
+class TestCostModelValidation:
+    """Optimizer estimates vs measured execution (the repro's LSQ/EX2
+    style sanity anchor)."""
+
+    def test_cardinality_estimate_close(self, data, catalog):
+        query = _lp_query()
+        layout = StorageLayout.shared_device(query.table_names())
+        plan = optimize_scalar(
+            query, catalog, DEFAULT_PARAMETERS, layout,
+            layout.center_costs(),
+        )
+        engine = _engine(data, catalog)
+        executor = PlanExecutor(engine, catalog, query, _L_CONDITIONS)
+        result = executor.run(plan.node)
+        assert result.rows == pytest.approx(plan.rows, rel=0.25)
+
+    def test_table_scan_pages_match_estimate(self, data, catalog):
+        """The cost model's page count equals the metered scan."""
+        from repro.optimizer.operators import CostModel
+
+        costs = CostModel(catalog, DEFAULT_PARAMETERS)
+        estimate = costs.table_scan("LINEITEM", 0, 1.0)
+        est_pages = estimate.account.io[ObjectKey.table("LINEITEM")][1]
+        engine = _engine(data, catalog)
+        query = QuerySpec("scan", (TableRef("L", "LINEITEM"),))
+        result = PlanExecutor(engine, catalog, query).run(
+            TableScanNode("L", "LINEITEM")
+        )
+        measured = result.io.pages(ObjectKey.table("LINEITEM"))
+        assert measured == pytest.approx(est_pages, rel=0.05)
+
+    def test_probe_io_within_factor_of_estimate(self, data, catalog):
+        """INL-join index probe I/O within a small factor of the
+        model's prediction (directional validation)."""
+        from repro.optimizer.operators import CostModel
+
+        query = _lp_query()
+        engine = _engine(data, catalog)
+        executor = PlanExecutor(engine, catalog, query, _L_CONDITIONS)
+        plan = NestedLoopJoinNode(
+            IndexScanNode("L", "LINEITEM", "L_SD", "L_SHIPDATE"),
+            IndexProbeNode("P", "PART", "P_PK", "P_PARTKEY"),
+        )
+        result = executor.run(plan)
+        ship = data.column("LINEITEM", "L_SHIPDATE")
+        n_probes = int(((ship >= 100) & (ship <= 129)).sum())
+        costs = CostModel(catalog, DEFAULT_PARAMETERS)
+        account = costs.index_probes("PART", "P_PK", n_probes, 1.0)
+        predicted = account.io[ObjectKey.table("PART")][1]
+        measured = result.io.pages(ObjectKey.table("PART"))
+        assert measured <= predicted * 3
+        assert measured >= predicted / 3
+
+
+def test_unknown_node_type_rejected(data, catalog):
+    engine = _engine(data, catalog)
+    query = QuerySpec("x", (TableRef("P", "PART"),))
+    executor = PlanExecutor(engine, catalog, query)
+
+    class FakeNode:
+        pass
+
+    with pytest.raises(TypeError):
+        executor._eval(FakeNode())  # noqa: SLF001 - deliberate

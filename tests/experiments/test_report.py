@@ -1,0 +1,94 @@
+"""Tests for experiment report rendering."""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments.report import (
+    figure_to_csv,
+    format_census_table,
+    format_figure_summary,
+    format_figure_table,
+    format_parameter_table,
+)
+from repro.experiments.usage_analysis import run_usage_analysis
+from repro.experiments.worst_case import run_figure
+from repro.optimizer.config import DEFAULT_PARAMETERS
+from repro.workloads import build_tpch_queries
+
+
+@pytest.fixture(scope="module")
+def figure():
+    catalog = build_tpch_catalog(100)
+    queries = build_tpch_queries(catalog)
+    subset = {k: queries[k] for k in ("Q1", "Q14")}
+    return run_figure(
+        "shared", catalog=catalog, queries=subset,
+        deltas=(1.0, 10.0, 100.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    catalog = build_tpch_catalog(100)
+    queries = build_tpch_queries(catalog)
+    subset = {k: queries[k] for k in ("Q1", "Q14")}
+    return run_usage_analysis("split", catalog=catalog, queries=subset)
+
+
+def test_figure_table_contains_all_queries_and_deltas(figure):
+    table = format_figure_table(figure)
+    assert "Q1" in table and "Q14" in table
+    assert "d=1" in table and "d=100" in table
+
+
+def test_figure_csv_is_parseable(figure):
+    csv_text = figure_to_csv(figure)
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "query,1,10,100"
+    assert len(lines) == 3
+    for line in lines[1:]:
+        cells = line.split(",")
+        assert len(cells) == 4
+        float(cells[1])  # numeric
+
+
+def test_figure_summary_mentions_figure_and_regimes(figure):
+    summary = format_figure_summary(figure)
+    assert "Figure 5" in summary
+    assert "constant curves" in summary
+    assert "most sensitive query" in summary
+
+
+def test_census_table_columns(analysis):
+    table = format_census_table(analysis)
+    assert "acc-path" in table
+    assert "Q14" in table
+    assert "bound" in table
+
+
+def test_parameter_table_matches_paper_layout():
+    rendered = format_parameter_table(DEFAULT_PARAMETERS.as_db2_table())
+    assert "DB2_HASH_JOIN" in rendered
+    assert "OPT_BUFFPAGE" in rendered
+    assert "640000" in rendered
+    assert rendered.splitlines()[0].startswith("Parameter Name")
+
+
+def test_figure_chart_renders(figure):
+    from repro.experiments.report import format_figure_chart
+
+    chart = format_figure_chart(figure, ["Q1", "Q14"], height=8, width=30)
+    lines = chart.splitlines()
+    assert lines[0].startswith("log GTC")
+    assert lines[-1].strip().endswith("x=Q14")
+    grid = [line for line in lines if line.startswith("|")]
+    assert len(grid) == 8
+
+
+def test_figure_chart_rejects_empty_selection(figure):
+    import pytest as _pytest
+
+    from repro.experiments.report import format_figure_chart
+
+    with _pytest.raises(ValueError):
+        format_figure_chart(figure, ["Q99"])

@@ -1,0 +1,109 @@
+"""Tests for the plan-robustness (switching-distance) experiment."""
+
+import math
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.core.costmodel import optimal_plan_index
+from repro.experiments.robustness import (
+    analyze_query_robustness,
+    format_robustness_table,
+    run_robustness,
+)
+from repro.experiments.scenarios import scenario
+from repro.optimizer import DEFAULT_PARAMETERS, candidate_plans
+from repro.workloads import build_tpch_queries, tpch_query
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def q20_rows(catalog):
+    query = tpch_query("Q20", catalog)
+    return analyze_query_robustness(
+        query, catalog, scenario("split"), DEFAULT_PARAMETERS
+    )
+
+
+def test_every_device_gets_a_row(q20_rows, catalog):
+    query = tpch_query("Q20", catalog)
+    layout = scenario("split").layout_for(query)
+    expected_groups = {g.name for g in layout.variation_groups()}
+    assert {p.group for p in q20_rows.parameters} == expected_groups
+
+
+def test_q20_partsupp_is_on_the_watch_list(q20_rows):
+    """The paper's Section 8.1.2 callout: Q20's plan is especially
+    sensitive to the PARTSUPP index device."""
+    watch = q20_rows.watch_list(radius_threshold=10.0)
+    assert any("PARTSUPP" in name for name in watch)
+
+
+def test_thresholds_verified_by_reoptimization(q20_rows, catalog):
+    """Crossing a reported up-threshold really flips the plan."""
+    query = tpch_query("Q20", catalog)
+    config = scenario("split")
+    layout = config.layout_for(query)
+    region = config.region(layout, 10000.0)
+    candidates = candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region, cell_cap=64
+    )
+    center = layout.center_costs()
+    initial = candidates.initial_plan_index()
+    groups = {g.name: g for g in config.groups_for(layout)}
+    checked = 0
+    for parameter in q20_rows.parameters:
+        up = parameter.distance.up_factor
+        if math.isinf(up) or up > 5000:
+            continue
+        group = groups[parameter.group]
+        for factor, expect_initial in (
+            (up * 0.999, True),
+            (up * 1.001, False),
+        ):
+            values = center.values.copy()
+            for index in group.indices:
+                values[index] *= factor
+            from repro.core.vectors import CostVector
+
+            probe = CostVector(center.space, values)
+            winner = optimal_plan_index(candidates.usages, probe)
+            assert (winner == initial) == expect_initial, parameter.group
+        checked += 1
+    assert checked >= 1
+
+
+def test_cpu_group_present_and_usually_robust(q20_rows):
+    cpu = next(p for p in q20_rows.parameters if p.group == "cpu")
+    assert cpu.radius > 1.0
+
+
+def test_regret_at_least_one(q20_rows):
+    for parameter in q20_rows.parameters:
+        assert parameter.regret_past_switch >= 1.0 - 1e-9
+
+
+def test_run_robustness_over_workload(catalog):
+    queries = build_tpch_queries(catalog)
+    subset = {k: queries[k] for k in ("Q1", "Q14")}
+    rows = run_robustness("shared", catalog=catalog, queries=subset)
+    assert [r.query_name for r in rows] == ["Q1", "Q14"]
+    table = format_robustness_table(rows)
+    assert "Q14" in table and "radius" in table
+
+
+def test_single_candidate_query_never_switches(catalog):
+    """Q17/Q18 under 'colocated' have a single candidate plan."""
+    query = tpch_query("Q17", catalog)
+    result = analyze_query_robustness(
+        query, catalog, scenario("colocated"), DEFAULT_PARAMETERS
+    )
+    assert result.most_fragile() is None or all(
+        p.regret_past_switch >= 1.0 for p in result.parameters
+    )
+    table = format_robustness_table([result])
+    assert "Q17" in table

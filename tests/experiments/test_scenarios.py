@@ -1,0 +1,73 @@
+"""Tests for the three storage scenarios."""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments.scenarios import (
+    DEFAULT_DELTAS,
+    SCENARIO_KEYS,
+    all_scenarios,
+    scenario,
+)
+from repro.workloads import tpch_query
+
+
+@pytest.fixture(scope="module")
+def q5(scope="module"):
+    return tpch_query("Q5", build_tpch_catalog(1))
+
+
+def test_scenario_lookup():
+    assert scenario("shared").figure == "Figure 5"
+    assert scenario("split").figure == "Figure 6"
+    assert scenario("colocated").figure == "Figure 7"
+    with pytest.raises(KeyError):
+        scenario("bogus")
+    assert tuple(s.key for s in all_scenarios()) == SCENARIO_KEYS
+
+
+def test_resource_counts_match_paper_formulas(q5):
+    """3 for shared; 2k+2 for split; k+2 for colocated (Sec 8.1)."""
+    k = len(q5.table_names())  # 6 distinct tables in Q5
+    assert scenario("shared").resource_count(q5) == 3
+    assert scenario("split").resource_count(q5) == 2 * k + 2
+    assert scenario("colocated").resource_count(q5) == k + 2
+
+
+def test_layout_dimensions_match_resource_counts(q5):
+    for key in SCENARIO_KEYS:
+        config = scenario(key)
+        layout = config.layout_for(q5)
+        assert layout.space.dimension == config.resource_count(q5)
+
+
+def test_shared_groups_are_fully_independent(q5):
+    config = scenario("shared")
+    layout = config.layout_for(q5)
+    groups = config.groups_for(layout)
+    assert len(groups) == 3
+    assert all(len(g.indices) == 1 for g in groups)
+
+
+def test_split_groups_lock_per_device(q5):
+    config = scenario("split")
+    layout = config.layout_for(q5)
+    groups = config.groups_for(layout)
+    # cpu + one group per device.
+    assert len(groups) == layout.space.dimension
+
+
+def test_region_center_is_db2_defaults(q5):
+    config = scenario("shared")
+    layout = config.layout_for(q5)
+    region = config.region(layout, 10.0)
+    assert region.delta == 10.0
+    center = region.center
+    assert center["disk.seek"] == pytest.approx(24.1)
+    assert center["disk.xfer"] == pytest.approx(9.0)
+
+
+def test_default_delta_grid_spans_paper_range():
+    assert DEFAULT_DELTAS[0] == 1.0
+    assert DEFAULT_DELTAS[-1] == 10000.0
+    assert list(DEFAULT_DELTAS) == sorted(DEFAULT_DELTAS)

@@ -1,0 +1,88 @@
+"""Tests for the Section 8.2 usage-vector analysis."""
+
+import math
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments.usage_analysis import run_usage_analysis
+from repro.workloads import build_tpch_queries
+
+QUERY_SUBSET = ("Q1", "Q3", "Q6", "Q11", "Q14", "Q20")
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def queries(catalog):
+    full = build_tpch_queries(catalog)
+    return {k: full[k] for k in QUERY_SUBSET}
+
+
+@pytest.fixture(scope="module")
+def analyses(catalog, queries):
+    return {
+        key: run_usage_analysis(key, catalog=catalog, queries=queries)
+        for key in ("shared", "split", "colocated")
+    }
+
+
+def test_shared_device_has_no_complementary_pairs(analyses):
+    """Sec 8.2: 'we found no complementary candidate optimal plans for
+    any query' on the single-device setup."""
+    assert analyses["shared"].queries_with_complementary_plans() == []
+
+
+def test_shared_device_constant_bounds_are_finite(analyses):
+    for row in analyses["shared"].rows:
+        assert math.isfinite(row.constant_bound), row.query_name
+
+
+def test_split_devices_create_complementary_pairs(analyses):
+    """Sec 8.2: 'a large number of complementary plans' when each
+    table and index group gets its own device."""
+    with_pairs = analyses["split"].queries_with_complementary_plans()
+    assert len(with_pairs) >= 4
+
+
+def test_split_complementarity_classes(analyses):
+    """Sec 8.2: all complementary plans were access-path or temp
+    complementary; no pair was table complementary."""
+    totals = analyses["split"].total_class_counts()
+    assert totals.get("table", 0) == 0
+    assert totals.get("access-path", 0) > 0
+
+
+def test_colocated_eliminates_access_path_pairs(analyses):
+    """Sec 8.2: co-locating tables with their indexes eliminated
+    access-path complementary plans; temp pairs remain possible."""
+    totals = analyses["colocated"].total_class_counts()
+    assert totals.get("access-path", 0) == 0
+    assert totals.get("table", 0) == 0
+
+
+def test_complementary_pairs_have_infinite_bound(analyses):
+    for row in analyses["split"].rows:
+        if row.has_complementary_pairs:
+            assert math.isinf(row.constant_bound), row.query_name
+
+
+def test_census_shape(analyses):
+    for result in analyses.values():
+        for row in result.rows:
+            n = row.n_candidates
+            assert row.census.n_pairs == n * (n - 1) // 2
+            assert row.census.n_complementary <= row.census.n_pairs
+            # Near-complementary includes all complementary pairs.
+            assert (
+                row.census.n_near_complementary
+                >= row.census.n_complementary
+            )
+
+
+def test_by_query_lookup(analyses):
+    table = analyses["shared"].by_query()
+    assert set(table) == set(QUERY_SUBSET)

@@ -1,0 +1,77 @@
+"""Tests for the black-box algorithm validation experiments."""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments.validation import (
+    validate_discovery,
+    validate_estimation,
+)
+from repro.workloads import tpch_query
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def q14(catalog):
+    return tpch_query("Q14", catalog)
+
+
+class TestEstimationValidation:
+    def test_meets_paper_one_percent_criterion(self, catalog, q14):
+        """Sec 6.1.1: prediction discrepancy below one percent."""
+        result = validate_estimation(q14, catalog, "shared", delta=100.0)
+        assert result.prediction_errors  # at least one plan validated
+        assert result.meets_paper_criterion
+        assert result.worst_prediction_error < 0.01
+
+    def test_component_errors_small_for_exact_blackbox(self, catalog, q14):
+        result = validate_estimation(q14, catalog, "shared", delta=100.0)
+        for signature, error in result.component_errors.items():
+            assert error < 0.05, signature
+
+    def test_optimizer_calls_counted(self, catalog, q14):
+        result = validate_estimation(q14, catalog, "shared", delta=100.0)
+        assert result.optimizer_calls > 0
+
+    def test_honest_blackbox_agrees(self, catalog, q14):
+        """The full-DP black box validates the same way (slower)."""
+        result = validate_estimation(
+            q14, catalog, "shared", delta=50.0, honest_blackbox=True,
+            n_test_points=10,
+        )
+        assert result.meets_paper_criterion
+
+
+class TestDiscoveryValidation:
+    def test_discovery_finds_full_dimensional_candidates(
+        self, catalog, q14
+    ):
+        result = validate_discovery(q14, catalog, "shared", delta=100.0)
+        assert result.recall >= 0.75
+        assert not result.spurious
+
+    def test_discovery_on_split_scenario(self, catalog, q14):
+        result = validate_discovery(
+            q14, catalog, "split", delta=100.0,
+            max_optimizer_calls=50000,
+        )
+        # The split scenario has more dimensions; discovery must still
+        # find most of the candidate set and nothing spurious.
+        assert result.recall >= 0.6
+        assert not result.spurious
+
+    def test_budget_exhaustion_reported_not_hidden(self, catalog, q14):
+        result = validate_discovery(
+            q14, catalog, "split", delta=100.0, max_optimizer_calls=40
+        )
+        assert not result.discovery_complete
+
+    def test_exactness_metrics(self, catalog, q14):
+        result = validate_discovery(q14, catalog, "shared", delta=100.0)
+        assert result.missed | result.found_signatures >= result.true_signatures
+        if result.exact:
+            assert result.recall == 1.0

@@ -1,0 +1,136 @@
+"""Tests for the Figure 5/6/7 worst-case experiment runners.
+
+Full 22-query runs live in the benchmark harness; these tests use a
+representative subset so the suite stays fast while still asserting the
+paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments.worst_case import run_figure, run_query_worst_case
+from repro.experiments.scenarios import scenario
+from repro.optimizer.config import DEFAULT_PARAMETERS
+from repro.workloads import build_tpch_queries
+
+DELTAS = (1.0, 10.0, 100.0, 1000.0, 10000.0)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def queries(catalog):
+    full = build_tpch_queries(catalog)
+    return {k: full[k] for k in ("Q1", "Q3", "Q6", "Q14", "Q20")}
+
+
+@pytest.fixture(scope="module")
+def figures(catalog, queries):
+    return {
+        key: run_figure(key, catalog=catalog, queries=queries, deltas=DELTAS)
+        for key in ("shared", "split", "colocated")
+    }
+
+
+class TestStructure:
+    def test_one_curve_per_query(self, figures, queries):
+        for result in figures.values():
+            assert {c.query_name for c in result.curves} == set(queries)
+
+    def test_gtc_starts_at_one(self, figures):
+        for result in figures.values():
+            for curve in result.curves:
+                assert curve.curve.points[0].gtc == pytest.approx(1.0)
+
+    def test_curves_monotone_in_delta(self, figures):
+        for result in figures.values():
+            for curve in result.curves:
+                gtcs = curve.curve.gtcs
+                assert all(
+                    b >= a * (1 - 1e-9) for a, b in zip(gtcs, gtcs[1:])
+                ), (result.scenario_key, curve.query_name)
+
+    def test_theorem1_bound_never_violated(self, figures):
+        """No curve exceeds delta**2 (Theorem 1 corollary)."""
+        for result in figures.values():
+            for curve in result.curves:
+                for point in curve.curve.points:
+                    assert point.gtc <= point.delta**2 * (1 + 1e-6)
+
+    def test_by_query_lookup(self, figures):
+        shared = figures["shared"]
+        assert shared.by_query()["Q3"].query_name == "Q3"
+
+
+class TestPaperShapes:
+    def test_figure5_all_curves_bounded(self, figures):
+        """Sec 8.1.1: with one device, all queries follow the constant
+        Theorem 2 bound."""
+        census = figures["shared"].growth_census()
+        assert census.get("quadratic", 0) == 0
+
+    def test_figure6_multi_table_queries_grow_quadratically(self, figures):
+        """Sec 8.1.2: with split devices most queries hit the
+        quadratic Theorem 1 regime."""
+        split = figures["split"].by_query()
+        for name in ("Q3", "Q14", "Q20"):
+            assert split[name].growth_class() == "quadratic", name
+
+    def test_figure6_worst_case_dwarfs_figure5(self, figures):
+        """Splitting devices raises the aggregate worst case by orders
+        of magnitude."""
+        assert (
+            figures["split"].max_final_gtc()
+            > 100 * figures["shared"].max_final_gtc()
+        )
+
+    def test_figure7_between_figures_5_and_6(self, figures):
+        """Per query, 'split' dominates 'colocated' (its feasible
+        region strictly contains the colocated one); against 'shared'
+        only the aggregate ordering is meaningful."""
+        colocated = figures["colocated"].by_query()
+        split = figures["split"].by_query()
+        for name in colocated:
+            assert (
+                colocated[name].final_gtc
+                <= split[name].final_gtc * (1 + 1e-9)
+            ), name
+        assert (
+            figures["shared"].max_final_gtc()
+            <= figures["colocated"].max_final_gtc() * (1 + 1e-9)
+            or figures["shared"].growth_census().get("quadratic", 0) == 0
+        )
+
+    def test_q20_is_most_sensitive_in_figure6(self, figures):
+        """Sec 8.1.2: query 20 was almost an order of magnitude more
+        sensitive than the others."""
+        split = figures["split"]
+        worst = max(split.curves, key=lambda c: c.final_gtc)
+        assert worst.query_name == "Q20"
+
+    def test_single_table_queries_unaffected_by_splitting(self, figures):
+        """Q1/Q6 touch one table: device placement barely matters."""
+        for name in ("Q1", "Q6"):
+            shared = figures["shared"].by_query()[name].final_gtc
+            split = figures["split"].by_query()[name].final_gtc
+            assert split == pytest.approx(shared, rel=0.05)
+
+
+class TestSingleQueryRunner:
+    def test_explicit_runner_matches_figure(self, catalog, queries, figures):
+        config = scenario("shared")
+        result = run_query_worst_case(
+            queries["Q3"], catalog, DEFAULT_PARAMETERS, config, DELTAS
+        )
+        from_figure = figures["shared"].by_query()["Q3"]
+        assert result.curve.gtcs == from_figure.curve.gtcs
+        assert result.initial_signature == from_figure.initial_signature
+
+    def test_initial_plan_reported(self, figures):
+        for result in figures.values():
+            for curve in result.curves:
+                assert curve.initial_signature
+                assert curve.n_candidates >= 1

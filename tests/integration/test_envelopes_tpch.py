@@ -1,0 +1,94 @@
+"""Parametric envelopes on TPC-H: plan sequences along device rays.
+
+Applies the 1-D lower-envelope analysis to real queries — the
+one-dimensional version of the figures: as ONE device's cost drifts
+from 1/delta to delta, which plans take turns being optimal, and do
+the transitions match the black-box optimizer?
+"""
+
+import numpy as np
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.core.envelope import lower_envelope
+from repro.experiments.scenarios import scenario
+from repro.optimizer import DEFAULT_PARAMETERS, candidate_plans
+from repro.optimizer.blackbox import CandidateBackedBlackBox
+from repro.workloads import tpch_query
+
+DELTA = 10000.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    catalog = build_tpch_catalog(100)
+    query = tpch_query("Q20", catalog)
+    config = scenario("split")
+    layout = config.layout_for(query)
+    region = config.region(layout, DELTA)
+    candidates = candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region, cell_cap=64
+    )
+    groups = {g.name: g for g in config.groups_for(layout)}
+    return layout, region, candidates, groups
+
+
+def test_partsupp_index_ray_has_multiple_plans(setup):
+    """The paper's Q20 narrative: the plan flips as the PARTSUPP index
+    device degrades, so the envelope along that ray has >= 2 pieces."""
+    layout, __, candidates, groups = setup
+    envelope = lower_envelope(
+        candidates.usages,
+        layout.center_costs(),
+        groups["dev.index.PARTSUPP"],
+        1.0 / DELTA,
+        DELTA,
+    )
+    assert len(envelope) >= 2
+    assert len(envelope.breakpoints) == len(envelope) - 1
+
+
+def test_envelope_matches_blackbox_along_ray(setup):
+    """Every sampled point on the ray: the envelope's owner has the
+    same cost as the black-box optimizer's choice."""
+    layout, __, candidates, groups = setup
+    group = groups["dev.index.PARTSUPP"]
+    envelope = lower_envelope(
+        candidates.usages, layout.center_costs(), group,
+        1.0 / DELTA, DELTA,
+    )
+    box = CandidateBackedBlackBox(candidates)
+    center = layout.center_costs()
+    for m in np.logspace(-3.9, 3.9, 23):
+        values = center.values.copy()
+        for index in group.indices:
+            values[index] *= float(m)
+        from repro.core.vectors import CostVector
+
+        cost = CostVector(center.space, values)
+        owner = envelope.plan_at(float(m))
+        owner_cost = candidates.usages[owner].dot(cost)
+        assert owner_cost == pytest.approx(
+            box.optimize(cost).total_cost, rel=1e-9
+        )
+
+
+def test_cpu_ray_is_usually_stable(setup):
+    """CPU cost drift rarely flips plans (all plans burn similar CPU) —
+    the envelope along the cpu ray has few pieces."""
+    layout, __, candidates, groups = setup
+    envelope = lower_envelope(
+        candidates.usages, layout.center_costs(), groups["cpu"],
+        1.0 / DELTA, DELTA,
+    )
+    assert len(envelope) <= 4
+
+
+def test_piece_count_bounded_by_candidates(setup):
+    layout, __, candidates, groups = setup
+    for group in groups.values():
+        envelope = lower_envelope(
+            candidates.usages, layout.center_costs(), group,
+            1.0 / DELTA, DELTA,
+        )
+        assert len(envelope) <= len(candidates)

@@ -1,0 +1,151 @@
+"""Reproduction of the paper's Example 2 (Section 5.5).
+
+A chain query T1 - T2 - T3, one million rows per table, join
+selectivities 1e-8, with T1 on storage resource 1 and everything else
+on resource 2.  Plan A scans T1 (reading all million tuples from
+resource 1); plan B starts from T3 and probes T1's index (ten thousand
+probes fetching ~100 tuples).  The ratio between the plans' resource-1
+usage is then ~10^4, making the Theorem 2 constant bound vacuous in
+practice.
+"""
+
+import math
+
+import pytest
+
+from repro.catalog.schema import Column, Index, Schema, Table
+from repro.catalog.statistics import (
+    Catalog,
+    CatalogStats,
+    ColumnStats,
+    IndexStats,
+    TableStats,
+)
+from repro.core.bounds import corollary_constant_bound, ratio_extremes
+from repro.core.feasible import FeasibleRegion
+from repro.optimizer import (
+    DEFAULT_PARAMETERS,
+    JoinPredicate,
+    QuerySpec,
+    TableRef,
+    candidate_plans,
+)
+from repro.storage import StorageLayout
+
+
+def _example2_catalog() -> Catalog:
+    """Three 1M-row tables with PK and FK indexes.
+
+    Rows are page-sized so tuple counts and page counts coincide — the
+    example reasons in tuples ("plan A will read all one million
+    tuples"), and this keeps the usage-vector ratio at the example's
+    10^4 scale.
+    """
+    schema = Schema()
+    stats = CatalogStats()
+    rows = 1_000_000
+    for name in ("T1", "T2", "T3"):
+        table = Table(
+            name,
+            (
+                Column("K", "integer", 4),
+                Column("F", "integer", 4),
+                Column("PAYLOAD", "char", 3892),
+            ),
+            primary_key=("K",),
+        )
+        schema.add_table(table)
+        stats.tables[name] = TableStats(
+            row_count=rows,
+            row_width=3900,
+            columns={
+                "K": ColumnStats(n_distinct=rows),
+                "F": ColumnStats(n_distinct=rows),
+            },
+        )
+        pk = Index(f"{name}_PK", name, ("K",), clustered=True, unique=True)
+        fk = Index(f"{name}_F", name, ("F",))
+        schema.add_index(pk)
+        schema.add_index(fk)
+        stats.indexes[pk.name] = IndexStats.derive(rows, 4, 1.0)
+        stats.indexes[fk.name] = IndexStats.derive(rows, 4, 0.0)
+    return Catalog(schema, stats)
+
+
+def _example2_query() -> QuerySpec:
+    # The ORDER BY on T1's payload forces plans to fetch actual T1
+    # tuples (the example's plans read/fetch tuples, not just keys).
+    return QuerySpec(
+        name="example2",
+        tables=(
+            TableRef("T1", "T1"),
+            TableRef("T2", "T2"),
+            TableRef("T3", "T3"),
+        ),
+        joins=(
+            JoinPredicate("T1", "K", "T2", "F", selectivity=1e-8),
+            JoinPredicate("T2", "K", "T3", "F", selectivity=1e-8),
+        ),
+        order_by=(("T1", "PAYLOAD"),),
+    )
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    catalog = _example2_catalog()
+    query = _example2_query()
+    # The example puts table T1 on storage resource 1 and all other
+    # tables AND ALL INDEXES on resource 2 — the split layout separates
+    # T1's data device from its index device the same way.
+    layout = StorageLayout.per_table_and_index(query.table_names())
+    region = FeasibleRegion(
+        layout.center_costs(), 100000.0, layout.variation_groups()
+    )
+    return candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region, cell_cap=None
+    ), layout
+
+
+def test_multiple_candidate_plans_exist(candidates):
+    plan_set, __ = candidates
+    assert len(plan_set) >= 2
+
+
+def test_t1_usage_ratio_spans_orders_of_magnitude(candidates):
+    """The heart of Example 2: corresponding usage elements of two
+    candidate plans differ by ~10^4 on T1's resource."""
+    plan_set, layout = candidates
+    dim = layout.space.index("dev.table.T1")
+    t1_usages = [plan.usage.values[dim] for plan in plan_set]
+    positive = [u for u in t1_usages if u > 0]
+    assert positive
+    spread = max(positive) / min(positive)
+    assert spread > 1_000  # the example's "quite large" ratio
+
+
+def test_constant_bound_is_effectively_vacuous(candidates):
+    """Theorem 2's bound exceeds 10^3 (or is infinite) — 'less and
+    less meaningful' as the paper puts it."""
+    plan_set, __ = candidates
+    bound = corollary_constant_bound(plan_set.usages)
+    assert bound > 1_000 or math.isinf(bound)
+
+
+def test_scan_vs_probe_pair_matches_narrative(candidates):
+    """There is a pair where one plan reads T1 wholesale and another
+    touches it via index probes using >100x less of T1's device."""
+    plan_set, layout = candidates
+    dim = layout.space.index("dev.table.T1")
+    scans = [
+        p for p in plan_set.plans if "TBSCAN(T1)" in p.signature
+    ]
+    probes = [
+        p
+        for p in plan_set.plans
+        if "IXPROBE(T1" in p.signature or "IXSCAN(T1" in p.signature
+    ]
+    assert scans and probes
+    best_probe = min(p.usage.values[dim] for p in probes)
+    heavy_scan = max(p.usage.values[dim] for p in scans)
+    r_max = heavy_scan / max(best_probe, 1e-12)
+    assert r_max > 100

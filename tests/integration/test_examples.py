@@ -1,0 +1,82 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_examples_directory_complete():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert scripts == [
+        "autonomic_loop.py",
+        "blackbox_characterization.py",
+        "cost_model_validation.py",
+        "quickstart.py",
+        "storage_migration.py",
+        "tpch_sensitivity.py",
+    ]
+
+
+def test_quickstart_runs():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "Worst-case global relative cost" in result.stdout
+    assert "10000.00" in result.stdout  # Example 1 at delta=100
+
+
+def test_tpch_sensitivity_runs_on_subset():
+    result = _run("tpch_sensitivity.py")
+    assert result.returncode == 0, result.stderr
+    assert "Figure 5" in result.stdout
+    assert "Figure 6" in result.stdout
+    assert "Figure 7" in result.stdout
+
+
+def test_blackbox_characterization_runs():
+    result = _run(
+        "blackbox_characterization.py", "--query", "Q14",
+        "--delta", "50",
+    )
+    assert result.returncode == 0, result.stderr
+    assert "usage-vector reconstruction" in result.stdout
+    assert "complementarity census" in result.stdout
+
+
+def test_storage_migration_runs():
+    result = _run("storage_migration.py")
+    assert result.returncode == 0, result.stderr
+    assert "regret" in result.stdout
+    assert "region-of-influence volume" in result.stdout
+
+
+def test_cost_model_validation_runs():
+    result = _run("cost_model_validation.py")
+    assert result.returncode == 0, result.stderr
+    assert "plan-level validation" in result.stdout
+    assert "two-parameter" in result.stdout
+
+
+def test_autonomic_loop_runs():
+    result = _run("autonomic_loop.py")
+    assert result.returncode == 0, result.stderr
+    assert "stale regret" in result.stdout
+    # During the rebuild the stale optimizer pays real regret.
+    assert "(stale plan still optimal)" in result.stdout
+
+
+def test_migration_rejects_bad_table():
+    result = _run("storage_migration.py", "--table", "NOPE")
+    assert result.returncode != 0

@@ -1,0 +1,105 @@
+"""Full 22-query figure runs asserting the paper's headline claims.
+
+This is the integration-level reproduction of Section 8.1's reading of
+Figures 5-7 over the complete TPC-H workload (coarser delta grid than
+the benchmark harness to keep runtime moderate).
+"""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments.worst_case import run_figure
+from repro.workloads import build_tpch_queries
+
+DELTAS = (1.0, 100.0, 10000.0)
+
+
+@pytest.fixture(scope="module")
+def figures():
+    catalog = build_tpch_catalog(100)
+    queries = build_tpch_queries(catalog)
+    return {
+        key: run_figure(key, catalog=catalog, queries=queries, deltas=DELTAS)
+        for key in ("shared", "split", "colocated")
+    }
+
+
+def test_all_figures_cover_22_queries(figures):
+    for result in figures.values():
+        assert len(result.curves) == 22
+
+
+def test_figure5_no_quadratic_growth(figures):
+    """Sec 8.1.1: single device -> every curve bounded by a constant."""
+    census = figures["shared"].growth_census()
+    assert census.get("quadratic", 0) == 0
+
+
+def test_figure6_majority_quadratic(figures):
+    """Sec 8.1.2: 18 of 22 queries grew quadratically; we require a
+    clear majority (the exact count depends on cost-model details)."""
+    census = figures["split"].growth_census()
+    assert census.get("quadratic", 0) >= 12
+
+
+def test_figure7_strictly_between(figures):
+    """Sec 8.1.3: results intermediate between Figures 5 and 6."""
+    q5 = figures["shared"].growth_census().get("quadratic", 0)
+    q7 = figures["colocated"].growth_census().get("quadratic", 0)
+    q6 = figures["split"].growth_census().get("quadratic", 0)
+    assert q5 <= q7 <= q6
+    assert q7 < q6  # colocating indexes removes some sensitivity
+
+
+def test_q20_among_most_sensitive_in_figure6(figures):
+    """Sec 8.1.2 singles out query 20 as the most sensitive.  Our
+    substrate's cost surface is not bit-identical to DB2's, so we
+    assert the robust form: Q20 ranks in the top 5 of 22 and sits
+    within a factor of 2 of the maximum."""
+    result = figures["split"]
+    ranked = sorted(result.curves, key=lambda c: -c.final_gtc)
+    names = [curve.query_name for curve in ranked]
+    assert names.index("Q20") < 5
+    q20 = result.by_query()["Q20"].final_gtc
+    assert q20 >= ranked[0].final_gtc / 2
+
+
+def test_split_dominates_colocated_per_query(figures):
+    """Every colocated cost vector is realizable in the split scenario
+    (set a table's data and index multipliers equal), so worst-case
+    GTC under 'split' dominates 'colocated' query by query.  No such
+    nesting holds against 'shared' (it frees the seek/transfer ratio
+    the locked scenarios fix), so the Figure-5 comparison is aggregate
+    only (see the growth-census tests)."""
+    split = figures["split"].by_query()
+    colocated = figures["colocated"].by_query()
+    for name, colocated_curve in colocated.items():
+        if colocated_curve.truncated or split[name].truncated:
+            continue  # truncated sets give lower bounds only
+        assert (
+            colocated_curve.final_gtc
+            <= split[name].final_gtc * (1 + 1e-9)
+        ), name
+
+
+def test_theorem1_envelope(figures):
+    for result in figures.values():
+        for curve in result.curves:
+            for point in curve.curve.points:
+                assert point.gtc <= point.delta**2 * (1 + 1e-6)
+
+
+def test_figure5_magnitudes_are_small_constants(figures):
+    """Paper: 'within a factor of 5 of optimal' — our substrate's plan
+    space is not bit-identical to DB2's, so we assert the same order of
+    magnitude (every query below 100, most below 10)."""
+    finals = sorted(
+        curve.final_gtc for curve in figures["shared"].curves
+    )
+    assert finals[-1] < 100
+    assert finals[len(finals) // 2] < 10  # median under 10
+
+
+def test_figure6_magnitudes_reach_many_orders(figures):
+    split = figures["split"]
+    assert split.max_final_gtc() > 1e4

@@ -1,0 +1,90 @@
+"""Tests for the optimizer black-box facades."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.core.blackbox import BlackBoxOptimizer
+from repro.core.feasible import FeasibleRegion
+from repro.optimizer.blackbox import CandidateBackedBlackBox, OptimizerBlackBox
+from repro.optimizer.config import DEFAULT_PARAMETERS
+from repro.optimizer.parametric import CandidateSet, candidate_plans
+from repro.optimizer.query import (
+    JoinPredicate,
+    LocalPredicate,
+    QuerySpec,
+    TableRef,
+)
+from repro.storage import StorageLayout
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def setup(catalog):
+    query = QuerySpec(
+        name="bb",
+        tables=(TableRef("O", "ORDERS"), TableRef("L", "LINEITEM")),
+        joins=(JoinPredicate("O", "O_ORDERKEY", "L", "L_ORDERKEY"),),
+        predicates=(LocalPredicate("L", 0.01, "L_SHIPDATE"),),
+    )
+    layout = StorageLayout.shared_device(query.table_names())
+    region = FeasibleRegion(
+        layout.center_costs(), 100.0, layout.independent_groups()
+    )
+    candidates = candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region, cell_cap=None
+    )
+    return query, layout, region, candidates
+
+
+def test_honest_box_conforms_to_protocol(catalog, setup):
+    query, layout, __, __ = setup
+    box = OptimizerBlackBox(query, catalog, DEFAULT_PARAMETERS, layout)
+    assert isinstance(box, BlackBoxOptimizer)
+    choice = box.optimize(layout.center_costs())
+    assert choice.total_cost > 0
+    assert box.call_count == 1
+
+
+def test_fast_box_matches_honest_box_in_region(catalog, setup):
+    query, layout, region, candidates = setup
+    honest = OptimizerBlackBox(query, catalog, DEFAULT_PARAMETERS, layout)
+    fast = CandidateBackedBlackBox(candidates)
+    rng = np.random.default_rng(11)
+    for cost in region.sample(rng, 6):
+        honest_choice = honest.optimize(cost)
+        fast_choice = fast.optimize(cost)
+        # Same optimal total cost; signatures agree unless two plans
+        # tie exactly.
+        assert fast_choice.total_cost == pytest.approx(
+            honest_choice.total_cost, rel=1e-9
+        )
+        assert fast_choice.signature == honest_choice.signature
+
+
+def test_fast_box_ground_truth_access(setup):
+    __, __, __, candidates = setup
+    fast = CandidateBackedBlackBox(candidates)
+    signature = candidates.signatures[0]
+    assert fast.usage_of(signature) is candidates.plans[0].usage
+    with pytest.raises(KeyError):
+        fast.usage_of("NOPE")
+
+
+def test_fast_box_rejects_empty_set(setup):
+    __, __, region, __ = setup
+    empty = CandidateSet("q", [], region, truncated=False)
+    with pytest.raises(ValueError):
+        CandidateBackedBlackBox(empty)
+
+
+def test_call_counting(setup):
+    __, layout, __, candidates = setup
+    fast = CandidateBackedBlackBox(candidates)
+    for _ in range(3):
+        fast.optimize(layout.center_costs())
+    assert fast.call_count == 3

@@ -1,0 +1,64 @@
+"""Tests for repro.optimizer.config (the Section 7.3 parameter table)."""
+
+import pytest
+
+from repro.optimizer.config import DEFAULT_PARAMETERS, SystemParameters
+
+
+def test_default_parameters_reproduce_paper_table():
+    """The exact Section 7.3 table from the paper (TAB-PARAMS)."""
+    expected = [
+        ("DB2_EXTENDED_OPTIMIZATION", "YES"),
+        ("DB2_ANTIJOIN", "Y"),
+        ("DB2_CORRELATED_PREDICATES", "Y"),
+        ("DB2_NEW_CORR_SQ_FF", "Y"),
+        ("DB2_VECTOR", "Y"),
+        ("DB2_HASH_JOIN", "Y"),
+        ("DB2_BINSORT", "Y"),
+        ("INTRA_PARALLEL", "YES"),
+        ("FEDERATED", "NO"),
+        ("DFT_DEGREE", "32"),
+        ("AVG_APPLS", "1"),
+        ("LOCKLIST", "16384"),
+        ("DFT_QUERYOPT", "7"),
+        ("OPT_BUFFPAGE", "640000"),
+        ("OPT_SORTHEAP", "128000"),
+    ]
+    assert DEFAULT_PARAMETERS.as_db2_table() == expected
+
+
+def test_buffer_pool_is_2_5_gb():
+    """Section 7.3: db2fopt faked a 2.5 GB buffer pool."""
+    assert DEFAULT_PARAMETERS.bufferpool_bytes == 640_000 * 4096
+    assert DEFAULT_PARAMETERS.bufferpool_bytes == pytest.approx(
+        2.5 * 1024**3, rel=0.05
+    )
+
+
+def test_sort_heap_is_512_mb():
+    assert DEFAULT_PARAMETERS.sortheap_bytes == pytest.approx(
+        512 * 1024**2, rel=0.05
+    )
+
+
+def test_residency_budget_below_buffer_pool():
+    assert (
+        DEFAULT_PARAMETERS.bufferpool_resident_pages()
+        < DEFAULT_PARAMETERS.opt_buffpage
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SystemParameters(opt_buffpage=0)
+    with pytest.raises(ValueError):
+        SystemParameters(prefetch_extent=0)
+    with pytest.raises(ValueError):
+        SystemParameters(sort_merge_fanin=1)
+
+
+def test_flags_render_as_db2_spellings():
+    params = SystemParameters(hash_join=False, federated=True)
+    table = dict(params.as_db2_table())
+    assert table["DB2_HASH_JOIN"] == "N"
+    assert table["FEDERATED"] == "YES"

@@ -1,0 +1,207 @@
+"""Tests for the operator cost formulas."""
+
+import math
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.optimizer.config import DEFAULT_PARAMETERS, SystemParameters
+from repro.optimizer.operators import CostModel, yao_pages
+from repro.storage.layout import ObjectKey
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(1)
+
+
+@pytest.fixture(scope="module")
+def costs(catalog):
+    return CostModel(catalog, DEFAULT_PARAMETERS)
+
+
+class TestYao:
+    def test_zero_fetches(self):
+        assert yao_pages(100, 10, 0) == 0.0
+
+    def test_single_fetch_touches_one_page(self):
+        assert yao_pages(100, 10, 1) == pytest.approx(1.0, rel=0.01)
+
+    def test_many_fetches_saturate_at_page_count(self):
+        assert yao_pages(100, 10, 1_000_000) == pytest.approx(100.0)
+
+    def test_monotone_in_k(self):
+        previous = 0.0
+        for k in (1, 10, 100, 1000, 10000):
+            current = yao_pages(1000, 20, k)
+            assert current >= previous
+            previous = current
+
+    def test_fewer_than_k_for_moderate_k(self):
+        # Some fetches land on the same page.
+        assert yao_pages(100, 10, 200) < 200
+
+    def test_empty_table(self):
+        assert yao_pages(0, 10, 5) == 0.0
+
+
+class TestTableScan:
+    def test_charges_full_pages_sequentially(self, catalog, costs):
+        result = costs.table_scan("ORDERS", n_predicates=1, output_rows=100.0)
+        pages = catalog.n_pages("ORDERS")
+        key = ObjectKey.table("ORDERS")
+        seeks, read = result.account.io[key]
+        assert read == pages
+        assert seeks == math.ceil(pages / DEFAULT_PARAMETERS.prefetch_extent)
+        assert result.rows == 100.0
+
+    def test_cpu_scales_with_rows_and_predicates(self, catalog, costs):
+        no_pred = costs.table_scan("ORDERS", 0, 1.0)
+        two_pred = costs.table_scan("ORDERS", 2, 1.0)
+        rows = catalog.row_count("ORDERS")
+        assert (
+            two_pred.account.cpu_instructions
+            - no_pred.account.cpu_instructions
+        ) == pytest.approx(rows * 2 * DEFAULT_PARAMETERS.cpu_per_predicate)
+
+
+class TestIndexScan:
+    def test_index_only_touches_no_table_pages(self, costs):
+        result = costs.index_scan(
+            "ORDERS", "O_PK", 0.1, 0, 1000.0, index_only=True
+        )
+        assert ObjectKey.table("ORDERS") not in result.account.io
+        assert ObjectKey.index("ORDERS") in result.account.io
+
+    def test_clustered_scan_cheaper_than_unclustered(self, costs):
+        clustered = costs.index_scan("ORDERS", "O_PK", 0.1, 0, 1000.0)
+        unclustered = costs.index_scan("ORDERS", "O_OD", 0.1, 0, 1000.0)
+        clustered_io = clustered.account.io[ObjectKey.table("ORDERS")]
+        unclustered_io = unclustered.account.io[ObjectKey.table("ORDERS")]
+        assert clustered_io[0] < unclustered_io[0]  # far fewer seeks
+
+    def test_leaf_pages_scale_with_selectivity(self, catalog, costs):
+        small = costs.index_scan("LINEITEM", "L_SD", 0.01, 0, 1.0)
+        large = costs.index_scan("LINEITEM", "L_SD", 0.5, 0, 1.0)
+        key = ObjectKey.index("LINEITEM")
+        assert small.account.io[key][1] < large.account.io[key][1]
+
+    def test_selectivity_validation(self, costs):
+        with pytest.raises(ValueError):
+            costs.index_scan("ORDERS", "O_PK", 0.0, 0, 1.0)
+        with pytest.raises(ValueError):
+            costs.index_scan("ORDERS", "O_PK", 1.5, 0, 1.0)
+
+
+class TestIndexProbes:
+    def test_resident_index_probes_capped_by_leaf_count(self, catalog, costs):
+        # NATION's index is tiny: a million probes must not charge a
+        # million page reads.
+        account = costs.index_probes("NATION", "N_PK", 1e6, 1.0)
+        seeks, pages = account.io[ObjectKey.index("NATION")]
+        assert pages < 100
+
+    def test_huge_index_charges_per_probe(self, catalog):
+        # Shrink the buffer pool so LINEITEM's index cannot stay
+        # resident (at SF 1 it would fit the default 2.5 GB pool).
+        params = SystemParameters(opt_buffpage=1000)
+        tight = CostModel(catalog, params)
+        account = tight.index_probes("LINEITEM", "L_PK", 1e6, 1.0,
+                                     index_only=True)
+        __, pages = account.io[ObjectKey.index("LINEITEM")]
+        assert pages >= 1e6  # at least one uncached level per probe
+
+    def test_index_only_skips_table(self, costs):
+        account = costs.index_probes(
+            "ORDERS", "O_PK", 1000.0, 1.0, index_only=True
+        )
+        assert ObjectKey.table("ORDERS") not in account.io
+
+    def test_matches_drive_table_fetches(self, costs):
+        few = costs.index_probes("ORDERS", "O_PK", 1000.0, 1.0)
+        many = costs.index_probes("ORDERS", "O_PK", 1000.0, 50.0)
+        key = ObjectKey.table("ORDERS")
+        assert many.io[key][1] > few.io[key][1]
+
+    def test_validation(self, costs):
+        with pytest.raises(ValueError):
+            costs.index_probes("ORDERS", "O_PK", -1.0, 1.0)
+
+
+class TestRescans:
+    def test_resident_inner_pays_io_once(self, catalog, costs):
+        account = costs.rescans("NATION", n_probes=1000.0, n_predicates=0)
+        seeks, pages = account.io[ObjectKey.table("NATION")]
+        assert pages == catalog.n_pages("NATION")
+        # CPU still paid per probe.
+        assert account.cpu_instructions == pytest.approx(
+            1000.0 * 25 * DEFAULT_PARAMETERS.cpu_per_tuple
+        )
+
+    def test_nonresident_inner_pays_io_every_time(self, catalog):
+        params = SystemParameters(opt_buffpage=1000)
+        tight = CostModel(catalog, params)
+        account = tight.rescans("LINEITEM", n_probes=3.0, n_predicates=0)
+        __, pages = account.io[ObjectKey.table("LINEITEM")]
+        assert pages == pytest.approx(3 * catalog.n_pages("LINEITEM"))
+
+
+class TestSort:
+    def test_in_memory_sort_has_no_io(self, costs):
+        account = costs.sort(rows=1000.0, width=32.0)
+        assert not account.io
+        assert account.cpu_instructions > 0
+
+    def test_external_sort_spills_to_temp(self, costs):
+        account = costs.sort(rows=5e8, width=64.0)
+        assert ObjectKey.temp() in account.io
+        seeks, pages = account.io[ObjectKey.temp()]
+        # Writes + reads of the whole input at least once.
+        assert pages >= 2 * costs.pages_for(5e8, 64.0)
+
+    def test_zero_rows_is_free(self, costs):
+        account = costs.sort(0.0, 32.0)
+        assert account.cpu_instructions == 0
+        assert not account.io
+
+    def test_more_passes_for_larger_inputs(self, costs):
+        small = costs.sort(5e8, 64.0).io[ObjectKey.temp()][1]
+        params = SystemParameters(sort_merge_fanin=2, opt_sortheap=1000)
+        tight = CostModel(costs.catalog, params)
+        large = tight.sort(5e8, 64.0).io[ObjectKey.temp()][1]
+        assert large > small  # more merge passes with tiny heap/fanin
+
+
+class TestHashJoin:
+    def test_in_memory_build_no_temp(self, costs):
+        account = costs.hash_join(1e5, 32.0, 1e6, 32.0, 1e6)
+        assert ObjectKey.temp() not in account.io
+
+    def test_oversized_build_partitions_to_temp(self, costs):
+        account = costs.hash_join(1e9, 64.0, 1e6, 32.0, 1e6)
+        assert ObjectKey.temp() in account.io
+
+    def test_cpu_scales_with_both_inputs(self, costs):
+        small = costs.hash_join(1e3, 32.0, 1e3, 32.0, 1e3)
+        large = costs.hash_join(1e6, 32.0, 1e6, 32.0, 1e3)
+        assert large.cpu_instructions > small.cpu_instructions
+
+
+class TestAggregateAndMerge:
+    def test_merge_join_is_cpu_only(self, costs):
+        account = costs.merge_join(1e6, 1e6, 1e6)
+        assert not account.io
+        assert account.cpu_instructions > 0
+
+    def test_aggregate_spills_for_huge_group_counts(self, costs):
+        in_memory = costs.aggregate(1e6, 32.0, 100.0)
+        spilling = costs.aggregate(1e9, 32.0, 5e8)
+        assert ObjectKey.temp() not in in_memory.io
+        assert ObjectKey.temp() in spilling.io
+
+
+def test_pages_for_rounds_up(costs):
+    assert costs.pages_for(1.0, 100.0) == 1
+    assert costs.pages_for(0.0, 100.0) == 0.0
+    per_page = (4096 * 0.96) // 100
+    assert costs.pages_for(per_page + 1, 100.0) == 2

@@ -1,0 +1,74 @@
+"""Tests for plan nodes and signatures."""
+
+from repro.optimizer.plans import (
+    AggregateNode,
+    HashJoinNode,
+    IndexProbeNode,
+    IndexScanNode,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    SortNode,
+    TableScanNode,
+)
+
+
+def _scan(alias="L"):
+    return TableScanNode(alias, "LINEITEM")
+
+
+def test_leaf_signatures():
+    assert _scan().signature() == "TBSCAN(L)"
+    ix = IndexScanNode("L", "LINEITEM", "L_SD", "L_SHIPDATE")
+    assert ix.signature() == "IXSCAN(L,L_SD)"
+    ix_only = IndexScanNode("L", "LINEITEM", "L_SD", "L_SHIPDATE", True)
+    assert ix_only.signature() == "IXSCAN(L,L_SD,IXONLY)"
+    probe = IndexProbeNode("P", "PART", "P_PK", "P_PARTKEY")
+    assert probe.signature() == "IXPROBE(P,P_PK)"
+
+
+def test_join_signatures_are_structural():
+    nl = NestedLoopJoinNode(
+        _scan(), IndexProbeNode("P", "PART", "P_PK", "P_PARTKEY")
+    )
+    assert nl.signature() == "NLJOIN(TBSCAN(L),IXPROBE(P,P_PK))"
+    hj = HashJoinNode(_scan("A"), _scan("B"))
+    assert hj.signature() == "HSJOIN(TBSCAN(A),TBSCAN(B))"
+    # Build/probe roles matter: swapping sides changes identity.
+    assert hj.signature() != HashJoinNode(_scan("B"), _scan("A")).signature()
+
+
+def test_sort_and_aggregate_signatures():
+    sort = SortNode(_scan(), (("L", "L_ORDERKEY"),))
+    assert sort.signature() == "SORT(TBSCAN(L),L.L_ORDERKEY)"
+    agg = AggregateNode(sort, (("L", "L_ORDERKEY"),))
+    assert agg.signature() == "GRPBY(SORT(TBSCAN(L),L.L_ORDERKEY))"
+
+
+def test_merge_join_children_and_aliases():
+    left = SortNode(_scan("A"), (("A", "K"),))
+    right = _scan("B")
+    merge = MergeJoinNode(left, right, ("A", "K"), ("B", "F"))
+    assert merge.children() == (left, right)
+    assert merge.aliases() == frozenset({"A", "B"})
+
+
+def test_aliases_collects_subtree():
+    nl = NestedLoopJoinNode(
+        HashJoinNode(_scan("A"), _scan("B")),
+        IndexProbeNode("C", "PART", "P_PK", "P_PARTKEY"),
+    )
+    assert nl.aliases() == frozenset({"A", "B", "C"})
+
+
+def test_walk_preorder():
+    hj = HashJoinNode(_scan("A"), _scan("B"))
+    nodes = list(hj.walk())
+    assert nodes[0] is hj
+    assert len(nodes) == 3
+
+
+def test_identical_structures_share_signature():
+    a = HashJoinNode(_scan("A"), _scan("B"))
+    b = HashJoinNode(_scan("A"), _scan("B"))
+    assert a.signature() == b.signature()
+    assert a == b  # frozen dataclasses compare structurally

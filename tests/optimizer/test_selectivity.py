@@ -1,0 +1,186 @@
+"""Tests for repro.optimizer.selectivity."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.optimizer.query import (
+    JoinPredicate,
+    LocalPredicate,
+    QuerySpec,
+    TableRef,
+)
+from repro.optimizer.selectivity import CardinalityModel
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(1)
+
+
+def _q3ish(catalog):
+    query = QuerySpec(
+        name="q3ish",
+        tables=(
+            TableRef("C", "CUSTOMER"),
+            TableRef("O", "ORDERS"),
+            TableRef("L", "LINEITEM"),
+        ),
+        joins=(
+            JoinPredicate("C", "C_CUSTKEY", "O", "O_CUSTKEY"),
+            JoinPredicate("O", "O_ORDERKEY", "L", "L_ORDERKEY"),
+        ),
+        predicates=(
+            LocalPredicate("C", 0.2, "C_MKTSEGMENT"),
+            LocalPredicate("O", 0.5, "O_ORDERDATE"),
+        ),
+        group_by=(("C", "C_MKTSEGMENT"),),
+    )
+    return CardinalityModel(query, catalog)
+
+
+def test_base_and_filtered_rows(catalog):
+    model = _q3ish(catalog)
+    assert model.base_rows("C") == 150_000
+    assert model.filtered_rows("C") == pytest.approx(30_000)
+    assert model.local_selectivity("O") == 0.5
+    assert model.local_selectivity("L") == 1.0
+
+
+def test_unknown_table_rejected_early(catalog):
+    query = QuerySpec("bad", (TableRef("X", "NOPE"),))
+    with pytest.raises(KeyError):
+        CardinalityModel(query, catalog)
+
+
+def test_fk_join_selectivity_is_one_over_pk_side(catalog):
+    model = _q3ish(catalog)
+    edge = model.query.joins[0]  # C_CUSTKEY = O_CUSTKEY
+    assert model.join_selectivity(edge) == pytest.approx(1 / 150_000)
+
+
+def test_explicit_join_selectivity_wins(catalog):
+    query = QuerySpec(
+        "q",
+        (TableRef("A", "ORDERS"), TableRef("B", "LINEITEM")),
+        joins=(
+            JoinPredicate(
+                "A", "O_ORDERKEY", "B", "L_ORDERKEY", selectivity=0.123
+            ),
+        ),
+    )
+    model = CardinalityModel(query, catalog)
+    assert model.join_selectivity(query.joins[0]) == 0.123
+
+
+def test_fk_join_preserves_child_cardinality(catalog):
+    """|ORDERS join LINEITEM| ~= |LINEITEM| for a key/FK join."""
+    model = _q3ish(catalog)
+    rows = CardinalityModel(
+        QuerySpec(
+            "fk",
+            (TableRef("O", "ORDERS"), TableRef("L", "LINEITEM")),
+            joins=(JoinPredicate("O", "O_ORDERKEY", "L", "L_ORDERKEY"),),
+        ),
+        catalog,
+    ).join_rows(("O", "L"))
+    assert rows == pytest.approx(
+        catalog.row_count("LINEITEM"), rel=0.01
+    )
+
+
+def test_join_rows_applies_local_selectivities(catalog):
+    model = _q3ish(catalog)
+    all_rows = model.join_rows(("C", "O", "L"))
+    no_filter_model = CardinalityModel(
+        QuerySpec(
+            "nofilter",
+            model.query.tables,
+            joins=model.query.joins,
+        ),
+        catalog,
+    )
+    unfiltered = no_filter_model.join_rows(("C", "O", "L"))
+    assert all_rows == pytest.approx(unfiltered * 0.2 * 0.5, rel=1e-6)
+
+
+def test_join_rows_monotone_under_subset_growth_for_filters(catalog):
+    """Adding a selective join never increases estimated cardinality
+    beyond the cross-product bound."""
+    model = _q3ish(catalog)
+    ol = model.join_rows(("O", "L"))
+    col = model.join_rows(("C", "O", "L"))
+    assert col <= ol * model.filtered_rows("C")
+
+
+def test_join_rows_floor_at_one(catalog):
+    query = QuerySpec(
+        "tiny",
+        (TableRef("A", "REGION"), TableRef("B", "NATION")),
+        joins=(
+            JoinPredicate(
+                "A", "R_REGIONKEY", "B", "N_REGIONKEY", selectivity=1e-12
+            ),
+        ),
+    )
+    model = CardinalityModel(query, catalog)
+    assert model.join_rows(("A", "B")) == 1.0
+
+
+def test_matches_per_probe_identity(catalog):
+    model = _q3ish(catalog)
+    outer = ("C", "O")
+    combined = model.join_rows(("C", "O", "L"))
+    assert model.matches_per_probe(outer, "L") == pytest.approx(
+        combined / model.join_rows(outer)
+    )
+
+
+def test_subset_cache_consistency(catalog):
+    model = _q3ish(catalog)
+    first = model.join_rows(("C", "O"))
+    second = model.join_rows(("O", "C"))  # same frozenset
+    assert first == second
+
+
+def test_group_count_capped_by_rows_and_distincts(catalog):
+    model = _q3ish(catalog)
+    groups = model.group_count()
+    assert groups <= 5  # C_MKTSEGMENT has 5 values
+    assert model.output_rows() == groups
+
+
+def test_output_rows_without_grouping(catalog):
+    query = QuerySpec(
+        "plain",
+        (TableRef("O", "ORDERS"), TableRef("L", "LINEITEM")),
+        joins=(JoinPredicate("O", "O_ORDERKEY", "L", "L_ORDERKEY"),),
+    )
+    model = CardinalityModel(query, catalog)
+    assert model.output_rows() == model.join_rows(("O", "L"))
+
+
+def test_carried_width_clamped(catalog):
+    model = _q3ish(catalog)
+    for alias in ("C", "O", "L"):
+        width = model.carried_width(alias)
+        assert 8 <= width <= 64
+    assert model.tuple_width(("C", "O")) == model.carried_width(
+        "C"
+    ) + model.carried_width("O")
+
+
+def test_carried_width_explicit_override(catalog):
+    query = QuerySpec(
+        "w",
+        (TableRef("O", "ORDERS"),),
+        carried_width={"O": 120},
+    )
+    model = CardinalityModel(query, catalog)
+    assert model.carried_width("O") == 120
+
+
+def test_empty_subset_rejected(catalog):
+    model = _q3ish(catalog)
+    with pytest.raises(ValueError):
+        model.join_rows(())

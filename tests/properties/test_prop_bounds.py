@@ -1,0 +1,114 @@
+"""Property-based tests for the paper's theorems (hypothesis).
+
+These treat Theorems 1 and 2 and Lemma 1 as executable invariants over
+randomly generated usage/cost vectors.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    lemma1_holds,
+    ratio_extremes,
+    theorem1_interval,
+    theorem2_interval,
+)
+from repro.core.costmodel import relative_total_cost
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+DIMS = st.integers(min_value=1, max_value=6)
+
+
+def _space(n):
+    return ResourceSpace.from_names([f"r{i}" for i in range(n)])
+
+
+@st.composite
+def usage_pair_and_cost(draw, allow_zero=True):
+    n = draw(DIMS)
+    space = _space(n)
+    low = 0.0 if allow_zero else 0.01
+    a = draw(
+        st.lists(
+            st.floats(low, 100.0, allow_nan=False), min_size=n, max_size=n
+        )
+    )
+    b = draw(
+        st.lists(
+            st.floats(0.01, 100.0, allow_nan=False), min_size=n, max_size=n
+        )
+    )
+    c = draw(
+        st.lists(
+            st.floats(0.001, 1000.0, allow_nan=False, exclude_min=True),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return (
+        UsageVector(space, a),
+        UsageVector(space, b),
+        CostVector(space, c),
+    )
+
+
+@given(usage_pair_and_cost(), st.floats(1.0, 100.0))
+@settings(max_examples=200, deadline=None)
+def test_theorem1_invariant(triple, delta):
+    """Perturbing each cost by <= delta moves T_rel by <= delta**2."""
+    usage_a, usage_b, cost = triple
+    gamma = relative_total_cost(usage_a, usage_b, cost)
+    rng = np.random.default_rng(0)
+    factors = delta ** rng.uniform(-1, 1, len(cost))
+    perturbed = cost.perturbed(factors)
+    observed = relative_total_cost(usage_a, usage_b, perturbed)
+    low, high = theorem1_interval(gamma, delta)
+    assert low * (1 - 1e-9) <= observed <= high * (1 + 1e-9)
+
+
+@given(usage_pair_and_cost(allow_zero=False))
+@settings(max_examples=200, deadline=None)
+def test_theorem2_invariant(triple):
+    """For strictly positive vectors T_rel stays within [r_min, r_max]
+    under EVERY positive cost vector."""
+    usage_a, usage_b, cost = triple
+    low, high = theorem2_interval(usage_a, usage_b)
+    observed = relative_total_cost(usage_a, usage_b, cost)
+    assert low * (1 - 1e-9) <= observed <= high * (1 + 1e-9)
+
+
+@given(usage_pair_and_cost())
+@settings(max_examples=200, deadline=None)
+def test_ratio_extremes_order(triple):
+    usage_a, usage_b, __ = triple
+    r_min, r_max = ratio_extremes(usage_a, usage_b)
+    assert r_min <= r_max
+
+
+@given(usage_pair_and_cost(allow_zero=False))
+@settings(max_examples=100, deadline=None)
+def test_ratio_extremes_antisymmetry(triple):
+    """r_max(a, b) == 1 / r_min(b, a) for positive vectors."""
+    usage_a, usage_b, __ = triple
+    r_max_ab = ratio_extremes(usage_a, usage_b)[1]
+    r_min_ba = ratio_extremes(usage_b, usage_a)[0]
+    assert abs(r_max_ab * r_min_ba - 1.0) < 1e-9
+
+
+@given(
+    st.floats(0.01, 100.0),
+    st.floats(0.01, 100.0),
+    st.floats(0.01, 100.0),
+    st.floats(0.01, 100.0),
+    st.floats(0.0, 100.0),
+    st.floats(0.0, 100.0),
+)
+@settings(max_examples=300, deadline=None)
+def test_lemma1_property(a1, b1, a2, b2, c1, c2):
+    if a2 / b2 > a1 / b1:
+        (a1, b1), (a2, b2) = (a2, b2), (a1, b1)
+    assert lemma1_holds(a1, b1, a2, b2, c1, c2)

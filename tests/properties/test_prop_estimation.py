@@ -1,0 +1,75 @@
+"""Property-based tests for least-squares usage estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import gaussian_solve, least_squares_usage
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+
+@st.composite
+def usage_and_samples(draw):
+    n = draw(st.integers(1, 6))
+    space = ResourceSpace.from_names([f"r{i}" for i in range(n)])
+    truth = UsageVector(
+        space,
+        draw(st.lists(st.floats(0.0, 1e4), min_size=n, max_size=n)),
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    samples = []
+    for _ in range(2 * n + 2):
+        cost = CostVector(space, rng.uniform(0.1, 100.0, n))
+        samples.append((cost, truth.dot(cost)))
+    return space, truth, samples
+
+
+@given(usage_and_samples())
+@settings(max_examples=150, deadline=None)
+def test_exact_samples_recover_usage(setup):
+    """Clean samples from a linear model identify U_p exactly
+    (Section 6.1.1's premise)."""
+    space, truth, samples = setup
+    estimate = least_squares_usage(space, samples)
+    assert estimate.values == pytest.approx(
+        truth.values, rel=1e-6, abs=1e-6 * max(1.0, truth.values.max())
+    )
+
+
+@given(usage_and_samples(), st.floats(0.0, 1e-4))
+@settings(max_examples=80, deadline=None)
+def test_small_noise_small_error(setup, noise):
+    """Prediction errors degrade gracefully with quantization noise."""
+    space, truth, samples = setup
+    rng = np.random.default_rng(1)
+    noisy = [
+        (cost, total * (1.0 + rng.uniform(-noise, noise)))
+        for cost, total in samples
+    ]
+    estimate = least_squares_usage(space, noisy)
+    probe = CostVector(space, rng.uniform(0.1, 100.0, space.dimension))
+    predicted = estimate.dot(probe)
+    actual = truth.dot(probe)
+    if actual > 0:
+        assert predicted == pytest.approx(actual, rel=max(100 * noise, 1e-6))
+
+
+@st.composite
+def square_system(draw):
+    n = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n)) + np.eye(n) * (n + 1)
+    x = rng.normal(size=n)
+    return a, x
+
+
+@given(square_system())
+@settings(max_examples=150, deadline=None)
+def test_gaussian_solve_roundtrip(system):
+    a, x = system
+    b = a @ x
+    assert gaussian_solve(a, b) == pytest.approx(x, rel=1e-6, abs=1e-8)

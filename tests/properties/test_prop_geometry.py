@@ -1,0 +1,130 @@
+"""Property-based tests for switchover geometry and convexity."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.costmodel import optimal_plan_index, relative_total_cost
+from repro.core.geometry import Side, SwitchoverPlane
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+
+DIMS = st.integers(min_value=2, max_value=5)
+
+
+def _space(n):
+    return ResourceSpace.from_names([f"r{i}" for i in range(n)])
+
+
+@st.composite
+def plan_pair_and_cost(draw):
+    n = draw(DIMS)
+    space = _space(n)
+    a = draw(st.lists(st.floats(0.0, 50.0), min_size=n, max_size=n))
+    b = draw(st.lists(st.floats(0.0, 50.0), min_size=n, max_size=n))
+    assume(a != b)
+    c = draw(
+        st.lists(
+            st.floats(0.01, 100.0, exclude_min=True),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return UsageVector(space, a), UsageVector(space, b), CostVector(space, c)
+
+
+@given(plan_pair_and_cost())
+@settings(max_examples=200, deadline=None)
+def test_side_agrees_with_relative_cost(triple):
+    """A-dominated side <=> plan a strictly more expensive."""
+    usage_a, usage_b, cost = triple
+    plane = SwitchoverPlane(usage_a, usage_b)
+    side = plane.side(cost, rel_tol=1e-12)
+    cost_a = usage_a.dot(cost)
+    cost_b = usage_b.dot(cost)
+    if side == Side.A_DOMINATED:
+        assert cost_a > cost_b
+    elif side == Side.B_DOMINATED:
+        assert cost_b > cost_a
+    else:
+        assert abs(cost_a - cost_b) <= 1e-9 * max(cost_a, cost_b, 1e-300)
+
+
+@given(plan_pair_and_cost(), st.floats(1e-6, 1e6, exclude_min=True))
+@settings(max_examples=150, deadline=None)
+def test_side_scale_invariance(triple, k):
+    """Regions of influence are cones (Observation 1)."""
+    usage_a, usage_b, cost = triple
+    plane = SwitchoverPlane(usage_a, usage_b)
+    assert plane.side(cost) == plane.side(cost.scaled(k))
+
+
+@st.composite
+def plan_set_and_two_costs(draw):
+    n = draw(DIMS)
+    space = _space(n)
+    m = draw(st.integers(2, 6))
+    plans = [
+        UsageVector(
+            space,
+            draw(st.lists(st.floats(0.01, 50.0), min_size=n, max_size=n)),
+        )
+        for _ in range(m)
+    ]
+    c1 = CostVector(
+        space,
+        draw(
+            st.lists(
+                st.floats(0.01, 100.0, exclude_min=True),
+                min_size=n, max_size=n,
+            )
+        ),
+    )
+    c2 = CostVector(
+        space,
+        draw(
+            st.lists(
+                st.floats(0.01, 100.0, exclude_min=True),
+                min_size=n, max_size=n,
+            )
+        ),
+    )
+    return plans, c1, c2
+
+
+@given(plan_set_and_two_costs(), st.floats(0.0, 1.0))
+@settings(max_examples=200, deadline=None)
+def test_observation3_convexity(setup, beta):
+    """A plan optimal at C1 and C2 is optimal at any convex combination."""
+    plans, c1, c2 = setup
+    index1 = optimal_plan_index(plans, c1)
+    index2 = optimal_plan_index(plans, c2)
+    assume(index1 == index2)
+    combined = c1.convex_combination(c2, beta)
+    winner = plans[index1]
+    best_total = min(p.dot(combined) for p in plans)
+    assert winner.dot(combined) <= best_total * (1 + 1e-9)
+
+
+@given(plan_pair_and_cost())
+@settings(max_examples=150, deadline=None)
+def test_trel_monotone_along_lines(triple):
+    """T_rel(a, b, .) is monotone along straight lines in cost space —
+    the fact behind Observation 2's vertex argument."""
+    usage_a, usage_b, cost = triple
+    assume(usage_b.dot(cost) > 0)
+    direction = np.abs(np.sin(np.arange(len(cost)) + 1.0)) + 0.1
+    space = cost.space
+    samples = []
+    for t in (0.0, 0.25, 0.5, 0.75, 1.0):
+        point = CostVector(space, cost.values + t * direction)
+        if usage_b.dot(point) == 0:
+            return
+        samples.append(relative_total_cost(usage_a, usage_b, point))
+    increasing = all(
+        b >= a - 1e-9 * max(abs(a), 1.0) for a, b in zip(samples, samples[1:])
+    )
+    decreasing = all(
+        b <= a + 1e-9 * max(abs(a), 1.0) for a, b in zip(samples, samples[1:])
+    )
+    assert increasing or decreasing

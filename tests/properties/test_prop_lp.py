@@ -1,0 +1,102 @@
+"""Property-based tests for the exact simplex vs scipy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lp import (
+    LPStatus,
+    feasible_point,
+    solve_lp_exact,
+    solve_lp_scipy,
+)
+
+
+@st.composite
+def lp_instance(draw):
+    n = draw(st.integers(1, 4))
+    m = draw(st.integers(1, 5))
+    c = draw(st.lists(st.integers(-5, 5), min_size=n, max_size=n))
+    a = [
+        draw(st.lists(st.integers(-4, 4), min_size=n, max_size=n))
+        for _ in range(m)
+    ]
+    b = draw(st.lists(st.integers(-3, 8), min_size=m, max_size=m))
+    return c, a, b
+
+
+@given(lp_instance())
+@settings(max_examples=150, deadline=None)
+def test_exact_simplex_agrees_with_scipy(instance):
+    c, a, b = instance
+    exact = solve_lp_exact(c, a, b)
+    approx = solve_lp_scipy(c, a, b)
+    assert exact.status == approx.status
+    if exact.is_optimal:
+        assert float(exact.objective) == pytest.approx(
+            approx.objective, abs=1e-6
+        )
+
+
+@given(lp_instance())
+@settings(max_examples=150, deadline=None)
+def test_exact_solution_is_feasible(instance):
+    c, a, b = instance
+    result = solve_lp_exact(c, a, b)
+    if not result.is_optimal:
+        return
+    x = result.x
+    assert all(value >= 0 for value in x)
+    for row, rhs in zip(a, b):
+        lhs = sum(coeff * value for coeff, value in zip(row, x))
+        assert lhs <= rhs
+    assert sum(ci * xi for ci, xi in zip(c, x)) == result.objective
+
+
+@st.composite
+def halfspace_box(draw):
+    n = draw(st.integers(1, 4))
+    m = draw(st.integers(1, 4))
+    rows = [
+        draw(st.lists(st.integers(-3, 3), min_size=n, max_size=n))
+        for _ in range(m)
+    ]
+    rhs = draw(st.lists(st.integers(-5, 5), min_size=m, max_size=m))
+    lo = [0.5] * n
+    hi = [4.0] * n
+    return rows, rhs, lo, hi
+
+
+@given(halfspace_box())
+@settings(max_examples=150, deadline=None)
+def test_feasible_point_satisfies_system(setup):
+    rows, rhs, lo, hi = setup
+    point = feasible_point(rows, rhs, lo, hi)
+    if point is None:
+        # Cross-check: the exact backend must agree it is infeasible.
+        assert feasible_point(rows, rhs, lo, hi, exact=True) is None
+        return
+    for low, value, high in zip(lo, point, hi):
+        assert low - 1e-9 <= value <= high + 1e-9
+    for row, bound in zip(rows, rhs):
+        lhs = sum(coeff * value for coeff, value in zip(row, point))
+        assert lhs >= bound - 1e-7
+
+
+@given(lp_instance())
+@settings(max_examples=50, deadline=None)
+def test_exact_simplex_deterministic(instance):
+    c, a, b = instance
+    first = solve_lp_exact(c, a, b)
+    second = solve_lp_exact(c, a, b)
+    assert first.status == second.status
+    assert first.x == second.x
+
+
+def test_unbounded_detected_consistently():
+    assert solve_lp_exact([1, 0], [[-1, -1]], [-1]).status == (
+        LPStatus.UNBOUNDED
+    )
+    assert solve_lp_scipy([1, 0], [[-1, -1]], [-1]).status == (
+        LPStatus.UNBOUNDED
+    )

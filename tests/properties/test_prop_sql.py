@@ -1,0 +1,113 @@
+"""Property-based tests for the SQL front end.
+
+Generates random SPJ statements over the TPC-H schema, renders them as
+SQL text, and checks that parse + translate recovers the intended
+structure (a render/parse round-trip at the join-graph level).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import build_tpch_catalog
+from repro.sql import parse_sql, sql_to_query
+
+CATALOG = build_tpch_catalog(1)
+
+#: (table, a filterable column) pairs used for generated predicates.
+_FILTER_COLUMNS = {
+    "CUSTOMER": "C_ACCTBAL",
+    "ORDERS": "O_ORDERDATE",
+    "LINEITEM": "L_QUANTITY",
+    "PART": "P_SIZE",
+    "SUPPLIER": "S_ACCTBAL",
+}
+
+#: FK edges of the TPC-H schema usable as join predicates.
+_EDGES = [
+    ("CUSTOMER", "C_CUSTKEY", "ORDERS", "O_CUSTKEY"),
+    ("ORDERS", "O_ORDERKEY", "LINEITEM", "L_ORDERKEY"),
+    ("PART", "P_PARTKEY", "LINEITEM", "L_PARTKEY"),
+    ("SUPPLIER", "S_SUPPKEY", "LINEITEM", "L_SUPPKEY"),
+]
+
+
+@st.composite
+def random_statement(draw):
+    n_edges = draw(st.integers(0, 3))
+    edges = draw(
+        st.permutations(_EDGES).map(lambda p: list(p)[:n_edges])
+    )
+    tables: list[str] = []
+    for left, __, right, __ in edges:
+        for table in (left, right):
+            if table not in tables:
+                tables.append(table)
+    if not tables:
+        tables = [draw(st.sampled_from(sorted(_FILTER_COLUMNS)))]
+    # Keep the join graph connected: drop edges whose tables are not
+    # linked to the first component.
+    connected = {tables[0]}
+    kept_edges = []
+    remaining = list(edges)
+    changed = True
+    while changed:
+        changed = False
+        for edge in list(remaining):
+            if edge[0] in connected or edge[2] in connected:
+                connected |= {edge[0], edge[2]}
+                kept_edges.append(edge)
+                remaining.remove(edge)
+                changed = True
+    tables = [t for t in tables if t in connected]
+    n_filters = draw(st.integers(0, len(tables)))
+    filtered = tables[:n_filters]
+    where = [
+        f"{left}.{lcol} = {right}.{rcol}"
+        for left, lcol, right, rcol in kept_edges
+    ]
+    for table in filtered:
+        column = _FILTER_COLUMNS[table]
+        value = draw(st.integers(1, 1000))
+        where.append(f"{table}.{column} < {value}")
+    sql = "SELECT * FROM " + ", ".join(tables)
+    if where:
+        sql += " WHERE " + " AND ".join(where)
+    return sql, len(kept_edges), len(filtered), tables
+
+
+@given(random_statement())
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_structure(case):
+    sql, n_joins, n_filters, tables = case
+    query = sql_to_query(sql, CATALOG)
+    assert len(query.joins) == n_joins
+    assert len(query.predicates) == n_filters
+    assert set(query.aliases) == set(tables)
+    if len(tables) > 1:
+        assert query.is_connected()
+
+
+@given(random_statement())
+@settings(max_examples=60, deadline=None)
+def test_parse_is_deterministic(case):
+    sql, *_ = case
+    first = parse_sql(sql)
+    second = parse_sql(sql)
+    assert first.predicates == second.predicates
+    assert first.tables == second.tables
+
+
+@given(random_statement())
+@settings(max_examples=30, deadline=None)
+def test_translated_queries_optimize(case):
+    from repro.optimizer import DEFAULT_PARAMETERS, optimize_scalar
+    from repro.storage import StorageLayout
+
+    sql, *_ = case
+    query = sql_to_query(sql, CATALOG)
+    layout = StorageLayout.shared_device(query.table_names())
+    plan = optimize_scalar(
+        query, CATALOG, DEFAULT_PARAMETERS, layout, layout.center_costs()
+    )
+    assert plan.node.aliases() == frozenset(query.aliases)

@@ -1,0 +1,74 @@
+"""Property-based tests for the worst-case sweep (Observation 2)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costmodel import global_relative_cost, optimal_plan_index
+from repro.core.feasible import FeasibleRegion
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector, UsageVector
+from repro.core.worstcase import worst_case_gtc
+
+
+@st.composite
+def sweep_setup(draw):
+    n = draw(st.integers(2, 4))
+    m = draw(st.integers(2, 6))
+    space = ResourceSpace.from_names([f"r{i}" for i in range(n)])
+    plans = [
+        UsageVector(
+            space,
+            draw(st.lists(st.floats(0.1, 100.0), min_size=n, max_size=n)),
+        )
+        for _ in range(m)
+    ]
+    center = CostVector(space, [1.0] * n)
+    delta = draw(st.sampled_from([2.0, 10.0, 50.0]))
+    return plans, FeasibleRegion(center, delta)
+
+
+@given(sweep_setup(), st.integers(0, 2**31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_vertex_maximum_dominates_interior_samples(setup, seed):
+    """Observation 2: no sampled interior point beats the vertex max."""
+    plans, region = setup
+    initial = plans[optimal_plan_index(plans, region.center)]
+    vertex_best = worst_case_gtc(initial, plans, region).gtc
+    rng = np.random.default_rng(seed)
+    for cost in region.sample(rng, 20):
+        assert global_relative_cost(initial, plans, cost) <= (
+            vertex_best * (1 + 1e-9)
+        )
+
+
+@given(sweep_setup())
+@settings(max_examples=80, deadline=None)
+def test_worst_case_bounded_by_theorem1(setup):
+    plans, region = setup
+    initial = plans[optimal_plan_index(plans, region.center)]
+    point = worst_case_gtc(initial, plans, region)
+    assert point.gtc <= region.delta**2 * (1 + 1e-9)
+    assert point.gtc >= 1.0 - 1e-9
+
+
+@given(sweep_setup())
+@settings(max_examples=60, deadline=None)
+def test_monotone_in_delta(setup):
+    plans, region = setup
+    initial = plans[optimal_plan_index(plans, region.center)]
+    smaller = worst_case_gtc(initial, plans, region.with_delta(2.0)).gtc
+    larger = worst_case_gtc(
+        initial, plans, region.with_delta(region.delta * 4)
+    ).gtc
+    assert larger >= smaller * (1 - 1e-9)
+
+
+@given(sweep_setup())
+@settings(max_examples=60, deadline=None)
+def test_worst_vertex_reproduces_reported_gtc(setup):
+    plans, region = setup
+    initial = plans[optimal_plan_index(plans, region.center)]
+    point = worst_case_gtc(initial, plans, region)
+    recomputed = global_relative_cost(initial, plans, point.worst_cost)
+    assert abs(recomputed - point.gtc) <= 1e-9 * max(point.gtc, 1.0)

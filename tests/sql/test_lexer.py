@@ -1,0 +1,73 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.sql.lexer import SqlLexError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("select FROM WhErE")
+    assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+    assert all(t.kind == "keyword" for t in tokens[:-1])
+
+
+def test_identifiers_uppercased():
+    assert values("lineitem L_shipdate") == ["LINEITEM", "L_SHIPDATE"]
+
+
+def test_numbers():
+    tokens = tokenize("42 3.14 .5")
+    assert [t.value for t in tokens[:-1]] == ["42", "3.14", ".5"]
+    assert all(t.kind == "number" for t in tokens[:-1])
+
+
+def test_qualified_name_dots_are_punct():
+    tokens = tokenize("L.L_SHIPDATE")
+    assert [t.kind for t in tokens[:-1]] == ["ident", "punct", "ident"]
+
+
+def test_strings_with_escapes():
+    tokens = tokenize("'BRAND#12' 'it''s'")
+    assert tokens[0].value == "BRAND#12"
+    assert tokens[1].value == "it's"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SqlLexError, match="unterminated"):
+        tokenize("'oops")
+
+
+def test_operators_longest_match():
+    tokens = tokenize("<= >= <> != = < >")
+    assert [t.value for t in tokens[:-1]] == [
+        "<=", ">=", "<>", "!=", "=", "<", ">"
+    ]
+    assert all(t.kind == "op" for t in tokens[:-1])
+
+
+def test_punctuation_and_star():
+    assert values("( ) , . *") == ["(", ")", ",", ".", "*"]
+
+
+def test_unexpected_character():
+    with pytest.raises(SqlLexError, match="unexpected character"):
+        tokenize("SELECT ; FROM")
+
+
+def test_eof_token_always_present():
+    assert tokenize("")[-1].kind == "eof"
+    assert kinds("SELECT")[-1] == "eof"
+
+
+def test_positions_recorded():
+    tokens = tokenize("SELECT X")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 7

@@ -1,0 +1,138 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.sql.parser import (
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    Like,
+    SqlParseError,
+    parse_sql,
+)
+
+
+def test_minimal_select_star():
+    statement = parse_sql("SELECT * FROM LINEITEM")
+    assert statement.select == ["*"]
+    assert statement.tables[0].table == "LINEITEM"
+    assert statement.tables[0].alias == "LINEITEM"
+    assert statement.predicates == []
+
+
+def test_aliases_with_and_without_as():
+    statement = parse_sql("SELECT * FROM LINEITEM AS L, ORDERS O")
+    assert statement.tables[0].alias == "L"
+    assert statement.tables[1].alias == "O"
+
+
+def test_join_and_local_predicates():
+    statement = parse_sql(
+        "SELECT L.L_ORDERKEY FROM LINEITEM L, ORDERS O "
+        "WHERE L.L_ORDERKEY = O.O_ORDERKEY AND L.L_QUANTITY < 24"
+    )
+    join, local = statement.predicates
+    assert isinstance(join, Comparison) and join.is_join
+    assert join.right == ColumnRef("O", "O_ORDERKEY")
+    assert isinstance(local, Comparison) and not local.is_join
+    assert local.right == 24.0
+
+
+def test_between_in_like():
+    statement = parse_sql(
+        "SELECT * FROM PART P WHERE P.P_SIZE BETWEEN 1 AND 15 "
+        "AND P.P_BRAND IN ('B1', 'B2') AND P.P_NAME LIKE 'forest%'"
+    )
+    between, inlist, like = statement.predicates
+    assert isinstance(between, Between)
+    assert (between.low, between.high) == (1.0, 15.0)
+    assert isinstance(inlist, InList)
+    assert inlist.values == ("B1", "B2")
+    assert isinstance(like, Like)
+    assert like.is_prefix
+
+
+def test_negated_forms():
+    statement = parse_sql(
+        "SELECT * FROM PART P WHERE P.P_TYPE NOT LIKE '%POLISHED%' "
+        "AND P.P_SIZE NOT IN (1, 2) AND P.P_SIZE NOT BETWEEN 3 AND 4"
+    )
+    like, inlist, between = statement.predicates
+    assert like.negated and not like.is_prefix
+    assert inlist.negated
+    assert between.negated
+
+
+def test_group_and_order_by():
+    statement = parse_sql(
+        "SELECT L_RETURNFLAG, SUM(L_QUANTITY) FROM LINEITEM "
+        "GROUP BY L_RETURNFLAG ORDER BY L_RETURNFLAG DESC"
+    )
+    assert statement.group_by == [ColumnRef(None, "L_RETURNFLAG")]
+    assert statement.order_by == [ColumnRef(None, "L_RETURNFLAG")]
+    assert "SUM(...)" in statement.select
+
+
+def test_aggregate_with_star():
+    statement = parse_sql("SELECT COUNT(*) FROM ORDERS")
+    assert statement.select == ["COUNT(...)"]
+
+
+def test_parse_errors():
+    with pytest.raises(SqlParseError, match="expected SELECT"):
+        parse_sql("UPDATE T")
+    with pytest.raises(SqlParseError, match="expected FROM"):
+        parse_sql("SELECT *")
+    with pytest.raises(SqlParseError, match="literal"):
+        parse_sql("SELECT * FROM T WHERE A = (")
+    with pytest.raises(SqlParseError, match="NOT is only supported"):
+        parse_sql("SELECT * FROM T WHERE A NOT = 4")
+    with pytest.raises(SqlParseError):
+        parse_sql("SELECT * FROM T WHERE")
+    with pytest.raises(SqlParseError):  # trailing garbage
+        parse_sql("SELECT * FROM T extra stuff ,")
+
+
+def test_string_comparison_literal():
+    statement = parse_sql(
+        "SELECT * FROM REGION WHERE R_NAME = 'EUROPE'"
+    )
+    predicate = statement.predicates[0]
+    assert predicate.right == "EUROPE"
+
+
+def test_join_on_syntax():
+    statement = parse_sql(
+        "SELECT * FROM ORDERS O JOIN LINEITEM L "
+        "ON O.O_ORDERKEY = L.L_ORDERKEY AND L.L_QUANTITY < 5 "
+        "WHERE O.O_ORDERDATE < '1995-01-01'"
+    )
+    assert [t.alias for t in statement.tables] == ["O", "L"]
+    assert len(statement.predicates) == 3
+    join = statement.predicates[0]
+    assert isinstance(join, Comparison) and join.is_join
+
+
+def test_inner_join_keyword():
+    statement = parse_sql(
+        "SELECT * FROM ORDERS O INNER JOIN LINEITEM L "
+        "ON O.O_ORDERKEY = L.L_ORDERKEY"
+    )
+    assert len(statement.tables) == 2
+    assert len(statement.predicates) == 1
+
+
+def test_chained_joins():
+    statement = parse_sql(
+        "SELECT * FROM CUSTOMER C "
+        "JOIN ORDERS O ON C.C_CUSTKEY = O.O_CUSTKEY "
+        "JOIN LINEITEM L ON O.O_ORDERKEY = L.L_ORDERKEY"
+    )
+    assert [t.alias for t in statement.tables] == ["C", "O", "L"]
+    assert len(statement.predicates) == 2
+
+
+def test_join_requires_on():
+    with pytest.raises(SqlParseError, match="expected ON"):
+        parse_sql("SELECT * FROM A JOIN B")

@@ -1,0 +1,153 @@
+"""Tests for SQL -> QuerySpec translation."""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.optimizer.config import DEFAULT_PARAMETERS
+from repro.optimizer.dp import optimize_scalar
+from repro.sql import SqlTranslationError, sql_to_query
+from repro.storage import StorageLayout
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(1)
+
+
+def test_join_edges_extracted(catalog):
+    query = sql_to_query(
+        "SELECT * FROM ORDERS O, LINEITEM L "
+        "WHERE O.O_ORDERKEY = L.L_ORDERKEY",
+        catalog,
+    )
+    assert len(query.joins) == 1
+    assert query.joins[0].aliases() == frozenset({"O", "L"})
+    assert query.is_connected()
+
+
+def test_equality_selectivity_from_distincts(catalog):
+    query = sql_to_query(
+        "SELECT * FROM CUSTOMER WHERE C_MKTSEGMENT = 'BUILDING'",
+        catalog,
+    )
+    predicate = query.predicates[0]
+    assert predicate.selectivity == pytest.approx(1 / 5)
+    assert predicate.column == "C_MKTSEGMENT"  # sargable
+
+
+def test_inequality_selectivity_complement(catalog):
+    query = sql_to_query(
+        "SELECT * FROM PART WHERE P_BRAND <> 'Brand#45'", catalog
+    )
+    predicate = query.predicates[0]
+    assert predicate.selectivity == pytest.approx(24 / 25)
+    assert predicate.column is None  # residual
+
+
+def test_range_and_between_defaults(catalog):
+    query = sql_to_query(
+        "SELECT * FROM LINEITEM WHERE L_QUANTITY < 24 "
+        "AND L_DISCOUNT BETWEEN 0.05 AND 0.07",
+        catalog,
+    )
+    range_pred, between_pred = query.predicates
+    assert range_pred.selectivity == pytest.approx(1 / 3)
+    assert range_pred.column == "L_QUANTITY"
+    assert between_pred.selectivity == pytest.approx(1 / 4)
+
+
+def test_in_list_scales_with_size(catalog):
+    query = sql_to_query(
+        "SELECT * FROM LINEITEM WHERE L_SHIPMODE IN ('MAIL', 'SHIP')",
+        catalog,
+    )
+    assert query.predicates[0].selectivity == pytest.approx(2 / 7)
+
+
+def test_like_prefix_sargable_suffix_not(catalog):
+    prefix = sql_to_query(
+        "SELECT * FROM PART WHERE P_NAME LIKE 'forest%'", catalog
+    )
+    assert prefix.predicates[0].column == "P_NAME"
+    infix = sql_to_query(
+        "SELECT * FROM PART WHERE P_NAME LIKE '%green%'", catalog
+    )
+    assert infix.predicates[0].column is None
+
+
+def test_unqualified_columns_resolved(catalog):
+    query = sql_to_query(
+        "SELECT * FROM ORDERS, LINEITEM "
+        "WHERE O_ORDERKEY = L_ORDERKEY AND O_ORDERDATE < '1995-01-01'",
+        catalog,
+    )
+    assert len(query.joins) == 1
+    assert query.predicates[0].alias == "ORDERS"
+
+
+def test_group_and_order_clauses(catalog):
+    query = sql_to_query(
+        "SELECT L_RETURNFLAG, SUM(L_QUANTITY) FROM LINEITEM "
+        "GROUP BY L_RETURNFLAG ORDER BY L_RETURNFLAG",
+        catalog,
+    )
+    assert query.group_by == (("LINEITEM", "L_RETURNFLAG"),)
+    assert query.order_by == (("LINEITEM", "L_RETURNFLAG"),)
+
+
+def test_translation_errors(catalog):
+    with pytest.raises(SqlTranslationError, match="unknown table"):
+        sql_to_query("SELECT * FROM NOPE", catalog)
+    with pytest.raises(SqlTranslationError, match="unknown column"):
+        sql_to_query("SELECT * FROM PART WHERE BOGUS = 1", catalog)
+    with pytest.raises(SqlTranslationError, match="ambiguous"):
+        # L_ORDERKEY exists in both LINEITEM aliases.
+        sql_to_query(
+            "SELECT * FROM LINEITEM A, LINEITEM B WHERE L_ORDERKEY = 1",
+            catalog,
+        )
+    with pytest.raises(SqlTranslationError, match="duplicate alias"):
+        sql_to_query("SELECT * FROM PART P, ORDERS P", catalog)
+    with pytest.raises(SqlTranslationError, match="unknown alias"):
+        sql_to_query("SELECT * FROM PART WHERE Z.P_SIZE = 1", catalog)
+
+
+def test_translated_query_is_optimizable(catalog):
+    """SQL front end to plan, end to end."""
+    query = sql_to_query(
+        "SELECT O_ORDERPRIORITY, COUNT(*) FROM ORDERS O, LINEITEM L "
+        "WHERE O.O_ORDERKEY = L.L_ORDERKEY "
+        "AND O.O_ORDERDATE < '1993-10-01' "
+        "AND L.L_SHIPDATE > '1993-07-01' "
+        "GROUP BY O.O_ORDERPRIORITY ORDER BY O.O_ORDERPRIORITY",
+        catalog,
+        name="sql-q4ish",
+    )
+    layout = StorageLayout.shared_device(query.table_names())
+    plan = optimize_scalar(
+        query, catalog, DEFAULT_PARAMETERS, layout, layout.center_costs()
+    )
+    assert "GRPBY(" in plan.signature
+
+
+def test_same_alias_column_comparison_is_residual(catalog):
+    query = sql_to_query(
+        "SELECT * FROM LINEITEM L WHERE L.L_COMMITDATE < L.L_RECEIPTDATE",
+        catalog,
+    )
+    assert query.joins == ()
+    assert query.predicates[0].column is None
+    assert query.predicates[0].selectivity == pytest.approx(1 / 3)
+
+
+def test_join_on_translates_to_edges(catalog):
+    query = sql_to_query(
+        "SELECT * FROM CUSTOMER C "
+        "JOIN ORDERS O ON C.C_CUSTKEY = O.O_CUSTKEY "
+        "JOIN LINEITEM L ON O.O_ORDERKEY = L.L_ORDERKEY "
+        "WHERE O.O_ORDERDATE < '1995-01-01'",
+        catalog,
+    )
+    assert len(query.joins) == 2
+    assert query.is_connected()
+    assert len(query.predicates) == 1

@@ -1,0 +1,128 @@
+"""Tests for device degradation timelines."""
+
+import pytest
+
+from repro.storage.degradation import (
+    LoadSurge,
+    RaidRebuild,
+    StepDegradation,
+    first_crossing,
+)
+from repro.storage.device import StorageDevice
+
+
+class TestRaidRebuild:
+    def test_peak_at_start_decaying_to_one(self):
+        rebuild = RaidRebuild(start=100.0, duration=1000.0,
+                              peak_factor=10.0)
+        assert rebuild.factor_at(0.0) == 1.0
+        assert rebuild.factor_at(100.0) == pytest.approx(10.0)
+        assert rebuild.factor_at(600.0) == pytest.approx(5.5)
+        assert rebuild.factor_at(1100.0) == 1.0
+
+    def test_monotone_decay_during_rebuild(self):
+        rebuild = RaidRebuild(start=0.0, duration=100.0, peak_factor=8.0)
+        factors = [rebuild.factor_at(t) for t in range(0, 100, 10)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RaidRebuild(0.0, 0.0)
+        with pytest.raises(ValueError):
+            RaidRebuild(0.0, 10.0, peak_factor=0.5)
+
+    def test_degraded_device(self):
+        rebuild = RaidRebuild(start=0.0, duration=10.0, peak_factor=4.0)
+        device = StorageDevice("d", 24.1, 9.0)
+        slowed = rebuild.degraded_device(device, 0.0)
+        assert slowed.seek_cost == pytest.approx(4 * 24.1)
+        assert slowed.transfer_cost == pytest.approx(4 * 9.0)
+
+
+class TestLoadSurge:
+    def test_trapezoid_shape(self):
+        surge = LoadSurge(start=10.0, ramp=10.0, plateau=20.0,
+                          peak_factor=5.0)
+        assert surge.factor_at(5.0) == 1.0
+        assert surge.factor_at(15.0) == pytest.approx(3.0)
+        assert surge.factor_at(25.0) == pytest.approx(5.0)
+        assert surge.factor_at(45.0) == pytest.approx(3.0)
+        assert surge.factor_at(60.0) == 1.0
+
+    def test_zero_ramp_is_a_pulse(self):
+        surge = LoadSurge(start=10.0, ramp=0.0, plateau=5.0,
+                          peak_factor=3.0)
+        assert surge.factor_at(9.9) == 1.0
+        assert surge.factor_at(10.0) == 3.0
+        assert surge.factor_at(14.9) == 3.0
+        assert surge.factor_at(15.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadSurge(0.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            LoadSurge(0.0, 1.0, 1.0, peak_factor=0.0)
+
+
+class TestStepDegradation:
+    def test_step(self):
+        step = StepDegradation(start=50.0, factor=7.0)
+        assert step.factor_at(49.9) == 1.0
+        assert step.factor_at(50.0) == 7.0
+        assert step.factor_at(1e9) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDegradation(0.0, 0.9)
+
+
+class TestFirstCrossing:
+    def test_crossing_during_rebuild(self):
+        rebuild = RaidRebuild(start=100.0, duration=1000.0,
+                              peak_factor=10.0)
+        # A plan with robustness radius 4 goes stale the moment the
+        # factor reaches 4 — which happens right at rebuild start
+        # (factor jumps to 10) in this model.
+        t = first_crossing(rebuild, threshold=4.0, t_max=2000.0)
+        assert t == pytest.approx(100.0, abs=2.1)
+
+    def test_threshold_never_reached(self):
+        surge = LoadSurge(start=0.0, ramp=10.0, plateau=10.0,
+                          peak_factor=3.0)
+        assert first_crossing(surge, threshold=5.0, t_max=100.0) is None
+
+    def test_trivial_threshold(self):
+        step = StepDegradation(start=10.0, factor=2.0)
+        assert first_crossing(step, threshold=1.0, t_max=100.0) == 0.0
+
+    def test_validation(self):
+        step = StepDegradation(start=0.0, factor=2.0)
+        with pytest.raises(ValueError):
+            first_crossing(step, 1.5, 10.0, resolution=1)
+
+
+def test_plan_staleness_end_to_end():
+    """Timeline + switching distance: when does Q20's plan go stale
+    during a PARTSUPP-index-device rebuild?"""
+    from repro.catalog import build_tpch_catalog
+    from repro.experiments.robustness import analyze_query_robustness
+    from repro.experiments.scenarios import scenario
+    from repro.workloads import tpch_query
+
+    catalog = build_tpch_catalog(100)
+    query = tpch_query("Q20", catalog)
+    robustness = analyze_query_robustness(
+        query, catalog, scenario("split")
+    )
+    partsupp_index = next(
+        p for p in robustness.parameters
+        if p.group == "dev.index.PARTSUPP"
+    )
+    rebuild = RaidRebuild(start=60.0, duration=3600.0, peak_factor=20.0)
+    stale_at = first_crossing(
+        rebuild, partsupp_index.distance.up_factor, t_max=7200.0
+    )
+    # The plan's threshold is well under the rebuild's peak slowdown,
+    # so it goes stale as soon as the rebuild begins.
+    assert stale_at is not None
+    assert stale_at <= 70.0

@@ -1,0 +1,67 @@
+"""Tests for repro.storage.device."""
+
+import pytest
+
+from repro.storage.device import (
+    DEFAULT_SEEK_COST,
+    DEFAULT_TRANSFER_COST,
+    DeviceCatalog,
+    StorageDevice,
+)
+
+
+def test_db2_defaults_match_paper():
+    """Section 8.1: DB2 defaults of 24.1 and 9.0 time units."""
+    device = StorageDevice("disk")
+    assert device.seek_cost == 24.1
+    assert device.transfer_cost == 9.0
+    assert DEFAULT_SEEK_COST == 24.1
+    assert DEFAULT_TRANSFER_COST == 9.0
+
+
+def test_section_3_1_example():
+    """2 seeks + 3 pages costs 2*c_ds + 3*c_dt."""
+    device = StorageDevice("d", seek_cost=10.0, transfer_cost=2.0)
+    assert device.access_cost(seeks=2, pages=3) == pytest.approx(26.0)
+
+
+def test_access_cost_validation():
+    device = StorageDevice("d")
+    with pytest.raises(ValueError):
+        device.access_cost(-1, 0)
+    with pytest.raises(ValueError):
+        device.access_cost(0, -1)
+
+
+def test_device_validation():
+    with pytest.raises(ValueError):
+        StorageDevice("")
+    with pytest.raises(ValueError):
+        StorageDevice("d", seek_cost=0)
+    with pytest.raises(ValueError):
+        StorageDevice("d", transfer_cost=-1)
+
+
+def test_scaled_models_load_change():
+    device = StorageDevice("d", 24.1, 9.0)
+    slow = device.scaled(10.0)
+    assert slow.seek_cost == pytest.approx(241.0)
+    assert slow.transfer_cost == pytest.approx(90.0)
+    assert slow.name == "d"
+    with pytest.raises(ValueError):
+        device.scaled(0)
+
+
+def test_catalog_registration_and_lookup():
+    catalog = DeviceCatalog()
+    disk = catalog.add(StorageDevice("disk1"))
+    assert catalog.get("disk1") is disk
+    assert "disk1" in catalog
+    assert "disk2" not in catalog
+    assert len(catalog) == 1
+    assert catalog.names() == ("disk1",)
+    with pytest.raises(ValueError, match="already registered"):
+        catalog.add(StorageDevice("disk1"))
+    with pytest.raises(KeyError):
+        catalog.get("disk2")
+    assert [d.name for d in catalog] == ["disk1"]

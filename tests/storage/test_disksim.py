@@ -1,0 +1,125 @@
+"""Tests for the event-level disk simulator."""
+
+import numpy as np
+import pytest
+
+from repro.storage.disksim import (
+    DiskGeometry,
+    SimulatedDisk,
+    fit_two_parameter_model,
+)
+
+
+def test_geometry_derived_quantities():
+    geometry = DiskGeometry(rpm=10_000, pages_per_track=64)
+    assert geometry.revolution_time == pytest.approx(6.0)
+    assert geometry.transfer_time() == pytest.approx(6.0 / 64)
+    assert geometry.capacity_pages == 10_000 * 64 * 4
+
+
+def test_seek_time_monotone_in_distance():
+    geometry = DiskGeometry()
+    assert geometry.seek_time(0) == 0.0
+    previous = 0.0
+    for distance in (1, 10, 100, 599, 600, 1000, 9999):
+        current = geometry.seek_time(distance)
+        assert current >= previous * 0.99  # allow knee discontinuity slack
+        previous = current
+
+
+def test_sequential_scan_cheaper_than_random_reads():
+    n_pages = 500
+    disk_a = SimulatedDisk()
+    scan_time = disk_a.sequential_scan(0, n_pages)
+    disk_b = SimulatedDisk()
+    rng = np.random.default_rng(0)
+    pages = rng.integers(0, disk_b.geometry.capacity_pages, n_pages)
+    random_time = disk_b.random_reads([int(p) for p in pages])
+    assert random_time > 10 * scan_time
+
+
+def test_consecutive_accesses_detected_as_sequential():
+    disk = SimulatedDisk()
+    disk.access(100)
+    disk.access(101)
+    disk.access(102)
+    assert disk.stats.n_sequential == 2
+    assert disk.stats.n_random == 1
+
+
+def test_stats_accounting_consistent():
+    disk = SimulatedDisk()
+    disk.access(0, count=10)
+    disk.access(5_000)
+    stats = disk.stats
+    assert stats.pages_read == 11
+    assert stats.n_requests == 2
+    assert stats.busy_time == pytest.approx(
+        stats.seek_time + stats.rotation_time + stats.transfer_time
+    )
+
+
+def test_out_of_range_page_rejected():
+    disk = SimulatedDisk()
+    with pytest.raises(ValueError):
+        disk.access(disk.geometry.capacity_pages)
+    with pytest.raises(ValueError):
+        disk.access(0, count=0)
+
+
+def test_random_rotational_latency_with_rng():
+    disk = SimulatedDisk(rng=np.random.default_rng(1))
+    t1 = disk.access(1_000)
+    disk2 = SimulatedDisk(rng=np.random.default_rng(2))
+    t2 = disk2.access(1_000)
+    assert t1 != t2  # sampled latencies differ
+
+
+class TestTwoParameterFit:
+    """Recover the paper's (d_s, d_t) disk model from simulation."""
+
+    def _trace(self, seed=0, n=400):
+        rng = np.random.default_rng(seed)
+        geometry = DiskGeometry()
+        requests = []
+        for _ in range(n):
+            if rng.random() < 0.5:
+                # Random single-page read.
+                requests.append(
+                    (int(rng.integers(0, geometry.capacity_pages)), 1)
+                )
+            else:
+                # Sequential run of 8-128 pages.
+                start = int(
+                    rng.integers(0, geometry.capacity_pages - 200)
+                )
+                requests.append((start, int(rng.integers(8, 128))))
+        return requests
+
+    def test_fit_recovers_plausible_parameters(self):
+        d_s, d_t = fit_two_parameter_model(self._trace())
+        geometry = DiskGeometry()
+        # d_t should be close to the raw transfer time per page.
+        assert d_t == pytest.approx(geometry.transfer_time(), rel=0.2)
+        # d_s should be near seek + half-rotation for typical distances.
+        typical_overhead = geometry.seek_time(3000) + geometry.revolution_time / 2
+        assert d_s == pytest.approx(typical_overhead, rel=0.5)
+
+    def test_fit_predicts_service_times(self):
+        requests = self._trace(seed=3)
+        d_s, d_t = fit_two_parameter_model(requests)
+        disk = SimulatedDisk()
+        total_true = 0.0
+        total_model = 0.0
+        for page, count in requests:
+            random_before = disk.stats.n_random
+            total_true += disk.access(page, count)
+            was_random = disk.stats.n_random > random_before
+            total_model += (d_s if was_random else 0.0) + d_t * count
+        # Aggregate model error under 10%: the two-parameter model is a
+        # good first approximation, as the paper asserts.
+        assert total_model == pytest.approx(total_true, rel=0.10)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            fit_two_parameter_model([])

@@ -1,0 +1,207 @@
+"""Tests for repro.storage.layout (the three paper configurations)."""
+
+import pytest
+
+from repro.storage.device import StorageDevice
+from repro.storage.layout import (
+    DEFAULT_CPU_COST,
+    IOAccount,
+    ObjectKey,
+    StorageLayout,
+)
+
+TABLES = ("LINEITEM", "PART")
+
+
+class TestObjectKey:
+    def test_constructors(self):
+        assert ObjectKey.table("PART").kind == "table"
+        assert ObjectKey.index("PART").subject == "PART"
+        assert ObjectKey.temp().kind == "temp"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObjectKey("bogus", "X")
+        with pytest.raises(ValueError):
+            ObjectKey("temp", "X")
+        with pytest.raises(ValueError):
+            ObjectKey("table", "")
+
+
+class TestIOAccount:
+    def test_accumulation(self):
+        account = IOAccount()
+        key = ObjectKey.table("PART")
+        account.add_io(key, seeks=2, pages=10)
+        account.add_io(key, seeks=1, pages=5)
+        account.add_cpu(1000)
+        assert account.io[key] == (3, 15)
+        assert account.cpu_instructions == 1000
+        assert account.total_seeks() == 3
+        assert account.total_pages() == 15
+
+    def test_merge_and_scale(self):
+        a = IOAccount()
+        a.add_io(ObjectKey.table("PART"), 1, 10)
+        a.add_cpu(100)
+        b = IOAccount()
+        b.add_io(ObjectKey.table("PART"), 2, 20)
+        b.add_io(ObjectKey.temp(), 1, 5)
+        b.add_cpu(50)
+        a.merge(b)
+        assert a.io[ObjectKey.table("PART")] == (3, 30)
+        assert a.io[ObjectKey.temp()] == (1, 5)
+        assert a.cpu_instructions == 150
+        doubled = a.scaled(2)
+        assert doubled.io[ObjectKey.temp()] == (2, 10)
+        assert doubled.cpu_instructions == 300
+        # Scaling returns a copy; the original is untouched.
+        assert a.io[ObjectKey.temp()] == (1, 5)
+
+    def test_copy_is_independent(self):
+        a = IOAccount()
+        a.add_io(ObjectKey.temp(), 1, 1)
+        b = a.copy()
+        b.add_io(ObjectKey.temp(), 1, 1)
+        assert a.io[ObjectKey.temp()] == (1, 1)
+
+    def test_validation(self):
+        account = IOAccount()
+        with pytest.raises(ValueError):
+            account.add_io(ObjectKey.temp(), -1, 0)
+        with pytest.raises(ValueError):
+            account.add_cpu(-5)
+        with pytest.raises(ValueError):
+            account.scaled(-1)
+
+
+class TestSharedDeviceLayout:
+    """Section 8.1.1: one disk, three effective resources."""
+
+    def test_space_has_cpu_seek_xfer(self):
+        layout = StorageLayout.shared_device(TABLES)
+        assert layout.space.names == ("cpu", "disk.seek", "disk.xfer")
+
+    def test_center_costs_are_db2_defaults(self):
+        layout = StorageLayout.shared_device(TABLES)
+        center = layout.center_costs()
+        assert center["cpu"] == pytest.approx(DEFAULT_CPU_COST)
+        assert center["disk.seek"] == pytest.approx(24.1)
+        assert center["disk.xfer"] == pytest.approx(9.0)
+
+    def test_usage_sums_over_all_objects(self):
+        layout = StorageLayout.shared_device(TABLES)
+        account = IOAccount()
+        account.add_io(ObjectKey.table("LINEITEM"), 1, 100)
+        account.add_io(ObjectKey.index("PART"), 2, 10)
+        account.add_io(ObjectKey.temp(), 3, 50)
+        account.add_cpu(9000)
+        usage = layout.to_usage(account)
+        assert usage["cpu"] == 9000
+        assert usage["disk.seek"] == 6
+        assert usage["disk.xfer"] == 160
+
+    def test_independent_groups_for_figure5(self):
+        layout = StorageLayout.shared_device(TABLES)
+        groups = layout.independent_groups()
+        assert len(groups) == 3  # cpu, seek, xfer all free
+
+    def test_total_cost_matches_device_formula(self):
+        layout = StorageLayout.shared_device(TABLES)
+        account = IOAccount()
+        account.add_io(ObjectKey.table("PART"), 2, 3)
+        usage = layout.to_usage(account)
+        total = usage.dot(layout.center_costs())
+        assert total == pytest.approx(2 * 24.1 + 3 * 9.0)
+
+
+class TestPerTableAndIndexLayout:
+    """Section 8.1.2: 2k + 2 resources for a k-table query."""
+
+    def test_dimension_count(self):
+        layout = StorageLayout.per_table_and_index(TABLES)
+        # cpu + 2 tables + 2 index groups + temp = 6
+        assert layout.space.dimension == 2 * len(TABLES) + 2
+
+    def test_kind_tags_for_complementarity(self):
+        layout = StorageLayout.per_table_and_index(TABLES)
+        space = layout.space
+        assert space.resource("dev.table.LINEITEM").kind == "table"
+        assert space.resource("dev.index.LINEITEM").kind == "index"
+        assert space.resource("dev.temp").kind == "temp"
+        assert space.resource("cpu").kind == "cpu"
+
+    def test_locked_ratio_usage_folds_device_params(self):
+        layout = StorageLayout.per_table_and_index(TABLES)
+        account = IOAccount()
+        account.add_io(ObjectKey.table("PART"), seeks=2, pages=3)
+        usage = layout.to_usage(account)
+        assert usage["dev.table.PART"] == pytest.approx(2 * 24.1 + 3 * 9.0)
+        assert usage["dev.table.LINEITEM"] == 0.0
+        # Center multiplier is 1 -> total cost identical to split form.
+        assert usage.dot(layout.center_costs()) == pytest.approx(
+            2 * 24.1 + 3 * 9.0
+        )
+
+    def test_variation_groups_one_per_device(self):
+        layout = StorageLayout.per_table_and_index(TABLES)
+        groups = layout.variation_groups()
+        assert len(groups) == 2 * len(TABLES) + 2  # devices + temp + cpu
+        assert groups[0].name == "cpu"
+
+    def test_index_and_table_io_go_to_different_devices(self):
+        layout = StorageLayout.per_table_and_index(TABLES)
+        account = IOAccount()
+        account.add_io(ObjectKey.table("PART"), 0, 10)
+        account.add_io(ObjectKey.index("PART"), 0, 10)
+        usage = layout.to_usage(account)
+        assert usage["dev.table.PART"] > 0
+        assert usage["dev.index.PART"] > 0
+
+
+class TestPerTableWithIndexesLayout:
+    """Section 8.1.3: k + 2 resources, table co-located with indexes."""
+
+    def test_dimension_count(self):
+        layout = StorageLayout.per_table_with_indexes(TABLES)
+        assert layout.space.dimension == len(TABLES) + 2
+
+    def test_table_and_index_share_dimension(self):
+        layout = StorageLayout.per_table_with_indexes(TABLES)
+        account = IOAccount()
+        account.add_io(ObjectKey.table("PART"), 0, 10)
+        account.add_io(ObjectKey.index("PART"), 0, 10)
+        usage = layout.to_usage(account)
+        assert usage["dev.PART"] == pytest.approx(2 * 10 * 9.0)
+
+    def test_co_located_device_tagged_as_table(self):
+        layout = StorageLayout.per_table_with_indexes(TABLES)
+        assert layout.space.resource("dev.PART").kind == "table"
+        assert layout.space.resource("dev.temp").kind == "temp"
+
+
+class TestLayoutValidation:
+    def test_placement_on_unknown_device_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            StorageLayout(
+                {ObjectKey.temp(): "nope"},
+                [StorageDevice("disk")],
+            )
+
+    def test_duplicate_devices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            StorageLayout(
+                {},
+                [StorageDevice("d"), StorageDevice("d")],
+            )
+
+    def test_bad_cpu_cost_rejected(self):
+        with pytest.raises(ValueError, match="cpu_cost"):
+            StorageLayout({}, [StorageDevice("d")], cpu_cost=0)
+
+    def test_unplaced_object_raises_on_use(self):
+        layout = StorageLayout.shared_device(("PART",))
+        account = IOAccount()
+        account.add_io(ObjectKey.table("ORDERS"), 1, 1)
+        with pytest.raises(KeyError, match="no placement"):
+            layout.to_usage(account)

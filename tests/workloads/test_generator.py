@@ -1,0 +1,75 @@
+"""Tests for the random workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.optimizer.config import DEFAULT_PARAMETERS
+from repro.optimizer.dp import optimize_scalar
+from repro.storage import StorageLayout
+from repro.workloads.generator import (
+    JOIN_SHAPES,
+    random_catalog,
+    random_query,
+)
+
+
+def test_random_catalog_structure():
+    rng = np.random.default_rng(0)
+    catalog = random_catalog(rng, n_tables=3)
+    assert catalog.table_names() == ("T0", "T1", "T2")
+    for name in catalog.table_names():
+        assert catalog.row_count(name) >= 1_000
+        assert catalog.clustered_index(name) is not None
+        assert len(catalog.indexes_on(name)) == 2
+
+
+def test_random_catalog_validates_input():
+    with pytest.raises(ValueError):
+        random_catalog(np.random.default_rng(0), n_tables=0)
+
+
+@pytest.mark.parametrize("shape", JOIN_SHAPES)
+def test_shapes_produce_connected_queries(shape):
+    rng = np.random.default_rng(1)
+    catalog = random_catalog(rng, n_tables=4)
+    query = random_query(rng, catalog, shape=shape)
+    assert query.is_connected()
+    if shape == "chain":
+        assert len(query.joins) == 3
+    elif shape == "star":
+        assert len(query.joins) == 3
+    else:
+        assert len(query.joins) == 6
+
+
+def test_unknown_shape_rejected():
+    rng = np.random.default_rng(2)
+    catalog = random_catalog(rng, n_tables=3)
+    with pytest.raises(ValueError, match="unknown join shape"):
+        random_query(rng, catalog, shape="ring")
+
+
+def test_generated_queries_are_optimizable():
+    rng = np.random.default_rng(3)
+    for seed in range(5):
+        catalog = random_catalog(np.random.default_rng(seed), n_tables=4)
+        query = random_query(
+            np.random.default_rng(seed + 100), catalog, shape="chain",
+            with_grouping=True,
+        )
+        layout = StorageLayout.shared_device(query.table_names())
+        plan = optimize_scalar(
+            query, catalog, DEFAULT_PARAMETERS, layout,
+            layout.center_costs(),
+        )
+        assert plan.node.aliases() == frozenset(query.aliases)
+
+
+def test_grouping_flag(
+):
+    rng = np.random.default_rng(4)
+    catalog = random_catalog(rng, n_tables=3)
+    grouped = random_query(rng, catalog, with_grouping=True)
+    assert grouped.has_aggregation
+    plain = random_query(rng, catalog, with_grouping=False)
+    assert not plain.has_aggregation

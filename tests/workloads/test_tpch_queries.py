@@ -1,0 +1,149 @@
+"""Tests for the 22 TPC-H query encodings."""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.workloads.tpch_queries import (
+    TPCH_QUERY_NAMES,
+    build_tpch_queries,
+    tpch_query,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def queries(catalog):
+    return build_tpch_queries(catalog)
+
+
+def test_all_22_queries_present(queries):
+    assert tuple(queries) == TPCH_QUERY_NAMES
+    assert len(queries) == 22
+
+
+def test_unknown_query_name_rejected(catalog):
+    with pytest.raises(KeyError, match="Q1..Q22"):
+        tpch_query("Q23", catalog)
+
+
+def test_every_query_has_connected_join_graph(queries):
+    for name, query in queries.items():
+        if len(query.tables) > 1:
+            assert query.is_connected(), name
+
+
+def test_every_multi_table_query_joins_all_tables(queries):
+    for name, query in queries.items():
+        joined = set()
+        for join in query.joins:
+            joined |= join.aliases()
+        if len(query.tables) > 1:
+            assert joined == set(query.aliases), name
+
+
+def test_table_counts_match_tpch_shapes(queries):
+    expected_aliases = {
+        "Q1": 1, "Q2": 5, "Q3": 3, "Q4": 2, "Q5": 6, "Q6": 1,
+        "Q7": 6, "Q8": 8, "Q9": 6, "Q10": 4, "Q11": 3, "Q12": 2,
+        "Q13": 2, "Q14": 2, "Q15": 2, "Q16": 2, "Q17": 2, "Q18": 3,
+        "Q19": 2, "Q20": 5, "Q21": 5, "Q22": 2,
+    }
+    for name, count in expected_aliases.items():
+        assert len(queries[name].tables) == count, name
+
+
+def test_q8_is_the_largest_join(queries):
+    assert max(len(q.tables) for q in queries.values()) == 8
+    assert len(queries["Q8"].tables) == 8
+
+
+def test_self_joins_use_aliases(queries):
+    q21 = queries["Q21"]
+    lineitem_aliases = [
+        ref.alias for ref in q21.tables if ref.table == "LINEITEM"
+    ]
+    assert len(lineitem_aliases) == 2
+    q7 = queries["Q7"]
+    nation_aliases = [
+        ref.alias for ref in q7.tables if ref.table == "NATION"
+    ]
+    assert len(nation_aliases) == 2
+
+
+def test_selectivities_in_range(queries):
+    for name, query in queries.items():
+        for predicate in query.predicates:
+            assert 0 < predicate.selectivity <= 1, name
+        for join in query.joins:
+            if join.selectivity is not None:
+                assert 0 < join.selectivity <= 1, name
+
+
+def test_q6_and_q1_are_single_table(queries):
+    assert queries["Q1"].joins == ()
+    assert queries["Q6"].joins == ()
+    assert queries["Q6"].group_by == ()
+
+
+def test_q9_partsupp_lineitem_composite_edge(queries, catalog):
+    """The conditional 0.25 suppkey edge keeps |L x PS| ~= |L|."""
+    from repro.optimizer.selectivity import CardinalityModel
+
+    model = CardinalityModel(queries["Q9"], catalog)
+    rows = model.join_rows(("PS", "L"))
+    assert rows == pytest.approx(
+        catalog.row_count("LINEITEM"), rel=0.05
+    )
+
+
+def test_q21_semi_join_cardinality(queries, catalog):
+    """L1 x L2 on orderkey models the EXISTS: output <= |L1|."""
+    from repro.optimizer.selectivity import CardinalityModel
+
+    model = CardinalityModel(queries["Q21"], catalog)
+    l1 = model.filtered_rows("L1")
+    both = model.join_rows(("L1", "L2"))
+    assert both <= l1 * 1.01
+
+
+def test_q22_anti_join_cardinality(queries, catalog):
+    """Customers-without-orders ~= |C|/3 before local predicates."""
+    from repro.optimizer.selectivity import CardinalityModel
+
+    q22 = queries["Q22"]
+    model = CardinalityModel(q22, catalog)
+    rows = model.join_rows(("C", "O"))
+    local = model.local_selectivity("C")
+    assert rows == pytest.approx(
+        catalog.row_count("CUSTOMER") / 3 * local, rel=0.05
+    )
+
+
+def test_selectivities_scale_with_catalog(catalog):
+    """Catalog-derived selectivities adapt to the scale factor."""
+    small = build_tpch_catalog(1)
+    q21_small = tpch_query("Q21", small)
+    q21_large = tpch_query("Q21", catalog)
+    edge_small = [j for j in q21_small.joins if j.selectivity][0]
+    edge_large = [j for j in q21_large.joins if j.selectivity][0]
+    assert edge_small.selectivity > edge_large.selectivity
+
+
+def test_date_predicates_marked_sargable(queries):
+    q3 = queries["Q3"]
+    sargable_columns = {
+        p.column for p in q3.predicates if p.column is not None
+    }
+    assert "O_ORDERDATE" in sargable_columns
+    assert "L_SHIPDATE" in sargable_columns
+
+
+def test_grouped_queries_declare_group_by(queries):
+    for name in ("Q1", "Q3", "Q5", "Q10", "Q18"):
+        assert queries[name].has_aggregation, name
+    for name in ("Q6", "Q14", "Q17", "Q19"):
+        assert not queries[name].has_aggregation, name
