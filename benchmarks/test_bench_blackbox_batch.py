@@ -1,0 +1,126 @@
+"""BATCH — batched plan evaluation vs per-probe looping.
+
+Measures the payoff of answering probe batches with one ``C @ U.T``
+matrix product instead of one Python-level ``optimize`` call per cost
+vector, on the heaviest discovery workload (Q5 under the ``split``
+scenario: 14 variation groups, 16384 corners per sub-box), and asserts
+the speedup contract of the batched discovery path.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.discovery import discover_candidate_plans
+from repro.experiments.scenarios import scenario
+from repro.optimizer.blackbox import CandidateBackedBlackBox
+from repro.optimizer.config import DEFAULT_PARAMETERS
+from repro.optimizer.parametric import candidate_plans
+from repro.workloads import tpch_query
+
+N_PROBES = 20000
+
+
+def _q5_split(catalog):
+    query = tpch_query("Q5", catalog)
+    config = scenario("split")
+    layout = config.layout_for(query)
+    region = config.region(layout, 100.0)
+    candidates = candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region
+    )
+    return region, candidates
+
+
+class _LoopOnly:
+    """Hides ``optimize_batch``, forcing the per-point fallback."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def optimize(self, cost):
+        return self._inner.optimize(cost)
+
+    @property
+    def call_count(self):
+        return self._inner.call_count
+
+
+def test_bench_probe_rate_loop_vs_batch(benchmark, catalog):
+    from repro.core.vectors import CostVector
+
+    region, candidates = _q5_split(catalog)
+    box = CandidateBackedBlackBox(candidates)
+    grid = region.sample(np.random.default_rng(0), N_PROBES)
+    matrix = np.vstack([cost.values for cost in grid])
+    space = region.space
+
+    start = time.perf_counter()
+    looped = [
+        box.optimize(CostVector(space, row)) for row in matrix
+    ]
+    loop_seconds = time.perf_counter() - start
+
+    batched = benchmark.pedantic(
+        lambda: box.optimize_batch(matrix), rounds=1, iterations=1
+    )
+    batch_seconds = benchmark.stats.stats.mean
+
+    assert [c.signature for c in looped] == [
+        c.signature for c in batched
+    ]
+    print()
+    print(
+        f"loop:  {N_PROBES / loop_seconds:12,.0f} probes/s "
+        f"({loop_seconds:.3f}s for {N_PROBES})"
+    )
+    print(
+        f"batch: {N_PROBES / batch_seconds:12,.0f} probes/s "
+        f"({batch_seconds:.3f}s for {N_PROBES}), "
+        f"speedup {loop_seconds / batch_seconds:.1f}x"
+    )
+    # 6.4x observed on a single-core container; leave timing headroom.
+    assert loop_seconds / batch_seconds >= 3.0
+
+
+def test_bench_discovery_batched_vs_loop(benchmark, catalog):
+    region, candidates = _q5_split(catalog)
+
+    start = time.perf_counter()
+    looped = discover_candidate_plans(
+        _LoopOnly(CandidateBackedBlackBox(candidates)),
+        region,
+        max_optimizer_calls=N_PROBES,
+        rng=np.random.default_rng(0),
+        estimate_usages=False,
+    )
+    loop_seconds = time.perf_counter() - start
+
+    batched = benchmark.pedantic(
+        lambda: discover_candidate_plans(
+            CandidateBackedBlackBox(candidates),
+            region,
+            max_optimizer_calls=N_PROBES,
+            rng=np.random.default_rng(0),
+            estimate_usages=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    batch_seconds = benchmark.stats.stats.mean
+
+    assert list(batched.witnesses) == list(looped.witnesses)
+    assert batched.optimizer_calls == looped.optimizer_calls
+    assert batched.boxes_examined == looped.boxes_examined
+    print()
+    print(
+        f"discovery (Q5/split, {N_PROBES}-call budget): "
+        f"loop {loop_seconds:.3f}s -> batch {batch_seconds:.3f}s "
+        f"({loop_seconds / batch_seconds:.1f}x), "
+        f"{len(batched.witnesses)} plans, "
+        f"{batched.optimizer_calls} calls"
+    )
+    # 4.3x observed against the (already vectorised-key) loop fallback
+    # on a single-core container; the pre-batching implementation took
+    # 3.1s on the same workload (~28x).  Leave timing headroom.
+    assert loop_seconds / batch_seconds >= 2.5

@@ -14,7 +14,12 @@ Run via ``python -m repro <command>``:
 * ``validate QUERY`` — black-box estimation + discovery validation.
 
 Every command accepts ``--scale`` (TPC-H scale factor, default 100)
-and ``--queries Q1,Q5,...`` to restrict the workload.
+and ``--queries Q1,Q5,...`` to restrict the workload.  Commands that
+compute candidate plan sets cache them on disk under ``.repro-cache``
+(or ``$REPRO_CACHE_DIR`` / ``--cache-dir``); ``--no-cache`` disables
+the cache.  The sweep commands (``figure``, ``expected``,
+``validate``) additionally take ``--jobs N`` to spread queries over
+worker processes.
 """
 
 from __future__ import annotations
@@ -41,6 +46,15 @@ def _workload(args):
     return catalog, queries
 
 
+def _cache_from_args(args):
+    """The candidate-set disk cache the flags ask for (or None)."""
+    from .optimizer.plancache import PlanCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return PlanCache(getattr(args, "cache_dir", None))
+
+
 def _cmd_figure(args) -> int:
     from .experiments import (
         DEFAULT_DELTAS,
@@ -56,7 +70,8 @@ def _cmd_figure(args) -> int:
     if args.deltas:
         deltas = tuple(float(d) for d in args.deltas.split(","))
     result = run_figure(
-        args.scenario, catalog=catalog, queries=queries, deltas=deltas
+        args.scenario, catalog=catalog, queries=queries, deltas=deltas,
+        jobs=args.jobs, cache=_cache_from_args(args),
     )
     if args.csv:
         print(figure_to_csv(result), end="")
@@ -75,7 +90,8 @@ def _cmd_census(args) -> int:
 
     catalog, queries = _workload(args)
     result = run_usage_analysis(
-        args.scenario, catalog=catalog, queries=queries
+        args.scenario, catalog=catalog, queries=queries,
+        cache=_cache_from_args(args),
     )
     print(format_census_table(result))
     return 0
@@ -85,7 +101,10 @@ def _cmd_robustness(args) -> int:
     from .experiments import format_robustness_table, run_robustness
 
     catalog, queries = _workload(args)
-    rows = run_robustness(args.scenario, catalog=catalog, queries=queries)
+    rows = run_robustness(
+        args.scenario, catalog=catalog, queries=queries,
+        cache=_cache_from_args(args),
+    )
     print(format_robustness_table(rows))
     return 0
 
@@ -97,6 +116,7 @@ def _cmd_expected(args) -> int:
     rows = run_expected_regret(
         args.scenario, catalog=catalog, queries=queries,
         delta=args.delta, n_samples=args.samples,
+        jobs=args.jobs, cache=_cache_from_args(args),
     )
     print(format_expected_table(rows))
     return 0
@@ -105,7 +125,8 @@ def _cmd_expected(args) -> int:
 def _cmd_diagram(args) -> int:
     from .core.diagram import plan_diagram
     from .experiments import scenario
-    from .optimizer import DEFAULT_PARAMETERS, candidate_plans
+    from .optimizer import DEFAULT_PARAMETERS
+    from .optimizer.plancache import cached_candidate_plans
 
     catalog, queries = _workload(args)
     name = args.query.upper()
@@ -115,8 +136,9 @@ def _cmd_diagram(args) -> int:
     config = scenario(args.scenario)
     layout = config.layout_for(query)
     region = config.region(layout, args.delta)
-    candidates = candidate_plans(
-        query, catalog, DEFAULT_PARAMETERS, layout, region
+    candidates = cached_candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region,
+        cache=_cache_from_args(args), scenario_key=config.key,
     )
     groups = {g.name: g for g in config.groups_for(layout)}
     for axis in (args.x_device, args.y_device):
@@ -147,33 +169,38 @@ def _cmd_params(args) -> int:
 
 
 def _cmd_validate(args) -> int:
-    from .experiments import validate_discovery, validate_estimation
+    from .experiments import run_validation
 
     catalog, queries = _workload(args)
-    name = args.query.upper()
-    if name not in queries:
-        raise SystemExit(f"unknown query {args.query!r}")
-    query = queries[name]
-    estimation = validate_estimation(
-        query, catalog, args.scenario, delta=args.delta
+    wanted = [name.strip().upper() for name in args.query.split(",")]
+    unknown = [name for name in wanted if name not in queries]
+    if unknown:
+        raise SystemExit(f"unknown queries: {', '.join(unknown)}")
+    results = run_validation(
+        [queries[name] for name in wanted],
+        catalog,
+        args.scenario,
+        delta=args.delta,
+        jobs=args.jobs,
+        cache=_cache_from_args(args),
     )
-    print(
-        f"estimation: {len(estimation.prediction_errors)} plans, "
-        f"worst prediction error "
-        f"{estimation.worst_prediction_error * 100:.4f}% "
-        f"(paper criterion < 1%: "
-        f"{'PASS' if estimation.meets_paper_criterion else 'FAIL'})"
-    )
-    discovery = validate_discovery(
-        query, catalog, args.scenario, delta=args.delta
-    )
-    print(
-        f"discovery:  {len(discovery.found_signatures)}/"
-        f"{len(discovery.true_signatures)} candidate plans found "
-        f"(recall {discovery.recall:.2f}, "
-        f"spurious {len(discovery.spurious)}, "
-        f"{discovery.optimizer_calls} optimizer calls)"
-    )
+    for name, (estimation, discovery) in zip(wanted, results):
+        if len(wanted) > 1:
+            print(f"{name}:")
+        print(
+            f"estimation: {len(estimation.prediction_errors)} plans, "
+            f"worst prediction error "
+            f"{estimation.worst_prediction_error * 100:.4f}% "
+            f"(paper criterion < 1%: "
+            f"{'PASS' if estimation.meets_paper_criterion else 'FAIL'})"
+        )
+        print(
+            f"discovery:  {len(discovery.found_signatures)}/"
+            f"{len(discovery.true_signatures)} candidate plans found "
+            f"(recall {discovery.recall:.2f}, "
+            f"spurious {len(discovery.spurious)}, "
+            f"{discovery.optimizer_calls} optimizer calls)"
+        )
     return 0
 
 
@@ -197,6 +224,26 @@ def build_parser() -> argparse.ArgumentParser:
             "--queries", default="",
             help="comma-separated subset, e.g. Q3,Q14,Q20",
         )
+        cache_flags(p)
+
+    def cache_flags(p):
+        p.add_argument(
+            "--cache-dir", default=None,
+            help="candidate-set cache directory (default: "
+                 "$REPRO_CACHE_DIR or .repro-cache)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="recompute candidate sets; do not read or write the "
+                 "disk cache",
+        )
+
+    def jobs_flag(p):
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the per-query sweep (default 1; "
+                 "results are identical for any value)",
+        )
 
     p_figure = sub.add_parser(
         "figure", help="regenerate Figure 5/6/7 worst-case curves"
@@ -209,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", default="",
         help="also draw an ASCII chart of these queries, e.g. Q3,Q20",
     )
+    jobs_flag(p_figure)
     p_figure.set_defaults(func=_cmd_figure)
 
     p_census = sub.add_parser(
@@ -229,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_expected)
     p_expected.add_argument("--delta", type=float, default=100.0)
     p_expected.add_argument("--samples", type=int, default=2000)
+    jobs_flag(p_expected)
     p_expected.set_defaults(func=_cmd_expected)
 
     p_diagram = sub.add_parser(
@@ -245,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_diagram.add_argument("--resolution", type=int, default=32)
     p_diagram.add_argument("--scale", type=float, default=100.0)
     p_diagram.add_argument("--queries", default="")
+    cache_flags(p_diagram)
     p_diagram.set_defaults(func=_cmd_diagram)
 
     p_params = sub.add_parser(
@@ -255,7 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate = sub.add_parser(
         "validate", help="black-box estimation/discovery validation"
     )
-    p_validate.add_argument("query")
+    p_validate.add_argument(
+        "query", help="query name, or a comma-separated list, e.g. Q3,Q14"
+    )
     p_validate.add_argument(
         "--scenario", default="shared",
         choices=("shared", "split", "colocated"),
@@ -263,6 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate.add_argument("--delta", type=float, default=100.0)
     p_validate.add_argument("--scale", type=float, default=100.0)
     p_validate.add_argument("--queries", default="")
+    cache_flags(p_validate)
+    jobs_flag(p_validate)
     p_validate.set_defaults(func=_cmd_validate)
     return parser
 

@@ -9,8 +9,18 @@ just enough to run the paper's algorithms:
   cost*.
 
 :class:`BlackBoxOptimizer` is the :class:`typing.Protocol` for that
-contract.  :class:`TabularBlackBox` is a trivial implementation backed
-by an explicit plan list — handy in tests and as the "ideal DB2" against
+contract.  Because the paper's algorithms spend their entire budget on
+optimizer invocations, the protocol also carries a *batched* entry
+point, :meth:`BlackBoxOptimizer.optimize_batch`: one call answering a
+whole matrix of cost vectors, which lets backends replace a Python loop
+over plans per probe with a single ``C @ U.T`` matrix product.
+:func:`batch_optimize` is the generic driver — it uses an optimizer's
+native batch method when present and falls back to looping
+:meth:`~BlackBoxOptimizer.optimize` otherwise, so algorithms written
+against batches work with any single-call implementation.
+
+:class:`TabularBlackBox` is a trivial implementation backed by an
+explicit plan list — handy in tests and as the "ideal DB2" against
 which the extraction algorithms are validated.  The real substrate
 implementation lives in :mod:`repro.optimizer.blackbox`.
 """
@@ -20,10 +30,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
-from .costmodel import optimal_plan_index
+import numpy as np
+
 from .vectors import CostVector, UsageVector
 
-__all__ = ["PlanChoice", "BlackBoxOptimizer", "TabularBlackBox"]
+__all__ = [
+    "PlanChoice",
+    "BlackBoxOptimizer",
+    "TabularBlackBox",
+    "as_cost_matrix",
+    "batch_optimize",
+]
 
 
 @dataclass(frozen=True)
@@ -34,12 +51,59 @@ class PlanChoice:
     total_cost: float
 
 
+def as_cost_matrix(space, costs) -> np.ndarray:
+    """Normalise a batch of cost vectors into a ``(k, n)`` matrix.
+
+    Accepts a ready-made 2-D array (returned as-is after a shape check)
+    or a sequence of :class:`CostVector` bound to ``space``.
+    """
+    if isinstance(costs, np.ndarray):
+        matrix = np.asarray(costs, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != space.dimension:
+            raise ValueError(
+                f"expected a (k, {space.dimension}) cost matrix, got "
+                f"shape {matrix.shape}"
+            )
+        return matrix
+    rows = []
+    for cost in costs:
+        space.require_same(cost.space)
+        rows.append(cost.values)
+    if not rows:
+        return np.empty((0, space.dimension))
+    return np.vstack(rows)
+
+
+def batch_optimize(optimizer, space, costs) -> list[PlanChoice]:
+    """Evaluate a batch of cost vectors against any black box.
+
+    Dispatches to the optimizer's native ``optimize_batch`` when it has
+    one; otherwise falls back to looping :meth:`optimize` — the generic
+    path that keeps call-count and answer semantics identical, one
+    Python-level invocation per cost vector.
+    """
+    method = getattr(optimizer, "optimize_batch", None)
+    if method is not None:
+        return method(costs)
+    matrix = as_cost_matrix(space, costs)
+    return [optimizer.optimize(CostVector(space, row)) for row in matrix]
+
+
 @runtime_checkable
 class BlackBoxOptimizer(Protocol):
     """Anything that optimises a fixed query under variable costs."""
 
     def optimize(self, cost: CostVector) -> PlanChoice:
         """Return the estimated optimal plan id and its estimated cost."""
+        ...  # pragma: no cover - protocol
+
+    def optimize_batch(self, costs) -> list[PlanChoice]:
+        """Answer one :class:`PlanChoice` per row of a cost batch.
+
+        Semantically equivalent to calling :meth:`optimize` on every
+        row (including call accounting: a batch of *k* counts as *k*
+        optimizer invocations), but implementations may vectorise.
+        """
         ...  # pragma: no cover - protocol
 
 
@@ -50,7 +114,8 @@ class TabularBlackBox:
     ``U . C`` with deterministic lowest-index tie-breaking, and the
     reported total cost is the exact dot product.  ``call_count`` tracks
     how many optimizer invocations an algorithm spent — the budget
-    currency of the discovery experiments.
+    currency of the discovery experiments; a batch of *k* cost vectors
+    counts as *k* invocations.
 
     An optional ``quantization`` emulates the cost rounding the paper had
     to work around in DB2 ("to compensate for quantization error within
@@ -69,6 +134,10 @@ class TabularBlackBox:
         if len(set(signatures)) != len(signatures):
             raise ValueError("plan signatures must be unique")
         self._plans = list(plans)
+        self._space = plans[0][1].space
+        for __, usage in plans[1:]:
+            self._space.require_same(usage.space)
+        self._matrix = np.vstack([usage.values for __, usage in plans])
         self._quantization = float(quantization)
         self.call_count = 0
 
@@ -86,15 +155,43 @@ class TabularBlackBox:
                 return usage
         raise KeyError(signature)
 
-    def optimize(self, cost: CostVector) -> PlanChoice:
-        self.call_count += 1
-        usages = [usage for __, usage in self._plans]
-        index = optimal_plan_index(usages, cost)
-        signature = self._plans[index][0]
-        total = usages[index].dot(cost)
+    def _quantize(self, total: float) -> float:
         if self._quantization > 0.0 and total > 0.0:
             from math import ceil, log10
 
             step = self._quantization * 10.0 ** ceil(log10(total))
             total = round(total / step) * step
-        return PlanChoice(signature=signature, total_cost=total)
+        return total
+
+    def optimize(self, cost: CostVector) -> PlanChoice:
+        self.call_count += 1
+        self._space.require_same(cost.space)
+        totals = self._matrix @ cost.values
+        index = int(np.argmin(totals))
+        total = float(self._matrix[index] @ cost.values)
+        return PlanChoice(
+            signature=self._plans[index][0],
+            total_cost=self._quantize(total),
+        )
+
+    def optimize_batch(self, costs) -> list[PlanChoice]:
+        """Vectorised batch: one ``C @ U.T`` for the whole cost matrix.
+
+        The reported totals are recomputed as per-plan dot products so
+        they match :meth:`optimize` bitwise for the same chosen plan.
+        """
+        matrix = as_cost_matrix(self._space, costs)
+        self.call_count += len(matrix)
+        if not len(matrix):
+            return []
+        totals = matrix @ self._matrix.T
+        indices = np.argmin(totals, axis=1)
+        return [
+            PlanChoice(
+                signature=self._plans[index][0],
+                total_cost=self._quantize(
+                    float(self._matrix[index] @ row)
+                ),
+            )
+            for index, row in zip(indices, matrix)
+        ]

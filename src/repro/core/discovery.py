@@ -20,17 +20,26 @@ recursion terminates either by settling every box (discovery is then
 exhausting the optimizer-call budget (the result is then flagged
 incomplete, the honest analogue of the paper only finishing 16 of 22
 queries in the hardest configuration).
+
+The subdivision runs level-synchronously: every unprobed corner of the
+current generation of sub-boxes is collected into one matrix and
+answered through :func:`repro.core.blackbox.batch_optimize` — a single
+``C @ U.T`` against a candidate-backed black box — instead of one
+optimizer round-trip per corner.  The probe cache and the call budget
+keep per-point semantics: a batch of *k* fresh points costs *k*
+optimizer calls, cached points cost nothing, and when the remaining
+budget covers only a prefix of a batch exactly that prefix is probed
+(matching what a sequential loop would have spent before giving up).
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from .blackbox import BlackBoxOptimizer
+from .blackbox import BlackBoxOptimizer, batch_optimize
 from .estimation import UsageEstimate, estimate_usage_vector
 from .feasible import FeasibleRegion
 from .vectors import CostVector
@@ -77,37 +86,136 @@ class _Budget:
         return True
 
     @property
+    def remaining(self) -> int:
+        return self.limit - self.used
+
+    @property
     def exhausted(self) -> bool:
         return self.used >= self.limit
 
 
-def _cost_at(region: FeasibleRegion, multipliers: Sequence[float]) -> CostVector:
-    """Cost vector for per-group multipliers (fixed dims stay put)."""
-    values = region.center.values.copy()
-    for factor, group in zip(multipliers, region.groups):
-        for index in group.indices:
-            values[index] *= factor
-    return CostVector(region.space, values)
+#: Significant digits kept in probe-cache keys.
+_KEY_DIGITS = 12
 
 
-def _probe(
-    optimizer: BlackBoxOptimizer,
-    region: FeasibleRegion,
-    multipliers: tuple[float, ...],
-    found: dict[str, CostVector],
-    budget: _Budget,
-    cache: dict[tuple[float, ...], str],
-) -> str | None:
-    """Ask the optimizer at one multiplier point; remember new plans."""
-    if multipliers in cache:
-        return cache[multipliers]
-    if not budget.take():
-        return None
-    cost = _cost_at(region, multipliers)
-    choice = optimizer.optimize(cost)
-    cache[multipliers] = choice.signature
-    found.setdefault(choice.signature, cost)
-    return choice.signature
+def _round_multipliers(array: np.ndarray) -> np.ndarray:
+    """Round positive multipliers to ``_KEY_DIGITS`` significant digits.
+
+    Subdivision midpoints are geometric means; recomputing the same
+    corner from two neighbouring boxes can differ in the last float
+    bits.  Without rounding those near-duplicates would miss the probe
+    cache and burn budget on points that are physically identical.
+    Elementwise numpy ops keep the rounding identical whether applied
+    to one point or a whole corner matrix.
+    """
+    exponent = np.floor(np.log10(array))
+    scale = np.power(10.0, (_KEY_DIGITS - 1) - exponent)
+    return np.round(array * scale) / scale
+
+
+def _pack_keys(matrix: np.ndarray) -> list[bytes]:
+    """One rounded probe-cache key per row of a multiplier matrix.
+
+    Keys are the rounded rows' raw float64 bytes: hashable and exactly
+    as collision-safe as a tuple of the same floats, but produced
+    without materialising hundreds of thousands of Python floats per
+    subdivision level (``tolist`` on corner matrices dominated the
+    whole discovery runtime).
+    """
+    rounded = np.ascontiguousarray(_round_multipliers(matrix))
+    buffer = rounded.tobytes()
+    stride = rounded.shape[1] * rounded.itemsize
+    return [
+        buffer[i * stride : (i + 1) * stride]
+        for i in range(rounded.shape[0])
+    ]
+
+
+def _round_key(multipliers: Sequence[float]) -> bytes:
+    """Probe-cache key for one multiplier point."""
+    array = np.asarray(multipliers, dtype=float)
+    return _round_multipliers(array).tobytes()
+
+
+def _box_corners(
+    lo: tuple[float, ...], hi: tuple[float, ...], bits: np.ndarray
+) -> list[bytes]:
+    """All ``2**g`` rounded corner keys of one multiplier box.
+
+    ``bits`` is the shared ``(2**g, g)`` 0/1 matrix; row order matches
+    ``itertools.product(*zip(lo, hi))`` (first dimension slowest).
+    """
+    corners = np.where(
+        bits == 1,
+        np.asarray(hi, dtype=float),
+        np.asarray(lo, dtype=float),
+    )
+    return _pack_keys(corners)
+
+
+class _BatchProber:
+    """Budget- and cache-aware batched probing of multiplier points."""
+
+    def __init__(
+        self,
+        optimizer: BlackBoxOptimizer,
+        region: FeasibleRegion,
+        budget: _Budget,
+        found: dict[str, CostVector],
+        cache: dict[bytes, str],
+    ) -> None:
+        self._optimizer = optimizer
+        self._region = region
+        self._budget = budget
+        self._found = found
+        self._cache = cache
+        self._group_indices = [
+            list(group.indices) for group in region.groups
+        ]
+
+    def _cost_matrix(self, keys: list[bytes]) -> np.ndarray:
+        """Cost vectors for multiplier keys (fixed dims stay put)."""
+        center = self._region.center.values
+        factors = np.ones((len(keys), len(center)))
+        multipliers = np.frombuffer(b"".join(keys)).reshape(
+            len(keys), -1
+        )
+        for position, indices in enumerate(self._group_indices):
+            factors[:, indices] = multipliers[:, position][:, None]
+        return center[None, :] * factors
+
+    def probe(self, keys) -> bool:
+        """Probe every uncached point the budget allows, in order.
+
+        ``keys`` are rounded multiplier keys (:func:`_round_key`).
+        Returns True iff every fresh point fit within the budget; a
+        False return means the budget ran out part-way (the prefix that
+        fit was still probed and cached).
+        """
+        fresh: list[bytes] = []
+        seen: set[bytes] = set()
+        for key in keys:
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            fresh.append(key)
+        take = min(len(fresh), max(self._budget.remaining, 0))
+        if take:
+            batch = fresh[:take]
+            matrix = self._cost_matrix(batch)
+            self._budget.take(take)
+            choices = batch_optimize(
+                self._optimizer, self._region.space, matrix
+            )
+            space = self._region.space
+            for key, choice, row in zip(batch, choices, matrix):
+                self._cache[key] = choice.signature
+                if choice.signature not in self._found:
+                    self._found[choice.signature] = CostVector(space, row)
+        return take == len(fresh)
+
+    def lookup(self, key) -> str | None:
+        return self._cache.get(key)
 
 
 def discover_candidate_plans(
@@ -142,65 +250,92 @@ def discover_candidate_plans(
     budget = _Budget(max_optimizer_calls)
     result = DiscoveryResult()
     found: dict[str, CostVector] = {}
-    cache: dict[tuple[float, ...], str] = {}
+    cache: dict[bytes, str] = {}
     g = len(region.groups)
     delta = region.delta
+    prober = _BatchProber(optimizer, region, budget, found, cache)
 
-    # --- Step 1-2: initial probes -------------------------------------
-    center_multipliers = tuple([1.0] * g)
-    _probe(optimizer, region, center_multipliers, found, budget, cache)
+    # --- Step 1-2: initial probes (one batch) -------------------------
+    seeds: list[bytes] = [_round_key([1.0] * g)]
     for point in rng.uniform(-1.0, 1.0, size=(n_random_probes, g)):
-        multipliers = tuple(float(delta ** exponent) for exponent in point)
-        _probe(optimizer, region, multipliers, found, budget, cache)
-        if budget.exhausted:
-            break
+        seeds.append(
+            _round_key([float(delta ** exponent) for exponent in point])
+        )
+    prober.probe(seeds)
 
-    # --- Step 5 driver: recursive Observation-3 subdivision ------------
+    # --- Step 5 driver: level-synchronous Observation-3 subdivision ---
     # Boxes are (lo, hi) multiplier tuples.  A box whose 2**g vertices
     # all elect the same plan is optimal for that plan throughout
-    # (corollary to Observation 3) and is settled.
+    # (corollary to Observation 3) and is settled.  Each generation of
+    # surviving boxes contributes its unprobed corners to one batch.
     root = (tuple([1.0 / delta] * g), tuple([delta] * g))
-    stack: list[tuple[tuple[float, ...], tuple[float, ...], int]] = [
+    frontier: list[tuple[tuple[float, ...], tuple[float, ...], int]] = [
         (*root, 0)
     ]
+    # Corner enumeration order (shared by every box): row i of ``bits``
+    # encodes the same lo/hi choices as the i-th tuple of
+    # ``itertools.product(*zip(lo, hi))``.
+    bits = (
+        np.arange(1 << g)[:, None] >> np.arange(g - 1, -1, -1)[None, :]
+    ) & 1
     settled_everything = True
-    while stack:
-        lo, hi, depth = stack.pop()
-        result.boxes_examined += 1
-        vertex_plans = set()
+    while frontier:
+        corners_per_box = [
+            _box_corners(lo, hi, bits) for lo, hi, __ in frontier
+        ]
+        prober.probe(
+            corner for corners in corners_per_box for corner in corners
+        )
+        next_frontier: list[
+            tuple[tuple[float, ...], tuple[float, ...], int]
+        ] = []
+        resolution_centers: list[bytes] = []
         aborted = False
-        for corner in itertools.product(*zip(lo, hi)):
-            signature = _probe(optimizer, region, corner, found, budget, cache)
-            if signature is None:  # budget exhausted
-                aborted = True
+        for (lo, hi, depth), corners in zip(frontier, corners_per_box):
+            result.boxes_examined += 1
+            vertex_plans = set()
+            for corner in corners:
+                signature = prober.lookup(corner)
+                if signature is None:  # budget exhausted
+                    aborted = True
+                    break
+                vertex_plans.add(signature)
+            if aborted:
                 break
-            vertex_plans.add(signature)
+            if len(vertex_plans) == 1:
+                result.boxes_settled += 1
+                continue
+            edge_ratios = [h / l for l, h in zip(lo, hi)]
+            widest = int(np.argmax(edge_ratios))
+            if depth >= max_depth or edge_ratios[widest] <= min_edge_ratio:
+                # Resolution limit: several plans meet inside this box
+                # but the box is already tiny.  Probe its center once
+                # more and accept the remaining uncertainty.
+                resolution_centers.append(
+                    _round_key([np.sqrt(l * h) for l, h in zip(lo, hi)])
+                )
+                result.boxes_settled += 1
+                continue
+            split = float(np.sqrt(lo[widest] * hi[widest]))  # log-midpoint
+            lo_list, hi_list = list(lo), list(hi)
+            hi_left = hi_list.copy()
+            hi_left[widest] = split
+            lo_right = lo_list.copy()
+            lo_right[widest] = split
+            next_frontier.append(
+                (tuple(lo_list), tuple(hi_left), depth + 1)
+            )
+            next_frontier.append(
+                (tuple(lo_right), tuple(hi_list), depth + 1)
+            )
+        if resolution_centers:
+            # A center probe that no longer fits the budget is dropped
+            # silently — it cannot change the box's settled status.
+            prober.probe(resolution_centers)
         if aborted:
             settled_everything = False
             break
-        if len(vertex_plans) == 1:
-            result.boxes_settled += 1
-            continue
-        edge_ratios = [h / l for l, h in zip(lo, hi)]
-        widest = int(np.argmax(edge_ratios))
-        if depth >= max_depth or edge_ratios[widest] <= min_edge_ratio:
-            # Resolution limit: several plans meet inside this box but
-            # the box is already tiny.  Probe its center once more and
-            # accept the remaining uncertainty.
-            center = tuple(
-                float(np.sqrt(l * h)) for l, h in zip(lo, hi)
-            )
-            _probe(optimizer, region, center, found, budget, cache)
-            result.boxes_settled += 1
-            continue
-        split = float(np.sqrt(lo[widest] * hi[widest]))  # log-midpoint
-        lo_list, hi_list = list(lo), list(hi)
-        hi_left = hi_list.copy()
-        hi_left[widest] = split
-        lo_right = lo_list.copy()
-        lo_right[widest] = split
-        stack.append((tuple(lo_list), tuple(hi_left), depth + 1))
-        stack.append((tuple(lo_right), tuple(hi_list), depth + 1))
+        frontier = next_frontier
 
     result.witnesses = dict(found)
     result.complete = settled_everything and not budget.exhausted
@@ -211,7 +346,7 @@ def discover_candidate_plans(
             if budget.exhausted:
                 result.complete = False
                 break
-            remaining = budget.limit - budget.used
+            remaining = budget.remaining
             try:
                 estimate = estimate_usage_vector(
                     optimizer,
@@ -232,6 +367,5 @@ def discover_candidate_plans(
             else:
                 budget.used += spent
             result.plans[signature] = estimate
-
     result.optimizer_calls = budget.used
     return result

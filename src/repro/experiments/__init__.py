@@ -14,6 +14,7 @@ from .expected import (
     format_expected_table,
     run_expected_regret,
 )
+from .parallel import parallel_map
 from .report import (
     figure_to_csv,
     format_census_table,
@@ -44,6 +45,7 @@ from .usage_analysis import (
 from .validation import (
     DiscoveryValidation,
     EstimationValidation,
+    run_validation,
     validate_discovery,
     validate_estimation,
 )
@@ -81,6 +83,7 @@ __all__ = [
     "analyze_query_robustness",
     "analyze_expected_regret",
     "format_expected_table",
+    "parallel_map",
     "run_figure",
     "run_figure5",
     "run_figure6",
@@ -89,6 +92,7 @@ __all__ = [
     "run_expected_regret",
     "run_query_worst_case",
     "run_usage_analysis",
+    "run_validation",
     "scenario",
     "validate_discovery",
     "validate_estimation",

@@ -22,9 +22,10 @@ import numpy as np
 from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
-from ..optimizer.parametric import candidate_plans
+from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
 from ..workloads.tpch_queries import build_tpch_queries
+from .parallel import parallel_map, worker_catalog, worker_payload
 from .scenarios import Scenario, scenario
 
 __all__ = ["ExpectedRegret", "run_expected_regret", "format_expected_table"]
@@ -57,12 +58,14 @@ def analyze_expected_regret(
     n_samples: int = 2000,
     cell_cap: int | None = 64,
     seed: int = 0,
+    cache: PlanCache | None = None,
 ) -> ExpectedRegret:
     """Sample log-uniform drifts and measure the stale plan's regret."""
     layout = config.layout_for(query)
     region = config.region(layout, delta)
-    candidates = candidate_plans(
-        query, catalog, params, layout, region, cell_cap=cell_cap
+    candidates = cached_candidate_plans(
+        query, catalog, params, layout, region, cell_cap=cell_cap,
+        cache=cache, scenario_key=config.key,
     )
     matrix = np.vstack([plan.usage.values for plan in candidates.plans])
     initial_index = candidates.initial_plan_index()
@@ -92,6 +95,24 @@ def analyze_expected_regret(
     )
 
 
+def _regret_worker(query: QuerySpec) -> ExpectedRegret:
+    """Per-query Monte-Carlo work, run in a (possibly forked) worker."""
+    payload = worker_payload()
+    cache_root = payload["cache_root"]
+    cache = PlanCache(cache_root) if cache_root is not None else None
+    return analyze_expected_regret(
+        query,
+        worker_catalog(),
+        scenario(payload["scenario_key"]),
+        payload["params"],
+        payload["delta"],
+        payload["n_samples"],
+        payload["cell_cap"],
+        payload["seed"],
+        cache=cache,
+    )
+
+
 def run_expected_regret(
     scenario_key: str,
     catalog: Catalog | None = None,
@@ -101,20 +122,40 @@ def run_expected_regret(
     n_samples: int = 2000,
     cell_cap: int | None = 64,
     seed: int = 0,
+    jobs: int = 1,
+    cache: PlanCache | None = None,
+    scale: float = 100.0,
 ) -> list[ExpectedRegret]:
-    """Expected-regret analysis over a workload."""
+    """Expected-regret analysis over a workload.
+
+    Each query's sampling uses its own ``seed``-derived generator, so
+    results are independent of ``jobs`` and of query order.
+    """
     config = scenario(scenario_key)
+    catalog_spec: "Catalog | float"
     if catalog is None:
-        catalog = build_tpch_catalog(100)
+        catalog = build_tpch_catalog(scale)
+        catalog_spec = float(scale)
+    else:
+        catalog_spec = catalog
     if queries is None:
         queries = build_tpch_queries(catalog)
-    return [
-        analyze_expected_regret(
-            query, catalog, config, params, delta, n_samples,
-            cell_cap, seed,
-        )
-        for query in queries.values()
-    ]
+    payload = {
+        "scenario_key": config.key,
+        "params": params,
+        "delta": delta,
+        "n_samples": n_samples,
+        "cell_cap": cell_cap,
+        "seed": seed,
+        "cache_root": str(cache.root) if cache is not None else None,
+    }
+    return parallel_map(
+        _regret_worker,
+        queries.values(),
+        jobs=jobs,
+        catalog_spec=catalog_spec,
+        payload=payload,
+    )
 
 
 def format_expected_table(rows: list[ExpectedRegret]) -> str:

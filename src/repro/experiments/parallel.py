@@ -1,0 +1,82 @@
+"""Process-parallel execution of per-query experiment work.
+
+The figure/expected/validation sweeps are embarrassingly parallel over
+queries, but each worker needs the TPC-H catalog — a few kilobytes of
+statistics that every query shares.  Rather than pickling it into every
+task, :func:`parallel_map` ships a *catalog spec* (usually just the
+scale factor) once per worker process through a
+:class:`~concurrent.futures.ProcessPoolExecutor` initializer; the
+worker builds the catalog a single time and parks it, together with an
+arbitrary experiment payload, in the module-global ``_STATE``.
+
+``jobs=1`` (the default everywhere) never spawns a process: the same
+worker function runs serially in-process through the same ``_STATE``
+protocol, so serial and parallel paths execute identical code and
+produce identical results — ``--jobs N`` is a wall-clock knob, not a
+semantics knob.  Results come back in input order (``executor.map``),
+so output ordering is deterministic regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Mapping
+
+from ..catalog.statistics import Catalog
+from ..catalog.tpch import build_tpch_catalog
+
+__all__ = ["parallel_map", "worker_catalog", "worker_payload"]
+
+#: Per-process experiment state: ``{"catalog": ..., "payload": ...}``.
+_STATE: dict[str, Any] = {}
+
+
+def _init_worker(catalog_spec: "Catalog | float",
+                 payload: Mapping[str, Any]) -> None:
+    """Build the catalog once for this process and park the payload."""
+    if isinstance(catalog_spec, Catalog):
+        catalog = catalog_spec
+    else:
+        catalog = build_tpch_catalog(catalog_spec)
+    _STATE.clear()
+    _STATE["catalog"] = catalog
+    _STATE["payload"] = dict(payload)
+
+
+def worker_catalog() -> Catalog:
+    """The catalog this worker process was initialised with."""
+    return _STATE["catalog"]
+
+
+def worker_payload() -> dict[str, Any]:
+    """The experiment payload this worker process was initialised with."""
+    return _STATE["payload"]
+
+
+def parallel_map(
+    worker: Callable[[Any], Any],
+    items: Iterable[Any],
+    jobs: int = 1,
+    catalog_spec: "Catalog | float" = 100.0,
+    payload: "Mapping[str, Any] | None" = None,
+) -> list[Any]:
+    """Map ``worker`` over ``items``, optionally across processes.
+
+    ``worker`` must be a module-level function (picklable) that reads
+    the catalog and payload via :func:`worker_catalog` /
+    :func:`worker_payload`.  ``catalog_spec`` is either a TPC-H scale
+    factor (each worker builds its own catalog — cheap, and avoids
+    pickling assumptions) or a prebuilt :class:`Catalog` for callers
+    that customised statistics.
+    """
+    items = list(items)
+    payload = payload or {}
+    if jobs <= 1 or len(items) <= 1:
+        _init_worker(catalog_spec, payload)
+        return [worker(item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)),
+        initializer=_init_worker,
+        initargs=(catalog_spec, payload),
+    ) as pool:
+        return list(pool.map(worker, items))

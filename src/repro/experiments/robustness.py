@@ -22,7 +22,7 @@ from ..catalog.tpch import build_tpch_catalog
 from ..core.costmodel import global_relative_cost
 from ..core.switching import SwitchingDistance, switching_distances
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
-from ..optimizer.parametric import candidate_plans
+from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
 from ..workloads.tpch_queries import build_tpch_queries
 from .scenarios import Scenario, scenario
@@ -79,12 +79,14 @@ def analyze_query_robustness(
     delta: float = 10000.0,
     cell_cap: int | None = 64,
     regret_probe_factor: float = 10.0,
+    cache: PlanCache | None = None,
 ) -> QueryRobustness:
     """Compute switch thresholds for every device of one query."""
     layout = config.layout_for(query)
     region = config.region(layout, delta)
-    candidates = candidate_plans(
-        query, catalog, params, layout, region, cell_cap=cell_cap
+    candidates = cached_candidate_plans(
+        query, catalog, params, layout, region, cell_cap=cell_cap,
+        cache=cache, scenario_key=config.key,
     )
     center = layout.center_costs()
     initial_index = candidates.initial_plan_index()
@@ -142,6 +144,7 @@ def run_robustness(
     params: SystemParameters = DEFAULT_PARAMETERS,
     delta: float = 10000.0,
     cell_cap: int | None = 64,
+    cache: PlanCache | None = None,
 ) -> list[QueryRobustness]:
     """Robustness analysis over a workload."""
     config = scenario(scenario_key)
@@ -151,7 +154,8 @@ def run_robustness(
         queries = build_tpch_queries(catalog)
     return [
         analyze_query_robustness(
-            query, catalog, config, params, delta, cell_cap
+            query, catalog, config, params, delta, cell_cap,
+            cache=cache,
         )
         for query in queries.values()
     ]

@@ -27,7 +27,7 @@ from ..catalog.tpch import build_tpch_catalog
 from ..core.bounds import corollary_constant_bound
 from ..core.complementary import ComplementarityCensus, census
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
-from ..optimizer.parametric import candidate_plans
+from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
 from ..workloads.tpch_queries import build_tpch_queries
 from .scenarios import Scenario, scenario
@@ -92,6 +92,7 @@ def run_usage_analysis(
     delta: float = DEFAULT_DELTA,
     cell_cap: int | None = 64,
     usage_tol: float = 1e-9,
+    cache: PlanCache | None = None,
 ) -> UsageAnalysisResult:
     """Run the Section 8.2 analysis for one storage scenario."""
     config: Scenario = scenario(scenario_key)
@@ -103,8 +104,9 @@ def run_usage_analysis(
     for query in queries.values():
         layout = config.layout_for(query)
         region = config.region(layout, delta)
-        candidates = candidate_plans(
-            query, catalog, params, layout, region, cell_cap=cell_cap
+        candidates = cached_candidate_plans(
+            query, catalog, params, layout, region, cell_cap=cell_cap,
+            cache=cache, scenario_key=config.key,
         )
         pair_census = census(candidates.usages, tol=usage_tol)
         bound = corollary_constant_bound(candidates.usages, tol=usage_tol)

@@ -17,11 +17,11 @@ import numpy as np
 from ..catalog.statistics import Catalog
 from ..core.discovery import discover_candidate_plans
 from ..core.estimation import estimate_usage_vector, validate_estimate
-from ..core.feasible import FeasibleRegion
 from ..optimizer.blackbox import CandidateBackedBlackBox, OptimizerBlackBox
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
-from ..optimizer.parametric import CandidateSet, candidate_plans
+from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
+from .parallel import parallel_map, worker_catalog, worker_payload
 from .scenarios import Scenario, scenario
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "DiscoveryValidation",
     "validate_estimation",
     "validate_discovery",
+    "run_validation",
 ]
 
 
@@ -98,11 +99,13 @@ def _candidates_and_box(
     delta: float,
     cell_cap: int | None,
     honest_blackbox: bool,
+    cache: "PlanCache | None" = None,
 ):
     layout = config.layout_for(query)
     region = config.region(layout, delta)
-    candidates = candidate_plans(
-        query, catalog, params, layout, region, cell_cap=cell_cap
+    candidates = cached_candidate_plans(
+        query, catalog, params, layout, region, cell_cap=cell_cap,
+        cache=cache, scenario_key=config.key,
     )
     if honest_blackbox:
         box = OptimizerBlackBox(query, catalog, params, layout)
@@ -121,6 +124,7 @@ def validate_estimation(
     n_test_points: int = 30,
     honest_blackbox: bool = False,
     seed: int = 0,
+    cache: "PlanCache | None" = None,
 ) -> EstimationValidation:
     """Section 6.1.1 end-to-end: sample, estimate, predict, compare.
 
@@ -132,7 +136,8 @@ def validate_estimation(
     """
     config = scenario(config_key)
     candidates, region, box = _candidates_and_box(
-        query, catalog, params, config, delta, cell_cap, honest_blackbox
+        query, catalog, params, config, delta, cell_cap,
+        honest_blackbox, cache,
     )
     rng = np.random.default_rng(seed)
     result = EstimationValidation(
@@ -181,11 +186,13 @@ def validate_discovery(
     max_optimizer_calls: int = 20000,
     honest_blackbox: bool = False,
     seed: int = 0,
+    cache: "PlanCache | None" = None,
 ) -> DiscoveryValidation:
     """Section 6.2.1 end-to-end: discover plans, compare with truth."""
     config = scenario(config_key)
     candidates, region, box = _candidates_and_box(
-        query, catalog, params, config, delta, cell_cap, honest_blackbox
+        query, catalog, params, config, delta, cell_cap,
+        honest_blackbox, cache,
     )
     calls_before = box.call_count
     discovery = discover_candidate_plans(
@@ -202,4 +209,56 @@ def validate_discovery(
         found_signatures=frozenset(discovery.witnesses),
         discovery_complete=discovery.complete,
         optimizer_calls=box.call_count - calls_before,
+    )
+
+
+def _validation_worker(
+    query: QuerySpec,
+) -> tuple[EstimationValidation, DiscoveryValidation]:
+    """Both validations for one query, run in a (possibly forked) worker."""
+    payload = worker_payload()
+    cache_root = payload["cache_root"]
+    cache = PlanCache(cache_root) if cache_root is not None else None
+    catalog = worker_catalog()
+    estimation = validate_estimation(
+        query,
+        catalog,
+        payload["scenario_key"],
+        delta=payload["delta"],
+        cache=cache,
+    )
+    discovery = validate_discovery(
+        query,
+        catalog,
+        payload["scenario_key"],
+        delta=payload["delta"],
+        cache=cache,
+    )
+    return estimation, discovery
+
+
+def run_validation(
+    queries: "list[QuerySpec]",
+    catalog: Catalog,
+    config_key: str = "shared",
+    delta: float = 100.0,
+    jobs: int = 1,
+    cache: "PlanCache | None" = None,
+) -> list[tuple[EstimationValidation, DiscoveryValidation]]:
+    """Estimation + discovery validation over several queries.
+
+    ``jobs`` spreads queries over worker processes; per-query results
+    are identical to the serial run and keep input order.
+    """
+    payload = {
+        "scenario_key": config_key,
+        "delta": delta,
+        "cache_root": str(cache.root) if cache is not None else None,
+    }
+    return parallel_map(
+        _validation_worker,
+        queries,
+        jobs=jobs,
+        catalog_spec=catalog,
+        payload=payload,
     )

@@ -25,9 +25,10 @@ from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
 from ..core.worstcase import WorstCaseCurve, worst_case_curve
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
-from ..optimizer.parametric import candidate_plans
+from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
 from ..workloads.tpch_queries import build_tpch_queries
+from .parallel import parallel_map, worker_catalog, worker_payload
 from .scenarios import DEFAULT_DELTAS, Scenario, scenario
 
 __all__ = [
@@ -114,12 +115,14 @@ def run_query_worst_case(
     config: Scenario,
     deltas: Sequence[float] = DEFAULT_DELTAS,
     cell_cap: int | None = 64,
+    cache: PlanCache | None = None,
 ) -> QueryWorstCase:
     """Worst-case curve of one query under one storage scenario."""
     layout = config.layout_for(query)
     widest = config.region(layout, max(deltas))
-    candidates = candidate_plans(
-        query, catalog, params, layout, widest, cell_cap=cell_cap
+    candidates = cached_candidate_plans(
+        query, catalog, params, layout, widest, cell_cap=cell_cap,
+        cache=cache, scenario_key=config.key,
     )
     if not candidates.plans:
         raise RuntimeError(
@@ -147,6 +150,22 @@ def run_query_worst_case(
     )
 
 
+def _curve_worker(query: QuerySpec) -> QueryWorstCase:
+    """Per-query figure work, run in a (possibly forked) worker."""
+    payload = worker_payload()
+    cache_root = payload["cache_root"]
+    cache = PlanCache(cache_root) if cache_root is not None else None
+    return run_query_worst_case(
+        query,
+        worker_catalog(),
+        payload["params"],
+        scenario(payload["scenario_key"]),
+        payload["deltas"],
+        payload["cell_cap"],
+        cache=cache,
+    )
+
+
 def run_figure(
     scenario_key: str,
     catalog: Catalog | None = None,
@@ -154,19 +173,39 @@ def run_figure(
     params: SystemParameters = DEFAULT_PARAMETERS,
     deltas: Sequence[float] = DEFAULT_DELTAS,
     cell_cap: int | None = 64,
+    jobs: int = 1,
+    cache: PlanCache | None = None,
+    scale: float = 100.0,
 ) -> FigureResult:
-    """Regenerate one of Figures 5-7 over (by default) all 22 queries."""
+    """Regenerate one of Figures 5-7 over (by default) all 22 queries.
+
+    ``jobs`` spreads queries over worker processes (results keep input
+    order and are identical to the serial run); ``cache`` persists each
+    query's candidate set across invocations.
+    """
     config = scenario(scenario_key)
+    catalog_spec: "Catalog | float"
     if catalog is None:
-        catalog = build_tpch_catalog(100)
+        catalog = build_tpch_catalog(scale)
+        catalog_spec = float(scale)
+    else:
+        catalog_spec = catalog
     if queries is None:
         queries = build_tpch_queries(catalog)
-    curves = [
-        run_query_worst_case(
-            query, catalog, params, config, deltas, cell_cap
-        )
-        for query in queries.values()
-    ]
+    payload = {
+        "scenario_key": config.key,
+        "params": params,
+        "deltas": tuple(deltas),
+        "cell_cap": cell_cap,
+        "cache_root": str(cache.root) if cache is not None else None,
+    }
+    curves = parallel_map(
+        _curve_worker,
+        queries.values(),
+        jobs=jobs,
+        catalog_spec=catalog_spec,
+        payload=payload,
+    )
     return FigureResult(
         scenario_key=scenario_key,
         figure=config.figure,

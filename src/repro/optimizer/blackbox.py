@@ -4,11 +4,16 @@ Two implementations of :class:`repro.core.blackbox.BlackBoxOptimizer`:
 
 * :class:`OptimizerBlackBox` — honest: every ``optimize(C)`` call runs
   the full scalar dynamic program, exactly like re-invoking DB2 with
-  new ``db2fopt`` cost settings.  Slow but faithful.
+  new ``db2fopt`` cost settings.  Slow but faithful; its batch entry
+  point is necessarily a loop (every probe re-plans the query).
 * :class:`CandidateBackedBlackBox` — fast: answers from a precomputed
   candidate plan set.  Because the candidate set contains every plan
   that can be optimal over the region, the answers are identical to the
-  honest box within that region; large sweeps use this one.
+  honest box within that region; large sweeps use this one.  The
+  candidate usage vectors are stacked into one cached ``(m, n)``
+  matrix, so a whole batch of cost vectors is answered with a single
+  ``C @ U.T`` matrix product plus a row-wise argmin instead of a
+  Python loop over plans per call.
 
 Both report only ``(plan signature, estimated total cost)`` — usage
 vectors stay hidden, which is the entire point of the paper's
@@ -17,8 +22,10 @@ extraction algorithms.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..catalog.statistics import Catalog
-from ..core.blackbox import PlanChoice
+from ..core.blackbox import PlanChoice, as_cost_matrix
 from ..core.vectors import CostVector
 from ..storage.layout import StorageLayout
 from .config import SystemParameters
@@ -43,6 +50,7 @@ class OptimizerBlackBox:
         self._catalog = catalog
         self._params = params
         self._layout = layout
+        self._space = layout.center_costs().space
         self.call_count = 0
 
     @property
@@ -58,6 +66,13 @@ class OptimizerBlackBox:
             signature=plan.signature, total_cost=plan.usage.dot(cost)
         )
 
+    def optimize_batch(self, costs) -> list[PlanChoice]:
+        """One full DP run per row — nothing to vectorise here."""
+        matrix = as_cost_matrix(self._space, costs)
+        return [
+            self.optimize(CostVector(self._space, row)) for row in matrix
+        ]
+
 
 class CandidateBackedBlackBox:
     """Answers from a precomputed candidate set (fast, region-exact).
@@ -71,6 +86,9 @@ class CandidateBackedBlackBox:
         if not candidates.plans:
             raise ValueError("candidate set is empty")
         self._candidates = candidates
+        self._space = candidates.region.space
+        self._matrix = candidates.usage_matrix
+        self._signatures = candidates.signatures
         self.call_count = 0
 
     @property
@@ -86,9 +104,30 @@ class CandidateBackedBlackBox:
 
     def optimize(self, cost: CostVector) -> PlanChoice:
         self.call_count += 1
-        plans = self._candidates.plans
-        totals = [plan.usage.dot(cost) for plan in plans]
-        index = min(range(len(totals)), key=lambda i: (totals[i], i))
+        self._space.require_same(cost.space)
+        totals = self._matrix @ cost.values
+        index = int(np.argmin(totals))
         return PlanChoice(
-            signature=plans[index].signature, total_cost=totals[index]
+            signature=self._signatures[index],
+            total_cost=float(self._matrix[index] @ cost.values),
         )
+
+    def optimize_batch(self, costs) -> list[PlanChoice]:
+        """Whole batch in one ``C @ U.T`` against the cached matrix.
+
+        The reported totals are recomputed as per-plan dot products so
+        they match :meth:`optimize` bitwise for the same chosen plan.
+        """
+        matrix = as_cost_matrix(self._space, costs)
+        self.call_count += len(matrix)
+        if not len(matrix):
+            return []
+        totals = matrix @ self._matrix.T
+        indices = np.argmin(totals, axis=1)
+        return [
+            PlanChoice(
+                signature=self._signatures[index],
+                total_cost=float(self._matrix[index] @ row),
+            )
+            for index, row in zip(indices, matrix)
+        ]

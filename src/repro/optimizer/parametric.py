@@ -17,7 +17,9 @@ least-squares estimates must match these usage vectors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..catalog.statistics import Catalog
 from ..core.candidates import candidate_optimal_indices
@@ -41,6 +43,11 @@ class CandidateSet:
     #: True if the DP hit its per-cell cap, i.e. the set may be missing
     #: plans (reported, never silently ignored).
     truncated: bool
+    #: Lazily stacked ``(m, n)`` usage matrix shared by every consumer
+    #: that sweeps the set (black boxes, Monte-Carlo, argmin below).
+    _matrix: "np.ndarray | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def usages(self) -> list[UsageVector]:
@@ -50,11 +57,23 @@ class CandidateSet:
     def signatures(self) -> tuple[str, ...]:
         return tuple(plan.signature for plan in self.plans)
 
+    @property
+    def usage_matrix(self) -> np.ndarray:
+        """The plans' usage vectors stacked into an ``(m, n)`` matrix."""
+        if self._matrix is None:
+            self._matrix = np.vstack(
+                [plan.usage.values for plan in self.plans]
+            )
+        return self._matrix
+
     def initial_plan_index(self, center: CostVector | None = None) -> int:
-        """Index of the plan optimal at the region center (``C_0``)."""
+        """Index of the plan optimal at the region center (``C_0``).
+
+        Single vectorised ``U @ C`` + argmin; ``np.argmin`` returns the
+        first minimum, preserving the lowest-index tie-break.
+        """
         cost = center or self.region.center
-        totals = [plan.usage.dot(cost) for plan in self.plans]
-        return min(range(len(totals)), key=lambda i: (totals[i], i))
+        return int(np.argmin(self.usage_matrix @ cost.values))
 
     def __len__(self) -> int:
         return len(self.plans)
@@ -68,20 +87,19 @@ def _deduplicate(plans: list[CostedPlan]) -> list[CostedPlan]:
 
     Different orders can leave the same plan twice in the root set;
     plans with equal usage vectors are interchangeable for the
-    geometric analysis, so the first is kept.
+    geometric analysis, so the first is kept.  A plan survives iff it
+    is the first occurrence of both its signature and its usage row,
+    found with two vectorised ``np.unique`` passes over the stacked
+    usage matrix and signature array instead of a per-plan scan.
     """
-    seen_signatures: set[str] = set()
-    seen_usage: set[bytes] = set()
-    result = []
-    for plan in plans:
-        signature = plan.signature
-        usage_key = plan.usage.values.tobytes()
-        if signature in seen_signatures or usage_key in seen_usage:
-            continue
-        seen_signatures.add(signature)
-        seen_usage.add(usage_key)
-        result.append(plan)
-    return result
+    if not plans:
+        return []
+    matrix = np.vstack([plan.usage.values for plan in plans])
+    __, first_usage = np.unique(matrix, axis=0, return_index=True)
+    signatures = np.asarray([plan.signature for plan in plans])
+    __, first_signature = np.unique(signatures, return_index=True)
+    keep = np.intersect1d(first_usage, first_signature)
+    return [plans[i] for i in keep]
 
 
 def candidate_plans(

@@ -137,3 +137,76 @@ def test_call_budget_accounting_is_consistent():
     )
     assert result.optimizer_calls <= box.call_count
     assert result.boxes_settled <= result.boxes_examined
+
+
+class _LoopOnly:
+    """Hides ``optimize_batch``, forcing the per-point fallback."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def optimize(self, cost):
+        return self._inner.optimize(cost)
+
+    @property
+    def call_count(self):
+        return self._inner.call_count
+
+
+@pytest.mark.parametrize("budget", [20000, 60, 5])
+@pytest.mark.parametrize("estimate", [False, True])
+def test_batched_probing_equals_looped_probing(budget, estimate):
+    """Vectorised probing must not change discovery in any way.
+
+    Same plans, same witnesses, same call accounting, same box counts —
+    at a generous budget, at a budget that cuts probing short, and with
+    or without the estimation phase.
+    """
+    region = FeasibleRegion(CENTER, 100.0)
+    results = []
+    for wrap in (lambda box: box, _LoopOnly):
+        box = TabularBlackBox(_plans())
+        results.append(
+            discover_candidate_plans(
+                wrap(box),
+                region,
+                max_optimizer_calls=budget,
+                rng=np.random.default_rng(8),
+                estimate_usages=estimate,
+            )
+        )
+    batched, looped = results
+    assert batched.signatures == looped.signatures
+    assert batched.optimizer_calls == looped.optimizer_calls
+    assert batched.complete == looped.complete
+    assert batched.boxes_examined == looped.boxes_examined
+    assert batched.boxes_settled == looped.boxes_settled
+    assert list(batched.witnesses) == list(looped.witnesses)
+    for signature, witness in batched.witnesses.items():
+        assert np.array_equal(
+            witness.values, looped.witnesses[signature].values
+        )
+    for signature, plan in batched.plans.items():
+        assert np.array_equal(
+            plan.usage.values, looped.plans[signature].usage.values
+        )
+
+
+def test_probe_cache_merges_float_noise_duplicates():
+    """Corners recomputed with last-bit noise must hit the probe cache."""
+    from repro.core.discovery import _round_key
+
+    base = 0.1 * np.sqrt(2.0)
+    noisy = base * (1.0 + 2e-16)
+    assert noisy != base  # genuinely different floats...
+    assert _round_key([base, 7.0]) == _round_key([noisy, 7.0])
+    # ...but honest differences survive rounding.
+    assert _round_key([base, 7.0]) != _round_key([base * 1.001, 7.0])
+
+
+def test_probe_cache_key_rounding_spans_magnitudes():
+    from repro.core.discovery import _round_key
+
+    for magnitude in (1e-6, 1.0, 24.1, 1e4):
+        noisy = magnitude * (1.0 + 3e-16)
+        assert _round_key([magnitude]) == _round_key([noisy])

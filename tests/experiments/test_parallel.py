@@ -1,0 +1,117 @@
+"""``--jobs N`` is a wall-clock knob, not a semantics knob.
+
+Every sweep result must be identical — down to the last float bit —
+whether queries run serially in-process or spread over worker
+processes, and whether candidate sets come from the disk cache or are
+recomputed.
+"""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments import (
+    figure_to_csv,
+    parallel_map,
+    run_expected_regret,
+    run_figure,
+    run_validation,
+)
+from repro.experiments.parallel import worker_catalog, worker_payload
+from repro.optimizer.plancache import PlanCache
+from repro.workloads import build_tpch_queries
+
+DELTAS = (1.0, 100.0, 10000.0)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def queries(catalog):
+    full = build_tpch_queries(catalog)
+    return {k: full[k] for k in ("Q1", "Q6", "Q14")}
+
+
+def _probe_worker(item):
+    rows = worker_catalog().row_count("LINEITEM")
+    return (item, rows, worker_payload()["tag"])
+
+
+def test_parallel_map_serial_path(catalog):
+    rows = catalog.row_count("LINEITEM")
+    results = parallel_map(
+        _probe_worker, [1, 2, 3], jobs=1,
+        catalog_spec=catalog, payload={"tag": "x"},
+    )
+    assert results == [(1, rows, "x"), (2, rows, "x"), (3, rows, "x")]
+
+
+def test_parallel_map_workers_build_catalog_from_scale(catalog):
+    rows_at_10 = build_tpch_catalog(10).row_count("LINEITEM")
+    assert rows_at_10 != catalog.row_count("LINEITEM")
+    results = parallel_map(
+        _probe_worker, [1, 2], jobs=2,
+        catalog_spec=10.0, payload={"tag": "y"},
+    )
+    assert results == [(1, rows_at_10, "y"), (2, rows_at_10, "y")]
+
+
+def _assert_figures_bitwise_equal(one, two):
+    assert figure_to_csv(one) == figure_to_csv(two)
+    for a, b in zip(one.curves, two.curves):
+        assert a.query_name == b.query_name
+        assert a.initial_signature == b.initial_signature
+        assert a.n_candidates == b.n_candidates
+        for pa, pb in zip(a.curve.points, b.curve.points):
+            assert pa.delta == pb.delta
+            assert pa.gtc == pb.gtc
+
+
+def test_figure_jobs2_equals_serial(catalog, queries):
+    serial = run_figure(
+        "shared", catalog=catalog, queries=queries, deltas=DELTAS
+    )
+    parallel = run_figure(
+        "shared", catalog=catalog, queries=queries, deltas=DELTAS, jobs=2
+    )
+    _assert_figures_bitwise_equal(serial, parallel)
+
+
+def test_figure_jobs2_with_cache_equals_serial(tmp_path, catalog, queries):
+    cache = PlanCache(tmp_path)
+    serial = run_figure(
+        "split", catalog=catalog, queries=queries, deltas=DELTAS
+    )
+    cold = run_figure(
+        "split", catalog=catalog, queries=queries, deltas=DELTAS,
+        jobs=2, cache=cache,
+    )
+    warm = run_figure(
+        "split", catalog=catalog, queries=queries, deltas=DELTAS,
+        jobs=2, cache=cache,
+    )
+    _assert_figures_bitwise_equal(serial, cold)
+    _assert_figures_bitwise_equal(serial, warm)
+
+
+def test_expected_regret_jobs2_equals_serial(catalog, queries):
+    kwargs = dict(
+        catalog=catalog, queries=queries, delta=10.0, n_samples=200
+    )
+    serial = run_expected_regret("shared", **kwargs)
+    parallel = run_expected_regret("shared", jobs=2, **kwargs)
+    for a, b in zip(serial, parallel):
+        assert a == b
+
+
+def test_validation_jobs2_equals_serial(catalog, queries):
+    targets = [queries["Q6"], queries["Q14"]]
+    serial = run_validation(targets, catalog, "shared", delta=10.0)
+    parallel = run_validation(
+        targets, catalog, "shared", delta=10.0, jobs=2
+    )
+    for (est_a, disc_a), (est_b, disc_b) in zip(serial, parallel):
+        assert est_a == est_b
+        assert disc_a == disc_b

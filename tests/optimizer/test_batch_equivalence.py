@@ -1,0 +1,115 @@
+"""Batched plan evaluation must be indistinguishable from looping.
+
+The discovery and sweep code answer probes through
+``optimize_batch`` / :func:`repro.core.blackbox.batch_optimize`; these
+tests pin the contract on real TPC-H queries across all three storage
+scenarios, for both black-box implementations: identical plan
+signatures, bitwise-identical reported costs, and identical call
+accounting, whether the batch arrives as a matrix or as a sequence of
+cost vectors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.core.blackbox import batch_optimize
+from repro.experiments.scenarios import scenario
+from repro.optimizer.blackbox import (
+    CandidateBackedBlackBox,
+    OptimizerBlackBox,
+)
+from repro.optimizer.config import DEFAULT_PARAMETERS
+from repro.optimizer.parametric import candidate_plans
+from repro.workloads import tpch_query
+
+SCENARIOS = ("shared", "split", "colocated")
+#: Small queries: the honest box runs a full DP per probe.
+QUERIES = ("Q1", "Q6", "Q14")
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+def _setup(query_name, scenario_key, catalog):
+    query = tpch_query(query_name, catalog)
+    config = scenario(scenario_key)
+    layout = config.layout_for(query)
+    region = config.region(layout, 100.0)
+    candidates = candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region
+    )
+    return query, layout, region, candidates
+
+
+def _assert_batch_matches_loop(box, region, n_points, seed=0):
+    grid = region.sample(np.random.default_rng(seed), n_points)
+    matrix = np.vstack([cost.values for cost in grid])
+
+    looped = [box.optimize(cost) for cost in grid]
+    calls_before = box.call_count
+    from_matrix = box.optimize_batch(matrix)
+    assert box.call_count == calls_before + n_points
+    from_sequence = box.optimize_batch(grid)
+
+    for one, two, three in zip(looped, from_matrix, from_sequence):
+        assert one.signature == two.signature == three.signature
+        assert one.total_cost == two.total_cost == three.total_cost
+
+
+@pytest.mark.parametrize("scenario_key", SCENARIOS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_candidate_backed_box(query_name, scenario_key, catalog):
+    __, __, region, candidates = _setup(query_name, scenario_key, catalog)
+    box = CandidateBackedBlackBox(candidates)
+    _assert_batch_matches_loop(box, region, n_points=16)
+
+
+@pytest.mark.parametrize("scenario_key", SCENARIOS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_honest_optimizer_box(query_name, scenario_key, catalog):
+    query, layout, region, __ = _setup(query_name, scenario_key, catalog)
+    box = OptimizerBlackBox(query, catalog, DEFAULT_PARAMETERS, layout)
+    _assert_batch_matches_loop(box, region, n_points=4)
+
+
+class _LoopOnly:
+    """Hides ``optimize_batch`` to force the generic fallback path."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def optimize(self, cost):
+        return self._inner.optimize(cost)
+
+
+def test_batch_optimize_fallback_matches_native(catalog):
+    __, __, region, candidates = _setup("Q14", "split", catalog)
+    box = CandidateBackedBlackBox(candidates)
+    grid = region.sample(np.random.default_rng(7), 32)
+    matrix = np.vstack([cost.values for cost in grid])
+    native = batch_optimize(box, region.space, matrix)
+    fallback = batch_optimize(_LoopOnly(box), region.space, matrix)
+    for one, two in zip(native, fallback):
+        assert one.signature == two.signature
+        assert one.total_cost == two.total_cost
+
+
+def test_empty_batch(catalog):
+    __, __, region, candidates = _setup("Q6", "shared", catalog)
+    box = CandidateBackedBlackBox(candidates)
+    before = box.call_count
+    assert box.optimize_batch(np.empty((0, region.space.dimension))) == []
+    assert box.optimize_batch([]) == []
+    assert box.call_count == before
+
+
+def test_shape_mismatch_rejected(catalog):
+    __, __, region, candidates = _setup("Q6", "shared", catalog)
+    box = CandidateBackedBlackBox(candidates)
+    with pytest.raises(ValueError):
+        box.optimize_batch(
+            np.ones((3, region.space.dimension + 1))
+        )

@@ -1,0 +1,132 @@
+"""Tests for the content-addressed candidate-set disk cache."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments.scenarios import scenario
+from repro.optimizer.config import DEFAULT_PARAMETERS
+from repro.optimizer.parametric import candidate_plans
+from repro.optimizer.plancache import (
+    PlanCache,
+    cached_candidate_plans,
+    default_cache_dir,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def setup(catalog):
+    from repro.workloads import tpch_query
+
+    query = tpch_query("Q6", catalog)
+    config = scenario("shared")
+    layout = config.layout_for(query)
+    region = config.region(layout, 10.0)
+    return query, layout, region
+
+
+def test_roundtrip_returns_identical_set(tmp_path, catalog, setup):
+    query, layout, region = setup
+    cache = PlanCache(tmp_path)
+    cold = cached_candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region,
+        cache=cache, scenario_key="shared",
+    )
+    warm = cached_candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region,
+        cache=cache, scenario_key="shared",
+    )
+    uncached = candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region
+    )
+    for result in (cold, warm):
+        assert result.query_name == uncached.query_name
+        assert result.signatures == uncached.signatures
+        assert result.truncated == uncached.truncated
+        assert np.array_equal(result.usage_matrix, uncached.usage_matrix)
+    assert any(tmp_path.rglob("*.pkl"))
+
+
+def test_no_cache_is_passthrough(catalog, setup):
+    query, layout, region = setup
+    result = cached_candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region, cache=None
+    )
+    assert result.signatures
+
+
+def test_key_sensitivity(tmp_path, catalog, setup):
+    query, layout, region = setup
+    cache = PlanCache(tmp_path)
+
+    def key(**overrides):
+        kwargs = dict(
+            query_name=query.name,
+            scenario_key="shared",
+            delta=region.delta,
+            params=DEFAULT_PARAMETERS,
+            cell_cap=64,
+            catalog=catalog,
+        )
+        kwargs.update(overrides)
+        return cache.key_for(**kwargs)
+
+    base = key()
+    assert key() == base  # deterministic
+    assert key(query_name="Q5") != base
+    assert key(scenario_key="split") != base
+    assert key(delta=region.delta * 2) != base
+    assert key(cell_cap=None) != base
+    assert key(catalog=build_tpch_catalog(10)) != base
+    slower_cpu = dataclasses.replace(
+        DEFAULT_PARAMETERS,
+        cpu_per_tuple=DEFAULT_PARAMETERS.cpu_per_tuple * 2,
+    )
+    assert key(params=slower_cpu) != base
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, catalog, setup):
+    query, layout, region = setup
+    cache = PlanCache(tmp_path)
+    cached_candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region,
+        cache=cache, scenario_key="shared",
+    )
+    for path in tmp_path.rglob("*.pkl"):
+        path.write_bytes(b"not a pickle")
+    # Corruption must be silently recomputed, then re-written intact.
+    result = cached_candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region,
+        cache=cache, scenario_key="shared",
+    )
+    assert result.signatures
+    key = cache.key_for(
+        query_name=query.name, scenario_key="shared", delta=region.delta,
+        params=DEFAULT_PARAMETERS, cell_cap=64, catalog=catalog,
+    )
+    assert cache.load(key) is not None
+
+
+def test_unwritable_cache_never_fails(catalog, setup):
+    query, layout, region = setup
+    cache = PlanCache("/proc/no-such-place/cache")
+    result = cached_candidate_plans(
+        query, catalog, DEFAULT_PARAMETERS, layout, region,
+        cache=cache, scenario_key="shared",
+    )
+    assert result.signatures
+
+
+def test_default_cache_dir_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert default_cache_dir() == ".repro-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/elsewhere")
+    assert default_cache_dir() == "/tmp/elsewhere"
+    assert str(PlanCache().root) == "/tmp/elsewhere"
