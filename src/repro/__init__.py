@@ -32,16 +32,21 @@ Package layout
 ``repro.dbgen`` / ``repro.executor``
     A miniature TPC-H data generator and an iterator-model executor
     with I/O accounting, used to validate the optimizer's cost model.
+``repro.obs``
+    Zero-dependency observability: structured tracing, a
+    process-mergeable metrics registry, machine-readable run
+    manifests, and logging wiring.
 """
 
 __version__ = "1.0.0"
 
-from . import catalog, core, experiments, optimizer, storage, workloads
+from . import catalog, core, experiments, obs, optimizer, storage, workloads
 
 __all__ = [
     "catalog",
     "core",
     "experiments",
+    "obs",
     "optimizer",
     "storage",
     "workloads",

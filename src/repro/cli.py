@@ -11,7 +11,9 @@ Run via ``python -m repro <command>``:
 * ``diagram QUERY X_DEVICE Y_DEVICE`` — an ASCII plan diagram over two
   device-cost axes;
 * ``params`` — the Section 7.3 system parameter table;
-* ``validate QUERY`` — black-box estimation + discovery validation.
+* ``validate QUERY`` — black-box estimation + discovery validation;
+* ``report MANIFEST [MANIFEST]`` — render a run manifest into a
+  phase/time/cache breakdown, or diff two manifests.
 
 Every command accepts ``--scale`` (TPC-H scale factor, default 100)
 and ``--queries Q1,Q5,...`` to restrict the workload.  Commands that
@@ -20,22 +22,59 @@ compute candidate plan sets cache them on disk under ``.repro-cache``
 the cache.  The sweep commands (``figure``, ``expected``,
 ``validate``) additionally take ``--jobs N`` to spread queries over
 worker processes.
+
+Observability: every experiment command writes a ``run-manifest.json``
+(``--manifest PATH`` to move it, ``--no-manifest`` to skip) capturing
+git SHA, configuration, RNG seeds, a catalog digest, SHA-256 digests of
+the rendered results, and a metrics snapshot; ``--trace`` additionally
+records the span tree, ``--metrics-out PATH`` dumps the raw metrics,
+and ``--log-level debug`` surfaces the library's loggers.  Cached runs
+end with a one-line cache summary on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+import time
+from typing import Any, Sequence
 
 from .catalog import build_tpch_catalog
+from .obs import (
+    METRICS,
+    TRACER,
+    build_manifest,
+    catalog_digest,
+    configure_logging,
+    render_comparison,
+    render_manifest,
+    span,
+    text_digest,
+    validate_manifest,
+    write_manifest,
+)
 from .workloads import build_tpch_queries
 
 __all__ = ["main", "build_parser"]
 
+#: Per-invocation context the commands feed the manifest from:
+#: ``catalog_digest``, ``result_digests``, ``seeds``.
+_RUN: dict[str, Any] = {}
+
+
+def _record_digest(name: str, text: str) -> None:
+    """Register one rendered result for the run manifest."""
+    _RUN.setdefault("result_digests", {})[name] = text_digest(text)
+
+
+def _record_seeds(**seeds: Any) -> None:
+    _RUN.setdefault("seeds", {}).update(seeds)
+
 
 def _workload(args):
     catalog = build_tpch_catalog(args.scale)
+    _RUN["catalog_digest"] = catalog_digest(catalog)
     queries = build_tpch_queries(catalog)
     if args.queries:
         wanted = [name.strip().upper() for name in args.queries.split(",")]
@@ -73,6 +112,7 @@ def _cmd_figure(args) -> int:
         args.scenario, catalog=catalog, queries=queries, deltas=deltas,
         jobs=args.jobs, cache=_cache_from_args(args),
     )
+    _record_digest("figure_csv", figure_to_csv(result))
     if args.csv:
         print(figure_to_csv(result), end="")
         return 0
@@ -93,7 +133,9 @@ def _cmd_census(args) -> int:
         args.scenario, catalog=catalog, queries=queries,
         cache=_cache_from_args(args),
     )
-    print(format_census_table(result))
+    table = format_census_table(result)
+    _record_digest("census_table", table)
+    print(table)
     return 0
 
 
@@ -105,7 +147,9 @@ def _cmd_robustness(args) -> int:
         args.scenario, catalog=catalog, queries=queries,
         cache=_cache_from_args(args),
     )
-    print(format_robustness_table(rows))
+    table = format_robustness_table(rows)
+    _record_digest("robustness_table", table)
+    print(table)
     return 0
 
 
@@ -113,12 +157,15 @@ def _cmd_expected(args) -> int:
     from .experiments import format_expected_table, run_expected_regret
 
     catalog, queries = _workload(args)
+    _record_seeds(monte_carlo=0)
     rows = run_expected_regret(
         args.scenario, catalog=catalog, queries=queries,
         delta=args.delta, n_samples=args.samples,
         jobs=args.jobs, cache=_cache_from_args(args),
     )
-    print(format_expected_table(rows))
+    table = format_expected_table(rows)
+    _record_digest("expected_table", table)
+    print(table)
     return 0
 
 
@@ -156,7 +203,9 @@ def _cmd_diagram(args) -> int:
         resolution=args.resolution,
         signatures=candidates.signatures,
     )
-    print(diagram.render())
+    rendered = diagram.render()
+    _record_digest("diagram", rendered)
+    print(rendered)
     return 0
 
 
@@ -164,7 +213,9 @@ def _cmd_params(args) -> int:
     from .experiments import format_parameter_table
     from .optimizer.config import DEFAULT_PARAMETERS
 
-    print(format_parameter_table(DEFAULT_PARAMETERS.as_db2_table()))
+    table = format_parameter_table(DEFAULT_PARAMETERS.as_db2_table())
+    _record_digest("params_table", table)
+    print(table)
     return 0
 
 
@@ -176,6 +227,7 @@ def _cmd_validate(args) -> int:
     unknown = [name for name in wanted if name not in queries]
     if unknown:
         raise SystemExit(f"unknown queries: {', '.join(unknown)}")
+    _record_seeds(estimation=0, discovery=0)
     results = run_validation(
         [queries[name] for name in wanted],
         catalog,
@@ -184,23 +236,51 @@ def _cmd_validate(args) -> int:
         jobs=args.jobs,
         cache=_cache_from_args(args),
     )
+    lines = []
     for name, (estimation, discovery) in zip(wanted, results):
         if len(wanted) > 1:
-            print(f"{name}:")
-        print(
+            lines.append(f"{name}:")
+        lines.append(
             f"estimation: {len(estimation.prediction_errors)} plans, "
             f"worst prediction error "
             f"{estimation.worst_prediction_error * 100:.4f}% "
             f"(paper criterion < 1%: "
             f"{'PASS' if estimation.meets_paper_criterion else 'FAIL'})"
         )
-        print(
+        lines.append(
             f"discovery:  {len(discovery.found_signatures)}/"
             f"{len(discovery.true_signatures)} candidate plans found "
             f"(recall {discovery.recall:.2f}, "
             f"spurious {len(discovery.spurious)}, "
             f"{discovery.optimizer_calls} optimizer calls)"
         )
+    report = "\n".join(lines)
+    _record_digest("validation_report", report)
+    print(report)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    manifests = []
+    for path in args.manifests:
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read manifest {path}: {exc}")
+        errors = validate_manifest(data)
+        if errors:
+            print(
+                f"{path}: invalid manifest:", file=sys.stderr
+            )
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+            return 1
+        manifests.append(data)
+    if len(manifests) == 1:
+        print(render_manifest(manifests[0]))
+    else:
+        print(render_comparison(manifests[0], manifests[1]))
     return 0
 
 
@@ -225,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="comma-separated subset, e.g. Q3,Q14,Q20",
         )
         cache_flags(p)
+        obs_flags(p)
 
     def cache_flags(p):
         p.add_argument(
@@ -236,6 +317,32 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache", action="store_true",
             help="recompute candidate sets; do not read or write the "
                  "disk cache",
+        )
+
+    def obs_flags(p):
+        p.add_argument(
+            "--trace", action="store_true",
+            help="record a wall/CPU span tree of the run into the "
+                 "manifest",
+        )
+        p.add_argument(
+            "--log-level", default="warning",
+            choices=("debug", "info", "warning", "error"),
+            help="stderr logging level for the repro loggers "
+                 "(default warning)",
+        )
+        p.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="also dump the raw metrics snapshot as JSON",
+        )
+        p.add_argument(
+            "--manifest", default="run-manifest.json", metavar="PATH",
+            help="where to write the machine-readable run manifest "
+                 "(default run-manifest.json)",
+        )
+        p.add_argument(
+            "--no-manifest", action="store_true",
+            help="do not write a run manifest",
         )
 
     def jobs_flag(p):
@@ -295,11 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_diagram.add_argument("--scale", type=float, default=100.0)
     p_diagram.add_argument("--queries", default="")
     cache_flags(p_diagram)
+    obs_flags(p_diagram)
     p_diagram.set_defaults(func=_cmd_diagram)
 
     p_params = sub.add_parser(
         "params", help="the Section 7.3 system parameter table"
     )
+    obs_flags(p_params)
     p_params.set_defaults(func=_cmd_params)
 
     p_validate = sub.add_parser(
@@ -316,15 +425,88 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate.add_argument("--scale", type=float, default=100.0)
     p_validate.add_argument("--queries", default="")
     cache_flags(p_validate)
+    obs_flags(p_validate)
     jobs_flag(p_validate)
     p_validate.set_defaults(func=_cmd_validate)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a run manifest (one arg) or diff two manifests",
+    )
+    p_report.add_argument(
+        "manifests", nargs="+", metavar="MANIFEST",
+        help="path(s) to run-manifest.json files (one or two)",
+    )
+    p_report.set_defaults(func=_cmd_report)
     return parser
+
+
+def _serializable_config(args) -> dict[str, Any]:
+    """The parsed CLI namespace, minus the non-JSON machinery."""
+    config = dict(vars(args))
+    config.pop("func", None)
+    return config
+
+
+def _finish_run(args, wall_seconds: float, cpu_seconds: float) -> None:
+    """Write the manifest/metrics artefacts and the cache summary."""
+    snapshot = METRICS.snapshot()
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        with open(metrics_out, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if getattr(args, "manifest", None) and not getattr(
+        args, "no_manifest", False
+    ):
+        manifest = build_manifest(
+            command=args.command,
+            config=_serializable_config(args),
+            seeds=_RUN.get("seeds"),
+            catalog_sha=_RUN.get("catalog_digest"),
+            result_digests=_RUN.get("result_digests"),
+            metrics=snapshot,
+            trace=TRACER.export() if TRACER.enabled else None,
+            wall_seconds=wall_seconds,
+            cpu_seconds=cpu_seconds,
+        )
+        write_manifest(manifest, args.manifest)
+    counters = snapshot["counters"]
+    lookups = (
+        counters.get("plancache.hits", 0)
+        + counters.get("plancache.misses", 0)
+    )
+    if lookups and not getattr(args, "no_cache", False):
+        from .optimizer.plancache import default_cache_dir
+
+        cache_dir = getattr(args, "cache_dir", None) or \
+            default_cache_dir()
+        print(
+            f"cache: {counters.get('plancache.hits', 0)} hits, "
+            f"{counters.get('plancache.misses', 0)} misses "
+            f"({counters.get('plancache.corrupt', 0)} corrupt) "
+            f"under {cache_dir}",
+            file=sys.stderr,
+        )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(getattr(args, "log_level", "warning"))
+    TRACER.reset()
+    TRACER.enabled = bool(getattr(args, "trace", False))
+    METRICS.reset()
+    _RUN.clear()
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    with span(f"cli.{args.command}"):
+        code = args.func(args)
+    wall_seconds = time.perf_counter() - wall_start
+    cpu_seconds = time.process_time() - cpu_start
+    if args.command != "report":
+        _finish_run(args, wall_seconds, cpu_seconds)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

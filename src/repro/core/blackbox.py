@@ -32,6 +32,7 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..obs.metrics import METRICS
 from .vectors import CostVector, UsageVector
 
 __all__ = [
@@ -84,8 +85,12 @@ def batch_optimize(optimizer, space, costs) -> list[PlanChoice]:
     """
     method = getattr(optimizer, "optimize_batch", None)
     if method is not None:
-        return method(costs)
+        choices = method(costs)
+        METRICS.counter("optimize_batch.rows").inc(len(choices))
+        METRICS.counter("optimize_batch.batches").inc()
+        return choices
     matrix = as_cost_matrix(space, costs)
+    METRICS.counter("optimize_batch.fallback_rows").inc(len(matrix))
     return [optimizer.optimize(CostVector(space, row)) for row in matrix]
 
 

@@ -34,17 +34,22 @@ budget covers only a prefix of a batch exactly that prefix is probed
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from .blackbox import BlackBoxOptimizer, batch_optimize
 from .estimation import UsageEstimate, estimate_usage_vector
 from .feasible import FeasibleRegion
 from .vectors import CostVector
 
 __all__ = ["DiscoveryResult", "discover_candidate_plans"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -194,13 +199,24 @@ class _BatchProber:
         """
         fresh: list[bytes] = []
         seen: set[bytes] = set()
+        requested = 0
         for key in keys:
+            requested += 1
             if key in self._cache or key in seen:
                 continue
             seen.add(key)
             fresh.append(key)
         take = min(len(fresh), max(self._budget.remaining, 0))
+        METRICS.counter("discovery.probes_requested").inc(requested)
+        METRICS.counter("discovery.probe_cache_hits").inc(
+            requested - len(fresh)
+        )
+        if take < len(fresh):
+            METRICS.counter("discovery.probes_dropped").inc(
+                len(fresh) - take
+            )
         if take:
+            METRICS.counter("discovery.probes_total").inc(take)
             batch = fresh[:take]
             matrix = self._cost_matrix(batch)
             self._budget.take(take)
@@ -261,7 +277,11 @@ def discover_candidate_plans(
         seeds.append(
             _round_key([float(delta ** exponent) for exponent in point])
         )
-    prober.probe(seeds)
+    with span(
+        "discovery.initial_probes", probes=len(seeds), groups=g
+    ) as current:
+        prober.probe(seeds)
+        current.set(plans_found=len(found))
 
     # --- Step 5 driver: level-synchronous Observation-3 subdivision ---
     # Boxes are (lo, hi) multiplier tuples.  A box whose 2**g vertices
@@ -279,59 +299,85 @@ def discover_candidate_plans(
         np.arange(1 << g)[:, None] >> np.arange(g - 1, -1, -1)[None, :]
     ) & 1
     settled_everything = True
+    level = 0
     while frontier:
-        corners_per_box = [
-            _box_corners(lo, hi, bits) for lo, hi, __ in frontier
-        ]
-        prober.probe(
-            corner for corners in corners_per_box for corner in corners
-        )
-        next_frontier: list[
-            tuple[tuple[float, ...], tuple[float, ...], int]
-        ] = []
-        resolution_centers: list[bytes] = []
-        aborted = False
-        for (lo, hi, depth), corners in zip(frontier, corners_per_box):
-            result.boxes_examined += 1
-            vertex_plans = set()
-            for corner in corners:
-                signature = prober.lookup(corner)
-                if signature is None:  # budget exhausted
-                    aborted = True
+        with span(
+            "discovery.probe_batch", level=level, boxes=len(frontier)
+        ) as current:
+            corners_per_box = [
+                _box_corners(lo, hi, bits) for lo, hi, __ in frontier
+            ]
+            prober.probe(
+                corner
+                for corners in corners_per_box
+                for corner in corners
+            )
+            next_frontier: list[
+                tuple[tuple[float, ...], tuple[float, ...], int]
+            ] = []
+            resolution_centers: list[bytes] = []
+            aborted = False
+            settled_before = result.boxes_settled
+            for (lo, hi, depth), corners in zip(
+                frontier, corners_per_box
+            ):
+                result.boxes_examined += 1
+                vertex_plans = set()
+                for corner in corners:
+                    signature = prober.lookup(corner)
+                    if signature is None:  # budget exhausted
+                        aborted = True
+                        break
+                    vertex_plans.add(signature)
+                if aborted:
                     break
-                vertex_plans.add(signature)
-            if aborted:
-                break
-            if len(vertex_plans) == 1:
-                result.boxes_settled += 1
-                continue
-            edge_ratios = [h / l for l, h in zip(lo, hi)]
-            widest = int(np.argmax(edge_ratios))
-            if depth >= max_depth or edge_ratios[widest] <= min_edge_ratio:
-                # Resolution limit: several plans meet inside this box
-                # but the box is already tiny.  Probe its center once
-                # more and accept the remaining uncertainty.
-                resolution_centers.append(
-                    _round_key([np.sqrt(l * h) for l, h in zip(lo, hi)])
+                if len(vertex_plans) == 1:
+                    result.boxes_settled += 1
+                    continue
+                edge_ratios = [h / l for l, h in zip(lo, hi)]
+                widest = int(np.argmax(edge_ratios))
+                if (
+                    depth >= max_depth
+                    or edge_ratios[widest] <= min_edge_ratio
+                ):
+                    # Resolution limit: several plans meet inside this
+                    # box but the box is already tiny.  Probe its
+                    # center once more and accept the remaining
+                    # uncertainty.
+                    resolution_centers.append(
+                        _round_key(
+                            [np.sqrt(l * h) for l, h in zip(lo, hi)]
+                        )
+                    )
+                    result.boxes_settled += 1
+                    continue
+                split = float(
+                    np.sqrt(lo[widest] * hi[widest])
+                )  # log-midpoint
+                lo_list, hi_list = list(lo), list(hi)
+                hi_left = hi_list.copy()
+                hi_left[widest] = split
+                lo_right = lo_list.copy()
+                lo_right[widest] = split
+                next_frontier.append(
+                    (tuple(lo_list), tuple(hi_left), depth + 1)
                 )
-                result.boxes_settled += 1
-                continue
-            split = float(np.sqrt(lo[widest] * hi[widest]))  # log-midpoint
-            lo_list, hi_list = list(lo), list(hi)
-            hi_left = hi_list.copy()
-            hi_left[widest] = split
-            lo_right = lo_list.copy()
-            lo_right[widest] = split
-            next_frontier.append(
-                (tuple(lo_list), tuple(hi_left), depth + 1)
+                next_frontier.append(
+                    (tuple(lo_right), tuple(hi_list), depth + 1)
+                )
+            if resolution_centers:
+                # A center probe that no longer fits the budget is
+                # dropped silently — it cannot change the box's
+                # settled status.
+                prober.probe(resolution_centers)
+            current.set(
+                settled=result.boxes_settled - settled_before,
+                split=len(next_frontier),
+                plans_found=len(found),
+                budget_used=budget.used,
+                aborted=aborted,
             )
-            next_frontier.append(
-                (tuple(lo_right), tuple(hi_list), depth + 1)
-            )
-        if resolution_centers:
-            # A center probe that no longer fits the budget is dropped
-            # silently — it cannot change the box's settled status.
-            prober.probe(resolution_centers)
+        level += 1
         if aborted:
             settled_everything = False
             break
@@ -339,33 +385,61 @@ def discover_candidate_plans(
 
     result.witnesses = dict(found)
     result.complete = settled_everything and not budget.exhausted
+    if not settled_everything:
+        logger.warning(
+            "discovery budget (%d calls) exhausted after %d subdivision "
+            "levels with %d plans found; result flagged incomplete",
+            budget.limit, level, len(found),
+        )
 
     # --- Steps 3-4: usage-vector estimation per plan -------------------
     if estimate_usages:
-        for signature, witness in found.items():
-            if budget.exhausted:
-                result.complete = False
-                break
-            remaining = budget.remaining
-            try:
-                estimate = estimate_usage_vector(
-                    optimizer,
-                    signature,
-                    witness,
-                    region,
-                    rng=rng,
-                )
-            except (RuntimeError, ValueError):
-                # Degenerate region of influence: not enough distinct
-                # sample points.  Record the witness without a usage
-                # estimate by skipping; discovery is then incomplete.
-                result.complete = False
-                continue
-            spent = estimate.optimizer_calls
-            if spent > remaining:
-                budget.used = budget.limit
-            else:
-                budget.used += spent
-            result.plans[signature] = estimate
+        with span(
+            "discovery.estimate_usages", plans=len(found)
+        ) as current:
+            for signature, witness in found.items():
+                if budget.exhausted:
+                    result.complete = False
+                    break
+                remaining = budget.remaining
+                try:
+                    estimate = estimate_usage_vector(
+                        optimizer,
+                        signature,
+                        witness,
+                        region,
+                        rng=rng,
+                    )
+                except (RuntimeError, ValueError):
+                    # Degenerate region of influence: not enough
+                    # distinct sample points.  Record the witness
+                    # without a usage estimate by skipping; discovery
+                    # is then incomplete.
+                    logger.debug(
+                        "usage estimation failed for %s (degenerate "
+                        "region of influence)", signature,
+                    )
+                    result.complete = False
+                    continue
+                spent = estimate.optimizer_calls
+                if spent > remaining:
+                    budget.used = budget.limit
+                else:
+                    budget.used += spent
+                result.plans[signature] = estimate
+            current.set(estimated=len(result.plans))
     result.optimizer_calls = budget.used
+    METRICS.counter("discovery.runs").inc()
+    METRICS.counter("discovery.optimizer_calls").inc(budget.used)
+    METRICS.counter("discovery.boxes_examined").inc(
+        result.boxes_examined
+    )
+    METRICS.counter("discovery.boxes_settled").inc(result.boxes_settled)
+    METRICS.counter("discovery.plans_found").inc(len(found))
+    logger.debug(
+        "discovery: %d plans, %d/%d optimizer calls, %d boxes "
+        "examined, complete=%s",
+        len(found), budget.used, budget.limit,
+        result.boxes_examined, result.complete,
+    )
     return result

@@ -21,6 +21,8 @@ import numpy as np
 
 from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
@@ -61,25 +63,35 @@ def analyze_expected_regret(
     cache: PlanCache | None = None,
 ) -> ExpectedRegret:
     """Sample log-uniform drifts and measure the stale plan's regret."""
-    layout = config.layout_for(query)
-    region = config.region(layout, delta)
-    candidates = cached_candidate_plans(
-        query, catalog, params, layout, region, cell_cap=cell_cap,
-        cache=cache, scenario_key=config.key,
-    )
-    matrix = np.vstack([plan.usage.values for plan in candidates.plans])
-    initial_index = candidates.initial_plan_index()
-    initial_row = matrix[initial_index]
-    rng = np.random.default_rng(seed)
-    gtcs = np.empty(n_samples)
-    optimal_hits = 0
-    for position, cost in enumerate(region.sample(rng, n_samples)):
-        totals = matrix @ cost.values
-        best = totals.min()
-        stale = float(initial_row @ cost.values)
-        gtcs[position] = stale / best
-        if stale <= best * (1 + 1e-9):
-            optimal_hits += 1
+    with span(
+        "expected.query", query=query.name, scenario=config.key,
+        samples=n_samples, seed=seed,
+    ) as current:
+        layout = config.layout_for(query)
+        region = config.region(layout, delta)
+        candidates = cached_candidate_plans(
+            query, catalog, params, layout, region, cell_cap=cell_cap,
+            cache=cache, scenario_key=config.key,
+        )
+        matrix = np.vstack(
+            [plan.usage.values for plan in candidates.plans]
+        )
+        initial_index = candidates.initial_plan_index()
+        initial_row = matrix[initial_index]
+        rng = np.random.default_rng(seed)
+        gtcs = np.empty(n_samples)
+        optimal_hits = 0
+        for position, cost in enumerate(region.sample(rng, n_samples)):
+            totals = matrix @ cost.values
+            best = totals.min()
+            stale = float(initial_row @ cost.values)
+            gtcs[position] = stale / best
+            if stale <= best * (1 + 1e-9):
+                optimal_hits += 1
+        current.set(candidates=len(candidates))
+    METRICS.counter("expected.samples_total").inc(n_samples)
+    METRICS.histogram("expected.gtc").observe_many(gtcs)
+    METRICS.histogram(f"expected.gtc[{query.name}]").observe_many(gtcs)
     return ExpectedRegret(
         query_name=query.name,
         scenario_key=config.key,

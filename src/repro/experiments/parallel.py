@@ -15,6 +15,15 @@ protocol, so serial and parallel paths execute identical code and
 produce identical results — ``--jobs N`` is a wall-clock knob, not a
 semantics knob.  Results come back in input order (``executor.map``),
 so output ordering is deterministic regardless of worker scheduling.
+
+Observability crosses the process boundary in both directions.  On the
+way out, workers inherit the parent's tracing flag and log level; on
+the way back, every task ships its metric delta and span sub-tree with
+its result, and the parent :meth:`~repro.obs.metrics.MetricsRegistry.merge`\\ s
+and :meth:`~repro.obs.trace.Tracer.graft`\\ s them.  A ``--jobs N`` run
+therefore reports the *same metric totals* and the *same span-tree
+shape* as the serial run — only the timings differ
+(``tests/experiments/test_parallel_obs.py``).
 """
 
 from __future__ import annotations
@@ -24,15 +33,24 @@ from typing import Any, Callable, Iterable, Mapping
 
 from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
+from ..obs.logs import configure_logging, configured_log_level
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER, span
 
 __all__ = ["parallel_map", "worker_catalog", "worker_payload"]
 
-#: Per-process experiment state: ``{"catalog": ..., "payload": ...}``.
+#: Per-process experiment state:
+#: ``{"catalog": ..., "payload": ..., "worker": ..., "task_span": ...}``.
 _STATE: dict[str, Any] = {}
 
 
-def _init_worker(catalog_spec: "Catalog | float",
-                 payload: Mapping[str, Any]) -> None:
+def _init_worker(
+    catalog_spec: "Catalog | float",
+    payload: Mapping[str, Any],
+    worker: "Callable[[Any], Any] | None" = None,
+    task_span: str = "parallel.task",
+    obs_config: "Mapping[str, Any] | None" = None,
+) -> None:
     """Build the catalog once for this process and park the payload."""
     if isinstance(catalog_spec, Catalog):
         catalog = catalog_spec
@@ -41,6 +59,15 @@ def _init_worker(catalog_spec: "Catalog | float",
     _STATE.clear()
     _STATE["catalog"] = catalog
     _STATE["payload"] = dict(payload)
+    _STATE["worker"] = worker
+    _STATE["task_span"] = task_span
+    if obs_config is not None:
+        # Child process: mirror the parent's observability settings.
+        TRACER.reset()
+        TRACER.enabled = bool(obs_config.get("trace", False))
+        level = obs_config.get("log_level")
+        if level is not None:
+            configure_logging(level)
 
 
 def worker_catalog() -> Catalog:
@@ -53,12 +80,29 @@ def worker_payload() -> dict[str, Any]:
     return _STATE["payload"]
 
 
+def _instrumented_call(task: tuple[int, Any]):
+    """One task in a worker: run it, ship result + spans + metrics.
+
+    The registry is reset per task so each snapshot is exactly this
+    task's delta; the parent merges the deltas, which sums to the same
+    totals the serial path accumulates directly.
+    """
+    index, item = task
+    worker = _STATE["worker"]
+    METRICS.reset()
+    TRACER.reset()
+    with span(_STATE["task_span"], index=index):
+        result = worker(item)
+    return result, TRACER.export(), METRICS.snapshot()
+
+
 def parallel_map(
     worker: Callable[[Any], Any],
     items: Iterable[Any],
     jobs: int = 1,
     catalog_spec: "Catalog | float" = 100.0,
     payload: "Mapping[str, Any] | None" = None,
+    task_span: str = "parallel.task",
 ) -> list[Any]:
     """Map ``worker`` over ``items``, optionally across processes.
 
@@ -67,16 +111,32 @@ def parallel_map(
     :func:`worker_payload`.  ``catalog_spec`` is either a TPC-H scale
     factor (each worker builds its own catalog — cheap, and avoids
     pickling assumptions) or a prebuilt :class:`Catalog` for callers
-    that customised statistics.
+    that customised statistics.  ``task_span`` names the per-item span
+    recorded around each task (identical for serial and parallel runs).
     """
     items = list(items)
     payload = payload or {}
     if jobs <= 1 or len(items) <= 1:
         _init_worker(catalog_spec, payload)
-        return [worker(item) for item in items]
+        results = []
+        for index, item in enumerate(items):
+            with span(task_span, index=index):
+                results.append(worker(item))
+        return results
+    obs_config = {
+        "trace": TRACER.enabled,
+        "log_level": configured_log_level(),
+    }
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(items)),
         initializer=_init_worker,
-        initargs=(catalog_spec, payload),
+        initargs=(catalog_spec, payload, worker, task_span, obs_config),
     ) as pool:
-        return list(pool.map(worker, items))
+        results = []
+        for result, spans, snapshot in pool.map(
+            _instrumented_call, enumerate(items)
+        ):
+            TRACER.graft(spans)
+            METRICS.merge(snapshot)
+            results.append(result)
+        return results

@@ -21,6 +21,8 @@ from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
 from ..core.costmodel import global_relative_cost
 from ..core.switching import SwitchingDistance, switching_distances
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
@@ -82,12 +84,32 @@ def analyze_query_robustness(
     cache: PlanCache | None = None,
 ) -> QueryRobustness:
     """Compute switch thresholds for every device of one query."""
+    with span(
+        "robustness.query", query=query.name, scenario=config.key
+    ):
+        return _analyze_query_robustness(
+            query, catalog, config, params, delta, cell_cap,
+            regret_probe_factor, cache,
+        )
+
+
+def _analyze_query_robustness(
+    query: QuerySpec,
+    catalog: Catalog,
+    config: Scenario,
+    params: SystemParameters,
+    delta: float,
+    cell_cap: "int | None",
+    regret_probe_factor: float,
+    cache: "PlanCache | None",
+) -> QueryRobustness:
     layout = config.layout_for(query)
     region = config.region(layout, delta)
     candidates = cached_candidate_plans(
         query, catalog, params, layout, region, cell_cap=cell_cap,
         cache=cache, scenario_key=config.key,
     )
+    METRICS.counter("robustness.queries_total").inc()
     center = layout.center_costs()
     initial_index = candidates.initial_plan_index()
     initial = candidates.plans[initial_index]

@@ -26,6 +26,8 @@ from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
 from ..core.bounds import corollary_constant_bound
 from ..core.complementary import ComplementarityCensus, census
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
@@ -102,14 +104,27 @@ def run_usage_analysis(
         queries = build_tpch_queries(catalog)
     rows = []
     for query in queries.values():
-        layout = config.layout_for(query)
-        region = config.region(layout, delta)
-        candidates = cached_candidate_plans(
-            query, catalog, params, layout, region, cell_cap=cell_cap,
-            cache=cache, scenario_key=config.key,
+        with span(
+            "census.query", query=query.name, scenario=config.key
+        ) as current:
+            layout = config.layout_for(query)
+            region = config.region(layout, delta)
+            candidates = cached_candidate_plans(
+                query, catalog, params, layout, region,
+                cell_cap=cell_cap, cache=cache, scenario_key=config.key,
+            )
+            pair_census = census(candidates.usages, tol=usage_tol)
+            bound = corollary_constant_bound(
+                candidates.usages, tol=usage_tol
+            )
+            current.set(
+                candidates=len(candidates),
+                complementary=pair_census.n_complementary,
+            )
+        METRICS.counter("census.queries_total").inc()
+        METRICS.counter("census.complementary_pairs").inc(
+            pair_census.n_complementary
         )
-        pair_census = census(candidates.usages, tol=usage_tol)
-        bound = corollary_constant_bound(candidates.usages, tol=usage_tol)
         rows.append(
             QueryCensus(
                 query_name=query.name,

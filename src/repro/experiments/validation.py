@@ -17,6 +17,8 @@ import numpy as np
 from ..catalog.statistics import Catalog
 from ..core.discovery import discover_candidate_plans
 from ..core.estimation import estimate_usage_vector, validate_estimate
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..optimizer.blackbox import CandidateBackedBlackBox, OptimizerBlackBox
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache, cached_candidate_plans
@@ -135,15 +137,37 @@ def validate_estimation(
     white-box usage vector.
     """
     config = scenario(config_key)
-    candidates, region, box = _candidates_and_box(
-        query, catalog, params, config, delta, cell_cap,
-        honest_blackbox, cache,
+    with span(
+        "validate.estimation", query=query.name, scenario=config_key,
+        seed=seed,
+    ) as current:
+        candidates, region, box = _candidates_and_box(
+            query, catalog, params, config, delta, cell_cap,
+            honest_blackbox, cache,
+        )
+        rng = np.random.default_rng(seed)
+        result = EstimationValidation(
+            query_name=query.name, scenario_key=config_key
+        )
+        calls_before = box.call_count
+        result = _estimate_all_plans(
+            box, candidates, region, result, rng, n_test_points
+        )
+        result.optimizer_calls = box.call_count - calls_before
+        current.set(
+            plans=len(result.prediction_errors),
+            optimizer_calls=result.optimizer_calls,
+        )
+    METRICS.counter("validate.estimation_calls").inc(
+        result.optimizer_calls
     )
-    rng = np.random.default_rng(seed)
-    result = EstimationValidation(
-        query_name=query.name, scenario_key=config_key
-    )
-    calls_before = box.call_count
+    return result
+
+
+def _estimate_all_plans(
+    box, candidates, region, result, rng, n_test_points
+) -> EstimationValidation:
+    """The per-plan sample/estimate/predict loop of Section 6.1.1."""
     for plan in candidates.plans:
         # Find a seed point where this plan wins.
         from ..core.candidates import witness_cost_vector
@@ -172,7 +196,6 @@ def validate_estimation(
             np.max(np.abs(estimate.usage.values - truth.values) / scale)
         )
         result.component_errors[plan.signature] = component_error
-    result.optimizer_calls = box.call_count - calls_before
     return result
 
 
@@ -190,25 +213,36 @@ def validate_discovery(
 ) -> DiscoveryValidation:
     """Section 6.2.1 end-to-end: discover plans, compare with truth."""
     config = scenario(config_key)
-    candidates, region, box = _candidates_and_box(
-        query, catalog, params, config, delta, cell_cap,
-        honest_blackbox, cache,
-    )
-    calls_before = box.call_count
-    discovery = discover_candidate_plans(
-        box,
-        region,
-        max_optimizer_calls=max_optimizer_calls,
-        rng=np.random.default_rng(seed),
-        estimate_usages=False,
-    )
+    with span(
+        "validate.discovery", query=query.name, scenario=config_key,
+        seed=seed,
+    ) as current:
+        candidates, region, box = _candidates_and_box(
+            query, catalog, params, config, delta, cell_cap,
+            honest_blackbox, cache,
+        )
+        calls_before = box.call_count
+        discovery = discover_candidate_plans(
+            box,
+            region,
+            max_optimizer_calls=max_optimizer_calls,
+            rng=np.random.default_rng(seed),
+            estimate_usages=False,
+        )
+        optimizer_calls = box.call_count - calls_before
+        current.set(
+            found=len(discovery.witnesses),
+            truth=len(candidates.signatures),
+            optimizer_calls=optimizer_calls,
+        )
+    METRICS.counter("validate.discovery_calls").inc(optimizer_calls)
     return DiscoveryValidation(
         query_name=query.name,
         scenario_key=config_key,
         true_signatures=frozenset(candidates.signatures),
         found_signatures=frozenset(discovery.witnesses),
         discovery_complete=discovery.complete,
-        optimizer_calls=box.call_count - calls_before,
+        optimizer_calls=optimizer_calls,
     )
 
 

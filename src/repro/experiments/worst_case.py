@@ -24,6 +24,8 @@ from typing import Mapping, Sequence
 from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
 from ..core.worstcase import WorstCaseCurve, worst_case_curve
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
@@ -118,27 +120,35 @@ def run_query_worst_case(
     cache: PlanCache | None = None,
 ) -> QueryWorstCase:
     """Worst-case curve of one query under one storage scenario."""
-    layout = config.layout_for(query)
-    widest = config.region(layout, max(deltas))
-    candidates = cached_candidate_plans(
-        query, catalog, params, layout, widest, cell_cap=cell_cap,
-        cache=cache, scenario_key=config.key,
-    )
-    if not candidates.plans:
-        raise RuntimeError(
-            f"no candidate plans for {query.name} under {config.key}"
+    with span(
+        "figure.query", query=query.name, scenario=config.key
+    ) as current:
+        layout = config.layout_for(query)
+        widest = config.region(layout, max(deltas))
+        candidates = cached_candidate_plans(
+            query, catalog, params, layout, widest, cell_cap=cell_cap,
+            cache=cache, scenario_key=config.key,
         )
-    initial_index = candidates.initial_plan_index()
-    initial = candidates.plans[initial_index]
-    base_region = config.region(layout, 1.0)
-    curve = worst_case_curve(
-        initial.usage,
-        candidates.usages,
-        base_region,
-        deltas,
-        label=query.name,
-        initial_plan_index=initial_index,
-    )
+        if not candidates.plans:
+            raise RuntimeError(
+                f"no candidate plans for {query.name} under {config.key}"
+            )
+        initial_index = candidates.initial_plan_index()
+        initial = candidates.plans[initial_index]
+        base_region = config.region(layout, 1.0)
+        curve = worst_case_curve(
+            initial.usage,
+            candidates.usages,
+            base_region,
+            deltas,
+            label=query.name,
+            initial_plan_index=initial_index,
+        )
+        current.set(
+            candidates=len(candidates), final_gtc=curve.final_gtc()
+        )
+    METRICS.counter("figure.queries_total").inc()
+    METRICS.histogram("figure.final_gtc").observe(curve.final_gtc())
     return QueryWorstCase(
         query_name=query.name,
         scenario_key=config.key,

@@ -1,0 +1,56 @@
+"""Observability: tracing, metrics, run manifests, logging, reports.
+
+A zero-dependency instrumentation spine for the experiment pipeline:
+
+* :mod:`repro.obs.trace` — nested wall/CPU spans (``span("name")``),
+  off by default with a no-allocation disabled path;
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges and decade histograms whose snapshots merge across ``--jobs``
+  worker processes;
+* :mod:`repro.obs.manifest` — machine-readable ``run-manifest.json``
+  reproducibility receipts (git SHA, config, seeds, catalog digest,
+  span tree, metric snapshot, result digests) plus schema validation;
+* :mod:`repro.obs.report` — rendering a manifest (or a diff of two)
+  into the ``repro report`` breakdown;
+* :mod:`repro.obs.logs` — stdlib logging wiring for ``--log-level``.
+"""
+
+from .logs import LOG_LEVELS, configure_logging, configured_log_level
+from .manifest import (
+    SCHEMA_VERSION,
+    build_manifest,
+    catalog_digest,
+    environment_fingerprint,
+    git_revision,
+    text_digest,
+    validate_manifest,
+    write_manifest,
+)
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .report import render_comparison, render_manifest
+from .trace import TRACER, Span, Tracer, span
+
+__all__ = [
+    "LOG_LEVELS",
+    "METRICS",
+    "SCHEMA_VERSION",
+    "TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "build_manifest",
+    "catalog_digest",
+    "configure_logging",
+    "configured_log_level",
+    "environment_fingerprint",
+    "git_revision",
+    "render_comparison",
+    "render_manifest",
+    "span",
+    "text_digest",
+    "validate_manifest",
+    "write_manifest",
+]

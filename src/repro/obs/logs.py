@@ -1,0 +1,60 @@
+"""Stdlib logging configuration for the ``repro`` package.
+
+Library modules log through module-level ``logging.getLogger(__name__)``
+loggers (all under the ``repro`` namespace) and never print.  The CLI
+calls :func:`configure_logging` once per invocation with the
+``--log-level`` flag; embedding code can call it directly or attach its
+own handlers to the ``repro`` logger instead.
+
+Without configuration, Python's last-resort handler still surfaces
+WARNING and above on stderr — so a corrupt cache entry is visible even
+from a bare ``import repro`` session.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["LOG_LEVELS", "configure_logging", "configured_log_level"]
+
+LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_configured: "str | None" = None
+_handler: "logging.Handler | None" = None
+
+
+def configure_logging(level: str = "warning") -> None:
+    """Point the ``repro`` logger at stderr at the given level.
+
+    Idempotent: repeated calls adjust the level of the one handler this
+    module owns instead of stacking handlers.
+    """
+    global _configured, _handler
+    name = (level or "warning").lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from "
+            f"{', '.join(LOG_LEVELS)}"
+        )
+    logger = logging.getLogger("repro")
+    if _handler is None:
+        _handler = logging.StreamHandler()
+        _handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(_handler)
+    logger.setLevel(LOG_LEVELS[name])
+    _configured = name
+
+
+def configured_log_level() -> "str | None":
+    """The last level passed to :func:`configure_logging`, if any.
+
+    Worker processes use this to mirror the parent's verbosity.
+    """
+    return _configured

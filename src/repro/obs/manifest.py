@@ -1,0 +1,221 @@
+"""Machine-readable run manifests: reproducibility receipts.
+
+Every CLI command writes a ``run-manifest.json`` capturing everything
+needed to say whether two runs *should* have agreed and whether they
+*did*:
+
+* provenance — git SHA, package version, schema version, environment
+  fingerprint (python / platform / numpy), creation time;
+* inputs — the full CLI configuration, every RNG seed, and a SHA-256
+  digest of the catalog statistics the run was computed against;
+* outputs — SHA-256 digests of the rendered results (tables/CSV), so
+  bit-exact reproduction is a string comparison;
+* behaviour — the metrics snapshot (probe counts, cache hits, ...) and,
+  with ``--trace``, the full span tree.
+
+Two runs of the same command reproduce iff their ``result_digests``
+match; their ``metrics`` explain a divergence (different probe counts,
+cache behaviour), and their ``trace`` shows where the time went.  The
+schema is validated by :func:`validate_manifest` — strict on both
+missing and unknown top-level fields, so any shape change must bump
+``SCHEMA_VERSION`` (a golden-file test pins this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "text_digest",
+    "catalog_digest",
+    "git_revision",
+    "environment_fingerprint",
+    "build_manifest",
+    "write_manifest",
+    "validate_manifest",
+]
+
+SCHEMA_VERSION = 1
+
+#: Top-level manifest schema: field -> allowed instance types.
+_FIELDS: dict[str, tuple] = {
+    "schema_version": (int,),
+    "package_version": (str,),
+    "command": (str,),
+    "config": (dict,),
+    "git_sha": (str, type(None)),
+    "created_unix": (int, float),
+    "environment": (dict,),
+    "seeds": (dict,),
+    "catalog_digest": (str, type(None)),
+    "result_digests": (dict,),
+    "metrics": (dict,),
+    "trace": (list, type(None)),
+    "timing": (dict,),
+}
+
+
+def text_digest(text: str) -> str:
+    """SHA-256 of a rendered result (the reproducibility currency)."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def catalog_digest(catalog: Any) -> str:
+    """SHA-256 of the pickled catalog statistics."""
+    return hashlib.sha256(pickle.dumps(catalog)).hexdigest()
+
+
+def git_revision(cwd: "str | os.PathLike | None" = None) -> "str | None":
+    """The repository HEAD SHA, or None outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else None
+
+
+def environment_fingerprint() -> dict[str, str]:
+    """Enough platform detail to explain a timing (not a result) diff."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy.__version__,
+        "executable": sys.executable,
+    }
+
+
+def build_manifest(
+    command: str,
+    config: Mapping[str, Any],
+    seeds: "Mapping[str, Any] | None" = None,
+    catalog_sha: "str | None" = None,
+    result_digests: "Mapping[str, str] | None" = None,
+    metrics: "Mapping[str, Any] | None" = None,
+    trace: "list | None" = None,
+    wall_seconds: float = 0.0,
+    cpu_seconds: float = 0.0,
+) -> dict[str, Any]:
+    """Assemble a schema-valid manifest dict for one finished run."""
+    from .. import __version__
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "package_version": __version__,
+        "command": command,
+        "config": dict(config),
+        "git_sha": git_revision(),
+        "created_unix": time.time(),
+        "environment": environment_fingerprint(),
+        "seeds": dict(seeds or {}),
+        "catalog_digest": catalog_sha,
+        "result_digests": dict(result_digests or {}),
+        "metrics": dict(
+            metrics
+            or {"counters": {}, "gauges": {}, "histograms": {}}
+        ),
+        "trace": trace,
+        "timing": {
+            "wall_seconds": float(wall_seconds),
+            "cpu_seconds": float(cpu_seconds),
+        },
+    }
+
+
+def write_manifest(
+    manifest: Mapping[str, Any], path: "str | os.PathLike"
+) -> Path:
+    """Write a manifest as stable, sorted, human-diffable JSON."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    return target
+
+
+def _validate_span(node: Any, where: str, errors: list[str]) -> None:
+    if not isinstance(node, dict):
+        errors.append(f"{where}: span must be an object")
+        return
+    if not isinstance(node.get("name"), str):
+        errors.append(f"{where}: span name must be a string")
+    for field in ("wall_seconds", "cpu_seconds"):
+        if not isinstance(node.get(field), (int, float)):
+            errors.append(f"{where}: span {field} must be a number")
+    if not isinstance(node.get("attrs"), dict):
+        errors.append(f"{where}: span attrs must be an object")
+    children = node.get("children")
+    if not isinstance(children, list):
+        errors.append(f"{where}: span children must be a list")
+        return
+    for position, child in enumerate(children):
+        _validate_span(child, f"{where}.children[{position}]", errors)
+
+
+def validate_manifest(data: Any) -> list[str]:
+    """All schema violations in ``data`` (empty list == valid)."""
+    if not isinstance(data, dict):
+        return ["manifest must be a JSON object"]
+    errors: list[str] = []
+    for field, types in _FIELDS.items():
+        if field not in data:
+            errors.append(f"missing field: {field}")
+        elif not isinstance(data[field], types):
+            errors.append(
+                f"field {field}: expected "
+                f"{'/'.join(t.__name__ for t in types)}, got "
+                f"{type(data[field]).__name__}"
+            )
+    for field in data:
+        if field not in _FIELDS:
+            errors.append(f"unknown field: {field}")
+    if isinstance(data.get("schema_version"), int):
+        if data["schema_version"] != SCHEMA_VERSION:
+            errors.append(
+                f"schema_version {data['schema_version']} != "
+                f"supported {SCHEMA_VERSION}"
+            )
+    metrics = data.get("metrics")
+    if isinstance(metrics, dict):
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(metrics.get(section), dict):
+                errors.append(
+                    f"metrics.{section} must be an object"
+                )
+    timing = data.get("timing")
+    if isinstance(timing, dict):
+        for field in ("wall_seconds", "cpu_seconds"):
+            if not isinstance(timing.get(field), (int, float)):
+                errors.append(f"timing.{field} must be a number")
+    digests = data.get("result_digests")
+    if isinstance(digests, dict):
+        for name, value in digests.items():
+            if not isinstance(value, str):
+                errors.append(
+                    f"result_digests.{name} must be a string"
+                )
+    trace = data.get("trace")
+    if isinstance(trace, list):
+        for position, node in enumerate(trace):
+            _validate_span(node, f"trace[{position}]", errors)
+    return errors

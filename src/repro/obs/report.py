@@ -1,0 +1,221 @@
+"""Human-readable rendering of run manifests (``repro report``).
+
+One manifest renders into a provenance header, a per-phase wall/CPU
+breakdown of the span tree, the metric snapshot, and a cache summary.
+Two manifests render into a reproducibility diff: do the result digests
+match, which metric totals moved, and how the timings compare — the
+workflow for answering "why do these two runs differ?".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+__all__ = ["render_manifest", "render_comparison"]
+
+_INDENT = "  "
+
+
+def _format_attrs(attrs: Mapping[str, Any]) -> str:
+    if not attrs:
+        return ""
+    parts = ", ".join(
+        f"{key}={value}" for key, value in sorted(attrs.items())
+    )
+    return f"  [{parts}]"
+
+
+def _span_lines(
+    node: Mapping[str, Any], depth: int, lines: list[str]
+) -> None:
+    label = _INDENT * depth + str(node.get("name", "?"))
+    lines.append(
+        f"{label:<44} {node.get('wall_seconds', 0.0):9.3f}s "
+        f"{node.get('cpu_seconds', 0.0):9.3f}s"
+        f"{_format_attrs(node.get('attrs') or {})}"
+    )
+    for child in node.get("children") or ():
+        _span_lines(child, depth + 1, lines)
+
+
+def _cache_summary(counters: Mapping[str, Any]) -> "str | None":
+    hits = counters.get("plancache.hits", 0)
+    misses = counters.get("plancache.misses", 0)
+    corrupt = counters.get("plancache.corrupt", 0)
+    if not (hits or misses or corrupt):
+        return None
+    total = hits + misses
+    rate = 100.0 * hits / total if total else 0.0
+    return (
+        f"plan cache: {hits} hits, {misses} misses "
+        f"({corrupt} corrupt) — {rate:.0f}% hit rate"
+    )
+
+
+def render_manifest(manifest: Mapping[str, Any]) -> str:
+    """One manifest as a phase/time/cache breakdown."""
+    lines: list[str] = []
+    created = manifest.get("created_unix")
+    when = (
+        time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime(created))
+        if isinstance(created, (int, float)) else "?"
+    )
+    timing = manifest.get("timing") or {}
+    lines.append(
+        f"run: repro {manifest.get('command', '?')}  ({when})"
+    )
+    lines.append(
+        f"version {manifest.get('package_version', '?')}  "
+        f"git {str(manifest.get('git_sha') or 'unknown')[:12]}  "
+        f"schema v{manifest.get('schema_version', '?')}"
+    )
+    environment = manifest.get("environment") or {}
+    if environment:
+        lines.append(
+            f"python {environment.get('python', '?')} on "
+            f"{environment.get('platform', '?')}  "
+            f"numpy {environment.get('numpy', '?')}"
+        )
+    lines.append(
+        f"total: {timing.get('wall_seconds', 0.0):.3f}s wall, "
+        f"{timing.get('cpu_seconds', 0.0):.3f}s cpu"
+    )
+    catalog_sha = manifest.get("catalog_digest")
+    if catalog_sha:
+        lines.append(f"catalog digest: {catalog_sha[:16]}…")
+    seeds = manifest.get("seeds") or {}
+    if seeds:
+        lines.append(
+            "seeds: " + ", ".join(
+                f"{name}={value}"
+                for name, value in sorted(seeds.items())
+            )
+        )
+
+    digests = manifest.get("result_digests") or {}
+    if digests:
+        lines.append("")
+        lines.append("result digests:")
+        for name, value in sorted(digests.items()):
+            lines.append(f"  {name:<20} {value}")
+
+    trace = manifest.get("trace")
+    lines.append("")
+    if trace:
+        header = f"{'phase':<44} {'wall':>10} {'cpu':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for node in trace:
+            _span_lines(node, 0, lines)
+    else:
+        lines.append("phases: (no trace recorded — rerun with --trace)")
+
+    metrics = manifest.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    histograms = metrics.get("histograms") or {}
+    if counters or gauges or histograms:
+        lines.append("")
+        lines.append("metrics:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<36} {value:>14,}")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<36} {value:>14}")
+        for name, state in sorted(histograms.items()):
+            count = state.get("count", 0)
+            mean = (
+                state.get("sum", 0.0) / count if count else 0.0
+            )
+            lines.append(
+                f"  {name:<36} n={count} mean={mean:.3g} "
+                f"min={state.get('min')} max={state.get('max')}"
+            )
+    summary = _cache_summary(counters)
+    if summary:
+        lines.append("")
+        lines.append(summary)
+    return "\n".join(lines)
+
+
+def _top_level_walls(
+    manifest: Mapping[str, Any]
+) -> dict[str, float]:
+    walls: dict[str, float] = {}
+    for node in manifest.get("trace") or ():
+        name = str(node.get("name", "?"))
+        walls[name] = walls.get(name, 0.0) + float(
+            node.get("wall_seconds", 0.0)
+        )
+    return walls
+
+
+def render_comparison(
+    first: Mapping[str, Any], second: Mapping[str, Any]
+) -> str:
+    """Diff two manifests: digests, metric totals, timings."""
+    lines: list[str] = []
+    lines.append(
+        f"comparing: repro {first.get('command', '?')} "
+        f"vs repro {second.get('command', '?')}"
+    )
+
+    digests_a = first.get("result_digests") or {}
+    digests_b = second.get("result_digests") or {}
+    names = sorted(set(digests_a) | set(digests_b))
+    identical = bool(names) and all(
+        digests_a.get(name) == digests_b.get(name) for name in names
+    )
+    lines.append("")
+    if not names:
+        lines.append("result digests: none recorded")
+    elif identical:
+        lines.append(
+            f"result digests: IDENTICAL ({len(names)} artefacts) — "
+            "the runs reproduce bit-exactly"
+        )
+    else:
+        lines.append("result digests: DIFFER")
+        for name in names:
+            status = (
+                "match" if digests_a.get(name) == digests_b.get(name)
+                else "MISMATCH"
+            )
+            lines.append(f"  {name:<20} {status}")
+
+    counters_a = (first.get("metrics") or {}).get("counters") or {}
+    counters_b = (second.get("metrics") or {}).get("counters") or {}
+    moved = [
+        name
+        for name in sorted(set(counters_a) | set(counters_b))
+        if counters_a.get(name, 0) != counters_b.get(name, 0)
+    ]
+    lines.append("")
+    if not moved:
+        lines.append("metric totals: identical")
+    else:
+        lines.append("metric totals that differ:")
+        for name in moved:
+            lines.append(
+                f"  {name:<36} {counters_a.get(name, 0):>12,} -> "
+                f"{counters_b.get(name, 0):>12,}"
+            )
+
+    timing_a = (first.get("timing") or {}).get("wall_seconds", 0.0)
+    timing_b = (second.get("timing") or {}).get("wall_seconds", 0.0)
+    lines.append("")
+    lines.append(
+        f"wall time: {timing_a:.3f}s vs {timing_b:.3f}s"
+        + (
+            f"  ({timing_a / timing_b:.2f}x)"
+            if timing_b else ""
+        )
+    )
+    walls_a = _top_level_walls(first)
+    walls_b = _top_level_walls(second)
+    for name in sorted(set(walls_a) | set(walls_b)):
+        lines.append(
+            f"  {name:<36} {walls_a.get(name, 0.0):9.3f}s vs "
+            f"{walls_b.get(name, 0.0):9.3f}s"
+        )
+    return "\n".join(lines)

@@ -27,6 +27,7 @@ import numpy as np
 from ..catalog.statistics import Catalog
 from ..core.blackbox import PlanChoice, as_cost_matrix
 from ..core.vectors import CostVector
+from ..obs.metrics import METRICS
 from ..storage.layout import StorageLayout
 from .config import SystemParameters
 from .dp import optimize_scalar
@@ -59,6 +60,7 @@ class OptimizerBlackBox:
 
     def optimize(self, cost: CostVector) -> PlanChoice:
         self.call_count += 1
+        METRICS.counter("blackbox.dp_calls").inc()
         plan = optimize_scalar(
             self._query, self._catalog, self._params, self._layout, cost
         )
@@ -104,6 +106,7 @@ class CandidateBackedBlackBox:
 
     def optimize(self, cost: CostVector) -> PlanChoice:
         self.call_count += 1
+        METRICS.counter("blackbox.candidate_calls").inc()
         self._space.require_same(cost.space)
         totals = self._matrix @ cost.values
         index = int(np.argmin(totals))
@@ -120,6 +123,7 @@ class CandidateBackedBlackBox:
         """
         matrix = as_cost_matrix(self._space, costs)
         self.call_count += len(matrix)
+        METRICS.counter("blackbox.candidate_calls").inc(len(matrix))
         if not len(matrix):
             return []
         totals = matrix @ self._matrix.T

@@ -17,6 +17,7 @@ least-squares estimates must match these usage vectors.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,12 +26,16 @@ from ..catalog.statistics import Catalog
 from ..core.candidates import candidate_optimal_indices
 from ..core.feasible import FeasibleRegion
 from ..core.vectors import CostVector, UsageVector
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..storage.layout import StorageLayout
 from .config import SystemParameters
 from .dp import CostedPlan, enumerate_root_plans
 from .query import QuerySpec
 
 __all__ = ["CandidateSet", "candidate_plans"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -118,13 +123,35 @@ def candidate_plans(
     same function serves all three storage configurations of
     Section 8.1.
     """
-    root_plans, truncated = enumerate_root_plans(
-        query, catalog, params, layout, cell_cap=cell_cap
+    with span(
+        "parametric.candidate_plans", query=query.name
+    ) as current:
+        root_plans, truncated = enumerate_root_plans(
+            query, catalog, params, layout, cell_cap=cell_cap
+        )
+        root_plans = _deduplicate(root_plans)
+        usages = [plan.usage for plan in root_plans]
+        indices = candidate_optimal_indices(
+            usages, region, exact=exact_lp
+        )
+        chosen = [root_plans[i] for i in indices]
+        current.set(
+            root_plans=len(root_plans),
+            candidates=len(chosen),
+            truncated=truncated,
+        )
+    METRICS.counter("parametric.candidate_sets").inc()
+    METRICS.counter("parametric.root_plans").inc(len(root_plans))
+    METRICS.counter("parametric.candidates").inc(len(chosen))
+    if truncated:
+        logger.debug(
+            "%s: root Pareto set hit the %s-cell cap; candidate set "
+            "is a lower bound", query.name, cell_cap,
+        )
+    logger.debug(
+        "%s: %d root plans -> %d candidates over delta=%g",
+        query.name, len(root_plans), len(chosen), region.delta,
     )
-    root_plans = _deduplicate(root_plans)
-    usages = [plan.usage for plan in root_plans]
-    indices = candidate_optimal_indices(usages, region, exact=exact_lp)
-    chosen = [root_plans[i] for i in indices]
     return CandidateSet(
         query_name=query.name,
         plans=chosen,

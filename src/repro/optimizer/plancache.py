@@ -31,18 +31,23 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pickle
 from pathlib import Path
 
 from ..catalog.statistics import Catalog
 from ..core.feasible import FeasibleRegion
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..storage.layout import StorageLayout
 from .config import SystemParameters
 from .parametric import CandidateSet, candidate_plans
 from .query import QuerySpec
 
 __all__ = ["PlanCache", "default_cache_dir", "cached_candidate_plans"]
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the pickle payload or key material changes shape.
 _FORMAT_VERSION = 1
@@ -107,23 +112,49 @@ class PlanCache:
     # Load / store
     # ------------------------------------------------------------------
     def load(self, key: str) -> "CandidateSet | None":
-        """The cached set for ``key``, or None on miss/corruption."""
+        """The cached set for ``key``, or None on miss/corruption.
+
+        Misses and corrupt entries are distinguishable in the metrics
+        registry (``plancache.misses`` vs ``plancache.corrupt``), and
+        corruption recovery is logged rather than silent: an entry that
+        exists but cannot be loaded points at a real problem (partial
+        write survived a crash, disk fault, version skew).
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
+        except FileNotFoundError:
+            METRICS.counter("plancache.misses").inc()
+            return None
         except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError, ValueError):
+                AttributeError, ImportError, ValueError) as exc:
+            METRICS.counter("plancache.misses").inc()
+            METRICS.counter("plancache.corrupt").inc()
+            logger.warning(
+                "corrupt candidate-set cache entry %s (%s: %s); "
+                "treating as a miss and recomputing",
+                path, type(exc).__name__, exc,
+            )
             return None
         if not isinstance(payload, CandidateSet):
+            METRICS.counter("plancache.misses").inc()
+            METRICS.counter("plancache.corrupt").inc()
+            logger.warning(
+                "cache entry %s holds %s, not a CandidateSet; "
+                "treating as a miss and recomputing",
+                path, type(payload).__name__,
+            )
             return None
+        METRICS.counter("plancache.hits").inc()
         return payload
 
     def store(self, key: str, candidates: CandidateSet) -> None:
         """Atomically persist one candidate set (best effort).
 
         A cache that cannot be written (read-only filesystem, quota)
-        must never fail the experiment, so OS errors are swallowed.
+        must never fail the experiment, so OS errors are logged and
+        swallowed.
         """
         path = self._path(key)
         try:
@@ -133,8 +164,15 @@ class PlanCache:
                 pickle.dump(candidates, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(temp, path)
-        except OSError:
+        except OSError as exc:
+            METRICS.counter("plancache.store_errors").inc()
+            logger.warning(
+                "could not write cache entry %s (%s: %s); result "
+                "will be recomputed next run",
+                path, type(exc).__name__, exc,
+            )
             return
+        METRICS.counter("plancache.stores").inc()
 
 
 def cached_candidate_plans(
@@ -166,11 +204,15 @@ def cached_candidate_plans(
         cell_cap=cell_cap,
         catalog=catalog,
     )
-    hit = cache.load(key)
-    if hit is not None:
-        return hit
-    result = candidate_plans(
-        query, catalog, params, layout, region, cell_cap=cell_cap
-    )
-    cache.store(key, result)
-    return result
+    with span(
+        "plancache.get", query=query.name, key=key[:16]
+    ) as current:
+        hit = cache.load(key)
+        current.set(hit=hit is not None)
+        if hit is not None:
+            return hit
+        result = candidate_plans(
+            query, catalog, params, layout, region, cell_cap=cell_cap
+        )
+        cache.store(key, result)
+        return result

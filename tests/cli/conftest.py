@@ -3,5 +3,6 @@ import pytest
 
 @pytest.fixture(autouse=True)
 def _isolated_cache(tmp_path, monkeypatch):
-    """Keep the CLI's default candidate-set cache out of the repo."""
+    """Keep CLI artefacts (cache, run manifests) out of the repo."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "plan-cache"))
+    monkeypatch.chdir(tmp_path)

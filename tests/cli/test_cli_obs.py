@@ -1,0 +1,130 @@
+"""CLI observability: manifests, metrics dumps, cache summaries, and
+the ``repro report`` renderer."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import SCHEMA_VERSION, validate_manifest
+
+FIGURE = [
+    "figure", "shared", "--queries", "Q1", "--deltas", "2", "--csv",
+]
+
+
+def _manifest(path="run-manifest.json"):
+    data = json.loads(Path(path).read_text())
+    assert validate_manifest(data) == []
+    return data
+
+
+def test_figure_writes_valid_manifest(capsys):
+    assert main(FIGURE) == 0
+    manifest = _manifest()
+    assert manifest["schema_version"] == SCHEMA_VERSION
+    assert manifest["command"] == "figure"
+    assert manifest["config"]["queries"] == "Q1"
+    assert manifest["catalog_digest"]
+    assert "figure_csv" in manifest["result_digests"]
+    assert manifest["metrics"]["counters"]["figure.queries_total"] == 1
+    # No --trace: the span tree is omitted.
+    assert manifest["trace"] is None
+    assert manifest["timing"]["wall_seconds"] > 0
+
+
+def test_trace_flag_records_span_tree(capsys):
+    assert main(FIGURE + ["--trace"]) == 0
+    trace = _manifest()["trace"]
+    assert trace[0]["name"] == "cli.figure"
+    names = {trace[0]["name"]}
+    stack = list(trace[0]["children"])
+    while stack:
+        node = stack.pop()
+        names.add(node["name"])
+        stack.extend(node["children"])
+    assert {"parallel.task", "figure.query", "plancache.get"} <= names
+
+
+def test_manifest_path_and_no_manifest_flags(tmp_path):
+    target = tmp_path / "custom.json"
+    assert main(FIGURE + ["--manifest", str(target)]) == 0
+    assert target.exists()
+    assert not Path("run-manifest.json").exists()
+
+    target.unlink()
+    assert main(FIGURE + ["--no-manifest"]) == 0
+    assert not Path("run-manifest.json").exists()
+    assert not target.exists()
+
+
+def test_metrics_out_dumps_snapshot(tmp_path):
+    out = tmp_path / "metrics.json"
+    assert main(FIGURE + ["--metrics-out", str(out)]) == 0
+    snapshot = json.loads(out.read_text())
+    assert set(snapshot) == {"counters", "gauges", "histograms"}
+    assert snapshot["counters"]["figure.queries_total"] == 1
+
+
+def test_cache_summary_on_stderr_not_stdout(capsys):
+    main(FIGURE)
+    cold = capsys.readouterr()
+    assert "cache:" not in cold.out
+    assert "misses" in cold.err
+    main(FIGURE)
+    warm = capsys.readouterr()
+    assert "1 hits" in warm.err
+    # --no-cache runs stay silent.
+    main(FIGURE + ["--no-cache"])
+    assert "cache:" not in capsys.readouterr().err
+
+
+def test_identical_runs_have_identical_digests():
+    main(FIGURE + ["--manifest", "a.json"])
+    main(FIGURE + ["--manifest", "b.json"])
+    first, second = _manifest("a.json"), _manifest("b.json")
+    assert first["result_digests"] == second["result_digests"]
+    assert (
+        first["metrics"]["counters"]["figure.queries_total"]
+        == second["metrics"]["counters"]["figure.queries_total"]
+    )
+
+
+def test_report_renders_manifest(capsys):
+    main(FIGURE + ["--trace"])
+    capsys.readouterr()
+    assert main(["report", "run-manifest.json"]) == 0
+    out = capsys.readouterr().out
+    assert "repro figure" in out
+    assert "result digests:" in out
+    assert "cli.figure" in out
+    assert "figure.queries_total" in out
+    assert "plan cache:" in out
+
+
+def test_report_compares_two_manifests(capsys):
+    main(FIGURE + ["--manifest", "a.json"])
+    main(FIGURE + ["--manifest", "b.json"])
+    capsys.readouterr()
+    assert main(["report", "a.json", "b.json"]) == 0
+    out = capsys.readouterr().out
+    assert "IDENTICAL" in out
+
+
+def test_report_rejects_invalid_manifest(capsys):
+    Path("bad.json").write_text(json.dumps({"schema_version": 1}))
+    assert main(["report", "bad.json"]) == 1
+    assert "invalid manifest" in capsys.readouterr().err
+
+
+def test_report_missing_file_is_a_clean_error():
+    with pytest.raises(SystemExit):
+        main(["report", "no-such-file.json"])
+
+
+def test_report_writes_no_manifest_itself(capsys):
+    main(FIGURE + ["--manifest", "a.json"])
+    Path("run-manifest.json").unlink(missing_ok=True)
+    main(["report", "a.json"])
+    assert not Path("run-manifest.json").exists()

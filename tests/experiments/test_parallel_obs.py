@@ -1,0 +1,90 @@
+"""Observability across ``--jobs N``: workers ship metrics and spans
+back to the parent, so a parallel run's metric totals and span-tree
+shape are identical to a serial run's — only the timings differ."""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments import run_expected_regret
+from repro.obs import METRICS, TRACER
+from repro.workloads import build_tpch_queries
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def queries(catalog):
+    full = build_tpch_queries(catalog)
+    return {k: full[k] for k in ("Q1", "Q6", "Q14")}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    METRICS.reset()
+    TRACER.reset()
+    TRACER.enabled = False
+    yield
+    METRICS.reset()
+    TRACER.reset()
+    TRACER.enabled = False
+
+
+def _shape(exported):
+    return [
+        (node["name"], _shape(node["children"])) for node in exported
+    ]
+
+
+def _run(catalog, queries, jobs):
+    METRICS.reset()
+    TRACER.reset()
+    TRACER.enabled = True
+    rows = run_expected_regret(
+        "shared", catalog=catalog, queries=queries,
+        delta=10.0, n_samples=100, jobs=jobs,
+    )
+    return rows, METRICS.snapshot(), TRACER.export()
+
+
+def test_jobs2_metrics_and_span_shape_match_serial(catalog, queries):
+    serial_rows, serial_metrics, serial_trace = _run(
+        catalog, queries, jobs=1
+    )
+    parallel_rows, parallel_metrics, parallel_trace = _run(
+        catalog, queries, jobs=2
+    )
+    assert serial_rows == parallel_rows
+    assert parallel_metrics["counters"] == serial_metrics["counters"]
+    assert (
+        parallel_metrics["histograms"] == serial_metrics["histograms"]
+    )
+    assert _shape(parallel_trace) == _shape(serial_trace)
+    # The expected instrumentation actually fired.
+    assert serial_metrics["counters"]["expected.samples_total"] == 300
+    assert serial_metrics["histograms"]["expected.gtc"]["count"] == 300
+    names = [name for name, _ in _shape(serial_trace)]
+    assert names == ["parallel.task"] * 3
+
+
+def test_workers_leave_parent_registry_consistent(catalog, queries):
+    """A second parallel sweep adds on top of the first — worker resets
+    never leak into the parent process."""
+    _run(catalog, queries, jobs=2)
+    run_expected_regret(
+        "shared", catalog=catalog, queries=queries,
+        delta=10.0, n_samples=100, jobs=2,
+    )
+    counters = METRICS.snapshot()["counters"]
+    assert counters["expected.samples_total"] == 600
+
+
+def test_tracing_disabled_parallel_run_records_nothing(catalog, queries):
+    assert not TRACER.enabled
+    run_expected_regret(
+        "shared", catalog=catalog, queries=queries,
+        delta=10.0, n_samples=50, jobs=2,
+    )
+    assert TRACER.export() == []

@@ -1,0 +1,15 @@
+import pytest
+
+from repro.obs import METRICS, TRACER
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    """Each test starts from an empty registry and a disabled tracer."""
+    METRICS.reset()
+    TRACER.reset()
+    TRACER.enabled = False
+    yield
+    METRICS.reset()
+    TRACER.reset()
+    TRACER.enabled = False

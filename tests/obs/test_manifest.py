@@ -1,0 +1,104 @@
+"""Run-manifest schema: build, validate, golden-file stability."""
+
+import json
+from pathlib import Path
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    build_manifest,
+    catalog_digest,
+    text_digest,
+    validate_manifest,
+    write_manifest,
+)
+
+GOLDEN = Path(__file__).with_name("golden_manifest.json")
+
+
+def _build():
+    return build_manifest(
+        command="figure",
+        config={"scenario": "shared", "queries": "Q1"},
+        seeds={"monte_carlo": 0},
+        catalog_sha="ab" * 32,
+        result_digests={"figure_csv": "cd" * 32},
+        metrics={"counters": {}, "gauges": {}, "histograms": {}},
+        trace=None,
+        wall_seconds=1.0,
+        cpu_seconds=0.5,
+    )
+
+
+def test_built_manifest_validates_cleanly():
+    assert validate_manifest(_build()) == []
+
+
+def test_golden_manifest_validates_cleanly():
+    """The checked-in schema example must stay valid forever (or the
+    schema version must be bumped)."""
+    golden = json.loads(GOLDEN.read_text())
+    assert golden["schema_version"] == SCHEMA_VERSION
+    assert validate_manifest(golden) == []
+
+
+def test_schema_matches_golden_field_set():
+    """Adding/removing top-level fields must update the golden file
+    (and, for consumers, SCHEMA_VERSION)."""
+    golden = json.loads(GOLDEN.read_text())
+    assert set(_build()) == set(golden)
+
+
+def test_missing_field_is_an_error():
+    manifest = _build()
+    del manifest["result_digests"]
+    assert validate_manifest(manifest) == [
+        "missing field: result_digests"
+    ]
+
+
+def test_unknown_field_is_an_error():
+    manifest = _build()
+    manifest["vendor_extension"] = {}
+    assert validate_manifest(manifest) == [
+        "unknown field: vendor_extension"
+    ]
+
+
+def test_wrong_types_and_bad_spans_are_reported():
+    manifest = _build()
+    manifest["timing"] = {"wall_seconds": "fast"}
+    manifest["trace"] = [{"name": 3}]
+    errors = validate_manifest(manifest)
+    assert "timing.wall_seconds must be a number" in errors
+    assert "timing.cpu_seconds must be a number" in errors
+    assert any("trace[0]" in error for error in errors)
+
+
+def test_future_schema_version_is_rejected():
+    manifest = _build()
+    manifest["schema_version"] = SCHEMA_VERSION + 1
+    assert any(
+        "schema_version" in error
+        for error in validate_manifest(manifest)
+    )
+
+
+def test_non_object_manifest():
+    assert validate_manifest([1, 2]) == [
+        "manifest must be a JSON object"
+    ]
+
+
+def test_write_manifest_is_stable_sorted_json(tmp_path):
+    path = write_manifest(_build(), tmp_path / "m.json")
+    text = path.read_text()
+    data = json.loads(text)
+    assert validate_manifest(data) == []
+    assert text == json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+def test_digest_helpers():
+    assert text_digest("x") == text_digest("x")
+    assert text_digest("x") != text_digest("y")
+    assert catalog_digest({"a": 1}) == catalog_digest({"a": 1})
+    assert catalog_digest({"a": 1}) != catalog_digest({"a": 2})

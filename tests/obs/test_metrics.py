@@ -1,0 +1,84 @@
+"""Metrics registry: counters, gauges, decade histograms, merging."""
+
+import numpy as np
+
+from repro.obs import METRICS, Histogram, MetricsRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    METRICS.counter("x").inc()
+    METRICS.counter("x").inc(4)
+    assert METRICS.counter_value("x") == 5
+    assert METRICS.counter_value("never-touched") == 0
+
+
+def test_gauge_last_write_wins():
+    METRICS.gauge("g").set(1.5)
+    METRICS.gauge("g").set(2.5)
+    assert METRICS.snapshot()["gauges"]["g"] == 2.5
+
+
+def test_histogram_state_and_decades():
+    h = Histogram()
+    h.observe(1.0)       # decade 0
+    h.observe(5.0)       # decade 0
+    h.observe(120.0)     # decade 2
+    h.observe(0.03)      # decade -2
+    h.observe(0.0)       # nonpositive
+    state = h.state()
+    assert state["count"] == 5
+    assert state["sum"] == 126.03
+    assert state["min"] == 0.0 and state["max"] == 120.0
+    assert state["decades"] == {"-2": 1, "0": 2, "2": 1}
+    assert state["nonpositive"] == 1
+    assert h.mean == 126.03 / 5
+
+
+def test_observe_many_accepts_ndarray():
+    h = Histogram()
+    h.observe_many(np.array([1.0, 10.0, 100.0]))
+    h.observe_many(np.empty(0))
+    assert h.count == 3
+    assert h.state()["decades"] == {"0": 1, "1": 1, "2": 1}
+
+
+def test_snapshot_merge_equals_serial_totals():
+    serial = MetricsRegistry()
+    workers = [MetricsRegistry(), MetricsRegistry()]
+    values = [[1.0, 2.0, 30.0], [0.5, 400.0]]
+    for registry, chunk in zip(workers, values):
+        registry.counter("tasks").inc(len(chunk))
+        registry.histogram("gtc").observe_many(chunk)
+    for chunk in values:
+        serial.counter("tasks").inc(len(chunk))
+        serial.histogram("gtc").observe_many(chunk)
+
+    parent = MetricsRegistry()
+    for registry in workers:
+        parent.merge(registry.snapshot())
+    assert parent.snapshot() == serial.snapshot()
+
+
+def test_merge_histogram_min_max_none_handling():
+    parent = MetricsRegistry()
+    parent.histogram("h")  # created, never observed: min/max None
+    child = MetricsRegistry()
+    child.histogram("h").observe(7.0)
+    parent.merge(child.snapshot())
+    state = parent.snapshot()["histograms"]["h"]
+    assert state["min"] == 7.0 and state["max"] == 7.0
+    # Merging an empty histogram back changes nothing.
+    parent.merge(
+        {"histograms": {"h": Histogram().state()}}
+    )
+    assert parent.snapshot()["histograms"]["h"] == state
+
+
+def test_reset_clears_everything():
+    METRICS.counter("a").inc()
+    METRICS.gauge("b").set(1)
+    METRICS.histogram("c").observe(1)
+    METRICS.reset()
+    assert METRICS.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {}
+    }

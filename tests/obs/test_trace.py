@@ -1,0 +1,106 @@
+"""Span-tree tracing: nesting, timing, and the zero-cost disabled path."""
+
+import time
+
+from repro.obs import TRACER, Span, span
+from repro.obs.trace import _NULL_SPAN
+
+
+def test_spans_nest_by_lexical_scope():
+    TRACER.enable()
+    with span("outer", kind="test"):
+        with span("inner.a"):
+            pass
+        with span("inner.b"):
+            with span("leaf"):
+                pass
+    assert len(TRACER.roots) == 1
+    outer = TRACER.roots[0]
+    assert outer.name == "outer"
+    assert outer.attrs == {"kind": "test"}
+    assert [child.name for child in outer.children] == [
+        "inner.a", "inner.b"
+    ]
+    assert outer.children[1].children[0].name == "leaf"
+
+
+def test_timing_is_monotonic_and_contains_children():
+    TRACER.enable()
+    with span("outer"):
+        with span("inner"):
+            time.sleep(0.01)
+    outer = TRACER.roots[0]
+    inner = outer.children[0]
+    assert inner.wall_seconds >= 0.01
+    assert outer.wall_seconds >= inner.wall_seconds
+    assert outer.cpu_seconds >= 0.0
+    # The child's interval lies inside the parent's.
+    assert outer.wall_start <= inner.wall_start
+    assert inner.wall_end <= outer.wall_end
+
+
+def test_attributes_settable_during_span():
+    TRACER.enable()
+    with span("work", planned=3) as current:
+        current.set(done=2, aborted=False)
+    assert TRACER.roots[0].attrs == {
+        "planned": 3, "done": 2, "aborted": False
+    }
+
+
+def test_disabled_tracer_allocates_nothing():
+    assert not TRACER.enabled
+    handles = {id(span("a")), id(span("b", x=1)), id(TRACER.span("c"))}
+    # Every disabled call hands back the same shared null singleton.
+    assert handles == {id(_NULL_SPAN)}
+    with span("ignored") as current:
+        current.set(anything=1)
+    assert TRACER.roots == []
+
+
+def test_current_tracks_innermost_open_span():
+    TRACER.enable()
+    assert TRACER.current is None
+    with span("outer") as outer:
+        assert TRACER.current is outer
+        with span("inner") as inner:
+            assert TRACER.current is inner
+        assert TRACER.current is outer
+    assert TRACER.current is None
+
+
+def test_export_roundtrip():
+    TRACER.enable()
+    with span("root", level=1):
+        with span("child"):
+            pass
+    exported = TRACER.export()
+    rebuilt = Span.from_dict(exported[0])
+    assert rebuilt.name == "root"
+    assert rebuilt.attrs == {"level": 1}
+    assert rebuilt.children[0].name == "child"
+    assert rebuilt.wall_seconds == exported[0]["wall_seconds"]
+
+
+def test_graft_attaches_worker_subtrees_under_current_span():
+    TRACER.enable()
+    worker = Span("parallel.task", {"index": 0})
+    worker.children.append(Span("figure.query"))
+    with span("cli.figure"):
+        TRACER.graft([worker.to_dict()])
+    root = TRACER.roots[0]
+    assert [c.name for c in root.children] == ["parallel.task"]
+    assert root.children[0].children[0].name == "figure.query"
+
+
+def test_graft_is_a_noop_while_disabled():
+    TRACER.graft([Span("x").to_dict()])
+    assert TRACER.roots == []
+
+
+def test_reset_keeps_enabled_flag():
+    TRACER.enable()
+    with span("x"):
+        pass
+    TRACER.reset()
+    assert TRACER.roots == [] and TRACER.enabled

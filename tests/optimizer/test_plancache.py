@@ -92,21 +92,31 @@ def test_key_sensitivity(tmp_path, catalog, setup):
     assert key(params=slower_cpu) != base
 
 
-def test_corrupt_entry_is_a_miss(tmp_path, catalog, setup):
+def test_corrupt_entry_is_a_miss(tmp_path, catalog, setup, caplog):
     query, layout, region = setup
     cache = PlanCache(tmp_path)
     cached_candidate_plans(
         query, catalog, DEFAULT_PARAMETERS, layout, region,
         cache=cache, scenario_key="shared",
     )
-    for path in tmp_path.rglob("*.pkl"):
+    corrupted = [path for path in tmp_path.rglob("*.pkl")]
+    for path in corrupted:
         path.write_bytes(b"not a pickle")
-    # Corruption must be silently recomputed, then re-written intact.
-    result = cached_candidate_plans(
-        query, catalog, DEFAULT_PARAMETERS, layout, region,
-        cache=cache, scenario_key="shared",
-    )
+    # Corruption must be recomputed (with a WARNING naming the entry),
+    # then re-written intact.
+    with caplog.at_level("WARNING", logger="repro"):
+        result = cached_candidate_plans(
+            query, catalog, DEFAULT_PARAMETERS, layout, region,
+            cache=cache, scenario_key="shared",
+        )
     assert result.signatures
+    warnings = [
+        record for record in caplog.records
+        if record.levelname == "WARNING"
+        and "corrupt" in record.getMessage()
+    ]
+    assert warnings
+    assert str(corrupted[0]) in warnings[0].getMessage()
     key = cache.key_for(
         query_name=query.name, scenario_key="shared", delta=region.delta,
         params=DEFAULT_PARAMETERS, cell_cap=64, catalog=catalog,
