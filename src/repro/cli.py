@@ -15,21 +15,31 @@ Run via ``python -m repro <command>``:
 * ``report MANIFEST [MANIFEST]`` — render a run manifest into a
   phase/time/cache breakdown, or diff two manifests.
 
-Every command accepts ``--scale`` (TPC-H scale factor, default 100)
-and ``--queries Q1,Q5,...`` to restrict the workload.  Commands that
+The experiment subcommands (``figure``, ``census``, ``robustness``,
+``expected``, ``validate``) are generated from the experiment registry
+(:mod:`repro.experiments.engine`): each registered
+:class:`~repro.experiments.engine.ExperimentSpec` contributes one
+subparser carrying its own flags plus the shared ones — a scenario
+(``shared``/``split``/``colocated``, or the aliases
+``fig5``/``fig6``/``fig7``, positionally or via ``--scenario``),
+``--scale`` (TPC-H scale factor, default 100), ``--queries Q1,Q5,...``
+to restrict the workload, ``--jobs N`` to spread tasks over worker
+processes, and the cache/observability flags below.  Commands that
 compute candidate plan sets cache them on disk under ``.repro-cache``
 (or ``$REPRO_CACHE_DIR`` / ``--cache-dir``); ``--no-cache`` disables
-the cache.  The sweep commands (``figure``, ``expected``,
-``validate``) additionally take ``--jobs N`` to spread queries over
-worker processes.
+the cache.
 
 Observability: every experiment command writes a ``run-manifest.json``
 (``--manifest PATH`` to move it, ``--no-manifest`` to skip) capturing
 git SHA, configuration, RNG seeds, a catalog digest, SHA-256 digests of
-the rendered results, and a metrics snapshot; ``--trace`` additionally
-records the span tree, ``--metrics-out PATH`` dumps the raw metrics,
-and ``--log-level debug`` surfaces the library's loggers.  Cached runs
-end with a one-line cache summary on stderr.
+the rendered results, and a metrics snapshot — all assembled from the
+run's :class:`~repro.experiments.engine.RunContext`; ``--trace``
+additionally records the span tree, ``--metrics-out PATH`` dumps the
+raw metrics, and ``--log-level debug`` surfaces the library's loggers.
+Cached runs end with a one-line cache summary on stderr.
+
+Usage errors (unknown query or scenario names, unknown devices) exit
+with status 2 and a one-line message listing the valid choices.
 """
 
 from __future__ import annotations
@@ -38,160 +48,123 @@ import argparse
 import json
 import sys
 import time
-from typing import Any, Sequence
+from typing import Any, NoReturn, Sequence
 
-from .catalog import build_tpch_catalog
+from .experiments.engine import (
+    ExperimentSpec,
+    RunContext,
+    UnknownQueryError,
+    all_experiments,
+    run_experiment,
+)
+from .experiments.scenarios import (
+    SCENARIO_ALIASES,
+    SCENARIO_KEYS,
+    UnknownScenarioError,
+    resolve_scenario_key,
+)
 from .obs import (
     METRICS,
     TRACER,
-    build_manifest,
-    catalog_digest,
     configure_logging,
+    manifest_from_context,
     render_comparison,
     render_manifest,
     span,
-    text_digest,
     validate_manifest,
     write_manifest,
 )
-from .workloads import build_tpch_queries
 
 __all__ = ["main", "build_parser"]
 
-#: Per-invocation context the commands feed the manifest from:
-#: ``catalog_digest``, ``result_digests``, ``seeds``.
-_RUN: dict[str, Any] = {}
+
+class _Run:
+    """Holder handing the command's RunContext to the epilogue."""
+
+    ctx: "RunContext | None" = None
 
 
-def _record_digest(name: str, text: str) -> None:
-    """Register one rendered result for the run manifest."""
-    _RUN.setdefault("result_digests", {})[name] = text_digest(text)
+def _usage_error(message: str) -> NoReturn:
+    """One-line usage failure: message on stderr, exit status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    raise SystemExit(2)
 
 
-def _record_seeds(**seeds: Any) -> None:
-    _RUN.setdefault("seeds", {}).update(seeds)
-
-
-def _workload(args):
-    catalog = build_tpch_catalog(args.scale)
-    _RUN["catalog_digest"] = catalog_digest(catalog)
-    queries = build_tpch_queries(catalog)
-    if args.queries:
-        wanted = [name.strip().upper() for name in args.queries.split(",")]
-        unknown = [name for name in wanted if name not in queries]
-        if unknown:
-            raise SystemExit(f"unknown queries: {', '.join(unknown)}")
-        queries = {name: queries[name] for name in wanted}
-    return catalog, queries
-
-
-def _cache_from_args(args):
-    """The candidate-set disk cache the flags ask for (or None)."""
+def _context_from_args(args: argparse.Namespace) -> RunContext:
+    """The RunContext the parsed flags describe (catalog stays lazy)."""
     from .optimizer.plancache import PlanCache
 
-    if getattr(args, "no_cache", False):
-        return None
-    return PlanCache(getattr(args, "cache_dir", None))
-
-
-def _cmd_figure(args) -> int:
-    from .experiments import (
-        DEFAULT_DELTAS,
-        figure_to_csv,
-        format_figure_chart,
-        format_figure_summary,
-        format_figure_table,
-        run_figure,
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = PlanCache(getattr(args, "cache_dir", None))
+    return RunContext(
+        scale=getattr(args, "scale", 100.0),
+        query_filter=getattr(args, "queries", "") or (),
+        cache=cache,
+        jobs=getattr(args, "jobs", 1),
     )
 
-    catalog, queries = _workload(args)
-    deltas = DEFAULT_DELTAS
-    if args.deltas:
-        deltas = tuple(float(d) for d in args.deltas.split(","))
-    result = run_figure(
-        args.scenario, catalog=catalog, queries=queries, deltas=deltas,
-        jobs=args.jobs, cache=_cache_from_args(args),
-    )
-    _record_digest("figure_csv", figure_to_csv(result))
-    if args.csv:
-        print(figure_to_csv(result), end="")
-        return 0
-    print(format_figure_table(result))
-    print()
-    print(format_figure_summary(result))
-    if args.chart:
-        print()
-        print(format_figure_chart(result, args.chart.split(",")))
+
+def _resolve_scenario(
+    args: argparse.Namespace, spec: "ExperimentSpec | None" = None
+) -> str:
+    raw = getattr(args, "scenario_opt", None)
+    if raw is None:
+        raw = getattr(args, "scenario_arg", None)
+    if raw is None and spec is not None:
+        raw = spec.scenario_default
+    if raw is None:
+        _usage_error(
+            "missing scenario; valid choices: "
+            + ", ".join(SCENARIO_KEYS + tuple(SCENARIO_ALIASES))
+        )
+    try:
+        return resolve_scenario_key(raw)
+    except UnknownScenarioError as exc:
+        _usage_error(str(exc))
+
+
+def _run_spec_command(args: argparse.Namespace, run: _Run) -> int:
+    """The one command body behind every registered experiment."""
+    spec: ExperimentSpec = args.spec
+    if spec.uses_scenario:
+        args.scenario = _resolve_scenario(args, spec)
+    ctx = _context_from_args(args)
+    run.ctx = ctx
+    params = spec.params_from_args(args)
+    try:
+        result = run_experiment(spec, params, ctx)
+    except UnknownQueryError as exc:
+        _usage_error(str(exc))
+    sys.stdout.write(spec.render(ctx, params, result))
     return 0
 
 
-def _cmd_census(args) -> int:
-    from .experiments import format_census_table, run_usage_analysis
-
-    catalog, queries = _workload(args)
-    result = run_usage_analysis(
-        args.scenario, catalog=catalog, queries=queries,
-        cache=_cache_from_args(args),
-    )
-    table = format_census_table(result)
-    _record_digest("census_table", table)
-    print(table)
-    return 0
-
-
-def _cmd_robustness(args) -> int:
-    from .experiments import format_robustness_table, run_robustness
-
-    catalog, queries = _workload(args)
-    rows = run_robustness(
-        args.scenario, catalog=catalog, queries=queries,
-        cache=_cache_from_args(args),
-    )
-    table = format_robustness_table(rows)
-    _record_digest("robustness_table", table)
-    print(table)
-    return 0
-
-
-def _cmd_expected(args) -> int:
-    from .experiments import format_expected_table, run_expected_regret
-
-    catalog, queries = _workload(args)
-    _record_seeds(monte_carlo=0)
-    rows = run_expected_regret(
-        args.scenario, catalog=catalog, queries=queries,
-        delta=args.delta, n_samples=args.samples,
-        jobs=args.jobs, cache=_cache_from_args(args),
-    )
-    table = format_expected_table(rows)
-    _record_digest("expected_table", table)
-    print(table)
-    return 0
-
-
-def _cmd_diagram(args) -> int:
+def _cmd_diagram(args: argparse.Namespace, run: _Run) -> int:
     from .core.diagram import plan_diagram
     from .experiments import scenario
-    from .optimizer import DEFAULT_PARAMETERS
     from .optimizer.plancache import cached_candidate_plans
 
-    catalog, queries = _workload(args)
-    name = args.query.upper()
-    if name not in queries:
-        raise SystemExit(f"unknown query {args.query!r}")
-    query = queries[name]
+    args.scenario = _resolve_scenario(args)
+    ctx = _context_from_args(args)
+    run.ctx = ctx
+    try:
+        selected = ctx.select([args.query])
+    except UnknownQueryError as exc:
+        _usage_error(str(exc))
+    (query,) = selected.values()
     config = scenario(args.scenario)
     layout = config.layout_for(query)
     region = config.region(layout, args.delta)
     candidates = cached_candidate_plans(
-        query, catalog, DEFAULT_PARAMETERS, layout, region,
-        cache=_cache_from_args(args), scenario_key=config.key,
+        query, ctx.catalog, ctx.params, layout, region,
+        cache=ctx.cache, scenario_key=config.key,
     )
     groups = {g.name: g for g in config.groups_for(layout)}
     for axis in (args.x_device, args.y_device):
         if axis not in groups:
-            raise SystemExit(
-                f"unknown device {axis!r}; available: "
+            _usage_error(
+                f"unknown device {axis!r}; valid choices: "
                 f"{', '.join(sorted(groups))}"
             )
     diagram = plan_diagram(
@@ -204,63 +177,24 @@ def _cmd_diagram(args) -> int:
         signatures=candidates.signatures,
     )
     rendered = diagram.render()
-    _record_digest("diagram", rendered)
+    ctx.record_digest("diagram", rendered)
     print(rendered)
     return 0
 
 
-def _cmd_params(args) -> int:
+def _cmd_params(args: argparse.Namespace, run: _Run) -> int:
     from .experiments import format_parameter_table
     from .optimizer.config import DEFAULT_PARAMETERS
 
+    ctx = _context_from_args(args)
+    run.ctx = ctx
     table = format_parameter_table(DEFAULT_PARAMETERS.as_db2_table())
-    _record_digest("params_table", table)
+    ctx.record_digest("params_table", table)
     print(table)
     return 0
 
 
-def _cmd_validate(args) -> int:
-    from .experiments import run_validation
-
-    catalog, queries = _workload(args)
-    wanted = [name.strip().upper() for name in args.query.split(",")]
-    unknown = [name for name in wanted if name not in queries]
-    if unknown:
-        raise SystemExit(f"unknown queries: {', '.join(unknown)}")
-    _record_seeds(estimation=0, discovery=0)
-    results = run_validation(
-        [queries[name] for name in wanted],
-        catalog,
-        args.scenario,
-        delta=args.delta,
-        jobs=args.jobs,
-        cache=_cache_from_args(args),
-    )
-    lines = []
-    for name, (estimation, discovery) in zip(wanted, results):
-        if len(wanted) > 1:
-            lines.append(f"{name}:")
-        lines.append(
-            f"estimation: {len(estimation.prediction_errors)} plans, "
-            f"worst prediction error "
-            f"{estimation.worst_prediction_error * 100:.4f}% "
-            f"(paper criterion < 1%: "
-            f"{'PASS' if estimation.meets_paper_criterion else 'FAIL'})"
-        )
-        lines.append(
-            f"discovery:  {len(discovery.found_signatures)}/"
-            f"{len(discovery.true_signatures)} candidate plans found "
-            f"(recall {discovery.recall:.2f}, "
-            f"spurious {len(discovery.spurious)}, "
-            f"{discovery.optimizer_calls} optimizer calls)"
-        )
-    report = "\n".join(lines)
-    _record_digest("validation_report", report)
-    print(report)
-    return 0
-
-
-def _cmd_report(args) -> int:
+def _cmd_report(args: argparse.Namespace, run: _Run) -> int:
     manifests = []
     for path in args.manifests:
         try:
@@ -284,6 +218,86 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _workload_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=float, default=100.0)
+    p.add_argument(
+        "--queries", default="",
+        help="comma-separated subset, e.g. Q3,Q14,Q20",
+    )
+
+
+def _cache_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="candidate-set cache directory (default: "
+             "$REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute candidate sets; do not read or write the "
+             "disk cache",
+    )
+
+
+def _obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", action="store_true",
+        help="record a wall/CPU span tree of the run into the "
+             "manifest",
+    )
+    p.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="stderr logging level for the repro loggers "
+             "(default warning)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="also dump the raw metrics snapshot as JSON",
+    )
+    p.add_argument(
+        "--manifest", default="run-manifest.json", metavar="PATH",
+        help="where to write the machine-readable run manifest "
+             "(default run-manifest.json)",
+    )
+    p.add_argument(
+        "--no-manifest", action="store_true",
+        help="do not write a run manifest",
+    )
+
+
+def _jobs_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the per-query sweep (default 1; "
+             "results are identical for any value)",
+    )
+
+
+def _scenario_arguments(
+    p: argparse.ArgumentParser, spec: "ExperimentSpec | None" = None
+) -> None:
+    positional = spec is None or spec.scenario_positional
+    required = spec is not None and spec.scenario_default is None
+    if positional:
+        p.add_argument(
+            "scenario_arg", nargs="?", default=None, metavar="scenario",
+            help="storage scenario: shared/split/colocated "
+                 "(or fig5/fig6/fig7)"
+                 + ("" if required else " [optional]"),
+        )
+    p.add_argument(
+        "--scenario", dest="scenario_opt", default=None, metavar="KEY",
+        help="storage scenario: shared/split/colocated or "
+             "fig5/fig6/fig7"
+             + (
+                 ""
+                 if spec is None or spec.scenario_default is None
+                 else f" (default {spec.scenario_default})"
+             ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -294,98 +308,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, scenario_positional=True):
-        if scenario_positional:
-            p.add_argument(
-                "scenario", choices=("shared", "split", "colocated")
-            )
-        p.add_argument("--scale", type=float, default=100.0)
-        p.add_argument(
-            "--queries", default="",
-            help="comma-separated subset, e.g. Q3,Q14,Q20",
-        )
-        cache_flags(p)
-        obs_flags(p)
-
-    def cache_flags(p):
-        p.add_argument(
-            "--cache-dir", default=None,
-            help="candidate-set cache directory (default: "
-                 "$REPRO_CACHE_DIR or .repro-cache)",
-        )
-        p.add_argument(
-            "--no-cache", action="store_true",
-            help="recompute candidate sets; do not read or write the "
-                 "disk cache",
-        )
-
-    def obs_flags(p):
-        p.add_argument(
-            "--trace", action="store_true",
-            help="record a wall/CPU span tree of the run into the "
-                 "manifest",
-        )
-        p.add_argument(
-            "--log-level", default="warning",
-            choices=("debug", "info", "warning", "error"),
-            help="stderr logging level for the repro loggers "
-                 "(default warning)",
-        )
-        p.add_argument(
-            "--metrics-out", default=None, metavar="PATH",
-            help="also dump the raw metrics snapshot as JSON",
-        )
-        p.add_argument(
-            "--manifest", default="run-manifest.json", metavar="PATH",
-            help="where to write the machine-readable run manifest "
-                 "(default run-manifest.json)",
-        )
-        p.add_argument(
-            "--no-manifest", action="store_true",
-            help="do not write a run manifest",
-        )
-
-    def jobs_flag(p):
-        p.add_argument(
-            "--jobs", type=int, default=1,
-            help="worker processes for the per-query sweep (default 1; "
-                 "results are identical for any value)",
-        )
-
-    p_figure = sub.add_parser(
-        "figure", help="regenerate Figure 5/6/7 worst-case curves"
-    )
-    common(p_figure)
-    p_figure.add_argument("--deltas", default="",
-                          help="comma-separated error levels")
-    p_figure.add_argument("--csv", action="store_true")
-    p_figure.add_argument(
-        "--chart", default="",
-        help="also draw an ASCII chart of these queries, e.g. Q3,Q20",
-    )
-    jobs_flag(p_figure)
-    p_figure.set_defaults(func=_cmd_figure)
-
-    p_census = sub.add_parser(
-        "census", help="Section 8.2 complementarity census"
-    )
-    common(p_census)
-    p_census.set_defaults(func=_cmd_census)
-
-    p_robust = sub.add_parser(
-        "robustness", help="per-parameter plan-switch thresholds"
-    )
-    common(p_robust)
-    p_robust.set_defaults(func=_cmd_robustness)
-
-    p_expected = sub.add_parser(
-        "expected", help="Monte-Carlo expected regret under random drift"
-    )
-    common(p_expected)
-    p_expected.add_argument("--delta", type=float, default=100.0)
-    p_expected.add_argument("--samples", type=int, default=2000)
-    jobs_flag(p_expected)
-    p_expected.set_defaults(func=_cmd_expected)
+    # One subcommand per registered experiment spec.
+    for spec in all_experiments():
+        p = sub.add_parser(spec.name, help=spec.help)
+        spec.add_arguments(p)
+        if spec.uses_scenario:
+            _scenario_arguments(p, spec)
+        _workload_flags(p)
+        _cache_flags(p)
+        _obs_flags(p)
+        _jobs_flag(p)
+        p.set_defaults(func=_run_spec_command, spec=spec)
 
     p_diagram = sub.add_parser(
         "diagram", help="ASCII plan diagram over two device axes"
@@ -394,40 +327,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_diagram.add_argument("x_device")
     p_diagram.add_argument("y_device")
     p_diagram.add_argument(
-        "--scenario", default="split",
-        choices=("shared", "split", "colocated"),
+        "--scenario", dest="scenario_opt", default="split", metavar="KEY",
+        help="storage scenario: shared/split/colocated or "
+             "fig5/fig6/fig7 (default split)",
     )
     p_diagram.add_argument("--delta", type=float, default=100.0)
     p_diagram.add_argument("--resolution", type=int, default=32)
-    p_diagram.add_argument("--scale", type=float, default=100.0)
-    p_diagram.add_argument("--queries", default="")
-    cache_flags(p_diagram)
-    obs_flags(p_diagram)
+    _workload_flags(p_diagram)
+    _cache_flags(p_diagram)
+    _obs_flags(p_diagram)
     p_diagram.set_defaults(func=_cmd_diagram)
 
     p_params = sub.add_parser(
         "params", help="the Section 7.3 system parameter table"
     )
-    obs_flags(p_params)
+    _obs_flags(p_params)
     p_params.set_defaults(func=_cmd_params)
-
-    p_validate = sub.add_parser(
-        "validate", help="black-box estimation/discovery validation"
-    )
-    p_validate.add_argument(
-        "query", help="query name, or a comma-separated list, e.g. Q3,Q14"
-    )
-    p_validate.add_argument(
-        "--scenario", default="shared",
-        choices=("shared", "split", "colocated"),
-    )
-    p_validate.add_argument("--delta", type=float, default=100.0)
-    p_validate.add_argument("--scale", type=float, default=100.0)
-    p_validate.add_argument("--queries", default="")
-    cache_flags(p_validate)
-    obs_flags(p_validate)
-    jobs_flag(p_validate)
-    p_validate.set_defaults(func=_cmd_validate)
 
     p_report = sub.add_parser(
         "report",
@@ -441,14 +356,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _serializable_config(args) -> dict[str, Any]:
+def _serializable_config(args: argparse.Namespace) -> dict[str, Any]:
     """The parsed CLI namespace, minus the non-JSON machinery."""
     config = dict(vars(args))
-    config.pop("func", None)
+    for key in ("func", "spec", "scenario_arg", "scenario_opt"):
+        config.pop(key, None)
     return config
 
 
-def _finish_run(args, wall_seconds: float, cpu_seconds: float) -> None:
+def _finish_run(
+    args: argparse.Namespace,
+    ctx: "RunContext | None",
+    wall_seconds: float,
+    cpu_seconds: float,
+) -> None:
     """Write the manifest/metrics artefacts and the cache summary."""
     snapshot = METRICS.snapshot()
     metrics_out = getattr(args, "metrics_out", None)
@@ -459,12 +380,10 @@ def _finish_run(args, wall_seconds: float, cpu_seconds: float) -> None:
     if getattr(args, "manifest", None) and not getattr(
         args, "no_manifest", False
     ):
-        manifest = build_manifest(
+        manifest = manifest_from_context(
             command=args.command,
             config=_serializable_config(args),
-            seeds=_RUN.get("seeds"),
-            catalog_sha=_RUN.get("catalog_digest"),
-            result_digests=_RUN.get("result_digests"),
+            ctx=ctx,
             metrics=snapshot,
             trace=TRACER.export() if TRACER.enabled else None,
             wall_seconds=wall_seconds,
@@ -479,8 +398,11 @@ def _finish_run(args, wall_seconds: float, cpu_seconds: float) -> None:
     if lookups and not getattr(args, "no_cache", False):
         from .optimizer.plancache import default_cache_dir
 
-        cache_dir = getattr(args, "cache_dir", None) or \
-            default_cache_dir()
+        if ctx is not None and ctx.cache is not None:
+            cache_dir = ctx.cache.root
+        else:
+            cache_dir = getattr(args, "cache_dir", None) or \
+                default_cache_dir()
         print(
             f"cache: {counters.get('plancache.hits', 0)} hits, "
             f"{counters.get('plancache.misses', 0)} misses "
@@ -497,15 +419,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     TRACER.reset()
     TRACER.enabled = bool(getattr(args, "trace", False))
     METRICS.reset()
-    _RUN.clear()
+    run = _Run()
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
     with span(f"cli.{args.command}"):
-        code = args.func(args)
+        code = args.func(args, run)
     wall_seconds = time.perf_counter() - wall_start
     cpu_seconds = time.process_time() - cpu_start
     if args.command != "report":
-        _finish_run(args, wall_seconds, cpu_seconds)
+        _finish_run(args, run.ctx, wall_seconds, cpu_seconds)
     return code
 
 

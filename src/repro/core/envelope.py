@@ -15,7 +15,6 @@ on either side of ``m = 1``.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

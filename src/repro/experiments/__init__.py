@@ -1,14 +1,39 @@
 """Experiment runners regenerating the paper's evaluation artefacts.
 
-* :func:`run_figure5` / :func:`run_figure6` / :func:`run_figure7` —
-  the worst-case sensitivity curves of Section 8.1;
-* :func:`run_usage_analysis` — the Section 8.2 complementarity census;
-* :func:`validate_estimation` / :func:`validate_discovery` — the
-  Section 6 black-box algorithm validations;
+Every experiment kind is an :class:`~repro.experiments.engine.ExperimentSpec`
+registered with the engine (:mod:`repro.experiments.engine`), which
+drives it through the shared
+``plan_tasks -> run_task (serial or process pool) -> reduce -> render``
+pipeline; the CLI generates one subcommand per registered spec.
+
+* ``figure`` (:mod:`.worst_case`) — the worst-case sensitivity curves
+  of Section 8.1 (Figures 5/6/7 via ``scenario``);
+* ``census`` (:mod:`.usage_analysis`) — the Section 8.2
+  complementarity census;
+* ``robustness`` (:mod:`.robustness`) — per-parameter switch
+  thresholds;
+* ``expected`` (:mod:`.expected`) — Monte-Carlo expected regret;
+* ``validate`` (:mod:`.validation`) — the Section 6 black-box
+  algorithm validations;
 * :mod:`repro.experiments.report` — text/CSV rendering.
+
+Programmatic entry point: ``run_experiment(name, params, ctx)`` with a
+:class:`~repro.experiments.engine.RunContext`; the ``run_*`` wrappers
+below keep the historical one-call signatures.
 """
 
+from .engine import (
+    ExperimentSpec,
+    RunContext,
+    UnknownQueryError,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
 from .expected import (
+    ExpectedParams,
     ExpectedRegret,
     analyze_expected_regret,
     format_expected_table,
@@ -26,71 +51,92 @@ from .report import (
 from .robustness import (
     ParameterRobustness,
     QueryRobustness,
+    RobustnessParams,
     analyze_query_robustness,
     format_robustness_table,
     run_robustness,
 )
 from .scenarios import (
     DEFAULT_DELTAS,
+    SCENARIO_ALIASES,
     SCENARIO_KEYS,
     Scenario,
+    UnknownScenarioError,
     all_scenarios,
+    resolve_scenario_key,
     scenario,
 )
 from .usage_analysis import (
+    CensusParams,
     QueryCensus,
     UsageAnalysisResult,
+    analyze_query_census,
     run_usage_analysis,
 )
 from .validation import (
     DiscoveryValidation,
     EstimationValidation,
+    ValidationParams,
+    format_validation_report,
     run_validation,
     validate_discovery,
     validate_estimation,
 )
 from .worst_case import (
+    FigureParams,
     FigureResult,
     QueryWorstCase,
     run_figure,
-    run_figure5,
-    run_figure6,
-    run_figure7,
     run_query_worst_case,
 )
 
 __all__ = [
     "DEFAULT_DELTAS",
+    "CensusParams",
     "DiscoveryValidation",
     "EstimationValidation",
+    "ExpectedParams",
     "ExpectedRegret",
+    "ExperimentSpec",
+    "FigureParams",
     "FigureResult",
     "ParameterRobustness",
     "QueryCensus",
     "QueryWorstCase",
     "QueryRobustness",
+    "RobustnessParams",
+    "RunContext",
+    "SCENARIO_ALIASES",
     "SCENARIO_KEYS",
     "Scenario",
+    "UnknownQueryError",
+    "UnknownScenarioError",
     "UsageAnalysisResult",
+    "ValidationParams",
+    "all_experiments",
     "all_scenarios",
+    "analyze_expected_regret",
+    "analyze_query_census",
+    "analyze_query_robustness",
+    "experiment_names",
     "figure_to_csv",
     "format_census_table",
+    "format_expected_table",
     "format_figure_chart",
     "format_figure_summary",
     "format_figure_table",
     "format_parameter_table",
     "format_robustness_table",
-    "analyze_query_robustness",
-    "analyze_expected_regret",
-    "format_expected_table",
+    "format_validation_report",
+    "get_experiment",
     "parallel_map",
-    "run_figure",
-    "run_figure5",
-    "run_figure6",
-    "run_figure7",
-    "run_robustness",
+    "register_experiment",
+    "resolve_scenario_key",
     "run_expected_regret",
+    "run_experiment",
+    "run_figure",
     "run_query_worst_case",
+    "run_robustness",
     "run_usage_analysis",
     "run_validation",
     "scenario",

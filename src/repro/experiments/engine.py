@@ -1,0 +1,350 @@
+"""The experiment engine: one pipeline for every experiment kind.
+
+Before this module existed, each experiment runner hand-rolled the
+same scaffolding — catalog construction, ``--jobs`` process fan-out,
+plan-cache wiring, manifest bookkeeping, ad-hoc parameter threading.
+The engine factors that scaffolding into three pieces:
+
+* :class:`RunContext` — everything an experiment needs from its
+  environment (catalog, workload, system parameters, plan cache,
+  parallelism, seed) plus the manifest bookkeeping (recorded seeds,
+  result digests, catalog digest), built once and injected everywhere.
+  The catalog and workload are lazy, so commands that never touch them
+  (``params``, ``report``) pay nothing.
+* :class:`ExperimentSpec` — the protocol an experiment implements:
+  ``plan_tasks`` (split the work into independent tasks),
+  ``run_task`` (one task, runnable in a worker process),
+  ``reduce`` (combine task results), ``render`` (the stdout payload)
+  and ``digest_payloads`` (what goes into the run manifest).  Params
+  travel as a frozen dataclass so tasks pickle cleanly across the
+  process boundary.
+* a declarative registry — :func:`register_experiment` makes a spec
+  visible to :func:`run_experiment` (the single programmatic entry
+  point) and to the CLI, which auto-generates one subcommand per
+  registered spec.
+
+:func:`run_experiment` drives every spec through the one generic
+serial-or-``ProcessPoolExecutor`` executor
+(:func:`~repro.experiments.parallel.parallel_map`), preserving the
+repo-wide guarantee that serial and ``--jobs N`` runs produce
+identical results, digests and merged metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+from typing import Any, Iterator, Mapping, Protocol, Sequence, runtime_checkable
+
+from ..catalog.statistics import Catalog
+from ..catalog.tpch import build_tpch_catalog
+from ..obs.manifest import catalog_digest, text_digest
+from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
+from ..optimizer.plancache import PlanCache
+from ..optimizer.query import QuerySpec
+from ..workloads.tpch_queries import build_tpch_queries
+from .parallel import parallel_map, worker_catalog, worker_payload
+
+__all__ = [
+    "RunContext",
+    "ExperimentSpec",
+    "UnknownQueryError",
+    "register_experiment",
+    "get_experiment",
+    "all_experiments",
+    "experiment_names",
+    "run_experiment",
+]
+
+
+class UnknownQueryError(ValueError):
+    """A query name outside the workload, with the valid choices."""
+
+    def __init__(self, unknown: Sequence[str], valid: Sequence[str]) -> None:
+        self.unknown = tuple(unknown)
+        super().__init__(
+            f"unknown {'query' if len(unknown) == 1 else 'queries'} "
+            f"{', '.join(repr(name) for name in unknown)}; "
+            f"valid choices: {', '.join(valid)}"
+        )
+
+
+def _parse_query_names(names: "str | Sequence[str]") -> tuple[str, ...]:
+    if isinstance(names, str):
+        names = names.split(",")
+    return tuple(name.strip().upper() for name in names if name.strip())
+
+
+class RunContext:
+    """Everything one experiment run needs, built once, injected everywhere.
+
+    Holds the catalog and workload (built lazily from ``scale`` unless
+    injected), the system cost-model parameters, the candidate-set
+    :class:`PlanCache` handle (or None), the worker count and base
+    seed — plus the manifest bookkeeping every run feeds: recorded
+    seeds, result digests and the catalog digest.
+    :func:`repro.obs.manifest.manifest_from_context` assembles the run
+    manifest straight from this object.
+    """
+
+    def __init__(
+        self,
+        scale: float = 100.0,
+        query_filter: "str | Sequence[str]" = (),
+        catalog: "Catalog | None" = None,
+        queries: "Mapping[str, QuerySpec] | None" = None,
+        params: SystemParameters = DEFAULT_PARAMETERS,
+        cache: "PlanCache | None" = None,
+        jobs: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.scale = float(scale)
+        self.query_filter = _parse_query_names(query_filter)
+        self.params = params
+        self.cache = cache
+        self.jobs = jobs
+        self.seed = seed
+        self._catalog = catalog
+        self._catalog_injected = catalog is not None
+        self._queries = dict(queries) if queries is not None else None
+        #: Manifest bookkeeping, filled in as the run progresses.
+        self.seeds: dict[str, Any] = {}
+        self.result_digests: dict[str, str] = {}
+        self.catalog_sha: "str | None" = None
+
+    # ------------------------------------------------------------------
+    # Lazy workload
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self) -> Catalog:
+        if self._catalog is None:
+            self._catalog = build_tpch_catalog(self.scale)
+        if self.catalog_sha is None:
+            self.catalog_sha = catalog_digest(self._catalog)
+        return self._catalog
+
+    @property
+    def queries(self) -> dict[str, QuerySpec]:
+        """The run's workload (filtered when ``query_filter`` is set)."""
+        if self._queries is None:
+            self._queries = build_tpch_queries(self.catalog)
+            if self.query_filter:
+                self._queries = self.select(self.query_filter)
+        return self._queries
+
+    def select(self, names: "str | Sequence[str]") -> dict[str, QuerySpec]:
+        """A named subset of the workload, validated with choices."""
+        if self._queries is None:
+            available = build_tpch_queries(self.catalog)
+        else:
+            available = self._queries
+        wanted = _parse_query_names(names)
+        unknown = [name for name in wanted if name not in available]
+        if unknown:
+            raise UnknownQueryError(unknown, list(available))
+        return {name: available[name] for name in wanted}
+
+    @property
+    def catalog_spec(self) -> "Catalog | float":
+        """What worker processes rebuild the catalog from.
+
+        A bare scale factor when this context built its own catalog
+        (workers rebuild it — cheap, and avoids pickling assumptions);
+        the catalog object itself when the caller injected customised
+        statistics.
+        """
+        if self._catalog_injected:
+            return self.catalog
+        return self.scale
+
+    # ------------------------------------------------------------------
+    # Manifest bookkeeping
+    # ------------------------------------------------------------------
+    def record_digest(self, name: str, payload: str) -> None:
+        """Register one rendered result for the run manifest."""
+        self.result_digests[name] = text_digest(payload)
+
+    def record_seeds(self, **seeds: Any) -> None:
+        self.seeds.update(seeds)
+
+    def cache_root(self) -> "str | None":
+        """The plan-cache root as shipped to worker processes."""
+        return str(self.cache.root) if self.cache is not None else None
+
+
+@runtime_checkable
+class ExperimentSpec(Protocol):
+    """What an experiment implements to run through the engine.
+
+    ``params_type`` is a frozen dataclass of everything semantic; one
+    instance travels (pickled) to every worker.  ``uses_scenario``
+    tells the CLI builder to expose the shared scenario argument;
+    ``scenario_default`` (None = required) its default.
+    """
+
+    name: str
+    help: str
+    params_type: type
+    uses_scenario: bool
+    scenario_positional: bool
+    scenario_default: "str | None"
+
+    def add_arguments(self, parser: argparse.ArgumentParser) -> None:
+        """Declare the experiment-specific CLI flags."""
+
+    def params_from_args(self, args: argparse.Namespace) -> Any:
+        """Build the params dataclass from parsed CLI arguments."""
+
+    def seeds(self, params: Any) -> Mapping[str, Any]:
+        """RNG seeds to record in the run manifest."""
+
+    def plan_tasks(self, ctx: RunContext, params: Any) -> Sequence[Any]:
+        """Split the run into independent, picklable tasks."""
+
+    def run_task(self, ctx: RunContext, params: Any, task: Any) -> Any:
+        """Run one task (possibly in a worker process)."""
+
+    def reduce(self, ctx: RunContext, params: Any, results: list) -> Any:
+        """Combine per-task results (input order) into the result."""
+
+    def render(self, ctx: RunContext, params: Any, reduced: Any) -> str:
+        """The exact stdout payload for the CLI."""
+
+    def digest_payloads(
+        self, ctx: RunContext, params: Any, reduced: Any
+    ) -> Mapping[str, str]:
+        """Named texts whose SHA-256 digests go into the manifest."""
+
+
+class Experiment:
+    """Convenience defaults for :class:`ExperimentSpec` implementers."""
+
+    name: str = ""
+    help: str = ""
+    params_type: type = object
+    uses_scenario: bool = True
+    #: Whether the CLI also accepts the scenario as a positional
+    #: argument (False when the spec claims the positional slot).
+    scenario_positional: bool = True
+    scenario_default: "str | None" = None
+
+    def add_arguments(self, parser: argparse.ArgumentParser) -> None:
+        pass
+
+    def seeds(self, params: Any) -> Mapping[str, Any]:
+        return {}
+
+    def reduce(self, ctx: RunContext, params: Any, results: list) -> Any:
+        return results
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(cls: type) -> type:
+    """Class decorator adding one spec instance to the registry."""
+    spec = cls()
+    if not spec.name:
+        raise ValueError(f"{cls.__name__} has no experiment name")
+    _REGISTRY[spec.name] = spec
+    return cls
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def experiment_names() -> tuple[str, ...]:
+    _ensure_registered()
+    return tuple(_REGISTRY)
+
+
+def all_experiments() -> Iterator[ExperimentSpec]:
+    """Registered specs, in registration order."""
+    _ensure_registered()
+    return iter(tuple(_REGISTRY.values()))
+
+
+def _ensure_registered() -> None:
+    """Import the experiment package so built-in specs self-register.
+
+    Keeps the registry spawn-safe: a worker process that unpickles
+    only this module still finds every built-in spec.
+    """
+    importlib.import_module("repro.experiments")
+
+
+# ----------------------------------------------------------------------
+# The generic executor
+# ----------------------------------------------------------------------
+def _engine_task_worker(task: Any) -> Any:
+    """One task of any registered experiment, in a worker process.
+
+    The worker rebuilds a serial :class:`RunContext` from the shipped
+    payload (catalog via the pool initializer, cache via its root) and
+    dispatches to the spec looked up by name — the single fan-out
+    worker for every experiment kind.
+    """
+    payload = worker_payload()
+    spec = get_experiment(payload["experiment"])
+    ctx = RunContext(
+        catalog=worker_catalog(),
+        queries={},
+        params=payload["system_params"],
+        cache=PlanCache.from_root(payload["cache_root"]),
+        jobs=1,
+        seed=payload["seed"],
+    )
+    return spec.run_task(ctx, payload["params"], task)
+
+
+def run_experiment(
+    experiment: "str | ExperimentSpec", params: Any, ctx: RunContext
+) -> Any:
+    """Run one experiment through the shared pipeline.
+
+    The single programmatic surface: plan tasks, fan them out through
+    the generic serial-or-process-pool executor, reduce, and record
+    seeds + result digests on the context.  Returns the reduced
+    result; rendering stays separate (``spec.render``).
+    """
+    spec = (
+        get_experiment(experiment)
+        if isinstance(experiment, str)
+        else experiment
+    )
+    ctx.record_seeds(**spec.seeds(params))
+    tasks = list(spec.plan_tasks(ctx, params))
+    payload = {
+        "experiment": spec.name,
+        "params": params,
+        "system_params": ctx.params,
+        "cache_root": ctx.cache_root(),
+        "seed": ctx.seed,
+    }
+    # Serial runs reuse the context's catalog object directly; only a
+    # real process fan-out ships the (cheaper-to-rebuild) catalog spec.
+    catalog_spec = ctx.catalog_spec if ctx.jobs > 1 else ctx.catalog
+    results = parallel_map(
+        _engine_task_worker,
+        tasks,
+        jobs=ctx.jobs,
+        catalog_spec=catalog_spec,
+        payload=payload,
+    )
+    reduced = spec.reduce(ctx, params, results)
+    for name, payload_text in spec.digest_payloads(
+        ctx, params, reduced
+    ).items():
+        ctx.record_digest(name, payload_text)
+    return reduced

@@ -14,23 +14,28 @@ shows how adversarial the vertex worst case is).
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
 
 from ..catalog.statistics import Catalog
-from ..catalog.tpch import build_tpch_catalog
 from ..obs.metrics import METRICS
 from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
-from ..workloads.tpch_queries import build_tpch_queries
-from .parallel import parallel_map, worker_catalog, worker_payload
+from .engine import Experiment, RunContext, register_experiment, run_experiment
 from .scenarios import Scenario, scenario
 
-__all__ = ["ExpectedRegret", "run_expected_regret", "format_expected_table"]
+__all__ = [
+    "ExpectedRegret",
+    "ExpectedParams",
+    "ExpectedExperiment",
+    "run_expected_regret",
+    "format_expected_table",
+]
 
 
 @dataclass
@@ -107,22 +112,61 @@ def analyze_expected_regret(
     )
 
 
-def _regret_worker(query: QuerySpec) -> ExpectedRegret:
-    """Per-query Monte-Carlo work, run in a (possibly forked) worker."""
-    payload = worker_payload()
-    cache_root = payload["cache_root"]
-    cache = PlanCache(cache_root) if cache_root is not None else None
-    return analyze_expected_regret(
-        query,
-        worker_catalog(),
-        scenario(payload["scenario_key"]),
-        payload["params"],
-        payload["delta"],
-        payload["n_samples"],
-        payload["cell_cap"],
-        payload["seed"],
-        cache=cache,
-    )
+@dataclass(frozen=True)
+class ExpectedParams:
+    """Everything that determines one expected-regret run (picklable)."""
+
+    scenario_key: str
+    delta: float = 100.0
+    n_samples: int = 2000
+    cell_cap: int | None = 64
+    seed: int = 0
+
+
+@register_experiment
+class ExpectedExperiment(Experiment):
+    """Monte-Carlo expected regret, one task per query."""
+
+    name = "expected"
+    help = "Monte-Carlo expected regret under random drift"
+    params_type = ExpectedParams
+
+    def add_arguments(self, parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--delta", type=float, default=100.0)
+        parser.add_argument("--samples", type=int, default=2000)
+
+    def params_from_args(self, args: argparse.Namespace) -> ExpectedParams:
+        return ExpectedParams(
+            scenario_key=args.scenario, delta=args.delta,
+            n_samples=args.samples,
+        )
+
+    def seeds(self, params: ExpectedParams) -> dict:
+        return {"monte_carlo": params.seed}
+
+    def plan_tasks(
+        self, ctx: RunContext, params: ExpectedParams
+    ) -> list[QuerySpec]:
+        return list(ctx.queries.values())
+
+    def run_task(
+        self, ctx: RunContext, params: ExpectedParams, task: QuerySpec
+    ) -> ExpectedRegret:
+        return analyze_expected_regret(
+            task, ctx.catalog, scenario(params.scenario_key), ctx.params,
+            params.delta, params.n_samples, params.cell_cap, params.seed,
+            cache=ctx.cache,
+        )
+
+    def render(
+        self, ctx: RunContext, params: ExpectedParams, reduced: list
+    ) -> str:
+        return format_expected_table(reduced) + "\n"
+
+    def digest_payloads(
+        self, ctx: RunContext, params: ExpectedParams, reduced: list
+    ) -> dict[str, str]:
+        return {"expected_table": format_expected_table(reduced)}
 
 
 def run_expected_regret(
@@ -138,35 +182,22 @@ def run_expected_regret(
     cache: PlanCache | None = None,
     scale: float = 100.0,
 ) -> list[ExpectedRegret]:
-    """Expected-regret analysis over a workload.
+    """Expected-regret analysis over a workload (engine wrapper).
 
     Each query's sampling uses its own ``seed``-derived generator, so
     results are independent of ``jobs`` and of query order.
     """
-    config = scenario(scenario_key)
-    catalog_spec: "Catalog | float"
-    if catalog is None:
-        catalog = build_tpch_catalog(scale)
-        catalog_spec = float(scale)
-    else:
-        catalog_spec = catalog
-    if queries is None:
-        queries = build_tpch_queries(catalog)
-    payload = {
-        "scenario_key": config.key,
-        "params": params,
-        "delta": delta,
-        "n_samples": n_samples,
-        "cell_cap": cell_cap,
-        "seed": seed,
-        "cache_root": str(cache.root) if cache is not None else None,
-    }
-    return parallel_map(
-        _regret_worker,
-        queries.values(),
-        jobs=jobs,
-        catalog_spec=catalog_spec,
-        payload=payload,
+    ctx = RunContext(
+        scale=scale, catalog=catalog, queries=queries,
+        params=params, cache=cache, jobs=jobs,
+    )
+    return run_experiment(
+        "expected",
+        ExpectedParams(
+            scenario_key=scenario_key, delta=delta, n_samples=n_samples,
+            cell_cap=cell_cap, seed=seed,
+        ),
+        ctx,
     )
 
 

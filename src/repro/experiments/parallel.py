@@ -1,10 +1,13 @@
-"""Process-parallel execution of per-query experiment work.
+"""The generic serial-or-process-pool executor for experiment tasks.
 
-The figure/expected/validation sweeps are embarrassingly parallel over
-queries, but each worker needs the TPC-H catalog — a few kilobytes of
-statistics that every query shares.  Rather than pickling it into every
-task, :func:`parallel_map` ships a *catalog spec* (usually just the
-scale factor) once per worker process through a
+Every experiment sweep is embarrassingly parallel over queries, and
+every one of them fans out through :func:`parallel_map` — the engine
+(:mod:`repro.experiments.engine`) hands it one shared worker function
+that dispatches to the registered spec, so no runner owns pool code.
+Each worker needs the TPC-H catalog — a few kilobytes of statistics
+that every query shares.  Rather than pickling it into every task,
+:func:`parallel_map` ships a *catalog spec* (usually just the scale
+factor) once per worker process through a
 :class:`~concurrent.futures.ProcessPoolExecutor` initializer; the
 worker builds the catalog a single time and parks it, together with an
 arbitrary experiment payload, in the module-global ``_STATE``.

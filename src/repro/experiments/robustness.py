@@ -18,7 +18,6 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..catalog.statistics import Catalog
-from ..catalog.tpch import build_tpch_catalog
 from ..core.costmodel import global_relative_cost
 from ..core.switching import SwitchingDistance, switching_distances
 from ..obs.metrics import METRICS
@@ -26,10 +25,16 @@ from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
-from ..workloads.tpch_queries import build_tpch_queries
+from .engine import Experiment, RunContext, register_experiment, run_experiment
 from .scenarios import Scenario, scenario
 
-__all__ = ["ParameterRobustness", "QueryRobustness", "run_robustness"]
+__all__ = [
+    "ParameterRobustness",
+    "QueryRobustness",
+    "RobustnessParams",
+    "RobustnessExperiment",
+    "run_robustness",
+]
 
 
 @dataclass
@@ -159,6 +164,52 @@ def _analyze_query_robustness(
     )
 
 
+@dataclass(frozen=True)
+class RobustnessParams:
+    """Everything that determines one robustness run (picklable)."""
+
+    scenario_key: str
+    delta: float = 10000.0
+    cell_cap: int | None = 64
+    regret_probe_factor: float = 10.0
+
+
+@register_experiment
+class RobustnessExperiment(Experiment):
+    """Per-parameter switch thresholds, one task per query."""
+
+    name = "robustness"
+    help = "per-parameter plan-switch thresholds"
+    params_type = RobustnessParams
+
+    def params_from_args(self, args) -> RobustnessParams:
+        return RobustnessParams(scenario_key=args.scenario)
+
+    def plan_tasks(
+        self, ctx: RunContext, params: RobustnessParams
+    ) -> list[QuerySpec]:
+        return list(ctx.queries.values())
+
+    def run_task(
+        self, ctx: RunContext, params: RobustnessParams, task: QuerySpec
+    ) -> QueryRobustness:
+        return analyze_query_robustness(
+            task, ctx.catalog, scenario(params.scenario_key), ctx.params,
+            params.delta, params.cell_cap, params.regret_probe_factor,
+            cache=ctx.cache,
+        )
+
+    def render(
+        self, ctx: RunContext, params: RobustnessParams, reduced: list
+    ) -> str:
+        return format_robustness_table(reduced) + "\n"
+
+    def digest_payloads(
+        self, ctx: RunContext, params: RobustnessParams, reduced: list
+    ) -> dict[str, str]:
+        return {"robustness_table": format_robustness_table(reduced)}
+
+
 def run_robustness(
     scenario_key: str,
     catalog: Catalog | None = None,
@@ -166,21 +217,22 @@ def run_robustness(
     params: SystemParameters = DEFAULT_PARAMETERS,
     delta: float = 10000.0,
     cell_cap: int | None = 64,
+    jobs: int = 1,
     cache: PlanCache | None = None,
+    scale: float = 100.0,
 ) -> list[QueryRobustness]:
-    """Robustness analysis over a workload."""
-    config = scenario(scenario_key)
-    if catalog is None:
-        catalog = build_tpch_catalog(100)
-    if queries is None:
-        queries = build_tpch_queries(catalog)
-    return [
-        analyze_query_robustness(
-            query, catalog, config, params, delta, cell_cap,
-            cache=cache,
-        )
-        for query in queries.values()
-    ]
+    """Robustness analysis over a workload (engine wrapper)."""
+    ctx = RunContext(
+        scale=scale, catalog=catalog, queries=queries,
+        params=params, cache=cache, jobs=jobs,
+    )
+    return run_experiment(
+        "robustness",
+        RobustnessParams(
+            scenario_key=scenario_key, delta=delta, cell_cap=cell_cap,
+        ),
+        ctx,
+    )
 
 
 def format_robustness_table(rows: list[QueryRobustness]) -> str:

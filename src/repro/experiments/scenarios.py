@@ -28,12 +28,36 @@ from ..storage.layout import StorageLayout
 __all__ = [
     "Scenario",
     "SCENARIO_KEYS",
+    "SCENARIO_ALIASES",
+    "UnknownScenarioError",
     "scenario",
+    "resolve_scenario_key",
     "all_scenarios",
     "DEFAULT_DELTAS",
 ]
 
 SCENARIO_KEYS = ("shared", "split", "colocated")
+
+#: Figure-number spellings accepted wherever a scenario is named.
+SCENARIO_ALIASES = {"fig5": "shared", "fig6": "split", "fig7": "colocated"}
+
+
+class UnknownScenarioError(ValueError):
+    """A scenario name that is neither a key nor a figure alias."""
+
+    def __init__(self, value: str) -> None:
+        choices = ", ".join(SCENARIO_KEYS + tuple(SCENARIO_ALIASES))
+        super().__init__(
+            f"unknown scenario {value!r}; valid choices: {choices}"
+        )
+
+
+def resolve_scenario_key(value: str) -> str:
+    """Canonical scenario key for ``value`` (accepts fig5/fig6/fig7)."""
+    key = SCENARIO_ALIASES.get(value, value)
+    if key not in _SCENARIOS:
+        raise UnknownScenarioError(value)
+    return key
 
 #: The delta grid swept in the worst-case experiments (log-spaced from
 #: no error to the paper's 10^4 extreme).

@@ -20,10 +20,9 @@ shape:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..catalog.statistics import Catalog
-from ..catalog.tpch import build_tpch_catalog
 from ..core.bounds import corollary_constant_bound
 from ..core.complementary import ComplementarityCensus, census
 from ..obs.metrics import METRICS
@@ -31,10 +30,17 @@ from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
-from ..workloads.tpch_queries import build_tpch_queries
+from .engine import Experiment, RunContext, register_experiment, run_experiment
 from .scenarios import Scenario, scenario
 
-__all__ = ["QueryCensus", "UsageAnalysisResult", "run_usage_analysis"]
+__all__ = [
+    "QueryCensus",
+    "UsageAnalysisResult",
+    "CensusParams",
+    "CensusExperiment",
+    "analyze_query_census",
+    "run_usage_analysis",
+]
 
 #: Delta of the feasible region the candidate sets are computed over
 #: (the widest sweep level of the worst-case experiments).
@@ -86,6 +92,107 @@ class UsageAnalysisResult:
         return {row.query_name: row for row in self.rows}
 
 
+def analyze_query_census(
+    query: QuerySpec,
+    catalog: Catalog,
+    config: Scenario,
+    params: SystemParameters = DEFAULT_PARAMETERS,
+    delta: float = DEFAULT_DELTA,
+    cell_cap: int | None = 64,
+    usage_tol: float = 1e-9,
+    cache: PlanCache | None = None,
+) -> QueryCensus:
+    """The Section 8.2 census for one query under one scenario."""
+    with span(
+        "census.query", query=query.name, scenario=config.key
+    ) as current:
+        layout = config.layout_for(query)
+        region = config.region(layout, delta)
+        candidates = cached_candidate_plans(
+            query, catalog, params, layout, region,
+            cell_cap=cell_cap, cache=cache, scenario_key=config.key,
+        )
+        pair_census = census(candidates.usages, tol=usage_tol)
+        bound = corollary_constant_bound(
+            candidates.usages, tol=usage_tol
+        )
+        current.set(
+            candidates=len(candidates),
+            complementary=pair_census.n_complementary,
+        )
+    METRICS.counter("census.queries_total").inc()
+    METRICS.counter("census.complementary_pairs").inc(
+        pair_census.n_complementary
+    )
+    return QueryCensus(
+        query_name=query.name,
+        scenario_key=config.key,
+        n_candidates=len(candidates),
+        truncated=candidates.truncated,
+        census=pair_census,
+        constant_bound=bound,
+    )
+
+
+@dataclass(frozen=True)
+class CensusParams:
+    """Everything that determines one census run (picklable)."""
+
+    scenario_key: str
+    delta: float = DEFAULT_DELTA
+    cell_cap: int | None = 64
+    usage_tol: float = 1e-9
+
+
+@register_experiment
+class CensusExperiment(Experiment):
+    """The Section 8.2 complementarity census, one task per query."""
+
+    name = "census"
+    help = "Section 8.2 complementarity census"
+    params_type = CensusParams
+
+    def params_from_args(self, args) -> CensusParams:
+        return CensusParams(scenario_key=args.scenario)
+
+    def plan_tasks(
+        self, ctx: RunContext, params: CensusParams
+    ) -> list[QuerySpec]:
+        return list(ctx.queries.values())
+
+    def run_task(
+        self, ctx: RunContext, params: CensusParams, task: QuerySpec
+    ) -> QueryCensus:
+        return analyze_query_census(
+            task, ctx.catalog, scenario(params.scenario_key), ctx.params,
+            params.delta, params.cell_cap, params.usage_tol,
+            cache=ctx.cache,
+        )
+
+    def reduce(
+        self, ctx: RunContext, params: CensusParams, results: list
+    ) -> UsageAnalysisResult:
+        return UsageAnalysisResult(
+            scenario_key=params.scenario_key, rows=results
+        )
+
+    def render(
+        self, ctx: RunContext, params: CensusParams,
+        reduced: UsageAnalysisResult,
+    ) -> str:
+        from .report import format_census_table
+
+        return format_census_table(reduced) + "\n"
+
+    def digest_payloads(
+        self, ctx: RunContext, params: CensusParams,
+        reduced: UsageAnalysisResult,
+    ) -> dict[str, str]:
+        from .report import format_census_table
+
+        return {"census_table": format_census_table(reduced)}
+
+
 def run_usage_analysis(
     scenario_key: str,
     catalog: Catalog | None = None,
@@ -94,45 +201,20 @@ def run_usage_analysis(
     delta: float = DEFAULT_DELTA,
     cell_cap: int | None = 64,
     usage_tol: float = 1e-9,
+    jobs: int = 1,
     cache: PlanCache | None = None,
+    scale: float = 100.0,
 ) -> UsageAnalysisResult:
-    """Run the Section 8.2 analysis for one storage scenario."""
-    config: Scenario = scenario(scenario_key)
-    if catalog is None:
-        catalog = build_tpch_catalog(100)
-    if queries is None:
-        queries = build_tpch_queries(catalog)
-    rows = []
-    for query in queries.values():
-        with span(
-            "census.query", query=query.name, scenario=config.key
-        ) as current:
-            layout = config.layout_for(query)
-            region = config.region(layout, delta)
-            candidates = cached_candidate_plans(
-                query, catalog, params, layout, region,
-                cell_cap=cell_cap, cache=cache, scenario_key=config.key,
-            )
-            pair_census = census(candidates.usages, tol=usage_tol)
-            bound = corollary_constant_bound(
-                candidates.usages, tol=usage_tol
-            )
-            current.set(
-                candidates=len(candidates),
-                complementary=pair_census.n_complementary,
-            )
-        METRICS.counter("census.queries_total").inc()
-        METRICS.counter("census.complementary_pairs").inc(
-            pair_census.n_complementary
-        )
-        rows.append(
-            QueryCensus(
-                query_name=query.name,
-                scenario_key=scenario_key,
-                n_candidates=len(candidates),
-                truncated=candidates.truncated,
-                census=pair_census,
-                constant_bound=bound,
-            )
-        )
-    return UsageAnalysisResult(scenario_key=scenario_key, rows=rows)
+    """Run the Section 8.2 analysis for one scenario (engine wrapper)."""
+    ctx = RunContext(
+        scale=scale, catalog=catalog, queries=queries,
+        params=params, cache=cache, jobs=jobs,
+    )
+    return run_experiment(
+        "census",
+        CensusParams(
+            scenario_key=scenario_key, delta=delta, cell_cap=cell_cap,
+            usage_tol=usage_tol,
+        ),
+        ctx,
+    )

@@ -10,6 +10,7 @@ the *exact* parametric-DP ground truth.
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,12 +24,14 @@ from ..optimizer.blackbox import CandidateBackedBlackBox, OptimizerBlackBox
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
-from .parallel import parallel_map, worker_catalog, worker_payload
+from .engine import Experiment, RunContext, register_experiment, run_experiment
 from .scenarios import Scenario, scenario
 
 __all__ = [
     "EstimationValidation",
     "DiscoveryValidation",
+    "ValidationParams",
+    "ValidationExperiment",
     "validate_estimation",
     "validate_discovery",
     "run_validation",
@@ -246,29 +249,100 @@ def validate_discovery(
     )
 
 
-def _validation_worker(
-    query: QuerySpec,
-) -> tuple[EstimationValidation, DiscoveryValidation]:
-    """Both validations for one query, run in a (possibly forked) worker."""
-    payload = worker_payload()
-    cache_root = payload["cache_root"]
-    cache = PlanCache(cache_root) if cache_root is not None else None
-    catalog = worker_catalog()
-    estimation = validate_estimation(
-        query,
-        catalog,
-        payload["scenario_key"],
-        delta=payload["delta"],
-        cache=cache,
-    )
-    discovery = validate_discovery(
-        query,
-        catalog,
-        payload["scenario_key"],
-        delta=payload["delta"],
-        cache=cache,
-    )
-    return estimation, discovery
+@dataclass(frozen=True)
+class ValidationParams:
+    """Everything that determines one validation run (picklable)."""
+
+    scenario_key: str = "shared"
+    query_names: tuple[str, ...] = ()
+    delta: float = 100.0
+
+
+@register_experiment
+class ValidationExperiment(Experiment):
+    """Estimation + discovery validation, one task per query."""
+
+    name = "validate"
+    help = "black-box estimation/discovery validation"
+    params_type = ValidationParams
+    scenario_positional = False
+    scenario_default = "shared"
+
+    def add_arguments(self, parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "query",
+            help="query name, or a comma-separated list, e.g. Q3,Q14",
+        )
+        parser.add_argument("--delta", type=float, default=100.0)
+
+    def params_from_args(
+        self, args: argparse.Namespace
+    ) -> ValidationParams:
+        return ValidationParams(
+            scenario_key=args.scenario,
+            query_names=tuple(
+                name.strip().upper() for name in args.query.split(",")
+            ),
+            delta=args.delta,
+        )
+
+    def seeds(self, params: ValidationParams) -> dict:
+        return {"estimation": 0, "discovery": 0}
+
+    def plan_tasks(
+        self, ctx: RunContext, params: ValidationParams
+    ) -> list[QuerySpec]:
+        if params.query_names:
+            return list(ctx.select(params.query_names).values())
+        return list(ctx.queries.values())
+
+    def run_task(
+        self, ctx: RunContext, params: ValidationParams, task: QuerySpec
+    ) -> tuple[EstimationValidation, DiscoveryValidation]:
+        estimation = validate_estimation(
+            task, ctx.catalog, params.scenario_key,
+            delta=params.delta, cache=ctx.cache,
+        )
+        discovery = validate_discovery(
+            task, ctx.catalog, params.scenario_key,
+            delta=params.delta, cache=ctx.cache,
+        )
+        return estimation, discovery
+
+    def render(
+        self, ctx: RunContext, params: ValidationParams, reduced: list
+    ) -> str:
+        return format_validation_report(reduced) + "\n"
+
+    def digest_payloads(
+        self, ctx: RunContext, params: ValidationParams, reduced: list
+    ) -> dict[str, str]:
+        return {"validation_report": format_validation_report(reduced)}
+
+
+def format_validation_report(
+    results: "list[tuple[EstimationValidation, DiscoveryValidation]]",
+) -> str:
+    """The ``repro validate`` text report (names shown when > 1)."""
+    lines = []
+    for estimation, discovery in results:
+        if len(results) > 1:
+            lines.append(f"{estimation.query_name}:")
+        lines.append(
+            f"estimation: {len(estimation.prediction_errors)} plans, "
+            f"worst prediction error "
+            f"{estimation.worst_prediction_error * 100:.4f}% "
+            f"(paper criterion < 1%: "
+            f"{'PASS' if estimation.meets_paper_criterion else 'FAIL'})"
+        )
+        lines.append(
+            f"discovery:  {len(discovery.found_signatures)}/"
+            f"{len(discovery.true_signatures)} candidate plans found "
+            f"(recall {discovery.recall:.2f}, "
+            f"spurious {len(discovery.spurious)}, "
+            f"{discovery.optimizer_calls} optimizer calls)"
+        )
+    return "\n".join(lines)
 
 
 def run_validation(
@@ -281,18 +355,22 @@ def run_validation(
 ) -> list[tuple[EstimationValidation, DiscoveryValidation]]:
     """Estimation + discovery validation over several queries.
 
-    ``jobs`` spreads queries over worker processes; per-query results
-    are identical to the serial run and keep input order.
+    An engine wrapper: ``jobs`` spreads queries over worker processes;
+    per-query results are identical to the serial run and keep input
+    order.
     """
-    payload = {
-        "scenario_key": config_key,
-        "delta": delta,
-        "cache_root": str(cache.root) if cache is not None else None,
-    }
-    return parallel_map(
-        _validation_worker,
-        queries,
+    ctx = RunContext(
+        catalog=catalog,
+        queries={query.name: query for query in queries},
+        cache=cache,
         jobs=jobs,
-        catalog_spec=catalog,
-        payload=payload,
+    )
+    return run_experiment(
+        "validate",
+        ValidationParams(
+            scenario_key=config_key,
+            query_names=tuple(query.name for query in queries),
+            delta=delta,
+        ),
+        ctx,
     )

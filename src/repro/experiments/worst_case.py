@@ -17,30 +17,28 @@ all-constant, Figure 6 mostly quadratic, Figure 7 in between.
 
 from __future__ import annotations
 
+import argparse
 import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..catalog.statistics import Catalog
-from ..catalog.tpch import build_tpch_catalog
 from ..core.worstcase import WorstCaseCurve, worst_case_curve
 from ..obs.metrics import METRICS
 from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
-from ..workloads.tpch_queries import build_tpch_queries
-from .parallel import parallel_map, worker_catalog, worker_payload
+from .engine import Experiment, RunContext, register_experiment, run_experiment
 from .scenarios import DEFAULT_DELTAS, Scenario, scenario
 
 __all__ = [
     "QueryWorstCase",
     "FigureResult",
+    "FigureParams",
+    "FigureExperiment",
     "run_query_worst_case",
     "run_figure",
-    "run_figure5",
-    "run_figure6",
-    "run_figure7",
 ]
 
 
@@ -160,20 +158,95 @@ def run_query_worst_case(
     )
 
 
-def _curve_worker(query: QuerySpec) -> QueryWorstCase:
-    """Per-query figure work, run in a (possibly forked) worker."""
-    payload = worker_payload()
-    cache_root = payload["cache_root"]
-    cache = PlanCache(cache_root) if cache_root is not None else None
-    return run_query_worst_case(
-        query,
-        worker_catalog(),
-        payload["params"],
-        scenario(payload["scenario_key"]),
-        payload["deltas"],
-        payload["cell_cap"],
-        cache=cache,
-    )
+@dataclass(frozen=True)
+class FigureParams:
+    """Everything that determines one figure run (picklable)."""
+
+    scenario_key: str
+    deltas: tuple[float, ...] = DEFAULT_DELTAS
+    cell_cap: int | None = 64
+    #: Rendering choices (do not affect the computed curves).
+    csv: bool = False
+    chart: tuple[str, ...] = ()
+
+
+@register_experiment
+class FigureExperiment(Experiment):
+    """Figures 5-7: one worst-case curve per query, merged per figure."""
+
+    name = "figure"
+    help = "regenerate Figure 5/6/7 worst-case curves"
+    params_type = FigureParams
+
+    def add_arguments(self, parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--deltas", default="",
+                            help="comma-separated error levels")
+        parser.add_argument("--csv", action="store_true")
+        parser.add_argument(
+            "--chart", default="",
+            help="also draw an ASCII chart of these queries, e.g. Q3,Q20",
+        )
+
+    def params_from_args(self, args: argparse.Namespace) -> FigureParams:
+        deltas = DEFAULT_DELTAS
+        if args.deltas:
+            deltas = tuple(float(d) for d in args.deltas.split(","))
+        chart = tuple(args.chart.split(",")) if args.chart else ()
+        return FigureParams(
+            scenario_key=args.scenario, deltas=deltas,
+            csv=args.csv, chart=chart,
+        )
+
+    def plan_tasks(
+        self, ctx: RunContext, params: FigureParams
+    ) -> list[QuerySpec]:
+        return list(ctx.queries.values())
+
+    def run_task(
+        self, ctx: RunContext, params: FigureParams, task: QuerySpec
+    ) -> QueryWorstCase:
+        return run_query_worst_case(
+            task, ctx.catalog, ctx.params, scenario(params.scenario_key),
+            params.deltas, params.cell_cap, cache=ctx.cache,
+        )
+
+    def reduce(
+        self, ctx: RunContext, params: FigureParams, results: list
+    ) -> FigureResult:
+        return FigureResult(
+            scenario_key=params.scenario_key,
+            figure=scenario(params.scenario_key).figure,
+            curves=results,
+            deltas=tuple(params.deltas),
+        )
+
+    def render(
+        self, ctx: RunContext, params: FigureParams, reduced: FigureResult
+    ) -> str:
+        from .report import (
+            figure_to_csv,
+            format_figure_chart,
+            format_figure_summary,
+            format_figure_table,
+        )
+
+        if params.csv:
+            return figure_to_csv(reduced)
+        parts = [
+            format_figure_table(reduced),
+            "",
+            format_figure_summary(reduced),
+        ]
+        if params.chart:
+            parts.extend(["", format_figure_chart(reduced, params.chart)])
+        return "\n".join(parts) + "\n"
+
+    def digest_payloads(
+        self, ctx: RunContext, params: FigureParams, reduced: FigureResult
+    ) -> dict[str, str]:
+        from .report import figure_to_csv
+
+        return {"figure_csv": figure_to_csv(reduced)}
 
 
 def run_figure(
@@ -189,51 +262,22 @@ def run_figure(
 ) -> FigureResult:
     """Regenerate one of Figures 5-7 over (by default) all 22 queries.
 
-    ``jobs`` spreads queries over worker processes (results keep input
-    order and are identical to the serial run); ``cache`` persists each
-    query's candidate set across invocations.
+    A convenience wrapper over the engine: select the scenario with
+    ``scenario_key`` (``shared``/``split``/``colocated``, Figures
+    5/6/7 respectively).  ``jobs`` spreads queries over worker
+    processes (results keep input order and are identical to the
+    serial run); ``cache`` persists each query's candidate set across
+    invocations.
     """
-    config = scenario(scenario_key)
-    catalog_spec: "Catalog | float"
-    if catalog is None:
-        catalog = build_tpch_catalog(scale)
-        catalog_spec = float(scale)
-    else:
-        catalog_spec = catalog
-    if queries is None:
-        queries = build_tpch_queries(catalog)
-    payload = {
-        "scenario_key": config.key,
-        "params": params,
-        "deltas": tuple(deltas),
-        "cell_cap": cell_cap,
-        "cache_root": str(cache.root) if cache is not None else None,
-    }
-    curves = parallel_map(
-        _curve_worker,
-        queries.values(),
-        jobs=jobs,
-        catalog_spec=catalog_spec,
-        payload=payload,
+    ctx = RunContext(
+        scale=scale, catalog=catalog, queries=queries,
+        params=params, cache=cache, jobs=jobs,
     )
-    return FigureResult(
-        scenario_key=scenario_key,
-        figure=config.figure,
-        curves=curves,
-        deltas=tuple(deltas),
+    return run_experiment(
+        "figure",
+        FigureParams(
+            scenario_key=scenario_key, deltas=tuple(deltas),
+            cell_cap=cell_cap,
+        ),
+        ctx,
     )
-
-
-def run_figure5(**kwargs) -> FigureResult:
-    """Figure 5: all tables and indexes on the same storage device."""
-    return run_figure("shared", **kwargs)
-
-
-def run_figure6(**kwargs) -> FigureResult:
-    """Figure 6: all tables and indexes on different storage devices."""
-    return run_figure("split", **kwargs)
-
-
-def run_figure7(**kwargs) -> FigureResult:
-    """Figure 7: one device per table and its corresponding indexes."""
-    return run_figure("colocated", **kwargs)

@@ -22,6 +22,7 @@ from .manifest import (
     catalog_digest,
     environment_fingerprint,
     git_revision,
+    manifest_from_context,
     text_digest,
     validate_manifest,
     write_manifest,
@@ -47,6 +48,7 @@ __all__ = [
     "configured_log_level",
     "environment_fingerprint",
     "git_revision",
+    "manifest_from_context",
     "render_comparison",
     "render_manifest",
     "span",

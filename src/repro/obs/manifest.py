@@ -41,6 +41,7 @@ __all__ = [
     "git_revision",
     "environment_fingerprint",
     "build_manifest",
+    "manifest_from_context",
     "write_manifest",
     "validate_manifest",
 ]
@@ -140,6 +141,37 @@ def build_manifest(
             "cpu_seconds": float(cpu_seconds),
         },
     }
+
+
+def manifest_from_context(
+    command: str,
+    config: Mapping[str, Any],
+    ctx: Any,
+    metrics: "Mapping[str, Any] | None" = None,
+    trace: "list | None" = None,
+    wall_seconds: float = 0.0,
+    cpu_seconds: float = 0.0,
+) -> dict[str, Any]:
+    """Assemble a manifest straight from a run context.
+
+    ``ctx`` is duck-typed (so this module stays below the experiment
+    layer): anything with ``seeds``, ``result_digests`` and
+    ``catalog_sha`` attributes — normally a
+    :class:`repro.experiments.engine.RunContext` — works; ``None``
+    yields an empty-provenance manifest (commands that touch no
+    catalog).
+    """
+    return build_manifest(
+        command=command,
+        config=config,
+        seeds=getattr(ctx, "seeds", None),
+        catalog_sha=getattr(ctx, "catalog_sha", None),
+        result_digests=getattr(ctx, "result_digests", None),
+        metrics=metrics,
+        trace=trace,
+        wall_seconds=wall_seconds,
+        cpu_seconds=cpu_seconds,
+    )
 
 
 def write_manifest(

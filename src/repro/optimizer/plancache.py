@@ -70,6 +70,16 @@ class PlanCache:
     def root(self) -> Path:
         return self._root
 
+    @classmethod
+    def from_root(cls, root: "str | Path | None") -> "PlanCache | None":
+        """Rehydrate a cache handle from a serialized root (or None).
+
+        The experiment engine ships ``str(cache.root)`` to worker
+        processes instead of the handle itself; this is the single
+        inverse of that convention.
+        """
+        return None if root is None else cls(root)
+
     # ------------------------------------------------------------------
     # Keys
     # ------------------------------------------------------------------

@@ -70,13 +70,39 @@ def test_validate_command(capsys):
     assert "PASS" in out
 
 
-def test_unknown_query_rejected():
-    with pytest.raises(SystemExit):
-        main(["figure", "shared", "--queries", "Q99"])
-    with pytest.raises(SystemExit):
-        main(["diagram", "Q99", "x", "y"])
-    with pytest.raises(SystemExit):
-        main(["diagram", "Q14", "not-a-device", "dev.temp"])
+def _usage_error_line(capsys, argv):
+    """Run ``argv``, assert the exit-code-2 contract, return stderr."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    lines = captured.err.splitlines()
+    assert len(lines) == 1  # one-line message, no traceback
+    assert lines[0].startswith("error: ")
+    return lines[0]
+
+
+def test_unknown_query_rejected(capsys):
+    message = _usage_error_line(
+        capsys, ["figure", "shared", "--queries", "Q99"]
+    )
+    assert "'Q99'" in message
+    assert "valid choices: Q1," in message
+
+
+def test_unknown_query_rejected_in_diagram(capsys):
+    message = _usage_error_line(capsys, ["diagram", "Q99", "x", "y"])
+    assert "'Q99'" in message
+    assert "valid choices: Q1," in message
+
+
+def test_unknown_device_rejected_in_diagram(capsys):
+    message = _usage_error_line(
+        capsys, ["diagram", "Q14", "not-a-device", "dev.temp"]
+    )
+    assert "'not-a-device'" in message
+    assert "valid choices:" in message
 
 
 def test_parser_requires_command():
@@ -84,9 +110,17 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
-def test_bad_scenario_rejected():
-    with pytest.raises(SystemExit):
-        main(["figure", "bogus"])
+def test_bad_scenario_rejected(capsys):
+    message = _usage_error_line(capsys, ["figure", "bogus"])
+    assert "'bogus'" in message
+    assert "valid choices: shared, split, colocated" in message
+
+
+def test_scenario_flag_accepts_figure_aliases(capsys):
+    assert main(["figure", "--scenario", "fig7", "--queries", "Q14",
+                 "--deltas", "1,10", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0] == "query,1,10"
 
 
 def test_figure_command_chart(capsys):

@@ -5,7 +5,6 @@ usage (pages, seeks, cardinalities) is checked against metered
 execution on generated data.
 """
 
-import numpy as np
 import pytest
 
 from repro.catalog import build_tpch_catalog

@@ -1,0 +1,196 @@
+"""The experiment engine: registry, RunContext, and the generic executor.
+
+A toy :class:`ExperimentSpec` exercises the whole
+plan/run/reduce/render protocol (including ``--jobs 2`` digest parity
+through the one generic executor); golden files pin the promise that
+the registry-driven CLI output is byte-identical to the pre-engine
+runners.
+"""
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.cli import main
+from repro.experiments import (
+    CensusParams,
+    ExperimentSpec,
+    RunContext,
+    UnknownQueryError,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
+from repro.experiments.engine import _REGISTRY, Experiment
+from repro.workloads import build_tpch_queries
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def queries(catalog):
+    return build_tpch_queries(catalog)
+
+
+# ----------------------------------------------------------------------
+# A toy spec: the full protocol, no optimizer involved.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ToyParams:
+    n: int = 4
+    factor: int = 3
+
+
+class ToySpec(Experiment):
+    name = "toy-sum"
+    help = "sum i*factor for i < n"
+    params_type = ToyParams
+    uses_scenario = False
+
+    def seeds(self, params):
+        return {"toy": params.n}
+
+    def plan_tasks(self, ctx, params):
+        return [(i, params.factor) for i in range(params.n)]
+
+    def run_task(self, ctx, params, task):
+        index, factor = task
+        # The engine must hand every task a usable catalog, serial or not.
+        assert ctx.catalog.row_count("LINEITEM") > 0
+        return index * factor
+
+    def reduce(self, ctx, params, results):
+        return sum(results)
+
+    def render(self, ctx, params, reduced):
+        return f"toy total = {reduced}\n"
+
+    def digest_payloads(self, ctx, params, reduced):
+        return {"toy_total": str(reduced)}
+
+
+@pytest.fixture
+def toy_spec():
+    register_experiment(ToySpec)
+    try:
+        yield get_experiment("toy-sum")
+    finally:
+        _REGISTRY.pop("toy-sum", None)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_lists_all_builtin_experiments():
+    names = experiment_names()
+    for name in ("figure", "expected", "validate", "robustness", "census"):
+        assert name in names
+
+
+def test_registered_specs_satisfy_the_protocol():
+    for name in experiment_names():
+        assert isinstance(get_experiment(name), ExperimentSpec)
+
+
+def test_unknown_experiment_error_lists_registered_names():
+    with pytest.raises(KeyError, match="registered:.*figure"):
+        get_experiment("no-such-experiment")
+
+
+def test_register_requires_a_name():
+    class Nameless(Experiment):
+        pass
+
+    with pytest.raises(ValueError, match="no experiment name"):
+        register_experiment(Nameless)
+
+
+# ----------------------------------------------------------------------
+# Toy spec through the whole pipeline
+# ----------------------------------------------------------------------
+def test_toy_spec_plan_run_reduce_render(toy_spec, catalog):
+    params = ToyParams(n=5, factor=2)
+    ctx = RunContext(catalog=catalog, queries={})
+    result = run_experiment("toy-sum", params, ctx)
+    assert result == 2 * (0 + 1 + 2 + 3 + 4)
+    assert ctx.seeds == {"toy": 5}
+    assert set(ctx.result_digests) == {"toy_total"}
+    assert toy_spec.render(ctx, params, result) == "toy total = 20\n"
+
+
+def test_toy_spec_serial_vs_jobs2_digest_parity(toy_spec, catalog):
+    params = ToyParams(n=6, factor=7)
+    serial_ctx = RunContext(catalog=catalog, queries={}, jobs=1)
+    fanout_ctx = RunContext(catalog=catalog, queries={}, jobs=2)
+    serial = run_experiment(toy_spec, params, serial_ctx)
+    fanout = run_experiment(toy_spec, params, fanout_ctx)
+    assert serial == fanout
+    assert serial_ctx.result_digests == fanout_ctx.result_digests
+
+
+def test_real_spec_serial_vs_jobs2_digest_parity(catalog, queries):
+    params = CensusParams(scenario_key="split")
+    subset = {name: queries[name] for name in ("Q6", "Q14")}
+    serial_ctx = RunContext(catalog=catalog, queries=subset, jobs=1)
+    fanout_ctx = RunContext(catalog=catalog, queries=subset, jobs=2)
+    run_experiment("census", params, serial_ctx)
+    run_experiment("census", params, fanout_ctx)
+    assert serial_ctx.result_digests == fanout_ctx.result_digests
+    assert serial_ctx.result_digests  # parity of something, not nothing
+
+
+# ----------------------------------------------------------------------
+# RunContext
+# ----------------------------------------------------------------------
+def test_context_builds_catalog_and_workload_lazily():
+    ctx = RunContext(scale=100.0)
+    assert ctx.catalog_sha is None  # nothing built yet
+    assert "Q14" in ctx.queries
+    assert ctx.catalog_sha is not None
+
+
+def test_context_query_filter_and_select(catalog, queries):
+    ctx = RunContext(catalog=catalog, queries=queries)
+    subset = ctx.select("q6,Q14")
+    assert list(subset) == ["Q6", "Q14"]
+    with pytest.raises(UnknownQueryError, match="valid choices: Q1"):
+        ctx.select(["Q99"])
+
+
+def test_context_catalog_spec_scale_vs_injected(catalog):
+    assert RunContext(scale=10.0).catalog_spec == 10.0
+    assert RunContext(catalog=catalog).catalog_spec is catalog
+
+
+# ----------------------------------------------------------------------
+# Golden: registry-driven CLI output is byte-identical to pre-engine
+# ----------------------------------------------------------------------
+FIGURE_ARGS = [
+    "--queries", "Q1,Q6,Q14", "--deltas", "1,10,100",
+    "--no-cache", "--no-manifest",
+]
+
+
+def test_figure_fig5_csv_matches_pre_engine_golden(capsys, monkeypatch,
+                                                   tmp_path):
+    monkeypatch.chdir(tmp_path)
+    assert main(["figure", "--scenario", "fig5", *FIGURE_ARGS,
+                 "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out == (GOLDEN / "figure_fig5.csv").read_text()
+
+
+def test_figure_fig5_table_matches_pre_engine_golden(capsys, monkeypatch,
+                                                     tmp_path):
+    monkeypatch.chdir(tmp_path)
+    assert main(["figure", "shared", *FIGURE_ARGS]) == 0
+    out = capsys.readouterr().out
+    assert out == (GOLDEN / "figure_fig5.txt").read_text()

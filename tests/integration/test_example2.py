@@ -21,7 +21,7 @@ from repro.catalog.statistics import (
     IndexStats,
     TableStats,
 )
-from repro.core.bounds import corollary_constant_bound, ratio_extremes
+from repro.core.bounds import corollary_constant_bound
 from repro.core.feasible import FeasibleRegion
 from repro.optimizer import (
     DEFAULT_PARAMETERS,

@@ -1,6 +1,5 @@
 """Tests for repro.optimizer.selectivity."""
 
-import numpy as np
 import pytest
 
 from repro.catalog import build_tpch_catalog

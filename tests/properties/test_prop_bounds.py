@@ -4,8 +4,6 @@ These treat Theorems 1 and 2 and Lemma 1 as executable invariants over
 randomly generated usage/cost vectors.
 """
 
-import math
-
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st

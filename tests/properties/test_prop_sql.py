@@ -5,7 +5,6 @@ SQL text, and checks that parse + translate recovers the intended
 structure (a render/parse round-trip at the join-graph level).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
