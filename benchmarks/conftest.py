@@ -1,24 +1,101 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures + telemetry plugin for the benchmark harness.
 
 Every benchmark regenerates one artefact of the paper's evaluation
 (see DESIGN.md's experiment index).  Benchmarks run the real full-size
 computation once per measurement (``benchmark.pedantic`` with a single
 round) — they are experiment drivers first, timers second.
+
+Telemetry: every test that uses the ``benchmark`` fixture is recorded
+automatically, and at session end one schema-versioned
+``BENCH_<module>.json`` record per benchmark module (the stem minus
+the ``test_bench_`` prefix) is written via
+:class:`repro.obs.bench.BenchRecorder` — timing stats per test
+(median/IQR/rounds), git SHA, environment, catalog digest, the metrics
+snapshot, plus anything a test attached through the ``bench_extras``
+fixture.  ``REPRO_BENCH_DIR`` moves all records; the historical
+``BENCH_JSON`` variable still redirects the blackbox-batch record but
+is deprecated and warns.  Gate records against a baseline with
+``repro bench BENCH_x.json --compare benchmarks/baselines/BENCH_x.json``.
 """
 
 import pytest
 
 from repro.catalog import build_tpch_catalog
+from repro.obs import catalog_digest
+from repro.obs.bench import BenchRecorder
 from repro.workloads import build_tpch_queries
+
+_RECORDER = BenchRecorder(legacy_env={"blackbox_batch": "BENCH_JSON"})
+
+
+def _group_for(request) -> str:
+    stem = request.node.path.stem
+    return stem.removeprefix("test_bench_") or stem
 
 
 @pytest.fixture(scope="session")
 def catalog():
     """The paper's 100 GB TPC-H statistics."""
-    return build_tpch_catalog(100)
+    built = build_tpch_catalog(100)
+    _RECORDER.catalog_sha = catalog_digest(built)
+    return built
 
 
 @pytest.fixture(scope="session")
 def queries(catalog):
     """All 22 TPC-H queries."""
     return build_tpch_queries(catalog)
+
+
+@pytest.fixture(autouse=True)
+def _bench_telemetry(request):
+    """Record the timing stats of every benchmarked test."""
+    # Grab the fixture object up front: by teardown time pytest has
+    # already finalized it and getfixturevalue would refuse.
+    fixture = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if fixture is None:
+        return
+    metadata = getattr(fixture, "stats", None)
+    stats = getattr(metadata, "stats", None)
+    if stats is None:  # fixture requested but never run
+        return
+    _RECORDER.record(
+        _group_for(request),
+        request.node.name,
+        {
+            "median_seconds": stats.median,
+            "iqr_seconds": stats.iqr,
+            "rounds": stats.rounds,
+            "mean_seconds": stats.mean,
+            "min_seconds": stats.min,
+            "max_seconds": stats.max,
+        },
+    )
+
+
+@pytest.fixture
+def bench_extras(request):
+    """Attach free-form context to this module's BENCH record.
+
+    Usage::
+
+        def test_bench_foo(benchmark, bench_extras):
+            ...
+            bench_extras("probe_rate", {"speedup": 6.4})
+    """
+    group = _group_for(request)
+
+    def add(key, value):
+        _RECORDER.add_extra(group, key, value)
+
+    return add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush one BENCH_<module>.json per benchmarked module."""
+    _RECORDER.flush()

@@ -7,45 +7,18 @@ scenario: 14 variation groups, 16384 corners per sub-box), and asserts
 the speedup contract of the batched discovery path.
 """
 
-import json
-import os
 import time
 
 import numpy as np
-import pytest
 
 from repro.core.discovery import discover_candidate_plans
 from repro.experiments.scenarios import scenario
-from repro.obs import environment_fingerprint, git_revision
 from repro.optimizer.blackbox import CandidateBackedBlackBox
 from repro.optimizer.config import DEFAULT_PARAMETERS
 from repro.optimizer.parametric import candidate_plans
 from repro.workloads import tpch_query
 
 N_PROBES = 20000
-
-#: Machine-readable results, written to BENCH_blackbox_batch.json so
-#: CI can archive probe rates alongside the run manifests.
-_RESULTS: dict = {}
-
-
-@pytest.fixture(scope="module", autouse=True)
-def _emit_bench_json():
-    yield
-    if not _RESULTS:
-        return
-    out = os.environ.get("BENCH_JSON", "BENCH_blackbox_batch.json")
-    payload = {
-        "benchmark": "blackbox_batch",
-        "n_probes": N_PROBES,
-        "workload": "Q5/split",
-        "environment": environment_fingerprint(),
-        "git_sha": git_revision(),
-        "results": _RESULTS,
-    }
-    with open(out, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
 
 
 def _q5_split(catalog):
@@ -73,7 +46,7 @@ class _LoopOnly:
         return self._inner.call_count
 
 
-def test_bench_probe_rate_loop_vs_batch(benchmark, catalog):
+def test_bench_probe_rate_loop_vs_batch(benchmark, bench_extras, catalog):
     from repro.core.vectors import CostVector
 
     region, candidates = _q5_split(catalog)
@@ -96,13 +69,15 @@ def test_bench_probe_rate_loop_vs_batch(benchmark, catalog):
     assert [c.signature for c in looped] == [
         c.signature for c in batched
     ]
-    _RESULTS["probe_rate"] = {
+    bench_extras("workload", "Q5/split")
+    bench_extras("n_probes", N_PROBES)
+    bench_extras("probe_rate", {
         "loop_seconds": loop_seconds,
         "batch_seconds": batch_seconds,
         "loop_probes_per_second": N_PROBES / loop_seconds,
         "batch_probes_per_second": N_PROBES / batch_seconds,
         "speedup": loop_seconds / batch_seconds,
-    }
+    })
     print()
     print(
         f"loop:  {N_PROBES / loop_seconds:12,.0f} probes/s "
@@ -117,7 +92,7 @@ def test_bench_probe_rate_loop_vs_batch(benchmark, catalog):
     assert loop_seconds / batch_seconds >= 3.0
 
 
-def test_bench_discovery_batched_vs_loop(benchmark, catalog):
+def test_bench_discovery_batched_vs_loop(benchmark, bench_extras, catalog):
     region, candidates = _q5_split(catalog)
 
     start = time.perf_counter()
@@ -146,13 +121,13 @@ def test_bench_discovery_batched_vs_loop(benchmark, catalog):
     assert list(batched.witnesses) == list(looped.witnesses)
     assert batched.optimizer_calls == looped.optimizer_calls
     assert batched.boxes_examined == looped.boxes_examined
-    _RESULTS["discovery"] = {
+    bench_extras("discovery", {
         "loop_seconds": loop_seconds,
         "batch_seconds": batch_seconds,
         "speedup": loop_seconds / batch_seconds,
         "optimizer_calls": batched.optimizer_calls,
         "plans_found": len(batched.witnesses),
-    }
+    })
     print()
     print(
         f"discovery (Q5/split, {N_PROBES}-call budget): "

@@ -13,7 +13,11 @@ Run via ``python -m repro <command>``:
 * ``params`` — the Section 7.3 system parameter table;
 * ``validate QUERY`` — black-box estimation + discovery validation;
 * ``report MANIFEST [MANIFEST]`` — render a run manifest into a
-  phase/time/cache breakdown, or diff two manifests.
+  phase/time/cache breakdown, diff two manifests, or export the span
+  tree as a Perfetto/Chrome trace (``--export-trace out.json``);
+* ``bench BENCH_JSON`` — render a benchmark telemetry record, or gate
+  on regressions against a baseline (``--compare BASELINE.json``,
+  threshold 15% by default; exits 1 on regression).
 
 The experiment subcommands (``figure``, ``census``, ``robustness``,
 ``expected``, ``validate``) are generated from the experiment registry
@@ -34,9 +38,14 @@ Observability: every experiment command writes a ``run-manifest.json``
 git SHA, configuration, RNG seeds, a catalog digest, SHA-256 digests of
 the rendered results, and a metrics snapshot — all assembled from the
 run's :class:`~repro.experiments.engine.RunContext`; ``--trace``
-additionally records the span tree, ``--metrics-out PATH`` dumps the
-raw metrics, and ``--log-level debug`` surfaces the library's loggers.
-Cached runs end with a one-line cache summary on stderr.
+additionally records the span tree, ``--trace-out PATH`` also exports
+it in Trace Event format for ``ui.perfetto.dev``, ``--memprof``
+samples tracemalloc/RSS at every span boundary, ``--metrics-out PATH``
+dumps the raw metrics, and ``--log-level debug`` surfaces the
+library's loggers.  Long sweeps render a live progress meter on stderr
+when it is a TTY and the log level is below WARNING (force with
+``--progress``, silence with ``--no-progress``).  Cached runs end with
+a one-line cache summary on stderr.
 
 Usage errors (unknown query or scenario names, unknown devices) exit
 with status 2 and a one-line message listing the valid choices.
@@ -64,15 +73,22 @@ from .experiments.scenarios import (
     resolve_scenario_key,
 )
 from .obs import (
+    MEMPROF,
     METRICS,
+    PROGRESS,
     TRACER,
+    compare_bench_records,
     configure_logging,
+    load_bench_record,
     manifest_from_context,
+    render_bench_comparison,
+    render_bench_record,
     render_comparison,
     render_manifest,
     span,
     validate_manifest,
     write_manifest,
+    write_trace_events,
 )
 
 __all__ = ["main", "build_parser"]
@@ -211,11 +227,60 @@ def _cmd_report(args: argparse.Namespace, run: _Run) -> int:
                 print(f"  {error}", file=sys.stderr)
             return 1
         manifests.append(data)
+    export_path = getattr(args, "export_trace", None)
+    if export_path:
+        if len(manifests) != 1:
+            _usage_error(
+                "--export-trace takes exactly one manifest"
+            )
+        trace = manifests[0].get("trace")
+        if not trace:
+            print(
+                f"{args.manifests[0]}: no span tree recorded — rerun "
+                "the command with --trace",
+                file=sys.stderr,
+            )
+            return 1
+        target = write_trace_events(trace, export_path)
+        events = json.loads(target.read_text())
+        print(
+            f"wrote {sum(1 for e in events if e.get('ph') == 'X')} "
+            f"trace events to {target} "
+            "(load in ui.perfetto.dev or chrome://tracing)"
+        )
+        return 0
     if len(manifests) == 1:
         print(render_manifest(manifests[0]))
     else:
         print(render_comparison(manifests[0], manifests[1]))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace, run: _Run) -> int:
+    try:
+        current = load_bench_record(args.record)
+    except ValueError as exc:
+        _usage_error(str(exc))
+    if not args.compare:
+        print(render_bench_record(current))
+        return 0
+    try:
+        baseline = load_bench_record(args.compare)
+    except ValueError as exc:
+        _usage_error(str(exc))
+    comparison = compare_bench_records(
+        baseline, current, threshold=args.threshold
+    )
+    print(render_bench_comparison(comparison))
+    if comparison.ok:
+        return 0
+    if args.advisory:
+        print(
+            "advisory mode: regressions reported but not gating",
+            file=sys.stderr,
+        )
+        return 0
+    return 1
 
 
 def _workload_flags(p: argparse.ArgumentParser) -> None:
@@ -244,6 +309,27 @@ def _obs_flags(p: argparse.ArgumentParser) -> None:
         "--trace", action="store_true",
         help="record a wall/CPU span tree of the run into the "
              "manifest",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also export the span tree as a Chrome/Perfetto Trace "
+             "Event file (implies --trace)",
+    )
+    p.add_argument(
+        "--memprof", action="store_true",
+        help="sample tracemalloc peak and RSS at every span boundary "
+             "and store them as span attrs (implies --trace)",
+    )
+    p.add_argument(
+        "--progress", dest="progress", action="store_const",
+        const="on", default="auto",
+        help="force the live progress meter on (default: auto — "
+             "TTY stderr with --log-level below warning)",
+    )
+    p.add_argument(
+        "--no-progress", dest="progress", action="store_const",
+        const="off",
+        help="force the live progress meter off",
     )
     p.add_argument(
         "--log-level", default="warning",
@@ -352,7 +438,37 @@ def build_parser() -> argparse.ArgumentParser:
         "manifests", nargs="+", metavar="MANIFEST",
         help="path(s) to run-manifest.json files (one or two)",
     )
+    p_report.add_argument(
+        "--export-trace", default=None, metavar="PATH",
+        help="convert the manifest's span tree to a Chrome/Perfetto "
+             "Trace Event file instead of rendering it",
+    )
     p_report.set_defaults(func=_cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="render or regression-gate benchmark telemetry records",
+    )
+    p_bench.add_argument(
+        "record", metavar="BENCH_JSON",
+        help="path to a BENCH_<name>.json record emitted by the "
+             "benchmark plugin",
+    )
+    p_bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="baseline record to diff against; exits 1 when a median "
+             "regresses beyond the threshold",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="relative median slowdown treated as a regression "
+             "(default 0.15 = 15%%)",
+    )
+    p_bench.add_argument(
+        "--advisory", action="store_true",
+        help="report regressions but always exit 0 (CI advisory mode)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 
@@ -390,6 +506,9 @@ def _finish_run(
             cpu_seconds=cpu_seconds,
         )
         write_manifest(manifest, args.manifest)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        write_trace_events(TRACER.export(), trace_out)
     counters = snapshot["counters"]
     lookups = (
         counters.get("plancache.hits", 0)
@@ -417,7 +536,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     configure_logging(getattr(args, "log_level", "warning"))
     TRACER.reset()
-    TRACER.enabled = bool(getattr(args, "trace", False))
+    # --trace-out and --memprof need the span tree, so either implies
+    # --trace.
+    TRACER.enabled = bool(
+        getattr(args, "trace", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "memprof", False)
+    )
+    if getattr(args, "memprof", False):
+        MEMPROF.enable()
+    else:
+        MEMPROF.disable()
+    PROGRESS.configure(
+        mode=getattr(args, "progress", "auto"),
+        log_level=getattr(args, "log_level", "warning"),
+    )
     METRICS.reset()
     run = _Run()
     wall_start = time.perf_counter()
@@ -426,7 +559,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         code = args.func(args, run)
     wall_seconds = time.perf_counter() - wall_start
     cpu_seconds = time.process_time() - cpu_start
-    if args.command != "report":
+    if args.command not in ("report", "bench"):
         _finish_run(args, run.ctx, wall_seconds, cpu_seconds)
     return code
 

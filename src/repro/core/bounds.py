@@ -156,7 +156,13 @@ def lemma1_holds(
     denominator = b1 * c1 + b2 * c2
     if denominator == 0:
         return True
-    return numerator / denominator <= a1 / b1 * (1 + 1e-12)
+    # Cross-multiplied: with subnormal weights (c ~ 5e-324) the direct
+    # quotient can round tens of percent high and falsely refute the
+    # lemma; the absolute slack absorbs products that underflow.
+    return (
+        numerator * b1
+        <= a1 * denominator * (1 + 1e-9) + 1e-300
+    )
 
 
 def empirical_ratio_range(

@@ -39,6 +39,7 @@ from typing import Any, Iterator, Mapping, Protocol, Sequence, runtime_checkable
 from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
 from ..obs.manifest import catalog_digest, text_digest
+from ..obs.progress import PROGRESS
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache
 from ..optimizer.query import QuerySpec
@@ -316,7 +317,11 @@ def run_experiment(
     The single programmatic surface: plan tasks, fan them out through
     the generic serial-or-process-pool executor, reduce, and record
     seeds + result digests on the context.  Returns the reduced
-    result; rendering stays separate (``spec.render``).
+    result; rendering stays separate (``spec.render``).  Task
+    completions are published to the global progress reporter
+    (:data:`repro.obs.progress.PROGRESS`), so long sweeps show a live
+    rate/ETA meter on interactive runs — a no-op whenever the
+    reporter is inactive.
     """
     spec = (
         get_experiment(experiment)
@@ -335,13 +340,24 @@ def run_experiment(
     # Serial runs reuse the context's catalog object directly; only a
     # real process fan-out ships the (cheaper-to-rebuild) catalog spec.
     catalog_spec = ctx.catalog_spec if ctx.jobs > 1 else ctx.catalog
-    results = parallel_map(
-        _engine_task_worker,
-        tasks,
-        jobs=ctx.jobs,
-        catalog_spec=catalog_spec,
-        payload=payload,
-    )
+    label = spec.name
+    scenario_key = getattr(params, "scenario_key", None)
+    if scenario_key:
+        label += f" [{scenario_key}]"
+    if ctx.jobs > 1:
+        label += f" --jobs {ctx.jobs}"
+    progress = PROGRESS.start(label, len(tasks))
+    try:
+        results = parallel_map(
+            _engine_task_worker,
+            tasks,
+            jobs=ctx.jobs,
+            catalog_spec=catalog_spec,
+            payload=payload,
+            progress=progress,
+        )
+    finally:
+        progress.finish()
     reduced = spec.reduce(ctx, params, results)
     for name, payload_text in spec.digest_payloads(
         ctx, params, reduced

@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterable, Mapping
 from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
 from ..obs.logs import configure_logging, configured_log_level
+from ..obs.memprof import MEMPROF
 from ..obs.metrics import METRICS
 from ..obs.trace import TRACER, span
 
@@ -68,6 +69,8 @@ def _init_worker(
         # Child process: mirror the parent's observability settings.
         TRACER.reset()
         TRACER.enabled = bool(obs_config.get("trace", False))
+        if obs_config.get("memprof", False) and not MEMPROF.enabled:
+            MEMPROF.enable()
         level = obs_config.get("log_level")
         if level is not None:
             configure_logging(level)
@@ -106,6 +109,7 @@ def parallel_map(
     catalog_spec: "Catalog | float" = 100.0,
     payload: "Mapping[str, Any] | None" = None,
     task_span: str = "parallel.task",
+    progress: Any = None,
 ) -> list[Any]:
     """Map ``worker`` over ``items``, optionally across processes.
 
@@ -116,6 +120,10 @@ def parallel_map(
     pickling assumptions) or a prebuilt :class:`Catalog` for callers
     that customised statistics.  ``task_span`` names the per-item span
     recorded around each task (identical for serial and parallel runs).
+    ``progress`` is an optional task-completion sink (anything with an
+    ``advance()`` method — normally a
+    :class:`~repro.obs.progress.ProgressTask`), advanced once per
+    finished item on the parent process for both execution paths.
     """
     items = list(items)
     payload = payload or {}
@@ -125,9 +133,12 @@ def parallel_map(
         for index, item in enumerate(items):
             with span(task_span, index=index):
                 results.append(worker(item))
+            if progress is not None:
+                progress.advance()
         return results
     obs_config = {
         "trace": TRACER.enabled,
+        "memprof": MEMPROF.enabled,
         "log_level": configured_log_level(),
     }
     with ProcessPoolExecutor(
@@ -142,4 +153,6 @@ def parallel_map(
             TRACER.graft(spans)
             METRICS.merge(snapshot)
             results.append(result)
+            if progress is not None:
+                progress.advance()
         return results

@@ -1,4 +1,4 @@
-"""Observability: tracing, metrics, run manifests, logging, reports.
+"""Observability: tracing, metrics, manifests, bench telemetry, reports.
 
 A zero-dependency instrumentation spine for the experiment pipeline:
 
@@ -10,11 +10,39 @@ A zero-dependency instrumentation spine for the experiment pipeline:
 * :mod:`repro.obs.manifest` — machine-readable ``run-manifest.json``
   reproducibility receipts (git SHA, config, seeds, catalog digest,
   span tree, metric snapshot, result digests) plus schema validation;
+* :mod:`repro.obs.bench` — schema-versioned ``BENCH_<name>.json``
+  benchmark records and the ``repro bench --compare`` regression gate;
+* :mod:`repro.obs.export` — Chrome/Perfetto Trace Event export of
+  manifest span trees (``--trace-out``, ``report --export-trace``);
+* :mod:`repro.obs.progress` — the TTY-aware live progress meter the
+  engine publishes task completions to;
+* :mod:`repro.obs.memprof` — opt-in tracemalloc/RSS sampling at span
+  boundaries (``--memprof``);
 * :mod:`repro.obs.report` — rendering a manifest (or a diff of two)
   into the ``repro report`` breakdown;
 * :mod:`repro.obs.logs` — stdlib logging wiring for ``--log-level``.
 """
 
+from .bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchComparison,
+    BenchDelta,
+    BenchRecorder,
+    build_bench_record,
+    compare_bench_records,
+    load_bench_record,
+    render_bench_comparison,
+    render_bench_record,
+    validate_bench_record,
+    write_bench_record,
+)
+from .export import (
+    event_names,
+    span_names,
+    trace_events,
+    validate_trace_events,
+    write_trace_events,
+)
 from .logs import LOG_LEVELS, configure_logging, configured_log_level
 from .manifest import (
     SCHEMA_VERSION,
@@ -27,32 +55,56 @@ from .manifest import (
     validate_manifest,
     write_manifest,
 )
+from .memprof import MEMPROF, MemoryProfiler, rss_kb
 from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .progress import PROGRESS, ProgressReporter, ProgressTask
 from .report import render_comparison, render_manifest
 from .trace import TRACER, Span, Tracer, span
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "LOG_LEVELS",
+    "MEMPROF",
     "METRICS",
+    "PROGRESS",
     "SCHEMA_VERSION",
     "TRACER",
+    "BenchComparison",
+    "BenchDelta",
+    "BenchRecorder",
     "Counter",
     "Gauge",
     "Histogram",
+    "MemoryProfiler",
     "MetricsRegistry",
+    "ProgressReporter",
+    "ProgressTask",
     "Span",
     "Tracer",
+    "build_bench_record",
     "build_manifest",
     "catalog_digest",
+    "compare_bench_records",
     "configure_logging",
     "configured_log_level",
     "environment_fingerprint",
+    "event_names",
     "git_revision",
+    "load_bench_record",
     "manifest_from_context",
+    "render_bench_comparison",
+    "render_bench_record",
     "render_comparison",
     "render_manifest",
+    "rss_kb",
     "span",
+    "span_names",
     "text_digest",
+    "trace_events",
+    "validate_bench_record",
     "validate_manifest",
+    "validate_trace_events",
+    "write_bench_record",
     "write_manifest",
+    "write_trace_events",
 ]

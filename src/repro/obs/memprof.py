@@ -1,0 +1,97 @@
+"""Per-phase memory profiling: tracemalloc + RSS sampled at span exits.
+
+``--memprof`` answers "where does the memory go?" the same way
+``--trace`` answers it for time: when enabled, every closing span
+(:func:`repro.obs.trace.span`) is stamped with a sample from the
+process-global :data:`MEMPROF` profiler —
+
+* ``mem_traced_kb`` — Python-level bytes currently allocated
+  (``tracemalloc.get_traced_memory()[0]``),
+* ``mem_traced_peak_kb`` — the tracemalloc high-water mark so far,
+* ``mem_rss_kb`` — the OS resident set size (``/proc/self/statm`` on
+  Linux, ``ru_maxrss`` peak-RSS fallback elsewhere)
+
+— so ``repro report`` can render a per-phase memory column next to the
+wall/CPU times.  Samples are boundary snapshots, not per-span deltas:
+the peak is monotone across the run (nested spans never reset it, so a
+parent's reading always covers its children).
+
+Disabled is the default and costs one attribute check per closing span
+— and only when tracing is already on, so the hot path with everything
+off is untouched.  Enabling starts ``tracemalloc`` (itself the
+dominant overhead — allocation tracking roughly doubles allocation
+cost), which is exactly why this is an opt-in flag and not part of
+``--trace``.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+from typing import Any
+
+__all__ = ["MemoryProfiler", "MEMPROF", "rss_kb"]
+
+_PAGE_KB = os.sysconf("SC_PAGE_SIZE") / 1024.0 if hasattr(
+    os, "sysconf"
+) else 4.0
+
+
+def rss_kb() -> "float | None":
+    """Current resident set size in KiB (best effort, None if unknown)."""
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * _PAGE_KB
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes; normalise the latter.
+        return usage / 1024.0 if usage > 1 << 30 else float(usage)
+    except Exception:
+        return None
+
+
+class MemoryProfiler:
+    """Opt-in sampler stamping span attrs with memory readings."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._started_tracemalloc = False
+
+    def enable(self) -> None:
+        """Start sampling (and tracemalloc, if not already running)."""
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop sampling; stops tracemalloc only if this object started it."""
+        self.enabled = False
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracemalloc = False
+
+    def sample(self) -> dict[str, Any]:
+        """One boundary snapshot, in KiB, as span-attr-ready floats."""
+        traced, peak = (
+            tracemalloc.get_traced_memory()
+            if tracemalloc.is_tracing()
+            else (0, 0)
+        )
+        sampled: dict[str, Any] = {
+            "mem_traced_kb": round(traced / 1024.0, 1),
+            "mem_traced_peak_kb": round(peak / 1024.0, 1),
+        }
+        resident = rss_kb()
+        if resident is not None:
+            sampled["mem_rss_kb"] = round(resident, 1)
+        return sampled
+
+
+#: The process-global profiler ``span()`` exits consult.
+MEMPROF = MemoryProfiler()

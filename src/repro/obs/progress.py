@@ -1,0 +1,193 @@
+"""Live progress for long sweeps: rate + ETA on stderr, TTY-aware.
+
+A 20-minute ``--jobs 8`` census used to give zero feedback until it
+finished.  The experiment engine now publishes task-completion events
+to the process-global :data:`PROGRESS` reporter, which renders a
+single self-overwriting stderr line::
+
+    fig6 [split] 14/66 tasks · 3.2 tasks/s · eta 16s
+
+The reporter is a null object unless it is *active*: in ``auto`` mode
+it renders only when stderr is a TTY **and** the configured log level
+is below WARNING (progress is chatter; ``--log-level info`` opts in),
+``on`` forces rendering even into pipes (one line per refresh, for CI
+logs), ``off`` silences it unconditionally.  When inactive,
+:meth:`ProgressReporter.start` hands back a shared no-op task, so the
+disabled path costs one method call per completed task and allocates
+nothing — the same contract as :func:`repro.obs.trace.span`.
+
+Updates are throttled (~10 Hz on a TTY, 1 Hz piped) so sub-second
+tasks never flood the terminal; the final state always renders, then
+the line is cleared (TTY) so real output is never interleaved with a
+stale meter.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+__all__ = [
+    "ProgressReporter",
+    "ProgressTask",
+    "PROGRESS",
+]
+
+#: Minimum seconds between repaints: interactive vs line-per-update.
+_TTY_INTERVAL = 0.1
+_PIPE_INTERVAL = 1.0
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds:  # negative or NaN
+        return "?"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, rest = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{rest:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class _NullTask:
+    """Shared no-op task handed out while progress is inactive."""
+
+    __slots__ = ()
+
+    def advance(self, n: int = 1) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+
+_NULL_TASK = _NullTask()
+
+
+class ProgressTask:
+    """One live meter: ``label done/total tasks · rate · eta``."""
+
+    __slots__ = (
+        "label", "total", "done", "_stream", "_tty", "_started",
+        "_last_render", "_interval", "_last_width",
+    )
+
+    def __init__(
+        self, label: str, total: int, stream: TextIO, tty: bool
+    ) -> None:
+        self.label = label
+        self.total = max(int(total), 0)
+        self.done = 0
+        self._stream = stream
+        self._tty = tty
+        self._started = time.perf_counter()
+        self._last_render = 0.0
+        self._interval = _TTY_INTERVAL if tty else _PIPE_INTERVAL
+        self._last_width = 0
+        self._render(force=True)
+
+    def advance(self, n: int = 1) -> None:
+        """Mark ``n`` tasks complete and repaint (throttled)."""
+        self.done += n
+        self._render(force=self.done >= self.total)
+
+    def render_line(self) -> str:
+        """The current meter text (also used by tests)."""
+        elapsed = time.perf_counter() - self._started
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        if self.done and rate > 0:
+            eta = _format_eta((self.total - self.done) / rate)
+        else:
+            eta = "?"
+        return (
+            f"{self.label} {self.done}/{self.total} tasks "
+            f"· {rate:.1f} tasks/s · eta {eta}"
+        )
+
+    def _render(self, force: bool = False) -> None:
+        now = time.perf_counter()
+        if not force and now - self._last_render < self._interval:
+            return
+        self._last_render = now
+        line = self.render_line()
+        if self._tty:
+            pad = " " * max(self._last_width - len(line), 0)
+            self._stream.write(f"\r{line}{pad}")
+        else:
+            self._stream.write(line + "\n")
+        self._last_width = len(line)
+        self._stream.flush()
+
+    def finish(self) -> None:
+        """Render the final state, then clear the meter line (TTY)."""
+        self._render(force=True)
+        if self._tty:
+            self._stream.write("\r" + " " * self._last_width + "\r")
+            self._stream.flush()
+
+
+class ProgressReporter:
+    """Process-global factory deciding whether meters render at all.
+
+    ``configure`` is called once per CLI invocation with the
+    ``--progress``/``--no-progress`` mode and the ``--log-level``;
+    :meth:`start` then returns either a live :class:`ProgressTask` or
+    the shared null task.
+    """
+
+    def __init__(self) -> None:
+        self.mode = "auto"
+        self.log_level = "warning"
+        self._stream: "TextIO | None" = None
+
+    def configure(
+        self,
+        mode: str = "auto",
+        log_level: "str | None" = None,
+        stream: "TextIO | None" = None,
+    ) -> None:
+        if mode not in ("auto", "on", "off"):
+            raise ValueError(
+                f"unknown progress mode {mode!r}; "
+                "choose auto, on or off"
+            )
+        self.mode = mode
+        if log_level is not None:
+            self.log_level = log_level
+        self._stream = stream
+
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def active(self) -> bool:
+        """Whether a started task would actually render."""
+        if self.mode == "off":
+            return False
+        if self.mode == "on":
+            return True
+        from .logs import LOG_LEVELS
+
+        level = LOG_LEVELS.get(self.log_level, logging.WARNING)
+        if level >= logging.WARNING:
+            return False
+        stream = self.stream
+        isatty = getattr(stream, "isatty", None)
+        return bool(isatty and isatty())
+
+    def start(self, label: str, total: int) -> Any:
+        """A live meter when active, the shared no-op otherwise."""
+        if total <= 0 or not self.active():
+            return _NULL_TASK
+        stream = self.stream
+        isatty = getattr(stream, "isatty", None)
+        return ProgressTask(
+            label, total, stream, tty=bool(isatty and isatty())
+        )
+
+
+#: The process-global reporter the experiment engine publishes to.
+PROGRESS = ProgressReporter()

@@ -16,6 +16,10 @@ __all__ = ["render_manifest", "render_comparison"]
 
 _INDENT = "  "
 
+#: Span attrs written by ``--memprof``; rendered as table columns, not
+#: inline attributes.
+_MEM_ATTRS = ("mem_rss_kb", "mem_traced_peak_kb", "mem_traced_kb")
+
 
 def _format_attrs(attrs: Mapping[str, Any]) -> str:
     if not attrs:
@@ -26,17 +30,45 @@ def _format_attrs(attrs: Mapping[str, Any]) -> str:
     return f"  [{parts}]"
 
 
+def _format_kb(value: Any) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    if value >= 1024:
+        return f"{value / 1024:.1f}MB"
+    return f"{value:.0f}KB"
+
+
+def _has_memprof(trace: Any) -> bool:
+    stack = list(trace or ())
+    while stack:
+        node = stack.pop()
+        attrs = node.get("attrs") or {}
+        if any(key in attrs for key in _MEM_ATTRS):
+            return True
+        stack.extend(node.get("children") or ())
+    return False
+
+
 def _span_lines(
-    node: Mapping[str, Any], depth: int, lines: list[str]
+    node: Mapping[str, Any],
+    depth: int,
+    lines: list[str],
+    memprof: bool = False,
 ) -> None:
     label = _INDENT * depth + str(node.get("name", "?"))
-    lines.append(
+    attrs = dict(node.get("attrs") or {})
+    columns = (
         f"{label:<44} {node.get('wall_seconds', 0.0):9.3f}s "
         f"{node.get('cpu_seconds', 0.0):9.3f}s"
-        f"{_format_attrs(node.get('attrs') or {})}"
     )
+    if memprof:
+        rss = attrs.pop("mem_rss_kb", None)
+        peak = attrs.pop("mem_traced_peak_kb", None)
+        attrs.pop("mem_traced_kb", None)
+        columns += f" {_format_kb(rss):>9} {_format_kb(peak):>9}"
+    lines.append(columns + _format_attrs(attrs))
     for child in node.get("children") or ():
-        _span_lines(child, depth + 1, lines)
+        _span_lines(child, depth + 1, lines, memprof)
 
 
 def _cache_summary(counters: Mapping[str, Any]) -> "str | None":
@@ -103,11 +135,14 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
     trace = manifest.get("trace")
     lines.append("")
     if trace:
+        memprof = _has_memprof(trace)
         header = f"{'phase':<44} {'wall':>10} {'cpu':>10}"
+        if memprof:
+            header += f" {'rss':>9} {'py-peak':>9}"
         lines.append(header)
         lines.append("-" * len(header))
         for node in trace:
-            _span_lines(node, 0, lines)
+            _span_lines(node, 0, lines, memprof)
     else:
         lines.append("phases: (no trace recorded — rerun with --trace)")
 
@@ -115,7 +150,10 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
     counters = metrics.get("counters") or {}
     gauges = metrics.get("gauges") or {}
     histograms = metrics.get("histograms") or {}
-    if counters or gauges or histograms:
+    if not (counters or gauges or histograms):
+        lines.append("")
+        lines.append("metrics: (none recorded)")
+    else:
         lines.append("")
         lines.append("metrics:")
         for name, value in sorted(counters.items()):

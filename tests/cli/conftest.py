@@ -1,8 +1,18 @@
 import pytest
 
+from repro.obs import MEMPROF, PROGRESS
+
 
 @pytest.fixture(autouse=True)
 def _isolated_cache(tmp_path, monkeypatch):
     """Keep CLI artefacts (cache, run manifests) out of the repo."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "plan-cache"))
     monkeypatch.chdir(tmp_path)
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_globals():
+    """CLI runs mutate process-global observability state; restore it."""
+    yield
+    MEMPROF.disable()
+    PROGRESS.configure(mode="auto", log_level="warning", stream=None)

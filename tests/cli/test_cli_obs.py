@@ -128,3 +128,191 @@ def test_report_writes_no_manifest_itself(capsys):
     Path("run-manifest.json").unlink(missing_ok=True)
     main(["report", "a.json"])
     assert not Path("run-manifest.json").exists()
+
+
+# ----------------------------------------------------------------------
+# Trace Event export (--trace-out, report --export-trace)
+# ----------------------------------------------------------------------
+def test_trace_out_round_trips_manifest_phase_set(capsys):
+    """The acceptance scenario: ``figure fig5 --trace --trace-out``
+    yields a schema-valid Trace Event file whose phase set matches the
+    manifest span tree, worker sub-trees included (``--jobs 2``)."""
+    from repro.obs import (
+        event_names,
+        span_names,
+        validate_trace_events,
+    )
+
+    assert main([
+        "figure", "fig5", "--queries", "Q1,Q6", "--deltas", "2",
+        "--csv", "--jobs", "2", "--trace", "--trace-out", "t.json",
+    ]) == 0
+    data = json.loads(Path("t.json").read_text())
+    assert isinstance(data, list)
+    assert validate_trace_events(data) == []
+    trace = _manifest()["trace"]
+    assert event_names(data) == span_names(trace)
+    assert {"cli.figure", "parallel.task", "figure.query"} <= (
+        event_names(data)
+    )
+    # Two worker tasks render on two distinct non-main tracks.
+    task_tids = {
+        e["tid"] for e in data
+        if e.get("ph") == "X" and e["name"] == "parallel.task"
+    }
+    assert task_tids == {1, 2}
+
+
+def test_trace_out_implies_trace(capsys):
+    assert main(FIGURE + ["--trace-out", "t.json"]) == 0
+    assert _manifest()["trace"] is not None
+    assert Path("t.json").exists()
+
+
+def test_report_export_trace(capsys):
+    from repro.obs import validate_trace_events
+
+    main(FIGURE + ["--trace"])
+    capsys.readouterr()
+    assert main([
+        "report", "run-manifest.json", "--export-trace", "out.json",
+    ]) == 0
+    assert "trace events to out.json" in capsys.readouterr().out
+    data = json.loads(Path("out.json").read_text())
+    assert validate_trace_events(data) == []
+
+
+def test_report_export_trace_without_span_tree_fails(capsys):
+    main(FIGURE)  # no --trace
+    capsys.readouterr()
+    assert main([
+        "report", "run-manifest.json", "--export-trace", "out.json",
+    ]) == 1
+    assert "rerun the command with --trace" in capsys.readouterr().err
+    assert not Path("out.json").exists()
+
+
+def test_report_export_trace_rejects_two_manifests(capsys):
+    main(FIGURE + ["--manifest", "a.json"])
+    main(FIGURE + ["--manifest", "b.json"])
+    with pytest.raises(SystemExit):
+        main(["report", "a.json", "b.json", "--export-trace", "o.json"])
+
+
+# ----------------------------------------------------------------------
+# Memory profiling (--memprof)
+# ----------------------------------------------------------------------
+def test_memprof_stamps_spans_and_report_renders_columns(capsys):
+    assert main(FIGURE + ["--memprof"]) == 0
+    trace = _manifest()["trace"]  # --memprof implies --trace
+    root_attrs = trace[0]["attrs"]
+    assert "mem_traced_peak_kb" in root_attrs
+    assert "mem_rss_kb" in root_attrs
+    capsys.readouterr()
+    assert main(["report", "run-manifest.json"]) == 0
+    out = capsys.readouterr().out
+    assert "rss" in out and "py-peak" in out
+
+
+def test_without_memprof_spans_carry_no_memory_attrs(capsys):
+    assert main(FIGURE + ["--trace"]) == 0
+    trace = _manifest()["trace"]
+    assert "mem_traced_peak_kb" not in trace[0]["attrs"]
+
+
+# ----------------------------------------------------------------------
+# Live progress (--progress / --no-progress)
+# ----------------------------------------------------------------------
+def test_progress_flag_forces_meter_onto_stderr(capsys):
+    assert main(FIGURE + ["--progress"]) == 0
+    err = capsys.readouterr().err
+    assert "1/1 tasks" in err
+    assert "eta" in err
+
+
+def test_progress_meter_silent_by_default_when_piped(capsys):
+    assert main(FIGURE) == 0
+    assert "tasks/s" not in capsys.readouterr().err
+    assert main(FIGURE + ["--no-progress"]) == 0
+    assert "tasks/s" not in capsys.readouterr().err
+
+
+def test_progress_never_touches_stdout(capsys):
+    assert main(FIGURE + ["--progress"]) == 0
+    out = capsys.readouterr().out
+    assert "tasks/s" not in out
+
+
+# ----------------------------------------------------------------------
+# repro bench
+# ----------------------------------------------------------------------
+def _bench_record(path, median):
+    from repro.obs import build_bench_record, write_bench_record
+
+    record = build_bench_record(
+        "demo",
+        {"test_sweep": {
+            "median_seconds": median,
+            "iqr_seconds": 0.01,
+            "rounds": 3,
+            "mean_seconds": median,
+            "min_seconds": median * 0.9,
+            "max_seconds": median * 1.1,
+        }},
+    )
+    return write_bench_record(record, path)
+
+
+def test_bench_renders_single_record(capsys):
+    _bench_record("bench.json", 1.0)
+    assert main(["bench", "bench.json"]) == 0
+    out = capsys.readouterr().out
+    assert "demo" in out
+    assert "test_sweep" in out
+
+
+def test_bench_self_comparison_exits_zero(capsys):
+    _bench_record("bench.json", 1.0)
+    assert main([
+        "bench", "bench.json", "--compare", "bench.json",
+    ]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_bench_twofold_slowdown_exits_nonzero(capsys):
+    _bench_record("base.json", 1.0)
+    _bench_record("slow.json", 2.0)
+    assert main([
+        "bench", "slow.json", "--compare", "base.json",
+    ]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_bench_threshold_and_advisory_flags(capsys):
+    _bench_record("base.json", 1.0)
+    _bench_record("slow.json", 1.25)
+    # 25% is within a 30% threshold…
+    assert main([
+        "bench", "slow.json", "--compare", "base.json",
+        "--threshold", "0.3",
+    ]) == 0
+    # …but --advisory downgrades even a true regression to exit 0.
+    assert main([
+        "bench", "slow.json", "--compare", "base.json", "--advisory",
+    ]) == 0
+    assert "advisory mode" in capsys.readouterr().err
+
+
+def test_bench_rejects_invalid_record(capsys):
+    Path("bad.json").write_text(json.dumps({"benchmark": "x"}))
+    with pytest.raises(SystemExit):
+        main(["bench", "bad.json"])
+    _bench_record("good.json", 1.0)
+    with pytest.raises(SystemExit):
+        main(["bench", "good.json", "--compare", "bad.json"])
+
+
+def test_bench_writes_no_manifest(capsys):
+    _bench_record("bench.json", 1.0)
+    assert main(["bench", "bench.json"]) == 0
+    assert not Path("run-manifest.json").exists()

@@ -81,6 +81,39 @@ def test_workers_leave_parent_registry_consistent(catalog, queries):
     assert counters["expected.samples_total"] == 600
 
 
+def test_progress_events_do_not_perturb_parallel_parity(
+    catalog, queries
+):
+    """Live progress is pure observation: with meters forced on, a
+    ``--jobs 2`` run still grafts the same span tree and metric totals
+    as a silent serial run."""
+    import io
+
+    from repro.obs import PROGRESS
+
+    serial_rows, serial_metrics, serial_trace = _run(
+        catalog, queries, jobs=1
+    )
+    stream = io.StringIO()
+    PROGRESS.configure(mode="on", stream=stream)
+    try:
+        parallel_rows, parallel_metrics, parallel_trace = _run(
+            catalog, queries, jobs=2
+        )
+    finally:
+        PROGRESS.configure(mode="auto", log_level="warning", stream=None)
+    assert parallel_rows == serial_rows
+    assert parallel_metrics["counters"] == serial_metrics["counters"]
+    assert (
+        parallel_metrics["histograms"] == serial_metrics["histograms"]
+    )
+    assert _shape(parallel_trace) == _shape(serial_trace)
+    # The meter actually rendered, labelled with scenario and jobs.
+    output = stream.getvalue()
+    assert "[shared] --jobs 2" in output
+    assert "3/3 tasks" in output
+
+
 def test_tracing_disabled_parallel_run_records_nothing(catalog, queries):
     assert not TRACER.enabled
     run_expected_regret(

@@ -1,0 +1,208 @@
+"""Bench telemetry: record schema, recorder, and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecorder,
+    build_bench_record,
+    compare_bench_records,
+    load_bench_record,
+    render_bench_comparison,
+    render_bench_record,
+    validate_bench_record,
+    write_bench_record,
+)
+
+STATS = {
+    "median_seconds": 1.0,
+    "iqr_seconds": 0.1,
+    "rounds": 3,
+    "mean_seconds": 1.05,
+    "min_seconds": 0.9,
+    "max_seconds": 1.2,
+}
+
+
+def _record(**medians):
+    return build_bench_record(
+        "demo",
+        {
+            name: dict(STATS, median_seconds=median)
+            for name, median in medians.items()
+        },
+    )
+
+
+def test_built_record_validates_cleanly():
+    record = _record(test_a=1.0)
+    assert validate_bench_record(record) == []
+    assert record["bench_schema_version"] == BENCH_SCHEMA_VERSION
+    assert record["benchmark"] == "demo"
+    assert set(record["metrics"]) == {
+        "counters", "gauges", "histograms"
+    }
+
+
+def test_validation_rejects_missing_unknown_and_bad_fields():
+    record = _record(test_a=1.0)
+    del record["environment"]
+    record["surprise"] = 1
+    record["results"]["test_a"]["median_seconds"] = "fast"
+    errors = validate_bench_record(record)
+    assert "missing field: environment" in errors
+    assert "unknown field: surprise" in errors
+    assert any("median_seconds" in error for error in errors)
+    assert validate_bench_record([]) == [
+        "bench record must be a JSON object"
+    ]
+
+
+def test_future_schema_version_is_rejected():
+    record = _record(test_a=1.0)
+    record["bench_schema_version"] = BENCH_SCHEMA_VERSION + 1
+    assert any(
+        "bench_schema_version" in error
+        for error in validate_bench_record(record)
+    )
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    path = write_bench_record(_record(test_a=1.0), tmp_path / "b.json")
+    loaded = load_bench_record(path)
+    assert loaded["results"]["test_a"]["median_seconds"] == 1.0
+
+
+def test_load_rejects_corrupt_and_invalid(tmp_path):
+    missing = tmp_path / "missing.json"
+    with pytest.raises(ValueError, match="cannot read"):
+        load_bench_record(missing)
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError, match="cannot read"):
+        load_bench_record(bad)
+    invalid = tmp_path / "invalid.json"
+    invalid.write_text(json.dumps({"benchmark": "x"}))
+    with pytest.raises(ValueError, match="invalid bench record"):
+        load_bench_record(invalid)
+
+
+def test_self_comparison_is_clean():
+    record = _record(test_a=1.0, test_b=0.01)
+    comparison = compare_bench_records(record, record)
+    assert comparison.ok
+    assert [d.status for d in comparison.deltas] == ["ok", "ok"]
+    assert "OK" in render_bench_comparison(comparison)
+
+
+def test_twofold_slowdown_is_a_regression():
+    baseline = _record(test_a=1.0)
+    slower = _record(test_a=2.0)
+    comparison = compare_bench_records(baseline, slower)
+    assert not comparison.ok
+    (delta,) = comparison.regressions
+    assert delta.ratio == pytest.approx(2.0)
+    rendered = render_bench_comparison(comparison)
+    assert "REGRESSION" in rendered
+    assert "2.00x" in rendered
+
+
+def test_threshold_is_configurable():
+    baseline = _record(test_a=1.0)
+    slightly = _record(test_a=1.1)
+    assert compare_bench_records(baseline, slightly).ok
+    assert not compare_bench_records(
+        baseline, slightly, threshold=0.05
+    ).ok
+    # Faster beyond the threshold is an improvement, never a failure.
+    faster = _record(test_a=0.5)
+    comparison = compare_bench_records(baseline, faster)
+    assert comparison.ok
+    assert comparison.deltas[0].status == "improvement"
+    with pytest.raises(ValueError):
+        compare_bench_records(baseline, baseline, threshold=-1)
+
+
+def test_added_and_removed_tests_never_gate():
+    baseline = _record(test_a=1.0, test_gone=1.0)
+    current = _record(test_a=1.0, test_new=9.0)
+    comparison = compare_bench_records(baseline, current)
+    assert comparison.ok
+    statuses = {d.name: d.status for d in comparison.deltas}
+    assert statuses == {
+        "test_a": "ok", "test_gone": "removed", "test_new": "added"
+    }
+
+
+def test_render_record_lists_tests_and_extras():
+    record = _record(test_a=1.0)
+    record["extras"]["probe_rate"] = {"speedup": 6.4}
+    rendered = render_bench_record(record)
+    assert "test_a" in rendered
+    assert "probe_rate" in rendered
+    empty = build_bench_record("empty", {})
+    assert "(none recorded)" in render_bench_record(empty)
+
+
+# ----------------------------------------------------------------------
+# The recorder behind the pytest plugin
+# ----------------------------------------------------------------------
+def test_recorder_flushes_one_record_per_group(tmp_path):
+    recorder = BenchRecorder(out_dir=tmp_path)
+    recorder.record("alpha", "test_one", STATS)
+    recorder.record("alpha", "test_two", STATS)
+    recorder.record("beta", "test_three", STATS)
+    recorder.add_extra("alpha", "workload", "Q5/split")
+    written = recorder.flush()
+    assert sorted(p.name for p in written) == [
+        "BENCH_alpha.json", "BENCH_beta.json"
+    ]
+    alpha = load_bench_record(tmp_path / "BENCH_alpha.json")
+    assert sorted(alpha["results"]) == ["test_one", "test_two"]
+    assert alpha["extras"] == {"workload": "Q5/split"}
+    beta = load_bench_record(tmp_path / "BENCH_beta.json")
+    assert beta["extras"] == {}
+    # A second flush writes nothing: state was drained.
+    assert recorder.flush() == []
+
+
+def test_recorder_rejects_incomplete_stats(tmp_path):
+    recorder = BenchRecorder(out_dir=tmp_path)
+    with pytest.raises(ValueError, match="iqr_seconds"):
+        recorder.record("alpha", "test_one", {"median_seconds": 1.0})
+
+
+def test_recorder_honours_bench_dir_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "out"))
+    recorder = BenchRecorder()
+    recorder.record("alpha", "test_one", STATS)
+    (path,) = recorder.flush()
+    assert path == tmp_path / "out" / "BENCH_alpha.json"
+    assert path.exists()
+
+
+def test_legacy_env_var_redirects_with_deprecation(
+    tmp_path, monkeypatch
+):
+    target = tmp_path / "legacy.json"
+    monkeypatch.setenv("OLD_BENCH_VAR", str(target))
+    recorder = BenchRecorder(
+        out_dir=tmp_path, legacy_env={"alpha": "OLD_BENCH_VAR"}
+    )
+    recorder.record("alpha", "test_one", STATS)
+    with pytest.warns(DeprecationWarning, match="OLD_BENCH_VAR"):
+        (path,) = recorder.flush()
+    assert path == target
+    assert target.exists()
+
+
+def test_legacy_env_var_unset_uses_default_path(tmp_path, monkeypatch):
+    monkeypatch.delenv("OLD_BENCH_VAR", raising=False)
+    recorder = BenchRecorder(
+        out_dir=tmp_path, legacy_env={"alpha": "OLD_BENCH_VAR"}
+    )
+    recorder.record("alpha", "test_one", STATS)
+    (path,) = recorder.flush()
+    assert path == tmp_path / "BENCH_alpha.json"

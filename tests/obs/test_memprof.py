@@ -1,0 +1,110 @@
+"""Memory profiling: sampler lifecycle and span-boundary stamping."""
+
+import tracemalloc
+
+import pytest
+
+from repro.obs import MEMPROF, TRACER, span
+from repro.obs.memprof import MemoryProfiler, rss_kb
+
+
+@pytest.fixture(autouse=True)
+def _memprof_off():
+    yield
+    MEMPROF.disable()
+
+
+def test_rss_is_positive_on_linux():
+    resident = rss_kb()
+    assert resident is None or resident > 0
+
+
+def test_enable_starts_tracemalloc_and_disable_stops_it():
+    profiler = MemoryProfiler()
+    assert not profiler.enabled
+    already_tracing = tracemalloc.is_tracing()
+    profiler.enable()
+    assert profiler.enabled
+    assert tracemalloc.is_tracing()
+    profiler.disable()
+    assert not profiler.enabled
+    # Only stops tracemalloc if it was the one to start it.
+    assert tracemalloc.is_tracing() == already_tracing
+
+
+def test_disable_leaves_foreign_tracemalloc_running():
+    foreign = not tracemalloc.is_tracing()
+    if foreign:
+        tracemalloc.start()
+    try:
+        profiler = MemoryProfiler()
+        profiler.enable()
+        profiler.disable()
+        assert tracemalloc.is_tracing()
+    finally:
+        if foreign:
+            tracemalloc.stop()
+
+
+def test_sample_reports_kib_readings():
+    profiler = MemoryProfiler()
+    profiler.enable()
+    try:
+        ballast = [0.0] * 50_000  # ensure tracemalloc sees something
+        sampled = profiler.sample()
+        assert ballast
+    finally:
+        profiler.disable()
+    assert sampled["mem_traced_kb"] > 0
+    assert (
+        sampled["mem_traced_peak_kb"] >= sampled["mem_traced_kb"]
+    )
+    if "mem_rss_kb" in sampled:
+        assert sampled["mem_rss_kb"] > 0
+
+
+def test_spans_are_stamped_only_when_enabled():
+    TRACER.enabled = True
+    with span("plain"):
+        pass
+    MEMPROF.enable()
+    with span("profiled"):
+        with span("nested"):
+            pass
+    MEMPROF.disable()
+    plain, profiled = TRACER.export()
+    assert "mem_traced_kb" not in (plain.get("attrs") or {})
+    for node in (profiled, profiled["children"][0]):
+        attrs = node["attrs"]
+        assert "mem_traced_kb" in attrs
+        assert "mem_traced_peak_kb" in attrs
+        assert attrs["mem_traced_peak_kb"] >= attrs["mem_traced_kb"]
+
+
+def test_memprof_report_renders_memory_columns():
+    from repro.obs.report import render_manifest
+
+    manifest = {
+        "command": "figure",
+        "created_unix": 0,
+        "timing": {"wall_seconds": 1.0, "cpu_seconds": 1.0},
+        "trace": [{
+            "name": "cli.figure",
+            "wall_seconds": 1.0,
+            "cpu_seconds": 1.0,
+            "attrs": {
+                "mem_rss_kb": 2048.0,
+                "mem_traced_peak_kb": 512.0,
+                "mem_traced_kb": 100.0,
+            },
+            "children": [],
+        }],
+        "metrics": {},
+    }
+    rendered = render_manifest(manifest)
+    assert "rss" in rendered
+    assert "py-peak" in rendered
+    assert "2.0MB" in rendered
+    assert "512KB" in rendered
+    # The raw attrs are folded into columns, not echoed inline.
+    assert "mem_traced_kb=" not in rendered

@@ -74,6 +74,63 @@ def test_merge_histogram_min_max_none_handling():
     assert parent.snapshot()["histograms"]["h"] == state
 
 
+def test_histogram_merge_state_accumulates():
+    first = Histogram()
+    first.observe(1.0)
+    first.observe(50.0)
+    second = Histogram()
+    second.observe(0.02)
+    second.observe(300.0)
+    second.observe(-1.0)
+    first.merge_state(second.state())
+    state = first.state()
+    assert state["count"] == 5
+    assert state["sum"] == 350.02
+    assert state["min"] == -1.0 and state["max"] == 300.0
+    assert state["decades"] == {"-2": 1, "0": 1, "1": 1, "2": 1}
+    assert state["nonpositive"] == 1
+
+
+def test_registry_merge_disjoint_names():
+    parent = MetricsRegistry()
+    parent.counter("only.parent").inc(2)
+    parent.histogram("hist.parent").observe(1.0)
+    child = MetricsRegistry()
+    child.counter("only.child").inc(3)
+    child.gauge("gauge.child").set(9)
+    child.histogram("hist.child").observe(10.0)
+    parent.merge(child.snapshot())
+    snapshot = parent.snapshot()
+    assert snapshot["counters"] == {
+        "only.parent": 2, "only.child": 3
+    }
+    assert snapshot["gauges"] == {"gauge.child": 9}
+    assert set(snapshot["histograms"]) == {
+        "hist.parent", "hist.child"
+    }
+    assert snapshot["histograms"]["hist.child"]["count"] == 1
+
+
+def test_registry_merge_overlapping_names():
+    parent = MetricsRegistry()
+    parent.counter("tasks").inc(2)
+    parent.gauge("jobs").set(1)
+    parent.histogram("gtc").observe(1.0)
+    child = MetricsRegistry()
+    child.counter("tasks").inc(5)
+    child.gauge("jobs").set(4)
+    child.histogram("gtc").observe(100.0)
+    parent.merge(child.snapshot())
+    snapshot = parent.snapshot()
+    # Counters and histograms accumulate; gauges: last write wins.
+    assert snapshot["counters"]["tasks"] == 7
+    assert snapshot["gauges"]["jobs"] == 4
+    gtc = snapshot["histograms"]["gtc"]
+    assert gtc["count"] == 2
+    assert gtc["min"] == 1.0 and gtc["max"] == 100.0
+    assert gtc["decades"] == {"0": 1, "2": 1}
+
+
 def test_reset_clears_everything():
     METRICS.counter("a").inc()
     METRICS.gauge("b").set(1)

@@ -1,0 +1,105 @@
+"""Live progress: activation rules, meter format, TTY behaviour."""
+
+import io
+
+import pytest
+
+from repro.obs.progress import PROGRESS, ProgressReporter, ProgressTask
+from repro.obs.progress import _NULL_TASK
+
+
+class _Tty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_reporter():
+    yield
+    PROGRESS.configure(mode="auto", log_level="warning", stream=None)
+
+
+def test_off_mode_is_never_active():
+    reporter = ProgressReporter()
+    reporter.configure(mode="off", log_level="info", stream=_Tty())
+    assert not reporter.active()
+    assert reporter.start("fig6", 10) is _NULL_TASK
+
+
+def test_on_mode_renders_even_into_pipes():
+    stream = io.StringIO()
+    reporter = ProgressReporter()
+    reporter.configure(mode="on", stream=stream)
+    assert reporter.active()
+    task = reporter.start("fig6 [split]", 2)
+    assert isinstance(task, ProgressTask)
+    task.advance()
+    task.advance()
+    task.finish()
+    lines = [l for l in stream.getvalue().splitlines() if l]
+    assert lines[0].startswith("fig6 [split] 0/2 tasks")
+    assert any(l.startswith("fig6 [split] 2/2 tasks") for l in lines)
+
+
+def test_auto_mode_needs_tty_and_verbose_logging():
+    reporter = ProgressReporter()
+    # TTY but default WARNING level: progress is chatter, stay silent.
+    reporter.configure(mode="auto", log_level="warning", stream=_Tty())
+    assert not reporter.active()
+    # Verbose but piped: stay silent.
+    reporter.configure(mode="auto", log_level="info", stream=io.StringIO())
+    assert not reporter.active()
+    # Verbose and a TTY: render.
+    reporter.configure(mode="auto", log_level="info", stream=_Tty())
+    assert reporter.active()
+
+
+def test_unknown_mode_is_rejected():
+    with pytest.raises(ValueError, match="unknown progress mode"):
+        ProgressReporter().configure(mode="loud")
+
+
+def test_zero_total_hands_back_the_null_task():
+    reporter = ProgressReporter()
+    reporter.configure(mode="on", stream=io.StringIO())
+    assert reporter.start("empty", 0) is _NULL_TASK
+
+
+def test_null_task_is_inert():
+    _NULL_TASK.advance()
+    _NULL_TASK.advance(5)
+    _NULL_TASK.finish()
+
+
+def test_render_line_format_and_eta():
+    task = ProgressTask("fig6 [shared]", 66, io.StringIO(), tty=False)
+    task.done = 14
+    task._started -= 4.375  # pretend 4.375s elapsed -> 3.2 tasks/s
+    line = task.render_line()
+    assert line.startswith("fig6 [shared] 14/66 tasks · 3.2 tasks/s · eta ")
+    assert line.endswith("s")
+    # Before any completion the rate gives no ETA.
+    fresh = ProgressTask("x", 5, io.StringIO(), tty=False)
+    assert fresh.render_line().endswith("eta ?")
+
+
+def test_tty_meter_overwrites_and_clears():
+    stream = _Tty()
+    task = ProgressTask("fig5", 1, stream, tty=True)
+    task.advance()
+    task.finish()
+    output = stream.getvalue()
+    assert "\r" in output
+    assert "\n" not in output  # never commits a line to a TTY
+    # After finish the line is blanked out.
+    assert output.endswith("\r")
+
+
+def test_long_etas_use_minute_and_hour_units():
+    from repro.obs.progress import _format_eta
+
+    assert _format_eta(42.4) == "42s"
+    assert _format_eta(96) == "1m36s"
+    assert _format_eta(3 * 3600 + 5 * 60) == "3h05m"
+    assert _format_eta(-1) == "?"
+    assert _format_eta(float("nan")) == "?"

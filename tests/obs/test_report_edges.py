@@ -1,0 +1,67 @@
+"""Manifest-renderer edge cases: empty metrics, cache-summary corners."""
+
+from repro.obs.report import _cache_summary, render_manifest
+
+
+def _manifest(metrics=None):
+    return {
+        "command": "figure --scenario fig5",
+        "created_unix": 0,
+        "package_version": "0.1.0",
+        "git_sha": "deadbeef",
+        "schema_version": 1,
+        "timing": {"wall_seconds": 1.0, "cpu_seconds": 1.0},
+        "trace": [],
+        "metrics": metrics or {},
+    }
+
+
+def test_empty_metrics_render_none_recorded_line():
+    rendered = render_manifest(_manifest())
+    assert "metrics: (none recorded)" in rendered
+    assert "plan cache:" not in rendered
+
+
+def test_metrics_with_only_empty_sections_still_none_recorded():
+    rendered = render_manifest(_manifest(
+        {"counters": {}, "gauges": {}, "histograms": {}}
+    ))
+    assert "metrics: (none recorded)" in rendered
+
+
+def test_populated_metrics_suppress_the_placeholder():
+    rendered = render_manifest(_manifest(
+        {"counters": {"optimize.calls": 12}}
+    ))
+    assert "metrics:" in rendered
+    assert "(none recorded)" not in rendered
+    assert "optimize.calls" in rendered
+
+
+def test_cache_summary_silent_with_no_activity():
+    assert _cache_summary({}) is None
+    assert _cache_summary({
+        "plancache.hits": 0,
+        "plancache.misses": 0,
+        "plancache.corrupt": 0,
+    }) is None
+
+
+def test_cache_summary_corrupt_only_reports_zero_hit_rate():
+    summary = _cache_summary({"plancache.corrupt": 2})
+    assert summary == (
+        "plan cache: 0 hits, 0 misses (2 corrupt) — 0% hit rate"
+    )
+    rendered = render_manifest(_manifest(
+        {"counters": {"plancache.corrupt": 2}}
+    ))
+    assert "0% hit rate" in rendered
+
+
+def test_cache_summary_mixed_traffic():
+    summary = _cache_summary({
+        "plancache.hits": 3, "plancache.misses": 1
+    })
+    assert summary == (
+        "plan cache: 3 hits, 1 misses (0 corrupt) — 75% hit rate"
+    )

@@ -1,0 +1,83 @@
+"""The benchmark telemetry plugin, driven end-to-end.
+
+Runs a real (subprocess) pytest session against the *actual*
+``benchmarks/conftest.py`` with a tiny synthetic benchmark, then checks
+that the session emitted a schema-valid ``BENCH_<module>.json`` record
+— the same path every shipped benchmark takes, without paying for a
+TPC-H catalog build.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+SYNTHETIC = '''\
+def test_bench_addition(benchmark, bench_extras):
+    result = benchmark(lambda: sum(range(1000)))
+    assert result == 499500
+    bench_extras("workload", "synthetic")
+
+
+def test_unbenchmarked_tests_are_ignored():
+    assert True
+'''
+
+
+@pytest.fixture(scope="module")
+def bench_run(tmp_path_factory):
+    site = tmp_path_factory.mktemp("bench-plugin")
+    shutil.copy(REPO / "benchmarks" / "conftest.py", site / "conftest.py")
+    (site / "test_bench_synthetic.py").write_text(SYNTHETIC)
+    out_dir = site / "records"
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO / "src"),
+        REPRO_BENCH_DIR=str(out_dir),
+    )
+    env.pop("BENCH_JSON", None)
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "pytest",
+            str(site / "test_bench_synthetic.py"),
+            "-q", "-p", "no:cacheprovider",
+        ],
+        cwd=site, env=env, capture_output=True, text=True,
+        timeout=300,
+    )
+    return completed, out_dir
+
+
+def test_plugin_session_passes(bench_run):
+    completed, _ = bench_run
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_plugin_emits_schema_valid_record(bench_run):
+    from repro.obs.bench import load_bench_record
+
+    _, out_dir = bench_run
+    assert sorted(p.name for p in out_dir.iterdir()) == [
+        "BENCH_synthetic.json"
+    ]
+    record = load_bench_record(out_dir / "BENCH_synthetic.json")
+    assert record["benchmark"] == "synthetic"
+    assert record["extras"] == {"workload": "synthetic"}
+    result = record["results"]["test_bench_addition"]
+    assert result["median_seconds"] > 0
+    assert result["rounds"] >= 1
+    # Only the benchmarked test is recorded.
+    assert list(record["results"]) == ["test_bench_addition"]
+
+
+def test_record_is_stable_sorted_json(bench_run):
+    _, out_dir = bench_run
+    text = (out_dir / "BENCH_synthetic.json").read_text()
+    data = json.loads(text)
+    assert text == json.dumps(data, indent=2, sort_keys=True) + "\n"

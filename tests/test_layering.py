@@ -123,3 +123,27 @@ def test_headline_chain_is_ordered():
     ranks = [LAYER_RANK[layer] for layer in chain]
     assert ranks == sorted(ranks)
     assert len(set(ranks)) == len(ranks)
+
+
+def test_obs_package_is_complete_and_bottom_ranked():
+    """The observability toolkit lives at rank 0: anything may import
+    it, it may import nothing above itself.  Pin its module roster so a
+    new obs module is placed (and checked) deliberately."""
+    modules = sorted(
+        path.stem
+        for path in (SRC / "obs").glob("*.py")
+        if path.stem != "__init__"
+    )
+    assert modules == [
+        "bench", "export", "logs", "manifest", "memprof",
+        "metrics", "progress", "report", "trace",
+    ]
+    assert LAYER_RANK["obs"] == 0
+    # No obs module may import another repro layer at all.
+    for path in sorted((SRC / "obs").glob("*.py")):
+        for module in _imported_repro_modules(path):
+            target = _target_layer(module)
+            assert target in ("", "obs", "__init__"), (
+                f"obs/{path.name} imports {module} — the obs layer "
+                "must stay dependency-free"
+            )
