@@ -47,20 +47,33 @@ when it is a TTY and the log level is below WARNING (force with
 ``--progress``, silence with ``--no-progress``).  Cached runs end with
 a one-line cache summary on stderr.
 
-Usage errors (unknown query or scenario names, unknown devices) exit
-with status 2 and a one-line message listing the valid choices.
+Resilience: every experiment command takes ``--retries``,
+``--task-timeout`` and ``--on-task-error {abort,retry,skip}`` to
+survive failing/hanging tasks (retry with seeded, jittered exponential
+backoff; ``skip`` finishes the sweep with holes recorded in the
+manifest's ``tasks.failed``), ``--checkpoint`` to journal finished
+tasks into a content-addressed run directory and ``--resume [RUN_ID]``
+to pick an interrupted run back up re-executing only unfinished tasks,
+plus ``--inject-faults SPEC`` (or ``$REPRO_FAULTS``) to deterministically
+inject raise/hang/kill faults for testing — all keyed by ``--seed``.
+
+Usage errors (unknown query or scenario names, unknown devices, bad
+fault specs, a ``--resume`` id that does not match the configuration)
+exit with status 2 and a one-line message listing the valid choices.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Any, NoReturn, Sequence
 
 from .experiments.engine import (
     ExperimentSpec,
+    ResumeMismatchError,
     RunContext,
     UnknownQueryError,
     all_experiments,
@@ -75,8 +88,12 @@ from .experiments.scenarios import (
 from .obs import (
     MEMPROF,
     METRICS,
+    ON_ERROR_MODES,
     PROGRESS,
     TRACER,
+    FaultPlan,
+    FaultSpecError,
+    RetryPolicy,
     compare_bench_records,
     configure_logging,
     load_bench_record,
@@ -106,6 +123,38 @@ def _usage_error(message: str) -> NoReturn:
     raise SystemExit(2)
 
 
+def _resilience_from_args(
+    args: argparse.Namespace,
+) -> "tuple[RetryPolicy | None, FaultPlan | None]":
+    """The retry policy and fault plan the parsed flags describe.
+
+    ``--inject-faults`` falls back to the ``REPRO_FAULTS`` environment
+    variable, so CI (and chaos experiments) can inject faults without
+    touching every command line.  Bad specs and bad policy values are
+    usage errors (exit 2).
+    """
+    seed = getattr(args, "seed", 0)
+    try:
+        policy = RetryPolicy(
+            on_error=getattr(args, "on_task_error", "abort"),
+            retries=getattr(args, "retries", 2),
+            task_timeout=getattr(args, "task_timeout", None),
+            seed=seed,
+        )
+    except ValueError as exc:
+        _usage_error(str(exc))
+    spec = getattr(args, "inject_faults", None)
+    if spec is None:
+        spec = os.environ.get("REPRO_FAULTS") or None
+    faults = None
+    if spec:
+        try:
+            faults = FaultPlan.parse(spec, seed=seed)
+        except FaultSpecError as exc:
+            _usage_error(str(exc))
+    return policy, faults
+
+
 def _context_from_args(args: argparse.Namespace) -> RunContext:
     """The RunContext the parsed flags describe (catalog stays lazy)."""
     from .optimizer.plancache import PlanCache
@@ -113,11 +162,17 @@ def _context_from_args(args: argparse.Namespace) -> RunContext:
     cache = None
     if not getattr(args, "no_cache", False):
         cache = PlanCache(getattr(args, "cache_dir", None))
+    policy, faults = _resilience_from_args(args)
     return RunContext(
         scale=getattr(args, "scale", 100.0),
         query_filter=getattr(args, "queries", "") or (),
         cache=cache,
         jobs=getattr(args, "jobs", 1),
+        seed=getattr(args, "seed", 0),
+        policy=policy,
+        faults=faults,
+        checkpoint=getattr(args, "checkpoint", False),
+        resume=getattr(args, "resume", None),
     )
 
 
@@ -150,7 +205,7 @@ def _run_spec_command(args: argparse.Namespace, run: _Run) -> int:
     params = spec.params_from_args(args)
     try:
         result = run_experiment(spec, params, ctx)
-    except UnknownQueryError as exc:
+    except (ResumeMismatchError, UnknownQueryError) as exc:
         _usage_error(str(exc))
     sys.stdout.write(spec.render(ctx, params, result))
     return 0
@@ -352,6 +407,50 @@ def _obs_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra attempts per failed task under --on-task-error "
+             "retry/skip (default 2; ignored under abort)",
+    )
+    p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock limit; a task past it is "
+             "interrupted (and its worker respawned if it is wedged)",
+    )
+    p.add_argument(
+        "--on-task-error", default="abort", choices=ON_ERROR_MODES,
+        help="what a failed task does to the run: abort the sweep "
+             "(default), retry with backoff then abort, or retry "
+             "then skip — finishing with holes listed in the "
+             "manifest",
+    )
+    p.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+             "'kill:0.2,raise:0.1,hang:0.05,hang=30' "
+             "(KIND:RATE entries; hang=SECONDS bounds hangs; "
+             "falls back to $REPRO_FAULTS)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="run seed driving fault injection and backoff jitter "
+             "(default 0)",
+    )
+    p.add_argument(
+        "--checkpoint", action="store_true",
+        help="journal each finished task to a content-addressed run "
+             "directory so the run can be resumed",
+    )
+    p.add_argument(
+        "--resume", nargs="?", const="auto", default=None,
+        metavar="RUN_ID",
+        help="resume a checkpointed run, skipping journaled tasks; "
+             "with no RUN_ID the run id is recomputed from the "
+             "configuration (an explicit id must match it)",
+    )
+
+
 def _jobs_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--jobs", type=int, default=1,
@@ -404,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
         _cache_flags(p)
         _obs_flags(p)
         _jobs_flag(p)
+        _resilience_flags(p)
         p.set_defaults(func=_run_spec_command, spec=spec)
 
     p_diagram = sub.add_parser(
@@ -509,6 +609,23 @@ def _finish_run(
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         write_trace_events(TRACER.export(), trace_out)
+    stats = getattr(ctx, "task_stats", None) or {}
+    failed = stats.get("failed") or []
+    if failed:
+        print(
+            f"warning: {len(failed)} task(s) failed and were skipped "
+            f"— the run has holes (see the manifest's tasks.failed "
+            "and `repro report`)",
+            file=sys.stderr,
+        )
+    run_id = getattr(ctx, "run_id", None)
+    if run_id:
+        print(
+            f"checkpoint: run {run_id[:16]} journaled — resume an "
+            "interrupted run by re-running with --resume "
+            f"(or --resume {run_id} to pin the exact configuration)",
+            file=sys.stderr,
+        )
     counters = snapshot["counters"]
     lookups = (
         counters.get("plancache.hits", 0)

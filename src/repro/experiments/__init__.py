@@ -24,6 +24,7 @@ below keep the historical one-call signatures.
 
 from .engine import (
     ExperimentSpec,
+    ResumeMismatchError,
     RunContext,
     UnknownQueryError,
     all_experiments,
@@ -32,6 +33,7 @@ from .engine import (
     register_experiment,
     run_experiment,
 )
+from .journal import RunJournal, run_key
 from .expected import (
     ExpectedParams,
     ExpectedRegret,
@@ -39,7 +41,7 @@ from .expected import (
     format_expected_table,
     run_expected_regret,
 )
-from .parallel import parallel_map
+from .parallel import TaskFailure, TaskRunReport, parallel_map
 from .report import (
     figure_to_csv,
     format_census_table,
@@ -104,11 +106,15 @@ __all__ = [
     "QueryCensus",
     "QueryWorstCase",
     "QueryRobustness",
+    "ResumeMismatchError",
     "RobustnessParams",
     "RunContext",
+    "RunJournal",
     "SCENARIO_ALIASES",
     "SCENARIO_KEYS",
     "Scenario",
+    "TaskFailure",
+    "TaskRunReport",
     "UnknownQueryError",
     "UnknownScenarioError",
     "UsageAnalysisResult",
@@ -135,6 +141,7 @@ __all__ = [
     "run_expected_regret",
     "run_experiment",
     "run_figure",
+    "run_key",
     "run_query_worst_case",
     "run_robustness",
     "run_usage_analysis",

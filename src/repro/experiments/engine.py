@@ -34,21 +34,31 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import logging
+from pathlib import Path
 from typing import Any, Iterator, Mapping, Protocol, Sequence, runtime_checkable
 
 from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
+from ..obs.faults import FaultPlan, RetryPolicy
 from ..obs.manifest import catalog_digest, text_digest
 from ..obs.progress import PROGRESS
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
 from ..optimizer.plancache import PlanCache
 from ..optimizer.query import QuerySpec
 from ..workloads.tpch_queries import build_tpch_queries
-from .parallel import parallel_map, worker_catalog, worker_payload
+from .journal import RunJournal, default_journal_root, run_key
+from .parallel import (
+    TaskRunReport,
+    parallel_map,
+    worker_catalog,
+    worker_payload,
+)
 
 __all__ = [
     "RunContext",
     "ExperimentSpec",
+    "ResumeMismatchError",
     "UnknownQueryError",
     "register_experiment",
     "get_experiment",
@@ -56,6 +66,28 @@ __all__ = [
     "experiment_names",
     "run_experiment",
 ]
+
+logger = logging.getLogger(__name__)
+
+
+class ResumeMismatchError(ValueError):
+    """An explicit ``--resume RUN_ID`` that does not match this run.
+
+    The journal is content-addressed, so a mismatch means the current
+    configuration (params, scale, seed, version...) differs from the
+    one that produced the journal — resuming would silently mix
+    results computed under different configurations.
+    """
+
+    def __init__(self, requested: str, computed: str) -> None:
+        self.requested = requested
+        self.computed = computed
+        super().__init__(
+            f"--resume {requested} does not match this run's "
+            f"configuration (computed run id {computed}); journals are "
+            "content-addressed and can only resume an identically "
+            "configured run"
+        )
 
 
 class UnknownQueryError(ValueError):
@@ -83,9 +115,14 @@ class RunContext:
     injected), the system cost-model parameters, the candidate-set
     :class:`PlanCache` handle (or None), the worker count and base
     seed — plus the manifest bookkeeping every run feeds: recorded
-    seeds, result digests and the catalog digest.
+    seeds, result digests, catalog digest and per-task outcome stats.
     :func:`repro.obs.manifest.manifest_from_context` assembles the run
     manifest straight from this object.
+
+    The resilience knobs mirror the CLI: ``policy`` (retries, task
+    timeout, on-error mode), ``faults`` (the injection plan),
+    ``checkpoint`` (journal finished tasks) and ``resume`` (``"auto"``
+    or an explicit run id to pick an interrupted run back up).
     """
 
     def __init__(
@@ -98,6 +135,11 @@ class RunContext:
         cache: "PlanCache | None" = None,
         jobs: int = 1,
         seed: int = 0,
+        policy: "RetryPolicy | None" = None,
+        faults: "FaultPlan | None" = None,
+        checkpoint: bool = False,
+        resume: "str | None" = None,
+        journal_root: "str | Path | None" = None,
     ) -> None:
         self.scale = float(scale)
         self.query_filter = _parse_query_names(query_filter)
@@ -105,6 +147,11 @@ class RunContext:
         self.cache = cache
         self.jobs = jobs
         self.seed = seed
+        self.policy = policy
+        self.faults = faults
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.journal_root = journal_root
         self._catalog = catalog
         self._catalog_injected = catalog is not None
         self._queries = dict(queries) if queries is not None else None
@@ -112,6 +159,8 @@ class RunContext:
         self.seeds: dict[str, Any] = {}
         self.result_digests: dict[str, str] = {}
         self.catalog_sha: "str | None" = None
+        self.task_stats: "dict[str, Any] | None" = None
+        self.run_id: "str | None" = None
 
     # ------------------------------------------------------------------
     # Lazy workload
@@ -171,6 +220,43 @@ class RunContext:
     def cache_root(self) -> "str | None":
         """The plan-cache root as shipped to worker processes."""
         return str(self.cache.root) if self.cache is not None else None
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume
+    # ------------------------------------------------------------------
+    @property
+    def journals(self) -> bool:
+        """Whether this run reads/writes a checkpoint journal."""
+        return self.checkpoint or self.resume is not None
+
+    def journal_for(self, experiment: str, params: Any) -> RunJournal:
+        """The content-addressed journal of this run's configuration.
+
+        Computes the run id from everything that determines the task
+        results and validates an explicit ``--resume RUN_ID`` against
+        it (:class:`ResumeMismatchError` on mismatch — journals can
+        only resume an identically configured run).
+        """
+        self.catalog  # ensure catalog_sha is populated
+        computed = run_key(
+            experiment=experiment,
+            params=params,
+            system_params=self.params,
+            catalog_sha=self.catalog_sha,
+            seed=self.seed,
+        )
+        if self.resume not in (None, "", "auto") and (
+            self.resume != computed
+        ):
+            raise ResumeMismatchError(self.resume, computed)
+        self.run_id = computed
+        if self.journal_root is not None:
+            root = Path(self.journal_root)
+        elif self.cache is not None:
+            root = Path(self.cache.root) / "runs"
+        else:
+            root = default_journal_root()
+        return RunJournal(computed, root=root)
 
 
 @runtime_checkable
@@ -322,6 +408,13 @@ def run_experiment(
     (:data:`repro.obs.progress.PROGRESS`), so long sweeps show a live
     rate/ETA meter on interactive runs — a no-op whenever the
     reporter is inactive.
+
+    The context's resilience settings flow straight through: the
+    retry policy and fault plan go to the executor, and when
+    checkpointing/resume is on, finished tasks are journaled to the
+    run's content-addressed directory and already-journaled ones are
+    served from disk without re-executing.  The per-task outcome
+    report lands on ``ctx.task_stats`` for the run manifest.
     """
     spec = (
         get_experiment(experiment)
@@ -337,6 +430,17 @@ def run_experiment(
         "cache_root": ctx.cache_root(),
         "seed": ctx.seed,
     }
+    journal = None
+    if ctx.journals:
+        journal = ctx.journal_for(spec.name, params)
+        journal.write_meta(spec.name, len(tasks))
+        if ctx.resume is not None:
+            done = journal.completed()
+            logger.info(
+                "resuming run %s: %d/%d task(s) already journaled",
+                journal.run_id[:16], len(done), len(tasks),
+            )
+    policy = ctx.policy or RetryPolicy(seed=ctx.seed)
     # Serial runs reuse the context's catalog object directly; only a
     # real process fan-out ships the (cheaper-to-rebuild) catalog spec.
     catalog_spec = ctx.catalog_spec if ctx.jobs > 1 else ctx.catalog
@@ -346,6 +450,8 @@ def run_experiment(
         label += f" [{scenario_key}]"
     if ctx.jobs > 1:
         label += f" --jobs {ctx.jobs}"
+    labels = [f"{spec.name}[{index}]" for index in range(len(tasks))]
+    report = TaskRunReport()
     progress = PROGRESS.start(label, len(tasks))
     try:
         results = parallel_map(
@@ -355,9 +461,15 @@ def run_experiment(
             catalog_spec=catalog_spec,
             payload=payload,
             progress=progress,
+            policy=policy,
+            faults=ctx.faults,
+            journal=journal,
+            labels=labels,
+            report=report,
         )
     finally:
         progress.finish()
+        ctx.task_stats = report.as_manifest()
     reduced = spec.reduce(ctx, params, results)
     for name, payload_text in spec.digest_payloads(
         ctx, params, reduced

@@ -1,0 +1,189 @@
+"""Checkpoint/resume journal: per-task results in a run directory.
+
+A 20-minute sweep that dies at task 19 of 22 used to lose everything.
+The journal makes completed work durable: as the engine finishes each
+task it pickles the result into a *content-addressed run directory*,
+and ``--resume`` replays those entries instead of re-executing the
+tasks — producing digests identical to an uninterrupted run.
+
+The run id is a SHA-256 over everything that determines the task
+results (experiment name, its frozen params dataclass, the system
+cost-model parameters, the catalog digest, the run seed, package and
+format versions).  Content addressing is the safety property: a resume
+can only ever pick up results computed under the *same* configuration,
+and passing an explicit ``--resume RUN_ID`` that does not match the
+current configuration is rejected rather than silently mixed.
+
+Layout (under ``<cache-root>/runs`` by default, next to the plan
+cache)::
+
+    <root>/<run_id>/meta.json        # human-readable provenance
+    <root>/<run_id>/task-<index>.pkl # one atomic pickle per task
+
+Writes reuse the :mod:`~repro.optimizer.plancache` atomic-write
+machinery (temp file + ``os.replace``), so a SIGKILL mid-write never
+leaves a half-entry a resume would trip over; corrupt entries are
+treated as unfinished tasks and recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+from ..obs.metrics import METRICS
+from ..optimizer.config import SystemParameters
+from ..optimizer.plancache import (
+    PICKLE_LOAD_ERRORS,
+    atomic_write_pickle,
+    default_cache_dir,
+)
+
+__all__ = ["RunJournal", "run_key"]
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the journal payload or key material changes shape.
+_FORMAT_VERSION = 1
+
+
+def _params_material(params: Any) -> Any:
+    """A JSON-able fingerprint of an experiment params object."""
+    if dataclasses.is_dataclass(params) and not isinstance(params, type):
+        return {
+            key: repr(value)
+            for key, value in sorted(
+                dataclasses.asdict(params).items()
+            )
+        }
+    return repr(params)
+
+
+def run_key(
+    experiment: str,
+    params: Any,
+    system_params: SystemParameters,
+    catalog_sha: "str | None",
+    seed: int = 0,
+) -> str:
+    """SHA-256 run id over everything that determines task results."""
+    from .. import __version__
+
+    material = json.dumps(
+        {
+            "format": _FORMAT_VERSION,
+            "version": __version__,
+            "experiment": experiment,
+            "params": _params_material(params),
+            "system_params": _params_material(system_params),
+            "catalog": catalog_sha,
+            "seed": seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def default_journal_root() -> Path:
+    """``<cache dir>/runs`` — journals live next to the plan cache."""
+    return Path(default_cache_dir()) / "runs"
+
+
+class RunJournal:
+    """The checkpoint store of one content-addressed run directory."""
+
+    #: Sentinel distinguishing "no entry" from a journaled ``None``.
+    _MISSING = object()
+
+    def __init__(
+        self, run_id: str, root: "str | os.PathLike | None" = None
+    ) -> None:
+        self.run_id = run_id
+        self.root = (
+            Path(root) if root is not None else default_journal_root()
+        )
+        self.dir = self.root / run_id
+
+    def task_path(self, index: int) -> Path:
+        return self.dir / f"task-{index}.pkl"
+
+    def write_meta(self, experiment: str, n_tasks: int) -> None:
+        """Record human-readable provenance once per run directory."""
+        meta = self.dir / "meta.json"
+        if meta.exists():
+            return
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            meta.write_text(
+                json.dumps(
+                    {
+                        "run_id": self.run_id,
+                        "experiment": experiment,
+                        "n_tasks": n_tasks,
+                        "journal_format": _FORMAT_VERSION,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        except OSError as exc:
+            logger.warning(
+                "could not write journal meta %s (%s: %s)",
+                meta, type(exc).__name__, exc,
+            )
+
+    def load(self, index: int) -> tuple[bool, Any]:
+        """``(True, result)`` for a journaled task, ``(False, None)``
+        for an unfinished (or corrupt — recompute) one."""
+        path = self.task_path(index)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
+        except PICKLE_LOAD_ERRORS as exc:
+            METRICS.counter("engine.journal_corrupt").inc()
+            logger.warning(
+                "corrupt journal entry %s (%s: %s); re-running the task",
+                path, type(exc).__name__, exc,
+            )
+            return False, None
+        if payload is self._MISSING:  # pragma: no cover - paranoia
+            return False, None
+        METRICS.counter("engine.journal_hits").inc()
+        return True, payload
+
+    def store(self, index: int, result: Any) -> None:
+        """Atomically journal one finished task (best effort)."""
+        path = self.task_path(index)
+        try:
+            atomic_write_pickle(path, result)
+        except (OSError, TypeError, AttributeError) as exc:
+            # Unwritable filesystem or an unpicklable result must never
+            # fail the experiment — the run just loses resumability.
+            METRICS.counter("engine.journal_store_errors").inc()
+            logger.warning(
+                "could not journal task %d to %s (%s: %s)",
+                index, path, type(exc).__name__, exc,
+            )
+            return
+        METRICS.counter("engine.journal_stores").inc()
+
+    def completed(self) -> set[int]:
+        """Indices with a journal entry on disk (corrupt ones count —
+        :meth:`load` re-vets them before use)."""
+        found = set()
+        if not self.dir.is_dir():
+            return found
+        for path in self.dir.glob("task-*.pkl"):
+            stem = path.stem[len("task-"):]
+            if stem.isdigit():
+                found.add(int(stem))
+        return found

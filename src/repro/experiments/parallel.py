@@ -1,4 +1,4 @@
-"""The generic serial-or-process-pool executor for experiment tasks.
+"""The resilient serial-or-process-pool executor for experiment tasks.
 
 Every experiment sweep is embarrassingly parallel over queries, and
 every one of them fans out through :func:`parallel_map` — the engine
@@ -16,8 +16,30 @@ arbitrary experiment payload, in the module-global ``_STATE``.
 worker function runs serially in-process through the same ``_STATE``
 protocol, so serial and parallel paths execute identical code and
 produce identical results — ``--jobs N`` is a wall-clock knob, not a
-semantics knob.  Results come back in input order (``executor.map``),
-so output ordering is deterministic regardless of worker scheduling.
+semantics knob.  Results keep input order regardless of worker
+scheduling or retries.
+
+On top of the plain fan-out sits the resilience layer:
+
+* a :class:`~repro.obs.faults.RetryPolicy` adds per-task retries with
+  seeded exponential backoff, a per-attempt ``--task-timeout``
+  (SIGALRM inside the worker, so hung tasks are interrupted rather
+  than wedged), and the ``on_error`` verdict — ``abort`` fails fast
+  (the historical behaviour), ``retry`` retries then aborts, ``skip``
+  records the failure in a :class:`TaskRunReport` and lets the sweep
+  finish with holes;
+* a **dead-worker detector**: a worker that dies mid-task (injected
+  ``kill`` fault, segfault, OOM) breaks the pool — the parent catches
+  :class:`~concurrent.futures.process.BrokenProcessPool`, respawns the
+  pool, and reschedules the in-flight tasks instead of deadlocking.
+  With a task timeout set, a parent-side deadline additionally
+  backstops workers too wedged to deliver their own ``SIGALRM``;
+* an optional :class:`~repro.experiments.journal.RunJournal` persists
+  each finished task atomically, and already-journaled tasks are
+  served from disk before any worker is spawned (``--resume``);
+* a :class:`~repro.obs.faults.FaultPlan` injects deterministic,
+  seeded failures (raise/hang/kill) into task execution so every one
+  of the paths above is testable on demand.
 
 Observability crosses the process boundary in both directions.  On the
 way out, workers inherit the parent's tracing flag and log level; on
@@ -26,26 +48,103 @@ its result, and the parent :meth:`~repro.obs.metrics.MetricsRegistry.merge`\\ s
 and :meth:`~repro.obs.trace.Tracer.graft`\\ s them.  A ``--jobs N`` run
 therefore reports the *same metric totals* and the *same span-tree
 shape* as the serial run — only the timings differ
-(``tests/experiments/test_parallel_obs.py``).
+(``tests/experiments/test_parallel_obs.py``).  Only a task's
+*successful* attempt contributes metrics and spans, so fault-injected
+runs converge to the same task-level totals as clean ones.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Mapping
+import logging
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
+from ..obs.faults import (
+    FaultPlan,
+    RetryPolicy,
+    TaskTimeout,
+    apply_fault,
+    time_limit,
+)
 from ..obs.logs import configure_logging, configured_log_level
 from ..obs.memprof import MEMPROF
 from ..obs.metrics import METRICS
 from ..obs.trace import TRACER, span
+from .journal import RunJournal
 
-__all__ = ["parallel_map", "worker_catalog", "worker_payload"]
+__all__ = [
+    "TaskFailure",
+    "TaskRunReport",
+    "WorkerCrash",
+    "parallel_map",
+    "worker_catalog",
+    "worker_payload",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Parent-side grace on top of ``task_timeout`` before a worker that
+#: never reported back is presumed dead and the pool is respawned.
+_DEADLINE_GRACE = 5.0
+
+#: Poll interval of the parallel scheduler loop.
+_POLL_SECONDS = 0.05
 
 #: Per-process experiment state:
-#: ``{"catalog": ..., "payload": ..., "worker": ..., "task_span": ...}``.
+#: ``{"catalog": ..., "payload": ..., "worker": ..., "task_span": ...,
+#: "faults": ..., "timeout": ...}``.
 _STATE: dict[str, Any] = {}
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died mid-task (kill fault, segfault, OOM)."""
+
+
+@dataclass
+class TaskFailure:
+    """One task that exhausted its attempts under ``on_error=skip``."""
+
+    index: int
+    label: str
+    error: str
+    attempts: int
+
+    def as_manifest(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class TaskRunReport:
+    """What happened to every task of one sweep (manifest fodder)."""
+
+    planned: int = 0
+    completed: int = 0
+    resumed: int = 0
+    retried: int = 0
+    failures: list[TaskFailure] = field(default_factory=list)
+
+    def as_manifest(self) -> dict[str, Any]:
+        return {
+            "planned": self.planned,
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "retried": self.retried,
+            "failed": [f.as_manifest() for f in self.failures],
+        }
 
 
 def _init_worker(
@@ -65,6 +164,8 @@ def _init_worker(
     _STATE["payload"] = dict(payload)
     _STATE["worker"] = worker
     _STATE["task_span"] = task_span
+    _STATE["faults"] = None
+    _STATE["timeout"] = None
     if obs_config is not None:
         # Child process: mirror the parent's observability settings.
         TRACER.reset()
@@ -74,6 +175,8 @@ def _init_worker(
         level = obs_config.get("log_level")
         if level is not None:
             configure_logging(level)
+        _STATE["faults"] = obs_config.get("faults")
+        _STATE["timeout"] = obs_config.get("timeout")
 
 
 def worker_catalog() -> Catalog:
@@ -86,20 +189,329 @@ def worker_payload() -> dict[str, Any]:
     return _STATE["payload"]
 
 
-def _instrumented_call(task: tuple[int, Any]):
-    """One task in a worker: run it, ship result + spans + metrics.
+def _maybe_inject(
+    faults: "FaultPlan | None",
+    index: int,
+    attempt: int,
+    allow_kill: bool,
+) -> None:
+    """Carry out the (deterministic) injected fault for this attempt."""
+    if faults is None:
+        return
+    kind = faults.decide(index, attempt)
+    if kind is None:
+        return
+    METRICS.counter("engine.faults_injected").inc()
+    logger.info(
+        "injecting %s fault into task %d attempt %d", kind, index, attempt
+    )
+    apply_fault(kind, faults.hang_seconds, allow_kill=allow_kill)
 
-    The registry is reset per task so each snapshot is exactly this
-    task's delta; the parent merges the deltas, which sums to the same
-    totals the serial path accumulates directly.
+
+def _instrumented_call(task: tuple[int, Any, int]):
+    """One task attempt in a worker: run it, ship result + spans + metrics.
+
+    The registry is reset per attempt so each snapshot is exactly this
+    attempt's delta; the parent merges only successful deltas, which
+    sums to the same totals the serial path accumulates directly.
     """
-    index, item = task
+    index, item, attempt = task
     worker = _STATE["worker"]
     METRICS.reset()
     TRACER.reset()
     with span(_STATE["task_span"], index=index):
-        result = worker(item)
+        with time_limit(_STATE.get("timeout")):
+            _maybe_inject(
+                _STATE.get("faults"), index, attempt, allow_kill=True
+            )
+            result = worker(item)
     return result, TRACER.export(), METRICS.snapshot()
+
+
+@dataclass
+class _TaskState:
+    """Parent-side bookkeeping for one not-yet-finished task."""
+
+    index: int
+    item: Any
+    label: str
+    attempt: int = 0
+    #: Earliest monotonic time the next attempt may be submitted
+    #: (backoff); 0.0 = immediately.
+    ready_at: float = 0.0
+    #: Monotonic deadline of the in-flight attempt (None = no timeout).
+    deadline: "float | None" = None
+
+
+class _Scheduler:
+    """Shared retry/skip/abort bookkeeping for both execution paths."""
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        report: TaskRunReport,
+        journal: "RunJournal | None",
+        progress: Any,
+    ) -> None:
+        self.policy = policy
+        self.report = report
+        self.journal = journal
+        self.progress = progress
+        self.results: dict[int, Any] = {}
+
+    def succeed(self, state: _TaskState, result: Any) -> None:
+        self.results[state.index] = result
+        self.report.completed += 1
+        if self.journal is not None:
+            self.journal.store(state.index, result)
+        if self.progress is not None:
+            self.progress.advance()
+
+    def resume(self, index: int, result: Any) -> None:
+        self.results[index] = result
+        self.report.completed += 1
+        self.report.resumed += 1
+        if self.progress is not None:
+            self.progress.advance()
+
+    def fail(self, state: _TaskState, exc: BaseException) -> "float | None":
+        """Handle one failed attempt.
+
+        Returns the backoff delay when the task should be retried,
+        None when it was skipped, and re-raises under ``abort``.
+        """
+        state.attempt += 1
+        if state.attempt < self.policy.max_attempts:
+            self.report.retried += 1
+            METRICS.counter("engine.task_retries").inc()
+            delay = self.policy.delay(state.index, state.attempt)
+            logger.warning(
+                "task %s attempt %d/%d failed (%s: %s); retrying "
+                "in %.2fs",
+                state.label, state.attempt, self.policy.max_attempts,
+                type(exc).__name__, exc, delay,
+            )
+            return delay
+        if self.policy.on_error == "skip":
+            METRICS.counter("engine.task_failures").inc()
+            failure = TaskFailure(
+                index=state.index,
+                label=state.label,
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=state.attempt,
+            )
+            self.report.failures.append(failure)
+            logger.warning(
+                "task %s failed after %d attempt(s); skipping (%s)",
+                state.label, state.attempt, failure.error,
+            )
+            if self.progress is not None:
+                self.progress.advance()
+            return None
+        raise exc
+
+    def ordered_results(self) -> list[Any]:
+        return [self.results[i] for i in sorted(self.results)]
+
+
+def _run_serial(
+    worker: Callable[[Any], Any],
+    states: "Sequence[_TaskState]",
+    task_span: str,
+    faults: "FaultPlan | None",
+    sched: _Scheduler,
+) -> None:
+    """In-process execution with the same retry/skip/timeout semantics.
+
+    ``kill`` faults degrade to exceptions here (killing the only
+    process would end the run, not exercise recovery), and backoff
+    sleeps block — both are inherent to running in-process.
+    """
+    policy = sched.policy
+    for state in states:
+        while True:
+            try:
+                with span(task_span, index=state.index):
+                    with time_limit(policy.task_timeout):
+                        _maybe_inject(
+                            faults, state.index, state.attempt,
+                            allow_kill=False,
+                        )
+                        result = worker(state.item)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                delay = sched.fail(state, exc)
+                if delay is None:
+                    break
+                time.sleep(delay)
+                continue
+            sched.succeed(state, result)
+            break
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a (possibly wedged) pool down without waiting on it."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - racing exit
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_pool(
+    worker: Callable[[Any], Any],
+    states: "Sequence[_TaskState]",
+    jobs: int,
+    catalog_spec: "Catalog | float",
+    payload: Mapping[str, Any],
+    task_span: str,
+    faults: "FaultPlan | None",
+    sched: _Scheduler,
+) -> None:
+    """Process-pool execution with retries and a dead-worker detector.
+
+    At most one task is in flight per worker, so a submitted attempt
+    is running (not queued) and its parent-side deadline is
+    meaningful.  A broken pool (worker died) is respawned and the
+    in-flight attempts rescheduled; overdue attempts (timeout plus
+    grace with no word from the worker) terminate the pool the same
+    way.
+    """
+    policy = sched.policy
+    obs_config = {
+        "trace": TRACER.enabled,
+        "memprof": MEMPROF.enabled,
+        "log_level": configured_log_level(),
+        "faults": faults,
+        "timeout": policy.task_timeout,
+    }
+    workers = min(jobs, len(states))
+    initargs = (catalog_spec, payload, worker, task_span, obs_config)
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=initargs,
+        )
+
+    pending: deque[_TaskState] = deque(states)
+    in_flight: dict[Any, _TaskState] = {}
+    pool = make_pool()
+
+    def reschedule(state: _TaskState, exc: BaseException) -> None:
+        delay = sched.fail(state, exc)  # raises under abort
+        if delay is not None:
+            state.ready_at = time.monotonic() + delay
+            pending.append(state)
+
+    def crash_in_flight(message: str) -> None:
+        crashed = list(in_flight.values())
+        in_flight.clear()
+        for state in crashed:
+            reschedule(state, WorkerCrash(message))
+
+    try:
+        while pending or in_flight:
+            now = time.monotonic()
+            # Submit every ready task while a worker slot is free.
+            submitted_any = False
+            for _ in range(len(pending)):
+                if len(in_flight) >= workers:
+                    break
+                state = pending.popleft()
+                if state.ready_at > now:
+                    pending.append(state)
+                    continue
+                try:
+                    future = pool.submit(
+                        _instrumented_call,
+                        (state.index, state.item, state.attempt),
+                    )
+                except BrokenProcessPool:
+                    pending.append(state)
+                    crash_in_flight("worker process died (broken pool)")
+                    pool = make_pool()
+                    break
+                if policy.task_timeout:
+                    state.deadline = (
+                        now + policy.task_timeout + _DEADLINE_GRACE
+                    )
+                in_flight[future] = state
+                submitted_any = True
+            if not in_flight:
+                if pending and not submitted_any:
+                    # Everything is backing off; sleep to the nearest
+                    # ready time instead of spinning.
+                    wake = min(s.ready_at for s in pending)
+                    time.sleep(
+                        min(max(wake - time.monotonic(), 0.0), 1.0)
+                        + 0.001
+                    )
+                continue
+            done, _ = wait(
+                set(in_flight),
+                timeout=_POLL_SECONDS,
+                return_when=FIRST_COMPLETED,
+            )
+            broken = False
+            for future in done:
+                state = in_flight.pop(future)
+                try:
+                    result, spans, snapshot = future.result()
+                except BrokenProcessPool:
+                    reschedule(
+                        state, WorkerCrash("worker process died mid-task")
+                    )
+                    broken = True
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    reschedule(state, exc)
+                else:
+                    TRACER.graft(spans)
+                    METRICS.merge(snapshot)
+                    sched.succeed(state, result)
+            if broken:
+                crash_in_flight("worker process died (broken pool)")
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = make_pool()
+                continue
+            # Dead-worker backstop: in-flight attempts past their
+            # deadline mean a worker too wedged to raise its own
+            # SIGALRM timeout — kill the pool and reschedule.
+            now = time.monotonic()
+            overdue = [
+                state for state in in_flight.values()
+                if state.deadline is not None and now > state.deadline
+            ]
+            if overdue:
+                METRICS.counter("engine.pool_respawns").inc()
+                logger.warning(
+                    "%d in-flight task(s) exceeded the task timeout "
+                    "with no word from their worker; respawning the "
+                    "pool", len(overdue),
+                )
+                _kill_pool(pool)
+                stale = list(in_flight.values())
+                in_flight.clear()
+                for state in stale:
+                    reschedule(
+                        state,
+                        TaskTimeout(
+                            f"task exceeded --task-timeout "
+                            f"{policy.task_timeout:g}s (worker "
+                            "unresponsive)"
+                        ),
+                    )
+                pool = make_pool()
+    except BaseException:
+        _kill_pool(pool)
+        raise
+    pool.shutdown()
 
 
 def parallel_map(
@@ -110,6 +522,11 @@ def parallel_map(
     payload: "Mapping[str, Any] | None" = None,
     task_span: str = "parallel.task",
     progress: Any = None,
+    policy: "RetryPolicy | None" = None,
+    faults: "FaultPlan | None" = None,
+    journal: "RunJournal | None" = None,
+    labels: "Sequence[str] | None" = None,
+    report: "TaskRunReport | None" = None,
 ) -> list[Any]:
     """Map ``worker`` over ``items``, optionally across processes.
 
@@ -124,35 +541,49 @@ def parallel_map(
     ``advance()`` method — normally a
     :class:`~repro.obs.progress.ProgressTask`), advanced once per
     finished item on the parent process for both execution paths.
+
+    The resilience knobs are all optional and default to the
+    historical semantics (fail fast, no faults, no checkpointing):
+    ``policy`` governs retries/timeouts/skips, ``faults`` injects
+    deterministic failures, ``journal`` persists finished tasks and
+    serves already-journaled ones without executing them, ``labels``
+    names tasks in logs and the failure report, and ``report``
+    (mutated in place) receives the per-task outcome accounting.
+
+    Returns the successful results in input order; under
+    ``on_error=skip``, ultimately-failed tasks are simply absent (the
+    holes are listed in ``report.failures``).
     """
     items = list(items)
     payload = payload or {}
-    if jobs <= 1 or len(items) <= 1:
-        _init_worker(catalog_spec, payload)
-        results = []
-        for index, item in enumerate(items):
-            with span(task_span, index=index):
-                results.append(worker(item))
-            if progress is not None:
-                progress.advance()
-        return results
-    obs_config = {
-        "trace": TRACER.enabled,
-        "memprof": MEMPROF.enabled,
-        "log_level": configured_log_level(),
-    }
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(items)),
-        initializer=_init_worker,
-        initargs=(catalog_spec, payload, worker, task_span, obs_config),
-    ) as pool:
-        results = []
-        for result, spans, snapshot in pool.map(
-            _instrumented_call, enumerate(items)
-        ):
-            TRACER.graft(spans)
-            METRICS.merge(snapshot)
-            results.append(result)
-            if progress is not None:
-                progress.advance()
-        return results
+    policy = policy or RetryPolicy()
+    if report is None:
+        report = TaskRunReport()
+    report.planned += len(items)
+    if labels is None:
+        labels = [f"task-{index}" for index in range(len(items))]
+    sched = _Scheduler(policy, report, journal, progress)
+
+    # Serve journaled results first: a resumed task never reaches a
+    # worker at all.
+    states = []
+    for index, item in enumerate(items):
+        if journal is not None:
+            hit, value = journal.load(index)
+            if hit:
+                sched.resume(index, value)
+                continue
+        states.append(
+            _TaskState(index=index, item=item, label=labels[index])
+        )
+
+    if states:
+        if jobs <= 1 or len(states) <= 1:
+            _init_worker(catalog_spec, payload)
+            _run_serial(worker, states, task_span, faults, sched)
+        else:
+            _run_pool(
+                worker, states, jobs, catalog_spec, payload,
+                task_span, faults, sched,
+            )
+    return sched.ordered_results()

@@ -18,6 +18,9 @@ A zero-dependency instrumentation spine for the experiment pipeline:
   engine publishes task completions to;
 * :mod:`repro.obs.memprof` — opt-in tracemalloc/RSS sampling at span
   boundaries (``--memprof``);
+* :mod:`repro.obs.faults` — deterministic fault injection
+  (``--inject-faults``), the retry/timeout/on-error policy objects and
+  the SIGALRM task deadline the resilient executor runs under;
 * :mod:`repro.obs.report` — rendering a manifest (or a diff of two)
   into the ``repro report`` breakdown;
 * :mod:`repro.obs.logs` — stdlib logging wiring for ``--log-level``.
@@ -36,6 +39,19 @@ from .bench import (
     validate_bench_record,
     write_bench_record,
 )
+from .faults import (
+    FAULT_KINDS,
+    ON_ERROR_MODES,
+    FaultPlan,
+    FaultSpecError,
+    InjectedFault,
+    RetryPolicy,
+    TaskTimeout,
+    apply_fault,
+    backoff_delay,
+    fault_roll,
+    time_limit,
+)
 from .export import (
     event_names,
     span_names,
@@ -48,6 +64,7 @@ from .manifest import (
     SCHEMA_VERSION,
     build_manifest,
     catalog_digest,
+    empty_task_stats,
     environment_fingerprint,
     git_revision,
     manifest_from_context,
@@ -63,9 +80,11 @@ from .trace import TRACER, Span, Tracer, span
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "FAULT_KINDS",
     "LOG_LEVELS",
     "MEMPROF",
     "METRICS",
+    "ON_ERROR_MODES",
     "PROGRESS",
     "SCHEMA_VERSION",
     "TRACER",
@@ -73,21 +92,30 @@ __all__ = [
     "BenchDelta",
     "BenchRecorder",
     "Counter",
+    "FaultPlan",
+    "FaultSpecError",
     "Gauge",
     "Histogram",
+    "InjectedFault",
     "MemoryProfiler",
     "MetricsRegistry",
     "ProgressReporter",
     "ProgressTask",
+    "RetryPolicy",
     "Span",
+    "TaskTimeout",
     "Tracer",
+    "apply_fault",
+    "backoff_delay",
     "build_bench_record",
     "build_manifest",
     "catalog_digest",
     "compare_bench_records",
     "configure_logging",
     "configured_log_level",
+    "empty_task_stats",
     "environment_fingerprint",
+    "fault_roll",
     "event_names",
     "git_revision",
     "load_bench_record",
@@ -100,6 +128,7 @@ __all__ = [
     "span",
     "span_names",
     "text_digest",
+    "time_limit",
     "trace_events",
     "validate_bench_record",
     "validate_manifest",

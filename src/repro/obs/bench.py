@@ -201,6 +201,19 @@ class BenchComparison:
         return not self.regressions
 
 
+def _median_of(stats: Any) -> "float | None":
+    """The median of one test's stats blob, or None if unusable.
+
+    Defensive on purpose: a baseline may come from an older schema, a
+    hand-edited file or a different branch, and a missing median must
+    degrade to "cannot compare" rather than a KeyError.
+    """
+    if not isinstance(stats, Mapping):
+        return None
+    value = stats.get("median_seconds")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
 def compare_bench_records(
     baseline: Mapping[str, Any],
     current: Mapping[str, Any],
@@ -210,8 +223,10 @@ def compare_bench_records(
 
     A test regresses when its current median exceeds the baseline
     median by more than ``threshold`` (relative, default 15%); it is an
-    improvement when it is faster by the same margin.  Tests present on
-    only one side are reported (``added``/``removed``) but never gate.
+    improvement when it is faster by the same margin.  Records whose
+    test sets differ compare cleanly: tests present on only one side
+    are reported as the symmetric difference (``added``/``removed``)
+    but never gate.
     """
     if threshold < 0:
         raise ValueError("threshold must be >= 0")
@@ -223,19 +238,20 @@ def compare_bench_records(
         curr = curr_results.get(name)
         if base is None:
             deltas.append(BenchDelta(
-                name, None, float(curr["median_seconds"]), None, "added"
+                name, None, _median_of(curr), None, "added"
             ))
             continue
         if curr is None:
             deltas.append(BenchDelta(
-                name, float(base["median_seconds"]), None, None,
-                "removed",
+                name, _median_of(base), None, None, "removed"
             ))
             continue
-        base_median = float(base["median_seconds"])
-        curr_median = float(curr["median_seconds"])
+        base_median = _median_of(base)
+        curr_median = _median_of(curr)
         ratio = (
-            curr_median / base_median if base_median > 0 else None
+            curr_median / base_median
+            if base_median and curr_median is not None
+            else None
         )
         if ratio is None:
             status = "ok"
@@ -312,6 +328,20 @@ def render_bench_comparison(comparison: BenchComparison) -> str:
             f"{_format_seconds(delta.current_median):>10} "
             f"{ratio:>7}  {delta.status.upper()}"
         )
+    added = [d.name for d in comparison.deltas if d.status == "added"]
+    removed = [
+        d.name for d in comparison.deltas if d.status == "removed"
+    ]
+    if added or removed:
+        lines.append("")
+        lines.append(
+            f"test sets differ: {len(added)} only in current, "
+            f"{len(removed)} only in baseline (never gate)"
+        )
+        for name in added:
+            lines.append(f"  + {name}")
+        for name in removed:
+            lines.append(f"  - {name}")
     lines.append("")
     if comparison.ok:
         lines.append(

@@ -11,7 +11,11 @@ needed to say whether two runs *should* have agreed and whether they
 * outputs — SHA-256 digests of the rendered results (tables/CSV), so
   bit-exact reproduction is a string comparison;
 * behaviour — the metrics snapshot (probe counts, cache hits, ...) and,
-  with ``--trace``, the full span tree.
+  with ``--trace``, the full span tree;
+* resilience — per-task outcome accounting (``tasks``): planned,
+  completed, resumed-from-journal and retried counts, plus the
+  ``failed[]`` list of holes an ``--on-task-error skip`` run finished
+  with.
 
 Two runs of the same command reproduce iff their ``result_digests``
 match; their ``metrics`` explain a divergence (different probe counts,
@@ -41,12 +45,15 @@ __all__ = [
     "git_revision",
     "environment_fingerprint",
     "build_manifest",
+    "empty_task_stats",
     "manifest_from_context",
     "write_manifest",
     "validate_manifest",
 ]
 
-SCHEMA_VERSION = 1
+#: v2 added the ``tasks`` field (per-task outcome accounting: planned/
+#: completed/resumed/retried counts plus the ``failed[]`` hole list).
+SCHEMA_VERSION = 2
 
 #: Top-level manifest schema: field -> allowed instance types.
 _FIELDS: dict[str, tuple] = {
@@ -63,7 +70,22 @@ _FIELDS: dict[str, tuple] = {
     "metrics": (dict,),
     "trace": (list, type(None)),
     "timing": (dict,),
+    "tasks": (dict,),
 }
+
+#: ``tasks`` sub-schema (counts plus the failure list).
+_TASK_COUNTS = ("planned", "completed", "resumed", "retried")
+
+
+def empty_task_stats() -> dict[str, Any]:
+    """The ``tasks`` field of a run that fanned out no tasks."""
+    return {
+        "planned": 0,
+        "completed": 0,
+        "resumed": 0,
+        "retried": 0,
+        "failed": [],
+    }
 
 
 def text_digest(text: str) -> str:
@@ -116,6 +138,7 @@ def build_manifest(
     trace: "list | None" = None,
     wall_seconds: float = 0.0,
     cpu_seconds: float = 0.0,
+    tasks: "Mapping[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """Assemble a schema-valid manifest dict for one finished run."""
     from .. import __version__
@@ -140,6 +163,7 @@ def build_manifest(
             "wall_seconds": float(wall_seconds),
             "cpu_seconds": float(cpu_seconds),
         },
+        "tasks": dict(tasks) if tasks else empty_task_stats(),
     }
 
 
@@ -171,6 +195,7 @@ def manifest_from_context(
         trace=trace,
         wall_seconds=wall_seconds,
         cpu_seconds=cpu_seconds,
+        tasks=getattr(ctx, "task_stats", None),
     )
 
 
@@ -246,6 +271,32 @@ def validate_manifest(data: Any) -> list[str]:
                 errors.append(
                     f"result_digests.{name} must be a string"
                 )
+    tasks = data.get("tasks")
+    if isinstance(tasks, dict):
+        for field in _TASK_COUNTS:
+            if not isinstance(tasks.get(field), int):
+                errors.append(f"tasks.{field} must be an integer")
+        failed = tasks.get("failed")
+        if not isinstance(failed, list):
+            errors.append("tasks.failed must be a list")
+        else:
+            for position, entry in enumerate(failed):
+                if not isinstance(entry, dict):
+                    errors.append(
+                        f"tasks.failed[{position}] must be an object"
+                    )
+                    continue
+                for field in ("label", "error"):
+                    if not isinstance(entry.get(field), str):
+                        errors.append(
+                            f"tasks.failed[{position}].{field} "
+                            "must be a string"
+                        )
+                if not isinstance(entry.get("attempts"), int):
+                    errors.append(
+                        f"tasks.failed[{position}].attempts "
+                        "must be an integer"
+                    )
     trace = data.get("trace")
     if isinstance(trace, list):
         for position, node in enumerate(trace):

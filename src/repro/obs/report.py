@@ -132,6 +132,28 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
         for name, value in sorted(digests.items()):
             lines.append(f"  {name:<20} {value}")
 
+    tasks = manifest.get("tasks") or {}
+    if tasks.get("planned"):
+        lines.append("")
+        summary = (
+            f"tasks: {tasks.get('completed', 0)}/"
+            f"{tasks.get('planned', 0)} completed"
+        )
+        if tasks.get("resumed"):
+            summary += f", {tasks['resumed']} resumed from journal"
+        if tasks.get("retried"):
+            summary += f", {tasks['retried']} retries"
+        failed = tasks.get("failed") or []
+        if failed:
+            summary += f", {len(failed)} FAILED (run has holes)"
+        lines.append(summary)
+        for entry in failed:
+            lines.append(
+                f"  FAILED {entry.get('label', '?'):<24} "
+                f"after {entry.get('attempts', '?')} attempt(s): "
+                f"{entry.get('error', '?')}"
+            )
+
     trace = manifest.get("trace")
     lines.append("")
     if trace:
@@ -220,6 +242,14 @@ def render_comparison(
                 else "MISMATCH"
             )
             lines.append(f"  {name:<20} {status}")
+    failed_a = len((first.get("tasks") or {}).get("failed") or [])
+    failed_b = len((second.get("tasks") or {}).get("failed") or [])
+    if failed_a or failed_b:
+        lines.append(
+            f"note: runs have skipped-task holes "
+            f"({failed_a} vs {failed_b}) — digests cover only the "
+            "tasks that completed"
+        )
 
     counters_a = (first.get("metrics") or {}).get("counters") or {}
     counters_b = (second.get("metrics") or {}).get("counters") or {}

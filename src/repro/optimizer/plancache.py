@@ -45,17 +45,45 @@ from .config import SystemParameters
 from .parametric import CandidateSet, candidate_plans
 from .query import QuerySpec
 
-__all__ = ["PlanCache", "default_cache_dir", "cached_candidate_plans"]
+__all__ = [
+    "PlanCache",
+    "PICKLE_LOAD_ERRORS",
+    "atomic_write_pickle",
+    "default_cache_dir",
+    "cached_candidate_plans",
+]
 
 logger = logging.getLogger(__name__)
 
 #: Bump when the pickle payload or key material changes shape.
 _FORMAT_VERSION = 1
 
+#: Everything a pickle load can raise on a corrupt/alien/stale entry.
+#: Shared with the run journal (:mod:`repro.experiments.journal`),
+#: which persists checkpoints with the same machinery.
+PICKLE_LOAD_ERRORS = (
+    OSError, pickle.UnpicklingError, EOFError,
+    AttributeError, ImportError, ValueError,
+)
+
 
 def default_cache_dir() -> str:
     """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache``."""
     return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+def atomic_write_pickle(path: Path, payload: object) -> None:
+    """Pickle ``payload`` to ``path`` via temp file + ``os.replace``.
+
+    The write is atomic on POSIX, so concurrent workers sharing one
+    directory never observe a partial entry; raises ``OSError`` on
+    unwritable filesystems (callers decide whether that is fatal).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    with open(temp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(temp, path)
 
 
 class PlanCache:
@@ -137,8 +165,7 @@ class PlanCache:
         except FileNotFoundError:
             METRICS.counter("plancache.misses").inc()
             return None
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError, ValueError) as exc:
+        except PICKLE_LOAD_ERRORS as exc:
             METRICS.counter("plancache.misses").inc()
             METRICS.counter("plancache.corrupt").inc()
             logger.warning(
@@ -168,12 +195,7 @@ class PlanCache:
         """
         path = self._path(key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-            with open(temp, "wb") as handle:
-                pickle.dump(candidates, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp, path)
+            atomic_write_pickle(path, candidates)
         except OSError as exc:
             METRICS.counter("plancache.store_errors").inc()
             logger.warning(

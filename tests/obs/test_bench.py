@@ -136,6 +136,46 @@ def test_added_and_removed_tests_never_gate():
     }
 
 
+def test_differing_test_sets_report_symmetric_difference():
+    """A baseline with a different test set must compare cleanly and
+    surface the symmetric difference, not crash."""
+    baseline = _record(test_a=1.0, test_gone=1.0, test_also_gone=2.0)
+    current = _record(test_a=1.0, test_new=9.0)
+    comparison = compare_bench_records(baseline, current)
+    assert comparison.ok
+    rendered = render_bench_comparison(comparison)
+    assert "test sets differ: 1 only in current, 2 only in baseline" \
+        in rendered
+    assert "+ test_new" in rendered
+    assert "- test_gone" in rendered
+    assert "- test_also_gone" in rendered
+    # Identical sets render no difference section.
+    same = render_bench_comparison(
+        compare_bench_records(current, current)
+    )
+    assert "test sets differ" not in same
+
+
+def test_stats_missing_median_degrade_to_uncomparable():
+    """A hand-edited or older-schema baseline without medians must not
+    raise a KeyError — the test becomes uncomparable, never gating."""
+    baseline = _record(test_a=1.0, test_b=1.0)
+    del baseline["results"]["test_a"]["median_seconds"]
+    current = _record(test_a=2.0, test_b=2.0, test_new=1.0)
+    del current["results"]["test_new"]["median_seconds"]
+    comparison = compare_bench_records(baseline, current)
+    statuses = {d.name: d.status for d in comparison.deltas}
+    assert statuses == {
+        "test_a": "ok", "test_b": "regression", "test_new": "added"
+    }
+    deltas = {d.name: d for d in comparison.deltas}
+    assert deltas["test_a"].baseline_median is None
+    assert deltas["test_a"].ratio is None
+    assert deltas["test_new"].current_median is None
+    # The degraded comparison still renders.
+    assert "test_a" in render_bench_comparison(comparison)
+
+
 def test_render_record_lists_tests_and_extras():
     record = _record(test_a=1.0)
     record["extras"]["probe_rate"] = {"speedup": 6.4}

@@ -1,0 +1,200 @@
+"""Fault injection, retry policy, backoff and the task time limit."""
+
+import time
+
+import pytest
+
+from repro.obs.faults import (
+    FAULT_KINDS,
+    KILL_EXIT_CODE,
+    FaultPlan,
+    FaultSpecError,
+    InjectedFault,
+    RetryPolicy,
+    TaskTimeout,
+    apply_fault,
+    backoff_delay,
+    fault_roll,
+    time_limit,
+)
+
+
+# ----------------------------------------------------------------------
+# Spec grammar
+# ----------------------------------------------------------------------
+def test_parse_full_spec():
+    plan = FaultPlan.parse("kill:0.2,raise:0.1,hang:0.05,hang=30",
+                           seed=7)
+    assert dict(plan.rates) == {
+        "raise": 0.1, "hang": 0.05, "kill": 0.2,
+    }
+    assert plan.seed == 7
+    assert plan.hang_seconds == 30.0
+
+
+def test_parse_canonical_roundtrip():
+    plan = FaultPlan.parse("kill:0.2,raise:0.1,hang=30")
+    again = FaultPlan.parse(plan.describe())
+    assert again.rates == plan.rates
+    assert again.hang_seconds == plan.hang_seconds
+
+
+def test_parse_empty_spec_is_inert():
+    plan = FaultPlan.parse("")
+    assert plan.rates == ()
+    assert all(
+        plan.decide(index, attempt) is None
+        for index in range(10) for attempt in range(3)
+    )
+
+
+@pytest.mark.parametrize("spec", [
+    "bogus:0.5",          # unknown kind
+    "raise",              # no rate
+    "raise:x",            # non-numeric rate
+    "raise:1.5",          # rate out of range
+    "raise:-0.1",         # negative rate
+    "raise:0.6,kill:0.6",  # rates sum past 1
+    "raise:0.1,raise:0.2",  # duplicate kind
+    "hang=0",             # non-positive hang bound
+    "hang=abc",           # non-numeric hang bound
+])
+def test_parse_rejects_bad_specs(spec):
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse(spec)
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def test_fault_roll_is_pure_and_uniformish():
+    rolls = [fault_roll(0, "fault", i, 0) for i in range(200)]
+    assert rolls == [fault_roll(0, "fault", i, 0) for i in range(200)]
+    assert all(0.0 <= r < 1.0 for r in rolls)
+    # Different seeds/salts/attempts decorrelate the stream.
+    assert rolls != [fault_roll(1, "fault", i, 0) for i in range(200)]
+    assert rolls != [fault_roll(0, "salty", i, 0) for i in range(200)]
+    assert rolls != [fault_roll(0, "fault", i, 1) for i in range(200)]
+
+
+def test_decide_is_deterministic_per_seed():
+    plan = FaultPlan.parse("kill:0.3,raise:0.2", seed=5)
+    table = [
+        [plan.decide(index, attempt) for attempt in range(4)]
+        for index in range(50)
+    ]
+    again = FaultPlan.parse("kill:0.3,raise:0.2", seed=5)
+    assert table == [
+        [again.decide(index, attempt) for attempt in range(4)]
+        for index in range(50)
+    ]
+    flat = [kind for row in table for kind in row]
+    assert set(flat) <= set(FAULT_KINDS) | {None}
+    # With 200 draws at 50% total rate, some of each must appear.
+    assert "kill" in flat and "raise" in flat and None in flat
+
+
+def test_decide_rate_one_always_fires():
+    plan = FaultPlan.parse("raise:1.0")
+    assert all(
+        plan.decide(index, attempt) == "raise"
+        for index in range(20) for attempt in range(3)
+    )
+
+
+def test_backoff_schedule_is_deterministic_and_bounded():
+    schedule = [
+        backoff_delay(a, base=0.1, cap=2.0, seed=9, task_index=4)
+        for a in range(1, 8)
+    ]
+    assert schedule == [
+        backoff_delay(a, base=0.1, cap=2.0, seed=9, task_index=4)
+        for a in range(1, 8)
+    ]
+    for attempt, delay in enumerate(schedule, start=1):
+        raw = min(2.0, 0.1 * 2 ** (attempt - 1))
+        assert 0.5 * raw <= delay < raw
+    # A different seed produces a different jitter pattern.
+    assert schedule != [
+        backoff_delay(a, base=0.1, cap=2.0, seed=10, task_index=4)
+        for a in range(1, 8)
+    ]
+
+
+def test_backoff_rejects_attempt_zero():
+    with pytest.raises(ValueError, match="counts from 1"):
+        backoff_delay(0)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_policy_max_attempts_by_mode():
+    assert RetryPolicy(on_error="abort", retries=5).max_attempts == 1
+    assert RetryPolicy(on_error="retry", retries=3).max_attempts == 4
+    assert RetryPolicy(on_error="skip", retries=0).max_attempts == 1
+
+
+def test_policy_delay_matches_backoff_function():
+    policy = RetryPolicy(
+        on_error="retry", retries=3, backoff_base=0.2,
+        backoff_cap=5.0, seed=11,
+    )
+    assert policy.delay(2, 1) == backoff_delay(
+        1, base=0.2, cap=5.0, seed=11, task_index=2
+    )
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"on_error": "explode"},
+    {"retries": -1},
+    {"task_timeout": 0.0},
+    {"task_timeout": -2.0},
+    {"backoff_base": -0.1},
+])
+def test_policy_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# apply_fault / time_limit
+# ----------------------------------------------------------------------
+def test_apply_fault_raise():
+    with pytest.raises(InjectedFault):
+        apply_fault("raise")
+
+
+def test_apply_fault_kill_degrades_in_process():
+    with pytest.raises(InjectedFault, match="degraded"):
+        apply_fault("kill", allow_kill=False)
+
+
+def test_apply_fault_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        apply_fault("segfault")
+
+
+def test_kill_exit_code_is_distinctive():
+    assert KILL_EXIT_CODE == 77
+
+
+def test_time_limit_interrupts_a_hang():
+    started = time.monotonic()
+    with pytest.raises(TaskTimeout):
+        with time_limit(0.2):
+            apply_fault("hang", hang_seconds=30.0)
+    assert time.monotonic() - started < 5.0
+
+
+def test_time_limit_none_is_a_noop():
+    with time_limit(None):
+        pass
+    with time_limit(0):
+        pass
+
+
+def test_time_limit_disarms_after_the_body():
+    with time_limit(0.2):
+        pass
+    time.sleep(0.3)  # would raise if the timer were still armed

@@ -74,6 +74,34 @@ def test_wrong_types_and_bad_spans_are_reported():
     assert any("trace[0]" in error for error in errors)
 
 
+def test_tasks_field_defaults_and_validates():
+    manifest = _build()
+    assert manifest["tasks"] == {
+        "planned": 0, "completed": 0, "resumed": 0, "retried": 0,
+        "failed": [],
+    }
+    manifest["tasks"] = {
+        "planned": 3, "completed": 2, "resumed": 1, "retried": 4,
+        "failed": [
+            {"label": "figure[2]", "error": "boom", "attempts": 3}
+        ],
+    }
+    assert validate_manifest(manifest) == []
+
+
+def test_malformed_tasks_field_is_reported():
+    manifest = _build()
+    manifest["tasks"] = {
+        "planned": "three", "completed": 0, "resumed": 0,
+        "retried": 0, "failed": [{"label": 7}],
+    }
+    errors = validate_manifest(manifest)
+    assert "tasks.planned must be an integer" in errors
+    assert "tasks.failed[0].label must be a string" in errors
+    assert "tasks.failed[0].error must be a string" in errors
+    assert "tasks.failed[0].attempts must be an integer" in errors
+
+
 def test_future_schema_version_is_rejected():
     manifest = _build()
     manifest["schema_version"] = SCHEMA_VERSION + 1

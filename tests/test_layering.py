@@ -135,7 +135,7 @@ def test_obs_package_is_complete_and_bottom_ranked():
         if path.stem != "__init__"
     )
     assert modules == [
-        "bench", "export", "logs", "manifest", "memprof",
+        "bench", "export", "faults", "logs", "manifest", "memprof",
         "metrics", "progress", "report", "trace",
     ]
     assert LAYER_RANK["obs"] == 0
