@@ -1,0 +1,89 @@
+"""PLANINDEX — sublinear point location vs the dense argmin kernel.
+
+The experiment the index exists for: a large candidate set (far beyond
+any single TPC-H query, the regime of multi-query or cached plan
+pools), a big Monte-Carlo probe batch, and the question *which plan
+wins where*.  The benchmark builds the index once (build time is
+reported separately — it is amortized over every sweep that reuses the
+candidate set) and times lookups only, asserting both the >= 10x
+speedup contract and bitwise parity with the dense kernel.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.planindex import PlanIndex, dense_owner_batch
+
+#: Plans in the candidate pool.  Structured like real candidate sets:
+#: plans share subplan building blocks, so usage vectors cluster.
+N_PLANS = 4096
+DIMENSIONS = 12
+N_PROBES = 20000
+OPERATOR_POOL = 40
+
+
+def _structured_pool(rng):
+    ops = np.exp(rng.normal(0.0, 1.0, size=(OPERATOR_POOL, DIMENSIONS)))
+    ops *= rng.random((OPERATOR_POOL, DIMENSIONS)) < 0.4
+    picks = rng.random((N_PLANS, OPERATOR_POOL)) < 0.15
+    base = np.exp(rng.normal(-2.0, 0.5, size=(N_PLANS, DIMENSIONS)))
+    return picks @ ops + base
+
+
+def test_bench_owner_batch_index_vs_dense(benchmark, bench_extras):
+    rng = np.random.default_rng(0)
+    matrix = _structured_pool(rng)
+    probes = np.exp(
+        rng.uniform(-np.log(100.0), np.log(100.0),
+                    size=(N_PROBES, DIMENSIONS))
+    )
+
+    start = time.perf_counter()
+    index = PlanIndex(matrix, min_plans=1)
+    build_seconds = time.perf_counter() - start
+    assert index.active
+
+    start = time.perf_counter()
+    dense = dense_owner_batch(matrix, probes)
+    dense_seconds = time.perf_counter() - start
+
+    indexed = benchmark.pedantic(
+        lambda: index.owner_batch(probes), rounds=1, iterations=1
+    )
+    index_seconds = benchmark.stats.stats.mean
+
+    np.testing.assert_array_equal(indexed, dense)
+
+    speedup = dense_seconds / index_seconds
+    fallback_fraction = index.stats["fallbacks"] / index.stats["probes"]
+    bench_extras("workload", {
+        "n_plans": N_PLANS,
+        "dimensions": DIMENSIONS,
+        "n_probes": N_PROBES,
+    })
+    bench_extras("planindex", {
+        "build_seconds": build_seconds,
+        "dense_seconds": dense_seconds,
+        "index_seconds": index_seconds,
+        "speedup": speedup,
+        "fallback_fraction": fallback_fraction,
+        "n_groups": index.n_groups,
+        "n_witnesses": index.n_witnesses,
+    })
+    print()
+    print(
+        f"dense: {N_PROBES / dense_seconds:12,.0f} probes/s "
+        f"({dense_seconds:.3f}s for {N_PROBES} over {N_PLANS} plans)"
+    )
+    print(
+        f"index: {N_PROBES / index_seconds:12,.0f} probes/s "
+        f"({index_seconds:.3f}s, built in {build_seconds:.3f}s), "
+        f"speedup {speedup:.1f}x, "
+        f"{fallback_fraction:.2%} dense fallbacks"
+    )
+    # 12.7x observed on a single-core container; the issue's contract
+    # is >= 10x at >= 1000 candidates.  Timing variance headroom only.
+    assert speedup >= 10.0
+    # The cascade must stay sublinear, not quietly degrade to dense.
+    assert fallback_fraction < 0.05

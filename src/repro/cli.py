@@ -357,6 +357,13 @@ def _cache_flags(p: argparse.ArgumentParser) -> None:
         help="recompute candidate sets; do not read or write the "
              "disk cache",
     )
+    p.add_argument(
+        "--no-plan-index", action="store_true",
+        help="disable the sublinear plan-location index and answer "
+             "every lookup with the dense argmin kernel (also "
+             "$REPRO_NO_PLAN_INDEX=1); results are identical either "
+             "way",
+    )
 
 
 def _obs_flags(p: argparse.ArgumentParser) -> None:
@@ -646,6 +653,16 @@ def _finish_run(
             f"under {cache_dir}",
             file=sys.stderr,
         )
+    fallbacks = counters.get("planindex.exact_fallbacks", 0)
+    probes = counters.get("planindex.probes", 0)
+    if fallbacks:
+        fraction = fallbacks / probes if probes else 0.0
+        print(
+            f"plan index: {fallbacks} of {probes} lookups "
+            f"({fraction:.1%}) fell back to the dense kernel "
+            "(results are exact either way; see `repro report`)",
+            file=sys.stderr,
+        )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -672,8 +689,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     run = _Run()
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
-    with span(f"cli.{args.command}"):
-        code = args.func(args, run)
+    # --no-plan-index rides on the env var the core index checks, so
+    # one flag reaches every layer (including --jobs workers, which
+    # inherit the environment).  Restored afterwards to keep in-process
+    # callers (tests, notebooks) unaffected.
+    saved_no_index = os.environ.get("REPRO_NO_PLAN_INDEX")
+    if getattr(args, "no_plan_index", False):
+        os.environ["REPRO_NO_PLAN_INDEX"] = "1"
+    try:
+        with span(f"cli.{args.command}"):
+            code = args.func(args, run)
+    finally:
+        if getattr(args, "no_plan_index", False):
+            if saved_no_index is None:
+                os.environ.pop("REPRO_NO_PLAN_INDEX", None)
+            else:
+                os.environ["REPRO_NO_PLAN_INDEX"] = saved_no_index
     wall_seconds = time.perf_counter() - wall_start
     cpu_seconds = time.process_time() - cpu_start
     if args.command not in ("report", "bench"):

@@ -132,6 +132,7 @@ class TabularBlackBox:
         self,
         plans: Sequence[tuple[str, UsageVector]],
         quantization: float = 0.0,
+        plan_index: "bool | None" = None,
     ) -> None:
         if not plans:
             raise ValueError("need at least one plan")
@@ -144,7 +145,23 @@ class TabularBlackBox:
             self._space.require_same(usage.space)
         self._matrix = np.vstack([usage.values for __, usage in plans])
         self._quantization = float(quantization)
+        #: None = automatic (index activates above its plan-count
+        #: threshold), False = always dense, True = index regardless
+        #: of plan count.
+        self._plan_index_opt = plan_index
+        self._index = None
         self.call_count = 0
+
+    def _plan_index(self):
+        """The lazily built point-location index (None when forced off)."""
+        if self._plan_index_opt is False:
+            return None
+        if self._index is None:
+            from .planindex import PlanIndex
+
+            min_plans = 1 if self._plan_index_opt is True else None
+            self._index = PlanIndex(self._matrix, min_plans=min_plans)
+        return self._index if self._index.active else None
 
     @property
     def plans(self) -> list[tuple[str, UsageVector]]:
@@ -171,8 +188,12 @@ class TabularBlackBox:
     def optimize(self, cost: CostVector) -> PlanChoice:
         self.call_count += 1
         self._space.require_same(cost.space)
-        totals = self._matrix @ cost.values
-        index = int(np.argmin(totals))
+        plan_index = self._plan_index()
+        if plan_index is not None:
+            index = plan_index.owner(cost.values)
+        else:
+            totals = self._matrix @ cost.values
+            index = int(np.argmin(totals))
         total = float(self._matrix[index] @ cost.values)
         return PlanChoice(
             signature=self._plans[index][0],
@@ -180,7 +201,9 @@ class TabularBlackBox:
         )
 
     def optimize_batch(self, costs) -> list[PlanChoice]:
-        """Vectorised batch: one ``C @ U.T`` for the whole cost matrix.
+        """Vectorised batch: one ``C @ U.T`` for the whole cost matrix
+        (or a sublinear :class:`~repro.core.planindex.PlanIndex`
+        lookup once the plan count crosses the index threshold).
 
         The reported totals are recomputed as per-plan dot products so
         they match :meth:`optimize` bitwise for the same chosen plan.
@@ -189,8 +212,12 @@ class TabularBlackBox:
         self.call_count += len(matrix)
         if not len(matrix):
             return []
-        totals = matrix @ self._matrix.T
-        indices = np.argmin(totals, axis=1)
+        plan_index = self._plan_index()
+        if plan_index is not None:
+            indices = plan_index.owner_batch(matrix)
+        else:
+            totals = matrix @ self._matrix.T
+            indices = np.argmin(totals, axis=1)
         return [
             PlanChoice(
                 signature=self._plans[index][0],

@@ -1,0 +1,530 @@
+"""Sublinear optimal-plan lookup: point location in regions of influence.
+
+Regions of influence are convex polyhedral cones with apex at the
+origin (Observation 1, Section 4.5): the plan optimal at ``C`` is
+``argmin_i U_i . C``, and the set of cost vectors where plan *i* wins
+is scale-invariant.  Every winner lookup in the repo used to be the
+dense kernel — one ``C @ U.T`` product plus a row argmin, ``O(m * d)``
+work per probe over all *m* candidate plans.  :class:`PlanIndex`
+precomputes the conic Voronoi structure once so each probe touches a
+small, certified subset of plans instead.
+
+The lookup cascade, per probe ``C`` (componentwise ``>= 0``):
+
+1. **Dominant-set prefilter** (build time, float32).  Plans that are
+   componentwise Pareto-dominated on the feasible box can never win on
+   a positive cost vector; a vectorised float32 pass marks the
+   survivors that seed the witness stage.  Pruned plans still take
+   part in the exact stage below — the prefilter only shapes the
+   search structure, never the answer.
+2. **Witness seeding** (unit sphere).  Cones are scale-invariant, so
+   the probe is normalised to the unit sphere and a kd-tree over
+   *region witnesses* — the normalised centroid of the build-time
+   sample directions each surviving plan won — returns the K nearest
+   candidate regions.  Their exact float64 totals give an upper bound
+   ``t`` on the optimal total.
+3. **Conic group certificate** (exact stage).  All *m* plans are
+   partitioned into ~``sqrt(m)`` groups of geometrically similar rows;
+   each group *g* carries the componentwise minimum ``L_g`` of its
+   rows, so ``L_g . C <= U_j . C`` holds in real arithmetic for every
+   member *j* whenever ``C >= 0``.  Groups whose bound exceeds
+   ``t * (1 + 1e-9)`` cannot contain the winner — or any plan tying
+   it — and are pruned; the slack dwarfs the ``d * ulp`` rounding of a
+   positive dot product, so the certificate is safe.  Surviving groups
+   are evaluated with exact float64 submatrix products and a first-min
+   argmin over ascending plan ids, preserving the repo's lowest-index
+   tie-break.
+4. **Guaranteed fallback.**  Probes with negative, non-finite or
+   all-zero components — where the cone certificate does not apply —
+   take the dense kernel.  So do probes whose best scanned total is
+   not separated from the runner-up by a certified margin: BLAS
+   kernels round dot products position-dependently, so on (near-)ties
+   only the dense kernel itself can reproduce the dense argmin.  Both
+   kinds are counted, so silent de-optimization is visible in
+   ``repro report``.
+
+Instrumentation: ``planindex.builds``, ``planindex.probes``,
+``planindex.pruned``, ``planindex.leaf_visits``,
+``planindex.exact_fallbacks`` (probes answered by the dense kernel)
+and ``planindex.weak_certificates`` in
+:data:`repro.obs.metrics.METRICS`.
+
+A/B verification: set ``REPRO_NO_PLAN_INDEX=1`` (or pass
+``--no-plan-index`` to any experiment command) to force every lookup
+back onto the dense kernel; ``REPRO_PLAN_INDEX_MIN_PLANS`` overrides
+the activation threshold (default 64 — below it the dense kernel is
+faster and the index stays inert).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Sequence
+
+import numpy as np
+
+from ..obs.metrics import METRICS
+from .feasible import FeasibleRegion
+
+__all__ = [
+    "PlanIndex",
+    "dense_owner_batch",
+    "plan_index_disabled",
+    "plan_index_min_plans",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Relative slack on the group-bound threshold.  A positive dot
+#: product's rounding error is at most ``d * ulp`` (~1e-14 relative for
+#: the dimensions here), so 1e-9 leaves orders of magnitude of margin
+#: while never admitting a spurious winner.
+CERTIFICATE_SLACK = 1e-9
+
+#: Below this many plans the dense kernel wins; the index stays inert.
+DEFAULT_MIN_PLANS = 64
+
+#: Witness regions seeded per probe before the certificate stage.
+DEFAULT_LEAF_K = 16
+
+#: Build-time sample directions for the witness stage.
+DEFAULT_WITNESS_SAMPLES = 2048
+
+#: A probe whose certificate scans at least this fraction of the plans
+#: has a weak certificate (the work done approaches the dense kernel's).
+FALLBACK_SCAN_FRACTION = 0.5
+
+#: Relative best-vs-runner-up separation below which the winner is
+#: re-decided by the dense kernel.  BLAS kernels round a dot product
+#: position-dependently (identical rows can get different float totals
+#: within one gemm), so an argmin is only reproducible across kernels
+#: when the top two totals are separated by much more than the
+#: ``d * ulp`` (~1e-15 relative) rounding of a positive dot product.
+TIE_MARGIN = 1e-12
+
+try:  # pragma: no cover - exercised via the fallback test
+    from scipy.spatial import cKDTree as _KDTree
+except Exception:  # pragma: no cover - scipy is a hard dep in practice
+    _KDTree = None
+
+
+def plan_index_disabled() -> bool:
+    """True when ``REPRO_NO_PLAN_INDEX`` forces the dense kernel."""
+    return os.environ.get(
+        "REPRO_NO_PLAN_INDEX", ""
+    ).strip() not in ("", "0")
+
+
+def plan_index_min_plans() -> int:
+    """Activation threshold (``REPRO_PLAN_INDEX_MIN_PLANS`` override)."""
+    raw = os.environ.get("REPRO_PLAN_INDEX_MIN_PLANS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            logger.warning(
+                "ignoring invalid REPRO_PLAN_INDEX_MIN_PLANS=%r", raw
+            )
+    return DEFAULT_MIN_PLANS
+
+
+def dense_owner_batch(
+    matrix: np.ndarray, costs: np.ndarray
+) -> np.ndarray:
+    """The dense reference kernel: ``argmin(C @ U.T)`` per row.
+
+    ``np.argmin`` returns the first minimum, so the repo's lowest-index
+    tie-break is built in.  This is both the fallback path and the
+    ground truth the index is property-tested against.
+    """
+    with np.errstate(invalid="ignore"):
+        return np.argmin(costs @ matrix.T, axis=1)
+
+
+def _as_matrix(plans) -> np.ndarray:
+    if isinstance(plans, np.ndarray):
+        matrix = np.ascontiguousarray(plans, dtype=float)
+    else:
+        matrix = np.ascontiguousarray(
+            np.vstack([u.values for u in plans]), dtype=float
+        )
+    if matrix.ndim != 2 or not matrix.size:
+        raise ValueError(
+            "need a nonempty (m, d) usage matrix, got shape "
+            f"{matrix.shape}"
+        )
+    if not np.isfinite(matrix).all():
+        raise ValueError("usage matrix must be finite")
+    return matrix
+
+
+def _pareto_survivors(matrix32: np.ndarray, chunk: int = 128):
+    """Boolean mask of plans not componentwise dominated (float32).
+
+    Same semantics as
+    :func:`repro.core.candidates.pareto_undominated_indices` with
+    ``tol=0`` — duplicates keep the first occurrence — but vectorised
+    in chunks so a 4096-plan set takes milliseconds, not seconds.
+    Only used to *seed* the witness stage; never affects answers.
+    """
+    m = matrix32.shape[0]
+    ids = np.arange(m)
+    keep = np.ones(m, dtype=bool)
+    for start in range(0, m, chunk):
+        rows = matrix32[start:start + chunk]  # (c, d)
+        le_all = (matrix32[None, :, :] <= rows[:, None, :]).all(-1)
+        lt_any = (matrix32[None, :, :] < rows[:, None, :]).any(-1)
+        earlier = ids[None, :] < ids[start:start + rows.shape[0], None]
+        dominates = le_all & (lt_any | earlier)
+        dominates[
+            np.arange(rows.shape[0]), ids[start:start + rows.shape[0]]
+        ] = False
+        keep[start:start + rows.shape[0]] = ~dominates.any(axis=1)
+    return keep
+
+
+def _bisect_groups(
+    matrix: np.ndarray, leaf_size: int
+) -> list[np.ndarray]:
+    """Partition plan ids into tight groups (recursive bisection).
+
+    Splits at the median of the widest dimension in log space —
+    multiplicative spread is the natural metric for usage vectors —
+    until every block holds at most ``leaf_size`` plans.  Each block
+    is returned with ids ascending, so a first-min scan inside it
+    preserves the lowest-index tie-break.
+    """
+    logm = np.log(np.maximum(matrix, 1e-300))
+    groups: list[np.ndarray] = []
+    stack = [np.arange(matrix.shape[0])]
+    while stack:
+        ids = stack.pop()
+        if len(ids) <= leaf_size:
+            groups.append(np.sort(ids))
+            continue
+        rows = logm[ids]
+        widest = int(np.argmax(rows.max(axis=0) - rows.min(axis=0)))
+        order = ids[np.argsort(rows[:, widest], kind="stable")]
+        half = len(order) // 2
+        stack.append(order[:half])
+        stack.append(order[half:])
+    return groups
+
+
+class PlanIndex:
+    """Conic point-location index over a candidate usage matrix.
+
+    Parameters
+    ----------
+    plans:
+        ``(m, d)`` usage matrix or a sequence of
+        :class:`~repro.core.vectors.UsageVector`.
+    region:
+        Optional :class:`~repro.core.feasible.FeasibleRegion` supplying
+        realistic build-time sample directions (and their variation
+        groups); without one, directions are drawn log-uniformly.
+    min_plans:
+        Activation threshold; below it (or under
+        ``REPRO_NO_PLAN_INDEX``) the index is inert and
+        :meth:`owner_batch` is exactly the dense kernel.
+    """
+
+    def __init__(
+        self,
+        plans: "np.ndarray | Sequence",
+        region: FeasibleRegion | None = None,
+        *,
+        min_plans: int | None = None,
+        leaf_k: int = DEFAULT_LEAF_K,
+        group_size: int | None = None,
+        witness_samples: int = DEFAULT_WITNESS_SAMPLES,
+        seed: int = 0,
+    ) -> None:
+        self._matrix = _as_matrix(plans)
+        self._m, self._d = self._matrix.shape
+        if min_plans is None:
+            min_plans = plan_index_min_plans()
+        self._leaf_k = max(1, int(leaf_k))
+        self._active = (
+            self._m >= max(1, int(min_plans))
+            and not plan_index_disabled()
+        )
+        self._warned_fallbacks = False
+        self.stats = {"probes": 0, "fallbacks": 0}
+        if self._active:
+            self._build(region, group_size, witness_samples, seed)
+            METRICS.counter("planindex.builds").inc()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, region, group_size, witness_samples, seed) -> None:
+        matrix = self._matrix
+        m, d = self._m, self._d
+        rng = np.random.default_rng(seed)
+        matrix32 = matrix.astype(np.float32)
+
+        # Stage 1: dominant-set prefilter (shapes the witness stage).
+        survivors = _pareto_survivors(matrix32)
+        survivor_ids = np.flatnonzero(survivors)
+
+        # Build-time probe directions: feasible-region samples when a
+        # region is available (plus a slice of its vertices, where the
+        # worst cases live), log-uniform otherwise.
+        probes = self._build_probes(region, witness_samples, rng)
+
+        # Float32 winners among the survivors locate each probe's
+        # region; the exact stage never relies on this precision.
+        probes32 = probes.astype(np.float32)
+        winners = np.empty(len(probes), dtype=np.int64)
+        sub32 = matrix32[survivor_ids]
+        for start in range(0, len(probes), 4096):
+            block = probes32[start:start + 4096]
+            winners[start:start + len(block)] = survivor_ids[
+                np.argmin(block @ sub32.T, axis=1)
+            ]
+
+        # Region witnesses: the normalised centroid of the unit
+        # directions each plan won (inside its cone by convexity).
+        norms = np.linalg.norm(probes, axis=1)
+        unit = probes / norms[:, None]
+        active_ids = np.unique(winners)
+        witnesses = np.empty((len(active_ids), d))
+        for row, plan in enumerate(active_ids):
+            centroid = unit[winners == plan].mean(axis=0)
+            witnesses[row] = centroid / np.linalg.norm(centroid)
+        self._witness_plan_ids = active_ids
+        self._tree = (
+            _KDTree(witnesses)
+            if _KDTree is not None and len(active_ids) > self._leaf_k
+            else None
+        )
+
+        # Stage 3 structure: groups of geometrically similar plans,
+        # built by recursive median bisection along the widest
+        # dimension in log space.  Tight axis-aligned boxes keep each
+        # group's componentwise-min bound vector close to its members,
+        # which is what makes the certificate prune.
+        if group_size is None:
+            group_size = max(
+                4, min(16, int(round(np.sqrt(m) / 4.0)))
+            )
+        group_ids = _bisect_groups(matrix, group_size)
+        self._group_ids = group_ids
+        self._group_of = np.empty(m, dtype=np.int64)
+        for g, block in enumerate(group_ids):
+            self._group_of[block] = g
+        self._group_sizes = np.array(
+            [len(block) for block in group_ids], dtype=np.int64
+        )
+        # Componentwise minima are exact in float64: L_g <= U_j holds
+        # elementwise with no rounding, which is what the certificate
+        # needs.
+        self._bounds_matrix = np.vstack(
+            [matrix[block].min(axis=0) for block in group_ids]
+        )
+
+    def _build_probes(self, region, witness_samples, rng) -> np.ndarray:
+        if region is not None and region.space.dimension == self._d:
+            parts = [region.sample_matrix(rng, witness_samples)]
+            take = min(region.n_vertices, 256)
+            got = 0
+            for __, costs in region.vertex_batches(batch_size=256):
+                parts.append(costs[: take - got])
+                got += len(parts[-1])
+                if got >= take:
+                    break
+            return np.vstack(parts)
+        exponents = rng.uniform(
+            -np.log(100.0), np.log(100.0), size=(witness_samples, self._d)
+        )
+        return np.exp(exponents)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """False when inert (too few plans or disabled via env)."""
+        return self._active
+
+    @property
+    def n_plans(self) -> int:
+        return self._m
+
+    @property
+    def dimension(self) -> int:
+        return self._d
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._group_ids) if self._active else 0
+
+    @property
+    def n_witnesses(self) -> int:
+        return len(self._witness_plan_ids) if self._active else 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def owner(self, cost) -> int:
+        """Index of the optimal plan at ``cost`` (lowest index on ties).
+
+        Accepts a :class:`~repro.core.vectors.CostVector` or a 1-D
+        array.  When the index is inert this is exactly the dense
+        gemv kernel the callers used before.
+        """
+        values = getattr(cost, "values", cost)
+        row = np.asarray(values, dtype=float)
+        if not self._active or plan_index_disabled():
+            return int(np.argmin(self._matrix @ row))
+        return int(self.owner_batch(row[None, :])[0])
+
+    def owner_batch(self, costs: np.ndarray) -> np.ndarray:
+        """Winning plan index per row of an ``(k, d)`` cost matrix.
+
+        Bit-identical (tie-break included) to
+        :func:`dense_owner_batch` on the same matrix.
+        """
+        costs = np.ascontiguousarray(costs, dtype=float)
+        if costs.ndim != 2 or costs.shape[1] != self._d:
+            raise ValueError(
+                f"expected a (k, {self._d}) cost matrix, got shape "
+                f"{costs.shape}"
+            )
+        if not len(costs):
+            return np.empty(0, dtype=np.int64)
+        if not self._active or plan_index_disabled():
+            return dense_owner_batch(self._matrix, costs)
+        winners = np.empty(len(costs), dtype=np.int64)
+        fallbacks = 0
+        for start in range(0, len(costs), 4096):
+            block = costs[start:start + 4096]
+            fallbacks += self._lookup_chunk(
+                block, winners[start:start + len(block)]
+            )
+        METRICS.counter("planindex.probes").inc(len(costs))
+        self.stats["probes"] += len(costs)
+        self.stats["fallbacks"] += fallbacks
+        if fallbacks:
+            METRICS.counter("planindex.exact_fallbacks").inc(fallbacks)
+            self._note_fallbacks(fallbacks, len(costs))
+        return winners
+
+    def _note_fallbacks(self, fallbacks: int, probes: int) -> None:
+        fraction = fallbacks / probes
+        if fraction > 0.25 and not self._warned_fallbacks:
+            self._warned_fallbacks = True
+            logger.warning(
+                "plan index fell back to the dense kernel for %d of "
+                "%d probes (%.0f%%) — the certificate is weak for "
+                "this workload; see planindex.* metrics in the run "
+                "manifest", fallbacks, probes, 100.0 * fraction,
+            )
+
+    def _lookup_chunk(self, costs, out) -> int:
+        """Cascade one chunk; returns the number of dense fallbacks."""
+        matrix = self._matrix
+        norms = np.linalg.norm(costs, axis=1)
+        valid = (
+            np.isfinite(costs).all(axis=1)
+            & (costs >= 0.0).all(axis=1)
+            & (norms > 0.0)
+        )
+        fallbacks = 0
+        if not valid.all():
+            bad = np.flatnonzero(~valid)
+            out[bad] = dense_owner_batch(matrix, costs[bad])
+            fallbacks += len(bad)
+            if valid.any():
+                rows = np.flatnonzero(valid)
+                fallbacks += self._locate(
+                    costs[rows], norms[rows], out, rows
+                )
+            return fallbacks
+        return self._locate(
+            costs, norms, out, np.arange(len(costs))
+        ) + fallbacks
+
+    def _locate(self, costs, norms, out, rows) -> int:
+        matrix = self._matrix
+        m = self._m
+        r = len(costs)
+
+        # Stage 2: witness seeds give the upper bound t.
+        unit = costs / norms[:, None]
+        if self._tree is not None:
+            k = min(self._leaf_k, len(self._witness_plan_ids))
+            __, nearest = self._tree.query(unit, k=k)
+            nearest = np.atleast_2d(nearest)
+            if nearest.shape[0] != r:  # k == 1 transposes the result
+                nearest = nearest.T
+            seeds = self._witness_plan_ids[nearest]
+        else:
+            seeds = np.broadcast_to(
+                self._witness_plan_ids, (r, len(self._witness_plan_ids))
+            )
+        seed_totals = np.einsum(
+            "rd,rkd->rk", costs, matrix[seeds], optimize=True
+        )
+        t = seed_totals.min(axis=1)
+
+        # Stage 3: conic group certificate.
+        bounds = costs @ self._bounds_matrix.T  # (r, G)
+        scan = bounds <= t[:, None] * (1.0 + CERTIFICATE_SLACK)
+        # Belt and braces: the best seed's group always scans.
+        best_seed = seeds[np.arange(r), np.argmin(seed_totals, axis=1)]
+        scan[np.arange(r), self._group_of[best_seed]] = True
+
+        scanned_plans = scan @ self._group_sizes  # per-probe leaf count
+        METRICS.counter("planindex.leaf_visits").inc(
+            int(scanned_plans.sum())
+        )
+        METRICS.counter("planindex.pruned").inc(
+            int((m - scanned_plans).sum())
+        )
+        weak = int(
+            (scanned_plans >= FALLBACK_SCAN_FRACTION * m).sum()
+        )
+        if weak:
+            METRICS.counter("planindex.weak_certificates").inc(weak)
+
+        # Exact stage: float64 submatrix products over the union of
+        # scanned groups, masked per probe.  Probes seeded in the same
+        # region scan near-identical group sets, so sorting by seed
+        # region keeps each sub-block's union small.  Plan columns are
+        # ascending, so the first-min argmin preserves the lowest-index
+        # tie-break.
+        fallbacks = 0
+        order = np.argsort(best_seed, kind="stable")
+        for start in range(0, r, 512):
+            block = order[start:start + 512]
+            sub_scan = scan[block]
+            need = np.flatnonzero(sub_scan.any(axis=0))
+            cols = np.concatenate([self._group_ids[g] for g in need])
+            cols.sort()
+            totals = costs[block] @ matrix[cols].T
+            allowed = sub_scan[:, self._group_of[cols]]
+            masked = np.where(allowed, totals, np.inf)
+            span = np.arange(len(block))
+            local = np.argmin(masked, axis=1)
+            best = masked[span, local]
+            # Margin test: a winner is only trusted when the runner-up
+            # is clearly separated; otherwise the dense kernel decides
+            # (its own position-dependent rounding is the ground truth
+            # the repo's tie-break is defined against).
+            if masked.shape[1] > 1:
+                masked[span, local] = np.inf
+                runner_up = masked.min(axis=1)
+                ambiguous = runner_up <= best * (1.0 + TIE_MARGIN)
+            else:
+                ambiguous = np.zeros(len(block), dtype=bool)
+            out[rows[block]] = cols[local]
+            if ambiguous.any():
+                redo = block[ambiguous]
+                out[rows[redo]] = dense_owner_batch(
+                    matrix, costs[redo]
+                )
+                fallbacks += len(redo)
+        return fallbacks

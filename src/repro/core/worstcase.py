@@ -24,6 +24,7 @@ import numpy as np
 
 from .costmodel import usage_matrix
 from .feasible import FeasibleRegion
+from .planindex import PlanIndex
 from .vectors import CostVector, UsageVector
 
 __all__ = [
@@ -86,6 +87,7 @@ def worst_case_gtc(
     candidates: Sequence[UsageVector],
     region: FeasibleRegion,
     batch_size: int = 4096,
+    index: "PlanIndex | None" = None,
 ) -> WorstCasePoint:
     """Exact worst-case GTC of ``initial`` over ``region``.
 
@@ -94,15 +96,28 @@ def worst_case_gtc(
     each vertex is then the cheapest candidate.  The initial plan itself
     need not be among the candidates — if it is optimal somewhere, it
     should be, and GTC at such vertices is 1.
+
+    ``index`` may be an active :class:`~repro.core.planindex.PlanIndex`
+    built over exactly ``usage_matrix(candidates)``: the per-vertex
+    optimum is then found by point location (winner row dot product)
+    instead of the dense ``costs @ matrix.T`` sweep.  The winner totals
+    are exact dot products either way.
     """
     matrix = usage_matrix(candidates)
     initial.space.require_same(candidates[0].space)
     initial_row = initial.values
+    use_index = index is not None and index.active
     best_gtc = -np.inf
     best_vertex = -1
     for ids, costs in region.vertex_batches(batch_size):
-        totals = costs @ matrix.T            # (batch, m)
-        optima = totals.min(axis=1)          # cheapest candidate per vertex
+        if use_index:
+            winners = index.owner_batch(costs)
+            optima = np.einsum(
+                "rd,rd->r", costs, matrix[winners], optimize=True
+            )
+        else:
+            totals = costs @ matrix.T        # (batch, m)
+            optima = totals.min(axis=1)      # cheapest candidate per vertex
         initial_totals = costs @ initial_row
         with np.errstate(divide="ignore", invalid="ignore"):
             gtc = np.where(optima > 0, initial_totals / optima, np.inf)
@@ -127,18 +142,22 @@ def worst_case_curve(
     label: str = "",
     initial_plan_index: int = -1,
     batch_size: int = 4096,
+    index: PlanIndex | None = None,
 ) -> WorstCaseCurve:
     """Sweep :func:`worst_case_gtc` over a grid of error levels.
 
     ``base_region`` supplies the center cost vector and variation
     groups; its own delta is ignored in favour of each entry of
-    ``deltas``.
+    ``deltas``.  ``index`` is forwarded to every per-delta sweep (the
+    index is scale-free, so one index serves all error levels).
     """
     points = []
     for delta in deltas:
         region = base_region.with_delta(delta)
         points.append(
-            worst_case_gtc(initial, candidates, region, batch_size)
+            worst_case_gtc(
+                initial, candidates, region, batch_size, index=index
+            )
         )
     return WorstCaseCurve(
         label=label,

@@ -28,6 +28,7 @@ from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
 from .engine import Experiment, RunContext, register_experiment, run_experiment
 from .scenarios import Scenario, scenario
+from .sweeps import MC_CHUNK, plan_index_for, sweep_optimal_totals
 
 __all__ = [
     "ExpectedRegret",
@@ -78,21 +79,22 @@ def analyze_expected_regret(
             query, catalog, params, layout, region, cell_cap=cell_cap,
             cache=cache, scenario_key=config.key,
         )
-        matrix = np.vstack(
-            [plan.usage.values for plan in candidates.plans]
-        )
+        matrix = candidates.usage_matrix
+        index = plan_index_for(candidates)
         initial_index = candidates.initial_plan_index()
         initial_row = matrix[initial_index]
         rng = np.random.default_rng(seed)
         gtcs = np.empty(n_samples)
         optimal_hits = 0
-        for position, cost in enumerate(region.sample(rng, n_samples)):
-            totals = matrix @ cost.values
-            best = totals.min()
-            stale = float(initial_row @ cost.values)
-            gtcs[position] = stale / best
-            if stale <= best * (1 + 1e-9):
-                optimal_hits += 1
+        position = 0
+        while position < n_samples:
+            take = min(n_samples - position, MC_CHUNK)
+            samples = region.sample_matrix(rng, take)
+            __, best = sweep_optimal_totals(matrix, samples, index)
+            stale = samples @ initial_row
+            gtcs[position:position + take] = stale / best
+            optimal_hits += int((stale <= best * (1 + 1e-9)).sum())
+            position += take
         current.set(candidates=len(candidates))
     METRICS.counter("expected.samples_total").inc(n_samples)
     METRICS.histogram("expected.gtc").observe_many(gtcs)

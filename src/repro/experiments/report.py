@@ -142,13 +142,17 @@ def format_census_table(result: UsageAnalysisResult) -> str:
     """Section 8.2 census: complementary pair statistics per query."""
     header = [
         "query", "cands", "pairs", "compl", "near",
-        "table", "acc-path", "temp", "bound",
+        "table", "acc-path", "temp", "bound", "init-share",
     ]
     rows = [header]
     for row in result.rows:
         bound = (
             "inf" if row.constant_bound == float("inf")
             else _format_gtc(row.constant_bound)
+        )
+        share = (
+            "n/a" if row.initial_share != row.initial_share
+            else f"{row.initial_share * 100:.1f}%"
         )
         rows.append(
             [
@@ -161,6 +165,7 @@ def format_census_table(result: UsageAnalysisResult) -> str:
                 str(row.class_count("access-path")),
                 str(row.class_count("temp")),
                 bound,
+                share,
             ]
         )
     widths = [max(len(r[i]) for r in rows) for i in range(len(header))]

@@ -1,0 +1,108 @@
+"""Shared cost-sweep kernels for the experiment modules.
+
+Every experiment ultimately answers the same inner question many times:
+*which candidate plan is optimal at this cost vector, and at what
+cost?*  This module is the one place that question is answered, so the
+figure, expected-regret and census experiments all go through the same
+two code paths:
+
+* the **dense kernel** — one ``C @ U.T`` matrix product plus a row-wise
+  argmin (exact, lowest-index tie-break);
+* the **plan index** — the sublinear conic point-location cascade of
+  :mod:`repro.core.planindex`, used automatically once a candidate set
+  is large enough for the index to activate.  Index answers are
+  bit-identical to the dense argmin (ambiguous rows fall back to the
+  dense kernel internally), so switching paths never changes results.
+
+Winner *totals* are always recomputed as exact per-winner dot products
+(`einsum` over the selected rows), never read out of the dense product,
+so both paths report bitwise identical costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.feasible import FeasibleRegion
+from ..core.planindex import PlanIndex, dense_owner_batch
+from ..optimizer.parametric import CandidateSet
+
+__all__ = [
+    "plan_index_for",
+    "sweep_winners",
+    "sweep_optimal_totals",
+    "monte_carlo_shares",
+]
+
+#: Rows per Monte-Carlo chunk (bounds peak memory of the sweeps).
+MC_CHUNK = 4096
+
+
+def plan_index_for(candidates: CandidateSet) -> PlanIndex | None:
+    """The candidate set's plan index if it is active, else ``None``.
+
+    ``None`` means "use the dense kernel": small candidate sets never
+    pay index overhead, and ``REPRO_NO_PLAN_INDEX=1`` disables the
+    index everywhere at once.
+    """
+    index = candidates.plan_index()
+    return index if index.active else None
+
+
+def sweep_winners(
+    matrix: np.ndarray,
+    costs: np.ndarray,
+    index: PlanIndex | None = None,
+) -> np.ndarray:
+    """Winning plan row per cost row (lowest index on ties).
+
+    Exactly ``argmin(costs @ matrix.T, axis=1)`` on both paths; the
+    index path is just sublinear in ``len(matrix)``.
+    """
+    if index is not None and index.active:
+        return index.owner_batch(costs)
+    return dense_owner_batch(matrix, costs)
+
+
+def sweep_optimal_totals(
+    matrix: np.ndarray,
+    costs: np.ndarray,
+    index: PlanIndex | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(winners, totals)`` per cost row.
+
+    ``totals[r]`` is the exact dot product ``matrix[winners[r]] .
+    costs[r]`` — not the (block-rounded) matrix-product entry — so the
+    reported optimum is bitwise independent of which path answered.
+    """
+    winners = sweep_winners(matrix, costs, index)
+    totals = np.einsum(
+        "rd,rd->r", costs, matrix[winners], optimize=True
+    )
+    return winners, totals
+
+
+def monte_carlo_shares(
+    matrix: np.ndarray,
+    region: FeasibleRegion,
+    rng: np.random.Generator,
+    n_samples: int,
+    index: PlanIndex | None = None,
+) -> np.ndarray:
+    """Monte-Carlo share of the feasible region each plan rules.
+
+    Log-uniform sampling per variation group (the region's natural
+    measure), chunked so memory stays bounded; the shares of all plans
+    sum to 1.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    counts = np.zeros(matrix.shape[0], dtype=np.int64)
+    remaining = n_samples
+    while remaining > 0:
+        take = min(remaining, MC_CHUNK)
+        samples = region.sample_matrix(rng, take)
+        winners = sweep_winners(matrix, samples, index)
+        counts += np.bincount(winners, minlength=len(counts))
+        remaining -= take
+    return counts / n_samples

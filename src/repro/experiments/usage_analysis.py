@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from ..catalog.statistics import Catalog
 from ..core.bounds import corollary_constant_bound
 from ..core.complementary import ComplementarityCensus, census
@@ -32,6 +34,7 @@ from ..optimizer.plancache import PlanCache, cached_candidate_plans
 from ..optimizer.query import QuerySpec
 from .engine import Experiment, RunContext, register_experiment, run_experiment
 from .scenarios import Scenario, scenario
+from .sweeps import monte_carlo_shares, plan_index_for
 
 __all__ = [
     "QueryCensus",
@@ -59,6 +62,9 @@ class QueryCensus:
     #: Equation 9 constant bound over the candidate set (inf when any
     #: pair is complementary).
     constant_bound: float
+    #: Monte-Carlo share of the feasible region where the initial plan
+    #: (optimal at the region center) stays optimal.
+    initial_share: float = float("nan")
 
     @property
     def has_complementary_pairs(self) -> bool:
@@ -101,8 +107,14 @@ def analyze_query_census(
     cell_cap: int | None = 64,
     usage_tol: float = 1e-9,
     cache: PlanCache | None = None,
+    share_samples: int = 512,
 ) -> QueryCensus:
-    """The Section 8.2 census for one query under one scenario."""
+    """The Section 8.2 census for one query under one scenario.
+
+    ``share_samples`` Monte-Carlo samples (seeded per query, so the
+    result is independent of execution order and worker count) measure
+    how much of the feasible region the center-optimal plan rules.
+    """
     with span(
         "census.query", query=query.name, scenario=config.key
     ) as current:
@@ -116,9 +128,16 @@ def analyze_query_census(
         bound = corollary_constant_bound(
             candidates.usages, tol=usage_tol
         )
+        shares = monte_carlo_shares(
+            candidates.usage_matrix, region,
+            np.random.default_rng(0), share_samples,
+            index=plan_index_for(candidates),
+        )
+        initial_share = float(shares[candidates.initial_plan_index()])
         current.set(
             candidates=len(candidates),
             complementary=pair_census.n_complementary,
+            initial_share=initial_share,
         )
     METRICS.counter("census.queries_total").inc()
     METRICS.counter("census.complementary_pairs").inc(
@@ -131,6 +150,7 @@ def analyze_query_census(
         truncated=candidates.truncated,
         census=pair_census,
         constant_bound=bound,
+        initial_share=initial_share,
     )
 
 
@@ -142,6 +162,7 @@ class CensusParams:
     delta: float = DEFAULT_DELTA
     cell_cap: int | None = 64
     usage_tol: float = 1e-9
+    share_samples: int = 512
 
 
 @register_experiment
@@ -166,7 +187,7 @@ class CensusExperiment(Experiment):
         return analyze_query_census(
             task, ctx.catalog, scenario(params.scenario_key), ctx.params,
             params.delta, params.cell_cap, params.usage_tol,
-            cache=ctx.cache,
+            cache=ctx.cache, share_samples=params.share_samples,
         )
 
     def reduce(
@@ -204,6 +225,7 @@ def run_usage_analysis(
     jobs: int = 1,
     cache: PlanCache | None = None,
     scale: float = 100.0,
+    share_samples: int = 512,
 ) -> UsageAnalysisResult:
     """Run the Section 8.2 analysis for one scenario (engine wrapper)."""
     ctx = RunContext(
@@ -214,7 +236,7 @@ def run_usage_analysis(
         "census",
         CensusParams(
             scenario_key=scenario_key, delta=delta, cell_cap=cell_cap,
-            usage_tol=usage_tol,
+            usage_tol=usage_tol, share_samples=share_samples,
         ),
         ctx,
     )

@@ -85,6 +85,22 @@ def _cache_summary(counters: Mapping[str, Any]) -> "str | None":
     )
 
 
+def _planindex_summary(counters: Mapping[str, Any]) -> "str | None":
+    probes = counters.get("planindex.probes", 0)
+    if not probes:
+        return None
+    fallbacks = counters.get("planindex.exact_fallbacks", 0)
+    pruned = counters.get("planindex.pruned", 0)
+    visited = counters.get("planindex.leaf_visits", 0)
+    scanned = pruned + visited
+    prune_rate = 100.0 * pruned / scanned if scanned else 0.0
+    return (
+        f"plan index: {probes} lookups, {fallbacks} dense fallbacks "
+        f"({100.0 * fallbacks / probes:.1f}%) — {prune_rate:.0f}% of "
+        "candidate rows pruned"
+    )
+
+
 def render_manifest(manifest: Mapping[str, Any]) -> str:
     """One manifest as a phase/time/cache breakdown."""
     lines: list[str] = []
@@ -195,6 +211,10 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
     if summary:
         lines.append("")
         lines.append(summary)
+    index_summary = _planindex_summary(counters)
+    if index_summary:
+        lines.append("")
+        lines.append(index_summary)
     return "\n".join(lines)
 
 

@@ -104,19 +104,30 @@ class CandidateBackedBlackBox:
                 return plan.usage
         raise KeyError(signature)
 
+    def _plan_index(self):
+        """The candidate set's shared index, or None while inert."""
+        index = self._candidates.plan_index()
+        return index if index.active else None
+
     def optimize(self, cost: CostVector) -> PlanChoice:
         self.call_count += 1
         METRICS.counter("blackbox.candidate_calls").inc()
         self._space.require_same(cost.space)
-        totals = self._matrix @ cost.values
-        index = int(np.argmin(totals))
+        index_struct = self._plan_index()
+        if index_struct is not None:
+            index = index_struct.owner(cost.values)
+        else:
+            totals = self._matrix @ cost.values
+            index = int(np.argmin(totals))
         return PlanChoice(
             signature=self._signatures[index],
             total_cost=float(self._matrix[index] @ cost.values),
         )
 
     def optimize_batch(self, costs) -> list[PlanChoice]:
-        """Whole batch in one ``C @ U.T`` against the cached matrix.
+        """Whole batch in one ``C @ U.T`` against the cached matrix —
+        or one sublinear point-location pass once the candidate count
+        crosses the :class:`~repro.core.planindex.PlanIndex` threshold.
 
         The reported totals are recomputed as per-plan dot products so
         they match :meth:`optimize` bitwise for the same chosen plan.
@@ -126,8 +137,12 @@ class CandidateBackedBlackBox:
         METRICS.counter("blackbox.candidate_calls").inc(len(matrix))
         if not len(matrix):
             return []
-        totals = matrix @ self._matrix.T
-        indices = np.argmin(totals, axis=1)
+        index_struct = self._plan_index()
+        if index_struct is not None:
+            indices = index_struct.owner_batch(matrix)
+        else:
+            totals = matrix @ self._matrix.T
+            indices = np.argmin(totals, axis=1)
         return [
             PlanChoice(
                 signature=self._signatures[index],

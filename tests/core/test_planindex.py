@@ -1,0 +1,197 @@
+"""The conic point-location index: activation, parity, fallbacks."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core import planindex as planindex_module
+from repro.core.feasible import FeasibleRegion
+from repro.core.planindex import (
+    PlanIndex,
+    dense_owner_batch,
+    plan_index_disabled,
+    plan_index_min_plans,
+)
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector
+from repro.obs.metrics import METRICS
+
+
+def _structured_matrix(rng, m, d, pool=24, pick=0.2):
+    """Plans sharing subplan building blocks (realistic candidate sets)."""
+    ops = np.exp(rng.normal(0.0, 1.0, size=(pool, d))) * (
+        rng.random((pool, d)) < 0.5
+    )
+    picks = rng.random((m, pool)) < pick
+    return picks @ ops + np.exp(rng.normal(-2.0, 0.5, size=(m, d)))
+
+
+def _probes(rng, k, d):
+    return np.exp(rng.uniform(-np.log(50.0), np.log(50.0), size=(k, d)))
+
+
+# ----------------------------------------------------------------------
+# Activation and environment knobs
+# ----------------------------------------------------------------------
+def test_inert_below_threshold_and_still_exact():
+    rng = np.random.default_rng(0)
+    matrix = _structured_matrix(rng, 8, 5)
+    index = PlanIndex(matrix)  # default threshold is 64
+    assert not index.active
+    costs = _probes(rng, 40, 5)
+    np.testing.assert_array_equal(
+        index.owner_batch(costs), dense_owner_batch(matrix, costs)
+    )
+
+
+def test_min_plans_override_activates_small_sets():
+    rng = np.random.default_rng(1)
+    matrix = _structured_matrix(rng, 8, 5)
+    index = PlanIndex(matrix, min_plans=1, witness_samples=128)
+    assert index.active
+    costs = _probes(rng, 40, 5)
+    np.testing.assert_array_equal(
+        index.owner_batch(costs), dense_owner_batch(matrix, costs)
+    )
+
+
+def test_env_var_disables_index(monkeypatch):
+    rng = np.random.default_rng(2)
+    matrix = _structured_matrix(rng, 128, 6)
+    monkeypatch.setenv("REPRO_NO_PLAN_INDEX", "1")
+    assert plan_index_disabled()
+    assert not PlanIndex(matrix).active
+    monkeypatch.setenv("REPRO_NO_PLAN_INDEX", "0")
+    assert not plan_index_disabled()
+
+
+def test_env_var_overrides_threshold(monkeypatch):
+    monkeypatch.setenv("REPRO_PLAN_INDEX_MIN_PLANS", "3")
+    assert plan_index_min_plans() == 3
+    rng = np.random.default_rng(3)
+    assert PlanIndex(_structured_matrix(rng, 4, 4),
+                     witness_samples=64).active
+    monkeypatch.setenv("REPRO_PLAN_INDEX_MIN_PLANS", "banana")
+    assert plan_index_min_plans() == planindex_module.DEFAULT_MIN_PLANS
+
+
+def test_rejects_empty_and_nonfinite_matrices():
+    with pytest.raises(ValueError, match="nonempty"):
+        PlanIndex(np.empty((0, 3)))
+    with pytest.raises(ValueError, match="finite"):
+        PlanIndex(np.array([[1.0, np.inf]]))
+
+
+# ----------------------------------------------------------------------
+# Exactness against the dense kernel
+# ----------------------------------------------------------------------
+def test_owner_batch_matches_dense_argmin_bitwise():
+    rng = np.random.default_rng(4)
+    matrix = _structured_matrix(rng, 400, 8)
+    index = PlanIndex(matrix, witness_samples=512)
+    assert index.active
+    costs = _probes(rng, 2000, 8)
+    np.testing.assert_array_equal(
+        index.owner_batch(costs), dense_owner_batch(matrix, costs)
+    )
+
+
+def test_duplicate_rows_and_constant_columns_keep_tie_break():
+    rng = np.random.default_rng(5)
+    base = _structured_matrix(rng, 60, 5)
+    # Duplicate a block of rows verbatim and add a constant column:
+    # ties must resolve to the lowest index, exactly as np.argmin does.
+    matrix = np.vstack([base, base[10:30]])
+    matrix[:, 2] = 1.0
+    index = PlanIndex(matrix, min_plans=1, witness_samples=256)
+    costs = _probes(rng, 800, 5)
+    np.testing.assert_array_equal(
+        index.owner_batch(costs), dense_owner_batch(matrix, costs)
+    )
+
+
+def test_invalid_cost_rows_fall_back_to_dense():
+    rng = np.random.default_rng(6)
+    matrix = _structured_matrix(rng, 100, 4)
+    index = PlanIndex(matrix, min_plans=1, witness_samples=256)
+    costs = _probes(rng, 8, 4)
+    costs[0] = 0.0                      # zero norm
+    costs[1, 2] = -1.0                  # negative component
+    costs[2, 0] = np.nan                # non-finite
+    costs[3, 3] = np.inf
+    before = index.stats["fallbacks"]
+    np.testing.assert_array_equal(
+        index.owner_batch(costs), dense_owner_batch(matrix, costs)
+    )
+    assert index.stats["fallbacks"] - before >= 4
+
+
+def test_owner_accepts_cost_vectors_and_arrays():
+    rng = np.random.default_rng(7)
+    matrix = _structured_matrix(rng, 90, 4)
+    index = PlanIndex(matrix, min_plans=1, witness_samples=256)
+    space = ResourceSpace.from_names(["a", "b", "c", "d"])
+    row = _probes(rng, 1, 4)[0]
+    expected = int(dense_owner_batch(matrix, row[None])[0])
+    assert index.owner(row) == expected
+    assert index.owner(CostVector(space, row)) == expected
+
+
+def test_region_seeded_build_matches_dense():
+    space = ResourceSpace.from_names(["a", "b", "c"])
+    region = FeasibleRegion(
+        CostVector(space, np.array([1.0, 2.0, 0.5])), 100.0
+    )
+    rng = np.random.default_rng(8)
+    matrix = _structured_matrix(rng, 150, 3)
+    index = PlanIndex(matrix, region, witness_samples=256)
+    assert index.active
+    costs = region.sample_matrix(np.random.default_rng(9), 1500)
+    np.testing.assert_array_equal(
+        index.owner_batch(costs), dense_owner_batch(matrix, costs)
+    )
+
+
+def test_kdtree_free_path_is_exact(monkeypatch):
+    rng = np.random.default_rng(10)
+    matrix = _structured_matrix(rng, 120, 5)
+    monkeypatch.setattr(planindex_module, "_KDTree", None)
+    index = PlanIndex(matrix, witness_samples=256)
+    assert index.active
+    costs = _probes(rng, 600, 5)
+    np.testing.assert_array_equal(
+        index.owner_batch(costs), dense_owner_batch(matrix, costs)
+    )
+
+
+# ----------------------------------------------------------------------
+# Instrumentation
+# ----------------------------------------------------------------------
+def test_metrics_and_stats_are_recorded():
+    METRICS.reset()
+    rng = np.random.default_rng(11)
+    matrix = _structured_matrix(rng, 256, 6)
+    index = PlanIndex(matrix, witness_samples=256)
+    costs = _probes(rng, 500, 6)
+    index.owner_batch(costs)
+    counters = METRICS.snapshot()["counters"]
+    assert counters["planindex.builds"] == 1
+    assert counters["planindex.probes"] == 500
+    assert index.stats["probes"] == 500
+    scanned = counters["planindex.leaf_visits"]
+    pruned = counters["planindex.pruned"]
+    assert scanned + pruned == 500 * 256
+    assert pruned > 0  # the certificate must actually prune
+
+
+def test_heavy_fallbacks_log_a_warning(caplog):
+    rng = np.random.default_rng(12)
+    matrix = _structured_matrix(rng, 80, 4)
+    index = PlanIndex(matrix, min_plans=1, witness_samples=128)
+    bad = np.full((40, 4), -1.0)  # every row invalid -> 100% fallback
+    with caplog.at_level(logging.WARNING, logger="repro.core.planindex"):
+        index.owner_batch(bad)
+    assert any(
+        "fell back" in record.getMessage() for record in caplog.records
+    )

@@ -1,0 +1,134 @@
+"""The shared sweep helpers and index-backed experiment parity."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.core.feasible import FeasibleRegion
+from repro.core.planindex import PlanIndex
+from repro.core.resources import ResourceSpace
+from repro.core.vectors import CostVector
+from repro.experiments import CensusParams, RunContext, run_experiment
+from repro.experiments.sweeps import (
+    monte_carlo_shares,
+    plan_index_for,
+    sweep_optimal_totals,
+    sweep_winners,
+)
+from repro.workloads import build_tpch_queries
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def queries(catalog):
+    return build_tpch_queries(catalog)
+
+
+def _matrix_and_region(m=120, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    pool = np.exp(rng.normal(0.0, 1.0, size=(20, d)))
+    matrix = (rng.random((m, 20)) < 0.2) @ pool + 0.01
+    space = ResourceSpace.from_names([f"r{i}" for i in range(d)])
+    region = FeasibleRegion(
+        CostVector(space, np.full(d, 2.0)), 100.0
+    )
+    return matrix, region
+
+
+def test_sweep_winners_identical_with_and_without_index():
+    matrix, region = _matrix_and_region()
+    costs = region.sample_matrix(np.random.default_rng(1), 1000)
+    index = PlanIndex(matrix, region, min_plans=1, witness_samples=256)
+    np.testing.assert_array_equal(
+        sweep_winners(matrix, costs, None),
+        sweep_winners(matrix, costs, index),
+    )
+
+
+def test_sweep_optimal_totals_bitwise_across_paths():
+    matrix, region = _matrix_and_region(seed=2)
+    costs = region.sample_matrix(np.random.default_rng(3), 500)
+    index = PlanIndex(matrix, region, min_plans=1, witness_samples=256)
+    dense_winners, dense_totals = sweep_optimal_totals(
+        matrix, costs, None
+    )
+    index_winners, index_totals = sweep_optimal_totals(
+        matrix, costs, index
+    )
+    np.testing.assert_array_equal(dense_winners, index_winners)
+    # Totals are recomputed as winner-row dot products on both paths,
+    # so they agree bitwise, not just approximately.
+    np.testing.assert_array_equal(dense_totals, index_totals)
+
+
+def test_monte_carlo_shares_sum_to_one_and_match_dense():
+    matrix, region = _matrix_and_region(seed=4)
+    index = PlanIndex(matrix, region, min_plans=1, witness_samples=256)
+    dense = monte_carlo_shares(
+        matrix, region, np.random.default_rng(5), 6000, None
+    )
+    indexed = monte_carlo_shares(
+        matrix, region, np.random.default_rng(5), 6000, index
+    )
+    assert dense.sum() == pytest.approx(1.0)
+    np.testing.assert_array_equal(dense, indexed)
+
+
+def test_monte_carlo_shares_rejects_nonpositive_samples():
+    matrix, region = _matrix_and_region(seed=6)
+    with pytest.raises(ValueError, match="positive"):
+        monte_carlo_shares(
+            matrix, region, np.random.default_rng(0), 0
+        )
+
+
+def test_plan_index_for_respects_activation(monkeypatch):
+    from repro.optimizer.parametric import CandidateSet
+
+    matrix, region = _matrix_and_region(m=6)
+
+    class _Plan:
+        def __init__(self, row, name):
+            self.signature = name
+            self.usage = type("U", (), {"values": row})()
+
+    plans = [_Plan(row, f"p{i}") for i, row in enumerate(matrix[:6])]
+    small = CandidateSet(
+        query_name="toy", plans=plans, region=region, truncated=False
+    )
+    assert plan_index_for(small) is None  # below the threshold
+    monkeypatch.setenv("REPRO_PLAN_INDEX_MIN_PLANS", "1")
+    forced = CandidateSet(
+        query_name="toy", plans=plans, region=region, truncated=False
+    )
+    assert plan_index_for(forced) is not None
+
+
+def test_index_backed_census_serial_vs_jobs2_digest_parity(
+    monkeypatch, catalog, queries
+):
+    """Forcing the index on (threshold 1) must not perturb digests.
+
+    Workers inherit the environment, so the env override reaches the
+    ``--jobs 2`` pool as well; parity proves the index answers match
+    the dense kernel bit-for-bit end to end.
+    """
+    monkeypatch.setenv("REPRO_PLAN_INDEX_MIN_PLANS", "1")
+    params = CensusParams(scenario_key="split")
+    subset = {name: queries[name] for name in ("Q6", "Q14")}
+    serial_ctx = RunContext(catalog=catalog, queries=subset, jobs=1)
+    fanout_ctx = RunContext(catalog=catalog, queries=subset, jobs=2)
+    run_experiment("census", params, serial_ctx)
+    run_experiment("census", params, fanout_ctx)
+    assert serial_ctx.result_digests == fanout_ctx.result_digests
+    assert serial_ctx.result_digests
+
+    # And the digests match an index-free run of the same census.
+    monkeypatch.setenv("REPRO_NO_PLAN_INDEX", "1")
+    dense_ctx = RunContext(catalog=catalog, queries=subset, jobs=1)
+    run_experiment("census", params, dense_ctx)
+    assert dense_ctx.result_digests == serial_ctx.result_digests

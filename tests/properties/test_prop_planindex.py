@@ -1,0 +1,71 @@
+"""Property-based tests: the plan index IS the dense argmin.
+
+The single invariant that lets every caller switch kernels freely:
+for any finite nonnegative usage matrix and any cost batch —
+degenerate rows, duplicates, zero components and all —
+``PlanIndex.owner_batch`` returns exactly ``argmin(C @ U.T, axis=1)``
+with the lowest-index tie-break.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planindex import PlanIndex, dense_owner_batch
+
+DIMS = st.integers(min_value=1, max_value=5)
+
+
+@st.composite
+def matrix_and_costs(draw):
+    d = draw(DIMS)
+    m = draw(st.integers(min_value=1, max_value=40))
+    k = draw(st.integers(min_value=1, max_value=30))
+    element = st.floats(
+        0.0, 1e6, allow_nan=False, allow_infinity=False
+    )
+    matrix = np.array(
+        draw(
+            st.lists(
+                st.lists(element, min_size=d, max_size=d),
+                min_size=m, max_size=m,
+            )
+        )
+    )
+    # Duplicated rows are the adversarial case for tie-breaking: BLAS
+    # may give bitwise-equal rows different float totals, so the index
+    # must reproduce whatever the dense kernel decides.
+    if draw(st.booleans()) and m >= 2:
+        src = draw(st.integers(0, m - 1))
+        dst = draw(st.integers(0, m - 1))
+        matrix[dst] = matrix[src]
+    costs = np.array(
+        draw(
+            st.lists(
+                st.lists(element, min_size=d, max_size=d),
+                min_size=k, max_size=k,
+            )
+        )
+    )
+    return matrix, costs
+
+
+@given(matrix_and_costs())
+@settings(max_examples=80, deadline=None)
+def test_owner_batch_equals_dense_argmin(case):
+    matrix, costs = case
+    index = PlanIndex(matrix, min_plans=1, witness_samples=64)
+    assert index.active
+    np.testing.assert_array_equal(
+        index.owner_batch(costs), dense_owner_batch(matrix, costs)
+    )
+
+
+@given(matrix_and_costs())
+@settings(max_examples=40, deadline=None)
+def test_owner_matches_owner_batch_row_by_row(case):
+    matrix, costs = case
+    index = PlanIndex(matrix, min_plans=1, witness_samples=64)
+    batch = index.owner_batch(costs)
+    for row, expected in zip(costs, batch):
+        assert index.owner(row) == expected
