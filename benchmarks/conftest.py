@@ -16,13 +16,22 @@ fixture.  ``REPRO_BENCH_DIR`` moves all records; the historical
 ``BENCH_JSON`` variable still redirects the blackbox-batch record but
 is deprecated and warns.  Gate records against a baseline with
 ``repro bench BENCH_x.json --compare benchmarks/baselines/BENCH_x.json``.
+
+Every flushed record is additionally appended to the perf-history
+store (``benchmarks/history.jsonl`` or ``$REPRO_HISTORY_DIR``) — one
+``bench:<module>/<test>`` series point per median — feeding the
+``repro bench trend`` multi-run regression gate.  Set
+``REPRO_NO_HISTORY=1`` to skip the append (throwaway runs).
 """
+
+import logging
+import os
 
 import pytest
 
 from repro.catalog import build_tpch_catalog
 from repro.obs import catalog_digest
-from repro.obs.bench import BenchRecorder
+from repro.obs.bench import BenchRecorder, load_bench_record
 from repro.workloads import build_tpch_queries
 
 _RECORDER = BenchRecorder(legacy_env={"blackbox_batch": "BENCH_JSON"})
@@ -97,5 +106,21 @@ def bench_extras(request):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Flush one BENCH_<module>.json per benchmarked module."""
-    _RECORDER.flush()
+    """Flush BENCH records and append them to the history store."""
+    from repro.obs.history import append_history, bench_history_entries
+
+    written = _RECORDER.flush()
+    if os.environ.get("REPRO_NO_HISTORY"):
+        return
+    for path in written:
+        try:
+            record = load_bench_record(path)
+            append_history(
+                bench_history_entries(record, source=str(path))
+            )
+        except (OSError, ValueError) as exc:
+            # Telemetry must never fail the benchmark session.
+            logging.getLogger("repro.bench").warning(
+                "could not append %s to the perf history: %s",
+                path, exc,
+            )

@@ -17,7 +17,13 @@ Run via ``python -m repro <command>``:
   tree as a Perfetto/Chrome trace (``--export-trace out.json``);
 * ``bench BENCH_JSON`` — render a benchmark telemetry record, or gate
   on regressions against a baseline (``--compare BASELINE.json``,
-  threshold 15% by default; exits 1 on regression).
+  threshold 15% by default; exits 1 on regression);
+* ``bench trend`` — judge every series of the append-only perf-history
+  store (``benchmarks/history.jsonl`` / ``$REPRO_HISTORY_DIR``)
+  against its own recent history: median-of-last-N with MAD bands and
+  a change-point flag, exits 1 on a sustained regression.  Records and
+  manifests are fed in with ``--append-history`` (benchmark sessions
+  append automatically).
 
 The experiment subcommands (``figure``, ``census``, ``robustness``,
 ``expected``, ``validate``) are generated from the experiment registry
@@ -40,9 +46,15 @@ the rendered results, and a metrics snapshot — all assembled from the
 run's :class:`~repro.experiments.engine.RunContext`; ``--trace``
 additionally records the span tree, ``--trace-out PATH`` also exports
 it in Trace Event format for ``ui.perfetto.dev``, ``--memprof``
-samples tracemalloc/RSS at every span boundary, ``--metrics-out PATH``
-dumps the raw metrics, and ``--log-level debug`` surfaces the
-library's loggers.  Long sweeps render a live progress meter on stderr
+samples tracemalloc/RSS at every span boundary, ``--profile`` samples
+the Python stack ~101 times/s (``--profile-hz``) and writes a
+speedscope JSON + folded-stack flamegraph input (``--profile-out``;
+merged across ``--jobs`` workers, summarised as a hot-function table
+in the manifest), ``--timeseries`` snapshots every metric counter
+periodically (counter tracks in ``--trace-out``, counter curves in
+the manifest), ``--metrics-out PATH`` dumps the raw metrics, and
+``--log-level debug`` surfaces the library's loggers.  Long sweeps
+render a live progress meter on stderr
 when it is a TTY and the log level is below WARNING (force with
 ``--progress``, silence with ``--no-progress``).  Cached runs end with
 a one-line cache summary on stderr.
@@ -89,22 +101,34 @@ from .obs import (
     MEMPROF,
     METRICS,
     ON_ERROR_MODES,
+    PROFILER,
     PROGRESS,
+    TIMESERIES,
     TRACER,
     FaultPlan,
     FaultSpecError,
     RetryPolicy,
+    append_history,
+    bench_history_entries,
     compare_bench_records,
     configure_logging,
+    default_history_path,
+    detect_trends,
+    folded_path_for,
     load_bench_record,
+    load_history,
     manifest_from_context,
+    manifest_history_entries,
     render_bench_comparison,
     render_bench_record,
     render_comparison,
     render_manifest,
+    render_trend_report,
     span,
     validate_manifest,
+    write_folded,
     write_manifest,
+    write_speedscope,
     write_trace_events,
 )
 
@@ -304,6 +328,18 @@ def _cmd_report(args: argparse.Namespace, run: _Run) -> int:
             "(load in ui.perfetto.dev or chrome://tracing)"
         )
         return 0
+    if getattr(args, "append_history", False):
+        if len(manifests) != 1:
+            _usage_error("--append-history takes exactly one manifest")
+        entries = manifest_history_entries(
+            manifests[0], source=str(args.manifests[0])
+        )
+        target = append_history(entries, getattr(args, "history", None))
+        print(
+            f"history: appended {len(entries)} series point(s) to "
+            f"{target}",
+            file=sys.stderr,
+        )
     if len(manifests) == 1:
         print(render_manifest(manifests[0]))
     else:
@@ -311,11 +347,61 @@ def _cmd_report(args: argparse.Namespace, run: _Run) -> int:
     return 0
 
 
+def _bench_trend(args: argparse.Namespace) -> int:
+    """``repro bench trend``: the multi-run history regression gate."""
+    history_path = getattr(args, "history", None) or \
+        default_history_path()
+    entries = load_history(history_path)
+    if not entries:
+        _usage_error(
+            f"no history at {history_path} — append records with "
+            "`repro bench RECORD --append-history` (or run the "
+            "benchmarks, which append automatically)"
+        )
+    try:
+        report = detect_trends(
+            entries,
+            window=args.window,
+            mad_k=args.mad_k,
+            rel_floor=args.rel_floor,
+            series_filter=args.series or None,
+        )
+    except ValueError as exc:
+        _usage_error(str(exc))
+    if not report.series:
+        _usage_error(
+            f"history at {history_path} has no series matching "
+            f"{args.series!r}"
+        )
+    print(render_trend_report(report))
+    if report.ok:
+        return 0
+    if args.advisory:
+        print(
+            "advisory mode: regressions reported but not gating",
+            file=sys.stderr,
+        )
+        return 0
+    return 1
+
+
 def _cmd_bench(args: argparse.Namespace, run: _Run) -> int:
+    if args.record == "trend":
+        return _bench_trend(args)
     try:
         current = load_bench_record(args.record)
     except ValueError as exc:
         _usage_error(str(exc))
+    if getattr(args, "append_history", False):
+        entries = bench_history_entries(
+            current, source=str(args.record)
+        )
+        target = append_history(entries, getattr(args, "history", None))
+        print(
+            f"history: appended {len(entries)} series point(s) to "
+            f"{target}",
+            file=sys.stderr,
+        )
     if not args.compare:
         print(render_bench_record(current))
         return 0
@@ -381,6 +467,34 @@ def _obs_flags(p: argparse.ArgumentParser) -> None:
         "--memprof", action="store_true",
         help="sample tracemalloc peak and RSS at every span boundary "
              "and store them as span attrs (implies --trace)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="sample the run with the wall-clock stack profiler and "
+             "write a speedscope JSON + folded-stack flamegraph input "
+             "(merged across --jobs workers)",
+    )
+    p.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="where to write the speedscope profile (default "
+             "profile.speedscope.json; a .folded.txt sibling is "
+             "written next to it; implies --profile)",
+    )
+    p.add_argument(
+        "--profile-hz", type=int, default=None, metavar="HZ",
+        help="profiler sampling rate in samples/s (default 101)",
+    )
+    p.add_argument(
+        "--timeseries", action="store_true",
+        help="periodically snapshot every metric counter so the "
+             "manifest (and --trace-out) record curves over the run "
+             "instead of one final number",
+    )
+    p.add_argument(
+        "--timeseries-interval", type=float, default=None,
+        metavar="SECONDS",
+        help="metric sampling interval for --timeseries "
+             "(default 0.25s)",
     )
     p.add_argument(
         "--progress", dest="progress", action="store_const",
@@ -550,6 +664,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="convert the manifest's span tree to a Chrome/Perfetto "
              "Trace Event file instead of rendering it",
     )
+    p_report.add_argument(
+        "--append-history", action="store_true",
+        help="also append the manifest's wall time and top-level "
+             "phase timings to the perf-history store",
+    )
+    p_report.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="perf-history store to append to (default "
+             "$REPRO_HISTORY_DIR/history.jsonl or "
+             "benchmarks/history.jsonl)",
+    )
     p_report.set_defaults(func=_cmd_report)
 
     p_bench = sub.add_parser(
@@ -559,7 +684,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "record", metavar="BENCH_JSON",
         help="path to a BENCH_<name>.json record emitted by the "
-             "benchmark plugin",
+             "benchmark plugin, or the literal word 'trend' to judge "
+             "the perf-history store instead",
     )
     p_bench.add_argument(
         "--compare", default=None, metavar="BASELINE",
@@ -574,6 +700,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--advisory", action="store_true",
         help="report regressions but always exit 0 (CI advisory mode)",
+    )
+    p_bench.add_argument(
+        "--append-history", action="store_true",
+        help="also append the record's per-test medians to the "
+             "perf-history store",
+    )
+    p_bench.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="perf-history store to read/append (default "
+             "$REPRO_HISTORY_DIR/history.jsonl or "
+             "benchmarks/history.jsonl)",
+    )
+    p_bench.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="trend mode: judge the newest point of each series "
+             "against the median of up to N preceding points "
+             "(default 5)",
+    )
+    p_bench.add_argument(
+        "--mad-k", type=float, default=4.0, metavar="K",
+        help="trend mode: MAD-band multiplier; a point beyond "
+             "median + K*MAD flags (default 4.0)",
+    )
+    p_bench.add_argument(
+        "--rel-floor", type=float, default=0.25, metavar="F",
+        help="trend mode: minimum relative movement that can flag, "
+             "so flat series absorb timer jitter (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--series", default=None, metavar="SUBSTR",
+        help="trend mode: only judge series whose name contains "
+             "SUBSTR",
     )
     p_bench.set_defaults(func=_cmd_bench)
     return parser
@@ -600,6 +758,15 @@ def _finish_run(
         with open(metrics_out, "w") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
             handle.write("\n")
+    profiling = bool(
+        getattr(args, "profile", False)
+        or getattr(args, "profile_out", None)
+    )
+    profile_summary = PROFILER.summary() if profiling else None
+    timeseries_summary = (
+        TIMESERIES.summary()
+        if getattr(args, "timeseries", False) else None
+    )
     if getattr(args, "manifest", None) and not getattr(
         args, "no_manifest", False
     ):
@@ -611,11 +778,36 @@ def _finish_run(
             trace=TRACER.export() if TRACER.enabled else None,
             wall_seconds=wall_seconds,
             cpu_seconds=cpu_seconds,
+            profile=profile_summary,
+            timeseries=timeseries_summary,
         )
         write_manifest(manifest, args.manifest)
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
-        write_trace_events(TRACER.export(), trace_out)
+        write_trace_events(
+            TRACER.export(),
+            trace_out,
+            counter_tracks=(
+                TIMESERIES.counter_tracks()
+                if getattr(args, "timeseries", False) else None
+            ),
+        )
+    if profiling:
+        profile_out = (
+            getattr(args, "profile_out", None)
+            or "profile.speedscope.json"
+        )
+        state = PROFILER.snapshot()
+        target = write_speedscope(
+            state, profile_out, name=f"repro {args.command}"
+        )
+        folded = write_folded(state, folded_path_for(profile_out))
+        print(
+            f"profile: {PROFILER.sample_count} samples at "
+            f"{PROFILER.hz} Hz -> {target} (speedscope.app) and "
+            f"{folded} (flamegraph.pl)",
+            file=sys.stderr,
+        )
     stats = getattr(ctx, "task_stats", None) or {}
     failed = stats.get("failed") or []
     if failed:
@@ -681,6 +873,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         MEMPROF.enable()
     else:
         MEMPROF.disable()
+    # --profile-out / --profile-hz imply --profile; off means the
+    # profiler object stays inert (no sampler thread exists).
+    profiling = bool(
+        getattr(args, "profile", False)
+        or getattr(args, "profile_out", None)
+    )
+    try:
+        if profiling:
+            PROFILER.reset()
+            PROFILER.enable(getattr(args, "profile_hz", None))
+        else:
+            PROFILER.disable()
+        if getattr(args, "timeseries", False):
+            TIMESERIES.reset()
+            TIMESERIES.start(
+                getattr(args, "timeseries_interval", None)
+            )
+        else:
+            TIMESERIES.stop()
+            TIMESERIES.reset()
+    except ValueError as exc:
+        _usage_error(str(exc))
     PROGRESS.configure(
         mode=getattr(args, "progress", "auto"),
         log_level=getattr(args, "log_level", "warning"),
@@ -707,6 +921,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 os.environ["REPRO_NO_PLAN_INDEX"] = saved_no_index
     wall_seconds = time.perf_counter() - wall_start
     cpu_seconds = time.process_time() - cpu_start
+    # Stop the samplers before reading their state so the artefacts
+    # cover exactly the command body.
+    if profiling:
+        PROFILER.disable()
+    if getattr(args, "timeseries", False):
+        TIMESERIES.stop()
     if args.command not in ("report", "bench"):
         _finish_run(args, run.ctx, wall_seconds, cpu_seconds)
     return code

@@ -43,9 +43,11 @@ On top of the plain fan-out sits the resilience layer:
 
 Observability crosses the process boundary in both directions.  On the
 way out, workers inherit the parent's tracing flag and log level; on
-the way back, every task ships its metric delta and span sub-tree with
-its result, and the parent :meth:`~repro.obs.metrics.MetricsRegistry.merge`\\ s
-and :meth:`~repro.obs.trace.Tracer.graft`\\ s them.  A ``--jobs N`` run
+the way back, every task ships its metric delta, span sub-tree and (under
+``--profile``) folded-stack profile delta with its result, and the
+parent :meth:`~repro.obs.metrics.MetricsRegistry.merge`\\ s,
+:meth:`~repro.obs.trace.Tracer.graft`\\ s and
+:meth:`~repro.obs.profile.SamplingProfiler.merge`\\ s them.  A ``--jobs N`` run
 therefore reports the *same metric totals* and the *same span-tree
 shape* as the serial run — only the timings differ
 (``tests/experiments/test_parallel_obs.py``).  Only a task's
@@ -79,6 +81,7 @@ from ..obs.faults import (
 from ..obs.logs import configure_logging, configured_log_level
 from ..obs.memprof import MEMPROF
 from ..obs.metrics import METRICS
+from ..obs.profile import PROFILER
 from ..obs.trace import TRACER, span
 from .journal import RunJournal
 
@@ -175,6 +178,11 @@ def _init_worker(
         level = obs_config.get("log_level")
         if level is not None:
             configure_logging(level)
+        profile_hz = obs_config.get("profile_hz")
+        if profile_hz:
+            # Child process: sample this worker's own main thread and
+            # ship the folded stacks back with each task result.
+            PROFILER.enable(profile_hz)
         _STATE["faults"] = obs_config.get("faults")
         _STATE["timeout"] = obs_config.get("timeout")
 
@@ -219,13 +227,16 @@ def _instrumented_call(task: tuple[int, Any, int]):
     worker = _STATE["worker"]
     METRICS.reset()
     TRACER.reset()
+    if PROFILER.enabled:
+        PROFILER.reset()
     with span(_STATE["task_span"], index=index):
         with time_limit(_STATE.get("timeout")):
             _maybe_inject(
                 _STATE.get("faults"), index, attempt, allow_kill=True
             )
             result = worker(item)
-    return result, TRACER.export(), METRICS.snapshot()
+    profile = PROFILER.snapshot() if PROFILER.enabled else None
+    return result, TRACER.export(), METRICS.snapshot(), profile
 
 
 @dataclass
@@ -385,6 +396,7 @@ def _run_pool(
         "trace": TRACER.enabled,
         "memprof": MEMPROF.enabled,
         "log_level": configured_log_level(),
+        "profile_hz": PROFILER.hz if PROFILER.enabled else None,
         "faults": faults,
         "timeout": policy.task_timeout,
     }
@@ -461,7 +473,7 @@ def _run_pool(
             for future in done:
                 state = in_flight.pop(future)
                 try:
-                    result, spans, snapshot = future.result()
+                    result, spans, snapshot, profile = future.result()
                 except BrokenProcessPool:
                     reschedule(
                         state, WorkerCrash("worker process died mid-task")
@@ -474,6 +486,7 @@ def _run_pool(
                 else:
                     TRACER.graft(spans)
                     METRICS.merge(snapshot)
+                    PROFILER.merge(profile)
                     sched.succeed(state, result)
             if broken:
                 crash_in_flight("worker process died (broken pool)")

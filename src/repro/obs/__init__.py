@@ -23,7 +23,15 @@ A zero-dependency instrumentation spine for the experiment pipeline:
   the SIGALRM task deadline the resilient executor runs under;
 * :mod:`repro.obs.report` — rendering a manifest (or a diff of two)
   into the ``repro report`` breakdown;
-* :mod:`repro.obs.logs` — stdlib logging wiring for ``--log-level``.
+* :mod:`repro.obs.logs` — stdlib logging wiring for ``--log-level``;
+* :mod:`repro.obs.profile` — the sampling wall-clock profiler behind
+  ``--profile`` (folded stacks, speedscope + flamegraph export,
+  mergeable across ``--jobs`` workers);
+* :mod:`repro.obs.timeseries` — periodic metric-registry snapshots
+  (``--timeseries``) rendered as counter tracks in the trace export
+  and a counter-curve summary in the manifest;
+* :mod:`repro.obs.history` — the append-only perf-history store and
+  the ``repro bench trend`` multi-run regression gate.
 """
 
 from .bench import (
@@ -59,6 +67,19 @@ from .export import (
     validate_trace_events,
     write_trace_events,
 )
+from .history import (
+    HISTORY_SCHEMA_VERSION,
+    SeriesTrend,
+    TrendReport,
+    append_history,
+    bench_history_entries,
+    default_history_path,
+    detect_trends,
+    load_history,
+    manifest_history_entries,
+    render_trend_report,
+    validate_history_entry,
+)
 from .logs import LOG_LEVELS, configure_logging, configured_log_level
 from .manifest import (
     SCHEMA_VERSION,
@@ -74,19 +95,37 @@ from .manifest import (
 )
 from .memprof import MEMPROF, MemoryProfiler, rss_kb
 from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    PROFILER,
+    SamplingProfiler,
+    build_speedscope,
+    folded_lines,
+    folded_path_for,
+    validate_speedscope,
+    write_folded,
+    write_speedscope,
+)
 from .progress import PROGRESS, ProgressReporter, ProgressTask
 from .report import render_comparison, render_manifest
+from .timeseries import (
+    TIMESERIES,
+    TimeseriesRecorder,
+    counter_track_events,
+)
 from .trace import TRACER, Span, Tracer, span
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "FAULT_KINDS",
+    "HISTORY_SCHEMA_VERSION",
     "LOG_LEVELS",
     "MEMPROF",
     "METRICS",
     "ON_ERROR_MODES",
+    "PROFILER",
     "PROGRESS",
     "SCHEMA_VERSION",
+    "TIMESERIES",
     "TRACER",
     "BenchComparison",
     "BenchDelta",
@@ -102,28 +141,43 @@ __all__ = [
     "ProgressReporter",
     "ProgressTask",
     "RetryPolicy",
+    "SamplingProfiler",
+    "SeriesTrend",
     "Span",
     "TaskTimeout",
+    "TimeseriesRecorder",
     "Tracer",
+    "TrendReport",
+    "append_history",
     "apply_fault",
     "backoff_delay",
+    "bench_history_entries",
     "build_bench_record",
     "build_manifest",
+    "build_speedscope",
     "catalog_digest",
     "compare_bench_records",
     "configure_logging",
     "configured_log_level",
+    "counter_track_events",
+    "default_history_path",
+    "detect_trends",
     "empty_task_stats",
     "environment_fingerprint",
     "fault_roll",
     "event_names",
+    "folded_lines",
+    "folded_path_for",
     "git_revision",
     "load_bench_record",
+    "load_history",
     "manifest_from_context",
+    "manifest_history_entries",
     "render_bench_comparison",
     "render_bench_record",
     "render_comparison",
     "render_manifest",
+    "render_trend_report",
     "rss_kb",
     "span",
     "span_names",
@@ -131,9 +185,13 @@ __all__ = [
     "time_limit",
     "trace_events",
     "validate_bench_record",
+    "validate_history_entry",
     "validate_manifest",
+    "validate_speedscope",
     "validate_trace_events",
     "write_bench_record",
+    "write_folded",
     "write_manifest",
+    "write_speedscope",
     "write_trace_events",
 ]

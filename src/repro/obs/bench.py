@@ -189,6 +189,12 @@ class BenchComparison:
     benchmark: str
     threshold: float
     deltas: tuple[BenchDelta, ...]
+    #: Provenance of both sides, so an archived verdict names exactly
+    #: which commits and catalogs it compared.
+    baseline_git_sha: "str | None" = None
+    current_git_sha: "str | None" = None
+    baseline_catalog_digest: "str | None" = None
+    current_catalog_digest: "str | None" = None
 
     @property
     def regressions(self) -> tuple[BenchDelta, ...]:
@@ -268,6 +274,10 @@ def compare_bench_records(
         benchmark=str(current.get("benchmark", "?")),
         threshold=float(threshold),
         deltas=tuple(deltas),
+        baseline_git_sha=baseline.get("git_sha"),
+        current_git_sha=current.get("git_sha"),
+        baseline_catalog_digest=baseline.get("catalog_digest"),
+        current_catalog_digest=current.get("catalog_digest"),
     )
 
 
@@ -343,10 +353,11 @@ def render_bench_comparison(comparison: BenchComparison) -> str:
         for name in removed:
             lines.append(f"  - {name}")
     lines.append("")
+    provenance = _comparison_provenance(comparison)
     if comparison.ok:
         lines.append(
             f"verdict: OK — no test regressed beyond "
-            f"{comparison.threshold:.0%}"
+            f"{comparison.threshold:.0%}  [{provenance}]"
         )
     else:
         worst = max(
@@ -357,9 +368,23 @@ def render_bench_comparison(comparison: BenchComparison) -> str:
             f"verdict: REGRESSION — "
             f"{len(comparison.regressions)} test(s) slower than "
             f"{comparison.threshold:.0%} (worst: {worst.name} at "
-            f"{worst.ratio:.2f}x)"
+            f"{worst.ratio:.2f}x)  [{provenance}]"
         )
     return "\n".join(lines)
+
+
+def _comparison_provenance(comparison: BenchComparison) -> str:
+    """``git a->b, catalog c->d`` naming exactly what was compared."""
+
+    def short(value: "str | None") -> str:
+        return value[:12] if value else "unknown"
+
+    return (
+        f"git {short(comparison.baseline_git_sha)} -> "
+        f"{short(comparison.current_git_sha)}, catalog "
+        f"{short(comparison.baseline_catalog_digest)} -> "
+        f"{short(comparison.current_catalog_digest)}"
+    )
 
 
 # ----------------------------------------------------------------------

@@ -153,8 +153,8 @@ def validate_trace_events(data: Any) -> list[str]:
             errors.append(f"{where}: must be an object")
             continue
         phase = event.get("ph")
-        if phase not in ("X", "M"):
-            errors.append(f"{where}: ph must be 'X' or 'M'")
+        if phase not in ("X", "M", "C"):
+            errors.append(f"{where}: ph must be 'X', 'M' or 'C'")
             continue
         if not isinstance(event.get("name"), str):
             errors.append(f"{where}: name must be a string")
@@ -167,6 +167,11 @@ def validate_trace_events(data: Any) -> list[str]:
                     errors.append(
                         f"{where}: {field} must be a number"
                     )
+        elif phase == "C":
+            if not isinstance(event.get("ts"), (int, float)):
+                errors.append(f"{where}: ts must be a number")
+            if not isinstance(event.get("args"), dict):
+                errors.append(f"{where}: args must be an object")
     return errors
 
 
@@ -174,8 +179,21 @@ def write_trace_events(
     trace: "Iterable[Mapping[str, Any]] | None",
     path: "str | os.PathLike",
     pid: int = 1,
+    counter_tracks: (
+        "Mapping[str, list[tuple[float, Any]]] | None"
+    ) = None,
 ) -> Path:
-    """Convert a span tree and write the event array as JSON."""
+    """Convert a span tree and write the event array as JSON.
+
+    ``counter_tracks`` (from ``--timeseries``, see
+    :meth:`repro.obs.timeseries.TimeseriesRecorder.counter_tracks`)
+    appends one counter track per metric to the same file, so the
+    curves render under the span timeline.
+    """
+    from .timeseries import counter_track_events
+
+    events = trace_events(trace, pid=pid)
+    events.extend(counter_track_events(counter_tracks, pid=pid))
     target = Path(path)
-    target.write_text(json.dumps(trace_events(trace, pid=pid)) + "\n")
+    target.write_text(json.dumps(events) + "\n")
     return target

@@ -1,0 +1,468 @@
+"""Append-only perf history + the multi-run trend gate.
+
+``repro bench --compare`` answers "did *this* run regress against
+*that* baseline?" — a pairwise question that misses slow drift (five
+consecutive +10% PRs never trip a 15% pairwise gate) and single-run
+noise (one unlucky baseline poisons every later comparison).  This
+module keeps the whole trajectory instead:
+
+* **the store** — ``benchmarks/history.jsonl`` (or
+  ``$REPRO_HISTORY_DIR/history.jsonl``), one JSON object per line,
+  append-only.  Entries are tiny: a series key, a value in seconds,
+  and provenance (git SHA, catalog digest, source file, timestamp).
+  Every benchmark session appends automatically through the pytest
+  plugin (``benchmarks/conftest.py``); BENCH records and run
+  manifests can be ingested after the fact with
+  ``repro bench RECORD --append-history`` /
+  ``repro report MANIFEST --append-history``.
+* **series** — one per measured quantity: ``bench:<module>/<test>``
+  for benchmark medians, ``manifest:<command>/<phase>`` for top-level
+  span timings and ``manifest:<command>/total`` for whole-run wall
+  time.
+* **the gate** — :func:`detect_trends` judges the newest point of each
+  series against the *median of the preceding window* with a MAD
+  band: robust to one-off noise (the median ignores it), sensitive to
+  real shifts (a 2x jump clears any sane band).  A change-point flag
+  marks shifts sustained over the latest two points — the signature
+  of an actual regression rather than a noisy sample.  ``repro bench
+  trend`` renders the verdict and exits non-zero on regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "SeriesTrend",
+    "TrendReport",
+    "append_history",
+    "bench_history_entries",
+    "default_history_path",
+    "detect_trends",
+    "load_history",
+    "manifest_history_entries",
+    "render_trend_report",
+    "validate_history_entry",
+]
+
+logger = logging.getLogger(__name__)
+
+HISTORY_SCHEMA_VERSION = 1
+
+#: Entry schema: field -> allowed instance types.
+_FIELDS: dict[str, tuple] = {
+    "history_schema_version": (int,),
+    "series": (str,),
+    "value_seconds": (int, float),
+    "created_unix": (int, float),
+    "git_sha": (str, type(None)),
+    "catalog_digest": (str, type(None)),
+    "source": (str, type(None)),
+}
+
+#: Default trend window: the newest point is judged against the median
+#: of up to this many preceding points.
+DEFAULT_WINDOW = 5
+
+#: MAD multiplier of the regression band (scaled to sigma-equivalent).
+DEFAULT_MAD_K = 4.0
+
+#: Relative band floor: a series flatter than its own noise still
+#: needs this much relative movement before it flags — absorbs timer
+#: jitter on near-constant series where the MAD collapses to ~0.
+DEFAULT_REL_FLOOR = 0.25
+
+#: MAD -> sigma-equivalent scale for normally distributed noise.
+_MAD_SIGMA = 1.4826
+
+
+def default_history_path() -> Path:
+    """``$REPRO_HISTORY_DIR/history.jsonl``, else the repo store."""
+    root = os.environ.get("REPRO_HISTORY_DIR")
+    if root:
+        return Path(root) / "history.jsonl"
+    return Path("benchmarks") / "history.jsonl"
+
+
+def _entry(
+    series: str,
+    value_seconds: float,
+    created_unix: "float | None",
+    git_sha: "str | None",
+    catalog_digest: "str | None",
+    source: "str | None",
+) -> dict[str, Any]:
+    return {
+        "history_schema_version": HISTORY_SCHEMA_VERSION,
+        "series": series,
+        "value_seconds": float(value_seconds),
+        "created_unix": (
+            float(created_unix) if created_unix is not None
+            else time.time()
+        ),
+        "git_sha": git_sha,
+        "catalog_digest": catalog_digest,
+        "source": source,
+    }
+
+
+def validate_history_entry(data: Any) -> list[str]:
+    """All schema violations in one entry (empty list == valid)."""
+    if not isinstance(data, dict):
+        return ["history entry must be a JSON object"]
+    errors = []
+    for field, types in _FIELDS.items():
+        if field not in data:
+            errors.append(f"missing field: {field}")
+        elif not isinstance(data[field], types):
+            errors.append(
+                f"field {field}: expected "
+                f"{'/'.join(t.__name__ for t in types)}, got "
+                f"{type(data[field]).__name__}"
+            )
+    for field in data:
+        if field not in _FIELDS:
+            errors.append(f"unknown field: {field}")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Ingestion: BENCH records and run manifests -> entries
+# ----------------------------------------------------------------------
+def bench_history_entries(
+    record: Mapping[str, Any], source: "str | None" = None
+) -> list[dict[str, Any]]:
+    """One ``bench:<module>/<test>`` entry per test median."""
+    module = str(record.get("benchmark", "?"))
+    entries = []
+    for test, stats in sorted((record.get("results") or {}).items()):
+        median = (
+            stats.get("median_seconds")
+            if isinstance(stats, Mapping) else None
+        )
+        if not isinstance(median, (int, float)):
+            continue
+        entries.append(_entry(
+            series=f"bench:{module}/{test}",
+            value_seconds=median,
+            created_unix=record.get("created_unix"),
+            git_sha=record.get("git_sha"),
+            catalog_digest=record.get("catalog_digest"),
+            source=source,
+        ))
+    return entries
+
+
+def manifest_history_entries(
+    manifest: Mapping[str, Any], source: "str | None" = None
+) -> list[dict[str, Any]]:
+    """Whole-run wall time plus one entry per top-level span phase."""
+    command = str(manifest.get("command", "?"))
+    created = manifest.get("created_unix")
+    git_sha = manifest.get("git_sha")
+    catalog = manifest.get("catalog_digest")
+    entries = []
+    timing = manifest.get("timing") or {}
+    wall = timing.get("wall_seconds")
+    if isinstance(wall, (int, float)):
+        entries.append(_entry(
+            series=f"manifest:{command}/total",
+            value_seconds=wall,
+            created_unix=created,
+            git_sha=git_sha,
+            catalog_digest=catalog,
+            source=source,
+        ))
+    phases: dict[str, float] = {}
+    for node in manifest.get("trace") or ():
+        for child in node.get("children") or ():
+            name = str(child.get("name", "?"))
+            phases[name] = phases.get(name, 0.0) + float(
+                child.get("wall_seconds", 0.0)
+            )
+    for name, seconds in sorted(phases.items()):
+        entries.append(_entry(
+            series=f"manifest:{command}/{name}",
+            value_seconds=seconds,
+            created_unix=created,
+            git_sha=git_sha,
+            catalog_digest=catalog,
+            source=source,
+        ))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+def append_history(
+    entries: Iterable[Mapping[str, Any]],
+    path: "str | os.PathLike | None" = None,
+) -> Path:
+    """Append entries to the JSONL store (created if missing)."""
+    target = Path(path) if path is not None else default_history_path()
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for entry in entries:
+        errors = validate_history_entry(dict(entry))
+        if errors:
+            raise ValueError(
+                "invalid history entry: " + "; ".join(errors)
+            )
+        lines.append(json.dumps(entry, sort_keys=True))
+    if lines:
+        with open(target, "a") as handle:
+            handle.write("\n".join(lines) + "\n")
+    return target
+
+
+def load_history(
+    path: "str | os.PathLike | None" = None,
+) -> list[dict[str, Any]]:
+    """All valid entries of the store, in file order.
+
+    Corrupt or schema-invalid lines are skipped with a WARNING — an
+    append-only file shared across tools must degrade, not explode.
+    A missing store reads as empty.
+    """
+    target = Path(path) if path is not None else default_history_path()
+    try:
+        text = target.read_text()
+    except OSError:
+        return []
+    entries = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError:
+            logger.warning(
+                "%s:%d: skipping unparseable history line",
+                target, number,
+            )
+            continue
+        errors = validate_history_entry(data)
+        if errors:
+            logger.warning(
+                "%s:%d: skipping invalid history entry (%s)",
+                target, number, "; ".join(errors),
+            )
+            continue
+        entries.append(data)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Trend detection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SeriesTrend:
+    """The newest point of one series judged against its history."""
+
+    series: str
+    #: Total recorded points for the series.
+    count: int
+    #: Median of the preceding window (None when count < 3).
+    baseline_median: "float | None"
+    #: Sigma-equivalent MAD of the preceding window.
+    mad: "float | None"
+    latest: float
+    #: latest / baseline_median (None when not judged).
+    ratio: "float | None"
+    #: ``regression`` / ``improvement`` / ``ok`` / ``insufficient``.
+    status: str
+    #: True when the latest two points both sit beyond the band — a
+    #: sustained shift, not a one-sample spike.
+    changepoint: bool
+
+
+@dataclass(frozen=True)
+class TrendReport:
+    """The trend verdict over every series of a history store."""
+
+    window: int
+    mad_k: float
+    rel_floor: float
+    series: tuple[SeriesTrend, ...]
+
+    @property
+    def regressions(self) -> tuple[SeriesTrend, ...]:
+        return tuple(
+            s for s in self.series if s.status == "regression"
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _median(values: "list[float]") -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _judge_series(
+    series: str,
+    values: "list[float]",
+    window: int,
+    mad_k: float,
+    rel_floor: float,
+) -> SeriesTrend:
+    count = len(values)
+    latest = values[-1]
+    if count < 3:
+        return SeriesTrend(
+            series=series, count=count, baseline_median=None,
+            mad=None, latest=latest, ratio=None,
+            status="insufficient", changepoint=False,
+        )
+    # Judge the newest point against the window that precedes it.
+    baseline = values[:-1][-window:]
+    med = _median(baseline)
+    mad = _MAD_SIGMA * _median(
+        [abs(value - med) for value in baseline]
+    )
+    if med <= 0.0 or not math.isfinite(med):
+        return SeriesTrend(
+            series=series, count=count, baseline_median=med,
+            mad=mad, latest=latest, ratio=None, status="ok",
+            changepoint=False,
+        )
+    band = max(mad_k * mad, rel_floor * med)
+
+    def beyond(value: float) -> bool:
+        return value > med + band
+
+    if beyond(latest):
+        status = "regression"
+    elif latest < med - band:
+        status = "improvement"
+    else:
+        status = "ok"
+    changepoint = (
+        status != "ok"
+        and count >= 4
+        and (
+            beyond(values[-2])
+            if status == "regression"
+            else values[-2] < med - band
+        )
+    )
+    return SeriesTrend(
+        series=series, count=count, baseline_median=med, mad=mad,
+        latest=latest, ratio=latest / med, status=status,
+        changepoint=changepoint,
+    )
+
+
+def detect_trends(
+    entries: Iterable[Mapping[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    mad_k: float = DEFAULT_MAD_K,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    series_filter: "str | None" = None,
+) -> TrendReport:
+    """Judge every series' newest point against its recent history.
+
+    ``window`` bounds how many preceding points the baseline median
+    sees; ``mad_k`` scales the MAD band, ``rel_floor`` is the minimum
+    relative movement that can ever flag (noise absorber for flat
+    series).  ``series_filter`` keeps only series containing the
+    substring.  Entries are taken in append order per series (the
+    store is append-only, so file order is time order); ties in
+    ``created_unix`` therefore stay stable.
+    """
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    grouped: dict[str, list[float]] = {}
+    for entry in entries:
+        series = str(entry["series"])
+        if series_filter and series_filter not in series:
+            continue
+        grouped.setdefault(series, []).append(
+            float(entry["value_seconds"])
+        )
+    return TrendReport(
+        window=window,
+        mad_k=mad_k,
+        rel_floor=rel_floor,
+        series=tuple(
+            _judge_series(series, values, window, mad_k, rel_floor)
+            for series, values in sorted(grouped.items())
+        ),
+    )
+
+
+def _format_seconds(value: "float | None") -> str:
+    if value is None:
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.3f}s"
+
+
+def render_trend_report(report: TrendReport) -> str:
+    """The trend verdict as a per-series table plus a verdict line."""
+    lines = [
+        f"bench trend: {len(report.series)} series  "
+        f"(window {report.window}, MAD k={report.mad_k:g}, "
+        f"floor {report.rel_floor:.0%})"
+    ]
+    header = (
+        f"{'series':<52} {'n':>3} {'median':>10} {'latest':>10} "
+        f"{'ratio':>7}  status"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for trend in report.series:
+        ratio = (
+            f"{trend.ratio:.2f}x" if trend.ratio is not None else "-"
+        )
+        status = trend.status.upper()
+        if trend.changepoint:
+            status += " (change-point)"
+        lines.append(
+            f"{trend.series:<52} {trend.count:>3} "
+            f"{_format_seconds(trend.baseline_median):>10} "
+            f"{_format_seconds(trend.latest):>10} "
+            f"{ratio:>7}  {status}"
+        )
+    lines.append("")
+    judged = [s for s in report.series if s.status != "insufficient"]
+    if not judged:
+        lines.append(
+            "verdict: INSUFFICIENT DATA — every series has fewer "
+            "than 3 points; append more runs"
+        )
+    elif report.ok:
+        lines.append(
+            f"verdict: OK — no series regressed beyond its MAD band "
+            f"({len(judged)} judged, "
+            f"{len(report.series) - len(judged)} with too little "
+            "history)"
+        )
+    else:
+        worst = max(
+            report.regressions,
+            key=lambda s: s.ratio if s.ratio is not None else 0.0,
+        )
+        lines.append(
+            f"verdict: REGRESSION — {len(report.regressions)} "
+            f"series beyond their MAD band (worst: {worst.series} "
+            f"at {worst.ratio:.2f}x median)"
+        )
+    return "\n".join(lines)

@@ -53,7 +53,10 @@ __all__ = [
 
 #: v2 added the ``tasks`` field (per-task outcome accounting: planned/
 #: completed/resumed/retried counts plus the ``failed[]`` hole list).
-SCHEMA_VERSION = 2
+#: v3 added the nullable ``profile`` (``--profile`` sampling summary:
+#: hz, samples, hot-function table) and ``timeseries`` (``--timeseries``
+#: counter-curve summary) fields.
+SCHEMA_VERSION = 3
 
 #: Top-level manifest schema: field -> allowed instance types.
 _FIELDS: dict[str, tuple] = {
@@ -71,6 +74,8 @@ _FIELDS: dict[str, tuple] = {
     "trace": (list, type(None)),
     "timing": (dict,),
     "tasks": (dict,),
+    "profile": (dict, type(None)),
+    "timeseries": (dict, type(None)),
 }
 
 #: ``tasks`` sub-schema (counts plus the failure list).
@@ -139,6 +144,8 @@ def build_manifest(
     wall_seconds: float = 0.0,
     cpu_seconds: float = 0.0,
     tasks: "Mapping[str, Any] | None" = None,
+    profile: "Mapping[str, Any] | None" = None,
+    timeseries: "Mapping[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """Assemble a schema-valid manifest dict for one finished run."""
     from .. import __version__
@@ -164,6 +171,8 @@ def build_manifest(
             "cpu_seconds": float(cpu_seconds),
         },
         "tasks": dict(tasks) if tasks else empty_task_stats(),
+        "profile": dict(profile) if profile else None,
+        "timeseries": dict(timeseries) if timeseries else None,
     }
 
 
@@ -175,6 +184,8 @@ def manifest_from_context(
     trace: "list | None" = None,
     wall_seconds: float = 0.0,
     cpu_seconds: float = 0.0,
+    profile: "Mapping[str, Any] | None" = None,
+    timeseries: "Mapping[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """Assemble a manifest straight from a run context.
 
@@ -196,6 +207,8 @@ def manifest_from_context(
         wall_seconds=wall_seconds,
         cpu_seconds=cpu_seconds,
         tasks=getattr(ctx, "task_stats", None),
+        profile=profile,
+        timeseries=timeseries,
     )
 
 
@@ -301,4 +314,17 @@ def validate_manifest(data: Any) -> list[str]:
     if isinstance(trace, list):
         for position, node in enumerate(trace):
             _validate_span(node, f"trace[{position}]", errors)
+    profile = data.get("profile")
+    if isinstance(profile, dict):
+        for field in ("hz", "samples", "distinct_stacks"):
+            if not isinstance(profile.get(field), int):
+                errors.append(f"profile.{field} must be an integer")
+        if not isinstance(profile.get("top"), list):
+            errors.append("profile.top must be a list")
+    timeseries = data.get("timeseries")
+    if isinstance(timeseries, dict):
+        if not isinstance(timeseries.get("samples"), int):
+            errors.append("timeseries.samples must be an integer")
+        if not isinstance(timeseries.get("counters"), dict):
+            errors.append("timeseries.counters must be an object")
     return errors

@@ -215,7 +215,64 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
     if index_summary:
         lines.append("")
         lines.append(index_summary)
+    _profile_lines(manifest.get("profile"), lines)
+    _timeseries_lines(manifest.get("timeseries"), lines)
     return "\n".join(lines)
+
+
+def _profile_lines(
+    profile: "Mapping[str, Any] | None", lines: list[str]
+) -> None:
+    """The ``--profile`` hot-function table of a manifest."""
+    if not profile:
+        return
+    lines.append("")
+    lines.append(
+        f"profile: {profile.get('samples', 0)} samples at "
+        f"{profile.get('hz', '?')} Hz over "
+        f"{profile.get('duration_seconds', 0.0):.2f}s "
+        f"({profile.get('distinct_stacks', 0)} distinct stacks)"
+    )
+    top = profile.get("top") or []
+    if not top:
+        return
+    header = f"{'hot function':<56} {'total':>7} {'self':>7}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in top:
+        lines.append(
+            f"{str(entry.get('frame', '?')):<56} "
+            f"{entry.get('total_samples', 0):>7} "
+            f"{entry.get('self_samples', 0):>7}"
+        )
+
+
+def _timeseries_lines(
+    timeseries: "Mapping[str, Any] | None", lines: list[str]
+) -> None:
+    """The ``--timeseries`` counter-track summary of a manifest."""
+    if not timeseries:
+        return
+    lines.append("")
+    lines.append(
+        f"timeseries: {timeseries.get('samples', 0)} samples every "
+        f"{timeseries.get('interval_seconds', 0.0):.2f}s over "
+        f"{timeseries.get('duration_seconds', 0.0):.2f}s"
+    )
+    counters = timeseries.get("counters") or {}
+    if not counters:
+        return
+    header = (
+        f"{'counter track':<44} {'first':>10} {'last':>10} "
+        f"{'peak':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, track in sorted(counters.items()):
+        lines.append(
+            f"{name:<44} {track.get('first', 0):>10,} "
+            f"{track.get('last', 0):>10,} {track.get('peak', 0):>10,}"
+        )
 
 
 def _top_level_walls(

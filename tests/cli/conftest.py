@@ -1,12 +1,13 @@
 import pytest
 
-from repro.obs import MEMPROF, PROGRESS
+from repro.obs import MEMPROF, PROFILER, PROGRESS, TIMESERIES
 
 
 @pytest.fixture(autouse=True)
 def _isolated_cache(tmp_path, monkeypatch):
-    """Keep CLI artefacts (cache, run manifests) out of the repo."""
+    """Keep CLI artefacts (cache, manifests, history) out of the repo."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "plan-cache"))
+    monkeypatch.setenv("REPRO_HISTORY_DIR", str(tmp_path / "history"))
     monkeypatch.chdir(tmp_path)
 
 
@@ -15,4 +16,8 @@ def _reset_obs_globals():
     """CLI runs mutate process-global observability state; restore it."""
     yield
     MEMPROF.disable()
+    PROFILER.disable()
+    PROFILER.reset()
+    TIMESERIES.stop()
+    TIMESERIES.reset()
     PROGRESS.configure(mode="auto", log_level="warning", stream=None)

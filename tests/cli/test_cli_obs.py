@@ -316,3 +316,247 @@ def test_bench_writes_no_manifest(capsys):
     _bench_record("bench.json", 1.0)
     assert main(["bench", "bench.json"]) == 0
     assert not Path("run-manifest.json").exists()
+
+
+# ----------------------------------------------------------------------
+# Sampling profiler (--profile / --profile-out / --profile-hz)
+# ----------------------------------------------------------------------
+def test_profile_writes_speedscope_and_folded(capsys):
+    from repro.obs import validate_speedscope
+
+    assert main(FIGURE + ["--profile", "--profile-hz", "997"]) == 0
+    err = capsys.readouterr().err
+    assert "profile:" in err
+    assert "speedscope.app" in err
+    doc = json.loads(Path("profile.speedscope.json").read_text())
+    assert validate_speedscope(doc) == []
+    folded = Path("profile.folded.txt").read_text().splitlines()
+    assert folded
+    assert all(" " in line for line in folded)
+    profile = _manifest()["profile"]
+    assert profile is not None
+    assert profile["hz"] == 997
+    assert profile["samples"] > 0
+    assert profile["top"]
+
+
+def test_profile_out_implies_profile(tmp_path):
+    target = tmp_path / "deep" / "p.speedscope.json"
+    target.parent.mkdir()
+    assert main(FIGURE + [
+        "--profile-out", str(target), "--profile-hz", "997",
+    ]) == 0
+    assert target.exists()
+    assert (tmp_path / "deep" / "p.folded.txt").exists()
+    assert not Path("profile.speedscope.json").exists()
+
+
+def test_profile_off_by_default(capsys):
+    from repro.obs import PROFILER
+
+    assert main(FIGURE) == 0
+    assert _manifest()["profile"] is None
+    assert not Path("profile.speedscope.json").exists()
+    assert PROFILER.thread is None
+    assert "profile:" not in capsys.readouterr().err
+
+
+def test_profile_does_not_change_results(capsys):
+    main(FIGURE + ["--manifest", "a.json"])
+    main(FIGURE + [
+        "--profile", "--profile-hz", "997", "--manifest", "b.json",
+    ])
+    plain, profiled = _manifest("a.json"), _manifest("b.json")
+    assert profiled["result_digests"] == plain["result_digests"]
+
+
+def test_profile_rejects_bad_hz():
+    with pytest.raises(SystemExit):
+        main(FIGURE + ["--profile", "--profile-hz", "0"])
+
+
+# ----------------------------------------------------------------------
+# Metric time series (--timeseries / --timeseries-interval)
+# ----------------------------------------------------------------------
+def test_timeseries_block_and_counter_tracks(capsys):
+    from repro.obs import validate_trace_events
+
+    assert main(FIGURE + [
+        "--timeseries", "--timeseries-interval", "0.01",
+        "--trace-out", "t.json",
+    ]) == 0
+    block = _manifest()["timeseries"]
+    assert block is not None
+    assert block["samples"] > 0
+    assert block["interval_seconds"] == 0.01
+    assert "figure.queries_total" in block["counters"]
+    events = json.loads(Path("t.json").read_text())
+    assert validate_trace_events(events) == []
+    counter_names = {
+        e["name"] for e in events if e.get("ph") == "C"
+    }
+    assert "figure.queries_total" in counter_names
+
+
+def test_timeseries_off_by_default():
+    assert main(FIGURE) == 0
+    assert _manifest()["timeseries"] is None
+
+
+def test_timeseries_rejects_bad_interval():
+    with pytest.raises(SystemExit):
+        main(FIGURE + ["--timeseries", "--timeseries-interval", "0"])
+
+
+# ----------------------------------------------------------------------
+# Perf history (--append-history) and the trend gate (bench trend)
+# ----------------------------------------------------------------------
+def _append_bench_history(median, hist="hist.jsonl"):
+    _bench_record("record.json", median)
+    assert main([
+        "bench", "record.json", "--append-history", "--history", hist,
+    ]) == 0
+
+
+def test_bench_append_history_writes_entries(capsys):
+    from repro.obs import load_history
+
+    _append_bench_history(1.0)
+    assert "history: appended 1 series point(s)" in (
+        capsys.readouterr().err
+    )
+    (entry,) = load_history("hist.jsonl")
+    assert entry["series"] == "bench:demo/test_sweep"
+    assert entry["value_seconds"] == 1.0
+    assert entry["source"] == "record.json"
+
+
+def test_bench_trend_flat_history_is_ok(capsys):
+    for median in (1.0, 1.01, 0.99, 1.0):
+        _append_bench_history(median)
+    capsys.readouterr()
+    assert main(["bench", "trend", "--history", "hist.jsonl"]) == 0
+    out = capsys.readouterr().out
+    assert "bench:demo/test_sweep" in out
+    assert "verdict: OK" in out
+
+
+def test_bench_trend_flags_injected_regression(capsys):
+    for median in (1.0, 1.01, 0.99, 2.0):
+        _append_bench_history(median)
+    capsys.readouterr()
+    assert main(["bench", "trend", "--history", "hist.jsonl"]) == 1
+    out = capsys.readouterr().out
+    assert "verdict: REGRESSION" in out
+    assert "2.00x" in out
+    # --advisory downgrades the same verdict to exit 0.
+    assert main([
+        "bench", "trend", "--history", "hist.jsonl", "--advisory",
+    ]) == 0
+    assert "advisory mode" in capsys.readouterr().err
+
+
+def test_bench_trend_series_filter_and_window(capsys):
+    for median in (1.0, 1.0, 1.0, 2.0):
+        _append_bench_history(median)
+    capsys.readouterr()
+    assert main([
+        "bench", "trend", "--history", "hist.jsonl",
+        "--series", "demo", "--window", "3",
+    ]) == 1
+    with pytest.raises(SystemExit):
+        main([
+            "bench", "trend", "--history", "hist.jsonl",
+            "--series", "no-such-series",
+        ])
+
+
+def test_bench_trend_without_history_is_a_usage_error():
+    with pytest.raises(SystemExit):
+        main(["bench", "trend", "--history", "absent.jsonl"])
+
+
+def test_report_append_history_records_phase_series(capsys):
+    from repro.obs import load_history
+
+    main(FIGURE + ["--trace"])
+    capsys.readouterr()
+    assert main([
+        "report", "run-manifest.json", "--append-history",
+        "--history", "hist.jsonl",
+    ]) == 0
+    assert "history: appended" in capsys.readouterr().err
+    series = {e["series"] for e in load_history("hist.jsonl")}
+    assert "manifest:figure/total" in series
+    assert any(s.startswith("manifest:figure/") for s in series)
+
+
+def test_report_append_history_rejects_two_manifests():
+    main(FIGURE + ["--manifest", "a.json"])
+    main(FIGURE + ["--manifest", "b.json"])
+    with pytest.raises(SystemExit):
+        main([
+            "report", "a.json", "b.json", "--append-history",
+            "--history", "hist.jsonl",
+        ])
+
+
+def test_bench_compare_verdict_names_provenance(capsys):
+    _bench_record("base.json", 1.0)
+    _bench_record("cur.json", 1.0)
+    assert main([
+        "bench", "cur.json", "--compare", "base.json",
+    ]) == 0
+    verdict = [
+        line for line in capsys.readouterr().out.splitlines()
+        if "OK" in line
+    ]
+    assert verdict
+    assert any("git " in line for line in verdict)
+    assert any("catalog " in line for line in verdict)
+
+
+# ----------------------------------------------------------------------
+# Plan-index reporting (summary line + dense-fallback epilogue)
+# ----------------------------------------------------------------------
+def test_report_plan_index_summary_zero_fallbacks(
+    monkeypatch, capsys
+):
+    monkeypatch.setenv("REPRO_PLAN_INDEX_MIN_PLANS", "1")
+    assert main(FIGURE) == 0
+    # No fallbacks: the stderr epilogue stays silent.
+    assert "fell back" not in capsys.readouterr().err
+    assert main(["report", "run-manifest.json"]) == 0
+    out = capsys.readouterr().out
+    assert "plan index:" in out
+    assert "0 dense fallbacks (0.0%)" in out
+
+
+def test_report_plan_index_fallbacks_warn_and_render(
+    monkeypatch, capsys
+):
+    from repro.core import planindex
+
+    monkeypatch.setenv("REPRO_PLAN_INDEX_MIN_PLANS", "1")
+    original = planindex.PlanIndex._lookup_chunk
+
+    def leaky(self, costs, out):
+        original(self, costs, out)
+        return len(costs)  # every probe reports a dense fallback
+
+    monkeypatch.setattr(planindex.PlanIndex, "_lookup_chunk", leaky)
+    assert main(FIGURE) == 0
+    err = capsys.readouterr().err
+    assert "fell back to the dense kernel" in err
+    assert main(["report", "run-manifest.json"]) == 0
+    out = capsys.readouterr().out
+    assert "plan index:" in out
+    assert "dense fallbacks" in out
+    assert "0 dense fallbacks" not in out
+
+
+def test_report_without_plan_index_has_no_summary(capsys):
+    assert main(FIGURE + ["--no-plan-index"]) == 0
+    capsys.readouterr()
+    assert main(["report", "run-manifest.json"]) == 0
+    assert "plan index:" not in capsys.readouterr().out

@@ -23,13 +23,18 @@ def queries(catalog):
 
 @pytest.fixture(autouse=True)
 def _fresh_obs():
-    METRICS.reset()
-    TRACER.reset()
-    TRACER.enabled = False
+    from repro.obs import PROFILER
+
+    def clean():
+        METRICS.reset()
+        TRACER.reset()
+        TRACER.enabled = False
+        PROFILER.disable()
+        PROFILER.reset()
+
+    clean()
     yield
-    METRICS.reset()
-    TRACER.reset()
-    TRACER.enabled = False
+    clean()
 
 
 def _shape(exported):
@@ -121,3 +126,39 @@ def test_tracing_disabled_parallel_run_records_nothing(catalog, queries):
         delta=10.0, n_samples=50, jobs=2,
     )
     assert TRACER.export() == []
+
+def test_profiled_parallel_run_merges_worker_samples(catalog, queries):
+    """``--jobs 2`` with the profiler on: each worker samples its own
+    tasks and the parent merges the folded stacks — without changing
+    any result."""
+    from repro.obs import PROFILER
+
+    serial_rows, _, _ = _run(catalog, queries, jobs=1)
+    PROFILER.reset()
+    PROFILER.enable(997)
+    try:
+        parallel_rows = run_expected_regret(
+            "shared", catalog=catalog, queries=queries,
+            delta=10.0, n_samples=100, jobs=2,
+        )
+    finally:
+        PROFILER.disable()
+    assert parallel_rows == serial_rows
+    state = PROFILER.snapshot()
+    assert sum(state["stacks"].values()) > 0
+    # Worker stacks went through the merge channel: frames from the
+    # instrumented task wrapper, not just the parent's pool loop.
+    frames = ";".join(state["stacks"])
+    assert "_instrumented_call" in frames or "run_task" in frames
+
+
+def test_unprofiled_parallel_run_collects_nothing(catalog, queries):
+    from repro.obs import PROFILER
+
+    assert not PROFILER.enabled
+    run_expected_regret(
+        "shared", catalog=catalog, queries=queries,
+        delta=10.0, n_samples=50, jobs=2,
+    )
+    assert PROFILER.sample_count == 0
+    assert PROFILER.thread is None

@@ -1,15 +1,21 @@
 import pytest
 
-from repro.obs import METRICS, TRACER
+from repro.obs import METRICS, PROFILER, TIMESERIES, TRACER
 
 
 @pytest.fixture(autouse=True)
 def _fresh_obs():
-    """Each test starts from an empty registry and a disabled tracer."""
-    METRICS.reset()
-    TRACER.reset()
-    TRACER.enabled = False
+    """Each test starts from empty registries and disabled samplers."""
+
+    def clean():
+        METRICS.reset()
+        TRACER.reset()
+        TRACER.enabled = False
+        PROFILER.disable()
+        PROFILER.reset()
+        TIMESERIES.stop()
+        TIMESERIES.reset()
+
+    clean()
     yield
-    METRICS.reset()
-    TRACER.reset()
-    TRACER.enabled = False
+    clean()

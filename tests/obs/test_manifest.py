@@ -102,6 +102,42 @@ def test_malformed_tasks_field_is_reported():
     assert "tasks.failed[0].attempts must be an integer" in errors
 
 
+def test_profile_and_timeseries_default_to_null():
+    manifest = _build()
+    assert manifest["profile"] is None
+    assert manifest["timeseries"] is None
+    assert validate_manifest(manifest) == []
+
+
+def test_profile_and_timeseries_blocks_validate():
+    manifest = _build()
+    manifest["profile"] = {
+        "hz": 101, "duration_seconds": 1.0, "samples": 42,
+        "distinct_stacks": 3,
+        "top": [{
+            "frame": "f (repro/x.py:1)",
+            "total_samples": 42, "self_samples": 40,
+        }],
+    }
+    manifest["timeseries"] = {
+        "interval_seconds": 0.25, "samples": 4,
+        "duration_seconds": 1.0,
+        "counters": {"a.b": {"first": 0, "last": 2, "peak": 2}},
+    }
+    assert validate_manifest(manifest) == []
+
+
+def test_malformed_profile_and_timeseries_are_reported():
+    manifest = _build()
+    manifest["profile"] = {"hz": "fast", "top": {}}
+    manifest["timeseries"] = {"samples": 1.5}
+    errors = validate_manifest(manifest)
+    assert "profile.hz must be an integer" in errors
+    assert "profile.top must be a list" in errors
+    assert "timeseries.samples must be an integer" in errors
+    assert "timeseries.counters must be an object" in errors
+
+
 def test_future_schema_version_is_rejected():
     manifest = _build()
     manifest["schema_version"] = SCHEMA_VERSION + 1

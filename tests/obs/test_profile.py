@@ -1,0 +1,200 @@
+"""Sampling profiler: lifecycle, merging, export, schema validation."""
+
+import json
+import threading
+import time
+
+from repro.obs import (
+    PROFILER,
+    SamplingProfiler,
+    TRACER,
+    build_speedscope,
+    folded_lines,
+    folded_path_for,
+    span,
+    validate_speedscope,
+    write_folded,
+    write_speedscope,
+)
+
+
+def _burn(seconds=0.25):
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(i * i for i in range(500))
+
+
+# ----------------------------------------------------------------------
+# Lifecycle / overhead-off contract
+# ----------------------------------------------------------------------
+def test_disabled_profiler_owns_no_thread():
+    profiler = SamplingProfiler()
+    assert profiler.thread is None
+    assert not profiler.enabled
+    assert profiler.sample_count == 0
+    assert profiler.summary() is None
+
+
+def test_enable_spawns_thread_disable_joins_it():
+    profiler = SamplingProfiler()
+    profiler.enable(500)
+    try:
+        assert profiler.thread is not None
+        assert profiler.thread.is_alive()
+        assert profiler.hz == 500
+        _burn()
+    finally:
+        profiler.disable()
+    assert profiler.thread is None
+    assert profiler.sample_count > 0
+
+
+def test_no_stray_sampler_thread_after_disable():
+    profiler = SamplingProfiler()
+    profiler.enable(500)
+    profiler.disable()
+    names = [t.name for t in threading.enumerate()]
+    assert "repro-profile-sampler" not in names
+
+
+def test_reset_drops_samples_but_keeps_running():
+    profiler = SamplingProfiler()
+    profiler.enable(500)
+    try:
+        _burn()
+        assert profiler.sample_count > 0
+        profiler.reset()
+        # Still sampling: new samples accumulate after the reset.
+        _burn()
+        assert profiler.sample_count > 0
+    finally:
+        profiler.disable()
+
+
+def test_invalid_hz_rejected():
+    profiler = SamplingProfiler()
+    try:
+        profiler.enable(0)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("hz=0 must raise")
+    assert profiler.thread is None
+
+
+# ----------------------------------------------------------------------
+# Sampled state: folded stacks, span attribution, merging
+# ----------------------------------------------------------------------
+def test_samples_name_the_hot_function():
+    profiler = SamplingProfiler()
+    profiler.enable(500)
+    try:
+        _burn()
+    finally:
+        profiler.disable()
+    state = profiler.snapshot()
+    assert state["hz"] == 500
+    assert state["duration_seconds"] > 0
+    all_frames = ";".join(state["stacks"])
+    assert "_burn" in all_frames
+    summary = profiler.summary(top=5)
+    assert summary["samples"] == sum(state["stacks"].values())
+    assert len(summary["top"]) <= 5
+    assert summary["top"][0]["total_samples"] >= \
+        summary["top"][0]["self_samples"]
+
+
+def test_samples_attribute_to_the_open_span():
+    TRACER.enabled = True
+    profiler = SamplingProfiler()
+    profiler.enable(500)
+    try:
+        with span("hot.phase"):
+            _burn()
+    finally:
+        profiler.disable()
+    stacks = profiler.snapshot()["stacks"]
+    attributed = [s for s in stacks if s.startswith("span:hot.phase;")]
+    assert attributed, sorted(stacks)[:5]
+    # Span pseudo-frames never pollute the hot-function table.
+    frames = [t["frame"] for t in profiler.summary()["top"]]
+    assert not any(f.startswith("span:") for f in frames)
+
+
+def test_merge_adds_counts_and_durations():
+    profiler = SamplingProfiler()
+    profiler.merge({
+        "hz": 101, "duration_seconds": 1.0,
+        "stacks": {"a;b": 3, "a;c": 1},
+    })
+    profiler.merge({
+        "hz": 101, "duration_seconds": 0.5,
+        "stacks": {"a;b": 2, "d": 7},
+    })
+    state = profiler.snapshot()
+    assert state["stacks"] == {"a;b": 5, "a;c": 1, "d": 7}
+    assert state["duration_seconds"] == 1.5
+    assert profiler.merge(None) is None  # no-op
+
+
+# ----------------------------------------------------------------------
+# Export: speedscope + folded text
+# ----------------------------------------------------------------------
+_STATE = {
+    "hz": 101,
+    "duration_seconds": 2.0,
+    "stacks": {"main;work;inner": 5, "main;work": 2, "main;idle": 1},
+}
+
+
+def test_build_speedscope_is_schema_valid():
+    doc = build_speedscope(_STATE, name="unit")
+    assert validate_speedscope(doc) == []
+    (profile,) = doc["profiles"]
+    assert profile["endValue"] == 8
+    assert len(profile["samples"]) == len(profile["weights"]) == 3
+    names = [f["name"] for f in doc["shared"]["frames"]]
+    assert "main" in names and "inner" in names
+    # Shared frames: "main" appears once despite three stacks.
+    assert names.count("main") == 1
+
+
+def test_validate_speedscope_rejects_broken_documents():
+    assert validate_speedscope([]) != []
+    doc = build_speedscope(_STATE)
+    doc["profiles"][0]["endValue"] = 999
+    assert any("endValue" in e for e in validate_speedscope(doc))
+    doc = build_speedscope(_STATE)
+    doc["profiles"][0]["samples"][0] = [10_000]
+    assert any("out of range" in e for e in validate_speedscope(doc))
+    doc = build_speedscope(_STATE)
+    doc["$schema"] = "https://example.com/nope.json"
+    assert any("$schema" in e for e in validate_speedscope(doc))
+
+
+def test_write_speedscope_and_folded(tmp_path):
+    target = write_speedscope(
+        _STATE, tmp_path / "p.speedscope.json", name="x"
+    )
+    doc = json.loads(target.read_text())
+    assert validate_speedscope(doc) == []
+    folded = write_folded(_STATE, folded_path_for(target))
+    assert folded == tmp_path / "p.folded.txt"
+    lines = folded.read_text().splitlines()
+    assert lines == sorted(lines)
+    assert "main;work;inner 5" in lines
+
+
+def test_folded_lines_and_path_mapping():
+    assert folded_lines({"stacks": {}}) == []
+    assert str(folded_path_for("x.json")) == "x.folded.txt"
+    assert str(folded_path_for("x.speedscope.json")) == "x.folded.txt"
+    assert str(folded_path_for("x.bin")) == "x.bin.folded.txt"
+
+
+# ----------------------------------------------------------------------
+# The process-global singleton
+# ----------------------------------------------------------------------
+def test_global_profiler_starts_disabled():
+    assert PROFILER.thread is None
+    assert not PROFILER.enabled

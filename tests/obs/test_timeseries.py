@@ -1,0 +1,148 @@
+"""Metric time series: recorder lifecycle, tracks, counter events."""
+
+import time
+
+from repro.obs import (
+    METRICS,
+    TIMESERIES,
+    TimeseriesRecorder,
+    counter_track_events,
+)
+
+
+# ----------------------------------------------------------------------
+# Recorder lifecycle
+# ----------------------------------------------------------------------
+def test_idle_recorder_owns_no_thread_and_no_points():
+    recorder = TimeseriesRecorder()
+    assert recorder.thread is None
+    assert not recorder.enabled
+    assert recorder.points() == []
+    assert recorder.summary() is None
+
+
+def test_stop_takes_a_final_sample_even_for_fast_runs():
+    recorder = TimeseriesRecorder()
+    recorder.start(interval=60.0)  # never fires on its own
+    try:
+        METRICS.counter("ts.unit.fast").inc(3)
+    finally:
+        recorder.stop()
+    assert recorder.thread is None
+    points = recorder.points()
+    assert len(points) == 1
+    t, values = points[0]
+    assert t >= 0
+    assert values["ts.unit.fast"] == 3
+
+
+def test_stop_without_start_records_nothing():
+    recorder = TimeseriesRecorder()
+    recorder.stop()
+    assert recorder.points() == []
+
+
+def test_periodic_sampling_accumulates_points():
+    recorder = TimeseriesRecorder()
+    recorder.start(interval=0.02)
+    try:
+        METRICS.counter("ts.unit.slow").inc(1)
+        deadline = time.perf_counter() + 2.0
+        while len(recorder.points()) < 3:
+            assert time.perf_counter() < deadline, "sampler stalled"
+            time.sleep(0.01)
+    finally:
+        recorder.stop()
+    assert len(recorder.points()) >= 3
+    # Timestamps are monotone relative to start().
+    times = [t for t, _ in recorder.points()]
+    assert times == sorted(times)
+
+
+def test_invalid_interval_rejected():
+    recorder = TimeseriesRecorder()
+    try:
+        recorder.start(interval=0)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("interval=0 must raise")
+    assert recorder.thread is None
+
+
+def test_reset_drops_points():
+    recorder = TimeseriesRecorder()
+    recorder.start(interval=60.0)
+    recorder.stop()
+    assert recorder.points()
+    recorder.reset()
+    assert recorder.points() == []
+    assert recorder.summary() is None
+
+
+# ----------------------------------------------------------------------
+# Tracks and summaries
+# ----------------------------------------------------------------------
+def test_counter_tracks_zero_fill_late_counters():
+    recorder = TimeseriesRecorder()
+    recorder._t0 = time.perf_counter()
+    recorder.sample_now()            # before the counter exists
+    METRICS.counter("ts.unit.late").inc(5)
+    recorder.sample_now()
+    track = recorder.counter_tracks()["ts.unit.late"]
+    assert [value for _, value in track] == [0, 5]
+
+
+def test_summary_reports_first_last_peak():
+    recorder = TimeseriesRecorder()
+    recorder.interval = 0.5
+    recorder._t0 = time.perf_counter()
+    name = "ts.unit.peaky"
+    METRICS.counter(name).inc(1)
+    recorder.sample_now()
+    METRICS.counter(name).inc(9)
+    recorder.sample_now()
+    summary = recorder.summary()
+    assert summary["samples"] == 2
+    assert summary["interval_seconds"] == 0.5
+    assert summary["duration_seconds"] >= 0
+    assert summary["counters"][name] == {
+        "first": 1, "last": 10, "peak": 10,
+    }
+
+
+# ----------------------------------------------------------------------
+# Trace-event export
+# ----------------------------------------------------------------------
+def test_counter_track_events_shape():
+    events = counter_track_events(
+        {"a.b": [(0.0, 0), (0.5, 2)]}, pid=7
+    )
+    assert len(events) == 2
+    for event in events:
+        assert event["ph"] == "C"
+        assert event["name"] == "a.b"
+        assert event["pid"] == 7
+        assert "value" in event["args"]
+    assert events[1]["ts"] == 500_000.0  # seconds -> microseconds
+    assert counter_track_events(None) == []
+    assert counter_track_events({}) == []
+
+
+# ----------------------------------------------------------------------
+# Process-global singleton
+# ----------------------------------------------------------------------
+def test_global_recorder_starts_stopped():
+    assert TIMESERIES.thread is None
+    assert not TIMESERIES.enabled
+
+
+def test_global_recorder_sees_global_metrics():
+    METRICS.reset()
+    TIMESERIES.start(interval=60.0)
+    try:
+        METRICS.counter("ts.unit.global").inc(2)
+    finally:
+        TIMESERIES.stop()
+    summary = TIMESERIES.summary()
+    assert summary["counters"]["ts.unit.global"]["last"] == 2
