@@ -1,0 +1,45 @@
+"""GEN — the generated census on a small seeded stream.
+
+Runs ``repro census --generated`` machinery over 64 random SPJ
+queries and asserts the shape the full-scale census shows: regret
+regimes ordered by drift level and bounded by Theorem 1's ``δ²``
+envelope, a contested-but-not-chaotic plan space, and O(1)
+accumulator state.
+"""
+
+from repro.experiments import (
+    format_generated_census,
+    run_generated_census,
+)
+
+N_QUERIES = 64
+SEED = 0
+
+
+def test_bench_generated_census(benchmark):
+    census = benchmark.pedantic(
+        lambda: run_generated_census(N_QUERIES, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_generated_census(census))
+    assert census.n_queries == N_QUERIES
+    assert census.sizes.total == N_QUERIES
+    # Some generated queries are contested, but the center plan is
+    # right in most of cost space on average.
+    assert 0.0 < census.contested_fraction < 1.0
+    assert census.wrong.mean < 0.5
+    # Regret regimes: monotone in delta, below the Theorem 1 bound.
+    means = [curve.regret.mean for curve in census.regimes]
+    assert means == sorted(means)
+    for curve in census.regimes:
+        assert 1.0 <= curve.regret.mean <= curve.bound
+        assert curve.regret.max <= curve.bound * (1 + 1e-9)
+    benchmark.extra_info["n_queries"] = N_QUERIES
+    benchmark.extra_info["contested_fraction"] = round(
+        census.contested_fraction, 4
+    )
+    benchmark.extra_info["mean_wrong_fraction"] = round(
+        census.wrong.mean, 4
+    )

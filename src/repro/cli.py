@@ -207,7 +207,7 @@ def _resolve_scenario(
     if raw is None:
         raw = getattr(args, "scenario_arg", None)
     if raw is None and spec is not None:
-        raw = spec.scenario_default
+        raw = spec.scenario_default_for(args)
     if raw is None:
         _usage_error(
             "missing scenario; valid choices: "

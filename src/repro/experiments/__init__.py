@@ -3,8 +3,9 @@
 Every experiment kind is an :class:`~repro.experiments.engine.ExperimentSpec`
 registered with the engine (:mod:`repro.experiments.engine`), which
 drives it through the shared
-``plan_tasks -> run_task (serial or process pool) -> reduce -> render``
-pipeline; the CLI generates one subcommand per registered spec.
+``plan_tasks -> run_task (serial or process pool) -> absorb -> render``
+streaming pipeline; the CLI generates one subcommand per registered
+spec.
 
 * ``figure`` (:mod:`.worst_case`) — the worst-case sensitivity curves
   of Section 8.1 (Figures 5/6/7 via ``scenario``);
@@ -33,6 +34,13 @@ from .engine import (
     register_experiment,
     run_experiment,
 )
+from .accumulators import (
+    CountHistogram,
+    DecadeHistogram,
+    ReservoirSampler,
+    WelfordMoments,
+    stable_hash64,
+)
 from .journal import RunJournal, run_key
 from .expected import (
     ExpectedParams,
@@ -48,6 +56,7 @@ from .report import (
     format_figure_chart,
     format_figure_summary,
     format_figure_table,
+    format_generated_census,
     format_parameter_table,
 )
 from .robustness import (
@@ -70,9 +79,14 @@ from .scenarios import (
 )
 from .usage_analysis import (
     CensusParams,
+    GeneratedCensus,
+    GeneratedQuerySummary,
     QueryCensus,
+    RegimeCurve,
     UsageAnalysisResult,
+    analyze_generated_query,
     analyze_query_census,
+    run_generated_census,
     run_usage_analysis,
 )
 from .validation import (
@@ -95,6 +109,8 @@ from .worst_case import (
 __all__ = [
     "DEFAULT_DELTAS",
     "CensusParams",
+    "CountHistogram",
+    "DecadeHistogram",
     "DiscoveryValidation",
     "EstimationValidation",
     "ExpectedParams",
@@ -102,10 +118,14 @@ __all__ = [
     "ExperimentSpec",
     "FigureParams",
     "FigureResult",
+    "GeneratedCensus",
+    "GeneratedQuerySummary",
     "ParameterRobustness",
     "QueryCensus",
     "QueryWorstCase",
     "QueryRobustness",
+    "RegimeCurve",
+    "ReservoirSampler",
     "ResumeMismatchError",
     "RobustnessParams",
     "RunContext",
@@ -119,9 +139,11 @@ __all__ = [
     "UnknownScenarioError",
     "UsageAnalysisResult",
     "ValidationParams",
+    "WelfordMoments",
     "all_experiments",
     "all_scenarios",
     "analyze_expected_regret",
+    "analyze_generated_query",
     "analyze_query_census",
     "analyze_query_robustness",
     "experiment_names",
@@ -131,6 +153,7 @@ __all__ = [
     "format_figure_chart",
     "format_figure_summary",
     "format_figure_table",
+    "format_generated_census",
     "format_parameter_table",
     "format_robustness_table",
     "format_validation_report",
@@ -141,12 +164,14 @@ __all__ = [
     "run_expected_regret",
     "run_experiment",
     "run_figure",
+    "run_generated_census",
     "run_key",
     "run_query_worst_case",
     "run_robustness",
     "run_usage_analysis",
     "run_validation",
     "scenario",
+    "stable_hash64",
     "validate_discovery",
     "validate_estimation",
 ]

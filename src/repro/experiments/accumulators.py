@@ -1,0 +1,258 @@
+"""Streaming accumulators for reducers that never hold all results.
+
+The streaming-reducer protocol (:mod:`repro.experiments.engine`) feeds
+task results one at a time, in task-index order, into an accumulator.
+For a million-query census the accumulator must be *O(1) in the number
+of tasks*, picklable (it is checkpointed to the run journal), and
+*deterministic*: absorbing the same results in the same order must
+produce bit-identical state regardless of ``--jobs``, platform or
+``PYTHONHASHSEED``.  This module supplies the three building blocks
+every large sweep needs:
+
+* :class:`WelfordMoments` — streaming mean/variance/min/max via
+  Welford's update, merged across checkpoint shards with Chan's
+  parallel formula;
+* :class:`DecadeHistogram` — log10-bucketed counts with approximate
+  quantiles, for heavy-tailed quantities (regret factors span orders
+  of magnitude);
+* :class:`ReservoirSampler` — a *bottom-k by seeded stable hash*
+  reservoir.  Unlike classic reservoir sampling it is order-independent
+  and merge-associative: the keep/drop decision of an item depends
+  only on ``(seed, key)``, never on how many items came before it, so
+  any split of the stream merges to the same sample.
+
+All three support ``merge`` with associativity properties pinned by
+``tests/experiments/test_prop_accumulators.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "CountHistogram",
+    "DecadeHistogram",
+    "ReservoirSampler",
+    "WelfordMoments",
+    "stable_hash64",
+]
+
+
+def stable_hash64(seed: int, key: Any) -> int:
+    """A 64-bit hash of ``(seed, key)`` stable across runs/platforms.
+
+    Built on BLAKE2b rather than Python's ``hash()`` (which is
+    randomised per process via ``PYTHONHASHSEED`` for str/bytes).
+    ``key`` is hashed through its ``repr`` — fine for the ints, strs
+    and small tuples reservoir keys are made of.
+    """
+    digest = hashlib.blake2b(
+        repr(key).encode(), digest_size=8,
+        salt=struct.pack("<q", seed & 0x7FFFFFFFFFFFFFFF)[:8],
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass
+class WelfordMoments:
+    """Streaming count/mean/variance/min/max of one scalar series."""
+
+    count: int = 0
+    mean: float = 0.0
+    #: Sum of squared deviations from the running mean (M2).
+    m2: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "WelfordMoments") -> None:
+        """Chan et al.'s parallel combination of two moment shards."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 = (
+            self.m2 + other.m2
+            + delta * delta * self.count * other.count / total
+        )
+        self.mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 until two values arrived)."""
+        return self.m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(max(self.variance, 0.0))
+
+
+@dataclass
+class CountHistogram:
+    """Exact counts of a small-cardinality integer quantity.
+
+    Used for the candidate-set-size distribution: sizes are small
+    integers, so exact counts are cheap and merge is plain addition.
+    """
+
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def add(self, value: int, n: int = 1) -> None:
+        value = int(value)
+        self.counts[value] = self.counts.get(value, 0) + n
+
+    def merge(self, other: "CountHistogram") -> None:
+        for value, n in other.counts.items():
+            self.add(value, n)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def quantile(self, q: float) -> int:
+        """The smallest value whose cumulative count reaches ``q``."""
+        total = self.total
+        if total == 0:
+            return 0
+        target = q * total
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= target:
+                return value
+        return max(self.counts)
+
+    def items(self) -> list[tuple[int, int]]:
+        return sorted(self.counts.items())
+
+
+@dataclass
+class DecadeHistogram:
+    """log10-bucketed counts for heavy-tailed positive quantities.
+
+    Bucket ``b`` holds values in ``[10^(b/bins_per_decade),
+    10^((b+1)/bins_per_decade))``; non-positive and sub-``floor``
+    values land in the floor bucket.  Approximate quantiles come back
+    as the geometric midpoint of the selected bucket — accurate to a
+    factor of ``10^(1/bins_per_decade)``, plenty for regime curves.
+    """
+
+    bins_per_decade: int = 10
+    floor: float = 1e-12
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def _bucket(self, value: float) -> int:
+        value = float(value)
+        if not value > self.floor:
+            value = self.floor
+        return math.floor(math.log10(value) * self.bins_per_decade)
+
+    def add(self, value: float, n: int = 1) -> None:
+        bucket = self._bucket(value)
+        self.counts[bucket] = self.counts.get(bucket, 0) + n
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "DecadeHistogram") -> None:
+        if (
+            other.bins_per_decade != self.bins_per_decade
+            or other.floor != self.floor
+        ):
+            raise ValueError(
+                "cannot merge decade histograms with different "
+                "bucketing"
+            )
+        for bucket, n in other.counts.items():
+            self.counts[bucket] = self.counts.get(bucket, 0) + n
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def quantile(self, q: float) -> float:
+        """Geometric midpoint of the bucket holding quantile ``q``."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        target = q * total
+        seen = 0
+        buckets = sorted(self.counts)
+        for bucket in buckets:
+            seen += self.counts[bucket]
+            if seen >= target:
+                break
+        return 10 ** ((bucket + 0.5) / self.bins_per_decade)
+
+
+@dataclass
+class ReservoirSampler:
+    """A bottom-k sample of a keyed stream, stable under any split.
+
+    Keeps the ``k`` items whose :func:`stable_hash64` of ``(seed,
+    key)`` is smallest.  The decision for an item depends only on its
+    key, so absorbing a stream in any order — or merging shards of it
+    in any grouping — yields exactly the same sample.  With distinct
+    keys (task indices) the result is a uniform k-subset.
+    """
+
+    k: int = 64
+    seed: int = 0
+    #: ``(hash, key, payload)`` triples, kept sorted ascending by hash.
+    items: list[tuple[int, Any, Any]] = field(default_factory=list)
+
+    def add(self, key: Any, payload: Any = None) -> None:
+        rank = stable_hash64(self.seed, key)
+        if len(self.items) >= self.k and rank >= self.items[-1][0]:
+            return
+        entry = (rank, key, payload)
+        lo, hi = 0, len(self.items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.items[mid][0] < rank:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.items.insert(lo, entry)
+        del self.items[self.k:]
+
+    def merge(self, other: "ReservoirSampler") -> None:
+        if other.k != self.k or other.seed != self.seed:
+            raise ValueError(
+                "cannot merge reservoirs with different k or seed"
+            )
+        for __, key, payload in other.items:
+            self.add(key, payload)
+
+    def sample(self) -> list[tuple[Any, Any]]:
+        """The sampled ``(key, payload)`` pairs, ordered by hash rank."""
+        return [(key, payload) for __, key, payload in self.items]

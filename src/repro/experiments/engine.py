@@ -36,7 +36,15 @@ import argparse
 import importlib
 import logging
 from pathlib import Path
-from typing import Any, Iterator, Mapping, Protocol, Sequence, runtime_checkable
+from typing import (
+    Any,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
@@ -285,14 +293,44 @@ class ExperimentSpec(Protocol):
     def seeds(self, params: Any) -> Mapping[str, Any]:
         """RNG seeds to record in the run manifest."""
 
-    def plan_tasks(self, ctx: RunContext, params: Any) -> Sequence[Any]:
-        """Split the run into independent, picklable tasks."""
+    def plan_tasks(self, ctx: RunContext, params: Any) -> Iterable[Any]:
+        """Split the run into independent, picklable tasks.
+
+        May return a lazy iterable — the engine pulls tasks on demand
+        and only sized sources get a progress denominator.
+        """
 
     def run_task(self, ctx: RunContext, params: Any, task: Any) -> Any:
         """Run one task (possibly in a worker process)."""
 
+    def make_accumulator(self, ctx: RunContext, params: Any) -> Any:
+        """Fresh reducer state, before any result has been absorbed.
+
+        Must be picklable: accumulators are checkpointed to the run
+        journal so ``--resume`` can skip already-absorbed tasks.
+        """
+
+    def absorb(
+        self, ctx: RunContext, params: Any, acc: Any, task: Any,
+        result: Any,
+    ) -> Any:
+        """Fold one task result into the accumulator, returning it.
+
+        Called in strict task-index order regardless of ``--jobs``,
+        so any deterministic fold produces bit-identical state on
+        serial and parallel runs.
+        """
+
+    def finalize(self, ctx: RunContext, params: Any, acc: Any) -> Any:
+        """Turn the fully-absorbed accumulator into the result."""
+
     def reduce(self, ctx: RunContext, params: Any, results: list) -> Any:
-        """Combine per-task results (input order) into the result."""
+        """Combine per-task results (input order) into the result.
+
+        The legacy batch protocol; the engine itself only drives the
+        streaming triple above.  :class:`Experiment` shims this method
+        into the streaming protocol, so batch-only specs keep working.
+        """
 
     def render(self, ctx: RunContext, params: Any, reduced: Any) -> str:
         """The exact stdout payload for the CLI."""
@@ -321,8 +359,31 @@ class Experiment:
     def seeds(self, params: Any) -> Mapping[str, Any]:
         return {}
 
+    def scenario_default_for(self, args: argparse.Namespace) -> "str | None":
+        """The scenario default, possibly depending on other flags."""
+        return self.scenario_default
+
     def reduce(self, ctx: RunContext, params: Any, results: list) -> Any:
         return results
+
+    # ------------------------------------------------------------------
+    # Streaming protocol, shimmed onto the batch ``reduce`` above:
+    # batch-only specs accumulate a plain list and reduce it at the
+    # end, which is exactly the pre-streaming engine behaviour.
+    # Specs that override all three run with O(1) reducer state.
+    # ------------------------------------------------------------------
+    def make_accumulator(self, ctx: RunContext, params: Any) -> Any:
+        return []
+
+    def absorb(
+        self, ctx: RunContext, params: Any, acc: Any, task: Any,
+        result: Any,
+    ) -> Any:
+        acc.append(result)
+        return acc
+
+    def finalize(self, ctx: RunContext, params: Any, acc: Any) -> Any:
+        return self.reduce(ctx, params, acc)
 
 
 # ----------------------------------------------------------------------
@@ -395,26 +456,40 @@ def _engine_task_worker(task: Any) -> Any:
     return spec.run_task(ctx, payload["params"], task)
 
 
+#: Absorbed-task interval between accumulator snapshots on
+#: checkpointed runs.  Small sweeps (the 22 TPC-H queries) never
+#: snapshot and resume purely from per-task journal entries; long
+#: generated sweeps snapshot periodically and prune the absorbed
+#: per-task pickles, keeping the journal directory O(interval).
+_SNAPSHOT_INTERVAL = 256
+
+
 def run_experiment(
     experiment: "str | ExperimentSpec", params: Any, ctx: RunContext
 ) -> Any:
     """Run one experiment through the shared pipeline.
 
     The single programmatic surface: plan tasks, fan them out through
-    the generic serial-or-process-pool executor, reduce, and record
-    seeds + result digests on the context.  Returns the reduced
-    result; rendering stays separate (``spec.render``).  Task
-    completions are published to the global progress reporter
+    the generic serial-or-process-pool executor, stream every result
+    into the spec's accumulator in task-index order, finalize, and
+    record seeds + result digests on the context.  Returns the
+    finalized result; rendering stays separate (``spec.render``).
+    Task completions are published to the global progress reporter
     (:data:`repro.obs.progress.PROGRESS`), so long sweeps show a live
     rate/ETA meter on interactive runs — a no-op whenever the
-    reporter is inactive.
+    reporter is inactive.  ``plan_tasks`` may return a lazy iterable;
+    unsized sources simply run without a progress denominator.
 
     The context's resilience settings flow straight through: the
     retry policy and fault plan go to the executor, and when
     checkpointing/resume is on, finished tasks are journaled to the
     run's content-addressed directory and already-journaled ones are
-    served from disk without re-executing.  The per-task outcome
-    report lands on ``ctx.task_stats`` for the run manifest.
+    served from disk without re-executing.  On long checkpointed
+    sweeps the accumulator itself is snapshotted every
+    ``_SNAPSHOT_INTERVAL`` absorbed tasks (absorbed per-task pickles
+    are pruned), so a resume replays the snapshot instead of
+    unpickling every artifact.  The per-task outcome report lands on
+    ``ctx.task_stats`` for the run manifest.
     """
     spec = (
         get_experiment(experiment)
@@ -422,7 +497,11 @@ def run_experiment(
         else experiment
     )
     ctx.record_seeds(**spec.seeds(params))
-    tasks = list(spec.plan_tasks(ctx, params))
+    tasks = spec.plan_tasks(ctx, params)
+    try:
+        total = len(tasks)  # type: ignore[arg-type]
+    except TypeError:
+        total = None
     payload = {
         "experiment": spec.name,
         "params": params,
@@ -431,14 +510,18 @@ def run_experiment(
         "seed": ctx.seed,
     }
     journal = None
+    skip_before = 0
+    snapshot_acc = None
     if ctx.journals:
         journal = ctx.journal_for(spec.name, params)
-        journal.write_meta(spec.name, len(tasks))
+        journal.write_meta(spec.name, total)
         if ctx.resume is not None:
+            skip_before, snapshot_acc = journal.load_snapshot()
             done = journal.completed()
             logger.info(
-                "resuming run %s: %d/%d task(s) already journaled",
-                journal.run_id[:16], len(done), len(tasks),
+                "resuming run %s: %d task(s) journaled, accumulator "
+                "snapshot covers the first %d",
+                journal.run_id[:16], len(done), skip_before,
             )
     policy = ctx.policy or RetryPolicy(seed=ctx.seed)
     # Serial runs reuse the context's catalog object directly; only a
@@ -450,11 +533,28 @@ def run_experiment(
         label += f" [{scenario_key}]"
     if ctx.jobs > 1:
         label += f" --jobs {ctx.jobs}"
-    labels = [f"{spec.name}[{index}]" for index in range(len(tasks))]
+    if skip_before > 0:
+        acc = snapshot_acc
+    else:
+        acc = spec.make_accumulator(ctx, params)
+    state = {"acc": acc, "absorbed": 0}
+
+    def consume(index: int, task: Any, result: Any) -> None:
+        state["acc"] = spec.absorb(
+            ctx, params, state["acc"], task, result
+        )
+        state["absorbed"] += 1
+        if (
+            journal is not None
+            and state["absorbed"] % _SNAPSHOT_INTERVAL == 0
+        ):
+            journal.store_snapshot(index + 1, state["acc"])
+            journal.prune_tasks_below(index + 1)
+
     report = TaskRunReport()
-    progress = PROGRESS.start(label, len(tasks))
+    progress = PROGRESS.start(label, total)
     try:
-        results = parallel_map(
+        parallel_map(
             _engine_task_worker,
             tasks,
             jobs=ctx.jobs,
@@ -464,13 +564,15 @@ def run_experiment(
             policy=policy,
             faults=ctx.faults,
             journal=journal,
-            labels=labels,
+            labels=lambda index: f"{spec.name}[{index}]",
             report=report,
+            consume=consume,
+            skip_before=skip_before,
         )
     finally:
         progress.finish()
         ctx.task_stats = report.as_manifest()
-    reduced = spec.reduce(ctx, params, results)
+    reduced = spec.finalize(ctx, params, state["acc"])
     for name, payload_text in spec.digest_payloads(
         ctx, params, reduced
     ).items():

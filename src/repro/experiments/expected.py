@@ -160,6 +160,24 @@ class ExpectedExperiment(Experiment):
             cache=ctx.cache,
         )
 
+    # -- streaming reducer: the result is the per-query row list ----
+    def make_accumulator(
+        self, ctx: RunContext, params: ExpectedParams
+    ) -> list:
+        return []
+
+    def absorb(
+        self, ctx: RunContext, params: ExpectedParams, acc: list,
+        task: QuerySpec, result: ExpectedRegret,
+    ) -> list:
+        acc.append(result)
+        return acc
+
+    def finalize(
+        self, ctx: RunContext, params: ExpectedParams, acc: list
+    ) -> list:
+        return acc
+
     def render(
         self, ctx: RunContext, params: ExpectedParams, reduced: list
     ) -> str:

@@ -19,6 +19,15 @@ cache)::
 
     <root>/<run_id>/meta.json        # human-readable provenance
     <root>/<run_id>/task-<index>.pkl # one atomic pickle per task
+    <root>/<run_id>/acc.pkl          # latest accumulator snapshot
+
+The accumulator snapshot is the streaming-reducer checkpoint: it
+holds the reducer state after absorbing every task below its
+watermark, so a resumed run replays one pickle instead of every
+per-task artifact — and the engine prunes the absorbed per-task
+pickles, keeping a million-task journal directory small.  A corrupt
+or missing snapshot degrades gracefully to per-task replay (or
+recomputation, for pruned tasks).
 
 Writes reuse the :mod:`~repro.optimizer.plancache` atomic-write
 machinery (temp file + ``os.replace``), so a SIGKILL mid-write never
@@ -51,6 +60,9 @@ logger = logging.getLogger(__name__)
 
 #: Bump when the journal payload or key material changes shape.
 _FORMAT_VERSION = 1
+
+#: Bump when the accumulator-snapshot payload changes shape.
+_SNAPSHOT_VERSION = 1
 
 
 def _params_material(params: Any) -> Any:
@@ -113,7 +125,9 @@ class RunJournal:
     def task_path(self, index: int) -> Path:
         return self.dir / f"task-{index}.pkl"
 
-    def write_meta(self, experiment: str, n_tasks: int) -> None:
+    def write_meta(
+        self, experiment: str, n_tasks: "int | None" = None
+    ) -> None:
         """Record human-readable provenance once per run directory."""
         meta = self.dir / "meta.json"
         if meta.exists():
@@ -175,6 +189,85 @@ class RunJournal:
             )
             return
         METRICS.counter("engine.journal_stores").inc()
+
+    # ------------------------------------------------------------------
+    # Accumulator snapshots (streaming-reducer checkpoints)
+    # ------------------------------------------------------------------
+    def snapshot_path(self) -> Path:
+        return self.dir / "acc.pkl"
+
+    def store_snapshot(self, watermark: int, acc: Any) -> None:
+        """Atomically persist the reducer state below ``watermark``.
+
+        Only the latest snapshot is kept — it subsumes every earlier
+        one.  Best effort, like :meth:`store`: an unpicklable
+        accumulator or a read-only filesystem costs resumability, not
+        the run.
+        """
+        payload = {
+            "format": _SNAPSHOT_VERSION,
+            "watermark": int(watermark),
+            "acc": acc,
+        }
+        try:
+            atomic_write_pickle(self.snapshot_path(), payload)
+        except (OSError, TypeError, AttributeError) as exc:
+            METRICS.counter("engine.snapshot_store_errors").inc()
+            logger.warning(
+                "could not snapshot accumulator at watermark %d to "
+                "%s (%s: %s)",
+                watermark, self.snapshot_path(),
+                type(exc).__name__, exc,
+            )
+            return
+        METRICS.counter("engine.snapshot_stores").inc()
+
+    def load_snapshot(self) -> tuple[int, Any]:
+        """``(watermark, accumulator)``; ``(0, None)`` when absent.
+
+        A corrupt or format-mismatched snapshot is treated as absent
+        (the run falls back to per-task replay/recomputation).
+        """
+        path = self.snapshot_path()
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return 0, None
+        except PICKLE_LOAD_ERRORS as exc:
+            METRICS.counter("engine.snapshot_corrupt").inc()
+            logger.warning(
+                "corrupt accumulator snapshot %s (%s: %s); falling "
+                "back to per-task replay",
+                path, type(exc).__name__, exc,
+            )
+            return 0, None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _SNAPSHOT_VERSION
+            or not isinstance(payload.get("watermark"), int)
+            or payload["watermark"] <= 0
+        ):
+            METRICS.counter("engine.snapshot_corrupt").inc()
+            return 0, None
+        METRICS.counter("engine.snapshot_hits").inc()
+        return payload["watermark"], payload.get("acc")
+
+    def prune_tasks_below(self, watermark: int) -> int:
+        """Delete per-task entries a snapshot has absorbed; returns
+        how many were removed (best effort)."""
+        removed = 0
+        for index in sorted(self.completed()):
+            if index >= watermark:
+                continue
+            try:
+                self.task_path(index).unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+        if removed:
+            METRICS.counter("engine.journal_pruned").inc(removed)
+        return removed
 
     def completed(self) -> set[int]:
         """Indices with a journal entry on disk (corrupt ones count —

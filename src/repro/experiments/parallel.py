@@ -255,7 +255,16 @@ class _TaskState:
 
 
 class _Scheduler:
-    """Shared retry/skip/abort bookkeeping for both execution paths."""
+    """Shared retry/skip/abort bookkeeping for both execution paths.
+
+    With a ``consume`` callback the scheduler is a *streaming* sink:
+    finished results enter a reorder buffer and are emitted to
+    ``consume(index, item, result)`` in strict task-index order as the
+    watermark advances — never materialised in a results dict.  Tasks
+    that ultimately fail under ``on_error=skip`` become holes the
+    watermark steps over.  Without ``consume`` the historical contract
+    holds: results collect in input order and come back as a list.
+    """
 
     def __init__(
         self,
@@ -263,27 +272,68 @@ class _Scheduler:
         report: TaskRunReport,
         journal: "RunJournal | None",
         progress: Any,
+        consume: "Callable[[int, Any, Any], None] | None" = None,
+        skip_before: int = 0,
     ) -> None:
         self.policy = policy
         self.report = report
         self.journal = journal
         self.progress = progress
+        self.consume = consume
         self.results: dict[int, Any] = {}
+        #: Next index to hand to ``consume`` (streaming mode only).
+        self.watermark = skip_before
+        self._buffer: dict[int, tuple[Any, Any]] = {}
+        self._holes: set[int] = set()
 
     def succeed(self, state: _TaskState, result: Any) -> None:
-        self.results[state.index] = result
         self.report.completed += 1
         if self.journal is not None:
             self.journal.store(state.index, result)
+        self._deliver(state.index, state.item, result)
         if self.progress is not None:
             self.progress.advance()
 
-    def resume(self, index: int, result: Any) -> None:
-        self.results[index] = result
+    def resume(self, index: int, item: Any, result: Any) -> None:
+        self.report.completed += 1
+        self.report.resumed += 1
+        self._deliver(index, item, result)
+        if self.progress is not None:
+            self.progress.advance()
+
+    def skip_absorbed(self, index: int) -> None:
+        """A task below the snapshot watermark: its result is already
+        folded into the resumed accumulator, so it is counted as
+        resumed without being re-read or re-absorbed."""
         self.report.completed += 1
         self.report.resumed += 1
         if self.progress is not None:
             self.progress.advance()
+
+    def _deliver(self, index: int, item: Any, result: Any) -> None:
+        if self.consume is None:
+            self.results[index] = result
+            return
+        self._buffer[index] = (item, result)
+        self._drain()
+
+    def _hole(self, index: int) -> None:
+        """A permanently skipped task: advance the watermark past it."""
+        if self.consume is not None:
+            self._holes.add(index)
+            self._drain()
+
+    def _drain(self) -> None:
+        while True:
+            entry = self._buffer.pop(self.watermark, None)
+            if entry is not None:
+                self.consume(self.watermark, entry[0], entry[1])
+                self.watermark += 1
+            elif self.watermark in self._holes:
+                self._holes.discard(self.watermark)
+                self.watermark += 1
+            else:
+                return
 
     def fail(self, state: _TaskState, exc: BaseException) -> "float | None":
         """Handle one failed attempt.
@@ -316,6 +366,7 @@ class _Scheduler:
                 "task %s failed after %d attempt(s); skipping (%s)",
                 state.label, state.attempt, failure.error,
             )
+            self._hole(state.index)
             if self.progress is not None:
                 self.progress.advance()
             return None
@@ -327,7 +378,7 @@ class _Scheduler:
 
 def _run_serial(
     worker: Callable[[Any], Any],
-    states: "Sequence[_TaskState]",
+    states: "Iterable[_TaskState]",
     task_span: str,
     faults: "FaultPlan | None",
     sched: _Scheduler,
@@ -374,13 +425,15 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 def _run_pool(
     worker: Callable[[Any], Any],
-    states: "Sequence[_TaskState]",
+    states: "Iterable[_TaskState]",
     jobs: int,
     catalog_spec: "Catalog | float",
     payload: Mapping[str, Any],
     task_span: str,
     faults: "FaultPlan | None",
     sched: _Scheduler,
+    workers: "int | None" = None,
+    reorder_cap: "int | None" = None,
 ) -> None:
     """Process-pool execution with retries and a dead-worker detector.
 
@@ -390,6 +443,13 @@ def _run_pool(
     in-flight attempts rescheduled; overdue attempts (timeout plus
     grace with no word from the worker) terminate the pool the same
     way.
+
+    ``states`` is pulled lazily, in index order, so a lazy task source
+    is never materialised.  In streaming mode ``reorder_cap`` bounds
+    how far ahead of the scheduler's watermark new tasks may be
+    pulled — the reorder buffer (results finished out of order but not
+    yet consumable) can therefore never exceed ``reorder_cap``
+    entries, which is what keeps a million-task sweep's memory flat.
     """
     policy = sched.policy
     obs_config = {
@@ -400,7 +460,8 @@ def _run_pool(
         "faults": faults,
         "timeout": policy.task_timeout,
     }
-    workers = min(jobs, len(states))
+    if workers is None:
+        workers = jobs
     initargs = (catalog_spec, payload, worker, task_span, obs_config)
 
     def make_pool() -> ProcessPoolExecutor:
@@ -410,8 +471,41 @@ def _run_pool(
             initargs=initargs,
         )
 
-    pending: deque[_TaskState] = deque(states)
+    source = iter(states)
+    exhausted = False
+    last_pulled = -1
+    pending: deque[_TaskState] = deque()
     in_flight: dict[Any, _TaskState] = {}
+
+    def refill() -> None:
+        """Pull new tasks while worker slots could use them.
+
+        Stops at the reorder cap: a task more than ``reorder_cap``
+        indices ahead of the watermark stays unpulled until the
+        stream catches up.
+        """
+        nonlocal exhausted, last_pulled
+        while (
+            not exhausted
+            and len(pending) + len(in_flight) < workers
+        ):
+            if (
+                reorder_cap is not None
+                and (pending or in_flight)
+                and last_pulled + 1 - sched.watermark >= reorder_cap
+            ):
+                # Cap reached with work still outstanding; with no
+                # work outstanding the stream has fully drained, so
+                # pulling is always allowed (progress guarantee).
+                return
+            try:
+                state = next(source)
+            except StopIteration:
+                exhausted = True
+                return
+            last_pulled = state.index
+            pending.append(state)
+
     pool = make_pool()
 
     def reschedule(state: _TaskState, exc: BaseException) -> None:
@@ -427,7 +521,10 @@ def _run_pool(
             reschedule(state, WorkerCrash(message))
 
     try:
-        while pending or in_flight:
+        while True:
+            refill()
+            if not pending and not in_flight:
+                break  # refill pulls whenever work remains
             now = time.monotonic()
             # Submit every ready task while a worker slot is free.
             submitted_any = False
@@ -538,8 +635,10 @@ def parallel_map(
     policy: "RetryPolicy | None" = None,
     faults: "FaultPlan | None" = None,
     journal: "RunJournal | None" = None,
-    labels: "Sequence[str] | None" = None,
+    labels: "Sequence[str] | Callable[[int], str] | None" = None,
     report: "TaskRunReport | None" = None,
+    consume: "Callable[[int, Any, Any], None] | None" = None,
+    skip_before: int = 0,
 ) -> list[Any]:
     """Map ``worker`` over ``items``, optionally across processes.
 
@@ -563,40 +662,82 @@ def parallel_map(
     names tasks in logs and the failure report, and ``report``
     (mutated in place) receives the per-task outcome accounting.
 
+    Streaming mode: with a ``consume`` callback, finished results are
+    handed to ``consume(index, item, result)`` in strict task-index
+    order (via a bounded reorder buffer) instead of being collected —
+    ``items`` may then be an arbitrarily long lazy iterable, pulled on
+    demand, and the return value is an empty list.  ``skip_before``
+    marks a prefix of indices as already absorbed by a resumed
+    accumulator snapshot: they are counted as resumed without being
+    loaded or consumed.  ``labels`` may be a callable ``index ->
+    label`` so lazy sources need no label list.
+
     Returns the successful results in input order; under
     ``on_error=skip``, ultimately-failed tasks are simply absent (the
     holes are listed in ``report.failures``).
     """
-    items = list(items)
+    streaming = consume is not None
+    if not streaming:
+        items = list(items)
     payload = payload or {}
     policy = policy or RetryPolicy()
     if report is None:
         report = TaskRunReport()
-    report.planned += len(items)
-    if labels is None:
-        labels = [f"task-{index}" for index in range(len(items))]
-    sched = _Scheduler(policy, report, journal, progress)
+    if not streaming:
+        report.planned += len(items)
+    sched = _Scheduler(
+        policy, report, journal, progress,
+        consume=consume, skip_before=skip_before,
+    )
 
-    # Serve journaled results first: a resumed task never reaches a
-    # worker at all.
-    states = []
-    for index, item in enumerate(items):
-        if journal is not None:
-            hit, value = journal.load(index)
-            if hit:
-                sched.resume(index, value)
-                continue
-        states.append(
-            _TaskState(index=index, item=item, label=labels[index])
-        )
+    def label_for(index: int) -> str:
+        if labels is None:
+            return f"task-{index}"
+        if callable(labels):
+            return labels(index)
+        return labels[index]
 
-    if states:
-        if jobs <= 1 or len(states) <= 1:
-            _init_worker(catalog_spec, payload)
-            _run_serial(worker, states, task_span, faults, sched)
-        else:
-            _run_pool(
-                worker, states, jobs, catalog_spec, payload,
-                task_span, faults, sched,
+    def states() -> "Iterable[_TaskState]":
+        # Serve journaled results first: a resumed task never reaches
+        # a worker at all, and a task below the snapshot watermark is
+        # never even loaded.
+        for index, item in enumerate(items):
+            if streaming:
+                report.planned += 1
+                if index < skip_before:
+                    sched.skip_absorbed(index)
+                    continue
+            if journal is not None:
+                hit, value = journal.load(index)
+                if hit:
+                    sched.resume(index, item, value)
+                    continue
+            yield _TaskState(
+                index=index, item=item, label=label_for(index)
             )
-    return sched.ordered_results()
+
+    if not streaming:
+        runnable = list(states())
+        if runnable:
+            if jobs <= 1 or len(runnable) <= 1:
+                _init_worker(catalog_spec, payload)
+                _run_serial(worker, runnable, task_span, faults, sched)
+            else:
+                _run_pool(
+                    worker, runnable, jobs, catalog_spec, payload,
+                    task_span, faults, sched,
+                    workers=min(jobs, len(runnable)),
+                )
+        return sched.ordered_results()
+
+    if jobs <= 1:
+        _init_worker(catalog_spec, payload)
+        _run_serial(worker, states(), task_span, faults, sched)
+    else:
+        _run_pool(
+            worker, states(), jobs, catalog_spec, payload,
+            task_span, faults, sched,
+            workers=jobs,
+            reorder_cap=max(4 * jobs, 64),
+        )
+    return []

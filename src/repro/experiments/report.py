@@ -10,7 +10,7 @@ from __future__ import annotations
 import io
 from typing import Sequence
 
-from .usage_analysis import UsageAnalysisResult
+from .usage_analysis import GeneratedCensus, UsageAnalysisResult
 from .worst_case import FigureResult
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "format_figure_summary",
     "format_figure_chart",
     "format_census_table",
+    "format_generated_census",
     "format_parameter_table",
 ]
 
@@ -187,4 +188,64 @@ def format_parameter_table(rows: Sequence[tuple[str, str]]) -> str:
     lines.append("-" * (name_width + 7))
     for name, value in rows:
         lines.append(f"{name.ljust(name_width)}  {value}")
+    return "\n".join(lines)
+
+
+def format_generated_census(result: GeneratedCensus) -> str:
+    """The generated-census report: population stats + regime curves.
+
+    Every number is a deterministic function of the seeded stream, so
+    this text (and its manifest digest) is bit-identical across
+    serial and ``--jobs N`` runs.
+    """
+    lines = [
+        f"generated census [{result.scenario_key}] · "
+        f"{result.n_queries} queries · seed {result.seed}",
+        "",
+        "candidate-set size distribution:",
+    ]
+    size_cells = [
+        f"{size}:{count}" for size, count in result.sizes.items()
+    ]
+    lines.append("  " + ("  ".join(size_cells) if size_cells else "-"))
+    lines.append(
+        f"  p50={result.sizes.quantile(0.5)}  "
+        f"p90={result.sizes.quantile(0.9)}  "
+        f"max={result.sizes.quantile(1.0)}  "
+        f"truncated={result.truncated}"
+    )
+    lines.append("")
+    lines.append(
+        "fraction of cost space where the center choice is wrong:"
+    )
+    lines.append(
+        f"  mean={result.wrong.mean * 100:.2f}%  "
+        f"max={max(result.wrong.max, 0.0) * 100:.2f}%  "
+        f"contested-queries={result.contested_fraction * 100:.1f}%"
+    )
+    lines.append("")
+    lines.append("regret regimes (stale plan vs drift level):")
+    header = (
+        f"  {'delta':>7}  {'mean':>7}  {'p95':>8}  {'max':>9}  "
+        f"{'wrong':>6}  {'bound d^2':>9}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for curve in result.regimes:
+        lines.append(
+            f"  {curve.delta:>7g}  {curve.regret.mean:>7.3f}  "
+            f"{curve.regret_hist.quantile(0.95):>8.3g}  "
+            f"{curve.regret.max:>9.3g}  "
+            f"{curve.wrong_fraction * 100:>5.1f}%  "
+            f"{curve.bound:>9g}"
+        )
+    if result.worst:
+        lines.append("")
+        lines.append("most contested queries (wrong-fraction, index):")
+        lines.append(
+            "  " + "  ".join(
+                f"G{index}:{fraction * 100:.1f}%"
+                for fraction, index in result.worst
+            )
+        )
     return "\n".join(lines)

@@ -199,6 +199,24 @@ class RobustnessExperiment(Experiment):
             cache=ctx.cache,
         )
 
+    # -- streaming reducer: the result is the per-query row list ----
+    def make_accumulator(
+        self, ctx: RunContext, params: RobustnessParams
+    ) -> list:
+        return []
+
+    def absorb(
+        self, ctx: RunContext, params: RobustnessParams, acc: list,
+        task: QuerySpec, result: QueryRobustness,
+    ) -> list:
+        acc.append(result)
+        return acc
+
+    def finalize(
+        self, ctx: RunContext, params: RobustnessParams, acc: list
+    ) -> list:
+        return acc
+
     def render(
         self, ctx: RunContext, params: RobustnessParams, reduced: list
     ) -> str:

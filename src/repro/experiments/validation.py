@@ -309,6 +309,24 @@ class ValidationExperiment(Experiment):
         )
         return estimation, discovery
 
+    # -- streaming reducer: the result is the per-query pair list ---
+    def make_accumulator(
+        self, ctx: RunContext, params: ValidationParams
+    ) -> list:
+        return []
+
+    def absorb(
+        self, ctx: RunContext, params: ValidationParams, acc: list,
+        task: QuerySpec, result,
+    ) -> list:
+        acc.append(result)
+        return acc
+
+    def finalize(
+        self, ctx: RunContext, params: ValidationParams, acc: list
+    ) -> list:
+        return acc
+
     def render(
         self, ctx: RunContext, params: ValidationParams, reduced: list
     ) -> str:

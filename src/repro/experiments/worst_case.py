@@ -215,12 +215,36 @@ class FigureExperiment(Experiment):
     def reduce(
         self, ctx: RunContext, params: FigureParams, results: list
     ) -> FigureResult:
+        """Legacy batch protocol, kept for digest-parity testing."""
         return FigureResult(
             scenario_key=params.scenario_key,
             figure=scenario(params.scenario_key).figure,
             curves=results,
             deltas=tuple(params.deltas),
         )
+
+    # -- streaming reducer: curves accrete per task, in query order --
+    def make_accumulator(
+        self, ctx: RunContext, params: FigureParams
+    ) -> FigureResult:
+        return FigureResult(
+            scenario_key=params.scenario_key,
+            figure=scenario(params.scenario_key).figure,
+            curves=[],
+            deltas=tuple(params.deltas),
+        )
+
+    def absorb(
+        self, ctx: RunContext, params: FigureParams,
+        acc: FigureResult, task: QuerySpec, result: QueryWorstCase,
+    ) -> FigureResult:
+        acc.curves.append(result)
+        return acc
+
+    def finalize(
+        self, ctx: RunContext, params: FigureParams, acc: FigureResult
+    ) -> FigureResult:
+        return acc
 
     def render(
         self, ctx: RunContext, params: FigureParams, reduced: FigureResult

@@ -68,7 +68,12 @@ _NULL_TASK = _NullTask()
 
 
 class ProgressTask:
-    """One live meter: ``label done/total tasks · rate · eta``."""
+    """One live meter: ``label done/total tasks · rate · eta``.
+
+    ``total=None`` means the task count is unknown (a lazy
+    ``plan_tasks`` source): the meter renders ``done tasks · rate``
+    with no denominator and no ETA.
+    """
 
     __slots__ = (
         "label", "total", "done", "_stream", "_tty", "_started",
@@ -76,10 +81,14 @@ class ProgressTask:
     )
 
     def __init__(
-        self, label: str, total: int, stream: TextIO, tty: bool
+        self,
+        label: str,
+        total: "int | None",
+        stream: TextIO,
+        tty: bool,
     ) -> None:
         self.label = label
-        self.total = max(int(total), 0)
+        self.total = None if total is None else max(int(total), 0)
         self.done = 0
         self._stream = stream
         self._tty = tty
@@ -92,12 +101,19 @@ class ProgressTask:
     def advance(self, n: int = 1) -> None:
         """Mark ``n`` tasks complete and repaint (throttled)."""
         self.done += n
-        self._render(force=self.done >= self.total)
+        self._render(
+            force=self.total is not None and self.done >= self.total
+        )
 
     def render_line(self) -> str:
         """The current meter text (also used by tests)."""
         elapsed = time.perf_counter() - self._started
         rate = self.done / elapsed if elapsed > 0 else 0.0
+        if self.total is None:
+            return (
+                f"{self.label} {self.done} tasks "
+                f"· {rate:.1f} tasks/s"
+            )
         if self.done and rate > 0:
             eta = _format_eta((self.total - self.done) / rate)
         else:
@@ -178,9 +194,12 @@ class ProgressReporter:
         isatty = getattr(stream, "isatty", None)
         return bool(isatty and isatty())
 
-    def start(self, label: str, total: int) -> Any:
-        """A live meter when active, the shared no-op otherwise."""
-        if total <= 0 or not self.active():
+    def start(self, label: str, total: "int | None") -> Any:
+        """A live meter when active, the shared no-op otherwise.
+
+        ``total=None`` starts an unknown-total meter (no ETA).
+        """
+        if (total is not None and total <= 0) or not self.active():
             return _NULL_TASK
         stream = self.stream
         isatty = getattr(stream, "isatty", None)

@@ -1,12 +1,22 @@
 """Workloads: the 22 TPC-H queries and random query generators."""
 
-from .generator import JOIN_SHAPES, random_catalog, random_query
+from .generator import (
+    JOIN_SHAPES,
+    GeneratorConfig,
+    generate_workload,
+    generated_task,
+    random_catalog,
+    random_query,
+)
 from .tpch_queries import TPCH_QUERY_NAMES, build_tpch_queries, tpch_query
 
 __all__ = [
+    "GeneratorConfig",
     "JOIN_SHAPES",
     "TPCH_QUERY_NAMES",
     "build_tpch_queries",
+    "generate_workload",
+    "generated_task",
     "random_catalog",
     "random_query",
     "tpch_query",

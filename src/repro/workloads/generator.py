@@ -1,12 +1,25 @@
-"""Random workload generation for tests and benchmarks.
+"""Random workload generation for tests, benchmarks and the census.
 
 Generates synthetic catalogs and random SPJ queries with chain, star or
 clique join graphs — the shapes the parametric-query-optimization
 literature studies.  Property-based tests use these to exercise the
-enumerator and the geometric framework on inputs far from TPC-H.
+enumerator and the geometric framework on inputs far from TPC-H, and
+the generated census (``repro census --generated N``) streams millions
+of them through the candidate-set machinery.
+
+Determinism contract: every draw consumed from the ``rng`` happens in
+a *fixed, unconditional order* — never inside a data-dependent branch
+and never driven by dict iteration — so the query produced by a given
+``(seed, index)`` is bit-identical across Python versions, platforms
+and ``PYTHONHASHSEED`` values.  :func:`generated_task` derives one
+independent generator per task index via
+:class:`numpy.random.SeedSequence` spawn keys, so any subset of the
+stream can be regenerated in any worker without coordination.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -18,9 +31,21 @@ from ..catalog.statistics import (
     IndexStats,
     TableStats,
 )
-from ..optimizer.query import JoinPredicate, LocalPredicate, QuerySpec, TableRef
+from ..optimizer.query import (
+    JoinPredicate,
+    LocalPredicate,
+    QuerySpec,
+    TableRef,
+)
 
-__all__ = ["random_catalog", "random_query", "JOIN_SHAPES"]
+__all__ = [
+    "GeneratorConfig",
+    "JOIN_SHAPES",
+    "generated_task",
+    "generate_workload",
+    "random_catalog",
+    "random_query",
+]
 
 JOIN_SHAPES = ("chain", "star", "clique")
 
@@ -30,12 +55,16 @@ def random_catalog(
     n_tables: int = 4,
     min_rows: int = 1_000,
     max_rows: int = 5_000_000,
+    fk_index_prob: float = 1.0,
 ) -> Catalog:
     """A synthetic catalog of ``n_tables`` tables T0..Tn-1.
 
     Every table gets a key column ``K`` (distinct = rows, clustered
-    PK index), a foreign-ish column ``F`` (indexed, unclustered) and a
-    filter column ``V`` (no index).
+    PK index), a foreign-ish column ``F`` (unclustered index with
+    probability ``fk_index_prob`` — index-availability mixes make the
+    access-path choice non-trivial) and a filter column ``V`` (no
+    index).  All draws are unconditional, so the rng stream position
+    after this call depends only on ``n_tables``.
     """
     if n_tables < 1:
         raise ValueError("need at least one table")
@@ -43,7 +72,12 @@ def random_catalog(
     stats = CatalogStats()
     for i in range(n_tables):
         name = f"T{i}"
+        # Fixed draw order per table: width, rows, distinct divisor,
+        # fk-index coin — independent of whether the index is kept.
         width = int(rng.integers(40, 240))
+        rows = int(rng.integers(min_rows, max_rows))
+        distinct_f = max(1, rows // int(rng.integers(2, 50)))
+        with_fk_index = bool(rng.random() < fk_index_prob)
         table = Table(
             name,
             (
@@ -54,8 +88,6 @@ def random_catalog(
             primary_key=("K",),
         )
         schema.add_table(table)
-        rows = int(rng.integers(min_rows, max_rows))
-        distinct_f = max(1, rows // int(rng.integers(2, 50)))
         stats.tables[name] = TableStats(
             row_count=rows,
             row_width=width,
@@ -67,15 +99,16 @@ def random_catalog(
         )
         pk_index = Index(f"{name}_PK", name, ("K",), clustered=True,
                          unique=True)
-        fk_index = Index(f"{name}_F", name, ("F",))
         schema.add_index(pk_index)
-        schema.add_index(fk_index)
         stats.indexes[pk_index.name] = IndexStats.derive(
             rows, key_width=4, cluster_ratio=1.0
         )
-        stats.indexes[fk_index.name] = IndexStats.derive(
-            rows, key_width=4, cluster_ratio=0.0
-        )
+        if with_fk_index:
+            fk_index = Index(f"{name}_F", name, ("F",))
+            schema.add_index(fk_index)
+            stats.indexes[fk_index.name] = IndexStats.derive(
+                rows, key_width=4, cluster_ratio=0.0
+            )
     return Catalog(schema, stats)
 
 
@@ -95,12 +128,20 @@ def random_query(
     shape: str = "chain",
     with_predicates: bool = True,
     with_grouping: bool = False,
+    predicate_prob: float = 0.6,
+    min_selectivity: float = 1e-4,
 ) -> QuerySpec:
     """A random SPJ query over all tables of a :func:`random_catalog`.
 
     Joins follow the requested ``shape``; edges connect key to
     foreign-ish columns so index nested loops are viable.  Local
-    predicates get log-uniform selectivities in [1e-4, 1].
+    predicates get log-uniform selectivities in
+    ``[min_selectivity, 1]``.
+
+    Per table, four values are drawn from ``rng`` in a fixed order
+    (keep-coin, selectivity, column-coin, sargable-coin) whether or
+    not the predicate is kept — branch outcomes never shift the
+    stream, so the draw order is platform-stable by construction.
     """
     names = list(catalog.table_names())
     n = len(names)
@@ -112,11 +153,13 @@ def random_query(
         )
     predicates = []
     if with_predicates:
+        log_min = float(np.log10(min_selectivity))
         for i in range(n):
-            if rng.random() < 0.6:
-                selectivity = float(10 ** rng.uniform(-4, 0))
-                column = "V" if rng.random() < 0.5 else "F"
-                sargable = column if rng.random() < 0.7 else None
+            keep = bool(rng.random() < predicate_prob)
+            selectivity = float(10 ** rng.uniform(log_min, 0))
+            column = "V" if rng.random() < 0.5 else "F"
+            sargable = column if rng.random() < 0.7 else None
+            if keep:
                 predicates.append(
                     LocalPredicate(f"A{i}", selectivity, sargable)
                 )
@@ -130,3 +173,101 @@ def random_query(
         predicates=tuple(predicates),
         group_by=group_by,
     )
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Mixture knobs of the streaming SPJ generator (picklable).
+
+    The defaults target the generated census: mostly small joins
+    (candidate-set computation is superlinear in table count), a mix
+    of join shapes, log-uniform selectivities and occasional missing
+    foreign-key indexes so access-path choices differ across the
+    cost space.
+    """
+
+    min_tables: int = 2
+    max_tables: int = 4
+    #: Sampling weights per join shape, same order as ``JOIN_SHAPES``.
+    shape_weights: tuple[float, ...] = (0.5, 0.3, 0.2)
+    predicate_prob: float = 0.6
+    min_selectivity: float = 1e-4
+    #: Probability a table's foreign-ish column keeps its index.
+    fk_index_prob: float = 0.8
+    grouping_prob: float = 0.2
+    min_rows: int = 1_000
+    max_rows: int = 5_000_000
+
+    def validate(self) -> None:
+        if not 1 <= self.min_tables <= self.max_tables:
+            raise ValueError(
+                "need 1 <= min_tables <= max_tables, got "
+                f"{self.min_tables}..{self.max_tables}"
+            )
+        if len(self.shape_weights) != len(JOIN_SHAPES):
+            raise ValueError(
+                f"shape_weights needs {len(JOIN_SHAPES)} entries "
+                f"(one per {'/'.join(JOIN_SHAPES)})"
+            )
+        if not all(w >= 0 for w in self.shape_weights) or not sum(
+            self.shape_weights
+        ):
+            raise ValueError("shape_weights must be non-negative, "
+                             "with a positive sum")
+
+
+def generated_task(
+    seed: int, index: int, config: GeneratorConfig | None = None
+) -> tuple[Catalog, QuerySpec]:
+    """Catalog and query number ``index`` of the seeded stream.
+
+    One independent, platform-stable rng per task —
+    ``default_rng(SeedSequence(seed, spawn_key=(index,)))`` — so any
+    worker can regenerate any subset of the stream with nothing but
+    ``(seed, index)``: the census ships *integers* to workers, never
+    query objects.
+    """
+    config = config or GeneratorConfig()
+    config.validate()
+    rng = np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(index,))
+    )
+    n_tables = int(
+        rng.integers(config.min_tables, config.max_tables + 1)
+    )
+    weights = np.asarray(config.shape_weights, dtype=float)
+    shape = JOIN_SHAPES[
+        int(rng.choice(len(JOIN_SHAPES), p=weights / weights.sum()))
+    ]
+    with_grouping = bool(rng.random() < config.grouping_prob)
+    catalog = random_catalog(
+        rng,
+        n_tables=n_tables,
+        min_rows=config.min_rows,
+        max_rows=config.max_rows,
+        fk_index_prob=config.fk_index_prob,
+    )
+    query = random_query(
+        rng,
+        catalog,
+        shape=shape,
+        with_grouping=with_grouping,
+        predicate_prob=config.predicate_prob,
+        min_selectivity=config.min_selectivity,
+    )
+    query = QuerySpec(
+        name=f"G{index}",
+        tables=query.tables,
+        joins=query.joins,
+        predicates=query.predicates,
+        group_by=query.group_by,
+    )
+    return catalog, query
+
+
+def generate_workload(
+    seed: int, n: int, config: GeneratorConfig | None = None
+):
+    """Lazily yield ``(catalog, query)`` pairs 0..n-1 of the stream."""
+    for index in range(n):
+        yield generated_task(seed, index, config)

@@ -1,0 +1,140 @@
+"""The generated census: determinism, accumulator, CLI parity.
+
+A census over seeded random queries must behave exactly like the
+TPC-H experiments: every number a pure function of ``(seed, index)``,
+serial and ``--jobs N`` digests bit-identical, and checkpoint→resume
+indistinguishable from an uninterrupted run.
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import get_experiment, run_generated_census
+from repro.experiments.report import format_generated_census
+from repro.experiments.scenarios import scenario
+from repro.experiments.usage_analysis import (
+    DEFAULT_REGIME_DELTAS,
+    GeneratedCensus,
+    analyze_generated_query,
+)
+
+N = 8
+SEED = 11
+
+
+# ----------------------------------------------------------------------
+# Per-query analysis: deterministic in (seed, index) alone
+# ----------------------------------------------------------------------
+def test_analyze_generated_query_is_deterministic():
+    config = scenario("colocated")
+    first = analyze_generated_query(3, config, seed=SEED)
+    second = analyze_generated_query(3, config, seed=SEED)
+    assert first == second
+    assert first.index == 3
+    assert first.n_candidates >= 1
+    assert 0.0 <= first.wrong_fraction <= 1.0
+    assert first.regime_deltas == DEFAULT_REGIME_DELTAS
+    assert len(first.regime_regrets) == len(DEFAULT_REGIME_DELTAS)
+    for regrets in first.regime_regrets:
+        assert all(value >= 1.0 - 1e-9 for value in regrets)
+
+
+def test_analyze_generated_query_varies_with_index_and_seed():
+    config = scenario("colocated")
+    base = analyze_generated_query(0, config, seed=SEED)
+    assert analyze_generated_query(1, config, seed=SEED) != base
+    assert analyze_generated_query(0, config, seed=SEED + 1) != base
+
+
+# ----------------------------------------------------------------------
+# Accumulator and renderer
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def census():
+    return run_generated_census(N, seed=SEED)
+
+
+def test_generated_census_accumulator_statistics(census):
+    assert isinstance(census, GeneratedCensus)
+    assert census.n_queries == N
+    assert census.sizes.total == N
+    assert census.wrong.count == N
+    assert 0.0 <= census.contested_fraction <= 1.0
+    assert [curve.delta for curve in census.regimes] == list(
+        DEFAULT_REGIME_DELTAS
+    )
+    for curve in census.regimes:
+        assert curve.total == N * 64  # regime_samples per query
+        assert curve.regret.mean >= 1.0 - 1e-9
+        assert curve.regret.max <= curve.bound * (1 + 1e-9)
+    assert len(census.worst) == min(N, census.worst_k)
+    # worst is sorted most-contested first.
+    fractions = [fraction for fraction, __ in census.worst]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def test_generated_census_regret_grows_with_delta(census):
+    means = [curve.regret.mean for curve in census.regimes]
+    assert means == sorted(means)
+
+
+def test_generated_census_render(census):
+    text = format_generated_census(census)
+    assert f"generated census [colocated] · {N} queries" in text
+    assert "candidate-set size distribution:" in text
+    assert "regret regimes" in text
+    assert "bound d^2" in text
+
+
+def test_programmatic_rerun_is_bit_identical(census):
+    again = run_generated_census(N, seed=SEED)
+    assert format_generated_census(again) == format_generated_census(
+        census
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI: scenario default, digest parity, checkpoint/resume
+# ----------------------------------------------------------------------
+def test_generated_mode_defaults_scenario_to_colocated():
+    spec = get_experiment("census")
+    generated = argparse.Namespace(generated=100)
+    tpch = argparse.Namespace(generated=0)
+    assert spec.scenario_default_for(generated) == "colocated"
+    assert spec.scenario_default_for(tpch) is None
+
+
+def _cli(tmp_path, tag, extra=()):
+    manifest = tmp_path / f"manifest-{tag}.json"
+    assert main([
+        "census", "--generated", str(N), "--seed", str(SEED),
+        "--no-cache", "--manifest", str(manifest), *extra,
+    ]) == 0
+    return json.loads(manifest.read_text())
+
+
+def test_cli_serial_vs_jobs2_digest_parity(tmp_path, monkeypatch,
+                                           capsys):
+    monkeypatch.chdir(tmp_path)
+    serial = _cli(tmp_path, "serial")
+    out_serial = capsys.readouterr().out
+    fanout = _cli(tmp_path, "jobs2", ["--jobs", "2"])
+    out_fanout = capsys.readouterr().out
+    assert serial["result_digests"] == fanout["result_digests"]
+    assert serial["result_digests"]["generated_census"]
+    assert out_serial == out_fanout
+
+
+def test_cli_checkpoint_then_resume_digest_parity(tmp_path, monkeypatch,
+                                                  capsys):
+    monkeypatch.chdir(tmp_path)
+    fresh = _cli(tmp_path, "fresh", ["--checkpoint"])
+    capsys.readouterr()
+    resumed = _cli(tmp_path, "resumed", ["--resume"])
+    capsys.readouterr()
+    assert fresh["result_digests"] == resumed["result_digests"]
+    assert resumed["tasks"]["resumed"] == N
+    assert resumed["tasks"]["completed"] == N

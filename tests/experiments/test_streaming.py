@@ -1,0 +1,247 @@
+"""The streaming-reducer protocol: parity, ordering, snapshots.
+
+The engine now drives every spec through
+``make_accumulator -> absorb (task-index order) -> finalize``.  These
+tests pin the three promises that refactor made:
+
+* every registered spec produces digests identical to the legacy
+  batch ``reduce`` over the collected result list;
+* ``absorb`` sees results in task-index order regardless of
+  ``--jobs``, and batch-only specs keep working through the shim;
+* checkpointed runs snapshot the accumulator, prune absorbed task
+  pickles, and resume through the snapshot — degrading gracefully
+  when the snapshot is corrupt.
+"""
+
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments import (
+    CensusParams,
+    ExpectedParams,
+    RobustnessParams,
+    RunContext,
+    ValidationParams,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
+from repro.experiments import engine as engine_module
+from repro.experiments.engine import _REGISTRY, Experiment
+from repro.experiments.worst_case import FigureParams
+from repro.workloads import build_tpch_queries
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def queries(catalog):
+    return build_tpch_queries(catalog)
+
+
+# ----------------------------------------------------------------------
+# Streaming == legacy batch, for every registered spec
+# ----------------------------------------------------------------------
+SPEC_CASES = [
+    ("figure", FigureParams(scenario_key="shared", deltas=(1.0, 10.0))),
+    ("expected", ExpectedParams(scenario_key="shared", n_samples=200)),
+    (
+        "validate",
+        ValidationParams(
+            scenario_key="shared", query_names=("Q6",), delta=10.0
+        ),
+    ),
+    ("robustness", RobustnessParams(scenario_key="shared")),
+    ("census", CensusParams(scenario_key="split")),
+]
+
+
+@pytest.mark.parametrize(
+    "name,params", SPEC_CASES, ids=[case[0] for case in SPEC_CASES]
+)
+def test_streaming_digests_match_legacy_batch_reduce(
+    name, params, catalog, queries
+):
+    spec = get_experiment(name)
+    subset = {"Q6": queries["Q6"]}
+    streaming_ctx = RunContext(catalog=catalog, queries=subset)
+    streaming = run_experiment(name, params, streaming_ctx)
+    batch_ctx = RunContext(catalog=catalog, queries=subset)
+    results = [
+        spec.run_task(batch_ctx, params, task)
+        for task in spec.plan_tasks(batch_ctx, params)
+    ]
+    legacy = spec.reduce(batch_ctx, params, results)
+    assert spec.digest_payloads(
+        streaming_ctx, params, streaming
+    ) == spec.digest_payloads(batch_ctx, params, legacy)
+
+
+# ----------------------------------------------------------------------
+# Toy specs: the shim, explicit accumulators, and absorb ordering
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StreamParams:
+    n: int = 10
+
+
+class BatchOnlySpec(Experiment):
+    """Defines only the legacy ``reduce`` — must run through the shim."""
+
+    name = "toy-batch-only"
+    help = "sum via legacy reduce"
+    params_type = StreamParams
+    uses_scenario = False
+
+    def plan_tasks(self, ctx, params):
+        return list(range(params.n))
+
+    def run_task(self, ctx, params, task):
+        return task * 2
+
+    def reduce(self, ctx, params, results):
+        return sum(results)
+
+    def render(self, ctx, params, reduced):
+        return f"{reduced}\n"
+
+    def digest_payloads(self, ctx, params, reduced):
+        return {"toy_batch": str(reduced)}
+
+
+class StreamingOrderSpec(Experiment):
+    """Records the tasks ``absorb`` sees, to pin delivery order."""
+
+    name = "toy-stream-order"
+    help = "absorb-order recorder"
+    params_type = StreamParams
+    uses_scenario = False
+
+    def plan_tasks(self, ctx, params):
+        # A lazy generator: the engine must not need len().
+        return (i for i in range(params.n))
+
+    def run_task(self, ctx, params, task):
+        return task * task
+
+    def make_accumulator(self, ctx, params):
+        return {"tasks": [], "total": 0}
+
+    def absorb(self, ctx, params, acc, task, result):
+        acc["tasks"].append(task)
+        acc["total"] += result
+        return acc
+
+    def finalize(self, ctx, params, acc):
+        return acc
+
+    def render(self, ctx, params, reduced):
+        return f"{reduced['total']}\n"
+
+    def digest_payloads(self, ctx, params, reduced):
+        return {"toy_stream": repr(reduced)}
+
+
+@pytest.fixture
+def toy_specs():
+    register_experiment(BatchOnlySpec)
+    register_experiment(StreamingOrderSpec)
+    try:
+        yield
+    finally:
+        _REGISTRY.pop("toy-batch-only", None)
+        _REGISTRY.pop("toy-stream-order", None)
+
+
+def test_batch_only_spec_runs_through_the_shim(toy_specs, catalog):
+    ctx = RunContext(catalog=catalog, queries={})
+    result = run_experiment("toy-batch-only", StreamParams(n=5), ctx)
+    assert result == 2 * (0 + 1 + 2 + 3 + 4)
+
+
+def test_lazy_plan_tasks_and_absorb_order_serial(toy_specs, catalog):
+    ctx = RunContext(catalog=catalog, queries={})
+    result = run_experiment("toy-stream-order", StreamParams(n=8), ctx)
+    assert result["tasks"] == list(range(8))
+    assert result["total"] == sum(i * i for i in range(8))
+
+
+def test_absorb_order_is_task_index_order_under_jobs2(
+    toy_specs, catalog
+):
+    params = StreamParams(n=24)
+    serial = run_experiment(
+        "toy-stream-order", params,
+        RunContext(catalog=catalog, queries={}, jobs=1),
+    )
+    fanout = run_experiment(
+        "toy-stream-order", params,
+        RunContext(catalog=catalog, queries={}, jobs=2),
+    )
+    assert fanout["tasks"] == list(range(24))
+    assert fanout == serial
+
+
+# ----------------------------------------------------------------------
+# Accumulator snapshots on checkpointed runs
+# ----------------------------------------------------------------------
+@pytest.fixture
+def snapshot_interval(monkeypatch):
+    monkeypatch.setattr(engine_module, "_SNAPSHOT_INTERVAL", 4)
+
+
+def _checkpointed_run(catalog, tmp_path, resume=None):
+    ctx = RunContext(
+        catalog=catalog, queries={}, checkpoint=True, resume=resume,
+        journal_root=tmp_path,
+    )
+    result = run_experiment("toy-stream-order", StreamParams(n=10), ctx)
+    return result, ctx
+
+
+def test_checkpoint_snapshots_and_prunes_absorbed_tasks(
+    toy_specs, snapshot_interval, catalog, tmp_path
+):
+    result, ctx = _checkpointed_run(catalog, tmp_path)
+    journal_dir = tmp_path / ctx.run_id
+    snapshot = journal_dir / "acc.pkl"
+    assert snapshot.exists()
+    payload = pickle.loads(snapshot.read_bytes())
+    assert payload["watermark"] == 8  # last multiple of the interval
+    assert payload["acc"]["tasks"] == list(range(8))
+    # Tasks the snapshot absorbed are pruned; the tail is journaled.
+    remaining = sorted(
+        int(p.stem[len("task-"):])
+        for p in journal_dir.glob("task-*.pkl")
+    )
+    assert remaining == [8, 9]
+    assert result["tasks"] == list(range(10))
+
+
+def test_resume_replays_through_the_snapshot(
+    toy_specs, snapshot_interval, catalog, tmp_path
+):
+    fresh, __ = _checkpointed_run(catalog, tmp_path)
+    resumed, ctx = _checkpointed_run(catalog, tmp_path, resume="auto")
+    assert resumed == fresh
+    # 8 tasks skipped via the snapshot + 2 replayed from the journal.
+    assert ctx.task_stats["resumed"] == 10
+    assert ctx.task_stats["completed"] == 10
+
+
+def test_corrupt_snapshot_falls_back_to_per_task_replay(
+    toy_specs, snapshot_interval, catalog, tmp_path
+):
+    fresh, first_ctx = _checkpointed_run(catalog, tmp_path)
+    (tmp_path / first_ctx.run_id / "acc.pkl").write_bytes(b"garbage")
+    resumed, ctx = _checkpointed_run(catalog, tmp_path, resume="auto")
+    assert resumed == fresh
+    # Only the unpruned tail could be replayed; the rest re-executed.
+    assert ctx.task_stats["resumed"] == 2
+    assert ctx.task_stats["completed"] == 10

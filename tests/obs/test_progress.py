@@ -95,6 +95,28 @@ def test_tty_meter_overwrites_and_clears():
     assert output.endswith("\r")
 
 
+def test_unknown_total_renders_count_and_rate_without_eta():
+    task = ProgressTask("census", None, io.StringIO(), tty=False)
+    task.done = 500
+    task._started -= 100.0  # 5 tasks/s
+    line = task.render_line()
+    assert line.startswith("census 500 tasks · 5.0 tasks/s")
+    assert "eta" not in line
+    assert "500/" not in line  # no denominator to show
+
+
+def test_unknown_total_still_starts_a_live_task():
+    stream = io.StringIO()
+    reporter = ProgressReporter()
+    reporter.configure(mode="on", stream=stream)
+    task = reporter.start("census", None)
+    assert isinstance(task, ProgressTask)
+    assert task is not _NULL_TASK
+    task.advance()
+    task.finish()
+    assert "census" in stream.getvalue()
+
+
 def test_long_etas_use_minute_and_hour_units():
     from repro.obs.progress import _format_eta
 

@@ -3,11 +3,15 @@
 import numpy as np
 import pytest
 
+from repro.obs.manifest import catalog_digest
 from repro.optimizer.config import DEFAULT_PARAMETERS
 from repro.optimizer.dp import optimize_scalar
 from repro.storage import StorageLayout
 from repro.workloads.generator import (
     JOIN_SHAPES,
+    GeneratorConfig,
+    generate_workload,
+    generated_task,
     random_catalog,
     random_query,
 )
@@ -73,3 +77,102 @@ def test_grouping_flag(
     assert grouped.has_aggregation
     plain = random_query(rng, catalog, with_grouping=False)
     assert not plain.has_aggregation
+
+
+# ----------------------------------------------------------------------
+# Platform-stable draw order
+# ----------------------------------------------------------------------
+def test_query_draws_do_not_depend_on_predicate_outcomes():
+    """The rng stream position after random_query is branch-free.
+
+    Whether predicates are kept (probability 0 vs 1) must not shift
+    later draws — otherwise the same seed would generate different
+    streams on platforms whose float rounding flips a single coin.
+    """
+    catalog = random_catalog(np.random.default_rng(0), n_tables=3)
+    tails = []
+    for prob in (0.0, 0.3, 1.0):
+        rng = np.random.default_rng(42)
+        random_query(rng, catalog, predicate_prob=prob)
+        tails.append(int(rng.integers(0, 2**31)))
+    assert tails[0] == tails[1] == tails[2]
+
+
+def test_catalog_draws_do_not_depend_on_index_outcomes():
+    tails = []
+    for prob in (0.0, 1.0):
+        rng = np.random.default_rng(42)
+        random_catalog(rng, n_tables=3, fk_index_prob=prob)
+        tails.append(int(rng.integers(0, 2**31)))
+    assert tails[0] == tails[1]
+
+
+def test_fk_index_prob_extremes():
+    none = random_catalog(
+        np.random.default_rng(0), n_tables=4, fk_index_prob=0.0
+    )
+    full = random_catalog(
+        np.random.default_rng(0), n_tables=4, fk_index_prob=1.0
+    )
+    for name in none.table_names():
+        assert len(none.indexes_on(name)) == 1  # PK only
+        assert len(full.indexes_on(name)) == 2
+
+
+# ----------------------------------------------------------------------
+# The seeded stream: generated_task / generate_workload
+# ----------------------------------------------------------------------
+def test_generated_task_is_deterministic():
+    first_catalog, first_query = generated_task(7, 3)
+    second_catalog, second_query = generated_task(7, 3)
+    assert catalog_digest(first_catalog) == catalog_digest(
+        second_catalog
+    )
+    assert first_query == second_query
+    assert first_query.name == "G3"
+
+
+def test_stream_items_are_independent_of_enumeration():
+    """Task ``index`` regenerates identically with no stream prefix."""
+    streamed = list(generate_workload(5, 4))
+    for index, (catalog, query) in enumerate(streamed):
+        solo_catalog, solo_query = generated_task(5, index)
+        assert catalog_digest(solo_catalog) == catalog_digest(catalog)
+        assert solo_query == query
+
+
+def test_stream_varies_by_index_and_seed():
+    __, base = generated_task(0, 0)
+    assert generated_task(0, 1)[1] != base
+    assert generated_task(1, 0)[1] != base
+
+
+def test_generate_workload_is_lazy():
+    stream = generate_workload(0, 10**9)  # would never fit in memory
+    __, query = next(stream)
+    assert query.name == "G0"
+
+
+def test_generated_queries_respect_config_bounds():
+    config = GeneratorConfig(
+        min_tables=2, max_tables=3, shape_weights=(1.0, 0.0, 0.0)
+    )
+    for __, query in generate_workload(1, 6, config):
+        assert 2 <= len(query.tables) <= 3
+        assert len(query.joins) == len(query.tables) - 1  # chain
+        assert query.is_connected()
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        GeneratorConfig(min_tables=0),
+        GeneratorConfig(min_tables=5, max_tables=4),
+        GeneratorConfig(shape_weights=(1.0,)),
+        GeneratorConfig(shape_weights=(0.0, 0.0, 0.0)),
+        GeneratorConfig(shape_weights=(-1.0, 1.0, 1.0)),
+    ],
+)
+def test_generator_config_validation(bad):
+    with pytest.raises(ValueError):
+        bad.validate()
