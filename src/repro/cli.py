@@ -10,6 +10,10 @@ Run via ``python -m repro <command>``:
   under random cost drift;
 * ``diagram QUERY X_DEVICE Y_DEVICE`` — an ASCII plan diagram over two
   device-cost axes;
+* ``explain QUERY`` (or ``--generated SEED:INDEX``) — one decision's
+  full provenance: candidate count, winner vs runner-up totals,
+  relative margin, the nearest switchover plane and which
+  single-coordinate cost perturbation crosses it;
 * ``params`` — the Section 7.3 system parameter table;
 * ``validate QUERY`` — black-box estimation + discovery validation;
 * ``report MANIFEST [MANIFEST]`` — render a run manifest into a
@@ -52,7 +56,12 @@ speedscope JSON + folded-stack flamegraph input (``--profile-out``;
 merged across ``--jobs`` workers, summarised as a hot-function table
 in the manifest), ``--timeseries`` snapshots every metric counter
 periodically (counter tracks in ``--trace-out``, counter curves in
-the manifest), ``--metrics-out PATH`` dumps the raw metrics, and
+the manifest), ``--decisions`` records decision provenance (margin
+decade-histograms, near-plane fractions, a deterministic bottom-k
+sample of explain records — ``--decisions-sample K`` sizes it,
+``--decisions-out PATH`` exports it as JSONL, and sampled decisions
+additionally land in ``--trace-out`` as instant events),
+``--metrics-out PATH`` dumps the raw metrics, and
 ``--log-level debug`` surfaces the library's loggers.  Long sweeps
 render a live progress meter on stderr
 when it is a TTY and the log level is below WARNING (force with
@@ -98,6 +107,7 @@ from .experiments.scenarios import (
     resolve_scenario_key,
 )
 from .obs import (
+    DECISIONS,
     MEMPROF,
     METRICS,
     ON_ERROR_MODES,
@@ -112,8 +122,10 @@ from .obs import (
     bench_history_entries,
     compare_bench_records,
     configure_logging,
+    decision_instant_events,
     default_history_path,
     detect_trends,
+    explain_probe,
     folded_path_for,
     load_bench_record,
     load_history,
@@ -126,6 +138,7 @@ from .obs import (
     render_trend_report,
     span,
     validate_manifest,
+    write_decision_records,
     write_folded,
     write_manifest,
     write_speedscope,
@@ -273,6 +286,174 @@ def _cmd_diagram(args: argparse.Namespace, run: _Run) -> int:
     )
     rendered = diagram.render()
     ctx.record_digest("diagram", rendered)
+    print(rendered)
+    return 0
+
+
+def _render_explain(
+    query_name: str,
+    scenario_key: str,
+    names,
+    cost,
+    signatures,
+    info: dict,
+    cascade: "dict | None",
+) -> str:
+    """One decision's provenance as the ``repro explain`` transcript."""
+    lines = [f"decision provenance: {query_name} [{scenario_key}]"]
+    lines.append(
+        "cost vector: "
+        + ", ".join(
+            f"{name}={float(value):.6g}"
+            for name, value in zip(names, cost)
+        )
+    )
+    lines.append(f"candidates: {info['candidates']} plan(s)")
+    winner = info["winner"]
+    lines.append(
+        f"winner:    plan {winner} {signatures[winner]} "
+        f"(total {info['winner_total']:.6g})"
+    )
+    if info["runner_up"] is None:
+        lines.append("runner-up: none (single candidate plan)")
+    else:
+        runner = info["runner_up"]
+        lines.append(
+            f"runner-up: plan {runner} {signatures[runner]} "
+            f"(total {info['runner_up_total']:.6g})"
+        )
+    if info["margin"] is not None:
+        lines.append(f"margin:    {info['margin']:.6g} (relative)")
+    if (
+        info["plane_distance"] is not None
+        and info["nearest_rival"] is not None
+    ):
+        lines.append(
+            f"nearest switchover plane: vs plan "
+            f"{info['nearest_rival']} at normalized distance "
+            f"{info['plane_distance']:.6g}"
+        )
+    if cascade is not None:
+        lines.append(
+            f"lookup path: {cascade['path']} "
+            f"(reason {cascade['reason']}; "
+            f"{cascade['plans_scanned']} of {cascade['n_plans']} "
+            f"plans scanned, {cascade['groups_pruned']} of "
+            f"{cascade['groups']} groups pruned)"
+        )
+    else:
+        lines.append("lookup path: dense (plan index inactive)")
+    if info["crossings"]:
+        lines.append(
+            "single-coordinate cost perturbations crossing the plane:"
+        )
+        for crossing in info["crossings"]:
+            name = names[crossing["coordinate"]]
+            relative = (
+                f"{crossing['relative']:+.3%}"
+                if crossing["relative"] is not None else "n/a"
+            )
+            feasible = (
+                "" if crossing["feasible"]
+                else "  [infeasible: crosses zero]"
+            )
+            lines.append(
+                f"  {name}: {crossing['delta']:+.6g} ({relative}) "
+                f"-> {crossing['new_value']:.6g}{feasible}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_explain(args: argparse.Namespace, run: _Run) -> int:
+    """``repro explain``: full provenance of one plan decision."""
+    import numpy as np
+
+    from .experiments import scenario
+    from .optimizer.plancache import cached_candidate_plans
+
+    generated = getattr(args, "generated", None)
+    if (
+        getattr(args, "scenario_opt", None) is None
+        and getattr(args, "scenario_arg", None) is None
+    ):
+        # Mirror the census defaults: generated queries live in the
+        # colocated scenario, named queries default to split.
+        args.scenario_opt = "colocated" if generated else "split"
+    args.scenario = _resolve_scenario(args)
+    ctx = _context_from_args(args)
+    run.ctx = ctx
+    if generated:
+        if args.query is not None:
+            _usage_error(
+                "give either QUERY or --generated SEED:INDEX, not both"
+            )
+        from .workloads.generator import generated_task
+
+        seed_text, sep, index_text = generated.partition(":")
+        try:
+            if not sep:
+                raise ValueError(generated)
+            gen_seed = int(seed_text)
+            gen_index = int(index_text)
+        except ValueError:
+            _usage_error(
+                "--generated takes SEED:INDEX (two integers), "
+                "e.g. 0:17"
+            )
+        if gen_index < 0:
+            _usage_error("--generated INDEX must be >= 0")
+        catalog, query = generated_task(gen_seed, gen_index)
+        cell_cap = 16
+        cache = None
+        scenario_key_for_cache = None
+    elif args.query is None:
+        _usage_error("missing QUERY (or --generated SEED:INDEX)")
+    else:
+        try:
+            selected = ctx.select([args.query])
+        except UnknownQueryError as exc:
+            _usage_error(str(exc))
+        (query,) = selected.values()
+        catalog = ctx.catalog
+        cell_cap = 64
+        cache = ctx.cache
+        scenario_key_for_cache = args.scenario
+    config = scenario(args.scenario)
+    layout = config.layout_for(query)
+    region = config.region(layout, args.delta)
+    candidates = cached_candidate_plans(
+        query, catalog, ctx.params, layout, region,
+        cell_cap=cell_cap, cache=cache,
+        scenario_key=scenario_key_for_cache,
+    )
+    center = layout.center_costs()
+    space = center.space
+    if getattr(args, "cost_vector", None):
+        parts = args.cost_vector.split(",")
+        if len(parts) != space.dimension:
+            _usage_error(
+                f"--cost-vector needs {space.dimension} components "
+                f"({', '.join(space.names)}), got {len(parts)}"
+            )
+        try:
+            values = [float(part) for part in parts]
+        except ValueError:
+            _usage_error("--cost-vector components must be numbers")
+        if any(value <= 0 for value in values):
+            _usage_error("--cost-vector components must be > 0")
+        cost = np.asarray(values, dtype=float)
+    else:
+        cost = center.values
+    info = explain_probe(candidates.usage_matrix, cost)
+    plan_index = candidates.plan_index()
+    cascade = (
+        plan_index.explain(cost) if plan_index.active else None
+    )
+    rendered = _render_explain(
+        getattr(query, "name", str(query)), args.scenario,
+        space.names, cost, candidates.signatures, info, cascade,
+    )
+    ctx.record_digest("explain", rendered)
     print(rendered)
     return 0
 
@@ -485,6 +666,25 @@ def _obs_flags(p: argparse.ArgumentParser) -> None:
         help="profiler sampling rate in samples/s (default 101)",
     )
     p.add_argument(
+        "--decisions", action="store_true",
+        help="record decision provenance: winner/runner-up margins, "
+             "switchover-plane distances and lookup paths per plan "
+             "lookup, aggregated into a fragility block in the "
+             "manifest plus a deterministic bottom-k sample of full "
+             "explain records (identical for any --jobs value)",
+    )
+    p.add_argument(
+        "--decisions-sample", type=int, default=None, metavar="K",
+        help="how many sampled explain records the decision log "
+             "keeps (bottom-k by hash; default 64; implies "
+             "--decisions)",
+    )
+    p.add_argument(
+        "--decisions-out", default=None, metavar="PATH",
+        help="also export the sampled explain records as JSONL "
+             "(implies --decisions)",
+    )
+    p.add_argument(
         "--timeseries", action="store_true",
         help="periodically snapshot every metric counter so the "
              "manifest (and --trace-out) record curves over the run "
@@ -645,6 +845,43 @@ def build_parser() -> argparse.ArgumentParser:
     _obs_flags(p_diagram)
     p_diagram.set_defaults(func=_cmd_diagram)
 
+    p_explain = sub.add_parser(
+        "explain",
+        help="full provenance of one plan decision: winner vs "
+             "runner-up, margin, nearest switchover plane and the "
+             "cost perturbations that cross it",
+    )
+    p_explain.add_argument(
+        "query", nargs="?", default=None, metavar="QUERY",
+        help="TPC-H query name, e.g. Q5 (or use --generated)",
+    )
+    p_explain.add_argument(
+        "--generated", default=None, metavar="SEED:INDEX",
+        help="explain a generated-census query instead of a TPC-H "
+             "one (regenerated deterministically from the census "
+             "seed and stream index)",
+    )
+    p_explain.add_argument(
+        "--cost-vector", default=None, metavar="C1,C2,...",
+        help="probe cost vector, one positive value per resource "
+             "(default: the scenario's center costs)",
+    )
+    p_explain.add_argument(
+        "--scenario", dest="scenario_opt", default=None, metavar="KEY",
+        help="storage scenario: shared/split/colocated or "
+             "fig5/fig6/fig7 (default split; colocated with "
+             "--generated)",
+    )
+    p_explain.add_argument(
+        "--delta", type=float, default=100.0,
+        help="feasible-region half-width the candidate set is "
+             "computed over (default 100)",
+    )
+    _workload_flags(p_explain)
+    _cache_flags(p_explain)
+    _obs_flags(p_explain)
+    p_explain.set_defaults(func=_cmd_explain)
+
     p_params = sub.add_parser(
         "params", help="the Section 7.3 system parameter table"
     )
@@ -745,6 +982,61 @@ def _serializable_config(args: argparse.Namespace) -> dict[str, Any]:
     return config
 
 
+def _decade_label(key: str) -> str:
+    """``"-3"`` -> ``"1e-3"``; the tie bucket renders as-is."""
+    try:
+        return f"1e{int(key)}"
+    except ValueError:
+        return key
+
+
+def _decade_sort_key(key: str):
+    try:
+        return (1, int(key))
+    except ValueError:
+        return (0, 0)  # "tie" sorts first
+
+
+def _decisions_epilogue(summary: dict) -> str:
+    return (
+        f"decisions: {summary['probes']} probes observed, "
+        f"{summary['sampled']} sampled, {summary['near_plane']} "
+        f"within {summary['epsilon']:g} of a switchover plane "
+        "(see `repro report`)"
+    )
+
+
+def _fragility_epilogue(summary: dict) -> "str | None":
+    """Wrong-choice fraction by margin decade, merged over contexts.
+
+    ``None`` when no probe carried a reference plan (nothing to call
+    wrong), e.g. discovery runs outside the census/expected sweeps.
+    """
+    if not summary.get("with_reference"):
+        return None
+    merged: dict[str, list[int]] = {}
+    for block in summary.get("contexts", {}).values():
+        for decade, pair in (block.get("decades") or {}).items():
+            bucket = merged.setdefault(decade, [0, 0])
+            bucket[0] += int(pair[0])
+            bucket[1] += int(pair[1])
+    parts = []
+    for decade in sorted(merged, key=_decade_sort_key):
+        total, wrong = merged[decade]
+        if not total:
+            continue
+        parts.append(
+            f"{_decade_label(decade)} {wrong}/{total} "
+            f"({wrong / total:.1%})"
+        )
+    if not parts:
+        return None
+    return (
+        "fragility: wrong-choice fraction by margin decade: "
+        + ", ".join(parts)
+    )
+
+
 def _finish_run(
     args: argparse.Namespace,
     ctx: "RunContext | None",
@@ -767,6 +1059,17 @@ def _finish_run(
         TIMESERIES.summary()
         if getattr(args, "timeseries", False) else None
     )
+    decisions_summary = None
+    if DECISIONS.enabled:
+        decisions_summary = DECISIONS.summary()
+        decisions_summary["fallback_reasons"] = {
+            reason: snapshot["counters"].get(
+                f"planindex.exact_fallbacks.{reason}", 0
+            )
+            for reason in (
+                "near_tie", "invalid_probe", "weak_certificate"
+            )
+        }
     if getattr(args, "manifest", None) and not getattr(
         args, "no_manifest", False
     ):
@@ -780,8 +1083,18 @@ def _finish_run(
             cpu_seconds=cpu_seconds,
             profile=profile_summary,
             timeseries=timeseries_summary,
+            decisions=decisions_summary,
         )
         write_manifest(manifest, args.manifest)
+    decisions_out = getattr(args, "decisions_out", None)
+    if DECISIONS.enabled and decisions_out:
+        records = DECISIONS.records()
+        target = write_decision_records(records, decisions_out)
+        print(
+            f"decisions: wrote {len(records)} sampled explain "
+            f"record(s) to {target}",
+            file=sys.stderr,
+        )
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         write_trace_events(
@@ -790,6 +1103,10 @@ def _finish_run(
             counter_tracks=(
                 TIMESERIES.counter_tracks()
                 if getattr(args, "timeseries", False) else None
+            ),
+            instant_events=(
+                decision_instant_events(DECISIONS.records())
+                if DECISIONS.enabled else None
             ),
         )
     if profiling:
@@ -849,12 +1166,26 @@ def _finish_run(
     probes = counters.get("planindex.probes", 0)
     if fallbacks:
         fraction = fallbacks / probes if probes else 0.0
+        reasons = ", ".join(
+            f"{reason.replace('_', '-')} "
+            f"{counters.get(f'planindex.exact_fallbacks.{reason}', 0)}"
+            for reason in (
+                "near_tie", "invalid_probe", "weak_certificate"
+            )
+            if counters.get(f"planindex.exact_fallbacks.{reason}", 0)
+        )
+        detail = f" ({reasons})" if reasons else ""
         print(
             f"plan index: {fallbacks} of {probes} lookups "
-            f"({fraction:.1%}) fell back to the dense kernel "
+            f"({fraction:.1%}) fell back to the dense kernel{detail} "
             "(results are exact either way; see `repro report`)",
             file=sys.stderr,
         )
+    if decisions_summary is not None:
+        print(_decisions_epilogue(decisions_summary), file=sys.stderr)
+        fragility = _fragility_epilogue(decisions_summary)
+        if fragility:
+            print(fragility, file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -899,6 +1230,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         mode=getattr(args, "progress", "auto"),
         log_level=getattr(args, "log_level", "warning"),
     )
+    # --decisions-sample / --decisions-out imply --decisions.  The
+    # sampling seed is fixed (not tied to --seed, which drives fault
+    # injection) so the sampled record set is a property of the
+    # workload alone.
+    decisions_on = bool(
+        getattr(args, "decisions", False)
+        or getattr(args, "decisions_out", None)
+        or getattr(args, "decisions_sample", None) is not None
+    )
+    DECISIONS.disable()
+    DECISIONS.reset()
+    if decisions_on:
+        sample_k = getattr(args, "decisions_sample", None)
+        if sample_k is None:
+            DECISIONS.configure()
+        else:
+            if sample_k < 0:
+                _usage_error("--decisions-sample must be >= 0")
+            DECISIONS.configure(sample_k=sample_k)
+        DECISIONS.enable()
     METRICS.reset()
     run = _Run()
     wall_start = time.perf_counter()

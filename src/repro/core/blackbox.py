@@ -32,6 +32,7 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..obs.decisions import DECISIONS
 from ..obs.metrics import METRICS
 from .vectors import CostVector, UsageVector
 
@@ -188,12 +189,26 @@ class TabularBlackBox:
     def optimize(self, cost: CostVector) -> PlanChoice:
         self.call_count += 1
         self._space.require_same(cost.space)
-        plan_index = self._plan_index()
-        if plan_index is not None:
-            index = plan_index.owner(cost.values)
-        else:
+        if DECISIONS.enabled:
+            # Decision capture needs every rival's total, which the
+            # index cascade prunes away — take the dense kernel (the
+            # chosen plan is identical by contract).
             totals = self._matrix @ cost.values
             index = int(np.argmin(totals))
+            DECISIONS.observe_one(
+                self._matrix, cost.values, totals, index,
+                path=(
+                    "dense" if self._plan_index() is None
+                    else "dense_capture"
+                ),
+            )
+        else:
+            plan_index = self._plan_index()
+            if plan_index is not None:
+                index = plan_index.owner(cost.values)
+            else:
+                totals = self._matrix @ cost.values
+                index = int(np.argmin(totals))
         total = float(self._matrix[index] @ cost.values)
         return PlanChoice(
             signature=self._plans[index][0],
@@ -212,12 +227,28 @@ class TabularBlackBox:
         self.call_count += len(matrix)
         if not len(matrix):
             return []
-        plan_index = self._plan_index()
-        if plan_index is not None:
-            indices = plan_index.owner_batch(matrix)
+        if DECISIONS.enabled:
+            # Dense even when the index is active: margins and plane
+            # distances are extracted from the totals the kernel just
+            # materialized (no second pass), and the index would prune
+            # exactly the rivals that extraction needs.
+            with np.errstate(invalid="ignore"):
+                totals = matrix @ self._matrix.T
+                indices = np.argmin(totals, axis=1)
+            DECISIONS.observe_batch(
+                self._matrix, matrix, totals, indices,
+                path=(
+                    "dense" if self._plan_index() is None
+                    else "dense_capture"
+                ),
+            )
         else:
-            totals = matrix @ self._matrix.T
-            indices = np.argmin(totals, axis=1)
+            plan_index = self._plan_index()
+            if plan_index is not None:
+                indices = plan_index.owner_batch(matrix)
+            else:
+                totals = matrix @ self._matrix.T
+                indices = np.argmin(totals, axis=1)
         return [
             PlanChoice(
                 signature=self._plans[index][0],

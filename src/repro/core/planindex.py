@@ -47,7 +47,14 @@ Instrumentation: ``planindex.builds``, ``planindex.probes``,
 ``planindex.pruned``, ``planindex.leaf_visits``,
 ``planindex.exact_fallbacks`` (probes answered by the dense kernel)
 and ``planindex.weak_certificates`` in
-:data:`repro.obs.metrics.METRICS`.
+:data:`repro.obs.metrics.METRICS`.  Fallbacks are reason-coded —
+``planindex.exact_fallbacks.invalid_probe`` (negative/non-finite/zero
+probes), ``.near_tie`` (top-two totals inside ``TIE_MARGIN``) and
+``.weak_certificate`` (the certificate admitted at least
+``FALLBACK_SCAN_FRACTION`` of the plans on a set of at least
+``WEAK_FALLBACK_MIN_PLANS``, so the dense kernel is taken outright) —
+and the breakdown is surfaced in the CLI epilogue and ``repro
+report``.
 
 A/B verification: set ``REPRO_NO_PLAN_INDEX=1`` (or pass
 ``--no-plan-index`` to any experiment command) to force every lookup
@@ -94,6 +101,13 @@ DEFAULT_WITNESS_SAMPLES = 2048
 #: A probe whose certificate scans at least this fraction of the plans
 #: has a weak certificate (the work done approaches the dense kernel's).
 FALLBACK_SCAN_FRACTION = 0.5
+
+#: Plan-set size below which a weak certificate is only *counted*, not
+#: rerouted to the dense kernel: when the masked scan touches a handful
+#: of rows it costs no more than the dense product anyway, so rerouting
+#: would just inflate the fallback telemetry on workloads that force
+#: tiny indexes on via ``REPRO_PLAN_INDEX_MIN_PLANS``.
+WEAK_FALLBACK_MIN_PLANS = DEFAULT_MIN_PLANS
 
 #: Relative best-vs-runner-up separation below which the winner is
 #: re-decided by the dense kernel.  BLAS kernels round a dot product
@@ -251,7 +265,10 @@ class PlanIndex:
             and not plan_index_disabled()
         )
         self._warned_fallbacks = False
-        self.stats = {"probes": 0, "fallbacks": 0}
+        self.stats = {
+            "probes": 0, "fallbacks": 0,
+            "invalid_probe": 0, "near_tie": 0, "weak_certificate": 0,
+        }
         if self._active:
             self._build(region, group_size, witness_samples, seed)
             METRICS.counter("planindex.builds").inc()
@@ -398,15 +415,25 @@ class PlanIndex:
         if not self._active or plan_index_disabled():
             return dense_owner_batch(self._matrix, costs)
         winners = np.empty(len(costs), dtype=np.int64)
-        fallbacks = 0
+        reasons = {"invalid_probe": 0, "near_tie": 0,
+                   "weak_certificate": 0}
         for start in range(0, len(costs), 4096):
             block = costs[start:start + 4096]
-            fallbacks += self._lookup_chunk(
+            chunk = self._lookup_chunk(
                 block, winners[start:start + len(block)]
             )
+            for reason, count in chunk.items():
+                reasons[reason] += count
+        fallbacks = sum(reasons.values())
         METRICS.counter("planindex.probes").inc(len(costs))
         self.stats["probes"] += len(costs)
         self.stats["fallbacks"] += fallbacks
+        for reason, count in reasons.items():
+            if count:
+                self.stats[reason] += count
+                METRICS.counter(
+                    f"planindex.exact_fallbacks.{reason}"
+                ).inc(count)
         if fallbacks:
             METRICS.counter("planindex.exact_fallbacks").inc(fallbacks)
             self._note_fallbacks(fallbacks, len(costs))
@@ -423,8 +450,8 @@ class PlanIndex:
                 "manifest", fallbacks, probes, 100.0 * fraction,
             )
 
-    def _lookup_chunk(self, costs, out) -> int:
-        """Cascade one chunk; returns the number of dense fallbacks."""
+    def _lookup_chunk(self, costs, out) -> dict[str, int]:
+        """Cascade one chunk; returns dense-fallback counts by reason."""
         matrix = self._matrix
         norms = np.linalg.norm(costs, axis=1)
         valid = (
@@ -432,22 +459,20 @@ class PlanIndex:
             & (costs >= 0.0).all(axis=1)
             & (norms > 0.0)
         )
-        fallbacks = 0
         if not valid.all():
             bad = np.flatnonzero(~valid)
             out[bad] = dense_owner_batch(matrix, costs[bad])
-            fallbacks += len(bad)
+            reasons = {"invalid_probe": len(bad), "near_tie": 0,
+                       "weak_certificate": 0}
             if valid.any():
                 rows = np.flatnonzero(valid)
-                fallbacks += self._locate(
-                    costs[rows], norms[rows], out, rows
-                )
-            return fallbacks
-        return self._locate(
-            costs, norms, out, np.arange(len(costs))
-        ) + fallbacks
+                located = self._locate(costs[rows], norms[rows], out, rows)
+                for reason, count in located.items():
+                    reasons[reason] += count
+            return reasons
+        return self._locate(costs, norms, out, np.arange(len(costs)))
 
-    def _locate(self, costs, norms, out, rows) -> int:
+    def _locate(self, costs, norms, out, rows) -> dict[str, int]:
         matrix = self._matrix
         m = self._m
         r = len(costs)
@@ -478,17 +503,39 @@ class PlanIndex:
         scan[np.arange(r), self._group_of[best_seed]] = True
 
         scanned_plans = scan @ self._group_sizes  # per-probe leaf count
+        reasons = {"invalid_probe": 0, "near_tie": 0,
+                   "weak_certificate": 0}
+
+        # A weak certificate admits so many plans that the masked scan
+        # approaches dense-kernel work anyway — on plan sets large
+        # enough for that to matter, take the dense kernel outright (it
+        # is the ground truth, so answers are unchanged) and count the
+        # reason.  Tiny forced-on indexes keep the masked scan: it is
+        # no dearer than the dense product there.
+        weak = scanned_plans >= FALLBACK_SCAN_FRACTION * m
+        if weak.any():
+            METRICS.counter("planindex.weak_certificates").inc(
+                int(weak.sum())
+            )
+        weak_mask = (
+            weak if m >= WEAK_FALLBACK_MIN_PLANS
+            else np.zeros(r, dtype=bool)
+        )
+        strong = np.flatnonzero(~weak_mask)
+        weak_rows = np.flatnonzero(weak_mask)
+        if weak_rows.size:
+            out[rows[weak_rows]] = dense_owner_batch(
+                matrix, costs[weak_rows]
+            )
+            reasons["weak_certificate"] = len(weak_rows)
         METRICS.counter("planindex.leaf_visits").inc(
-            int(scanned_plans.sum())
+            int(scanned_plans[strong].sum()) + m * len(weak_rows)
         )
         METRICS.counter("planindex.pruned").inc(
-            int((m - scanned_plans).sum())
+            int((m - scanned_plans[strong]).sum())
         )
-        weak = int(
-            (scanned_plans >= FALLBACK_SCAN_FRACTION * m).sum()
-        )
-        if weak:
-            METRICS.counter("planindex.weak_certificates").inc(weak)
+        if not strong.size:
+            return reasons
 
         # Exact stage: float64 submatrix products over the union of
         # scanned groups, masked per probe.  Probes seeded in the same
@@ -496,9 +543,8 @@ class PlanIndex:
         # region keeps each sub-block's union small.  Plan columns are
         # ascending, so the first-min argmin preserves the lowest-index
         # tie-break.
-        fallbacks = 0
-        order = np.argsort(best_seed, kind="stable")
-        for start in range(0, r, 512):
+        order = strong[np.argsort(best_seed[strong], kind="stable")]
+        for start in range(0, len(order), 512):
             block = order[start:start + 512]
             sub_scan = scan[block]
             need = np.flatnonzero(sub_scan.any(axis=0))
@@ -526,5 +572,97 @@ class PlanIndex:
                 out[rows[redo]] = dense_owner_batch(
                     matrix, costs[redo]
                 )
-                fallbacks += len(redo)
-        return fallbacks
+                reasons["near_tie"] += len(redo)
+        return reasons
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+    def explain(self, cost) -> dict:
+        """Walk the cascade for one probe and report the path taken.
+
+        Returns the stage that decided the probe (``dense`` when the
+        index is inert, ``certificate`` when the group certificate
+        separated a winner, ``dense_fallback`` otherwise) with a reason
+        code (``inert`` / ``separated`` / ``invalid_probe`` /
+        ``weak_certificate`` / ``near_tie``) plus pruning statistics.
+        The reported winner is always identical to the dense kernel's;
+        this method never touches counters or stats.
+        """
+        values = np.asarray(
+            getattr(cost, "values", cost), dtype=float
+        ).ravel()
+        if values.shape != (self._d,):
+            raise ValueError(
+                f"expected a {self._d}-dimensional cost vector, got "
+                f"shape {values.shape}"
+            )
+        probe = values[None, :]
+        winner = int(dense_owner_batch(self._matrix, probe)[0])
+        result = {
+            "winner": winner,
+            "path": "dense",
+            "reason": "inert",
+            "n_plans": self._m,
+            "groups": self.n_groups,
+            "groups_scanned": None,
+            "groups_pruned": None,
+            "plans_scanned": None,
+            "seed_plan": None,
+            "seed_total": None,
+        }
+        if not self._active or plan_index_disabled():
+            return result
+        norm = float(np.linalg.norm(values))
+        if (
+            not np.isfinite(values).all()
+            or (values < 0.0).any()
+            or norm == 0.0
+        ):
+            result.update(path="dense_fallback", reason="invalid_probe")
+            return result
+
+        unit = probe / norm
+        if self._tree is not None:
+            k = min(self._leaf_k, len(self._witness_plan_ids))
+            __, nearest = self._tree.query(unit, k=k)
+            seeds = self._witness_plan_ids[
+                np.atleast_1d(np.asarray(nearest).ravel())
+            ]
+        else:
+            seeds = self._witness_plan_ids
+        seed_totals = self._matrix[seeds] @ values
+        best = int(np.argmin(seed_totals))
+        t = float(seed_totals[best])
+        result["seed_plan"] = int(seeds[best])
+        result["seed_total"] = t
+
+        bounds = self._bounds_matrix @ values
+        scan = bounds <= t * (1.0 + CERTIFICATE_SLACK)
+        scan[self._group_of[seeds[best]]] = True
+        scanned_plans = int(self._group_sizes[scan].sum())
+        result["groups_scanned"] = int(scan.sum())
+        result["groups_pruned"] = int(self.n_groups - scan.sum())
+        result["plans_scanned"] = scanned_plans
+        if (
+            self._m >= WEAK_FALLBACK_MIN_PLANS
+            and scanned_plans >= FALLBACK_SCAN_FRACTION * self._m
+        ):
+            result.update(
+                path="dense_fallback", reason="weak_certificate"
+            )
+            return result
+
+        cols = np.concatenate(
+            [self._group_ids[g] for g in np.flatnonzero(scan)]
+        )
+        cols.sort()
+        totals = self._matrix[cols] @ values
+        local = int(np.argmin(totals))
+        if len(cols) > 1:
+            rest = np.delete(totals, local)
+            if rest.min() <= totals[local] * (1.0 + TIE_MARGIN):
+                result.update(path="dense_fallback", reason="near_tie")
+                return result
+        result.update(path="certificate", reason="separated")
+        return result

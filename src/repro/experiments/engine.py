@@ -48,6 +48,7 @@ from typing import (
 
 from ..catalog.statistics import Catalog
 from ..catalog.tpch import build_tpch_catalog
+from ..obs.decisions import DECISIONS
 from ..obs.faults import FaultPlan, RetryPolicy
 from ..obs.manifest import catalog_digest, text_digest
 from ..obs.progress import PROGRESS
@@ -516,7 +517,16 @@ def run_experiment(
         journal = ctx.journal_for(spec.name, params)
         journal.write_meta(spec.name, total)
         if ctx.resume is not None:
-            skip_before, snapshot_acc = journal.load_snapshot()
+            skip_before, snapshot_acc, snapshot_decisions = (
+                journal.load_snapshot()
+            )
+            if DECISIONS.enabled and snapshot_decisions is not None:
+                # Snapshots capture the decision log's *global* merged
+                # state at the watermark (including earlier experiments
+                # of the same run), so restore replaces rather than
+                # merges — replayed tasks above the watermark then
+                # merge their journaled deltas on top.
+                DECISIONS.load_state(snapshot_decisions)
             done = journal.completed()
             logger.info(
                 "resuming run %s: %d task(s) journaled, accumulator "
@@ -548,7 +558,14 @@ def run_experiment(
             journal is not None
             and state["absorbed"] % _SNAPSHOT_INTERVAL == 0
         ):
-            journal.store_snapshot(index + 1, state["acc"])
+            journal.store_snapshot(
+                index + 1,
+                state["acc"],
+                decisions=(
+                    DECISIONS.export_state()
+                    if DECISIONS.enabled else None
+                ),
+            )
             journal.prune_tasks_below(index + 1)
 
     report = TaskRunReport()

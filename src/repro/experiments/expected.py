@@ -21,6 +21,7 @@ from typing import Mapping
 import numpy as np
 
 from ..catalog.statistics import Catalog
+from ..obs.decisions import DECISIONS
 from ..obs.metrics import METRICS
 from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
@@ -90,7 +91,10 @@ def analyze_expected_regret(
         while position < n_samples:
             take = min(n_samples - position, MC_CHUNK)
             samples = region.sample_matrix(rng, take)
-            __, best = sweep_optimal_totals(matrix, samples, index)
+            with DECISIONS.scoped(f"expected:{query.name}"):
+                __, best = sweep_optimal_totals(
+                    matrix, samples, index, reference=initial_index
+                )
             stale = samples @ initial_row
             gtcs[position:position + take] = stale / best
             optimal_hits += int((stale <= best * (1 + 1e-9)).sum())

@@ -125,6 +125,9 @@ class RunJournal:
     def task_path(self, index: int) -> Path:
         return self.dir / f"task-{index}.pkl"
 
+    def decisions_path(self, index: int) -> Path:
+        return self.dir / f"decisions-{index}.pkl"
+
     def write_meta(
         self, experiment: str, n_tasks: "int | None" = None
     ) -> None:
@@ -191,24 +194,70 @@ class RunJournal:
         METRICS.counter("engine.journal_stores").inc()
 
     # ------------------------------------------------------------------
+    # Decision-provenance side files (``--decisions`` + checkpointing)
+    # ------------------------------------------------------------------
+    def store_decisions(self, index: int, delta: Any) -> None:
+        """Journal one task's decision-log delta next to its result.
+
+        Best effort, like :meth:`store` — losing a side file costs a
+        resumed run its decision telemetry for that task, never the
+        task result itself.
+        """
+        path = self.decisions_path(index)
+        try:
+            atomic_write_pickle(path, delta)
+        except (OSError, TypeError, AttributeError) as exc:
+            METRICS.counter("engine.decisions_store_errors").inc()
+            logger.warning(
+                "could not journal decisions for task %d to %s "
+                "(%s: %s)",
+                index, path, type(exc).__name__, exc,
+            )
+
+    def load_decisions(self, index: int) -> Any:
+        """The journaled decision delta for a task, or ``None`` when
+        absent/corrupt (replayed tasks then simply contribute no
+        decision telemetry)."""
+        path = self.decisions_path(index)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except PICKLE_LOAD_ERRORS as exc:
+            METRICS.counter("engine.decisions_corrupt").inc()
+            logger.warning(
+                "corrupt decisions entry %s (%s: %s); dropping it",
+                path, type(exc).__name__, exc,
+            )
+            return None
+
+    # ------------------------------------------------------------------
     # Accumulator snapshots (streaming-reducer checkpoints)
     # ------------------------------------------------------------------
     def snapshot_path(self) -> Path:
         return self.dir / "acc.pkl"
 
-    def store_snapshot(self, watermark: int, acc: Any) -> None:
+    def store_snapshot(
+        self, watermark: int, acc: Any, decisions: Any = None
+    ) -> None:
         """Atomically persist the reducer state below ``watermark``.
 
         Only the latest snapshot is kept — it subsumes every earlier
         one.  Best effort, like :meth:`store`: an unpicklable
         accumulator or a read-only filesystem costs resumability, not
-        the run.
+        the run.  ``decisions`` optionally rides along (the decision
+        log's merged state at the watermark), so snapshot-pruned
+        tasks' decision telemetry survives a resume; old snapshots
+        without the key load fine (``payload.get``).
         """
         payload = {
             "format": _SNAPSHOT_VERSION,
             "watermark": int(watermark),
             "acc": acc,
         }
+        if decisions is not None:
+            payload["decisions"] = decisions
         try:
             atomic_write_pickle(self.snapshot_path(), payload)
         except (OSError, TypeError, AttributeError) as exc:
@@ -222,18 +271,22 @@ class RunJournal:
             return
         METRICS.counter("engine.snapshot_stores").inc()
 
-    def load_snapshot(self) -> tuple[int, Any]:
-        """``(watermark, accumulator)``; ``(0, None)`` when absent.
+    def load_snapshot(self) -> tuple[int, Any, Any]:
+        """``(watermark, accumulator, decisions)``; ``(0, None, None)``
+        when absent.
 
         A corrupt or format-mismatched snapshot is treated as absent
-        (the run falls back to per-task replay/recomputation).
+        (the run falls back to per-task replay/recomputation).  The
+        third slot is the decision-log state stored alongside the
+        accumulator, ``None`` for snapshots taken without
+        ``--decisions``.
         """
         path = self.snapshot_path()
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except FileNotFoundError:
-            return 0, None
+            return 0, None, None
         except PICKLE_LOAD_ERRORS as exc:
             METRICS.counter("engine.snapshot_corrupt").inc()
             logger.warning(
@@ -241,7 +294,7 @@ class RunJournal:
                 "back to per-task replay",
                 path, type(exc).__name__, exc,
             )
-            return 0, None
+            return 0, None, None
         if (
             not isinstance(payload, dict)
             or payload.get("format") != _SNAPSHOT_VERSION
@@ -249,13 +302,19 @@ class RunJournal:
             or payload["watermark"] <= 0
         ):
             METRICS.counter("engine.snapshot_corrupt").inc()
-            return 0, None
+            return 0, None, None
         METRICS.counter("engine.snapshot_hits").inc()
-        return payload["watermark"], payload.get("acc")
+        return (
+            payload["watermark"],
+            payload.get("acc"),
+            payload.get("decisions"),
+        )
 
     def prune_tasks_below(self, watermark: int) -> int:
         """Delete per-task entries a snapshot has absorbed; returns
-        how many were removed (best effort)."""
+        how many were removed (best effort).  Decision side files are
+        pruned with their task — the snapshot's ``decisions`` payload
+        subsumes them."""
         removed = 0
         for index in sorted(self.completed()):
             if index >= watermark:
@@ -264,6 +323,10 @@ class RunJournal:
                 self.task_path(index).unlink()
                 removed += 1
             except OSError:  # pragma: no cover - racing cleanup
+                pass
+            try:
+                self.decisions_path(index).unlink()
+            except OSError:
                 pass
         if removed:
             METRICS.counter("engine.journal_pruned").inc(removed)

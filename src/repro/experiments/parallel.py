@@ -78,6 +78,7 @@ from ..obs.faults import (
     apply_fault,
     time_limit,
 )
+from ..obs.decisions import DECISIONS
 from ..obs.logs import configure_logging, configured_log_level
 from ..obs.memprof import MEMPROF
 from ..obs.metrics import METRICS
@@ -183,6 +184,10 @@ def _init_worker(
             # Child process: sample this worker's own main thread and
             # ship the folded stacks back with each task result.
             PROFILER.enable(profile_hz)
+        decisions = obs_config.get("decisions")
+        if decisions is not None:
+            DECISIONS.configure(**decisions)
+            DECISIONS.enable()
         _STATE["faults"] = obs_config.get("faults")
         _STATE["timeout"] = obs_config.get("timeout")
 
@@ -229,6 +234,7 @@ def _instrumented_call(task: tuple[int, Any, int]):
     TRACER.reset()
     if PROFILER.enabled:
         PROFILER.reset()
+    DECISIONS.begin_task(index)
     with span(_STATE["task_span"], index=index):
         with time_limit(_STATE.get("timeout")):
             _maybe_inject(
@@ -236,7 +242,10 @@ def _instrumented_call(task: tuple[int, Any, int]):
             )
             result = worker(item)
     profile = PROFILER.snapshot() if PROFILER.enabled else None
-    return result, TRACER.export(), METRICS.snapshot(), profile
+    return (
+        result, TRACER.export(), METRICS.snapshot(), profile,
+        DECISIONS.take_task(),
+    )
 
 
 @dataclass
@@ -283,21 +292,31 @@ class _Scheduler:
         self.results: dict[int, Any] = {}
         #: Next index to hand to ``consume`` (streaming mode only).
         self.watermark = skip_before
-        self._buffer: dict[int, tuple[Any, Any]] = {}
+        self._buffer: dict[int, tuple[Any, Any, Any]] = {}
         self._holes: set[int] = set()
+        #: Batch-mode decision deltas, merged in index order at the end
+        #: so any ``--jobs`` value folds the sample identically.
+        self._decisions: dict[int, Any] = {}
 
-    def succeed(self, state: _TaskState, result: Any) -> None:
+    def succeed(
+        self, state: _TaskState, result: Any, decisions: Any = None
+    ) -> None:
         self.report.completed += 1
         if self.journal is not None:
             self.journal.store(state.index, result)
-        self._deliver(state.index, state.item, result)
+            if decisions is not None:
+                self.journal.store_decisions(state.index, decisions)
+        self._deliver(state.index, state.item, result, decisions)
         if self.progress is not None:
             self.progress.advance()
 
     def resume(self, index: int, item: Any, result: Any) -> None:
         self.report.completed += 1
         self.report.resumed += 1
-        self._deliver(index, item, result)
+        decisions = None
+        if self.journal is not None and DECISIONS.enabled:
+            decisions = self.journal.load_decisions(index)
+        self._deliver(index, item, result, decisions)
         if self.progress is not None:
             self.progress.advance()
 
@@ -310,11 +329,15 @@ class _Scheduler:
         if self.progress is not None:
             self.progress.advance()
 
-    def _deliver(self, index: int, item: Any, result: Any) -> None:
+    def _deliver(
+        self, index: int, item: Any, result: Any, decisions: Any = None
+    ) -> None:
         if self.consume is None:
             self.results[index] = result
+            if decisions is not None:
+                self._decisions[index] = decisions
             return
-        self._buffer[index] = (item, result)
+        self._buffer[index] = (item, result, decisions)
         self._drain()
 
     def _hole(self, index: int) -> None:
@@ -327,6 +350,11 @@ class _Scheduler:
         while True:
             entry = self._buffer.pop(self.watermark, None)
             if entry is not None:
+                # Decision deltas merge in strict watermark order, so
+                # the fold order (and the bottom-k sample) is the same
+                # for serial, --jobs N and resumed runs.
+                if entry[2] is not None:
+                    DECISIONS.merge(entry[2])
                 self.consume(self.watermark, entry[0], entry[1])
                 self.watermark += 1
             elif self.watermark in self._holes:
@@ -334,6 +362,11 @@ class _Scheduler:
                 self.watermark += 1
             else:
                 return
+
+    def flush_decisions(self) -> None:
+        """Batch mode: fold buffered decision deltas in index order."""
+        for index in sorted(self._decisions):
+            DECISIONS.merge(self._decisions.pop(index))
 
     def fail(self, state: _TaskState, exc: BaseException) -> "float | None":
         """Handle one failed attempt.
@@ -392,6 +425,11 @@ def _run_serial(
     policy = sched.policy
     for state in states:
         while True:
+            # Route decisions into a per-task buffer so only the
+            # successful attempt contributes (same contract as
+            # metrics/spans) and serial runs fold deltas exactly like
+            # --jobs N runs do.
+            DECISIONS.begin_task(state.index)
             try:
                 with span(task_span, index=state.index):
                     with time_limit(policy.task_timeout):
@@ -403,12 +441,13 @@ def _run_serial(
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as exc:
+                DECISIONS.take_task()  # drop the failed attempt
                 delay = sched.fail(state, exc)
                 if delay is None:
                     break
                 time.sleep(delay)
                 continue
-            sched.succeed(state, result)
+            sched.succeed(state, result, decisions=DECISIONS.take_task())
             break
 
 
@@ -457,6 +496,14 @@ def _run_pool(
         "memprof": MEMPROF.enabled,
         "log_level": configured_log_level(),
         "profile_hz": PROFILER.hz if PROFILER.enabled else None,
+        "decisions": (
+            {
+                "sample_k": DECISIONS.sample_k,
+                "epsilon": DECISIONS.epsilon,
+                "seed": DECISIONS.seed,
+            }
+            if DECISIONS.enabled else None
+        ),
         "faults": faults,
         "timeout": policy.task_timeout,
     }
@@ -570,7 +617,8 @@ def _run_pool(
             for future in done:
                 state = in_flight.pop(future)
                 try:
-                    result, spans, snapshot, profile = future.result()
+                    (result, spans, snapshot, profile,
+                     decisions) = future.result()
                 except BrokenProcessPool:
                     reschedule(
                         state, WorkerCrash("worker process died mid-task")
@@ -584,7 +632,7 @@ def _run_pool(
                     TRACER.graft(spans)
                     METRICS.merge(snapshot)
                     PROFILER.merge(profile)
-                    sched.succeed(state, result)
+                    sched.succeed(state, result, decisions=decisions)
             if broken:
                 crash_in_flight("worker process died (broken pool)")
                 pool.shutdown(wait=False, cancel_futures=True)
@@ -728,6 +776,7 @@ def parallel_map(
                     task_span, faults, sched,
                     workers=min(jobs, len(runnable)),
                 )
+        sched.flush_decisions()
         return sched.ordered_results()
 
     if jobs <= 1:

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.feasible import FeasibleRegion
 from ..core.planindex import PlanIndex, dense_owner_batch
+from ..obs.decisions import DECISIONS
 from ..optimizer.parametric import CandidateSet
 
 __all__ = [
@@ -53,12 +54,34 @@ def sweep_winners(
     matrix: np.ndarray,
     costs: np.ndarray,
     index: PlanIndex | None = None,
+    reference: "int | np.ndarray | None" = None,
 ) -> np.ndarray:
     """Winning plan row per cost row (lowest index on ties).
 
     Exactly ``argmin(costs @ matrix.T, axis=1)`` on both paths; the
     index path is just sublinear in ``len(matrix)``.
+
+    With ``--decisions`` the dense kernel is taken regardless of the
+    index (margins and plane distances need every rival's total, which
+    the pruning cascade never materializes) and the totals matrix is
+    handed to :data:`~repro.obs.decisions.DECISIONS` for margin and
+    plane-distance extraction — no second kernel pass.  ``reference``
+    (the plan a non-drifted optimizer would pick) enables wrong-choice
+    accounting.  Winners are bit-identical either way.
     """
+    if DECISIONS.enabled:
+        with np.errstate(invalid="ignore"):
+            totals = costs @ matrix.T
+            winners = np.argmin(totals, axis=1)
+        DECISIONS.observe_batch(
+            matrix, costs, totals, winners,
+            reference=reference,
+            path=(
+                "dense" if index is None or not index.active
+                else "dense_capture"
+            ),
+        )
+        return winners
     if index is not None and index.active:
         return index.owner_batch(costs)
     return dense_owner_batch(matrix, costs)
@@ -68,6 +91,7 @@ def sweep_optimal_totals(
     matrix: np.ndarray,
     costs: np.ndarray,
     index: PlanIndex | None = None,
+    reference: "int | np.ndarray | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """``(winners, totals)`` per cost row.
 
@@ -75,7 +99,7 @@ def sweep_optimal_totals(
     costs[r]`` — not the (block-rounded) matrix-product entry — so the
     reported optimum is bitwise independent of which path answered.
     """
-    winners = sweep_winners(matrix, costs, index)
+    winners = sweep_winners(matrix, costs, index, reference)
     totals = np.einsum(
         "rd,rd->r", costs, matrix[winners], optimize=True
     )
@@ -88,12 +112,14 @@ def monte_carlo_shares(
     rng: np.random.Generator,
     n_samples: int,
     index: PlanIndex | None = None,
+    reference: "int | None" = None,
 ) -> np.ndarray:
     """Monte-Carlo share of the feasible region each plan rules.
 
     Log-uniform sampling per variation group (the region's natural
     measure), chunked so memory stays bounded; the shares of all plans
-    sum to 1.
+    sum to 1.  ``reference`` is forwarded to the decision log so
+    ``--decisions`` runs can count wrong choices per probe.
     """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
@@ -102,7 +128,7 @@ def monte_carlo_shares(
     while remaining > 0:
         take = min(remaining, MC_CHUNK)
         samples = region.sample_matrix(rng, take)
-        winners = sweep_winners(matrix, samples, index)
+        winners = sweep_winners(matrix, samples, index, reference)
         counts += np.bincount(winners, minlength=len(counts))
         remaining -= take
     return counts / n_samples

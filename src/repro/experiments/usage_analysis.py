@@ -41,6 +41,7 @@ import numpy as np
 from ..catalog.statistics import Catalog
 from ..core.bounds import corollary_constant_bound
 from ..core.complementary import ComplementarityCensus, census
+from ..obs.decisions import DECISIONS
 from ..obs.metrics import METRICS
 from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
@@ -158,11 +159,13 @@ def analyze_query_census(
         bound = corollary_constant_bound(
             candidates.usages, tol=usage_tol
         )
-        shares = monte_carlo_shares(
-            candidates.usage_matrix, region,
-            np.random.default_rng(0), share_samples,
-            index=plan_index_for(candidates),
-        )
+        with DECISIONS.scoped(f"census:{query.name}"):
+            shares = monte_carlo_shares(
+                candidates.usage_matrix, region,
+                np.random.default_rng(0), share_samples,
+                index=plan_index_for(candidates),
+                reference=candidates.initial_plan_index(),
+            )
         initial_share = float(shares[candidates.initial_plan_index()])
         current.set(
             candidates=len(candidates),
@@ -250,9 +253,11 @@ def analyze_generated_query(
         rng = np.random.default_rng(
             np.random.SeedSequence(seed, spawn_key=(index, 1))
         )
-        shares = monte_carlo_shares(
-            matrix, region, rng, share_samples, index=plan_index
-        )
+        with DECISIONS.scoped("census:generated"):
+            shares = monte_carlo_shares(
+                matrix, region, rng, share_samples, index=plan_index,
+                reference=candidates.initial_plan_index(),
+            )
         wrong_fraction = 1.0 - float(
             shares[candidates.initial_plan_index()]
         )
@@ -265,9 +270,10 @@ def analyze_generated_query(
                 )
             )
             samples = level.sample_matrix(level_rng, regime_samples)
-            __, best = sweep_optimal_totals(
-                matrix, samples, plan_index
-            )
+            with DECISIONS.scoped("census:generated"):
+                __, best = sweep_optimal_totals(
+                    matrix, samples, plan_index
+                )
             stale = samples @ initial_row
             regime_regrets.append(
                 tuple(float(x) for x in stale / best)

@@ -24,6 +24,7 @@ from typing import Mapping, Sequence
 
 from ..catalog.statistics import Catalog
 from ..core.worstcase import WorstCaseCurve, worst_case_curve
+from ..obs.decisions import DECISIONS
 from ..obs.metrics import METRICS
 from ..obs.trace import span
 from ..optimizer.config import DEFAULT_PARAMETERS, SystemParameters
@@ -135,15 +136,16 @@ def run_query_worst_case(
         initial_index = candidates.initial_plan_index()
         initial = candidates.plans[initial_index]
         base_region = config.region(layout, 1.0)
-        curve = worst_case_curve(
-            initial.usage,
-            candidates.usages,
-            base_region,
-            deltas,
-            label=query.name,
-            initial_plan_index=initial_index,
-            index=plan_index_for(candidates),
-        )
+        with DECISIONS.scoped(f"figure:{query.name}"):
+            curve = worst_case_curve(
+                initial.usage,
+                candidates.usages,
+                base_region,
+                deltas,
+                label=query.name,
+                initial_plan_index=initial_index,
+                index=plan_index_for(candidates),
+            )
         current.set(
             candidates=len(candidates), final_gtc=curve.final_gtc()
         )

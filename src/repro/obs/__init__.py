@@ -31,7 +31,12 @@ A zero-dependency instrumentation spine for the experiment pipeline:
   (``--timeseries``) rendered as counter tracks in the trace export
   and a counter-curve summary in the manifest;
 * :mod:`repro.obs.history` — the append-only perf-history store and
-  the ``repro bench trend`` multi-run regression gate.
+  the ``repro bench trend`` multi-run regression gate;
+* :mod:`repro.obs.decisions` — the ``--decisions`` decision-provenance
+  log: per-lookup explain records (winner, runner-up, margin, distance
+  to the nearest switchover plane) under deterministic bottom-k
+  sampling, mergeable fragility aggregates, and the ``repro explain``
+  single-probe provenance helpers.
 """
 
 from .bench import (
@@ -46,6 +51,16 @@ from .bench import (
     render_bench_record,
     validate_bench_record,
     write_bench_record,
+)
+from .decisions import (
+    DECISIONS,
+    DecisionLog,
+    decision_instant_events,
+    explain_probe,
+    margins_from_totals,
+    plane_distances,
+    validate_decision_records,
+    write_decision_records,
 )
 from .faults import (
     FAULT_KINDS,
@@ -116,6 +131,7 @@ from .trace import TRACER, Span, Tracer, span
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "DECISIONS",
     "FAULT_KINDS",
     "HISTORY_SCHEMA_VERSION",
     "LOG_LEVELS",
@@ -131,6 +147,7 @@ __all__ = [
     "BenchDelta",
     "BenchRecorder",
     "Counter",
+    "DecisionLog",
     "FaultPlan",
     "FaultSpecError",
     "Gauge",
@@ -160,8 +177,10 @@ __all__ = [
     "configure_logging",
     "configured_log_level",
     "counter_track_events",
+    "decision_instant_events",
     "default_history_path",
     "detect_trends",
+    "explain_probe",
     "empty_task_stats",
     "environment_fingerprint",
     "fault_roll",
@@ -173,6 +192,8 @@ __all__ = [
     "load_history",
     "manifest_from_context",
     "manifest_history_entries",
+    "margins_from_totals",
+    "plane_distances",
     "render_bench_comparison",
     "render_bench_record",
     "render_comparison",
@@ -185,11 +206,13 @@ __all__ = [
     "time_limit",
     "trace_events",
     "validate_bench_record",
+    "validate_decision_records",
     "validate_history_entry",
     "validate_manifest",
     "validate_speedscope",
     "validate_trace_events",
     "write_bench_record",
+    "write_decision_records",
     "write_folded",
     "write_manifest",
     "write_speedscope",

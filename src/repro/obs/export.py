@@ -153,8 +153,8 @@ def validate_trace_events(data: Any) -> list[str]:
             errors.append(f"{where}: must be an object")
             continue
         phase = event.get("ph")
-        if phase not in ("X", "M", "C"):
-            errors.append(f"{where}: ph must be 'X', 'M' or 'C'")
+        if phase not in ("X", "M", "C", "i"):
+            errors.append(f"{where}: ph must be 'X', 'M', 'C' or 'i'")
             continue
         if not isinstance(event.get("name"), str):
             errors.append(f"{where}: name must be a string")
@@ -172,6 +172,9 @@ def validate_trace_events(data: Any) -> list[str]:
                 errors.append(f"{where}: ts must be a number")
             if not isinstance(event.get("args"), dict):
                 errors.append(f"{where}: args must be an object")
+        elif phase == "i":
+            if not isinstance(event.get("ts"), (int, float)):
+                errors.append(f"{where}: ts must be a number")
     return errors
 
 
@@ -182,18 +185,26 @@ def write_trace_events(
     counter_tracks: (
         "Mapping[str, list[tuple[float, Any]]] | None"
     ) = None,
+    instant_events: (
+        "Iterable[Mapping[str, Any]] | None"
+    ) = None,
 ) -> Path:
     """Convert a span tree and write the event array as JSON.
 
     ``counter_tracks`` (from ``--timeseries``, see
     :meth:`repro.obs.timeseries.TimeseriesRecorder.counter_tracks`)
     appends one counter track per metric to the same file, so the
-    curves render under the span timeline.
+    curves render under the span timeline.  ``instant_events``
+    (ready-made ``ph="i"`` events, e.g. from
+    :func:`repro.obs.decisions.decision_instant_events`) are appended
+    verbatim.
     """
     from .timeseries import counter_track_events
 
     events = trace_events(trace, pid=pid)
     events.extend(counter_track_events(counter_tracks, pid=pid))
+    if instant_events is not None:
+        events.extend(dict(event) for event in instant_events)
     target = Path(path)
     target.write_text(json.dumps(events) + "\n")
     return target

@@ -40,6 +40,7 @@ from typing import Any, Mapping
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
     "text_digest",
     "catalog_digest",
     "git_revision",
@@ -56,7 +57,10 @@ __all__ = [
 #: v3 added the nullable ``profile`` (``--profile`` sampling summary:
 #: hz, samples, hot-function table) and ``timeseries`` (``--timeseries``
 #: counter-curve summary) fields.
-SCHEMA_VERSION = 3
+#: v4 added the nullable ``decisions`` field (``--decisions`` fragility
+#: block: margin histograms, near-plane fractions, sampled explain
+#: records).
+SCHEMA_VERSION = 4
 
 #: Top-level manifest schema: field -> allowed instance types.
 _FIELDS: dict[str, tuple] = {
@@ -76,7 +80,30 @@ _FIELDS: dict[str, tuple] = {
     "tasks": (dict,),
     "profile": (dict, type(None)),
     "timeseries": (dict, type(None)),
+    "decisions": (dict, type(None)),
 }
+
+#: Nullable blocks introduced after v2, by the version that added them.
+#: Older manifests legitimately lack these fields; consumers (the
+#: ``repro report`` diff) must treat absence as "older schema", not an
+#: error.
+_FIELDS_ADDED_IN = {
+    3: ("profile", "timeseries"),
+    4: ("decisions",),
+}
+
+#: Schema versions ``validate_manifest`` accepts (each against its own
+#: field set, so v2/v3 receipts stay readable after the v4 bump).
+SUPPORTED_VERSIONS = tuple(sorted({2, *_FIELDS_ADDED_IN}))
+
+
+def _fields_for_version(version: int) -> dict[str, tuple]:
+    fields = dict(_FIELDS)
+    for added_in, names in _FIELDS_ADDED_IN.items():
+        if version < added_in:
+            for name in names:
+                fields.pop(name, None)
+    return fields
 
 #: ``tasks`` sub-schema (counts plus the failure list).
 _TASK_COUNTS = ("planned", "completed", "resumed", "retried")
@@ -146,6 +173,7 @@ def build_manifest(
     tasks: "Mapping[str, Any] | None" = None,
     profile: "Mapping[str, Any] | None" = None,
     timeseries: "Mapping[str, Any] | None" = None,
+    decisions: "Mapping[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """Assemble a schema-valid manifest dict for one finished run."""
     from .. import __version__
@@ -173,6 +201,7 @@ def build_manifest(
         "tasks": dict(tasks) if tasks else empty_task_stats(),
         "profile": dict(profile) if profile else None,
         "timeseries": dict(timeseries) if timeseries else None,
+        "decisions": dict(decisions) if decisions else None,
     }
 
 
@@ -186,6 +215,7 @@ def manifest_from_context(
     cpu_seconds: float = 0.0,
     profile: "Mapping[str, Any] | None" = None,
     timeseries: "Mapping[str, Any] | None" = None,
+    decisions: "Mapping[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """Assemble a manifest straight from a run context.
 
@@ -209,6 +239,7 @@ def manifest_from_context(
         tasks=getattr(ctx, "task_stats", None),
         profile=profile,
         timeseries=timeseries,
+        decisions=decisions,
     )
 
 
@@ -247,7 +278,17 @@ def validate_manifest(data: Any) -> list[str]:
     if not isinstance(data, dict):
         return ["manifest must be a JSON object"]
     errors: list[str] = []
-    for field, types in _FIELDS.items():
+    version = data.get("schema_version")
+    if isinstance(version, int) and version in SUPPORTED_VERSIONS:
+        fields = _fields_for_version(version)
+    else:
+        fields = _FIELDS
+        if isinstance(version, int):
+            errors.append(
+                f"schema_version {version} not supported (accepted: "
+                f"{', '.join(str(v) for v in SUPPORTED_VERSIONS)})"
+            )
+    for field, types in fields.items():
         if field not in data:
             errors.append(f"missing field: {field}")
         elif not isinstance(data[field], types):
@@ -257,14 +298,8 @@ def validate_manifest(data: Any) -> list[str]:
                 f"{type(data[field]).__name__}"
             )
     for field in data:
-        if field not in _FIELDS:
+        if field not in fields:
             errors.append(f"unknown field: {field}")
-    if isinstance(data.get("schema_version"), int):
-        if data["schema_version"] != SCHEMA_VERSION:
-            errors.append(
-                f"schema_version {data['schema_version']} != "
-                f"supported {SCHEMA_VERSION}"
-            )
     metrics = data.get("metrics")
     if isinstance(metrics, dict):
         for section in ("counters", "gauges", "histograms"):
@@ -327,4 +362,16 @@ def validate_manifest(data: Any) -> list[str]:
             errors.append("timeseries.samples must be an integer")
         if not isinstance(timeseries.get("counters"), dict):
             errors.append("timeseries.counters must be an object")
+    decisions = data.get("decisions")
+    if isinstance(decisions, dict):
+        for field in ("sample_k", "probes", "near_plane", "sampled"):
+            if not isinstance(decisions.get(field), int):
+                errors.append(f"decisions.{field} must be an integer")
+        if not isinstance(decisions.get("epsilon"), (int, float)):
+            errors.append("decisions.epsilon must be a number")
+        for field in ("paths", "contexts"):
+            if not isinstance(decisions.get(field), dict):
+                errors.append(f"decisions.{field} must be an object")
+        if not isinstance(decisions.get("records"), list):
+            errors.append("decisions.records must be a list")
     return errors

@@ -12,6 +12,8 @@ from __future__ import annotations
 import time
 from typing import Any, Mapping
 
+from .manifest import _FIELDS_ADDED_IN
+
 __all__ = ["render_manifest", "render_comparison"]
 
 _INDENT = "  "
@@ -94,11 +96,23 @@ def _planindex_summary(counters: Mapping[str, Any]) -> "str | None":
     visited = counters.get("planindex.leaf_visits", 0)
     scanned = pruned + visited
     prune_rate = 100.0 * pruned / scanned if scanned else 0.0
-    return (
+    summary = (
         f"plan index: {probes} lookups, {fallbacks} dense fallbacks "
         f"({100.0 * fallbacks / probes:.1f}%) — {prune_rate:.0f}% of "
         "candidate rows pruned"
     )
+    reasons = [
+        (reason, counters.get(
+            f"planindex.exact_fallbacks.{reason}", 0
+        ))
+        for reason in ("near_tie", "invalid_probe", "weak_certificate")
+    ]
+    if any(count for _, count in reasons):
+        summary += "\n" + _INDENT + "fallback reasons: " + ", ".join(
+            f"{reason.replace('_', '-')} {count}"
+            for reason, count in reasons
+        )
+    return summary
 
 
 def render_manifest(manifest: Mapping[str, Any]) -> str:
@@ -217,6 +231,7 @@ def render_manifest(manifest: Mapping[str, Any]) -> str:
         lines.append(index_summary)
     _profile_lines(manifest.get("profile"), lines)
     _timeseries_lines(manifest.get("timeseries"), lines)
+    _decisions_lines(manifest.get("decisions"), lines)
     return "\n".join(lines)
 
 
@@ -275,6 +290,108 @@ def _timeseries_lines(
         )
 
 
+def _decade_label(key: str) -> str:
+    """A decade-bucket key rendered as a magnitude (``"-3"`` → 1e-3)."""
+    if key == "tie":
+        return "tie"
+    try:
+        return f"1e{int(key)}"
+    except (TypeError, ValueError):
+        return str(key)
+
+
+def _decade_sort_key(key: str) -> "tuple[int, float]":
+    if key == "tie":
+        return (0, 0.0)
+    try:
+        return (1, float(key))
+    except (TypeError, ValueError):
+        return (2, 0.0)
+
+
+def _decisions_lines(
+    decisions: "Mapping[str, Any] | None", lines: list[str]
+) -> None:
+    """The ``--decisions`` fragility table of a manifest."""
+    if not decisions:
+        return
+    lines.append("")
+    lines.append(
+        f"decisions: {decisions.get('probes', 0)} probes observed, "
+        f"{decisions.get('sampled', 0)} sampled "
+        f"(bottom-{decisions.get('sample_k', 0)} by hash), "
+        f"{decisions.get('near_plane', 0)} within "
+        f"{decisions.get('epsilon', 0.0):g} of a switchover plane"
+    )
+    paths = decisions.get("paths") or {}
+    if paths:
+        lines.append(
+            _INDENT + "lookup paths: " + ", ".join(
+                f"{path} {count}"
+                for path, count in sorted(paths.items())
+            )
+        )
+    reasons = decisions.get("fallback_reasons") or {}
+    if any(reasons.values()):
+        order = ("near_tie", "invalid_probe", "weak_certificate")
+        ordered = [r for r in order if r in reasons] + sorted(
+            set(reasons) - set(order)
+        )
+        lines.append(
+            _INDENT + "fallback reasons: " + ", ".join(
+                f"{reason.replace('_', '-')} {reasons[reason]}"
+                for reason in ordered
+            )
+        )
+    contexts = decisions.get("contexts") or {}
+    if contexts:
+        lines.append("")
+        header = (
+            f"{'fragility by context':<34} {'probes':>8} "
+            f"{'near-plane':>10} {'wrong':>12} {'margin-mean':>11}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, ctx in sorted(contexts.items()):
+            margin = ctx.get("margin") or {}
+            count = margin.get("count", 0)
+            mean = (
+                f"{margin.get('sum', 0.0) / count:.3g}"
+                if count else "-"
+            )
+            with_ref = ctx.get("with_reference", 0)
+            wrong = (
+                f"{ctx.get('wrong', 0)}/{with_ref}"
+                if with_ref else "-"
+            )
+            lines.append(
+                f"{name:<34} {ctx.get('probes', 0):>8} "
+                f"{ctx.get('near_plane', 0):>10} {wrong:>12} "
+                f"{mean:>11}"
+            )
+    # Wrong-choice fraction by margin decade, merged across contexts
+    # (column 0 counts all probes landing in the decade, column 1 the
+    # ones where the stale reference plan differed from the winner).
+    merged: dict[str, list[int]] = {}
+    for ctx in contexts.values():
+        for decade, pair in (ctx.get("decades") or {}).items():
+            bucket = merged.setdefault(decade, [0, 0])
+            bucket[0] += int(pair[0])
+            bucket[1] += int(pair[1])
+    if any(total for total, _ in merged.values()):
+        lines.append("")
+        lines.append("wrong-choice fraction by margin decade:")
+        for decade in sorted(merged, key=_decade_sort_key):
+            total, wrong_count = merged[decade]
+            if not total:
+                continue
+            lines.append(
+                f"{_INDENT}{_decade_label(decade):<8} "
+                f"{wrong_count}/{total} "
+                f"({100.0 * wrong_count / total:.1f}%)"
+            )
+
+
 def _top_level_walls(
     manifest: Mapping[str, Any]
 ) -> dict[str, float]:
@@ -285,6 +402,32 @@ def _top_level_walls(
             node.get("wall_seconds", 0.0)
         )
     return walls
+
+
+def _schema_notes(
+    first: Mapping[str, Any], second: Mapping[str, Any]
+) -> list[str]:
+    """Notes for nullable blocks one manifest's schema predates.
+
+    Diffing a v4 manifest (which may carry a ``decisions`` block)
+    against a v2 one must say the block *cannot exist* on the older
+    side rather than silently treating it as "not recorded".
+    """
+    notes: list[str] = []
+    for added_in, fields in sorted(_FIELDS_ADDED_IN.items()):
+        for field in sorted(fields):
+            for older, newer in ((first, second), (second, first)):
+                version = older.get("schema_version")
+                if not isinstance(version, int) or version >= added_in:
+                    continue
+                if newer.get(field) is None:
+                    continue
+                notes.append(
+                    f"note: {field} block absent in older schema "
+                    f"(v{version} predates v{added_in}) — "
+                    "not compared"
+                )
+    return notes
 
 
 def render_comparison(
@@ -327,6 +470,9 @@ def render_comparison(
             f"({failed_a} vs {failed_b}) — digests cover only the "
             "tasks that completed"
         )
+
+    for note in _schema_notes(first, second):
+        lines.append(note)
 
     counters_a = (first.get("metrics") or {}).get("counters") or {}
     counters_b = (second.get("metrics") or {}).get("counters") or {}

@@ -27,6 +27,7 @@ import numpy as np
 from ..catalog.statistics import Catalog
 from ..core.blackbox import PlanChoice, as_cost_matrix
 from ..core.vectors import CostVector
+from ..obs.decisions import DECISIONS
 from ..obs.metrics import METRICS
 from ..storage.layout import StorageLayout
 from .config import SystemParameters
@@ -113,12 +114,25 @@ class CandidateBackedBlackBox:
         self.call_count += 1
         METRICS.counter("blackbox.candidate_calls").inc()
         self._space.require_same(cost.space)
-        index_struct = self._plan_index()
-        if index_struct is not None:
-            index = index_struct.owner(cost.values)
-        else:
+        if DECISIONS.enabled:
+            # Dense capture: margins need every rival's total, which
+            # the index prunes; the chosen plan is identical.
             totals = self._matrix @ cost.values
             index = int(np.argmin(totals))
+            DECISIONS.observe_one(
+                self._matrix, cost.values, totals, index,
+                path=(
+                    "dense" if self._plan_index() is None
+                    else "dense_capture"
+                ),
+            )
+        else:
+            index_struct = self._plan_index()
+            if index_struct is not None:
+                index = index_struct.owner(cost.values)
+            else:
+                totals = self._matrix @ cost.values
+                index = int(np.argmin(totals))
         return PlanChoice(
             signature=self._signatures[index],
             total_cost=float(self._matrix[index] @ cost.values),
@@ -137,12 +151,24 @@ class CandidateBackedBlackBox:
         METRICS.counter("blackbox.candidate_calls").inc(len(matrix))
         if not len(matrix):
             return []
-        index_struct = self._plan_index()
-        if index_struct is not None:
-            indices = index_struct.owner_batch(matrix)
+        if DECISIONS.enabled:
+            with np.errstate(invalid="ignore"):
+                totals = matrix @ self._matrix.T
+                indices = np.argmin(totals, axis=1)
+            DECISIONS.observe_batch(
+                self._matrix, matrix, totals, indices,
+                path=(
+                    "dense" if self._plan_index() is None
+                    else "dense_capture"
+                ),
+            )
         else:
-            totals = matrix @ self._matrix.T
-            indices = np.argmin(totals, axis=1)
+            index_struct = self._plan_index()
+            if index_struct is not None:
+                indices = index_struct.owner_batch(matrix)
+            else:
+                totals = matrix @ self._matrix.T
+                indices = np.argmin(totals, axis=1)
         return [
             PlanChoice(
                 signature=self._signatures[index],

@@ -591,7 +591,10 @@ class PlanEnumerator:
     def enumerate(self, pruner) -> list[CostedPlan]:
         """Run the DP and return finalized, pruned root plans."""
         query = self.query
-        aliases = query.aliases
+        # Canonical enumeration order: iterating the alias frozenset
+        # directly would order subsets (and therefore plan generation
+        # and equal-cost tie-breaks) by randomized string hashes.
+        aliases = sorted(query.aliases)
         memo: dict[frozenset, list[CostedPlan]] = {}
         for alias in aliases:
             memo[frozenset({alias})] = pruner.prune(self.base_plans(alias))

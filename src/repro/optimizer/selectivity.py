@@ -113,7 +113,10 @@ class CardinalityModel:
         if cached is not None:
             return cached
         rows = 1.0
-        for alias in subset:
+        # Sorted, not set order: float multiplication is not
+        # associative, and hash-randomized iteration would make the
+        # product wobble in the last ulp between processes.
+        for alias in sorted(subset):
             rows *= self.filtered_rows(alias)
         for join in self._query.joins_within(subset):
             rows *= self.join_selectivity(join)

@@ -1,6 +1,6 @@
 import pytest
 
-from repro.obs import MEMPROF, PROFILER, PROGRESS, TIMESERIES
+from repro.obs import DECISIONS, MEMPROF, PROFILER, PROGRESS, TIMESERIES
 
 
 @pytest.fixture(autouse=True)
@@ -20,4 +20,6 @@ def _reset_obs_globals():
     PROFILER.reset()
     TIMESERIES.stop()
     TIMESERIES.reset()
+    DECISIONS.disable()
+    DECISIONS.reset()
     PROGRESS.configure(mode="auto", log_level="warning", stream=None)

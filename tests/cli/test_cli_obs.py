@@ -542,17 +542,21 @@ def test_report_plan_index_fallbacks_warn_and_render(
 
     def leaky(self, costs, out):
         original(self, costs, out)
-        return len(costs)  # every probe reports a dense fallback
+        # Every probe reports a reason-coded dense fallback.
+        return {"near_tie": len(costs), "invalid_probe": 0,
+                "weak_certificate": 0}
 
     monkeypatch.setattr(planindex.PlanIndex, "_lookup_chunk", leaky)
     assert main(FIGURE) == 0
     err = capsys.readouterr().err
     assert "fell back to the dense kernel" in err
+    assert "near-tie" in err  # the reason-coded breakdown
     assert main(["report", "run-manifest.json"]) == 0
     out = capsys.readouterr().out
     assert "plan index:" in out
     assert "dense fallbacks" in out
     assert "0 dense fallbacks" not in out
+    assert "fallback reasons: near-tie" in out
 
 
 def test_report_without_plan_index_has_no_summary(capsys):

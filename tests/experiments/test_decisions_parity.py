@@ -1,0 +1,114 @@
+"""Decision-log bit-parity across execution modes.
+
+The provenance contract: the sampled record set and the fragility
+aggregates are keyed by ``(task, context, sequence)`` — never by
+values or timing — so a serial run, a ``--jobs 2`` run, and a
+checkpoint→resume run of the same experiment export byte-identical
+decision state."""
+
+import pytest
+
+from repro.catalog import build_tpch_catalog
+from repro.experiments import RunContext, RunJournal, run_experiment
+from repro.experiments.expected import ExpectedParams
+from repro.obs import DECISIONS, METRICS, TRACER
+from repro.workloads import build_tpch_queries
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def queries(catalog):
+    full = build_tpch_queries(catalog)
+    return {k: full[k] for k in ("Q1", "Q6", "Q14")}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    def clean():
+        METRICS.reset()
+        TRACER.reset()
+        TRACER.enabled = False
+        DECISIONS.disable()
+        DECISIONS.reset()
+
+    clean()
+    yield
+    clean()
+
+
+def _run(catalog, queries, jobs=1, **ctx_kwargs):
+    DECISIONS.reset()
+    DECISIONS.configure(sample_k=16)
+    DECISIONS.enable()
+    ctx = RunContext(
+        scale=100.0, catalog=catalog, queries=queries, jobs=jobs,
+        **ctx_kwargs,
+    )
+    rows = run_experiment(
+        "expected",
+        ExpectedParams(scenario_key="shared", delta=10.0, n_samples=100),
+        ctx,
+    )
+    return rows, DECISIONS.export_state(), ctx
+
+
+def test_jobs2_decision_state_matches_serial(catalog, queries):
+    serial_rows, serial_state, _ = _run(catalog, queries, jobs=1)
+    parallel_rows, parallel_state, _ = _run(catalog, queries, jobs=2)
+    assert serial_rows == parallel_rows
+    assert parallel_state == serial_state
+    # The instrumentation actually fired, per-query contexts included.
+    assert set(serial_state["contexts"]) == {
+        "expected:Q1", "expected:Q6", "expected:Q14",
+    }
+    total = sum(
+        ctx["probes"] for ctx in serial_state["contexts"].values()
+    )
+    assert total == 300  # 3 queries x 100 drift samples
+    assert len(serial_state["records"]) == 16
+    # Reference accounting flows through the engine path.
+    assert all(
+        ctx["with_reference"] == ctx["probes"]
+        for ctx in serial_state["contexts"].values()
+    )
+
+
+def test_resume_decision_state_matches_uninterrupted(
+    catalog, queries, tmp_path
+):
+    __, full_state, first = _run(
+        catalog, queries, checkpoint=True, journal_root=tmp_path
+    )
+    journal = RunJournal(first.run_id, root=tmp_path)
+    assert journal.completed() == {0, 1, 2}
+    # The per-task decision deltas rode along with the journal.
+    for index in (0, 1, 2):
+        assert journal.load_decisions(index) is not None
+    # Simulate a kill after task 0: tasks 1..2 must re-execute while
+    # task 0 is served from the journal, decisions delta included.
+    journal.task_path(1).unlink()
+    journal.task_path(2).unlink()
+    __, resumed_state, second = _run(
+        catalog, queries, resume="auto", journal_root=tmp_path
+    )
+    assert second.task_stats["resumed"] == 1
+    assert resumed_state == full_state
+
+
+def test_disabled_run_journals_no_decisions(catalog, queries, tmp_path):
+    ctx = RunContext(
+        scale=100.0, catalog=catalog, queries=queries,
+        checkpoint=True, journal_root=tmp_path,
+    )
+    run_experiment(
+        "expected",
+        ExpectedParams(scenario_key="shared", delta=10.0, n_samples=50),
+        ctx,
+    )
+    journal = RunJournal(ctx.run_id, root=tmp_path)
+    for index in journal.completed():
+        assert not journal.decisions_path(index).exists()

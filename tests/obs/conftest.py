@@ -1,6 +1,6 @@
 import pytest
 
-from repro.obs import METRICS, PROFILER, TIMESERIES, TRACER
+from repro.obs import DECISIONS, METRICS, PROFILER, TIMESERIES, TRACER
 
 
 @pytest.fixture(autouse=True)
@@ -15,6 +15,8 @@ def _fresh_obs():
         PROFILER.reset()
         TIMESERIES.stop()
         TIMESERIES.reset()
+        DECISIONS.disable()
+        DECISIONS.reset()
 
     clean()
     yield

@@ -1,0 +1,301 @@
+"""The decision-provenance log: margin/plane math against brute force,
+deterministic bottom-k sampling, the delta/merge channel, and the
+export/validation helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.decisions import (
+    DecisionLog,
+    decision_instant_events,
+    explain_probe,
+    margins_from_totals,
+    plane_distances,
+    validate_decision_records,
+    write_decision_records,
+)
+from repro.obs.export import validate_trace_events
+
+RNG = np.random.default_rng(7)
+
+
+def _log(**kwargs):
+    log = DecisionLog()
+    log.configure(**kwargs)
+    log.enable()
+    return log
+
+
+def _random_case(m=12, d=4, k=20, seed=0):
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(0.0, 10.0, size=(m, d))
+    costs = rng.uniform(0.1, 5.0, size=(k, d))
+    return matrix, costs, costs @ matrix.T
+
+
+# ----------------------------------------------------------------------
+# Margin / plane-distance extraction vs the brute-force oracle
+# ----------------------------------------------------------------------
+def test_margins_match_brute_force():
+    _, costs, totals = _random_case(seed=1)
+    winners, winner_totals, runner_totals, margins = (
+        margins_from_totals(totals)
+    )
+    for row in range(len(costs)):
+        order = np.sort(totals[row])
+        assert winners[row] == np.argmin(totals[row])
+        assert winner_totals[row] == order[0]
+        assert runner_totals[row] == order[1]
+        expected = (order[1] - order[0]) / abs(order[0])
+        assert margins[row] == pytest.approx(expected, rel=1e-12)
+        assert margins[row] >= 0.0
+
+
+def test_margin_edge_cases():
+    # Exact tie -> 0.0; single plan -> inf; zero winner total -> inf.
+    tie = np.array([[2.0, 2.0, 5.0]])
+    assert margins_from_totals(tie)[3][0] == 0.0
+    single = np.array([[3.0]])
+    assert margins_from_totals(single)[3][0] == np.inf
+    zero = np.array([[0.0, 1.0]])
+    assert margins_from_totals(zero)[3][0] == np.inf
+
+
+def test_plane_distances_match_brute_force():
+    matrix, costs, totals = _random_case(seed=2)
+    winners, *_, margins = (
+        margins_from_totals(totals)[0],
+        *margins_from_totals(totals)[1:],
+    )
+    distances = plane_distances(matrix, costs, totals, winners, margins)
+    for row in range(len(costs)):
+        w = winners[row]
+        best = np.inf
+        for j in range(matrix.shape[0]):
+            norm = np.linalg.norm(matrix[j] - matrix[w])
+            if norm == 0.0:
+                continue
+            gap = (totals[row, j] - totals[row, w]) / norm
+            best = min(best, gap / np.linalg.norm(costs[row]))
+        assert distances[row] == pytest.approx(max(best, 0.0), abs=1e-15)
+        assert distances[row] >= 0.0
+
+
+def test_plane_distance_zero_iff_on_plane():
+    # A probe orthogonal to (U_1 - U_0) lies exactly on the switchover
+    # plane: the totals tie and the distance must be exactly 0.
+    matrix = np.array([[1.0, 2.0], [2.0, 1.0], [9.0, 9.0]])
+    cost = np.array([[3.0, 3.0]])
+    totals = cost @ matrix.T
+    winners, *_, margins = margins_from_totals(totals)
+    distance = plane_distances(matrix, cost, totals, winners, margins)
+    assert margins[0] == 0.0
+    assert distance[0] == 0.0
+
+
+def test_plane_distance_inf_without_distinct_rival():
+    matrix = np.array([[1.0, 1.0], [1.0, 1.0]])  # duplicates only
+    cost = np.array([[2.0, 3.0]])
+    totals = cost @ matrix.T
+    winners, *_, margins = margins_from_totals(totals)
+    # Duplicate rows tie exactly: margin 0 forces distance 0.
+    assert plane_distances(
+        matrix, cost, totals, winners, margins
+    )[0] == 0.0
+
+
+# ----------------------------------------------------------------------
+# explain_probe
+# ----------------------------------------------------------------------
+def test_explain_probe_matches_dense_argmin():
+    matrix, costs, totals = _random_case(seed=3)
+    for row in range(5):
+        info = explain_probe(matrix, costs[row])
+        order = np.argsort(totals[row], kind="stable")
+        assert info["winner"] == int(order[0])
+        assert info["runner_up"] == int(order[1])
+        gap = totals[row, order[1]] - totals[row, order[0]]
+        assert info["margin"] == pytest.approx(
+            gap / abs(totals[row, order[0]]), rel=1e-9
+        )
+        assert info["plane_distance"] >= 0.0
+        assert info["candidates"] == matrix.shape[0]
+
+
+def test_explain_probe_crossings_cross_the_plane():
+    matrix, costs, _ = _random_case(seed=4)
+    info = explain_probe(matrix, costs[0])
+    rival = info["nearest_rival"]
+    for crossing in info["crossings"]:
+        perturbed = costs[0].copy()
+        perturbed[crossing["coordinate"]] = crossing["new_value"]
+        totals = perturbed @ matrix.T
+        # On the perturbed probe the winner and rival totals tie.
+        assert totals[rival] == pytest.approx(
+            totals[info["winner"]], rel=1e-9
+        )
+
+
+def test_explain_probe_single_plan():
+    info = explain_probe(np.array([[1.0, 2.0]]), np.array([3.0, 4.0]))
+    assert info["winner"] == 0
+    assert info["runner_up"] is None
+    assert info["margin"] is None
+    assert info["crossings"] == []
+
+
+# ----------------------------------------------------------------------
+# Sampling determinism and the delta/merge channel
+# ----------------------------------------------------------------------
+def _observe_split(log, matrix, costs, totals, pieces):
+    """Feed the same batch in ``pieces`` chunks under task 3."""
+    log.begin_task(3)
+    bounds = np.linspace(0, len(costs), pieces + 1).astype(int)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if hi > lo:
+            log.observe_batch(
+                matrix, costs[lo:hi], totals[lo:hi], context="q"
+            )
+    return log.take_task()
+
+
+def test_sample_is_independent_of_batch_chunking():
+    matrix, costs, totals = _random_case(k=64, seed=5)
+    deltas = []
+    for pieces in (1, 2, 7):
+        log = _log(sample_k=8)
+        deltas.append(
+            _observe_split(log, matrix, costs, totals, pieces)
+        )
+    assert deltas[0] == deltas[1] == deltas[2]
+    assert len(deltas[0]["records"]) == 8
+
+
+def test_merge_is_associative_across_task_order():
+    matrix, costs, totals = _random_case(k=40, seed=6)
+    per_task = []
+    for task in range(3):
+        log = _log(sample_k=6)
+        log.begin_task(task)
+        log.observe_batch(matrix, costs, totals, context=f"t{task}")
+        per_task.append(log.take_task())
+
+    merged_forward = _log(sample_k=6)
+    for delta in per_task:
+        merged_forward.merge(delta)
+    merged_reverse = _log(sample_k=6)
+    for delta in reversed(per_task):
+        merged_reverse.merge(delta)
+    assert (
+        merged_forward.export_state() == merged_reverse.export_state()
+    )
+    assert len(merged_forward.records()) == 6
+
+
+def test_load_state_round_trips():
+    matrix, costs, totals = _random_case(seed=8)
+    log = _log(sample_k=4)
+    log.begin_task(0)
+    log.observe_batch(matrix, costs, totals, context="a", reference=0)
+    log.merge(log.take_task())
+    state = log.export_state()
+
+    other = _log(sample_k=4)
+    other.load_state(state)
+    assert other.export_state() == state
+    assert other.summary() == log.summary()
+
+
+def test_disabled_log_is_inert():
+    log = DecisionLog()
+    matrix, costs, totals = _random_case()
+    log.observe_batch(matrix, costs, totals)
+    assert log.take_task() is None
+    assert log.records() == []
+    with log.scoped("x"):
+        pass
+    assert log.summary()["probes"] == 0
+
+
+def test_wrong_choice_accounting():
+    matrix = np.array([[1.0, 0.0], [0.0, 1.0]])
+    costs = np.array([[2.0, 1.0], [1.0, 2.0]])
+    totals = costs @ matrix.T
+    log = _log()
+    # Reference plan 0: row 0 picks plan 1 (wrong), row 1 plan 0.
+    log.observe_batch(matrix, costs, totals, reference=0, context="w")
+    summary = log.summary()
+    assert summary["with_reference"] == 2
+    assert summary["wrong"] == 1
+    ctx = summary["contexts"]["w"]
+    decade_pairs = ctx["decades"]
+    assert sum(pair[0] for pair in decade_pairs.values()) == 2
+    assert sum(pair[1] for pair in decade_pairs.values()) == 1
+
+
+def test_sample_zero_keeps_aggregates_only():
+    matrix, costs, totals = _random_case()
+    log = _log(sample_k=0)
+    log.observe_batch(matrix, costs, totals)
+    summary = log.summary()
+    assert summary["probes"] == len(costs)
+    assert summary["sampled"] == 0
+
+
+# ----------------------------------------------------------------------
+# Export / validation helpers
+# ----------------------------------------------------------------------
+def _sampled_records():
+    matrix, costs, totals = _random_case(seed=9)
+    log = _log(sample_k=5)
+    log.begin_task(1)
+    log.observe_batch(
+        matrix, costs, totals, reference=2, context="export"
+    )
+    log.merge(log.take_task())
+    return log.records()
+
+
+def test_jsonl_round_trip_validates(tmp_path):
+    records = _sampled_records()
+    target = write_decision_records(records, tmp_path / "d.jsonl")
+    lines = target.read_text().splitlines()
+    assert len(lines) == len(records)
+    assert validate_decision_records(lines) == []
+    assert [json.loads(line) for line in lines] == records
+
+
+def test_validator_rejects_malformed_records():
+    good = _sampled_records()[0]
+    assert validate_decision_records([good]) == []
+    assert validate_decision_records(["{not json"]) == [
+        "records[0] is not valid JSON"
+    ]
+    missing = {k: v for k, v in good.items() if k != "winner"}
+    assert "records[0] missing field: winner" in (
+        validate_decision_records([missing])
+    )
+    bad_type = dict(good, winner=True)  # bool is not an int here
+    assert "records[0].winner has wrong type" in (
+        validate_decision_records([bad_type])
+    )
+    negative = dict(good, margin=-0.5)
+    assert "records[0].margin must be >= 0" in (
+        validate_decision_records([negative])
+    )
+    unknown = dict(good, extra=1)
+    assert "records[0] unknown field: extra" in (
+        validate_decision_records([unknown])
+    )
+
+
+def test_instant_events_are_valid_trace_events():
+    events = decision_instant_events(_sampled_records())
+    assert events
+    assert validate_trace_events(events) == []
+    assert all(event["ph"] == "i" for event in events)
+    assert [event["ts"] for event in events] == list(
+        range(len(events))
+    )

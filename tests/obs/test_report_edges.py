@@ -1,6 +1,10 @@
 """Manifest-renderer edge cases: empty metrics, cache-summary corners."""
 
-from repro.obs.report import _cache_summary, render_manifest
+from repro.obs.report import (
+    _cache_summary,
+    render_comparison,
+    render_manifest,
+)
 
 
 def _manifest(metrics=None):
@@ -65,3 +69,100 @@ def test_cache_summary_mixed_traffic():
     assert summary == (
         "plan cache: 3 hits, 1 misses (0 corrupt) — 75% hit rate"
     )
+
+
+# ----------------------------------------------------------------------
+# Decisions block rendering + cross-schema comparison notes
+# ----------------------------------------------------------------------
+def _decisions_block():
+    return {
+        "sample_k": 4,
+        "epsilon": 0.001,
+        "seed": 0,
+        "probes": 10,
+        "with_reference": 10,
+        "wrong": 3,
+        "near_plane": 2,
+        "sampled": 4,
+        "paths": {"dense": 10},
+        "fallback_reasons": {
+            "near_tie": 1, "invalid_probe": 0, "weak_certificate": 0,
+        },
+        "contexts": {
+            "census:Q1": {
+                "probes": 10,
+                "with_reference": 10,
+                "wrong": 3,
+                "near_plane": 2,
+                "margin": {"count": 10, "sum": 5.0, "min": 0.0,
+                           "max": 2.0},
+                "paths": {"dense": 10},
+                "decades": {"tie": [2, 2], "-1": [8, 1]},
+            },
+        },
+        "records": [],
+    }
+
+
+def test_decisions_block_renders_fragility_table():
+    manifest = _manifest()
+    manifest["decisions"] = _decisions_block()
+    rendered = render_manifest(manifest)
+    assert "decisions: 10 probes observed, 4 sampled" in rendered
+    assert "2 within 0.001 of a switchover plane" in rendered
+    assert "lookup paths: dense 10" in rendered
+    assert "fallback reasons: near-tie 1" in rendered
+    assert "fragility by context" in rendered
+    assert "census:Q1" in rendered
+    assert "3/10" in rendered  # wrong / with_reference
+    assert "wrong-choice fraction by margin decade:" in rendered
+    assert "tie      2/2 (100.0%)" in rendered
+    assert "1e-1     1/8 (12.5%)" in rendered
+
+
+def test_absent_decisions_block_renders_nothing():
+    rendered = render_manifest(_manifest())
+    assert "decisions:" not in rendered
+    manifest = _manifest()
+    manifest["decisions"] = None
+    assert "decisions:" not in render_manifest(manifest)
+
+
+def test_planindex_summary_reason_breakdown():
+    rendered = render_manifest(_manifest({"counters": {
+        "planindex.probes": 100,
+        "planindex.exact_fallbacks": 5,
+        "planindex.exact_fallbacks.near_tie": 3,
+        "planindex.exact_fallbacks.weak_certificate": 2,
+    }}))
+    assert "5 dense fallbacks (5.0%)" in rendered
+    assert (
+        "fallback reasons: near-tie 3, invalid-probe 0, "
+        "weak-certificate 2"
+    ) in rendered
+    # Without per-reason counters the base line stands alone.
+    plain = render_manifest(_manifest({"counters": {
+        "planindex.probes": 100,
+    }}))
+    assert "0 dense fallbacks (0.0%)" in plain
+    assert "fallback reasons" not in plain
+
+
+def test_comparison_notes_blocks_absent_in_older_schema():
+    new = _manifest()
+    new["schema_version"] = 4
+    new["decisions"] = _decisions_block()
+    old = _manifest()
+    old["schema_version"] = 2
+    rendered = render_comparison(new, old)
+    assert (
+        "note: decisions block absent in older schema "
+        "(v2 predates v4)"
+    ) in rendered
+    # Blocks the newer manifest does not carry draw no note.
+    assert "profile block absent" not in rendered
+    assert "timeseries block absent" not in rendered
+    # Same-version diffs stay silent.
+    peer = _manifest()
+    peer["schema_version"] = 4
+    assert "absent in older schema" not in render_comparison(new, peer)

@@ -1,0 +1,123 @@
+"""Property-based tests: decision-provenance margin geometry.
+
+For any finite nonnegative usage matrix and positive cost batch the
+extracted fragility quantities obey the switchover geometry: margins
+are nonnegative (0 exactly on a tie), plane distances are nonnegative
+and 0 *iff* the probe lies on a switchover plane, and both agree with
+the brute-force definitions computed row by row.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.decisions import (
+    explain_probe,
+    margins_from_totals,
+    plane_distances,
+)
+
+DIMS = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def matrix_and_costs(draw):
+    d = draw(DIMS)
+    m = draw(st.integers(min_value=1, max_value=24))
+    k = draw(st.integers(min_value=1, max_value=16))
+    element = st.floats(
+        0.0, 1e6, allow_nan=False, allow_infinity=False
+    )
+    matrix = np.array(
+        draw(
+            st.lists(
+                st.lists(element, min_size=d, max_size=d),
+                min_size=m, max_size=m,
+            )
+        )
+    )
+    # Duplicated rows force exact ties — the margin==0 edge case.
+    if draw(st.booleans()) and m >= 2:
+        matrix[draw(st.integers(0, m - 1))] = matrix[
+            draw(st.integers(0, m - 1))
+        ]
+    positive = st.floats(
+        1e-6, 1e6, allow_nan=False, allow_infinity=False
+    )
+    costs = np.array(
+        draw(
+            st.lists(
+                st.lists(positive, min_size=d, max_size=d),
+                min_size=k, max_size=k,
+            )
+        )
+    )
+    return matrix, costs
+
+
+@settings(max_examples=120, deadline=None)
+@given(matrix_and_costs())
+def test_margin_nonnegative_and_zero_iff_tie(case):
+    matrix, costs = case
+    totals = costs @ matrix.T
+    winners, winner_totals, runner_totals, margins = (
+        margins_from_totals(totals)
+    )
+    for row in range(len(costs)):
+        margin = margins[row]
+        assert margin >= 0.0
+        row_sorted = np.sort(totals[row])
+        if len(row_sorted) >= 2:
+            tied = row_sorted[0] == row_sorted[1]
+            assert (margin == 0.0) == tied
+        else:
+            assert margin == np.inf
+
+
+@settings(max_examples=120, deadline=None)
+@given(matrix_and_costs())
+def test_plane_distance_nonnegative_and_zero_iff_on_plane(case):
+    matrix, costs = case
+    totals = costs @ matrix.T
+    winners, *_, margins = margins_from_totals(totals)
+    distances = plane_distances(
+        matrix, costs, totals, winners, margins
+    )
+    for row in range(len(costs)):
+        distance = distances[row]
+        assert distance >= 0.0
+        # On a switchover plane two plans tie exactly; off it the
+        # nearest-rival gap is strictly positive (up to the one
+        # degenerate case of all-duplicate rows, where margin==0
+        # forces distance 0 as well).
+        if margins[row] == 0.0:
+            assert distance == 0.0
+        elif np.isfinite(distance):
+            assert distance > 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix_and_costs())
+def test_explain_probe_agrees_with_batch_extraction(case):
+    matrix, costs = case
+    totals = costs @ matrix.T
+    winners, *_, margins = margins_from_totals(totals)
+    distances = plane_distances(
+        matrix, costs, totals, winners, margins
+    )
+    info = explain_probe(matrix, costs[0])
+    assert info["winner"] == int(np.argmin(totals[0]))
+    # The single-probe product rounds like a gemv, the batch like a
+    # gemm: values agree to rounding, finiteness agrees exactly.
+    if np.isfinite(margins[0]):
+        assert np.isclose(
+            info["margin"], margins[0], rtol=1e-9, atol=0.0
+        )
+    else:
+        assert info["margin"] is None
+    if np.isfinite(distances[0]):
+        assert np.isclose(
+            info["plane_distance"], distances[0], rtol=1e-9, atol=0.0
+        )
+    else:
+        assert info["plane_distance"] is None

@@ -153,9 +153,9 @@ def test_obs_package_is_complete_and_bottom_ranked():
         if path.stem != "__init__"
     )
     assert modules == [
-        "bench", "export", "faults", "history", "logs", "manifest",
-        "memprof", "metrics", "profile", "progress", "report",
-        "timeseries", "trace",
+        "bench", "decisions", "export", "faults", "history", "logs",
+        "manifest", "memprof", "metrics", "profile", "progress",
+        "report", "timeseries", "trace",
     ]
     assert LAYER_RANK["obs"] == 0
     # No obs module may import another repro layer at all.
