@@ -22,6 +22,15 @@ Run via ``python -m repro <command>``:
 * ``bench BENCH_JSON`` — render a benchmark telemetry record, or gate
   on regressions against a baseline (``--compare BASELINE.json``,
   threshold 15% by default; exits 1 on regression);
+* ``serve`` — the long-running online decision server
+  (``POST /v1/decide``): micro-batched, coalescing, warm shared
+  candidate-set store, ``/healthz`` + ``/metrics``, graceful SIGTERM
+  drain;
+* ``loadgen`` — a seeded closed-loop load generator against the
+  server (``--qps``/``--duration``), emitting a schema-versioned
+  ``BENCH_serve.json`` latency record and optionally digest-verifying
+  every response against the offline explain kernel
+  (``--verify-offline``);
 * ``bench trend`` — judge every series of the append-only perf-history
   store (``benchmarks/history.jsonl`` / ``$REPRO_HISTORY_DIR``)
   against its own recent history: median-of-last-N with MAD bands and
@@ -605,6 +614,152 @@ def _cmd_bench(args: argparse.Namespace, run: _Run) -> int:
     return 1
 
 
+def _parse_query_list(raw: "str | None") -> tuple[str, ...]:
+    return tuple(
+        name.strip() for name in (raw or "").split(",") if name.strip()
+    )
+
+
+def _plan_cache_from_args(args: argparse.Namespace):
+    """The PlanCache the cache flags describe (None with --no-cache).
+
+    Shared by ``serve`` and ``loadgen`` so the online commands honour
+    ``$REPRO_CACHE_DIR`` / ``--cache-dir`` / ``--no-cache`` exactly
+    like the offline experiment subcommands.
+    """
+    from .optimizer.plancache import PlanCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return PlanCache(getattr(args, "cache_dir", None))
+
+
+def _cmd_serve(args: argparse.Namespace, run: _Run) -> int:
+    """``repro serve``: the long-running online decision server."""
+    from .serve import RequestError
+    from .serve.server import run_server
+    from .serve.store import CandidateStore
+
+    if args.port < 0:
+        _usage_error("--port must be >= 0 (0 = ephemeral)")
+    if args.workers < 1:
+        _usage_error("--workers must be >= 1")
+    if args.batch_window <= 0:
+        _usage_error("--batch-window must be > 0 seconds")
+    if args.max_batch < 1:
+        _usage_error("--max-batch must be >= 1")
+    if args.quant_digits < 1:
+        _usage_error("--quant-digits must be >= 1")
+    try:
+        warm_scenario = resolve_scenario_key(args.warm_scenario)
+    except UnknownScenarioError as exc:
+        _usage_error(str(exc))
+    warm = _parse_query_list(args.warm)
+    cache = _plan_cache_from_args(args)
+
+    def store_factory() -> CandidateStore:
+        return CandidateStore(
+            scale=args.scale,
+            delta=args.delta,
+            cache=cache,
+            catalog_path=args.catalog,
+        )
+
+    try:
+        return run_server(
+            host=args.host,
+            port=args.port,
+            store_factory=store_factory,
+            warm=warm,
+            warm_scenario=warm_scenario,
+            window=args.batch_window,
+            max_batch=args.max_batch,
+            quant_digits=args.quant_digits,
+            reload_interval=(
+                args.reload_interval if args.catalog else 0.0
+            ),
+            workers=args.workers,
+        )
+    except RequestError as exc:
+        _usage_error(str(exc))
+
+
+def _cmd_loadgen(args: argparse.Namespace, run: _Run) -> int:
+    """``repro loadgen``: the seeded closed-loop latency benchmark."""
+    from urllib.parse import urlsplit
+
+    from .serve import RequestError
+    from .serve.loadgen import run_loadgen
+    from .serve.server import ServeApp
+    from .serve.store import CandidateStore
+
+    if args.qps <= 0:
+        _usage_error("--qps must be > 0")
+    if args.connections < 1:
+        _usage_error("--connections must be >= 1")
+    if args.quant_digits < 1:
+        _usage_error("--quant-digits must be >= 1")
+    count = args.requests
+    if count is None:
+        count = int(round(args.qps * args.duration))
+    if count < 1:
+        _usage_error(
+            "--requests (or --qps * --duration) must be >= 1"
+        )
+    try:
+        scenario_key = resolve_scenario_key(args.scenario_opt)
+    except UnknownScenarioError as exc:
+        _usage_error(str(exc))
+    queries = _parse_query_list(args.queries)
+    if not queries:
+        _usage_error("--queries must name at least one query")
+
+    host = port = None
+    app = None
+    store = CandidateStore(
+        scale=args.scale,
+        delta=args.delta,
+        cache=_plan_cache_from_args(args),
+    )
+    if args.self_serve or not args.url:
+        app = ServeApp(
+            store,
+            window=args.batch_window,
+            max_batch=args.max_batch,
+            quant_digits=args.quant_digits,
+            reload_interval=0.0,
+        )
+    else:
+        parts = urlsplit(args.url)
+        if not parts.hostname or not parts.port:
+            _usage_error(
+                "--url must look like http://HOST:PORT "
+                f"(got {args.url!r})"
+            )
+        host, port = parts.hostname, parts.port
+    try:
+        return run_loadgen(
+            store=store,
+            queries=queries,
+            scenario_key=scenario_key,
+            qps=args.qps,
+            count=count,
+            seed=args.seed,
+            connections=min(args.connections, count),
+            quant_digits=args.quant_digits,
+            warmup=args.warmup,
+            host=host,
+            port=port,
+            self_serve_app=app,
+            bench_out=args.bench_out or None,
+            verify=args.verify_offline,
+            p99_gate=args.p99_gate,
+            append_to_history=not args.no_history,
+        )
+    except RequestError as exc:
+        _usage_error(str(exc))
+
+
 def _workload_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=float, default=100.0)
     p.add_argument(
@@ -971,6 +1126,175 @@ def build_parser() -> argparse.ArgumentParser:
              "SUBSTR",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running online decision server: POST /v1/decide "
+             "answers winner/runner-up, margin and switchover-plane "
+             "distance, micro-batched and bit-identical to offline "
+             "`repro explain`",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port; 0 picks an ephemeral port, printed on "
+             "stderr (default 8787)",
+    )
+    p_serve.add_argument(
+        "--delta", type=float, default=100.0,
+        help="feasible-region half-width candidate sets are computed "
+             "over (default 100, matching `repro explain`)",
+    )
+    p_serve.add_argument(
+        "--batch-window", type=float, default=0.002,
+        metavar="SECONDS",
+        help="micro-batch flush tick (default 0.002s)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=1024,
+        help="unique probes per dgemm call; a larger tick splits "
+             "(default 1024)",
+    )
+    p_serve.add_argument(
+        "--quant-digits", type=int, default=9,
+        help="significant digits incoming cost vectors are quantized "
+             "(and coalesced) to (default 9)",
+    )
+    p_serve.add_argument(
+        "--warm", default=None, metavar="Q1,Q5,...",
+        help="candidate sets to pre-build before accepting traffic",
+    )
+    p_serve.add_argument(
+        "--warm-scenario", default="split", metavar="KEY",
+        help="scenario the --warm sets are built for (default split)",
+    )
+    p_serve.add_argument(
+        "--catalog", default=None, metavar="PATH",
+        help="pickled catalog to serve from; polled for digest "
+             "changes and hot-reloaded (default: TPC-H at --scale)",
+    )
+    p_serve.add_argument(
+        "--reload-interval", type=float, default=5.0,
+        metavar="SECONDS",
+        help="catalog digest poll interval with --catalog "
+             "(default 5s)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="pre-forked server processes sharing the listening "
+             "socket and one on-disk plan cache (default 1)",
+    )
+    p_serve.add_argument("--scale", type=float, default=100.0)
+    p_serve.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="stderr logging level (default warning)",
+    )
+    _cache_flags(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="seeded closed-loop load generator against the decision "
+             "server; emits a BENCH_serve.json latency record and "
+             "can digest-verify every response against the offline "
+             "explain kernel",
+    )
+    p_loadgen.add_argument(
+        "--url", default=None, metavar="http://HOST:PORT",
+        help="server to drive; omitted (or --self-serve) runs an "
+             "in-process server on an ephemeral port",
+    )
+    p_loadgen.add_argument(
+        "--qps", type=float, default=200.0,
+        help="target request rate (default 200)",
+    )
+    p_loadgen.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS",
+        help="run length; requests = qps * duration (default 5s)",
+    )
+    p_loadgen.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="exact request count (overrides --duration)",
+    )
+    p_loadgen.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for the probe stream; one seed -> one "
+             "byte-identical request sequence (default 0)",
+    )
+    p_loadgen.add_argument(
+        "--queries", default="Q1,Q6,Q14",
+        help="comma-separated queries to probe, round-robined "
+             "(default Q1,Q6,Q14)",
+    )
+    p_loadgen.add_argument(
+        "--scenario", dest="scenario_opt", default="split",
+        metavar="KEY",
+        help="storage scenario for every probe (default split)",
+    )
+    p_loadgen.add_argument("--scale", type=float, default=100.0)
+    p_loadgen.add_argument(
+        "--delta", type=float, default=100.0,
+        help="feasible-region half-width probes are sampled from "
+             "(default 100)",
+    )
+    p_loadgen.add_argument(
+        "--connections", type=int, default=16,
+        help="keep-alive connections issuing requests (default 16)",
+    )
+    p_loadgen.add_argument(
+        "--quant-digits", type=int, default=9,
+        help="protocol quantization, must match the server "
+             "(default 9)",
+    )
+    p_loadgen.add_argument(
+        "--warmup", type=int, default=4, metavar="N",
+        help="unmeasured priming requests before the clock starts "
+             "(default 4)",
+    )
+    p_loadgen.add_argument(
+        "--batch-window", type=float, default=0.002,
+        metavar="SECONDS",
+        help="self-serve mode: the in-process server's flush tick",
+    )
+    p_loadgen.add_argument(
+        "--max-batch", type=int, default=1024,
+        help="self-serve mode: the in-process server's dgemm row cap",
+    )
+    p_loadgen.add_argument(
+        "--self-serve", action="store_true",
+        help="run the server in-process on an ephemeral port "
+             "(implied when --url is omitted)",
+    )
+    p_loadgen.add_argument(
+        "--verify-offline", action="store_true",
+        help="replay the request stream through the offline explain "
+             "kernel and fail on any response-digest mismatch",
+    )
+    p_loadgen.add_argument(
+        "--p99-gate", type=float, default=None, metavar="SECONDS",
+        help="exit 1 when p99 latency exceeds this bound",
+    )
+    p_loadgen.add_argument(
+        "--bench-out", default="BENCH_serve.json", metavar="PATH",
+        help="where to write the latency BENCH record (default "
+             "BENCH_serve.json; '' disables)",
+    )
+    p_loadgen.add_argument(
+        "--no-history", action="store_true",
+        help="do not append the record's medians to the perf-history "
+             "store",
+    )
+    p_loadgen.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="stderr logging level (default warning)",
+    )
+    _cache_flags(p_loadgen)
+    p_loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 
 
@@ -1278,7 +1602,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         PROFILER.disable()
     if getattr(args, "timeseries", False):
         TIMESERIES.stop()
-    if args.command not in ("report", "bench"):
+    # serve/loadgen manage their own artefacts (BENCH record, history
+    # append) and never write run manifests.
+    if args.command not in ("report", "bench", "serve", "loadgen"):
         _finish_run(args, run.ctx, wall_seconds, cpu_seconds)
     return code
 

@@ -1,0 +1,33 @@
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.serve import CandidateStore
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep serve artefacts (cache, bench, history) out of the repo."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "plan-cache"))
+    monkeypatch.setenv("REPRO_HISTORY_DIR", str(tmp_path / "history"))
+    monkeypatch.chdir(tmp_path)
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics():
+    """Serve counters are process-global; isolate them per test."""
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+@pytest.fixture(scope="session")
+def warm_store():
+    """One session-wide in-memory store (entry builds are the slow
+    part of these tests; the decide kernels under test are pure
+    functions of the entry, so sharing it is safe)."""
+    return CandidateStore(scale=100.0, delta=100.0, cache=None)
+
+
+@pytest.fixture(scope="session")
+def q6_entry(warm_store):
+    return warm_store.entry("Q6", "split")

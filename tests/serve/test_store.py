@@ -1,0 +1,98 @@
+"""Warm-store behaviour: caching, sharing, catalog hot-reload."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.engine import RunContext
+from repro.obs.metrics import METRICS
+from repro.optimizer.plancache import PlanCache
+from repro.serve import CandidateStore
+from repro.serve.protocol import RequestError
+
+
+def test_entry_is_built_once_and_memoized(warm_store):
+    before = METRICS.counter("serve.store_builds").value
+    first = warm_store.entry("Q6", "split")
+    second = warm_store.entry("Q6", "split")
+    assert first is second
+    # The session fixture may have built it already; at most one build.
+    assert (
+        METRICS.counter("serve.store_builds").value - before <= 1
+    )
+    assert first.plans >= 1
+    assert first.dimension == len(first.names)
+    assert len(first.center) == first.dimension
+
+
+def test_entry_resolves_scenario_aliases(warm_store):
+    canonical = warm_store.entry("Q6", "split")
+    aliased = warm_store.entry("Q6", "fig6")
+    assert aliased is canonical
+    assert canonical.scenario == "split"
+
+
+def test_unknown_query_and_scenario_are_request_errors(warm_store):
+    with pytest.raises(RequestError, match="unknown query"):
+        warm_store.entry("Q99", "split")
+    with pytest.raises(RequestError, match="scenario"):
+        warm_store.entry("Q6", "not-a-scenario")
+
+
+def test_two_stores_share_one_plan_cache(tmp_path):
+    cache = PlanCache(tmp_path / "shared-cache")
+    first = CandidateStore(cache=cache)
+    first.entry("Q6", "split")
+    misses = METRICS.counter("plancache.misses").value
+    hits = METRICS.counter("plancache.hits").value
+    second = CandidateStore(cache=cache)
+    entry = second.entry("Q6", "split")
+    assert METRICS.counter("plancache.hits").value == hits + 1
+    assert METRICS.counter("plancache.misses").value == misses
+    assert entry.plans == first.entry("Q6", "split").plans
+
+
+def test_warm_builds_each_query(warm_store):
+    assert warm_store.warm(["Q6"], "split") == 1
+    stats = warm_store.stats()
+    assert stats["entries"] >= 1
+    assert stats["plans"]["Q6/split"] >= 1
+    assert stats["catalog_digest"]
+    assert stats["cache_dir"] is None
+
+
+def test_catalog_hot_reload_swaps_and_invalidates(tmp_path):
+    catalog_file = tmp_path / "catalog.pkl"
+    catalog_file.write_bytes(
+        pickle.dumps(RunContext(scale=100.0).catalog)
+    )
+    store = CandidateStore(catalog_path=catalog_file)
+    store.entry("Q6", "split")
+    original = store.catalog_sha
+    assert store.maybe_reload() is False  # digest unchanged
+    assert store.stats()["entries"] == 1
+
+    catalog_file.write_bytes(
+        pickle.dumps(RunContext(scale=10.0).catalog)
+    )
+    before = METRICS.counter("serve.catalog_reloads").value
+    assert store.maybe_reload() is True
+    assert store.catalog_sha != original
+    assert store.stats()["entries"] == 0  # warm entries dropped
+    assert (
+        METRICS.counter("serve.catalog_reloads").value == before + 1
+    )
+    rebuilt = store.entry("Q6", "split")
+    assert rebuilt.plans >= 1
+
+
+def test_catalog_reload_survives_unreadable_file(tmp_path):
+    catalog_file = tmp_path / "catalog.pkl"
+    catalog_file.write_bytes(
+        pickle.dumps(RunContext(scale=100.0).catalog)
+    )
+    store = CandidateStore(catalog_path=catalog_file)
+    digest = store.catalog_sha
+    catalog_file.write_bytes(b"not a pickle at all")
+    assert store.maybe_reload() is False  # skipped, not fatal
+    assert store.catalog_sha == digest

@@ -27,8 +27,9 @@ LAYER_RANK = {
     "workloads": 4,
     "executor": 4,
     "experiments": 5,
-    "cli": 6,
-    "__main__": 7,
+    "serve": 6,
+    "cli": 7,
+    "__main__": 8,
 }
 
 
